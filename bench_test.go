@@ -1,0 +1,350 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one benchmark per artifact, plus the solver ablations and
+// micro-benchmarks of the core algorithm. Run them all with
+//
+//	go test -bench=. -benchmem
+//
+// Each artifact benchmark logs its rendered table once (visible with -v),
+// so a single benchmark run reproduces the paper's reported rows. The
+// benchmark configuration uses a reduced horizon/scale so the suite
+// completes quickly; cmd/experiments runs the full-scale versions.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distsim"
+	"repro/internal/experiments"
+	"repro/ufc"
+)
+
+// benchConfig is the shared reduced-size configuration: the full 4x10
+// topology at 20% fleet scale over 48 hours.
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = 0.2
+	cfg.Hours = 48
+	return cfg
+}
+
+var benchSolver = core.Options{MaxIterations: 3000}
+
+var logOnce sync.Map
+
+func logTable(b *testing.B, key, rendered string) {
+	b.Helper()
+	if _, seen := logOnce.LoadOrStore(key, true); !seen {
+		b.Log("\n" + rendered)
+	}
+}
+
+// BenchmarkTable1 regenerates Table I: weekly energy costs of the Grid /
+// Fuel Cell / Hybrid strategies at Dallas and San Jose.
+func BenchmarkTable1(b *testing.B) {
+	cfg := experiments.DefaultConfig() // full week; Table I is cheap
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTableOne(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTable(b, "table1", res.Table().Render())
+	}
+}
+
+// BenchmarkFig1 regenerates Fig. 1: the power-demand profile and the
+// Dallas / San Jose price traces.
+func BenchmarkFig1(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigOne(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTable(b, "fig1", res.Table().Render())
+	}
+}
+
+// BenchmarkFig3 regenerates Fig. 3: the workload, price and carbon-rate
+// traces of the four datacenter sites.
+func BenchmarkFig3(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigThree(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTable(b, "fig3", res.Table().Render())
+	}
+}
+
+// weekComparison memoizes the three-strategy week run shared by the
+// Fig. 4–8 and Fig. 11 benchmarks' reporting.
+func runWeekComparison(b *testing.B) *experiments.WeekComparison {
+	b.Helper()
+	w, err := experiments.RunWeekComparison(benchConfig(), benchSolver)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkFig4 regenerates Fig. 4: hourly UFC improvements I_hg, I_hf,
+// I_fg of the strategy pairs.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := runWeekComparison(b)
+		logTable(b, "fig4", w.FigFourTable().Render())
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5: average propagation latency per
+// strategy.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := runWeekComparison(b)
+		logTable(b, "fig5", w.FigFiveTable().Render())
+	}
+}
+
+// BenchmarkFig6 regenerates Fig. 6: hourly energy cost per strategy.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := runWeekComparison(b)
+		logTable(b, "fig6", w.FigSixTable().Render())
+	}
+}
+
+// BenchmarkFig7 regenerates Fig. 7: hourly carbon emission cost per
+// strategy.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := runWeekComparison(b)
+		logTable(b, "fig7", w.FigSevenTable().Render())
+	}
+}
+
+// BenchmarkFig8 regenerates Fig. 8: the hybrid strategy's hourly fuel-cell
+// utilization.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := runWeekComparison(b)
+		logTable(b, "fig8", w.FigEightTable().Render())
+	}
+}
+
+// BenchmarkFig9 regenerates Fig. 9: the fuel-cell price sweep (average UFC
+// improvement and utilization vs p0).
+func BenchmarkFig9(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Hours = 24
+	prices := []float64{20, 27, 45, 65, 80, 110}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigNine(cfg, benchSolver, prices)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTable(b, "fig9", res.Table().Render())
+	}
+}
+
+// BenchmarkFig10 regenerates Fig. 10: the carbon tax sweep.
+func BenchmarkFig10(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Hours = 24
+	taxes := []float64{0, 25, 75, 140, 200}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigTen(cfg, benchSolver, taxes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTable(b, "fig10", res.Table().Render())
+	}
+}
+
+// BenchmarkFig11 regenerates Fig. 11: the CDF of ADM-G iterations to
+// convergence across the per-hour runs.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := runWeekComparison(b)
+		f11, err := w.FigEleven()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTable(b, "fig11", f11.Table().Render())
+	}
+}
+
+// BenchmarkForecastStudy runs the arrival-prediction sensitivity study
+// (the premise of §II-A) with the naive and Holt-Winters predictors.
+func BenchmarkForecastStudy(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Hours = 96
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunForecastStudy(cfg, benchSolver, []string{"naive", "holt-winters"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTable(b, "forecast", res.Table().Render())
+	}
+}
+
+// BenchmarkRightSizing runs the §II-C Remark extension study (idle servers
+// powered off).
+func BenchmarkRightSizing(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRightSizingStudy(cfg, 8, benchSolver)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTable(b, "rightsizing", res.Table().Render())
+	}
+}
+
+// BenchmarkRampStudy runs the load-following extension study (finite
+// fuel-cell ramp rates).
+func BenchmarkRampStudy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRampStudy(cfg, benchSolver, []float64{1, 0.2, 0.05})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTable(b, "ramp", res.Table().Render())
+	}
+}
+
+// BenchmarkAblationRho sweeps the penalty multiplier (the design choice
+// behind the engine's curvature-scaled ρ).
+func BenchmarkAblationRho(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationRho(cfg, 8, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTable(b, "ablation-rho", res.Table().Render())
+	}
+}
+
+// BenchmarkAblationEpsilon sweeps the Gaussian back-substitution step ε.
+func BenchmarkAblationEpsilon(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationEpsilon(cfg, 8, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTable(b, "ablation-eps", res.Table().Render())
+	}
+}
+
+// BenchmarkAblationCorrection compares ADM-G with the correction step
+// against plain 4-block ADMM.
+func BenchmarkAblationCorrection(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationCorrection(cfg, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTable(b, "ablation-corr", res.Table().Render())
+	}
+}
+
+// --- Micro-benchmarks of the core algorithm. ---
+
+func benchInstance(b *testing.B) *ufc.Instance {
+	b.Helper()
+	sc, err := experiments.NewScenario(benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc.InstanceAt(12)
+}
+
+// BenchmarkSolveSlot measures one full-slot ADM-G solve (paper topology,
+// 20% fleet scale).
+func BenchmarkSolveSlot(b *testing.B) {
+	inst := benchInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := core.Solve(inst, benchSolver); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIterate measures a single ADM-G iteration (all four block
+// minimizations plus dual update and correction).
+func BenchmarkIterate(b *testing.B) {
+	inst := benchInstance(b)
+	e, err := core.NewEngine(inst, benchSolver)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := core.NewState(inst.Cloud.M(), inst.Cloud.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Iterate(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveDistributedInMemory measures a full distributed solve over
+// the in-memory message transport.
+func BenchmarkSolveDistributedInMemory(b *testing.B) {
+	inst := benchInstance(b)
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := distsim.NewChanTransport(distsim.AllAgentIDs(m, n), distsim.ChanOptions{Seed: int64(i)})
+		if _, err := distsim.Run(inst, distsim.RunOptions{Solver: benchSolver}, tr); err != nil {
+			b.Fatal(err)
+		}
+		_ = tr.Close()
+	}
+}
+
+// BenchmarkIterateWide measures one ADM-G iteration with 50 front-ends —
+// the per-iteration cost is dominated by the per-datacenter a-minimization
+// QPs, whose size grows with M (the motivation for the distributed
+// decomposition).
+func BenchmarkIterateWide(b *testing.B) {
+	cfg := benchConfig()
+	sc, err := experiments.NewScenario(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := sc.InstanceAt(12)
+	// Widen to 50 front-ends by splitting each of the 10 into 5.
+	m := 50
+	fes := make([]ufc.FrontEnd, m)
+	arr := make([]float64, m)
+	for i := 0; i < m; i++ {
+		src := base.Cloud.FrontEnds[i%10]
+		fes[i] = src
+		arr[i] = base.Arrivals[i%10] / 5
+	}
+	cloud, err := ufc.NewCloud(base.Cloud.Datacenters, fes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := *base
+	inst.Cloud = cloud
+	inst.Arrivals = arr
+	e, err := core.NewEngine(&inst, benchSolver)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := core.NewState(m, inst.Cloud.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Iterate(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§IV): Table I and Figs. 1, 3–11, plus the solver-design
+// ablations. Each experiment prints a plain-text table; the combined
+// output is the source for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-run all|table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|
+//	             forecast|ramp|rightsizing|ablations]
+//	            [-scale f] [-hours n] [-seed n] [-sample n] [-maxiters n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	which := fs.String("run", "all", "experiment id (all, table1, fig1, fig3, fig4 ... fig11, forecast, ramp, rightsizing, ablations)")
+	scale := fs.Float64("scale", 1, "fleet scale relative to the paper (1 = 1.7-2.3e4 servers per DC)")
+	hours := fs.Int("hours", 168, "horizon length in hours")
+	seed := fs.Int64("seed", 2012, "master random seed")
+	sample := fs.Int("sample", 24, "hours sampled by the ablations")
+	maxIters := fs.Int("maxiters", 3000, "ADM-G iteration budget per slot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Hours = *hours
+	cfg.Seed = *seed
+	opts := core.Options{MaxIterations: *maxIters}
+
+	ids := strings.Split(*which, ",")
+	want := func(id string) bool {
+		for _, w := range ids {
+			if w == "all" || w == id {
+				return true
+			}
+		}
+		return false
+	}
+
+	start := time.Now()
+
+	if want("table1") {
+		res, err := experiments.RunTableOne(cfg)
+		if err != nil {
+			return fmt.Errorf("table1: %w", err)
+		}
+		fmt.Println(res.Table().Render())
+	}
+	if want("fig1") {
+		res, err := experiments.RunFigOne(cfg)
+		if err != nil {
+			return fmt.Errorf("fig1: %w", err)
+		}
+		fmt.Println(res.Table().Render())
+	}
+	if want("fig3") {
+		res, err := experiments.RunFigThree(cfg)
+		if err != nil {
+			return fmt.Errorf("fig3: %w", err)
+		}
+		fmt.Println(res.Table().Render())
+	}
+
+	needWeek := false
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig11"} {
+		if want(id) {
+			needWeek = true
+		}
+	}
+	if needWeek {
+		week, err := experiments.RunWeekComparison(cfg, opts)
+		if err != nil {
+			return fmt.Errorf("week comparison: %w", err)
+		}
+		if want("fig4") {
+			fmt.Println(week.FigFourTable().Render())
+		}
+		if want("fig5") {
+			fmt.Println(week.FigFiveTable().Render())
+		}
+		if want("fig6") {
+			fmt.Println(week.FigSixTable().Render())
+		}
+		if want("fig7") {
+			fmt.Println(week.FigSevenTable().Render())
+		}
+		if want("fig8") {
+			fmt.Println(week.FigEightTable().Render())
+		}
+		if want("fig11") {
+			f11, err := week.FigEleven()
+			if err != nil {
+				return fmt.Errorf("fig11: %w", err)
+			}
+			fmt.Println(f11.Table().Render())
+		}
+	}
+
+	if want("fig9") {
+		res, err := experiments.RunFigNine(cfg, opts, nil)
+		if err != nil {
+			return fmt.Errorf("fig9: %w", err)
+		}
+		fmt.Println(res.Table().Render())
+	}
+	if want("fig10") {
+		res, err := experiments.RunFigTen(cfg, opts, nil)
+		if err != nil {
+			return fmt.Errorf("fig10: %w", err)
+		}
+		fmt.Println(res.Table().Render())
+	}
+	if want("forecast") {
+		res, err := experiments.RunForecastStudy(cfg, opts, nil)
+		if err != nil {
+			return fmt.Errorf("forecast: %w", err)
+		}
+		fmt.Println(res.Table().Render())
+	}
+	if want("ramp") {
+		res, err := experiments.RunRampStudy(cfg, opts, nil)
+		if err != nil {
+			return fmt.Errorf("ramp: %w", err)
+		}
+		fmt.Println(res.Table().Render())
+	}
+	if want("rightsizing") {
+		res, err := experiments.RunRightSizingStudy(cfg, *sample, opts)
+		if err != nil {
+			return fmt.Errorf("rightsizing: %w", err)
+		}
+		fmt.Println(res.Table().Render())
+	}
+	if want("ablations") {
+		rho, err := experiments.RunAblationRho(cfg, *sample, nil)
+		if err != nil {
+			return fmt.Errorf("ablation rho: %w", err)
+		}
+		fmt.Println(rho.Table().Render())
+		eps, err := experiments.RunAblationEpsilon(cfg, *sample, nil)
+		if err != nil {
+			return fmt.Errorf("ablation epsilon: %w", err)
+		}
+		fmt.Println(eps.Table().Render())
+		corr, err := experiments.RunAblationCorrection(cfg, *sample)
+		if err != nil {
+			return fmt.Errorf("ablation correction: %w", err)
+		}
+		fmt.Println(corr.Table().Render())
+	}
+
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

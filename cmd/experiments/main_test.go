@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunSmallArtifacts(t *testing.T) {
+	// Cheap artifacts at reduced scale exercise the full flag plumbing.
+	err := run([]string{
+		"-run", "table1,fig1,fig3",
+		"-hours", "24",
+		"-scale", "0.05",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWeekArtifactsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	err := run([]string{
+		"-run", "fig4,fig8,fig11",
+		"-hours", "8",
+		"-scale", "0.05",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

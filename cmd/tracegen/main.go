@@ -1,0 +1,83 @@
+// Command tracegen writes the scenario's synthetic traces (workload,
+// per-site electricity prices, per-site carbon emission rates and the
+// Table I power-demand profile) as CSV for inspection or external
+// plotting.
+//
+// Usage:
+//
+//	tracegen [-out dir] [-hours n] [-seed n] [-scale f]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	out := fs.String("out", "traces", "output directory")
+	hours := fs.Int("hours", 168, "horizon length in hours")
+	seed := fs.Int64("seed", 2012, "master random seed")
+	scale := fs.Float64("scale", 1, "fleet scale relative to the paper")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Hours = *hours
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	sc, err := experiments.NewScenario(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	write := func(name string, series []trace.Series) error {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteCSV(f, series); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Println("wrote", path)
+		return f.Close()
+	}
+
+	workload := append([]trace.Series{sc.TotalLoad}, sc.FrontEndLoad...)
+	if err := write("workload.csv", workload); err != nil {
+		return err
+	}
+	if err := write("prices.csv", sc.PriceUSD); err != nil {
+		return err
+	}
+	if err := write("carbon.csv", sc.CarbonRate); err != nil {
+		return err
+	}
+
+	demandCfg := trace.DefaultPowerDemandConfig()
+	demandCfg.Seed = cfg.Seed + 100
+	demandCfg.Hours = cfg.Hours
+	demand, err := trace.GenPowerDemand(demandCfg)
+	if err != nil {
+		return err
+	}
+	return write("power_demand.csv", []trace.Series{demand})
+}

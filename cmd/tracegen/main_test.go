@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunWritesCSVs(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-hours", "12", "-scale", "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"workload.csv", "prices.csv", "carbon.csv", "power_demand.csv"} {
+		path := filepath.Join(dir, name)
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		series, err := trace.ReadCSV(f)
+		_ = f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(series) == 0 || series[0].Len() != 12 {
+			t.Fatalf("%s: malformed series", name)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

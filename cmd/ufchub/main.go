@@ -1,0 +1,46 @@
+// Command ufchub runs the TCP message hub for a multi-process distributed
+// solve. Start the hub, then start one or more ufcnode processes pointing
+// at it; together they execute the distributed 4-block ADM-G protocol.
+//
+//	ufchub -listen 127.0.0.1:7070
+//	ufcnode -hub 127.0.0.1:7070 -instance inst.json -agents fe-0,fe-1,...  &
+//	ufcnode -hub 127.0.0.1:7070 -instance inst.json -agents dc-0,...      &
+//	ufcnode -hub 127.0.0.1:7070 -instance inst.json -agents coord
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/distsim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ufchub:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ufchub", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7070", "address to listen on")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	hub, err := distsim.NewTCPHub(*listen)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = hub.Close() }()
+	fmt.Println("hub listening on", hub.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

@@ -1,0 +1,110 @@
+// Command ufcnode hosts a subset of the distributed ADM-G agents
+// (front-ends, datacenters and/or the coordinator) in one process,
+// connected to a ufchub. Every node loads the same instance file; the node
+// hosting the coordinator prints the solution as JSON when the protocol
+// converges.
+//
+//	ufcnode -hub 127.0.0.1:7070 -instance inst.json -agents fe-0,fe-1,dc-0,coord
+//
+// The special value -agents all hosts every agent (single-node mode).
+// Generate an instance file with:
+//
+//	ufcnode -write-instance inst.json [-hour 12] [-scale 0.2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/distsim"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ufcnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ufcnode", flag.ContinueOnError)
+	hub := fs.String("hub", "127.0.0.1:7070", "hub address")
+	instPath := fs.String("instance", "", "instance JSON file (required unless -write-instance)")
+	agents := fs.String("agents", "all", "comma-separated agent ids (fe-0, dc-1, coord) or all")
+	timeout := fs.Duration("timeout", time.Minute, "per-message wait timeout")
+	maxIters := fs.Int("maxiters", 3000, "ADM-G iteration budget")
+	writeInstance := fs.String("write-instance", "", "write a scenario slot as an instance file and exit")
+	hour := fs.Int("hour", 12, "scenario hour for -write-instance")
+	scale := fs.Float64("scale", 0.2, "scenario fleet scale for -write-instance")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *writeInstance != "" {
+		return writeScenarioInstance(*writeInstance, *hour, *scale)
+	}
+	if *instPath == "" {
+		return fmt.Errorf("-instance is required")
+	}
+	f, err := os.Open(*instPath)
+	if err != nil {
+		return err
+	}
+	inst, err := codec.DecodeInstance(f)
+	_ = f.Close()
+	if err != nil {
+		return err
+	}
+
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	ids := strings.Split(*agents, ",")
+	if *agents == "all" {
+		ids = distsim.AllAgentIDs(m, n)
+	}
+	node, err := distsim.NewTCPNode(*hub, ids, 256)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = node.Close() }()
+
+	fmt.Fprintf(os.Stderr, "node hosting %v against hub %s\n", ids, *hub)
+	res, err := distsim.RunAgents(inst, distsim.RunOptions{
+		Solver:  core.Options{MaxIterations: *maxIters},
+		Timeout: *timeout,
+	}, node, ids)
+	if err != nil {
+		return err
+	}
+	if res == nil {
+		fmt.Fprintln(os.Stderr, "agents finished (coordinator ran elsewhere)")
+		return nil
+	}
+	return codec.EncodeResult(os.Stdout, res.Allocation, res.Breakdown, res.Stats)
+}
+
+func writeScenarioInstance(path string, hour int, scale float64) error {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = scale
+	sc, err := experiments.NewScenario(cfg)
+	if err != nil {
+		return err
+	}
+	if hour < 0 || hour >= cfg.Hours {
+		return fmt.Errorf("hour %d outside horizon [0, %d)", hour, cfg.Hours)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := codec.EncodeInstance(f, sc.InstanceAt(hour)); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/distsim"
+)
+
+func TestWriteInstance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := run([]string{"-write-instance", path, "-hour", "3", "-scale", "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	inst, err := codec.DecodeInstance(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Cloud.N() != 4 || inst.Cloud.M() != 10 {
+		t.Fatalf("unexpected topology %dx%d", inst.Cloud.N(), inst.Cloud.M())
+	}
+}
+
+func TestWriteInstanceBadHour(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := run([]string{"-write-instance", path, "-hour", "9999"}); err == nil {
+		t.Fatal("out-of-range hour accepted")
+	}
+}
+
+func TestSingleNodeSolveOverHub(t *testing.T) {
+	hub, err := distsim.NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := run([]string{"-write-instance", path, "-hour", "2", "-scale", "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+	// Single-node mode: hosts every agent, pushes all traffic through the
+	// hub, prints the result to stdout (suppressed here).
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	err = run([]string{"-hub", hub.Addr(), "-instance", path, "-agents", "all"})
+	os.Stdout = old
+	_ = devnull.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingInstanceFlag(t *testing.T) {
+	if err := run([]string{"-agents", "all"}); err == nil {
+		t.Fatal("missing -instance accepted")
+	}
+}

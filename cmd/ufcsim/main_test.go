@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunTinySimulation(t *testing.T) {
+	if err := run([]string{"-hours", "3", "-scale", "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDistributedTiny(t *testing.T) {
+	if err := run([]string{"-hours", "2", "-scale", "0.05", "-distributed"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStrategies(t *testing.T) {
+	for _, s := range []string{"grid", "fuelcell"} {
+		if err := run([]string{"-hours", "2", "-scale", "0.05", "-strategy", s}); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	if err := run([]string{"-strategy", "nuclear"}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}

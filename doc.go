@@ -1,0 +1,11 @@
+// Package repro is the root of a from-scratch Go reproduction of
+// "Fuel Cell Generation in Geo-Distributed Cloud Services: A Quantitative
+// Study" (Zhou, Liu, Li, Li, Jin, Zou, Liu — IEEE ICDCS 2014).
+//
+// The public API lives in package repro/ufc; the experiment runners that
+// regenerate the paper's tables and figures live in
+// repro/internal/experiments and are exposed through cmd/experiments and
+// the benchmarks in bench_test.go. See README.md for an overview,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package repro

@@ -1,0 +1,88 @@
+// Distributed: run the same slot through three execution paths — the
+// in-process sequential engine, the message-passing runtime with delayed
+// and reordered deliveries, and a real TCP hub on localhost — and show
+// that all three produce the identical solution (the protocol is a
+// faithful implementation of §III-C, so the iterates match bit for bit).
+//
+// Run with: go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distsim"
+	"repro/ufc"
+)
+
+func buildInstance() (*ufc.Instance, error) {
+	return ufc.NewBuilder().
+		Datacenter("Calgary", 51.05, -114.07, 18000, 45, 0.80).
+		Datacenter("San Jose", 37.34, -121.89, 21000, 95, 0.30).
+		Datacenter("Dallas", 32.78, -96.80, 19000, 30, 0.55).
+		Datacenter("Pittsburgh", 40.44, -79.99, 22000, 42, 0.62).
+		FrontEnd("Seattle", 47.61, -122.33, 6000).
+		FrontEnd("Denver", 39.74, -104.99, 5000).
+		FrontEnd("Chicago", 41.88, -87.63, 9000).
+		FrontEnd("Atlanta", 33.75, -84.39, 7000).
+		FrontEnd("New York", 40.71, -74.01, 11000).
+		Build()
+}
+
+func main() {
+	inst, err := buildInstance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := ufc.Options{MaxIterations: 3000}
+
+	// 1. Sequential in-process engine.
+	start := time.Now()
+	_, bdSeq, statsSeq, err := ufc.Solve(inst, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential engine:   UFC %.6f in %3d iterations (%v)\n",
+		bdSeq.UFC, statsSeq.Iterations, time.Since(start).Round(time.Millisecond))
+
+	// 2. Message-passing agents with injected delays (reordering) and
+	// transient loss with redelivery.
+	start = time.Now()
+	_, bdMsg, statsMsg, err := ufc.SolveDistributed(inst, opts, 100*time.Microsecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("message passing:     UFC %.6f in %3d iterations (%v)\n",
+		bdMsg.UFC, statsMsg.Iterations, time.Since(start).Round(time.Millisecond))
+
+	// 3. Over a real TCP hub on localhost (gob-encoded envelopes).
+	start = time.Now()
+	hub, err := distsim.NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	node, err := distsim.NewTCPNode(hub.Addr(), distsim.AllAgentIDs(m, n), 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = node.Close() }()
+	res, err := distsim.Run(inst, distsim.RunOptions{
+		Solver:  core.Options{MaxIterations: 3000},
+		Timeout: time.Minute,
+	}, node)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TCP hub (localhost): UFC %.6f in %3d iterations (%v)\n",
+		res.Breakdown.UFC, res.Stats.Iterations, time.Since(start).Round(time.Millisecond))
+
+	if bdSeq.UFC == bdMsg.UFC && bdSeq.UFC == res.Breakdown.UFC {
+		fmt.Println("\nall three execution paths produced the identical solution ✓")
+	} else {
+		fmt.Println("\nWARNING: solutions differ across execution paths")
+	}
+}

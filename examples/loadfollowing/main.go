@@ -1,0 +1,69 @@
+// Loadfollowing: quantify the value of the fuel cells' tunable output —
+// the paper's central mechanism — by scheduling a datacenter's fuel-cell
+// trajectory across a day under successively tighter ramp-rate limits and
+// watching the arbitrage erode.
+//
+// Run with: go run ./examples/loadfollowing
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/ufc"
+)
+
+func main() {
+	// A day of hourly demand (MW) with a diurnal swing, and a price curve
+	// that dips at night and spikes in the evening.
+	hours := 24
+	demand := make([]float64, hours)
+	prices := make([]float64, hours)
+	rates := make([]float64, hours)
+	for t := 0; t < hours; t++ {
+		demand[t] = 3 + 1.5*math.Sin(2*math.Pi*float64(t-8)/24)
+		prices[t] = 45 + 55*math.Max(0, math.Sin(2*math.Pi*float64(t-9)/24))
+		rates[t] = 0.5
+	}
+
+	cfg := ufc.RampConfig{
+		CapMW:            5,
+		FuelCellPriceUSD: 80,
+		PriceUSD:         prices,
+		CarbonRate:       rates,
+		EmissionCost:     ufc.LinearTax{Rate: 25},
+	}
+
+	unconstrained, err := ufc.UnconstrainedRamp(cfg, demand)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("perfect load following (the paper's assumption): daily cost $%.2f\n\n", unconstrained.CostUSD)
+
+	fmt.Println("ramp limit (MW/h) | daily cost ($) | penalty vs perfect")
+	fmt.Println("------------------+----------------+-------------------")
+	for _, rampMW := range []float64{5, 2, 1, 0.5, 0.25, 0.1} {
+		c := cfg
+		c.RampMW = rampMW
+		sched, err := ufc.OptimizeRamp(c, demand)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%17.2f | %14.2f | %+17.2f%%\n",
+			rampMW, sched.CostUSD, 100*(sched.CostUSD/unconstrained.CostUSD-1))
+	}
+
+	// Show one constrained trajectory against the spot decisions.
+	c := cfg
+	c.RampMW = 0.5
+	sched, err := ufc.OptimizeRamp(c, demand)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nhour | price | demand | fuel cell (ramp 0.5) | fuel cell (perfect)")
+	for t := 0; t < hours; t += 3 {
+		fmt.Printf("%4d | %5.0f | %6.2f | %20.2f | %19.2f\n",
+			t, prices[t], demand[t], sched.MuMW[t], unconstrained.MuMW[t])
+	}
+}

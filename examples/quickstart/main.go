@@ -1,0 +1,48 @@
+// Quickstart: build a two-datacenter cloud, solve one time slot with the
+// hybrid strategy, and print the UFC breakdown.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/ufc"
+)
+
+func main() {
+	// A small cloud: an expensive-but-clean site and a cheap-but-dirty
+	// one, with two metro front-ends between them.
+	inst, err := ufc.NewBuilder().
+		Datacenter("San Jose", 37.34, -121.89, 20000 /* servers */, 95 /* $/MWh */, 0.30 /* tCO2/MWh */).
+		Datacenter("Dallas", 32.78, -96.80, 20000, 32, 0.55).
+		FrontEnd("Chicago", 41.88, -87.63, 9000 /* arriving requests, in servers */).
+		FrontEnd("Seattle", 47.61, -122.33, 7000).
+		FuelCellPrice(80). // p0, $/MWh
+		CarbonTax(25).     // $/ton
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	alloc, bd, stats, err := ufc.Solve(inst, ufc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("converged in %d ADM-G iterations (residual %.2e)\n\n", stats.Iterations, stats.FinalResidual)
+	fmt.Printf("UFC                 %10.2f $\n", bd.UFC)
+	fmt.Printf("  utility (w·ΣU)    %10.2f $\n", bd.UtilityWeighted)
+	fmt.Printf("  energy cost       %10.2f $  (grid %.2f + fuel cell %.2f)\n",
+		bd.EnergyCostUSD, bd.GridCostUSD, bd.FuelCellCostUSD)
+	fmt.Printf("  carbon cost       %10.2f $  (%.2f t CO2)\n", bd.CarbonCostUSD, bd.EmissionTons)
+	fmt.Printf("  avg latency       %10.2f ms\n", bd.AvgLatencySec*1000)
+	fmt.Printf("  fuel-cell share   %9.1f%% of %.2f MWh demand\n\n",
+		bd.FuelCellUtilization*100, bd.DemandMWh)
+
+	for j, dc := range inst.Cloud.Datacenters {
+		fmt.Printf("%-9s load %8.0f servers | fuel cell %6.3f MW | grid %6.3f MW\n",
+			dc.Location.Name, alloc.DCLoad(j), alloc.MuMW[j], alloc.NuMW[j])
+	}
+}

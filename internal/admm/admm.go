@@ -1,0 +1,268 @@
+// Package admm implements the generic m-block Alternating Direction Method
+// with Gaussian back substitution (ADM-G, He–Tao–Yuan 2012) that the paper
+// builds on (§III-A), for the linearly constrained separable program
+//
+//	min  Σ_i f_i(x_i)   s.t.  Σ_i K_i x_i = b,  x_i ∈ X_i.
+//
+// Each block supplies its own sub-problem solver; the framework runs the
+// forward ADMM prediction sweep, the dual update, and the backward Gaussian
+// back-substitution correction with the upper-triangular matrix G built
+// from (K_iᵀK_i)⁻¹K_iᵀK_j products. Convergence requires K_iᵀK_i
+// (i ≥ 2) nonsingular — Theorem 1 of the paper — which the constructor
+// verifies. It serves as the reference implementation that the specialized
+// distributed UFC solver in internal/core is tested against.
+package admm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Errors returned by the framework.
+var (
+	ErrTooFewBlocks = errors.New("admm: need at least one block")
+	ErrBadEpsilon   = errors.New("admm: epsilon must lie in (0.5, 1]")
+	ErrBadRho       = errors.New("admm: rho must be positive")
+	ErrNotConverged = errors.New("admm: iteration limit reached before convergence")
+)
+
+// Block is one variable block x_i of the separable program. Solve must
+// return the minimizer over the block's own feasible set X_i of
+//
+//	f_i(x) + yᵀ(K x) + (ρ/2)‖K x + rest‖²
+//
+// where rest collects the contribution of all other blocks minus b.
+type Block interface {
+	// Dim is the number of variables in the block.
+	Dim() int
+	// K returns the block's relation matrix (l rows, Dim columns). The
+	// returned matrix must not be mutated.
+	K() *linalg.Matrix
+	// Solve performs the block minimization described above.
+	Solve(y, rest linalg.Vector, rho float64) (linalg.Vector, error)
+	// Objective evaluates f_i at x (used for reporting).
+	Objective(x linalg.Vector) float64
+}
+
+// Options configures a run.
+type Options struct {
+	Rho           float64 // augmented-Lagrangian penalty (default 1)
+	Epsilon       float64 // Gaussian back-substitution step, in (0.5, 1] (default 1)
+	MaxIterations int     // default 1000
+	Tolerance     float64 // primal residual and iterate-change tolerance (default 1e-6)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rho == 0 {
+		o.Rho = 1
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 1
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 1000
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-6
+	}
+	return o
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	X          []linalg.Vector // per-block solutions
+	Y          linalg.Vector   // final dual variable
+	Objective  float64         // Σ f_i(x_i)
+	Residual   float64         // ‖Σ K_i x_i − b‖₂
+	Iterations int
+	Converged  bool
+}
+
+// Solver holds the precomputed back-substitution operators.
+type Solver struct {
+	blocks []Block
+	b      linalg.Vector
+	l      int // number of linear constraints
+	// corr[i][j] = (K_iᵀK_i)⁻¹ K_iᵀ K_j for 2 ≤ i < j ≤ m (0-indexed
+	// internally: corr[i][j] defined for 1 ≤ i < j ≤ m−1).
+	corr map[int]map[int]*linalg.Matrix
+}
+
+// New validates the problem and precomputes the Gaussian back-substitution
+// operators. Blocks are indexed 1..m in the paper; here 0..m-1.
+func New(blocks []Block, b linalg.Vector) (*Solver, error) {
+	if len(blocks) == 0 {
+		return nil, ErrTooFewBlocks
+	}
+	l := b.Len()
+	for i, blk := range blocks {
+		k := blk.K()
+		if k.Rows() != l || k.Cols() != blk.Dim() {
+			return nil, fmt.Errorf("admm: block %d has K %dx%d, want %dx%d: %w",
+				i, k.Rows(), k.Cols(), l, blk.Dim(), linalg.ErrDimensionMismatch)
+		}
+	}
+	s := &Solver{blocks: blocks, b: b.Clone(), l: l, corr: map[int]map[int]*linalg.Matrix{}}
+	// Theorem 1 requires K_iᵀK_i nonsingular for i = 2..m (indexes 1..m-1).
+	for i := 1; i < len(blocks); i++ {
+		ki := blocks[i].K()
+		kik := ki.Transpose().Mul(ki)
+		ch, err := linalg.NewCholesky(kik)
+		if err != nil {
+			return nil, fmt.Errorf("admm: K_%dᵀK_%d singular (Theorem 1 assumption violated): %w", i+1, i+1, err)
+		}
+		if i == len(blocks)-1 {
+			continue // last block's row in G has no off-diagonal products
+		}
+		row := map[int]*linalg.Matrix{}
+		for j := i + 1; j < len(blocks); j++ {
+			kij := ki.Transpose().Mul(blocks[j].K())
+			// Solve (K_iᵀK_i) X = K_iᵀK_j column by column.
+			out := linalg.NewMatrix(kij.Rows(), kij.Cols())
+			for c := 0; c < kij.Cols(); c++ {
+				col := linalg.NewVector(kij.Rows())
+				for r := 0; r < kij.Rows(); r++ {
+					col[r] = kij.At(r, c)
+				}
+				sol, err := ch.Solve(col)
+				if err != nil {
+					return nil, fmt.Errorf("admm: back-substitution operator (%d,%d): %w", i, j, err)
+				}
+				for r := 0; r < out.Rows(); r++ {
+					out.Set(r, c, sol[r])
+				}
+			}
+			row[j] = out
+		}
+		s.corr[i] = row
+	}
+	return s, nil
+}
+
+// Solve runs ADM-G from the zero initial point.
+func (s *Solver) Solve(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.Rho <= 0 {
+		return nil, ErrBadRho
+	}
+	if opts.Epsilon <= 0.5 || opts.Epsilon > 1 {
+		return nil, ErrBadEpsilon
+	}
+	m := len(s.blocks)
+	x := make([]linalg.Vector, m)
+	for i, blk := range s.blocks {
+		x[i] = linalg.NewVector(blk.Dim())
+	}
+	y := linalg.NewVector(s.l)
+
+	kx := make([]linalg.Vector, m) // cached K_i x_i
+	for i, blk := range s.blocks {
+		kx[i] = blk.K().MulVec(x[i])
+	}
+
+	xt := make([]linalg.Vector, m) // predicted x̃
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		// --- Prediction sweep (forward order). ---
+		kxt := make([]linalg.Vector, m)
+		for i, blk := range s.blocks {
+			rest := linalg.NewVector(s.l)
+			rest.AddScaled(-1, s.b)
+			for j := 0; j < i; j++ {
+				rest.AddScaled(1, kxt[j])
+			}
+			for j := i + 1; j < m; j++ {
+				rest.AddScaled(1, kx[j])
+			}
+			sol, err := blk.Solve(y, rest, opts.Rho)
+			if err != nil {
+				return nil, fmt.Errorf("admm: iteration %d block %d: %w", iter, i, err)
+			}
+			xt[i] = sol
+			kxt[i] = blk.K().MulVec(sol)
+		}
+		// Predicted dual: ỹ = y + ρ(Σ K x̃ − b).
+		resid := linalg.NewVector(s.l)
+		resid.AddScaled(-1, s.b)
+		for i := range kxt {
+			resid.AddScaled(1, kxt[i])
+		}
+		yt := y.Clone()
+		yt.AddScaled(opts.Rho, resid)
+
+		// --- Gaussian back substitution (backward order). ---
+		// Δy = ε(ỹ − y); Δx_m = ε(x̃_m − x_m);
+		// Δx_i = ε(x̃_i − x_i) − Σ_{j>i} corr[i][j] Δx_j (i = m−1..2).
+		dy := yt.Sub(y)
+		dy.Scale(opts.Epsilon)
+		dx := make([]linalg.Vector, m)
+		for i := m - 1; i >= 1; i-- {
+			d := xt[i].Sub(x[i])
+			d.Scale(opts.Epsilon)
+			for j := i + 1; j < m; j++ {
+				if op, ok := s.corr[i][j]; ok {
+					d.AddScaled(-1, op.MulVec(dx[j]))
+				}
+			}
+			dx[i] = d
+		}
+
+		var change float64
+		for i := 1; i < m; i++ {
+			x[i] = x[i].Add(dx[i])
+			if c := dx[i].NormInf(); c > change {
+				change = c
+			}
+		}
+		if c := xt[0].Sub(x[0]).NormInf(); c > change {
+			change = c
+		}
+		x[0] = xt[0]
+		y = y.Add(dy)
+
+		for i, blk := range s.blocks {
+			kx[i] = blk.K().MulVec(x[i])
+		}
+		primal := linalg.NewVector(s.l)
+		primal.AddScaled(-1, s.b)
+		for i := range kx {
+			primal.AddScaled(1, kx[i])
+		}
+
+		scale := 1 + s.b.NormInf()
+		if primal.Norm2() <= opts.Tolerance*scale && change <= opts.Tolerance*scale {
+			return s.result(x, y, primal, iter, true), nil
+		}
+	}
+	primal := linalg.NewVector(s.l)
+	primal.AddScaled(-1, s.b)
+	for i, blk := range s.blocks {
+		primal.AddScaled(1, blk.K().MulVec(x[i]))
+	}
+	res := s.result(x, y, primal, opts.MaxIterations, false)
+	return res, fmt.Errorf("residual %g after %d iterations: %w", res.Residual, opts.MaxIterations, ErrNotConverged)
+}
+
+// Epigraph note: the framework purposefully has no notion of inequality
+// rows at the coupling level; following §III-A, general inequalities are
+// modeled by the caller with an extra nonnegative slack block.
+
+func (s *Solver) result(x []linalg.Vector, y, primal linalg.Vector, iters int, converged bool) *Result {
+	var obj float64
+	for i, blk := range s.blocks {
+		obj += blk.Objective(x[i])
+	}
+	out := make([]linalg.Vector, len(x))
+	for i := range x {
+		out[i] = x[i].Clone()
+	}
+	return &Result{
+		X:          out,
+		Y:          y.Clone(),
+		Objective:  obj,
+		Residual:   primal.Norm2(),
+		Iterations: iters,
+		Converged:  converged,
+	}
+}

@@ -1,0 +1,88 @@
+package admm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// TestScaledRelationMatrices exercises non-identity K_i: the back
+// substitution operators (K_iᵀK_i)⁻¹K_iᵀK_j are nontrivial.
+func TestScaledRelationMatrices(t *testing.T) {
+	// min ½‖x1 − 4‖² + ½‖x2 − 1‖² s.t. 2·x1 + 3·x2 = 12 (scalars).
+	// Lagrangian optimum: x1 = 4 + 2t, x2 = 1 + 3t with 2x1+3x2=12
+	// → 8+4t+3+9t = 12 → t = 1/13 → x1 = 54/13, x2 = 16/13.
+	k1 := linalg.NewMatrix(1, 1)
+	k1.Set(0, 0, 2)
+	k2 := linalg.NewMatrix(1, 1)
+	k2.Set(0, 0, 3)
+	b1 := freeScalarBlock(4, k1)
+	b2 := freeScalarBlock(1, k2)
+	s, err := New([]Block{b1, b2}, linalg.VectorOf(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(Options{Rho: 0.5, MaxIterations: 5000, Tolerance: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0][0]-54.0/13) > 1e-5 || math.Abs(res.X[1][0]-16.0/13) > 1e-5 {
+		t.Fatalf("x = (%v, %v), want (%v, %v)", res.X[0][0], res.X[1][0], 54.0/13, 16.0/13)
+	}
+	// Block objectives omit the constant ½‖target‖² terms:
+	// Σ (½x² − t·x) = Σ ½(x−t)² − ½Σt².
+	want := 0.5*math.Pow(54.0/13-4, 2) + 0.5*math.Pow(16.0/13-1, 2) - 0.5*(16+1)
+	if math.Abs(res.Objective-want) > 1e-4 {
+		t.Errorf("objective = %g, want %g", res.Objective, want)
+	}
+}
+
+func freeScalarBlock(target float64, k *linalg.Matrix) *QuadraticBlock {
+	return &QuadraticBlock{
+		P:     linalg.Identity(1),
+		Q:     linalg.VectorOf(-target),
+		Kmat:  k,
+		Lower: linalg.Constant(1, math.Inf(-1)),
+		Upper: linalg.Constant(1, math.Inf(1)),
+		Start: linalg.NewVector(1),
+	}
+}
+
+// TestThreeBlockScaledKs verifies the Gaussian back substitution with
+// three blocks of different K scalings — the full correction path.
+func TestThreeBlockScaledKs(t *testing.T) {
+	scales := []float64{1, 2, 0.5}
+	targets := []float64{3, -1, 2}
+	blocks := make([]Block, 3)
+	for i := range blocks {
+		k := linalg.NewMatrix(1, 1)
+		k.Set(0, 0, scales[i])
+		blocks[i] = freeScalarBlock(targets[i], k)
+	}
+	s, err := New(blocks, linalg.VectorOf(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(Options{Rho: 0.7, Epsilon: 0.9, MaxIterations: 8000, Tolerance: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// KKT: x_i = t_i + s_i·y* with Σ s_i x_i = 5 →
+	// y* = (5 − Σ s_i t_i) / Σ s_i².
+	var st, ss float64
+	for i := range scales {
+		st += scales[i] * targets[i]
+		ss += scales[i] * scales[i]
+	}
+	y := (5 - st) / ss
+	for i := range blocks {
+		want := targets[i] + scales[i]*y
+		if math.Abs(res.X[i][0]-want) > 1e-5 {
+			t.Errorf("x[%d] = %g, want %g", i, res.X[i][0], want)
+		}
+	}
+	if res.Residual > 1e-8 {
+		t.Errorf("residual %g", res.Residual)
+	}
+}

@@ -1,0 +1,231 @@
+package admm
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/qp"
+)
+
+// freeQuadBlock builds an unconstrained quadratic block ½‖x−target‖².
+func freeQuadBlock(target linalg.Vector, k *linalg.Matrix) *QuadraticBlock {
+	n := target.Len()
+	p := linalg.Identity(n)
+	q := target.Clone()
+	q.Scale(-1)
+	return &QuadraticBlock{
+		P:     p,
+		Q:     q,
+		Kmat:  k,
+		Lower: linalg.Constant(n, math.Inf(-1)),
+		Upper: linalg.Constant(n, math.Inf(1)),
+		Start: linalg.NewVector(n),
+	}
+}
+
+// Three-block consensus: min Σ ½‖x_i − t_i‖² s.t. x1+x2+x3 = d.
+// Analytic optimum: x_i = t_i + (d − Σt_i)/3.
+func TestThreeBlockAnalytic(t *testing.T) {
+	n := 3
+	targets := []linalg.Vector{
+		linalg.VectorOf(1, 0, -1),
+		linalg.VectorOf(2, 2, 2),
+		linalg.VectorOf(0, -1, 3),
+	}
+	d := linalg.VectorOf(6, 3, 0)
+	blocks := make([]Block, 3)
+	for i := range blocks {
+		blocks[i] = freeQuadBlock(targets[i], linalg.Identity(n))
+	}
+	s, err := New(blocks, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(Options{Rho: 1, Epsilon: 1, MaxIterations: 2000, Tolerance: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumT := targets[0].Add(targets[1]).Add(targets[2])
+	for i := range blocks {
+		for c := 0; c < n; c++ {
+			want := targets[i][c] + (d[c]-sumT[c])/3
+			if math.Abs(res.X[i][c]-want) > 1e-5 {
+				t.Errorf("x[%d][%d] = %g, want %g", i, c, res.X[i][c], want)
+			}
+		}
+	}
+	if !res.Converged {
+		t.Error("not converged")
+	}
+	if res.Residual > 1e-6 {
+		t.Errorf("residual %g", res.Residual)
+	}
+}
+
+// Four blocks with bound constraints, verified against a single centralized
+// QP over the stacked variables.
+func TestFourBlockMatchesCentralizedQP(t *testing.T) {
+	n := 2
+	targets := []linalg.Vector{
+		linalg.VectorOf(3, -2),
+		linalg.VectorOf(-1, 4),
+		linalg.VectorOf(2, 2),
+		linalg.VectorOf(0, 1),
+	}
+	d := linalg.VectorOf(2, 2)
+	blocks := make([]Block, 4)
+	for i := range blocks {
+		b := freeQuadBlock(targets[i], linalg.Identity(n))
+		b.Lower = linalg.NewVector(n) // x_i >= 0
+		blocks[i] = b
+	}
+	s, err := New(blocks, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(Options{Rho: 1, Epsilon: 0.9, MaxIterations: 5000, Tolerance: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Centralized: stack x = (x1..x4) ∈ R^8, H = I, c = -targets,
+	// Aeq = [I I I I], beq = d, x >= 0.
+	tot := 4 * n
+	h := linalg.Identity(tot)
+	c := linalg.NewVector(tot)
+	for i := range targets {
+		for j := 0; j < n; j++ {
+			c[i*n+j] = -targets[i][j]
+		}
+	}
+	aeq := linalg.NewMatrix(n, tot)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < n; j++ {
+			aeq.Set(j, i*n+j, 1)
+		}
+	}
+	start := linalg.NewVector(tot)
+	for j := 0; j < n; j++ {
+		start[j] = d[j]
+	}
+	central, err := qp.Solve(&qp.Problem{
+		H: h, C: c, Aeq: aeq, Beq: d,
+		Lower: linalg.NewVector(tot),
+		Upper: linalg.Constant(tot, math.Inf(1)),
+		Start: start,
+	}, qp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admmObj float64
+	for i := range res.X {
+		diff := res.X[i].Sub(targets[i])
+		admmObj += 0.5 * diff.Dot(diff)
+	}
+	var qpObj float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < n; j++ {
+			dv := central.X[i*n+j] - targets[i][j]
+			qpObj += 0.5 * dv * dv
+		}
+	}
+	if math.Abs(admmObj-qpObj) > 1e-4*(1+math.Abs(qpObj)) {
+		t.Fatalf("ADM-G obj %g vs centralized %g", admmObj, qpObj)
+	}
+}
+
+func TestSlackBlockHandlesInequality(t *testing.T) {
+	// min ½‖x − 5‖² s.t. x <= 3 (scalar), modeled as x + s = 3, s >= 0.
+	xBlock := freeQuadBlock(linalg.VectorOf(5), linalg.Identity(1))
+	slack := &QuadraticBlock{
+		P:     linalg.NewMatrix(1, 1),
+		Q:     linalg.NewVector(1),
+		Kmat:  linalg.Identity(1),
+		Lower: linalg.NewVector(1),
+		Upper: linalg.Constant(1, math.Inf(1)),
+		Start: linalg.VectorOf(3),
+	}
+	s, err := New([]Block{xBlock, slack}, linalg.VectorOf(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(Options{Rho: 1, MaxIterations: 3000, Tolerance: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0][0]-3) > 1e-5 {
+		t.Fatalf("x = %g, want 3", res.X[0][0])
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, linalg.VectorOf(1)); !errors.Is(err, ErrTooFewBlocks) {
+		t.Errorf("empty blocks: %v", err)
+	}
+	// Dimension mismatch between K and b.
+	blk := freeQuadBlock(linalg.VectorOf(1, 2), linalg.Identity(2))
+	if _, err := New([]Block{blk}, linalg.VectorOf(1)); err == nil {
+		t.Error("K/b mismatch accepted")
+	}
+	// Singular K_2ᵀK_2 violates Theorem 1.
+	zeroK := linalg.NewMatrix(2, 2)
+	bad := freeQuadBlock(linalg.VectorOf(1, 2), zeroK)
+	good := freeQuadBlock(linalg.VectorOf(1, 2), linalg.Identity(2))
+	if _, err := New([]Block{good, bad}, linalg.NewVector(2)); err == nil {
+		t.Error("singular K_2ᵀK_2 accepted")
+	}
+}
+
+func TestSolveOptionValidation(t *testing.T) {
+	blk := freeQuadBlock(linalg.VectorOf(1), linalg.Identity(1))
+	s, err := New([]Block{blk}, linalg.VectorOf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(Options{Rho: -1}); !errors.Is(err, ErrBadRho) {
+		t.Errorf("bad rho: %v", err)
+	}
+	if _, err := s.Solve(Options{Epsilon: 0.3}); !errors.Is(err, ErrBadEpsilon) {
+		t.Errorf("bad epsilon: %v", err)
+	}
+	if _, err := s.Solve(Options{Epsilon: 1.5}); !errors.Is(err, ErrBadEpsilon) {
+		t.Errorf("bad epsilon 1.5: %v", err)
+	}
+}
+
+func TestNotConvergedReturnsPartialResult(t *testing.T) {
+	blocks := []Block{
+		freeQuadBlock(linalg.VectorOf(10), linalg.Identity(1)),
+		freeQuadBlock(linalg.VectorOf(-10), linalg.Identity(1)),
+		freeQuadBlock(linalg.VectorOf(0), linalg.Identity(1)),
+	}
+	s, err := New(blocks, linalg.VectorOf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(Options{MaxIterations: 2, Tolerance: 1e-14})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("err = %v", err)
+	}
+	if res == nil || res.Converged {
+		t.Fatal("expected a partial, non-converged result")
+	}
+}
+
+func TestSingleBlockReducesToAugmentedLagrangian(t *testing.T) {
+	// min ½‖x − t‖² s.t. x = d → x = d exactly.
+	blk := freeQuadBlock(linalg.VectorOf(7, -2), linalg.Identity(2))
+	s, err := New([]Block{blk}, linalg.VectorOf(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(Options{Rho: 2, MaxIterations: 2000, Tolerance: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0][0]-1) > 1e-6 || math.Abs(res.X[0][1]-1) > 1e-6 {
+		t.Fatalf("x = %v, want (1,1)", res.X[0])
+	}
+}

@@ -1,0 +1,76 @@
+package admm
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/qp"
+)
+
+// QuadraticBlock is a ready-made Block whose objective is the convex
+// quadratic f(x) = ½xᵀPx + qᵀx over a polyhedral set (equalities,
+// inequalities and bounds as in qp.Problem). Its ADMM sub-problem
+//
+//	min f(x) + yᵀKx + (ρ/2)‖Kx + rest‖²
+//
+// is itself a convex QP with Hessian P + ρKᵀK and is solved with the
+// active-set solver, warm-started from the previous iterate.
+type QuadraticBlock struct {
+	P     *linalg.Matrix // dim x dim, PSD
+	Q     linalg.Vector
+	Kmat  *linalg.Matrix
+	Aeq   *linalg.Matrix
+	Beq   linalg.Vector
+	Ain   *linalg.Matrix
+	Bin   linalg.Vector
+	Lower linalg.Vector
+	Upper linalg.Vector
+	Start linalg.Vector
+
+	ktk  *linalg.Matrix // cached KᵀK
+	warm linalg.Vector
+}
+
+var _ Block = (*QuadraticBlock)(nil)
+
+// Dim implements Block.
+func (b *QuadraticBlock) Dim() int { return b.Q.Len() }
+
+// K implements Block.
+func (b *QuadraticBlock) K() *linalg.Matrix { return b.Kmat }
+
+// Objective implements Block.
+func (b *QuadraticBlock) Objective(x linalg.Vector) float64 {
+	return 0.5*x.Dot(b.P.MulVec(x)) + b.Q.Dot(x)
+}
+
+// Solve implements Block.
+func (b *QuadraticBlock) Solve(y, rest linalg.Vector, rho float64) (linalg.Vector, error) {
+	n := b.Dim()
+	if b.ktk == nil {
+		b.ktk = b.Kmat.Transpose().Mul(b.Kmat)
+	}
+	h := b.P.Clone()
+	h.AddScaled(rho, b.ktk)
+	h.Symmetrize()
+	c := b.Q.Clone()
+	c.AddScaled(1, b.Kmat.MulTransVec(y))
+	c.AddScaled(rho, b.Kmat.MulTransVec(rest))
+
+	start := b.warm
+	if start == nil {
+		start = b.Start
+	}
+	res, err := qp.Solve(&qp.Problem{
+		H: h, C: c,
+		Aeq: b.Aeq, Beq: b.Beq,
+		Ain: b.Ain, Bin: b.Bin,
+		Lower: b.Lower, Upper: b.Upper,
+		Start: start,
+	}, qp.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("quadratic block of dim %d: %w", n, err)
+	}
+	b.warm = res.X.Clone()
+	return res.X, nil
+}

@@ -1,0 +1,196 @@
+// Package baseline provides centralized reference solvers for the UFC
+// maximization problem. They serve two purposes: (i) verifying that the
+// distributed ADM-G algorithm in internal/core reaches the centralized
+// optimum, and (ii) implementing the simple strategies the paper compares
+// against (the Table I greedy price switch).
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/carbon"
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/qp"
+	"repro/internal/utility"
+)
+
+// ErrUnsupported is returned when the centralized QP path cannot express
+// the instance (non-quadratic utility or nonlinear emission cost).
+var ErrUnsupported = errors.New("baseline: instance not expressible as a QP")
+
+// SolveQP solves problem (12) centrally as one quadratic program over
+// (λ, μ, ν). It requires the utility to be utility.Quadratic or
+// utility.Linear and every emission cost to be carbon.LinearTax or
+// carbon.ZeroCost; otherwise it returns ErrUnsupported. A tiny diagonal
+// regularization (1e-9-scaled) keeps the Hessian positive definite; its
+// effect on the optimum is negligible at the problem's scales.
+func SolveQP(inst *core.Instance, strategy core.Strategy) (*core.Allocation, core.Breakdown, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, core.Breakdown{}, err
+	}
+	n, m := inst.Cloud.N(), inst.Cloud.M()
+	nv := m*n + 2*n // λ then μ then ν
+	lamIdx := func(i, j int) int { return i*n + j }
+	muIdx := func(j int) int { return m*n + j }
+	nuIdx := func(j int) int { return m*n + n + j }
+
+	h := linalg.NewMatrix(nv, nv)
+	c := linalg.NewVector(nv)
+	const reg = 1e-9
+	for k := 0; k < nv; k++ {
+		h.Set(k, k, reg)
+	}
+
+	// Utility terms on λ.
+	for i := 0; i < m; i++ {
+		lat := inst.Cloud.LatencyRow(i)
+		arr := inst.Arrivals[i]
+		switch inst.Utility.(type) {
+		case utility.Quadratic:
+			if arr <= 0 {
+				continue
+			}
+			scale := 2 * inst.WeightW / arr
+			for r := 0; r < n; r++ {
+				for cc := 0; cc < n; cc++ {
+					h.Adds(lamIdx(i, r), lamIdx(i, cc), scale*lat[r]*lat[cc])
+				}
+			}
+		case utility.Linear:
+			for j := 0; j < n; j++ {
+				c[lamIdx(i, j)] += inst.WeightW * lat[j]
+			}
+		default:
+			return nil, core.Breakdown{}, fmt.Errorf("utility %q: %w", inst.Utility.Name(), ErrUnsupported)
+		}
+	}
+	// Energy + carbon costs (linear in μ and ν).
+	for j := 0; j < n; j++ {
+		var taxRate float64
+		switch v := inst.EmissionCost[j].(type) {
+		case carbon.LinearTax:
+			taxRate = v.Rate
+		case carbon.ZeroCost:
+			taxRate = 0
+		default:
+			return nil, core.Breakdown{}, fmt.Errorf("emission cost %q: %w", v.Name(), ErrUnsupported)
+		}
+		c[muIdx(j)] += inst.FuelCellPriceUSD
+		c[nuIdx(j)] += inst.PriceUSD[j] + taxRate*inst.CarbonRate[j]
+	}
+
+	// Equalities: load balance (M rows) + power balance (N rows).
+	aeq := linalg.NewMatrix(m+n, nv)
+	beq := linalg.NewVector(m + n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			aeq.Set(i, lamIdx(i, j), 1)
+		}
+		beq[i] = inst.Arrivals[i]
+	}
+	for j := 0; j < n; j++ {
+		row := m + j
+		for i := 0; i < m; i++ {
+			aeq.Set(row, lamIdx(i, j), inst.BetaMW(j))
+		}
+		aeq.Set(row, muIdx(j), -1)
+		aeq.Set(row, nuIdx(j), -1)
+		beq[row] = -inst.AlphaMW(j)
+	}
+
+	// Inequalities: per-datacenter capacity.
+	ain := linalg.NewMatrix(n, nv)
+	bin := linalg.NewVector(n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			ain.Set(j, lamIdx(i, j), 1)
+		}
+		bin[j] = inst.Cloud.Datacenters[j].Servers
+	}
+
+	lower := linalg.NewVector(nv)
+	upper := linalg.Constant(nv, math.Inf(1))
+	for j := 0; j < n; j++ {
+		mumax := inst.Cloud.Datacenters[j].FuelCellMaxMW
+		switch strategy {
+		case core.GridOnly:
+			mumax = 0
+		case core.FuelCellOnly:
+			upper[nuIdx(j)] = 0
+		}
+		upper[muIdx(j)] = mumax
+	}
+
+	start, err := feasibleStart(inst, strategy, nv, lamIdx, muIdx, nuIdx)
+	if err != nil {
+		return nil, core.Breakdown{}, err
+	}
+
+	res, err := qp.Solve(&qp.Problem{
+		H: h, C: c,
+		Aeq: aeq, Beq: beq,
+		Ain: ain, Bin: bin,
+		Lower: lower, Upper: upper,
+		Start: start,
+	}, qp.Options{MaxIterations: 500 + 50*nv})
+	if err != nil {
+		return nil, core.Breakdown{}, fmt.Errorf("baseline: centralized QP: %w", err)
+	}
+
+	alloc := core.NewAllocation(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			alloc.Lambda[i][j] = res.X[lamIdx(i, j)]
+		}
+	}
+	for j := 0; j < n; j++ {
+		alloc.MuMW[j] = res.X[muIdx(j)]
+		alloc.NuMW[j] = res.X[nuIdx(j)]
+	}
+	return alloc, core.Evaluate(inst, alloc), nil
+}
+
+// feasibleStart routes traffic proportionally to capacity and covers the
+// induced demand with the strategy's allowed source.
+func feasibleStart(
+	inst *core.Instance,
+	strategy core.Strategy,
+	nv int,
+	lamIdx func(i, j int) int,
+	muIdx, nuIdx func(j int) int,
+) (linalg.Vector, error) {
+	n, m := inst.Cloud.N(), inst.Cloud.M()
+	start := linalg.NewVector(nv)
+	total := inst.Cloud.TotalServers()
+	loads := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			share := inst.Cloud.Datacenters[j].Servers / total
+			v := inst.Arrivals[i] * share
+			start[lamIdx(i, j)] = v
+			loads[j] += v
+		}
+	}
+	for j := 0; j < n; j++ {
+		dc := inst.Cloud.Datacenters[j]
+		demand := inst.DemandMW(j, loads[j])
+		switch strategy {
+		case core.GridOnly:
+			start[nuIdx(j)] = demand
+		case core.FuelCellOnly:
+			if dc.FuelCellMaxMW < demand-1e-9 {
+				return nil, fmt.Errorf("datacenter %d demand %g MW exceeds fuel-cell capacity %g MW: %w",
+					j, demand, dc.FuelCellMaxMW, core.ErrFuelCellDeficit)
+			}
+			start[muIdx(j)] = demand
+		default:
+			mu := math.Min(demand, dc.FuelCellMaxMW)
+			start[muIdx(j)] = mu
+			start[nuIdx(j)] = demand - mu
+		}
+	}
+	return start, nil
+}

@@ -1,0 +1,309 @@
+package baseline_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/admm"
+	"repro/internal/baseline"
+	"repro/internal/carbon"
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/model"
+	"repro/internal/trace"
+	"repro/internal/utility"
+)
+
+func testInstance(t *testing.T, seed int64, n, m int) *core.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pm := model.DefaultPowerModel()
+	dcSites := model.PaperDatacenterSites()
+	feSites := model.PaperFrontEndSites()
+	dcs := make([]model.Datacenter, n)
+	for j := range dcs {
+		dcs[j] = model.Datacenter{
+			Location: dcSites[j%len(dcSites)],
+			Servers:  800 + 400*rng.Float64(),
+			Power:    pm,
+		}.FullFuelCell()
+	}
+	fes := make([]model.FrontEnd, m)
+	for i := range fes {
+		fes[i] = model.FrontEnd{Location: feSites[i%len(feSites)]}
+	}
+	cloud, err := model.NewCloud(dcs, fes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := make([]float64, m)
+	for i := range arr {
+		arr[i] = 200 + 300*rng.Float64()
+	}
+	prices := make([]float64, n)
+	rates := make([]float64, n)
+	costs := make([]carbon.CostFunc, n)
+	for j := range prices {
+		prices[j] = 15 + 90*rng.Float64()
+		rates[j] = 0.15 + 0.7*rng.Float64()
+		costs[j] = carbon.LinearTax{Rate: 25}
+	}
+	return &core.Instance{
+		Cloud:            cloud,
+		Arrivals:         arr,
+		PriceUSD:         prices,
+		FuelCellPriceUSD: 80,
+		CarbonRate:       rates,
+		EmissionCost:     costs,
+		Utility:          utility.Quadratic{},
+		WeightW:          10,
+	}
+}
+
+func TestSolveQPFeasible(t *testing.T) {
+	inst := testInstance(t, 5, 3, 4)
+	alloc, bd, err := baseline.SolveQP(inst, core.Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := core.CheckFeasibility(inst, alloc)
+	if !rep.Ok(1e-6 * inst.TotalArrivals()) {
+		t.Fatalf("infeasible centralized solution: %+v", rep)
+	}
+	if bd.UFC >= 0 {
+		t.Errorf("UFC %g should be negative at these prices", bd.UFC)
+	}
+}
+
+func TestSolveQPStrategies(t *testing.T) {
+	inst := testInstance(t, 6, 3, 4)
+	_, bdH, err := baseline.SolveQP(inst, core.Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocG, bdG, err := baseline.SolveQP(inst, core.GridOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocF, bdF, err := baseline.SolveQP(inst, core.FuelCellOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range allocG.MuMW {
+		if allocG.MuMW[j] > 1e-9 {
+			t.Errorf("grid-only uses fuel cell at %d", j)
+		}
+		if allocF.NuMW[j] > 1e-9 {
+			t.Errorf("fuel-cell-only uses grid at %d", j)
+		}
+	}
+	tol := 1e-6 * (1 + math.Abs(bdH.UFC))
+	if bdH.UFC < bdG.UFC-tol || bdH.UFC < bdF.UFC-tol {
+		t.Errorf("hybrid %g must dominate grid %g and fuelcell %g", bdH.UFC, bdG.UFC, bdF.UFC)
+	}
+}
+
+func TestSolveQPUnsupported(t *testing.T) {
+	inst := testInstance(t, 7, 2, 2)
+	inst.Utility = utility.Exponential{K: 5}
+	if _, _, err := baseline.SolveQP(inst, core.Hybrid); !errors.Is(err, baseline.ErrUnsupported) {
+		t.Errorf("exponential utility: %v", err)
+	}
+	inst = testInstance(t, 7, 2, 2)
+	inst.EmissionCost[0] = carbon.CapAndTrade{CapTons: 1, Price: 50}
+	if _, _, err := baseline.SolveQP(inst, core.Hybrid); !errors.Is(err, baseline.ErrUnsupported) {
+		t.Errorf("cap-and-trade: %v", err)
+	}
+}
+
+func TestGreedyTableOne(t *testing.T) {
+	demand := trace.NewSeries("d", []float64{1, 2, 1})
+	price := trace.NewSeries("p", []float64{50, 100, 70})
+	costs, err := baseline.Greedy(demand, price, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs.GridUSD != 50+200+70 {
+		t.Errorf("grid = %g", costs.GridUSD)
+	}
+	if costs.FuelCellUSD != 80*4 {
+		t.Errorf("fuelcell = %g", costs.FuelCellUSD)
+	}
+	if costs.HybridUSD != 50+160+70 {
+		t.Errorf("hybrid = %g", costs.HybridUSD)
+	}
+	if costs.HybridUSD > costs.GridUSD || costs.HybridUSD > costs.FuelCellUSD {
+		t.Error("hybrid must be cheapest")
+	}
+}
+
+func TestGreedyErrors(t *testing.T) {
+	d := trace.NewSeries("d", []float64{1})
+	p := trace.NewSeries("p", []float64{1, 2})
+	if _, err := baseline.Greedy(d, p, 80); !errors.Is(err, baseline.ErrSeriesMismatch) {
+		t.Errorf("mismatch: %v", err)
+	}
+	if _, err := baseline.Greedy(d, trace.NewSeries("p", []float64{1}), -1); err == nil {
+		t.Error("negative price accepted")
+	}
+}
+
+// TestThreeWayAgreement verifies that the specialized distributed ADM-G
+// (internal/core), the generic m-block ADM-G framework (internal/admm) on
+// the full 4-block formulation (13), and the centralized QP all reach the
+// same optimum.
+func TestThreeWayAgreement(t *testing.T) {
+	inst := testInstance(t, 11, 2, 3)
+	n, m := inst.Cloud.N(), inst.Cloud.M()
+
+	// Centralized QP.
+	_, bdC, err := baseline.SolveQP(inst, core.Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Specialized distributed ADM-G.
+	_, bdD, _, err := core.Solve(inst, core.Options{MaxIterations: 3000, Tolerance: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Generic 4-block ADM-G on formulation (13) in scaled units (β = 1):
+	// constraint rows: N power-balance rows then M·N coupling rows.
+	l := n + m*n
+	beta := make([]float64, n)
+	alphaEq := make([]float64, n)
+	capEq := make([]float64, n)
+	for j := 0; j < n; j++ {
+		dc := inst.Cloud.Datacenters[j]
+		beta[j] = dc.BetaMW()
+		alphaEq[j] = dc.AlphaMW() / beta[j]
+		capEq[j] = dc.FuelCellMaxMW / beta[j]
+	}
+	b := linalg.NewVector(l)
+	for j := 0; j < n; j++ {
+		b[j] = -alphaEq[j]
+	}
+
+	// λ block: dim M·N, K has −I on coupling rows.
+	lamDim := m * n
+	kLam := linalg.NewMatrix(l, lamDim)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			kLam.Set(n+i*n+j, i*n+j, -1)
+		}
+	}
+	pLam := linalg.NewMatrix(lamDim, lamDim)
+	for i := 0; i < m; i++ {
+		lat := inst.Cloud.LatencyRow(i)
+		if inst.Arrivals[i] <= 0 {
+			continue
+		}
+		scale := 2 * inst.WeightW / inst.Arrivals[i]
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				pLam.Adds(i*n+r, i*n+c, scale*lat[r]*lat[c])
+			}
+		}
+	}
+	aeqLam := linalg.NewMatrix(m, lamDim)
+	beqLam := linalg.NewVector(m)
+	startLam := linalg.NewVector(lamDim)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			aeqLam.Set(i, i*n+j, 1)
+			startLam[i*n+j] = inst.Arrivals[i] / float64(n)
+		}
+		beqLam[i] = inst.Arrivals[i]
+	}
+	lamBlock := &admm.QuadraticBlock{
+		P: pLam, Q: linalg.NewVector(lamDim), Kmat: kLam,
+		Aeq: aeqLam, Beq: beqLam,
+		Lower: linalg.NewVector(lamDim),
+		Upper: linalg.Constant(lamDim, math.Inf(1)),
+		Start: startLam,
+	}
+
+	// μ block: K = −I on power rows; cost p0·β_j per scaled unit.
+	kMu := linalg.NewMatrix(l, n)
+	qMu := linalg.NewVector(n)
+	upMu := linalg.NewVector(n)
+	for j := 0; j < n; j++ {
+		kMu.Set(j, j, -1)
+		qMu[j] = inst.FuelCellPriceUSD * beta[j]
+		upMu[j] = capEq[j]
+	}
+	muBlock := &admm.QuadraticBlock{
+		P: linalg.NewMatrix(n, n), Q: qMu, Kmat: kMu,
+		Lower: linalg.NewVector(n), Upper: upMu,
+		Start: linalg.NewVector(n),
+	}
+
+	// ν block: K = −I on power rows; cost (p_j + r·C_j)·β_j.
+	kNu := linalg.NewMatrix(l, n)
+	qNu := linalg.NewVector(n)
+	for j := 0; j < n; j++ {
+		kNu.Set(j, j, -1)
+		tax := inst.EmissionCost[j].(carbon.LinearTax)
+		qNu[j] = (inst.PriceUSD[j] + tax.Rate*inst.CarbonRate[j]) * beta[j]
+	}
+	nuBlock := &admm.QuadraticBlock{
+		P: linalg.NewMatrix(n, n), Q: qNu, Kmat: kNu,
+		Lower: linalg.NewVector(n), Upper: linalg.Constant(n, math.Inf(1)),
+		Start: linalg.NewVector(n),
+	}
+
+	// a block: K has +1 on its datacenter's power row and +I on coupling.
+	kA := linalg.NewMatrix(l, lamDim)
+	ainA := linalg.NewMatrix(n, lamDim)
+	binA := linalg.NewVector(n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			kA.Set(j, i*n+j, 1)
+			kA.Set(n+i*n+j, i*n+j, 1)
+			ainA.Set(j, i*n+j, 1)
+		}
+	}
+	for j := 0; j < n; j++ {
+		binA[j] = inst.Cloud.Datacenters[j].Servers
+	}
+	aBlock := &admm.QuadraticBlock{
+		P: linalg.NewMatrix(lamDim, lamDim), Q: linalg.NewVector(lamDim), Kmat: kA,
+		Ain: ainA, Bin: binA,
+		Lower: linalg.NewVector(lamDim),
+		Upper: linalg.Constant(lamDim, math.Inf(1)),
+		Start: linalg.NewVector(lamDim),
+	}
+
+	solver, err := admm.New([]admm.Block{lamBlock, muBlock, nuBlock, aBlock}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.Solve(admm.Options{Rho: 1e-4, MaxIterations: 20000, Tolerance: 1e-7})
+	if err != nil {
+		t.Fatalf("generic ADM-G: %v", err)
+	}
+
+	// Rebuild an allocation from the generic solution and evaluate.
+	alloc := core.NewAllocation(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			alloc.Lambda[i][j] = res.X[0][i*n+j]
+		}
+	}
+	for j := 0; j < n; j++ {
+		alloc.MuMW[j] = res.X[1][j] * beta[j]
+		alloc.NuMW[j] = res.X[2][j] * beta[j]
+	}
+	bdG := core.Evaluate(inst, alloc)
+
+	tol := 2e-3 * (1 + math.Abs(bdC.UFC))
+	if d := math.Abs(bdD.UFC - bdC.UFC); d > tol {
+		t.Errorf("specialized %g vs centralized %g (diff %g)", bdD.UFC, bdC.UFC, d)
+	}
+	if d := math.Abs(bdG.UFC - bdC.UFC); d > tol {
+		t.Errorf("generic ADM-G %g vs centralized %g (diff %g)", bdG.UFC, bdC.UFC, d)
+	}
+}

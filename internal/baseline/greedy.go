@@ -1,0 +1,47 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// GreedyCosts reproduces the Table I motivation experiment: a single
+// facility with an exogenous hourly power-demand profile (MW) chooses, per
+// hour, between grid power at the local price and fuel-cell generation at
+// the fixed price p0. It returns the weekly energy cost of the three
+// strategies: grid-only, fuel-cell-only, and the greedy hybrid that always
+// takes the cheaper source.
+type GreedyCosts struct {
+	GridUSD     float64
+	FuelCellUSD float64
+	HybridUSD   float64
+}
+
+// ErrSeriesMismatch is returned when demand and price series differ in length.
+var ErrSeriesMismatch = errors.New("baseline: demand and price series lengths differ")
+
+// Greedy computes the three strategy costs for the demand/price pair.
+func Greedy(demandMW, priceUSD trace.Series, fuelCellPriceUSD float64) (GreedyCosts, error) {
+	if demandMW.Len() != priceUSD.Len() {
+		return GreedyCosts{}, fmt.Errorf("%d demand vs %d price samples: %w",
+			demandMW.Len(), priceUSD.Len(), ErrSeriesMismatch)
+	}
+	if fuelCellPriceUSD < 0 {
+		return GreedyCosts{}, fmt.Errorf("baseline: negative fuel-cell price %g", fuelCellPriceUSD)
+	}
+	var out GreedyCosts
+	for t := 0; t < demandMW.Len(); t++ {
+		d := demandMW.At(t) // MW over a 1-hour slot = MWh
+		p := priceUSD.At(t)
+		out.GridUSD += p * d
+		out.FuelCellUSD += fuelCellPriceUSD * d
+		cheaper := p
+		if fuelCellPriceUSD < cheaper {
+			cheaper = fuelCellPriceUSD
+		}
+		out.HybridUSD += cheaper * d
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package baseline_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/carbon"
+	"repro/internal/core"
+	"repro/internal/utility"
+)
+
+func TestReducedMatchesQPOnQuadraticLinearTax(t *testing.T) {
+	for _, seed := range []int64{21, 22, 23} {
+		inst := testInstance(t, seed, 3, 4)
+		_, bdQP, err := baseline.SolveQP(inst, core.Hybrid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bdPG, err := baseline.SolveReduced(inst, core.Hybrid, 30000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := 5e-3 * (1 + math.Abs(bdQP.UFC))
+		if d := math.Abs(bdPG.UFC - bdQP.UFC); d > tol {
+			t.Errorf("seed %d: reduced %g vs QP %g (diff %g)", seed, bdPG.UFC, bdQP.UFC, d)
+		}
+	}
+}
+
+func TestReducedAgreesWithADMGOnNonQPInstance(t *testing.T) {
+	// Cap-and-trade + exponential utility: neither is QP-expressible, so
+	// the reduced projected-gradient solver is the only centralized
+	// reference. It should agree with the distributed ADM-G result.
+	inst := testInstance(t, 24, 2, 3)
+	inst.Utility = utility.Exponential{K: 15}
+	inst.WeightW = 5
+	for j := range inst.EmissionCost {
+		inst.EmissionCost[j] = carbon.CapAndTrade{CapTons: 0.3, Price: 70}
+	}
+	_, bdD, _, err := core.Solve(inst, core.Options{MaxIterations: 4000, Tolerance: 5e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bdPG, err := baseline.SolveReduced(inst, core.Hybrid, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := 2e-2 * (1 + math.Abs(bdPG.UFC))
+	if d := math.Abs(bdD.UFC - bdPG.UFC); d > tol {
+		t.Errorf("distributed %g vs reduced %g (diff %g > %g)", bdD.UFC, bdPG.UFC, d, tol)
+	}
+}
+
+func TestReducedStrategies(t *testing.T) {
+	inst := testInstance(t, 25, 2, 3)
+	allocG, bdG, err := baseline.SolveReduced(inst, core.GridOnly, 12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, mu := range allocG.MuMW {
+		if mu != 0 {
+			t.Errorf("grid-only uses fuel cell at %d", j)
+		}
+	}
+	allocF, bdF, err := baseline.SolveReduced(inst, core.FuelCellOnly, 12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, nu := range allocF.NuMW {
+		if nu != 0 {
+			t.Errorf("fuel-cell-only uses grid at %d", j)
+		}
+	}
+	_, bdH, err := baseline.SolveReduced(inst, core.Hybrid, 12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := 1e-2 * (1 + math.Abs(bdH.UFC))
+	if bdH.UFC < bdG.UFC-tol || bdH.UFC < bdF.UFC-tol {
+		t.Errorf("hybrid %g must dominate grid %g and fuel cell %g", bdH.UFC, bdG.UFC, bdF.UFC)
+	}
+}

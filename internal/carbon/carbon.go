@@ -1,0 +1,277 @@
+// Package carbon models the carbon-emission side of the UFC index: fuel
+// types with their per-kWh emission rates (Table III of the paper), the
+// fuel-mix weighted carbon emission rate of a region (Eq. (1)), and the
+// family of emission-cost functions V_j (carbon tax, cap-and-trade, stepped
+// tax, offset-style quadratic), all of which are non-decreasing and convex
+// as the paper requires.
+package carbon
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FuelType identifies an electricity generation fuel.
+type FuelType int
+
+// Fuel types from Table III of the paper.
+const (
+	Nuclear FuelType = iota + 1
+	Coal
+	Gas
+	Oil
+	Hydro
+	Wind
+)
+
+var fuelNames = map[FuelType]string{
+	Nuclear: "nuclear",
+	Coal:    "coal",
+	Gas:     "gas",
+	Oil:     "oil",
+	Hydro:   "hydro",
+	Wind:    "wind",
+}
+
+// String returns the lowercase fuel name.
+func (f FuelType) String() string {
+	if n, ok := fuelNames[f]; ok {
+		return n
+	}
+	return fmt.Sprintf("fuel(%d)", int(f))
+}
+
+// EmissionRateG returns the CO₂ emission of the fuel in grams per kWh
+// (Table III). Unknown fuels return 0 and false.
+func (f FuelType) EmissionRateG() (float64, bool) {
+	switch f {
+	case Nuclear:
+		return 15, true
+	case Coal:
+		return 968, true
+	case Gas:
+		return 440, true
+	case Oil:
+		return 890, true
+	case Hydro:
+		return 13.5, true
+	case Wind:
+		return 22.5, true
+	default:
+		return 0, false
+	}
+}
+
+// AllFuels lists the fuel types in Table III order.
+func AllFuels() []FuelType {
+	return []FuelType{Nuclear, Coal, Gas, Oil, Hydro, Wind}
+}
+
+// Mix is the electricity generation mix of a region at one time slot:
+// the amount of electricity (any consistent unit) generated per fuel type.
+type Mix map[FuelType]float64
+
+// ErrEmptyMix is returned when a mix generates no electricity at all.
+var ErrEmptyMix = errors.New("carbon: fuel mix has no generation")
+
+// RateTonPerMWh computes the fuel-mix weighted carbon emission rate of the
+// region via the paper's Eq. (1), converted to metric tons of CO₂ per MWh
+// (numerically equal to kg/kWh, i.e. g/kWh divided by 1000).
+func (m Mix) RateTonPerMWh() (float64, error) {
+	var totalGen, weighted float64
+	for fuel, gen := range m {
+		if gen < 0 {
+			return 0, fmt.Errorf("carbon: negative generation %g for %s", gen, fuel)
+		}
+		rate, ok := fuel.EmissionRateG()
+		if !ok {
+			return 0, fmt.Errorf("carbon: unknown fuel %v", fuel)
+		}
+		totalGen += gen
+		weighted += gen * rate
+	}
+	if totalGen == 0 {
+		return 0, ErrEmptyMix
+	}
+	return weighted / totalGen / 1000, nil
+}
+
+// Normalized returns a copy of the mix scaled so generation sums to 1.
+func (m Mix) Normalized() Mix {
+	var total float64
+	for _, g := range m {
+		total += g
+	}
+	out := make(Mix, len(m))
+	if total == 0 {
+		return out
+	}
+	for f, g := range m {
+		out[f] = g / total
+	}
+	return out
+}
+
+// CostFunc is an emission cost function V_j. It must be non-decreasing and
+// convex in the emission amount (metric tons of CO₂), as assumed in §II-B2.
+type CostFunc interface {
+	// Cost returns V(emission) in dollars for the emission in tons.
+	Cost(emissionTons float64) float64
+	// Marginal returns a subgradient dV/dE at the emission (dollars/ton).
+	Marginal(emissionTons float64) float64
+	// Name identifies the policy for reporting.
+	Name() string
+}
+
+// LinearTax is the paper's evaluation policy: a flat carbon tax of Rate
+// dollars per ton (e.g. $25/ton), V(E) = Rate·E.
+type LinearTax struct {
+	Rate float64 // $/ton
+}
+
+var _ CostFunc = LinearTax{}
+
+// Cost implements CostFunc.
+func (t LinearTax) Cost(e float64) float64 { return t.Rate * math.Max(e, 0) }
+
+// Marginal implements CostFunc.
+func (t LinearTax) Marginal(float64) float64 { return t.Rate }
+
+// Name implements CostFunc.
+func (t LinearTax) Name() string { return fmt.Sprintf("linear-tax(%g$/ton)", t.Rate) }
+
+// QuadraticCost models an offset program whose marginal price grows with
+// volume: V(E) = a·E + b·E².
+type QuadraticCost struct {
+	A float64 // $/ton
+	B float64 // $/ton²
+}
+
+var _ CostFunc = QuadraticCost{}
+
+// Cost implements CostFunc.
+func (q QuadraticCost) Cost(e float64) float64 {
+	if e < 0 {
+		e = 0
+	}
+	return q.A*e + q.B*e*e
+}
+
+// Marginal implements CostFunc.
+func (q QuadraticCost) Marginal(e float64) float64 {
+	if e < 0 {
+		e = 0
+	}
+	return q.A + 2*q.B*e
+}
+
+// Name implements CostFunc.
+func (q QuadraticCost) Name() string { return fmt.Sprintf("quadratic(%g+%g·E)", q.A, 2*q.B) }
+
+// CapAndTrade models an EU-style permit scheme: emissions up to the
+// allocated cap are free; beyond the cap, permits must be bought at the
+// market price. V(E) = Price · max(0, E − Cap). This is convex but not
+// strongly convex — the case that motivates ADM-G over plain multi-block
+// ADMM in the paper.
+type CapAndTrade struct {
+	CapTons float64 // free allocation, tons
+	Price   float64 // permit price, $/ton
+}
+
+var _ CostFunc = CapAndTrade{}
+
+// Cost implements CostFunc.
+func (c CapAndTrade) Cost(e float64) float64 {
+	over := e - c.CapTons
+	if over <= 0 {
+		return 0
+	}
+	return c.Price * over
+}
+
+// Marginal implements CostFunc.
+func (c CapAndTrade) Marginal(e float64) float64 {
+	if e <= c.CapTons {
+		return 0
+	}
+	return c.Price
+}
+
+// Name implements CostFunc.
+func (c CapAndTrade) Name() string {
+	return fmt.Sprintf("cap-and-trade(cap=%gt, %g$/ton)", c.CapTons, c.Price)
+}
+
+// SteppedTax is a piecewise-linear tax whose marginal rate increases at
+// each threshold (a progressive, "stepped" tax system). Thresholds must be
+// increasing and rates non-decreasing so the function stays convex.
+type SteppedTax struct {
+	Thresholds []float64 // tons, strictly increasing
+	Rates      []float64 // $/ton: Rates[0] below Thresholds[0], etc.; len = len(Thresholds)+1
+}
+
+var _ CostFunc = SteppedTax{}
+
+// NewSteppedTax validates and builds a stepped tax.
+func NewSteppedTax(thresholds, rates []float64) (SteppedTax, error) {
+	if len(rates) != len(thresholds)+1 {
+		return SteppedTax{}, fmt.Errorf("carbon: %d rates for %d thresholds", len(rates), len(thresholds))
+	}
+	if !sort.Float64sAreSorted(thresholds) {
+		return SteppedTax{}, errors.New("carbon: thresholds must be increasing")
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i] < rates[i-1] {
+			return SteppedTax{}, errors.New("carbon: rates must be non-decreasing for convexity")
+		}
+	}
+	return SteppedTax{
+		Thresholds: append([]float64(nil), thresholds...),
+		Rates:      append([]float64(nil), rates...),
+	}, nil
+}
+
+// Cost implements CostFunc.
+func (s SteppedTax) Cost(e float64) float64 {
+	if e <= 0 {
+		return 0
+	}
+	var cost, prev float64
+	for i, th := range s.Thresholds {
+		if e <= th {
+			return cost + s.Rates[i]*(e-prev)
+		}
+		cost += s.Rates[i] * (th - prev)
+		prev = th
+	}
+	return cost + s.Rates[len(s.Rates)-1]*(e-prev)
+}
+
+// Marginal implements CostFunc.
+func (s SteppedTax) Marginal(e float64) float64 {
+	for i, th := range s.Thresholds {
+		if e < th {
+			return s.Rates[i]
+		}
+	}
+	return s.Rates[len(s.Rates)-1]
+}
+
+// Name implements CostFunc.
+func (s SteppedTax) Name() string { return fmt.Sprintf("stepped-tax(%d steps)", len(s.Thresholds)) }
+
+// ZeroCost ignores emissions entirely (useful as a baseline / ablation).
+type ZeroCost struct{}
+
+var _ CostFunc = ZeroCost{}
+
+// Cost implements CostFunc.
+func (ZeroCost) Cost(float64) float64 { return 0 }
+
+// Marginal implements CostFunc.
+func (ZeroCost) Marginal(float64) float64 { return 0 }
+
+// Name implements CostFunc.
+func (ZeroCost) Name() string { return "zero" }

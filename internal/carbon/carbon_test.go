@@ -1,0 +1,192 @@
+package carbon
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmissionRates(t *testing.T) {
+	want := map[FuelType]float64{
+		Nuclear: 15, Coal: 968, Gas: 440, Oil: 890, Hydro: 13.5, Wind: 22.5,
+	}
+	for f, w := range want {
+		got, ok := f.EmissionRateG()
+		if !ok || got != w {
+			t.Errorf("%s rate = %g (%v), want %g", f, got, ok, w)
+		}
+	}
+	if _, ok := FuelType(99).EmissionRateG(); ok {
+		t.Error("unknown fuel has a rate")
+	}
+}
+
+func TestMixRate(t *testing.T) {
+	// Pure coal: 968 g/kWh = 0.968 t/MWh.
+	r, err := Mix{Coal: 10}.RateTonPerMWh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.968) > 1e-12 {
+		t.Errorf("pure coal rate = %g", r)
+	}
+	// 50/50 coal/gas: (968+440)/2 = 704 g/kWh.
+	r, err = Mix{Coal: 5, Gas: 5}.RateTonPerMWh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.704) > 1e-12 {
+		t.Errorf("coal/gas rate = %g", r)
+	}
+}
+
+func TestMixRateErrors(t *testing.T) {
+	if _, err := (Mix{}).RateTonPerMWh(); !errors.Is(err, ErrEmptyMix) {
+		t.Errorf("empty mix error = %v", err)
+	}
+	if _, err := (Mix{Coal: -1}).RateTonPerMWh(); err == nil {
+		t.Error("negative generation accepted")
+	}
+	if _, err := (Mix{FuelType(99): 1}).RateTonPerMWh(); err == nil {
+		t.Error("unknown fuel accepted")
+	}
+}
+
+// Property: the mix rate is always between the min and max fuel rates used.
+func TestPropMixRateBounded(t *testing.T) {
+	f := func(a, b, c, d, e, g uint16) bool {
+		m := Mix{
+			Nuclear: float64(a), Coal: float64(b), Gas: float64(c),
+			Oil: float64(d), Hydro: float64(e), Wind: float64(g),
+		}
+		r, err := m.RateTonPerMWh()
+		if errors.Is(err, ErrEmptyMix) {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for fuel, gen := range m {
+			if gen == 0 {
+				continue
+			}
+			fr, _ := fuel.EmissionRateG()
+			fr /= 1000
+			lo, hi = math.Min(lo, fr), math.Max(hi, fr)
+		}
+		return r >= lo-1e-12 && r <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	n := Mix{Coal: 3, Gas: 1}.Normalized()
+	if math.Abs(n[Coal]-0.75) > 1e-12 || math.Abs(n[Gas]-0.25) > 1e-12 {
+		t.Errorf("normalized = %v", n)
+	}
+	if len(Mix{}.Normalized()) != 0 {
+		t.Error("empty mix normalized non-empty")
+	}
+}
+
+func TestLinearTax(t *testing.T) {
+	v := LinearTax{Rate: 25}
+	if v.Cost(2) != 50 {
+		t.Errorf("cost(2) = %g", v.Cost(2))
+	}
+	if v.Cost(-1) != 0 {
+		t.Errorf("cost(-1) = %g", v.Cost(-1))
+	}
+	if v.Marginal(10) != 25 {
+		t.Errorf("marginal = %g", v.Marginal(10))
+	}
+}
+
+func TestQuadraticCost(t *testing.T) {
+	v := QuadraticCost{A: 10, B: 2}
+	if v.Cost(3) != 10*3+2*9 {
+		t.Errorf("cost(3) = %g", v.Cost(3))
+	}
+	if v.Marginal(3) != 10+12 {
+		t.Errorf("marginal(3) = %g", v.Marginal(3))
+	}
+	if v.Cost(-1) != 0 {
+		t.Errorf("cost(-1) = %g", v.Cost(-1))
+	}
+}
+
+func TestCapAndTrade(t *testing.T) {
+	v := CapAndTrade{CapTons: 10, Price: 30}
+	if v.Cost(5) != 0 || v.Marginal(5) != 0 {
+		t.Error("under-cap emission should be free")
+	}
+	if v.Cost(12) != 60 {
+		t.Errorf("cost(12) = %g", v.Cost(12))
+	}
+	if v.Marginal(12) != 30 {
+		t.Errorf("marginal(12) = %g", v.Marginal(12))
+	}
+}
+
+func TestSteppedTax(t *testing.T) {
+	s, err := NewSteppedTax([]float64{10, 20}, []float64{5, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0..10 at $5, 10..20 at $10, beyond at $20.
+	if got := s.Cost(10); got != 50 {
+		t.Errorf("cost(10) = %g, want 50", got)
+	}
+	if got := s.Cost(25); got != 50+100+100 {
+		t.Errorf("cost(25) = %g, want 250", got)
+	}
+	if got := s.Marginal(15); got != 10 {
+		t.Errorf("marginal(15) = %g", got)
+	}
+	if got := s.Cost(-3); got != 0 {
+		t.Errorf("cost(-3) = %g", got)
+	}
+}
+
+func TestSteppedTaxValidation(t *testing.T) {
+	if _, err := NewSteppedTax([]float64{10}, []float64{5}); err == nil {
+		t.Error("rate count mismatch accepted")
+	}
+	if _, err := NewSteppedTax([]float64{20, 10}, []float64{1, 2, 3}); err == nil {
+		t.Error("unsorted thresholds accepted")
+	}
+	if _, err := NewSteppedTax([]float64{10}, []float64{5, 2}); err == nil {
+		t.Error("decreasing rates accepted (non-convex)")
+	}
+}
+
+// Property: every cost function is non-decreasing and convex on a grid.
+func TestPropCostFuncsConvex(t *testing.T) {
+	stepped, _ := NewSteppedTax([]float64{5, 15}, []float64{2, 8, 25})
+	funcs := []CostFunc{
+		LinearTax{Rate: 25},
+		QuadraticCost{A: 5, B: 1.5},
+		CapAndTrade{CapTons: 7, Price: 40},
+		stepped,
+		ZeroCost{},
+	}
+	for _, v := range funcs {
+		prev := v.Cost(0)
+		prevSlope := math.Inf(-1)
+		for e := 0.5; e <= 30; e += 0.5 {
+			cur := v.Cost(e)
+			if cur < prev-1e-12 {
+				t.Errorf("%s: decreasing at %g", v.Name(), e)
+			}
+			slope := (cur - prev) / 0.5
+			if slope < prevSlope-1e-9 {
+				t.Errorf("%s: non-convex at %g (slope %g < %g)", v.Name(), e, slope, prevSlope)
+			}
+			prev, prevSlope = cur, slope
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package codec serializes problem instances and results as JSON so they
+// can cross process boundaries: cmd/ufcnode processes load the same
+// instance file and jointly solve it over a TCP hub, and experiment
+// results can be archived. The emission-cost and utility interfaces are
+// encoded with explicit type tags.
+package codec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/carbon"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/utility"
+)
+
+// ErrUnknownType is returned when decoding meets an unregistered cost or
+// utility type tag.
+var ErrUnknownType = errors.New("codec: unknown type tag")
+
+// costJSON is the tagged wire form of carbon.CostFunc.
+type costJSON struct {
+	Type       string    `json:"type"`
+	Rate       float64   `json:"rate,omitempty"`
+	A          float64   `json:"a,omitempty"`
+	B          float64   `json:"b,omitempty"`
+	CapTons    float64   `json:"capTons,omitempty"`
+	Price      float64   `json:"price,omitempty"`
+	Thresholds []float64 `json:"thresholds,omitempty"`
+	Rates      []float64 `json:"rates,omitempty"`
+}
+
+func encodeCost(c carbon.CostFunc) (costJSON, error) {
+	switch v := c.(type) {
+	case carbon.LinearTax:
+		return costJSON{Type: "linear-tax", Rate: v.Rate}, nil
+	case carbon.QuadraticCost:
+		return costJSON{Type: "quadratic", A: v.A, B: v.B}, nil
+	case carbon.CapAndTrade:
+		return costJSON{Type: "cap-and-trade", CapTons: v.CapTons, Price: v.Price}, nil
+	case carbon.SteppedTax:
+		return costJSON{Type: "stepped-tax", Thresholds: v.Thresholds, Rates: v.Rates}, nil
+	case carbon.ZeroCost:
+		return costJSON{Type: "zero"}, nil
+	default:
+		return costJSON{}, fmt.Errorf("cost %T: %w", c, ErrUnknownType)
+	}
+}
+
+func decodeCost(j costJSON) (carbon.CostFunc, error) {
+	switch j.Type {
+	case "linear-tax":
+		return carbon.LinearTax{Rate: j.Rate}, nil
+	case "quadratic":
+		return carbon.QuadraticCost{A: j.A, B: j.B}, nil
+	case "cap-and-trade":
+		return carbon.CapAndTrade{CapTons: j.CapTons, Price: j.Price}, nil
+	case "stepped-tax":
+		return carbon.NewSteppedTax(j.Thresholds, j.Rates)
+	case "zero":
+		return carbon.ZeroCost{}, nil
+	default:
+		return nil, fmt.Errorf("cost tag %q: %w", j.Type, ErrUnknownType)
+	}
+}
+
+// utilityJSON is the tagged wire form of utility.Func.
+type utilityJSON struct {
+	Type string  `json:"type"`
+	K    float64 `json:"k,omitempty"`
+}
+
+func encodeUtility(u utility.Func) (utilityJSON, error) {
+	switch v := u.(type) {
+	case utility.Quadratic:
+		return utilityJSON{Type: "quadratic"}, nil
+	case utility.Linear:
+		return utilityJSON{Type: "linear"}, nil
+	case utility.Exponential:
+		return utilityJSON{Type: "exponential", K: v.K}, nil
+	default:
+		return utilityJSON{}, fmt.Errorf("utility %T: %w", u, ErrUnknownType)
+	}
+}
+
+func decodeUtility(j utilityJSON) (utility.Func, error) {
+	switch j.Type {
+	case "quadratic":
+		return utility.Quadratic{}, nil
+	case "linear":
+		return utility.Linear{}, nil
+	case "exponential":
+		return utility.Exponential{K: j.K}, nil
+	default:
+		return nil, fmt.Errorf("utility tag %q: %w", j.Type, ErrUnknownType)
+	}
+}
+
+// instanceJSON is the wire form of core.Instance.
+type instanceJSON struct {
+	Datacenters      []model.Datacenter `json:"datacenters"`
+	FrontEnds        []model.FrontEnd   `json:"frontEnds"`
+	Arrivals         []float64          `json:"arrivals"`
+	PriceUSD         []float64          `json:"priceUSD"`
+	FuelCellPriceUSD float64            `json:"fuelCellPriceUSD"`
+	CarbonRate       []float64          `json:"carbonRate"`
+	EmissionCost     []costJSON         `json:"emissionCost"`
+	Utility          utilityJSON        `json:"utility"`
+	WeightW          float64            `json:"weightW"`
+	RightSizing      bool               `json:"rightSizing,omitempty"`
+}
+
+// EncodeInstance writes the instance as indented JSON.
+func EncodeInstance(w io.Writer, inst *core.Instance) error {
+	if err := inst.Validate(); err != nil {
+		return fmt.Errorf("codec: %w", err)
+	}
+	out := instanceJSON{
+		Datacenters:      inst.Cloud.Datacenters,
+		FrontEnds:        inst.Cloud.FrontEnds,
+		Arrivals:         inst.Arrivals,
+		PriceUSD:         inst.PriceUSD,
+		FuelCellPriceUSD: inst.FuelCellPriceUSD,
+		CarbonRate:       inst.CarbonRate,
+		WeightW:          inst.WeightW,
+		RightSizing:      inst.RightSizing,
+	}
+	for _, c := range inst.EmissionCost {
+		cj, err := encodeCost(c)
+		if err != nil {
+			return err
+		}
+		out.EmissionCost = append(out.EmissionCost, cj)
+	}
+	uj, err := encodeUtility(inst.Utility)
+	if err != nil {
+		return err
+	}
+	out.Utility = uj
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// DecodeInstance reads an instance previously written with EncodeInstance
+// and validates it.
+func DecodeInstance(r io.Reader) (*core.Instance, error) {
+	var in instanceJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("codec: decode: %w", err)
+	}
+	cloud, err := model.NewCloud(in.Datacenters, in.FrontEnds)
+	if err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	inst := &core.Instance{
+		Cloud:            cloud,
+		Arrivals:         in.Arrivals,
+		PriceUSD:         in.PriceUSD,
+		FuelCellPriceUSD: in.FuelCellPriceUSD,
+		CarbonRate:       in.CarbonRate,
+		WeightW:          in.WeightW,
+		RightSizing:      in.RightSizing,
+	}
+	for _, cj := range in.EmissionCost {
+		c, err := decodeCost(cj)
+		if err != nil {
+			return nil, err
+		}
+		inst.EmissionCost = append(inst.EmissionCost, c)
+	}
+	if inst.Utility, err = decodeUtility(in.Utility); err != nil {
+		return nil, err
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	return inst, nil
+}
+
+// resultJSON is the wire form of a solve outcome.
+type resultJSON struct {
+	Lambda     [][]float64    `json:"lambda"`
+	MuMW       []float64      `json:"muMW"`
+	NuMW       []float64      `json:"nuMW"`
+	Breakdown  core.Breakdown `json:"breakdown"`
+	Iterations int            `json:"iterations"`
+	Converged  bool           `json:"converged"`
+}
+
+// EncodeResult writes an allocation with its breakdown and stats.
+func EncodeResult(w io.Writer, alloc *core.Allocation, bd core.Breakdown, stats *core.Stats) error {
+	out := resultJSON{
+		Lambda:    alloc.Lambda,
+		MuMW:      alloc.MuMW,
+		NuMW:      alloc.NuMW,
+		Breakdown: bd,
+	}
+	if stats != nil {
+		out.Iterations = stats.Iterations
+		out.Converged = stats.Converged
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// DecodeResult reads a result previously written with EncodeResult.
+func DecodeResult(r io.Reader) (*core.Allocation, core.Breakdown, *core.Stats, error) {
+	var in resultJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, core.Breakdown{}, nil, fmt.Errorf("codec: decode result: %w", err)
+	}
+	alloc := &core.Allocation{Lambda: in.Lambda, MuMW: in.MuMW, NuMW: in.NuMW}
+	stats := &core.Stats{Iterations: in.Iterations, Converged: in.Converged}
+	return alloc, in.Breakdown, stats, nil
+}

@@ -1,0 +1,169 @@
+package codec_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/carbon"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/utility"
+)
+
+func sampleInstance(t *testing.T) *core.Instance {
+	t.Helper()
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = 0.05
+	cfg.Hours = 6
+	sc, err := experiments.NewScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc.InstanceAt(2)
+}
+
+func TestInstanceRoundTrip(t *testing.T) {
+	inst := sampleInstance(t)
+	var buf bytes.Buffer
+	if err := codec.EncodeInstance(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := codec.DecodeInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cloud.N() != inst.Cloud.N() || got.Cloud.M() != inst.Cloud.M() {
+		t.Fatal("topology shape lost")
+	}
+	for i := range inst.Arrivals {
+		if got.Arrivals[i] != inst.Arrivals[i] {
+			t.Fatal("arrivals lost")
+		}
+	}
+	for j := range inst.PriceUSD {
+		if got.PriceUSD[j] != inst.PriceUSD[j] || got.CarbonRate[j] != inst.CarbonRate[j] {
+			t.Fatal("prices/rates lost")
+		}
+	}
+	// Latency matrices must be rebuilt identically from the coordinates.
+	for i := 0; i < inst.Cloud.M(); i++ {
+		for j := 0; j < inst.Cloud.N(); j++ {
+			if got.Cloud.LatencySec(i, j) != inst.Cloud.LatencySec(i, j) {
+				t.Fatal("latency matrix differs after round trip")
+			}
+		}
+	}
+	// Solving the decoded instance gives the identical result.
+	_, bdA, _, err := core.Solve(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bdB, _, err := core.Solve(got, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdA.UFC != bdB.UFC {
+		t.Fatalf("UFC %v != %v after round trip", bdB.UFC, bdA.UFC)
+	}
+}
+
+func TestAllCostFuncsRoundTrip(t *testing.T) {
+	stepped, err := carbon.NewSteppedTax([]float64{1, 5}, []float64{2, 10, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := []carbon.CostFunc{
+		carbon.LinearTax{Rate: 25},
+		carbon.QuadraticCost{A: 3, B: 0.5},
+		carbon.CapAndTrade{CapTons: 4, Price: 60},
+		stepped,
+		carbon.ZeroCost{},
+	}
+	inst := sampleInstance(t)
+	for k, c := range costs {
+		inst.EmissionCost[k%len(inst.EmissionCost)] = c
+	}
+	var buf bytes.Buffer
+	if err := codec.EncodeInstance(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := codec.DecodeInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range inst.EmissionCost {
+		for _, e := range []float64{0, 1, 3, 7, 20} {
+			if got.EmissionCost[j].Cost(e) != inst.EmissionCost[j].Cost(e) {
+				t.Fatalf("cost %d differs at %g after round trip", j, e)
+			}
+		}
+	}
+}
+
+func TestAllUtilitiesRoundTrip(t *testing.T) {
+	for _, u := range []utility.Func{utility.Quadratic{}, utility.Linear{}, utility.Exponential{K: 7}} {
+		inst := sampleInstance(t)
+		inst.Utility = u
+		var buf bytes.Buffer
+		if err := codec.EncodeInstance(&buf, inst); err != nil {
+			t.Fatalf("%s: %v", u.Name(), err)
+		}
+		got, err := codec.DecodeInstance(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", u.Name(), err)
+		}
+		lam := []float64{10, 20, 5, 1}
+		lat := []float64{0.01, 0.02, 0.03, 0.04}
+		if got.Utility.Value(lam, lat, 36) != u.Value(lam, lat, 36) {
+			t.Fatalf("%s: utility differs after round trip", u.Name())
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := codec.DecodeInstance(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := codec.DecodeInstance(strings.NewReader(`{"utility":{"type":"alien"}}`)); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestDecodeUnknownCost(t *testing.T) {
+	inst := sampleInstance(t)
+	var buf bytes.Buffer
+	if err := codec.EncodeInstance(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	s := strings.Replace(buf.String(), `"linear-tax"`, `"martian-tax"`, 1)
+	if _, err := codec.DecodeInstance(strings.NewReader(s)); !errors.Is(err, codec.ErrUnknownType) {
+		t.Errorf("unknown cost tag: %v", err)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	inst := sampleInstance(t)
+	alloc, bd, stats, err := core.Solve(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := codec.EncodeResult(&buf, alloc, bd, stats); err != nil {
+		t.Fatal(err)
+	}
+	gotAlloc, gotBD, gotStats, err := codec.DecodeResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBD.UFC != bd.UFC || gotStats.Iterations != stats.Iterations {
+		t.Fatal("breakdown/stats lost")
+	}
+	for j := range alloc.MuMW {
+		if gotAlloc.MuMW[j] != alloc.MuMW[j] {
+			t.Fatal("allocation lost")
+		}
+	}
+}

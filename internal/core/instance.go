@@ -1,0 +1,365 @@
+// Package core implements the paper's primary contribution: the UFC index
+// (utility of the cloud using fuel cells) and the distributed 4-block ADM-G
+// algorithm of §III-C that maximizes it by jointly choosing fuel-cell
+// generation μ_j and geographic request routing λ_ij for one time slot.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/carbon"
+	"repro/internal/model"
+	"repro/internal/utility"
+)
+
+// Strategy selects which energy sources the optimizer may use (§IV-B).
+type Strategy int
+
+const (
+	// Hybrid coordinates grid power and fuel-cell generation (the paper's
+	// proposal).
+	Hybrid Strategy = iota + 1
+	// GridOnly forbids fuel cells (μ_j = 0 for all j).
+	GridOnly
+	// FuelCellOnly forbids grid power (ν_j = 0 for all j); feasible only
+	// when every datacenter's fuel cells can cover its demand.
+	FuelCellOnly
+)
+
+// String names the strategy for reporting.
+func (s Strategy) String() string {
+	switch s {
+	case Hybrid:
+		return "hybrid"
+	case GridOnly:
+		return "grid"
+	case FuelCellOnly:
+		return "fuelcell"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Validation errors.
+var (
+	ErrNilCloud        = errors.New("core: instance has no cloud")
+	ErrNoUtility       = errors.New("core: instance has no utility function")
+	ErrOverloaded      = errors.New("core: total arrivals exceed total server capacity")
+	ErrFuelCellDeficit = errors.New("core: fuel-cell capacity cannot cover demand for fuel-cell-only strategy")
+)
+
+// Instance is one time slot of the UFC maximization problem (3): the static
+// cloud plus the slot's arrivals, prices, carbon rates and policy functions.
+type Instance struct {
+	Cloud *model.Cloud
+
+	// Arrivals is A_i, the workload (in servers) arriving at each
+	// front-end proxy; length M.
+	Arrivals []float64
+
+	// PriceUSD is p_j, the grid electricity price at each datacenter in
+	// $/MWh; length N.
+	PriceUSD []float64
+
+	// FuelCellPriceUSD is p0, the (fixed) price of fuel-cell generation
+	// in $/MWh.
+	FuelCellPriceUSD float64
+
+	// CarbonRate is C_j, the grid carbon emission rate at each datacenter
+	// in tons of CO₂ per MWh; length N.
+	CarbonRate []float64
+
+	// EmissionCost is V_j, the emission cost function at each datacenter;
+	// length N. All must be non-decreasing and convex.
+	EmissionCost []carbon.CostFunc
+
+	// Utility is the latency-utility function U shared by all front-ends.
+	Utility utility.Func
+
+	// WeightW is w, the weight of workload utility against monetary costs
+	// ($/s² for the quadratic utility with latency in seconds).
+	WeightW float64
+
+	// RightSizing enables the extension discussed in the paper's §II-C
+	// Remark: instead of keeping all S_j servers powered on, each
+	// datacenter activates only the servers its routed load requires
+	// (idle servers draw no power). With per-server idle cost strictly
+	// positive the optimal active count is exactly the load, so the
+	// facility demand becomes load · P_peak · PUE and the
+	// load-independent α_j term disappears.
+	RightSizing bool
+}
+
+// Validate checks the instance for shape and feasibility.
+func (inst *Instance) Validate() error {
+	if inst.Cloud == nil {
+		return ErrNilCloud
+	}
+	n, m := inst.Cloud.N(), inst.Cloud.M()
+	if len(inst.Arrivals) != m {
+		return fmt.Errorf("core: %d arrivals for %d front-ends", len(inst.Arrivals), m)
+	}
+	if len(inst.PriceUSD) != n {
+		return fmt.Errorf("core: %d prices for %d datacenters", len(inst.PriceUSD), n)
+	}
+	if len(inst.CarbonRate) != n {
+		return fmt.Errorf("core: %d carbon rates for %d datacenters", len(inst.CarbonRate), n)
+	}
+	if len(inst.EmissionCost) != n {
+		return fmt.Errorf("core: %d emission cost functions for %d datacenters", len(inst.EmissionCost), n)
+	}
+	if inst.Utility == nil {
+		return ErrNoUtility
+	}
+	if inst.WeightW < 0 {
+		return fmt.Errorf("core: negative utility weight %g", inst.WeightW)
+	}
+	if inst.FuelCellPriceUSD < 0 {
+		return fmt.Errorf("core: negative fuel-cell price %g", inst.FuelCellPriceUSD)
+	}
+	var total float64
+	for i, a := range inst.Arrivals {
+		if a < 0 {
+			return fmt.Errorf("core: negative arrivals %g at front-end %d", a, i)
+		}
+		total += a
+	}
+	for j, p := range inst.PriceUSD {
+		if p < 0 {
+			return fmt.Errorf("core: negative price %g at datacenter %d", p, j)
+		}
+		if inst.CarbonRate[j] < 0 {
+			return fmt.Errorf("core: negative carbon rate at datacenter %d", j)
+		}
+		if inst.EmissionCost[j] == nil {
+			return fmt.Errorf("core: nil emission cost at datacenter %d", j)
+		}
+	}
+	if total > inst.Cloud.TotalServers()+1e-9 {
+		return fmt.Errorf("arrivals %g > capacity %g: %w", total, inst.Cloud.TotalServers(), ErrOverloaded)
+	}
+	return nil
+}
+
+// AlphaMW returns the load-independent facility power α_j in MW under the
+// instance's server-management mode.
+func (inst *Instance) AlphaMW(j int) float64 {
+	if inst.RightSizing {
+		return 0
+	}
+	return inst.Cloud.Datacenters[j].AlphaMW()
+}
+
+// BetaMW returns the per-workload-unit facility power β_j in MW under the
+// instance's server-management mode.
+func (inst *Instance) BetaMW(j int) float64 {
+	dc := inst.Cloud.Datacenters[j]
+	if inst.RightSizing {
+		return dc.Power.PeakW * dc.Power.PUE / 1e6
+	}
+	return dc.BetaMW()
+}
+
+// DemandMW returns the facility power demand of datacenter j at the given
+// routed load under the instance's server-management mode.
+func (inst *Instance) DemandMW(j int, load float64) float64 {
+	return inst.AlphaMW(j) + inst.BetaMW(j)*load
+}
+
+// PeakDemandMW returns the facility demand of datacenter j with every
+// server busy (identical in both server-management modes).
+func (inst *Instance) PeakDemandMW(j int) float64 {
+	return inst.DemandMW(j, inst.Cloud.Datacenters[j].Servers)
+}
+
+// TotalArrivals returns Σ_i A_i.
+func (inst *Instance) TotalArrivals() float64 {
+	var s float64
+	for _, a := range inst.Arrivals {
+		s += a
+	}
+	return s
+}
+
+// Allocation is a feasible joint decision: routing λ, fuel-cell output μ
+// and grid draw ν.
+type Allocation struct {
+	// Lambda[i][j] is the workload routed from front-end i to datacenter j.
+	Lambda [][]float64
+	// MuMW[j] is the fuel-cell generation at datacenter j in MW.
+	MuMW []float64
+	// NuMW[j] is the grid power draw at datacenter j in MW.
+	NuMW []float64
+}
+
+// NewAllocation returns a zero allocation shaped for the instance.
+func NewAllocation(m, n int) *Allocation {
+	lam := make([][]float64, m)
+	for i := range lam {
+		lam[i] = make([]float64, n)
+	}
+	return &Allocation{Lambda: lam, MuMW: make([]float64, n), NuMW: make([]float64, n)}
+}
+
+// Clone deep-copies the allocation.
+func (a *Allocation) Clone() *Allocation {
+	out := NewAllocation(len(a.Lambda), len(a.MuMW))
+	for i := range a.Lambda {
+		copy(out.Lambda[i], a.Lambda[i])
+	}
+	copy(out.MuMW, a.MuMW)
+	copy(out.NuMW, a.NuMW)
+	return out
+}
+
+// DCLoad returns Σ_i λ_ij for datacenter j.
+func (a *Allocation) DCLoad(j int) float64 {
+	var s float64
+	for i := range a.Lambda {
+		s += a.Lambda[i][j]
+	}
+	return s
+}
+
+// Breakdown decomposes the UFC of an allocation into its components
+// (§II-B). All monetary values are per-slot dollars.
+type Breakdown struct {
+	UFC float64 `json:"ufc"` // w·Σ U − carbon cost − energy cost
+
+	UtilityRaw      float64 `json:"utilityRaw"`      // Σ_i U(λ_i) (unweighted)
+	UtilityWeighted float64 `json:"utilityWeighted"` // w · Σ_i U(λ_i)
+	EnergyCostUSD   float64 `json:"energyCostUSD"`   // Σ_j p_j ν_j + p0 μ_j
+	GridCostUSD     float64 `json:"gridCostUSD"`     // Σ_j p_j ν_j
+	FuelCellCostUSD float64 `json:"fuelCellCostUSD"` // Σ_j p0 μ_j
+	CarbonCostUSD   float64 `json:"carbonCostUSD"`   // Σ_j V_j(C_j ν_j)
+	EmissionTons    float64 `json:"emissionTons"`    // Σ_j C_j ν_j
+
+	DemandMWh   float64 `json:"demandMWh"`   // Σ_j D_j(load_j) over the 1-hour slot
+	GridMWh     float64 `json:"gridMWh"`     // Σ_j ν_j
+	FuelCellMWh float64 `json:"fuelCellMWh"` // Σ_j μ_j
+
+	AvgLatencySec float64 `json:"avgLatencySec"` // traffic-weighted average propagation latency
+
+	// FuelCellUtilization is Σμ / Σdemand, the paper's Fig. 8 metric.
+	FuelCellUtilization float64 `json:"fuelCellUtilization"`
+}
+
+// Evaluate computes the UFC breakdown of an allocation against the
+// instance. It does not require the allocation to be exactly feasible; the
+// caller is responsible for feasibility (the solver guarantees it).
+func Evaluate(inst *Instance, alloc *Allocation) Breakdown {
+	var b Breakdown
+	n, m := inst.Cloud.N(), inst.Cloud.M()
+
+	var latWeighted, traffic float64
+	for i := 0; i < m; i++ {
+		lat := inst.Cloud.LatencyRow(i)
+		u := inst.Utility.Value(alloc.Lambda[i], lat, inst.Arrivals[i])
+		b.UtilityRaw += u
+		avg := utility.AverageLatencySec(alloc.Lambda[i], lat, inst.Arrivals[i])
+		latWeighted += avg * inst.Arrivals[i]
+		traffic += inst.Arrivals[i]
+	}
+	b.UtilityWeighted = inst.WeightW * b.UtilityRaw
+	if traffic > 0 {
+		b.AvgLatencySec = latWeighted / traffic
+	}
+
+	for j := 0; j < n; j++ {
+		b.DemandMWh += inst.DemandMW(j, alloc.DCLoad(j))
+		b.GridMWh += alloc.NuMW[j]
+		b.FuelCellMWh += alloc.MuMW[j]
+		b.GridCostUSD += inst.PriceUSD[j] * alloc.NuMW[j]
+		b.FuelCellCostUSD += inst.FuelCellPriceUSD * alloc.MuMW[j]
+		emission := inst.CarbonRate[j] * alloc.NuMW[j]
+		b.EmissionTons += emission
+		b.CarbonCostUSD += inst.EmissionCost[j].Cost(emission)
+	}
+	b.EnergyCostUSD = b.GridCostUSD + b.FuelCellCostUSD
+	b.UFC = b.UtilityWeighted - b.CarbonCostUSD - b.EnergyCostUSD
+	if b.DemandMWh > 0 {
+		b.FuelCellUtilization = b.FuelCellMWh / b.DemandMWh
+	}
+	return b
+}
+
+// Improvement returns the relative UFC improvement of x over y,
+// (UFC_x − UFC_y)/|UFC_y| (the paper's I_hg, I_hf, I_fg metrics). It
+// returns 0 when UFC_y is zero.
+func Improvement(x, y Breakdown) float64 {
+	if y.UFC == 0 {
+		return 0
+	}
+	d := y.UFC
+	if d < 0 {
+		d = -d
+	}
+	return (x.UFC - y.UFC) / d
+}
+
+// FeasibilityReport quantifies constraint violations of an allocation.
+type FeasibilityReport struct {
+	MaxLoadBalanceErr   float64 // max_i |Σ_j λ_ij − A_i|
+	MaxCapacityExcess   float64 // max_j max(0, Σ_i λ_ij − S_j)
+	MaxPowerBalanceErr  float64 // max_j |α_j + β_j Σλ − μ_j − ν_j|
+	MaxNegativeVariable float64 // most negative λ/μ/ν entry (as a magnitude)
+	MaxFuelCellExcess   float64 // max_j max(0, μ_j − μ_j^max)
+}
+
+// Ok reports whether all violations are within tol.
+func (r FeasibilityReport) Ok(tol float64) bool {
+	return r.MaxLoadBalanceErr <= tol &&
+		r.MaxCapacityExcess <= tol &&
+		r.MaxPowerBalanceErr <= tol &&
+		r.MaxNegativeVariable <= tol &&
+		r.MaxFuelCellExcess <= tol
+}
+
+// CheckFeasibility measures how far the allocation is from the constraint
+// set of problem (3)/(12).
+func CheckFeasibility(inst *Instance, alloc *Allocation) FeasibilityReport {
+	var r FeasibilityReport
+	n, m := inst.Cloud.N(), inst.Cloud.M()
+	for i := 0; i < m; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			v := alloc.Lambda[i][j]
+			sum += v
+			if v < 0 && -v > r.MaxNegativeVariable {
+				r.MaxNegativeVariable = -v
+			}
+		}
+		if d := abs(sum - inst.Arrivals[i]); d > r.MaxLoadBalanceErr {
+			r.MaxLoadBalanceErr = d
+		}
+	}
+	for j := 0; j < n; j++ {
+		dc := inst.Cloud.Datacenters[j]
+		load := alloc.DCLoad(j)
+		if ex := load - dc.Servers; ex > r.MaxCapacityExcess {
+			r.MaxCapacityExcess = ex
+		}
+		if v := alloc.MuMW[j]; v < 0 && -v > r.MaxNegativeVariable {
+			r.MaxNegativeVariable = -v
+		}
+		if v := alloc.NuMW[j]; v < 0 && -v > r.MaxNegativeVariable {
+			r.MaxNegativeVariable = -v
+		}
+		if ex := alloc.MuMW[j] - dc.FuelCellMaxMW; ex > r.MaxFuelCellExcess {
+			r.MaxFuelCellExcess = ex
+		}
+		bal := inst.DemandMW(j, load) - alloc.MuMW[j] - alloc.NuMW[j]
+		if d := abs(bal); d > r.MaxPowerBalanceErr {
+			r.MaxPowerBalanceErr = d
+		}
+	}
+	return r
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,186 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/carbon"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/utility"
+)
+
+func TestValidateCatchesShapeErrors(t *testing.T) {
+	inst := smallInstance(t, 1)
+	if err := inst.Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+
+	bad := *inst
+	bad.Cloud = nil
+	if err := bad.Validate(); !errors.Is(err, core.ErrNilCloud) {
+		t.Errorf("nil cloud: %v", err)
+	}
+
+	bad = *inst
+	bad.Arrivals = inst.Arrivals[:1]
+	if err := bad.Validate(); err == nil {
+		t.Error("short arrivals accepted")
+	}
+
+	bad = *inst
+	bad.Utility = nil
+	if err := bad.Validate(); !errors.Is(err, core.ErrNoUtility) {
+		t.Errorf("nil utility: %v", err)
+	}
+
+	bad = *inst
+	bad.Arrivals = append([]float64(nil), inst.Arrivals...)
+	bad.Arrivals[0] = -5
+	if err := bad.Validate(); err == nil {
+		t.Error("negative arrivals accepted")
+	}
+
+	bad = *inst
+	bad.Arrivals = append([]float64(nil), inst.Arrivals...)
+	bad.Arrivals[0] = 1e9
+	if err := bad.Validate(); !errors.Is(err, core.ErrOverloaded) {
+		t.Errorf("overload: %v", err)
+	}
+
+	bad = *inst
+	bad.PriceUSD = append([]float64(nil), inst.PriceUSD...)
+	bad.PriceUSD[0] = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative price accepted")
+	}
+
+	bad = *inst
+	bad.EmissionCost = append([]carbon.CostFunc(nil), inst.EmissionCost...)
+	bad.EmissionCost[1] = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil emission cost accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if core.Hybrid.String() != "hybrid" || core.GridOnly.String() != "grid" || core.FuelCellOnly.String() != "fuelcell" {
+		t.Error("strategy names wrong")
+	}
+	if core.Strategy(9).String() == "" {
+		t.Error("unknown strategy has empty name")
+	}
+}
+
+func TestEvaluateBreakdownConsistency(t *testing.T) {
+	inst := smallInstance(t, 2)
+	n, m := inst.Cloud.N(), inst.Cloud.M()
+	alloc := core.NewAllocation(m, n)
+	// Route everything to datacenter 0 and power it from the grid.
+	for i := 0; i < m; i++ {
+		alloc.Lambda[i][0] = inst.Arrivals[i]
+	}
+	demand := inst.Cloud.Datacenters[0].DemandMW(alloc.DCLoad(0))
+	alloc.NuMW[0] = demand
+	for j := 1; j < n; j++ {
+		alloc.NuMW[j] = inst.Cloud.Datacenters[j].DemandMW(0)
+	}
+	bd := core.Evaluate(inst, alloc)
+
+	if bd.FuelCellMWh != 0 || bd.FuelCellCostUSD != 0 {
+		t.Error("grid-only allocation has fuel-cell terms")
+	}
+	if math.Abs(bd.EnergyCostUSD-(bd.GridCostUSD+bd.FuelCellCostUSD)) > 1e-9 {
+		t.Error("energy cost does not decompose")
+	}
+	wantUFC := bd.UtilityWeighted - bd.CarbonCostUSD - bd.EnergyCostUSD
+	if math.Abs(bd.UFC-wantUFC) > 1e-9 {
+		t.Errorf("UFC = %g, want %g", bd.UFC, wantUFC)
+	}
+	if bd.EmissionTons <= 0 {
+		t.Error("grid power should emit carbon")
+	}
+	if bd.AvgLatencySec <= 0 {
+		t.Error("latency should be positive")
+	}
+	if bd.FuelCellUtilization != 0 {
+		t.Error("utilization should be 0 without fuel cells")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	x := core.Breakdown{UFC: -50}
+	y := core.Breakdown{UFC: -100}
+	if got := core.Improvement(x, y); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("improvement = %g, want 0.5", got)
+	}
+	if got := core.Improvement(y, x); math.Abs(got-(-1)) > 1e-12 {
+		t.Errorf("worsening = %g, want -1", got)
+	}
+	if core.Improvement(x, core.Breakdown{}) != 0 {
+		t.Error("zero denominator should return 0")
+	}
+}
+
+func TestCheckFeasibility(t *testing.T) {
+	inst := smallInstance(t, 3)
+	n, m := inst.Cloud.N(), inst.Cloud.M()
+	alloc := core.NewAllocation(m, n)
+	for i := 0; i < m; i++ {
+		alloc.Lambda[i][0] = inst.Arrivals[i]
+	}
+	for j := 0; j < n; j++ {
+		alloc.NuMW[j] = inst.Cloud.Datacenters[j].DemandMW(alloc.DCLoad(j))
+	}
+	rep := core.CheckFeasibility(inst, alloc)
+	// Everything routed to DC 0 may exceed its capacity but satisfies the
+	// other constraints.
+	if rep.MaxLoadBalanceErr > 1e-9 || rep.MaxPowerBalanceErr > 1e-9 || rep.MaxNegativeVariable > 0 {
+		t.Errorf("unexpected violations: %+v", rep)
+	}
+
+	alloc.Lambda[0][0] -= 10 // break load balance
+	rep = core.CheckFeasibility(inst, alloc)
+	if rep.MaxLoadBalanceErr < 9.9 {
+		t.Errorf("load balance violation not detected: %+v", rep)
+	}
+	if rep.Ok(1e-6) {
+		t.Error("Ok() on infeasible allocation")
+	}
+}
+
+func TestAllocationClone(t *testing.T) {
+	a := core.NewAllocation(2, 2)
+	a.Lambda[0][1] = 5
+	a.MuMW[0] = 1
+	c := a.Clone()
+	c.Lambda[0][1] = 9
+	c.MuMW[0] = 9
+	if a.Lambda[0][1] != 5 || a.MuMW[0] != 1 {
+		t.Error("Clone aliased data")
+	}
+}
+
+func TestFuelCellOnlyNeedsCapacity(t *testing.T) {
+	pm := model.DefaultPowerModel()
+	dc := model.Datacenter{Location: model.Dallas, Servers: 100, Power: pm, FuelCellMaxMW: 0.001}
+	cloud, err := model.NewCloud([]model.Datacenter{dc}, []model.FrontEnd{{Location: model.Dallas}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &core.Instance{
+		Cloud:            cloud,
+		Arrivals:         []float64{50},
+		PriceUSD:         []float64{40},
+		FuelCellPriceUSD: 80,
+		CarbonRate:       []float64{0.5},
+		EmissionCost:     []carbon.CostFunc{carbon.LinearTax{Rate: 25}},
+		Utility:          utility.Quadratic{},
+		WeightW:          10,
+	}
+	_, _, _, err = core.Solve(inst, core.Options{Strategy: core.FuelCellOnly})
+	if !errors.Is(err, core.ErrFuelCellDeficit) {
+		t.Fatalf("err = %v, want ErrFuelCellDeficit", err)
+	}
+}

@@ -1,0 +1,139 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/carbon"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/utility"
+)
+
+// wideInstance builds an instance with many front-ends (the paper's
+// motivation: "hundreds of thousands of front-end proxy servers" make the
+// centralized problem unmanageable).
+func wideInstance(t *testing.T, seed int64, m int) *core.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pm := model.DefaultPowerModel()
+	sites := model.PaperDatacenterSites()
+	dcs := make([]model.Datacenter, 4)
+	for j := range dcs {
+		dcs[j] = model.Datacenter{
+			Location: sites[j],
+			Servers:  4000 + 2000*rng.Float64(),
+			Power:    pm,
+		}.FullFuelCell()
+	}
+	feSites := model.PaperFrontEndSites()
+	fes := make([]model.FrontEnd, m)
+	for i := range fes {
+		base := feSites[i%len(feSites)].Lat
+		fes[i] = model.FrontEnd{Location: model.Location{
+			Name: feSites[i%len(feSites)].Name,
+			Lat:  base + rng.Float64()*2 - 1,
+			Lon:  feSites[i%len(feSites)].Lon + rng.Float64()*2 - 1,
+		}}
+	}
+	cloud, err := model.NewCloud(dcs, fes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := make([]float64, m)
+	budget := 0.7 * cloud.TotalServers()
+	for i := range arr {
+		arr[i] = budget / float64(m) * (0.5 + rng.Float64())
+	}
+	prices := make([]float64, 4)
+	rates := make([]float64, 4)
+	costs := make([]carbon.CostFunc, 4)
+	for j := range prices {
+		prices[j] = 20 + 80*rng.Float64()
+		rates[j] = 0.2 + 0.6*rng.Float64()
+		costs[j] = carbon.LinearTax{Rate: 25}
+	}
+	return &core.Instance{
+		Cloud:            cloud,
+		Arrivals:         arr,
+		PriceUSD:         prices,
+		FuelCellPriceUSD: 80,
+		CarbonRate:       rates,
+		EmissionCost:     costs,
+		Utility:          utility.Quadratic{},
+		WeightW:          10,
+	}
+}
+
+func TestSolveWideInstanceMatchesCentralized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	inst := wideInstance(t, 3, 40)
+	_, bdD, stats, err := core.Solve(inst, core.Options{MaxIterations: 4000})
+	if err != nil {
+		t.Fatalf("solve: %v (iters %d residual %g)", err, stats.Iterations, stats.FinalResidual)
+	}
+	_, bdC, err := baseline.SolveQP(inst, core.Hybrid)
+	if err != nil {
+		t.Fatalf("centralized: %v", err)
+	}
+	if d := math.Abs(bdD.UFC - bdC.UFC); d > 5e-3*(1+math.Abs(bdC.UFC)) {
+		t.Errorf("M=40: distributed %g vs centralized %g (diff %g)", bdD.UFC, bdC.UFC, d)
+	}
+}
+
+func TestHeterogeneousPowerModels(t *testing.T) {
+	// The paper's model claims generality (§II-A): verify with per-site
+	// PUE and server power diversity.
+	rng := rand.New(rand.NewSource(7))
+	sites := model.PaperDatacenterSites()
+	dcs := []model.Datacenter{
+		{Location: sites[0], Servers: 1000, Power: model.PowerModel{IdleW: 80, PeakW: 240, PUE: 1.1}},
+		{Location: sites[1], Servers: 1500, Power: model.PowerModel{IdleW: 120, PeakW: 200, PUE: 1.5}},
+		{Location: sites[2], Servers: 800, Power: model.PowerModel{IdleW: 100, PeakW: 300, PUE: 2.1}},
+	}
+	for j := range dcs {
+		dcs[j] = dcs[j].FullFuelCell()
+	}
+	feSites := model.PaperFrontEndSites()
+	fes := []model.FrontEnd{{Location: feSites[0]}, {Location: feSites[5]}, {Location: feSites[8]}}
+	cloud, err := model.NewCloud(dcs, fes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &core.Instance{
+		Cloud:            cloud,
+		Arrivals:         []float64{400 + 100*rng.Float64(), 500, 300},
+		PriceUSD:         []float64{30, 70, 95},
+		FuelCellPriceUSD: 80,
+		CarbonRate:       []float64{0.7, 0.3, 0.5},
+		EmissionCost: []carbon.CostFunc{
+			carbon.LinearTax{Rate: 25}, carbon.LinearTax{Rate: 25}, carbon.LinearTax{Rate: 25},
+		},
+		Utility: utility.Quadratic{},
+		WeightW: 10,
+	}
+	_, bdD, _, err := core.Solve(inst, core.Options{MaxIterations: 4000, Tolerance: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bdC, err := baseline.SolveQP(inst, core.Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(bdD.UFC - bdC.UFC); d > 2e-3*(1+math.Abs(bdC.UFC)) {
+		t.Errorf("heterogeneous: distributed %g vs centralized %g", bdD.UFC, bdC.UFC)
+	}
+	// The high-PUE site must show a proportionally larger demand per unit
+	// of load.
+	e, err := core.NewEngine(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.BetaMW(2) <= e.BetaMW(0) {
+		t.Errorf("PUE 2.1 site beta %g should exceed PUE 1.1 site beta %g", e.BetaMW(2), e.BetaMW(0))
+	}
+}

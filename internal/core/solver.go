@@ -1,0 +1,757 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/carbon"
+	"repro/internal/linalg"
+	"repro/internal/qp"
+	"repro/internal/utility"
+)
+
+// Solver errors.
+var (
+	ErrNotConverged = errors.New("core: ADM-G did not converge within the iteration budget")
+	ErrBadOptions   = errors.New("core: invalid solver options")
+)
+
+// Options configures the distributed 4-block ADM-G solver.
+type Options struct {
+	// Strategy selects Hybrid (default), GridOnly or FuelCellOnly.
+	Strategy Strategy
+	// Rho is the augmented-Lagrangian penalty ρ (paper default 0.3).
+	Rho float64
+	// Epsilon is the Gaussian back-substitution step ε ∈ (0.5, 1]
+	// (default 1).
+	Epsilon float64
+	// MaxIterations bounds the ADM-G loop (default 2000).
+	MaxIterations int
+	// Tolerance is the relative convergence tolerance on the routing
+	// coupling and dual stationarity (default 2.5e-4: at the paper's
+	// scenario scale this is on the order of one misrouted server).
+	Tolerance float64
+	// DisableCorrection skips the Gaussian back-substitution step,
+	// degrading ADM-G to a plain (convergence-unguaranteed) 4-block
+	// ADMM — the ablation discussed in §III-A.
+	DisableCorrection bool
+	// TrackResiduals records the residual after every iteration in
+	// Stats.ResidualTrace.
+	TrackResiduals bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Strategy == 0 {
+		o.Strategy = Hybrid
+	}
+	if o.Rho == 0 {
+		o.Rho = 0.3
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 1
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 2000
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 2.5e-4
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Rho < 0 {
+		return fmt.Errorf("rho %g: %w", o.Rho, ErrBadOptions)
+	}
+	if o.Epsilon <= 0.5 || o.Epsilon > 1 {
+		return fmt.Errorf("epsilon %g outside (0.5, 1]: %w", o.Epsilon, ErrBadOptions)
+	}
+	switch o.Strategy {
+	case Hybrid, GridOnly, FuelCellOnly:
+	default:
+		return fmt.Errorf("unknown strategy %d: %w", int(o.Strategy), ErrBadOptions)
+	}
+	return nil
+}
+
+// Stats reports solver behaviour for one slot.
+type Stats struct {
+	Iterations    int
+	Converged     bool
+	FinalResidual float64 // combined relative primal residual
+	// ResidualTrace holds the residual after each iteration when
+	// Options.TrackResiduals is set.
+	ResidualTrace []float64
+}
+
+// State is the full iterate of the distributed algorithm. Power variables
+// (Mu, Nu and the dual Phi) are kept in the engine's per-datacenter
+// "server-equivalent" scaling — power divided by β_j — so that all four
+// ADMM blocks share the workload scale (see Engine). It is exported so the
+// message-passing runtime (internal/distsim) can carry the same state
+// through real message exchanges and produce bit-identical iterates.
+type State struct {
+	Lambda [][]float64 // λ_ij, M×N
+	A      [][]float64 // a_ij, M×N (auxiliary routing copies)
+	Mu     []float64   // μ_j/β_j, N (server-equivalents)
+	Nu     []float64   // ν_j/β_j, N (server-equivalents)
+	Phi    []float64   // φ_j, N (power-balance duals, $/server-equivalent)
+	Varphi [][]float64 // φ_ij, M×N (a=λ duals)
+}
+
+// NewState returns the zero-initialized iterate (the paper initializes all
+// variables to 0).
+func NewState(m, n int) *State {
+	return &State{
+		Lambda: zeros2(m, n),
+		A:      zeros2(m, n),
+		Varphi: zeros2(m, n),
+		Mu:     make([]float64, n),
+		Nu:     make([]float64, n),
+		Phi:    make([]float64, n),
+	}
+}
+
+func zeros2(m, n int) [][]float64 {
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	return out
+}
+
+// Engine carries the per-agent sub-problem solvers of §III-C. Its step
+// methods are pure with respect to the engine (safe for concurrent use by
+// different agents) and are shared between the in-process sequential loop
+// and the message-passing runtime.
+//
+// Scaling: the paper's single penalty ρ implicitly assumes the routing
+// variables (servers) and power variables (watts) live on comparable
+// scales. We make that explicit by measuring each datacenter's power in
+// "server-equivalents" — power divided by β_j = (P_peak − P_idle)·PUE_j —
+// which turns the power-balance constraint (15) into
+//
+//	α_j/β_j + Σ_i a_ij − μ'_j − ν'_j = 0
+//
+// with every term on the workload scale. Prices are scaled the other way
+// (p' = p·β_j), leaving the objective value unchanged. This is a pure
+// change of units; the algorithm is otherwise §III-C verbatim.
+type Engine struct {
+	inst *Instance
+	opts Options
+
+	alphaEq []float64 // α_j/β_j (server-equivalents)
+	beta    []float64 // β_j, MW per workload unit (for unit conversion)
+	capEq   []float64 // effective μ_j^max/β_j per strategy
+	p0Eq    []float64 // p0·β_j, $ per server-equivalent-hour
+	pEq     []float64 // p_j·β_j
+	cEq     []float64 // C_j·β_j, tons per server-equivalent-hour
+
+	// rho is the effective penalty: Options.Rho times the instance's
+	// marginal-cost scale, so the paper's ρ = 0.3 sits in the regime
+	// where the augmented-Lagrangian curvature matches the objective's
+	// gradients regardless of the instance's units.
+	rho float64
+	// dualScale is the marginal-cost scale used to normalize dual-change
+	// residuals in the convergence test.
+	dualScale float64
+}
+
+// NewEngine validates the instance and options and prepares an engine.
+func NewEngine(inst *Instance, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	n := inst.Cloud.N()
+	e := &Engine{
+		inst:    inst,
+		opts:    opts,
+		alphaEq: make([]float64, n),
+		beta:    make([]float64, n),
+		capEq:   make([]float64, n),
+		p0Eq:    make([]float64, n),
+		pEq:     make([]float64, n),
+		cEq:     make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		dc := inst.Cloud.Datacenters[j]
+		beta := inst.BetaMW(j)
+		if beta <= 0 {
+			return nil, fmt.Errorf("core: datacenter %d has zero dynamic power range", j)
+		}
+		e.beta[j] = beta
+		e.alphaEq[j] = inst.AlphaMW(j) / beta
+		e.p0Eq[j] = inst.FuelCellPriceUSD * beta
+		e.pEq[j] = inst.PriceUSD[j] * beta
+		e.cEq[j] = inst.CarbonRate[j] * beta
+		switch opts.Strategy {
+		case GridOnly:
+			e.capEq[j] = 0
+		default:
+			e.capEq[j] = dc.FuelCellMaxMW / beta
+		}
+	}
+	if opts.Strategy == FuelCellOnly {
+		// ν ≡ 0 requires fuel cells to cover worst-case demand.
+		for j := 0; j < n; j++ {
+			if peak := inst.PeakDemandMW(j); e.capEq[j]*e.beta[j] < peak-1e-9 {
+				return nil, fmt.Errorf("datacenter %d: capacity %g MW < peak demand %g MW: %w",
+					j, e.capEq[j]*e.beta[j], peak, ErrFuelCellDeficit)
+			}
+		}
+	}
+	// Effective penalty: Options.Rho times an estimate of the objective's
+	// curvature/gradient scale in the (scaled) variable space, so that the
+	// paper's ρ = 0.3 lands in the fast-convergence regime whatever units
+	// the instance uses. The estimate combines the latency-utility
+	// curvature (≈ 2w·L̄²·N/Ā per variable) with the marginal-cost
+	// gradient scale divided by the load scale.
+	var costScale float64
+	for j := 0; j < n; j++ {
+		costScale += e.p0Eq[j] + e.pEq[j] + e.cEq[j]*inst.EmissionCost[j].Marginal(0)
+	}
+	costScale /= float64(2 * n)
+	meanA, cnt := 0.0, 0
+	for _, a := range inst.Arrivals {
+		if a > 0 {
+			meanA += a
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		meanA /= float64(cnt)
+	} else {
+		meanA = 1
+	}
+	var meanLat2 float64
+	m := inst.Cloud.M()
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			l := inst.Cloud.LatencySec(i, j)
+			meanLat2 += l * l
+		}
+	}
+	meanLat2 /= float64(m * n)
+	curvature := 2 * inst.WeightW * meanLat2 * float64(n) / meanA
+	// The extra 400/meanA factor was fit empirically: across two orders
+	// of magnitude of fleet size the iteration-count-minimizing penalty
+	// tracks curvature/meanA, i.e. ρ* ∝ w·L̄²·N/Ā² (see the ablation
+	// bench BenchmarkAblationRho).
+	scale := math.Max(curvature, costScale/meanA) * 400 / meanA
+	if scale < 1e-15 {
+		scale = 1e-15
+	}
+	e.rho = opts.Rho * scale
+	e.dualScale = math.Max(costScale, 1e-12)
+	return e, nil
+}
+
+// Instance returns the engine's problem instance.
+func (e *Engine) Instance() *Instance { return e.inst }
+
+// Options returns the effective (defaulted) options.
+func (e *Engine) Options() Options { return e.opts }
+
+// LambdaStep solves the per-front-end λ-minimization (17):
+//
+//	min −wU(λ_i) + Σ_j (φ_ij λ_ij + ρ/2 (λ_ij² − 2 a_ij λ_ij))
+//	s.t. Σ_j λ_ij = A_i, λ_ij ≥ 0.
+func (e *Engine) LambdaStep(i int, aRow, varphiRow []float64) ([]float64, error) {
+	n := e.inst.Cloud.N()
+	arrivals := e.inst.Arrivals[i]
+	if arrivals <= 0 {
+		return make([]float64, n), nil
+	}
+	rho := e.rho
+	lat := e.inst.Cloud.LatencyRow(i)
+
+	switch u := e.inst.Utility.(type) {
+	case utility.Quadratic:
+		// −wU = (w/A_i)(Σλ_ij L_ij)² → H = ρI + (2w/A_i) L Lᵀ.
+		h := linalg.NewMatrix(n, n)
+		scale := 2 * e.inst.WeightW / arrivals
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				v := scale * lat[r] * lat[c]
+				if r == c {
+					v += rho
+				}
+				h.Set(r, c, v)
+			}
+		}
+		cvec := linalg.NewVector(n)
+		for j := 0; j < n; j++ {
+			cvec[j] = varphiRow[j] - rho*aRow[j]
+		}
+		return e.solveSimplexQP(h, cvec, arrivals, aRow)
+	case utility.Linear:
+		// −wU = w Σλ_ij L_ij → linear term only.
+		h := linalg.NewMatrix(n, n)
+		for j := 0; j < n; j++ {
+			h.Set(j, j, rho)
+		}
+		cvec := linalg.NewVector(n)
+		for j := 0; j < n; j++ {
+			cvec[j] = e.inst.WeightW*lat[j] + varphiRow[j] - rho*aRow[j]
+		}
+		return e.solveSimplexQP(h, cvec, arrivals, aRow)
+	default:
+		return e.lambdaProjGrad(u, lat, arrivals, aRow, varphiRow)
+	}
+}
+
+// solveSimplexQP solves min ½λᵀHλ + cᵀλ over {λ ≥ 0, Σλ = arrivals},
+// warm-started by projecting the hint onto the feasible simplex.
+func (e *Engine) solveSimplexQP(h *linalg.Matrix, c linalg.Vector, arrivals float64, hint []float64) ([]float64, error) {
+	n := c.Len()
+	aeq := linalg.NewMatrix(1, n)
+	for j := 0; j < n; j++ {
+		aeq.Set(0, j, 1)
+	}
+	start := qp.ProjectSimplex(linalg.VectorOf(hint...), arrivals)
+	res, err := qp.Solve(&qp.Problem{
+		H: h, C: c,
+		Aeq: aeq, Beq: linalg.VectorOf(arrivals),
+		Lower: linalg.NewVector(n),
+		Upper: linalg.Constant(n, math.Inf(1)),
+		Start: start,
+	}, qp.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("λ-minimization: %w", err)
+	}
+	return res.X, nil
+}
+
+// lambdaProjGrad is the generic λ-step for non-quadratic utilities:
+// projected gradient with backtracking on the ρ-strongly-convex
+// sub-problem.
+func (e *Engine) lambdaProjGrad(u utility.Func, lat []float64, arrivals float64, aRow, varphiRow []float64) ([]float64, error) {
+	n := len(lat)
+	rho, w := e.rho, e.inst.WeightW
+	obj := func(x linalg.Vector) float64 {
+		v := -w * u.Value(x, lat, arrivals)
+		for j := 0; j < n; j++ {
+			v += varphiRow[j]*x[j] + rho/2*(x[j]*x[j]-2*aRow[j]*x[j])
+		}
+		return v
+	}
+	grad := func(x linalg.Vector) linalg.Vector {
+		g := linalg.VectorOf(u.Gradient(x, lat, arrivals)...)
+		g.Scale(-w)
+		for j := 0; j < n; j++ {
+			g[j] += varphiRow[j] + rho*(x[j]-aRow[j])
+		}
+		return g
+	}
+	x := qp.ProjectSimplex(linalg.VectorOf(aRow...), arrivals)
+	step := 1 / (rho + 1)
+	fx := obj(x)
+	for iter := 0; iter < 2000; iter++ {
+		g := grad(x)
+		var next linalg.Vector
+		for bt := 0; bt < 60; bt++ {
+			y := x.Clone()
+			y.AddScaled(-step, g)
+			next = qp.ProjectSimplex(y, arrivals)
+			fn := obj(next)
+			d := next.Sub(x)
+			if fn <= fx+g.Dot(d)+d.Dot(d)/(2*step)+1e-15 {
+				fx = fn
+				break
+			}
+			step /= 2
+		}
+		if next.Sub(x).NormInf() <= 1e-10*(1+arrivals) {
+			x = next
+			break
+		}
+		x = next
+		step *= 1.3 // gentle step recovery
+	}
+	return x, nil
+}
+
+// MuStep solves the per-datacenter μ-minimization (18) in closed form:
+//
+//	μ̃_j = clamp(α_j + Σ_i a_ij − ν_j − (φ_j + p0)/ρ, 0, μ_j^max)
+//
+// in server-equivalent units.
+func (e *Engine) MuStep(j int, sumA, nu, phi float64) float64 {
+	target := e.alphaEq[j] + sumA - nu - (phi+e.p0Eq[j])/e.rho
+	return qp.Clamp(target, 0, e.capEq[j])
+}
+
+// NuStep solves the per-datacenter ν-minimization (19):
+//
+//	min V_j(C_j ν) + (p_j + φ_j) ν + ρ/2 (k − ν)²,  ν ≥ 0,
+//
+// where k = α_j + Σ_i a_ij − μ̃_j in server-equivalent units. Linear carbon
+// taxes admit a closed form; general convex V_j are handled by derivative
+// bisection.
+func (e *Engine) NuStep(j int, sumA, muTilde, phi float64) float64 {
+	if e.opts.Strategy == FuelCellOnly {
+		return 0
+	}
+	rho := e.rho
+	k := e.alphaEq[j] + sumA - muTilde
+	if tax, ok := e.inst.EmissionCost[j].(carbon.LinearTax); ok {
+		return math.Max(0, k-(tax.Rate*e.cEq[j]+e.pEq[j]+phi)/rho)
+	}
+	v := e.inst.EmissionCost[j]
+	c := e.cEq[j]
+	deriv := func(nu float64) float64 {
+		return c*v.Marginal(c*nu) + e.pEq[j] + phi + rho*(nu-k)
+	}
+	return qp.MinimizeConvex1D(deriv, 0, math.Inf(1), 1e-10)
+}
+
+// AStep solves the per-datacenter a-minimization (20) (in the scaled units
+// β_j = 1):
+//
+//	min −Σ_i a_ij (φ_j + φ_ij) + ρ/2 (Σ_i a_ij)²
+//	    + ρ Σ_i a_ij (0.5 a_ij − λ̃_ij + α_j − μ̃_j − ν̃_j)
+//	s.t. Σ_i a_ij ≤ S_j, a_ij ≥ 0.
+//
+// The Hessian ρ(I + 11ᵀ) with a single sum constraint and nonnegativity
+// admits an exact O(M log M) water-filling solution
+// (qp.SolveSumCappedRankOne), so this step stays cheap even with many
+// front-ends (the paper's "transformed into a second order cone program
+// and solved efficiently" remark). The previous column is not needed: the
+// solver is closed-form, not iterative.
+func (e *Engine) AStep(j int, lambdaTildeCol, varphiCol []float64, muTilde, nuTilde, phi float64, _ []float64) ([]float64, error) {
+	m := e.inst.Cloud.M()
+	rho := e.rho
+	cvec := linalg.NewVector(m)
+	off := e.alphaEq[j] - muTilde - nuTilde
+	for i := 0; i < m; i++ {
+		cvec[i] = -(phi + varphiCol[i]) + rho*(-lambdaTildeCol[i]+off)
+	}
+	sol, err := qp.SolveSumCappedRankOne(rho, 1, cvec, e.inst.Cloud.Datacenters[j].Servers)
+	if err != nil {
+		return nil, fmt.Errorf("a-minimization at datacenter %d: %w", j, err)
+	}
+	return sol, nil
+}
+
+// PowerBalance returns α_j + Σ_i a_ij − μ − ν in server-equivalent units,
+// the residual of the power balance constraint (15).
+func (e *Engine) PowerBalance(j int, sumA, mu, nu float64) float64 {
+	return e.alphaEq[j] + sumA - mu - nu
+}
+
+// Iterate performs one full ADM-G iteration (prediction §III-C step 1 plus
+// Gaussian back substitution step 2) on the state in place.
+func (e *Engine) Iterate(s *State) error {
+	m, n := e.inst.Cloud.M(), e.inst.Cloud.N()
+	rho, eps := e.rho, e.opts.Epsilon
+	if e.opts.DisableCorrection {
+		eps = 1
+	}
+
+	// --- 1.1 λ-minimization (per front-end). ---
+	lambdaTilde := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		lt, err := e.LambdaStep(i, s.A[i], s.Varphi[i])
+		if err != nil {
+			return err
+		}
+		lambdaTilde[i] = lt
+	}
+
+	sumA := colSums(s.A, n)
+
+	// --- 1.2 μ-minimization and 1.3 ν-minimization (per datacenter). ---
+	muTilde := make([]float64, n)
+	nuTilde := make([]float64, n)
+	for j := 0; j < n; j++ {
+		muTilde[j] = e.MuStep(j, sumA[j], s.Nu[j], s.Phi[j])
+		nuTilde[j] = e.NuStep(j, sumA[j], muTilde[j], s.Phi[j])
+	}
+
+	// --- 1.4 a-minimization (per datacenter). ---
+	aTilde := zeros2(m, n)
+	for j := 0; j < n; j++ {
+		col, err := e.AStep(j, column(lambdaTilde, j), column(s.Varphi, j),
+			muTilde[j], nuTilde[j], s.Phi[j], column(s.A, j))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < m; i++ {
+			aTilde[i][j] = col[i]
+		}
+	}
+
+	// --- 1.5 dual updates. ---
+	sumATilde := colSums(aTilde, n)
+	phiTilde := make([]float64, n)
+	for j := 0; j < n; j++ {
+		phiTilde[j] = s.Phi[j] - rho*e.PowerBalance(j, sumATilde[j], muTilde[j], nuTilde[j])
+	}
+	varphiTilde := zeros2(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			varphiTilde[i][j] = s.Varphi[i][j] - rho*(aTilde[i][j]-lambdaTilde[i][j])
+		}
+	}
+
+	// --- 2. Gaussian back substitution (backward order). ---
+	for j := 0; j < n; j++ {
+		s.Phi[j] += eps * (phiTilde[j] - s.Phi[j])
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s.Varphi[i][j] += eps * (varphiTilde[i][j] - s.Varphi[i][j])
+		}
+	}
+	aDeltaSum := make([]float64, n) // Σ_i (a^{k+1} − a^k), scaled β = 1
+	for j := 0; j < n; j++ {
+		var d float64
+		for i := 0; i < m; i++ {
+			old := s.A[i][j]
+			next := old + eps*(aTilde[i][j]-old)
+			d += next - old
+			s.A[i][j] = next
+		}
+		aDeltaSum[j] = d
+	}
+	for j := 0; j < n; j++ {
+		nuOld := s.Nu[j]
+		var nuNext float64
+		if e.opts.DisableCorrection {
+			nuNext = nuTilde[j]
+		} else {
+			nuNext = nuOld + eps*(nuTilde[j]-nuOld) + aDeltaSum[j]
+		}
+		if e.opts.DisableCorrection {
+			s.Mu[j] = muTilde[j]
+		} else {
+			muOld := s.Mu[j]
+			s.Mu[j] = muOld + eps*(muTilde[j]-muOld) - (nuNext - nuOld) + aDeltaSum[j]
+		}
+		s.Nu[j] = nuNext
+	}
+	for i := 0; i < m; i++ {
+		copy(s.Lambda[i], lambdaTilde[i])
+	}
+	return nil
+}
+
+// Residual returns the combined relative primal residual of the state: the
+// worst of the a=λ coupling residual and the power-balance residual, both
+// relative to the workload scale (the scaled units make them commensurate).
+func (e *Engine) Residual(s *State) float64 {
+	m, n := e.inst.Cloud.M(), e.inst.Cloud.N()
+	scale := e.loadScale()
+	var r float64
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if d := math.Abs(s.A[i][j] - s.Lambda[i][j]); d > r {
+				r = d
+			}
+		}
+	}
+	sumA := colSums(s.A, n)
+	for j := 0; j < n; j++ {
+		if d := math.Abs(e.PowerBalance(j, sumA[j], s.Mu[j], s.Nu[j])); d > r {
+			r = d
+		}
+	}
+	return r / scale
+}
+
+func (e *Engine) loadScale() float64 {
+	scale := 1.0
+	for _, a := range e.inst.Arrivals {
+		if a > scale {
+			scale = a
+		}
+	}
+	return scale
+}
+
+// RoutingResidual measures convergence of the decisions that determine the
+// final allocation: the a=λ coupling and the per-iteration change of the
+// duals (relative to the instance's marginal-cost scale). The raw μ/ν
+// iterates and the λ drift are excluded: near price/latency ties they
+// slide along flat directions of the objective long after the coupling and
+// duals have settled, without affecting the optimum, and Finalize
+// recomputes the power split exactly from λ anyway.
+func (e *Engine) RoutingResidual(s, prev *State) float64 {
+	m, n := e.inst.Cloud.M(), e.inst.Cloud.N()
+	scale := e.loadScale()
+	var r float64
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if d := math.Abs(s.A[i][j] - s.Lambda[i][j]); d > r {
+				r = d
+			}
+		}
+	}
+	r /= scale
+	for j := 0; j < n; j++ {
+		if d := math.Abs(s.Phi[j]-prev.Phi[j]) / e.dualScale; d > r {
+			r = d
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if d := math.Abs(s.Varphi[i][j]-prev.Varphi[i][j]) / e.dualScale; d > r {
+				r = d
+			}
+		}
+	}
+	return r
+}
+
+// copyState deep-copies src into dst (shapes must match).
+func copyState(dst, src *State) {
+	for i := range src.Lambda {
+		copy(dst.Lambda[i], src.Lambda[i])
+		copy(dst.A[i], src.A[i])
+		copy(dst.Varphi[i], src.Varphi[i])
+	}
+	copy(dst.Mu, src.Mu)
+	copy(dst.Nu, src.Nu)
+	copy(dst.Phi, src.Phi)
+}
+
+// Solve runs the full distributed 4-block ADM-G loop for the instance and
+// returns a feasible allocation (after the exact power-split finalization),
+// the UFC breakdown, and solver statistics.
+func Solve(inst *Instance, opts Options) (*Allocation, Breakdown, *Stats, error) {
+	e, err := NewEngine(inst, opts)
+	if err != nil {
+		return nil, Breakdown{}, nil, err
+	}
+	s := NewState(inst.Cloud.M(), inst.Cloud.N())
+	prev := NewState(inst.Cloud.M(), inst.Cloud.N())
+	stats := &Stats{}
+	opts = e.opts
+
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		copyState(prev, s)
+		if err := e.Iterate(s); err != nil {
+			return nil, Breakdown{}, nil, fmt.Errorf("iteration %d: %w", iter, err)
+		}
+		res := e.RoutingResidual(s, prev)
+		if opts.TrackResiduals {
+			stats.ResidualTrace = append(stats.ResidualTrace, res)
+		}
+		stats.Iterations = iter
+		stats.FinalResidual = res
+		if res <= opts.Tolerance {
+			stats.Converged = true
+			break
+		}
+	}
+
+	alloc := e.Finalize(s)
+	bd := Evaluate(inst, alloc)
+	if !stats.Converged {
+		return alloc, bd, stats, fmt.Errorf("residual %g after %d iterations: %w",
+			stats.FinalResidual, stats.Iterations, ErrNotConverged)
+	}
+	return alloc, bd, stats, nil
+}
+
+// Finalize converts a (near-)converged iterate into an exactly feasible
+// allocation: the routing is taken from λ (per-front-end feasible by
+// construction) and the power split (μ_j, ν_j) is recomputed exactly from
+// the induced demand via the 1-D convex split — which can only improve the
+// objective and guarantees the power-balance constraint holds exactly.
+func (e *Engine) Finalize(s *State) *Allocation {
+	m, n := e.inst.Cloud.M(), e.inst.Cloud.N()
+	alloc := NewAllocation(m, n)
+	for i := 0; i < m; i++ {
+		copy(alloc.Lambda[i], s.Lambda[i])
+	}
+	for j := 0; j < n; j++ {
+		demand := e.inst.DemandMW(j, alloc.DCLoad(j))
+		mu, nu := e.OptimalPowerSplit(j, demand)
+		alloc.MuMW[j] = mu
+		alloc.NuMW[j] = nu
+	}
+	return alloc
+}
+
+// OptimalPowerSplit solves the exact 1-D convex problem of covering the
+// demand (MW) at datacenter j with fuel cells and grid power under the
+// engine's strategy:
+//
+//	min  p0·μ + p_j·ν + V_j(C_j·ν)   s.t.  μ + ν = demand, 0 ≤ μ ≤ μmax, ν ≥ 0.
+func (e *Engine) OptimalPowerSplit(j int, demand float64) (mu, nu float64) {
+	if demand <= 0 {
+		return 0, 0
+	}
+	switch e.opts.Strategy {
+	case GridOnly:
+		return 0, demand
+	case FuelCellOnly:
+		return demand, 0
+	}
+	hi := math.Min(e.capEq[j]*e.beta[j], demand)
+	if hi <= 0 {
+		return 0, demand
+	}
+	p0 := e.inst.FuelCellPriceUSD
+	p := e.inst.PriceUSD[j]
+	c := e.inst.CarbonRate[j]
+	v := e.inst.EmissionCost[j]
+	deriv := func(mu float64) float64 {
+		gridLoad := demand - mu
+		return p0 - p - c*v.Marginal(c*gridLoad)
+	}
+	mu = qp.MinimizeConvex1D(deriv, 0, hi, 1e-12)
+	return mu, demand - mu
+}
+
+// MuMaxMW returns the effective fuel-cell capacity of datacenter j in MW
+// under the engine's strategy.
+func (e *Engine) MuMaxMW(j int) float64 { return e.capEq[j] * e.beta[j] }
+
+// Rho returns the effective augmented-Lagrangian penalty used by the
+// engine (Options.Rho times the instance's scale estimate).
+func (e *Engine) Rho() float64 { return e.rho }
+
+// EffectiveEpsilon returns the Gaussian back-substitution step actually
+// applied (1 when the correction is disabled).
+func (e *Engine) EffectiveEpsilon() float64 {
+	if e.opts.DisableCorrection {
+		return 1
+	}
+	return e.opts.Epsilon
+}
+
+// LoadScale returns the workload scale used to normalize primal residuals.
+func (e *Engine) LoadScale() float64 { return e.loadScale() }
+
+// DualScale returns the marginal-cost scale used to normalize dual-change
+// residuals.
+func (e *Engine) DualScale() float64 { return e.dualScale }
+
+// BetaMW returns β_j in MW per workload unit (the server-equivalent scale
+// factor for datacenter j's power variables).
+func (e *Engine) BetaMW(j int) float64 { return e.beta[j] }
+
+func colSums(rows [][]float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range rows {
+		for j := 0; j < n; j++ {
+			out[j] += rows[i][j]
+		}
+	}
+	return out
+}
+
+func column(rows [][]float64, j int) []float64 {
+	out := make([]float64, len(rows))
+	for i := range rows {
+		out[i] = rows[i][j]
+	}
+	return out
+}

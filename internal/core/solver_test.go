@@ -1,0 +1,337 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/carbon"
+	"repro/internal/core"
+	"repro/internal/utility"
+)
+
+func TestSolveConvergesAndIsFeasible(t *testing.T) {
+	inst := smallInstance(t, 10)
+	alloc, bd, stats, err := core.Solve(inst, core.Options{})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if !stats.Converged {
+		t.Fatalf("not converged after %d iterations (residual %g)", stats.Iterations, stats.FinalResidual)
+	}
+	rep := core.CheckFeasibility(inst, alloc)
+	// Relative feasibility: tolerate solver-tolerance-level violations of
+	// the capacity constraint (it is enforced through the auxiliary a).
+	scale := inst.TotalArrivals()
+	if rep.MaxLoadBalanceErr > 1e-6*scale {
+		t.Errorf("load balance violation %g", rep.MaxLoadBalanceErr)
+	}
+	if rep.MaxCapacityExcess > 1e-2*scale {
+		t.Errorf("capacity violation %g", rep.MaxCapacityExcess)
+	}
+	if rep.MaxPowerBalanceErr > 1e-9 {
+		t.Errorf("power balance violation %g (finalization should zero it)", rep.MaxPowerBalanceErr)
+	}
+	if rep.MaxNegativeVariable > 1e-9 {
+		t.Errorf("negative variable %g", rep.MaxNegativeVariable)
+	}
+	if bd.DemandMWh <= 0 {
+		t.Error("no demand in breakdown")
+	}
+}
+
+func TestSolveMatchesCentralizedQP(t *testing.T) {
+	for _, seed := range []int64{10, 20, 30, 40} {
+		inst := smallInstance(t, seed)
+		_, bdD, stats, err := core.Solve(inst, core.Options{MaxIterations: 2000, Tolerance: 1e-6})
+		if err != nil {
+			t.Fatalf("seed %d: distributed solve: %v", seed, err)
+		}
+		_, bdC, err := baseline.SolveQP(inst, core.Hybrid)
+		if err != nil {
+			t.Fatalf("seed %d: centralized solve: %v", seed, err)
+		}
+		diff := math.Abs(bdD.UFC - bdC.UFC)
+		tol := 1e-3 * (1 + math.Abs(bdC.UFC))
+		if diff > tol {
+			t.Errorf("seed %d: distributed UFC %g vs centralized %g (diff %g > %g, %d iters)",
+				seed, bdD.UFC, bdC.UFC, diff, tol, stats.Iterations)
+		}
+		if bdD.UFC < bdC.UFC-tol {
+			t.Errorf("seed %d: distributed solution worse than centralized optimum", seed)
+		}
+	}
+}
+
+func TestStrategiesOrdering(t *testing.T) {
+	// Hybrid must dominate both pure strategies (it has a strictly larger
+	// feasible set).
+	for _, seed := range []int64{7, 8, 9} {
+		inst := smallInstance(t, seed)
+		var ufc [3]float64
+		for k, s := range []core.Strategy{core.Hybrid, core.GridOnly, core.FuelCellOnly} {
+			_, bd, _, err := core.Solve(inst, core.Options{Strategy: s, MaxIterations: 2000, Tolerance: 1e-5})
+			if err != nil {
+				t.Fatalf("seed %d strategy %s: %v", seed, s, err)
+			}
+			ufc[k] = bd.UFC
+		}
+		tol := 1e-3 * (1 + math.Abs(ufc[0]))
+		if ufc[0] < ufc[1]-tol || ufc[0] < ufc[2]-tol {
+			t.Errorf("seed %d: hybrid %g not dominating grid %g / fuelcell %g",
+				seed, ufc[0], ufc[1], ufc[2])
+		}
+	}
+}
+
+func TestGridOnlyUsesNoFuelCell(t *testing.T) {
+	inst := smallInstance(t, 11)
+	alloc, bd, _, err := core.Solve(inst, core.Options{Strategy: core.GridOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, mu := range alloc.MuMW {
+		if mu != 0 {
+			t.Errorf("datacenter %d uses %g MW of fuel cell under GridOnly", j, mu)
+		}
+	}
+	if bd.FuelCellMWh != 0 || bd.EmissionTons <= 0 {
+		t.Errorf("grid-only breakdown inconsistent: %+v", bd)
+	}
+}
+
+func TestFuelCellOnlyUsesNoGrid(t *testing.T) {
+	inst := smallInstance(t, 12)
+	alloc, bd, _, err := core.Solve(inst, core.Options{Strategy: core.FuelCellOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, nu := range alloc.NuMW {
+		if nu != 0 {
+			t.Errorf("datacenter %d draws %g MW from grid under FuelCellOnly", j, nu)
+		}
+	}
+	if bd.EmissionTons != 0 {
+		t.Errorf("fuel-cell-only emits %g tons", bd.EmissionTons)
+	}
+	if math.Abs(bd.FuelCellUtilization-1) > 1e-9 {
+		t.Errorf("utilization = %g, want 1", bd.FuelCellUtilization)
+	}
+}
+
+func TestFuelCellOnlyMinimizesLatency(t *testing.T) {
+	// With ν = 0 the energy cost is p0·(total demand) regardless of
+	// routing, so the optimizer should chase latency only: fuel-cell-only
+	// latency must be no worse than grid-only latency.
+	inst := smallInstance(t, 13)
+	_, bdF, _, err := core.Solve(inst, core.Options{Strategy: core.FuelCellOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bdG, _, err := core.Solve(inst, core.Options{Strategy: core.GridOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdF.AvgLatencySec > bdG.AvgLatencySec+1e-6 {
+		t.Errorf("fuel-cell latency %g > grid latency %g", bdF.AvgLatencySec, bdG.AvgLatencySec)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	inst := smallInstance(t, 14)
+	if _, _, _, err := core.Solve(inst, core.Options{Epsilon: 0.2}); !errors.Is(err, core.ErrBadOptions) {
+		t.Errorf("epsilon 0.2: %v", err)
+	}
+	if _, _, _, err := core.Solve(inst, core.Options{Rho: -1}); !errors.Is(err, core.ErrBadOptions) {
+		t.Errorf("rho -1: %v", err)
+	}
+	if _, _, _, err := core.Solve(inst, core.Options{Strategy: core.Strategy(42)}); !errors.Is(err, core.ErrBadOptions) {
+		t.Errorf("bad strategy: %v", err)
+	}
+}
+
+func TestNotConvergedStillReturnsAllocation(t *testing.T) {
+	inst := smallInstance(t, 15)
+	alloc, _, stats, err := core.Solve(inst, core.Options{MaxIterations: 2, Tolerance: 1e-12})
+	if !errors.Is(err, core.ErrNotConverged) {
+		t.Fatalf("err = %v, want ErrNotConverged", err)
+	}
+	if alloc == nil || stats.Converged {
+		t.Fatal("expected a partial result")
+	}
+	// Even the partial allocation is power-balance feasible thanks to the
+	// finalization step.
+	rep := core.CheckFeasibility(inst, alloc)
+	if rep.MaxPowerBalanceErr > 1e-9 {
+		t.Errorf("power balance violation %g in partial result", rep.MaxPowerBalanceErr)
+	}
+}
+
+func TestTrackResiduals(t *testing.T) {
+	inst := smallInstance(t, 16)
+	_, _, stats, err := core.Solve(inst, core.Options{TrackResiduals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.ResidualTrace) != stats.Iterations {
+		t.Fatalf("trace length %d != iterations %d", len(stats.ResidualTrace), stats.Iterations)
+	}
+	// The trace should end at/below tolerance.
+	if last := stats.ResidualTrace[len(stats.ResidualTrace)-1]; last > 1e-4 {
+		t.Errorf("final residual %g", last)
+	}
+}
+
+func TestLinearUtilityPath(t *testing.T) {
+	inst := smallInstance(t, 17)
+	inst.Utility = utility.Linear{}
+	inst.WeightW = 2000 // latency ~1e-2 s, so scale up to matter
+	_, bdD, _, err := core.Solve(inst, core.Options{MaxIterations: 2000, Tolerance: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bdC, err := baseline.SolveQP(inst, core.Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(bdD.UFC - bdC.UFC); d > 1e-3*(1+math.Abs(bdC.UFC)) {
+		t.Errorf("linear utility: distributed %g vs centralized %g", bdD.UFC, bdC.UFC)
+	}
+}
+
+func TestExponentialUtilityPath(t *testing.T) {
+	// Exercises the projected-gradient λ-step. No centralized reference,
+	// but the solve must converge and be feasible, and hybrid must still
+	// dominate grid-only.
+	inst := smallInstance(t, 18)
+	inst.Utility = utility.Exponential{K: 20}
+	inst.WeightW = 5
+	allocH, bdH, stats, err := core.Solve(inst, core.Options{MaxIterations: 1500, Tolerance: 1e-4})
+	if err != nil {
+		t.Fatalf("hybrid: %v (iters %d)", err, stats.Iterations)
+	}
+	rep := core.CheckFeasibility(inst, allocH)
+	if !rep.Ok(1e-2 * inst.TotalArrivals()) {
+		t.Errorf("infeasible: %+v", rep)
+	}
+	_, bdG, _, err := core.Solve(inst, core.Options{Strategy: core.GridOnly, MaxIterations: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdH.UFC < bdG.UFC-1e-2*(1+math.Abs(bdG.UFC)) {
+		t.Errorf("hybrid %g below grid %g", bdH.UFC, bdG.UFC)
+	}
+}
+
+func TestNonlinearEmissionCostPath(t *testing.T) {
+	// Cap-and-trade is convex but not strongly convex — the case that
+	// motivates ADM-G. The solver must still converge and dominate
+	// grid-only.
+	inst := smallInstance(t, 19)
+	for j := range inst.EmissionCost {
+		inst.EmissionCost[j] = carbon.CapAndTrade{CapTons: 0.5, Price: 60}
+	}
+	_, bdH, stats, err := core.Solve(inst, core.Options{MaxIterations: 2000, Tolerance: 1e-4})
+	if err != nil {
+		t.Fatalf("%v (iters %d, residual %g)", err, stats.Iterations, stats.FinalResidual)
+	}
+	_, bdG, _, err := core.Solve(inst, core.Options{Strategy: core.GridOnly, MaxIterations: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdH.UFC < bdG.UFC-1e-3*(1+math.Abs(bdG.UFC)) {
+		t.Errorf("hybrid %g below grid %g under cap-and-trade", bdH.UFC, bdG.UFC)
+	}
+}
+
+func TestZeroArrivalsFrontEnd(t *testing.T) {
+	inst := smallInstance(t, 21)
+	inst.Arrivals[0] = 0
+	alloc, _, _, err := core.Solve(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range alloc.Lambda[0] {
+		if v != 0 {
+			t.Errorf("zero-arrival front-end routes %g to %d", v, j)
+		}
+	}
+}
+
+func TestOptimalPowerSplitThreshold(t *testing.T) {
+	inst := smallInstance(t, 22)
+	// Make datacenter 0's effective grid cost cheaper than p0, and
+	// datacenter 1's more expensive.
+	inst.PriceUSD[0] = 30
+	inst.CarbonRate[0] = 0.2 // 30 + 25*0.2 = 35 < 80 → all grid
+	inst.PriceUSD[1] = 90
+	inst.CarbonRate[1] = 0.5 // 90 + 12.5 > 80 → all fuel cell (up to cap)
+	e, err := core.NewEngine(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demands must stay within each datacenter's fuel-cell capacity so the
+	// threshold (not the cap) decides the split.
+	d0 := 0.8 * e.MuMaxMW(0)
+	mu0, nu0 := e.OptimalPowerSplit(0, d0)
+	if mu0 != 0 || math.Abs(nu0-d0) > 1e-9 {
+		t.Errorf("cheap grid: mu=%g nu=%g", mu0, nu0)
+	}
+	d1 := 0.8 * e.MuMaxMW(1)
+	mu1, nu1 := e.OptimalPowerSplit(1, d1)
+	if math.Abs(mu1-d1) > 1e-6 || nu1 > 1e-6 {
+		t.Errorf("expensive grid: mu=%g nu=%g", mu1, nu1)
+	}
+	if mu, nu := e.OptimalPowerSplit(0, 0); mu != 0 || nu != 0 {
+		t.Errorf("zero demand: mu=%g nu=%g", mu, nu)
+	}
+}
+
+func TestDisableCorrectionAblationRuns(t *testing.T) {
+	// Plain 4-block ADMM (no Gaussian back substitution) has no
+	// convergence guarantee but should still run; on this small strongly
+	// convex instance it typically converges too.
+	inst := smallInstance(t, 23)
+	_, bd, stats, err := core.Solve(inst, core.Options{DisableCorrection: true, MaxIterations: 2000})
+	if err != nil && !errors.Is(err, core.ErrNotConverged) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if stats.Iterations == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	_ = bd
+}
+
+func TestRightSizingMode(t *testing.T) {
+	inst := smallInstance(t, 31)
+	_, bdOn, _, err := core.Solve(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := *inst
+	rs.RightSizing = true
+	allocRS, bdRS, _, err := core.Solve(&rs, core.Options{MaxIterations: 4000, Tolerance: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdRS.UFC < bdOn.UFC {
+		t.Errorf("right-sizing UFC %g worse than always-on %g", bdRS.UFC, bdOn.UFC)
+	}
+	if bdRS.DemandMWh >= bdOn.DemandMWh {
+		t.Errorf("right-sizing demand %g not below always-on %g", bdRS.DemandMWh, bdOn.DemandMWh)
+	}
+	// Power balance must hold under the right-sized demand model.
+	rep := core.CheckFeasibility(&rs, allocRS)
+	if rep.MaxPowerBalanceErr > 1e-9 {
+		t.Errorf("power balance violation %g", rep.MaxPowerBalanceErr)
+	}
+	// And it matches the centralized optimum in right-sized mode too.
+	_, bdC, err := baseline.SolveQP(&rs, core.Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(bdRS.UFC - bdC.UFC); d > 1e-3*(1+math.Abs(bdC.UFC)) {
+		t.Errorf("right-sized distributed %g vs centralized %g", bdRS.UFC, bdC.UFC)
+	}
+}

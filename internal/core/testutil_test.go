@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/carbon"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/utility"
+)
+
+// smallInstance builds a deterministic 3-datacenter / 4-front-end instance
+// scaled down from the paper's scenario, with linear carbon taxes and the
+// quadratic utility so the centralized QP baseline applies.
+func smallInstance(t *testing.T, seed int64) *core.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pm := model.DefaultPowerModel()
+	dcs := []model.Datacenter{
+		{Location: model.SanJose, Servers: 900 + 200*rng.Float64(), Power: pm},
+		{Location: model.Dallas, Servers: 900 + 200*rng.Float64(), Power: pm},
+		{Location: model.Pittsburgh, Servers: 900 + 200*rng.Float64(), Power: pm},
+	}
+	for j := range dcs {
+		dcs[j] = dcs[j].FullFuelCell()
+	}
+	sites := model.PaperFrontEndSites()
+	fes := []model.FrontEnd{
+		{Location: sites[0]}, {Location: sites[4]}, {Location: sites[6]}, {Location: sites[8]},
+	}
+	cloud, err := model.NewCloud(dcs, fes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := make([]float64, len(fes))
+	for i := range arr {
+		arr[i] = 300 + 200*rng.Float64()
+	}
+	prices := make([]float64, len(dcs))
+	rates := make([]float64, len(dcs))
+	costs := make([]carbon.CostFunc, len(dcs))
+	for j := range dcs {
+		prices[j] = 20 + 80*rng.Float64()
+		rates[j] = 0.2 + 0.6*rng.Float64()
+		costs[j] = carbon.LinearTax{Rate: 25}
+	}
+	return &core.Instance{
+		Cloud:            cloud,
+		Arrivals:         arr,
+		PriceUSD:         prices,
+		FuelCellPriceUSD: 80,
+		CarbonRate:       rates,
+		EmissionCost:     costs,
+		Utility:          utility.Quadratic{},
+		WeightW:          10,
+	}
+}

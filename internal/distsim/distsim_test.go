@@ -1,0 +1,348 @@
+package distsim_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/carbon"
+	"repro/internal/core"
+	"repro/internal/distsim"
+	"repro/internal/model"
+	"repro/internal/utility"
+)
+
+func testInstance(t *testing.T, seed int64) *core.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pm := model.DefaultPowerModel()
+	sites := model.PaperDatacenterSites()
+	dcs := make([]model.Datacenter, 3)
+	for j := range dcs {
+		dcs[j] = model.Datacenter{
+			Location: sites[j],
+			Servers:  800 + 300*rng.Float64(),
+			Power:    pm,
+		}.FullFuelCell()
+	}
+	feSites := model.PaperFrontEndSites()
+	fes := make([]model.FrontEnd, 4)
+	for i := range fes {
+		fes[i] = model.FrontEnd{Location: feSites[2*i]}
+	}
+	cloud, err := model.NewCloud(dcs, fes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := make([]float64, len(fes))
+	for i := range arr {
+		arr[i] = 200 + 300*rng.Float64()
+	}
+	prices := make([]float64, len(dcs))
+	rates := make([]float64, len(dcs))
+	costs := make([]carbon.CostFunc, len(dcs))
+	for j := range prices {
+		prices[j] = 20 + 80*rng.Float64()
+		rates[j] = 0.2 + 0.6*rng.Float64()
+		costs[j] = carbon.LinearTax{Rate: 25}
+	}
+	return &core.Instance{
+		Cloud:            cloud,
+		Arrivals:         arr,
+		PriceUSD:         prices,
+		FuelCellPriceUSD: 80,
+		CarbonRate:       rates,
+		EmissionCost:     costs,
+		Utility:          utility.Quadratic{},
+		WeightW:          10,
+	}
+}
+
+func runDistributed(t *testing.T, inst *core.Instance, chanOpts distsim.ChanOptions) *distsim.Result {
+	t.Helper()
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	tr := distsim.NewChanTransport(distsim.AllAgentIDs(m, n), chanOpts)
+	defer func() { _ = tr.Close() }()
+	res, err := distsim.Run(inst, distsim.RunOptions{}, tr)
+	if err != nil {
+		t.Fatalf("distributed run: %v", err)
+	}
+	return res
+}
+
+func TestDistributedMatchesSequentialExactly(t *testing.T) {
+	inst := testInstance(t, 1)
+	seqAlloc, seqBD, seqStats, err := core.Solve(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runDistributed(t, inst, distsim.ChanOptions{Seed: 1})
+	if res.Stats.Iterations != seqStats.Iterations {
+		t.Errorf("iterations: distributed %d vs sequential %d", res.Stats.Iterations, seqStats.Iterations)
+	}
+	for i := range seqAlloc.Lambda {
+		for j := range seqAlloc.Lambda[i] {
+			if seqAlloc.Lambda[i][j] != res.Allocation.Lambda[i][j] {
+				t.Fatalf("lambda[%d][%d]: distributed %v vs sequential %v (must be bit-identical)",
+					i, j, res.Allocation.Lambda[i][j], seqAlloc.Lambda[i][j])
+			}
+		}
+	}
+	if res.Breakdown.UFC != seqBD.UFC {
+		t.Errorf("UFC: distributed %v vs sequential %v", res.Breakdown.UFC, seqBD.UFC)
+	}
+}
+
+func TestDistributedWithDelaysAndReordering(t *testing.T) {
+	inst := testInstance(t, 2)
+	_, seqBD, _, err := core.Solve(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runDistributed(t, inst, distsim.ChanOptions{
+		Seed:     7,
+		MaxDelay: 200 * time.Microsecond,
+	})
+	// Delays reorder deliveries but the round structure makes the result
+	// identical.
+	if res.Breakdown.UFC != seqBD.UFC {
+		t.Errorf("UFC with delays: %v vs %v", res.Breakdown.UFC, seqBD.UFC)
+	}
+}
+
+func TestDistributedWithTransientLoss(t *testing.T) {
+	inst := testInstance(t, 3)
+	_, seqBD, _, err := core.Solve(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runDistributed(t, inst, distsim.ChanOptions{
+		Seed:            11,
+		MaxDelay:        100 * time.Microsecond,
+		LossProb:        0.05,
+		RetransmitDelay: time.Millisecond,
+	})
+	if res.Breakdown.UFC != seqBD.UFC {
+		t.Errorf("UFC with loss: %v vs %v", res.Breakdown.UFC, seqBD.UFC)
+	}
+}
+
+func TestDistributedOverTCP(t *testing.T) {
+	inst := testInstance(t, 4)
+	_, seqBD, _, err := core.Solve(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := distsim.NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	node, err := distsim.NewTCPNode(hub.Addr(), distsim.AllAgentIDs(m, n), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = node.Close() }()
+	res, err := distsim.Run(inst, distsim.RunOptions{Timeout: time.Minute}, node)
+	if err != nil {
+		t.Fatalf("TCP run: %v", err)
+	}
+	if res.Breakdown.UFC != seqBD.UFC {
+		t.Errorf("UFC over TCP: %v vs %v", res.Breakdown.UFC, seqBD.UFC)
+	}
+}
+
+func TestDistributedMultiNodeTCP(t *testing.T) {
+	// Front-ends, datacenters and the coordinator on three separate nodes.
+	inst := testInstance(t, 5)
+	_, seqBD, _, err := core.Solve(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := distsim.NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	all := distsim.AllAgentIDs(m, n)
+	feIDs, dcIDs, coordIDs := all[:m], all[m:m+n], all[m+n:]
+
+	feNode, err := distsim.NewTCPNode(hub.Addr(), feIDs, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = feNode.Close() }()
+	dcNode, err := distsim.NewTCPNode(hub.Addr(), dcIDs, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dcNode.Close() }()
+	coNode, err := distsim.NewTCPNode(hub.Addr(), coordIDs, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = coNode.Close() }()
+
+	// A routing façade: sends go out through the sender-side node. Since
+	// Run uses a single Transport, wrap the three nodes: Send tries the
+	// hub through any node (they all reach the hub), Inbox picks the node
+	// hosting the id.
+	tr := &multiNode{nodes: []*distsim.TCPNode{feNode, dcNode, coNode}}
+	res, err := distsim.Run(inst, distsim.RunOptions{Timeout: time.Minute}, tr)
+	if err != nil {
+		t.Fatalf("multi-node TCP run: %v", err)
+	}
+	if res.Breakdown.UFC != seqBD.UFC {
+		t.Errorf("UFC multi-node: %v vs %v", res.Breakdown.UFC, seqBD.UFC)
+	}
+}
+
+// multiNode fans a Transport across several TCP nodes for the multi-node
+// test topology.
+type multiNode struct {
+	nodes []*distsim.TCPNode
+}
+
+func (m *multiNode) Send(to string, msg distsim.Message) error {
+	return m.nodes[0].Send(to, msg)
+}
+
+func (m *multiNode) Inbox(id string) (<-chan distsim.Message, error) {
+	for _, n := range m.nodes {
+		if ch, err := n.Inbox(id); err == nil {
+			return ch, nil
+		}
+	}
+	return nil, distsim.ErrUnknownAgent
+}
+
+func (m *multiNode) Close() error {
+	var first error
+	for _, n := range m.nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func TestTransportErrors(t *testing.T) {
+	tr := distsim.NewChanTransport([]string{"a"}, distsim.ChanOptions{})
+	if err := tr.Send("nope", distsim.Message{}); !errors.Is(err, distsim.ErrUnknownAgent) {
+		t.Errorf("unknown send: %v", err)
+	}
+	if _, err := tr.Inbox("nope"); !errors.Is(err, distsim.ErrUnknownAgent) {
+		t.Errorf("unknown inbox: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send("a", distsim.Message{}); !errors.Is(err, distsim.ErrClosed) {
+		t.Errorf("closed send: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestRunTimesOutCleanly(t *testing.T) {
+	inst := testInstance(t, 6)
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	// Register only the protocol agents but swallow coordinator traffic by
+	// using a tiny timeout: agents cannot complete a round.
+	tr := distsim.NewChanTransport(distsim.AllAgentIDs(m, n)[:m+n], distsim.ChanOptions{})
+	defer func() { _ = tr.Close() }()
+	_, err := distsim.Run(inst, distsim.RunOptions{Timeout: 50 * time.Millisecond}, tr)
+	if err == nil {
+		t.Fatal("expected an error with missing coordinator inbox")
+	}
+}
+
+func TestDistributedGridOnlyStrategy(t *testing.T) {
+	inst := testInstance(t, 8)
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	tr := distsim.NewChanTransport(distsim.AllAgentIDs(m, n), distsim.ChanOptions{Seed: 3})
+	defer func() { _ = tr.Close() }()
+	res, err := distsim.Run(inst, distsim.RunOptions{
+		Solver: core.Options{Strategy: core.GridOnly},
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, mu := range res.Allocation.MuMW {
+		if mu != 0 {
+			t.Errorf("grid-only datacenter %d uses %g MW fuel cell", j, mu)
+		}
+	}
+	if math.Abs(res.Breakdown.FuelCellUtilization) > 0 {
+		t.Error("grid-only has nonzero fuel-cell utilization")
+	}
+}
+
+func TestRunAgentsRejectsInvalidID(t *testing.T) {
+	inst := testInstance(t, 9)
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	tr := distsim.NewChanTransport(distsim.AllAgentIDs(m, n), distsim.ChanOptions{})
+	defer func() { _ = tr.Close() }()
+	if _, err := distsim.RunAgents(inst, distsim.RunOptions{}, tr, []string{"fe-999"}); err == nil {
+		t.Fatal("out-of-range front-end accepted")
+	}
+	if _, err := distsim.RunAgents(inst, distsim.RunOptions{}, tr, []string{"gremlin-1"}); err == nil {
+		t.Fatal("unknown agent kind accepted")
+	}
+}
+
+func TestRunAgentsSplitAcrossGoroutines(t *testing.T) {
+	// Split the agents across two RunAgents calls sharing one transport,
+	// mimicking a two-process deployment in-process.
+	inst := testInstance(t, 10)
+	_, seqBD, _, err := core.Solve(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	all := distsim.AllAgentIDs(m, n)
+	tr := distsim.NewChanTransport(all, distsim.ChanOptions{Seed: 5})
+	defer func() { _ = tr.Close() }()
+
+	done := make(chan error, 1)
+	go func() {
+		// Front-end half runs "elsewhere"; returns nil result.
+		res, err := distsim.RunAgents(inst, distsim.RunOptions{}, tr, all[:m])
+		if err == nil && res != nil {
+			err = errTestUnexpectedResult
+		}
+		done <- err
+	}()
+	res, err := distsim.RunAgents(inst, distsim.RunOptions{}, tr, all[m:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Breakdown.UFC != seqBD.UFC {
+		t.Fatalf("split-agent UFC mismatch")
+	}
+}
+
+var errTestUnexpectedResult = errors.New("non-coordinator RunAgents returned a result")
+
+func TestRunFailsWhenPeerMissing(t *testing.T) {
+	// Datacenter agents never start: the front-ends and coordinator must
+	// time out with an error rather than hang.
+	inst := testInstance(t, 11)
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	all := distsim.AllAgentIDs(m, n)
+	tr := distsim.NewChanTransport(all, distsim.ChanOptions{})
+	defer func() { _ = tr.Close() }()
+	partial := append(append([]string{}, all[:m]...), "coord")
+	_, err := distsim.RunAgents(inst, distsim.RunOptions{Timeout: 100 * time.Millisecond}, tr, partial)
+	if err == nil {
+		t.Fatal("expected timeout with missing datacenter agents")
+	}
+}

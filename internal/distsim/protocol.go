@@ -1,0 +1,433 @@
+package distsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Protocol errors.
+var (
+	ErrTimeout = errors.New("distsim: timed out waiting for a message")
+	ErrAborted = errors.New("distsim: protocol aborted")
+)
+
+// RunOptions configures a distributed run.
+type RunOptions struct {
+	Solver core.Options
+	// Timeout bounds each individual message wait (default 30s).
+	Timeout time.Duration
+}
+
+// Result of a distributed run.
+type Result struct {
+	Allocation *core.Allocation
+	Breakdown  core.Breakdown
+	Stats      *core.Stats
+}
+
+// Run executes the distributed 4-block ADM-G protocol over the transport:
+// M front-end agents, N datacenter agents and one coordinator exchange the
+// messages of Fig. 2 until the coordinator detects convergence. The caller
+// supplies a transport already registered with the ids of AllAgentIDs.
+func Run(inst *core.Instance, opts RunOptions, transport Transport) (*Result, error) {
+	return RunAgents(inst, opts, transport, allIDs(inst.Cloud.M(), inst.Cloud.N()))
+}
+
+// RunAgents runs only the named agents ("fe-<i>", "dc-<j>", "coord") over
+// the transport; the remaining agents are expected to run elsewhere (other
+// goroutines or other processes connected to the same hub). Every process
+// must construct the agents from the same instance and solver options —
+// the engine is deterministic, so all participants agree on the effective
+// parameters. The Result is non-nil only when the coordinator is among the
+// local agents; other participants receive (nil, nil) on clean shutdown.
+func RunAgents(inst *core.Instance, opts RunOptions, transport Transport, agentIDs []string) (*Result, error) {
+	engine, err := core.NewEngine(inst, opts.Solver)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+
+	type launch struct {
+		run func() error
+	}
+	var launches []launch
+	hasCoord := false
+	resCh := make(chan *coordResult, 1)
+	for _, id := range agentIDs {
+		var i, j int
+		switch {
+		case id == coordID():
+			hasCoord = true
+			launches = append(launches, launch{run: func() error {
+				res, err := runCoordinator(engine, transport, opts.Timeout)
+				if err != nil {
+					return err
+				}
+				resCh <- res
+				return nil
+			}})
+		case parseID(id, "fe-", &i) && i >= 0 && i < m:
+			idx := i
+			launches = append(launches, launch{run: func() error {
+				return runFrontEnd(engine, transport, idx, opts.Timeout)
+			}})
+		case parseID(id, "dc-", &j) && j >= 0 && j < n:
+			idx := j
+			launches = append(launches, launch{run: func() error {
+				return runDatacenter(engine, transport, idx, opts.Timeout)
+			}})
+		default:
+			return nil, fmt.Errorf("distsim: agent id %q invalid for a %dx%d cloud", id, m, n)
+		}
+	}
+
+	errCh := make(chan error, len(launches))
+	for _, l := range launches {
+		go func(run func() error) { errCh <- run() }(l.run)
+	}
+	var firstErr error
+	for range launches {
+		if err := <-errCh; err != nil && firstErr == nil {
+			firstErr = err
+			// Unblock everything else.
+			_ = transport.Close()
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if !hasCoord {
+		return nil, nil
+	}
+	res := <-resCh
+
+	state := core.NewState(m, n)
+	for i := 0; i < m; i++ {
+		copy(state.Lambda[i], res.lambda[i])
+	}
+	alloc := engine.Finalize(state)
+	return &Result{
+		Allocation: alloc,
+		Breakdown:  core.Evaluate(inst, alloc),
+		Stats:      res.stats,
+	}, nil
+}
+
+// parseID extracts the integer suffix of ids like "fe-3".
+func parseID(id, prefix string, out *int) bool {
+	if len(id) <= len(prefix) || id[:len(prefix)] != prefix {
+		return false
+	}
+	v := 0
+	for _, ch := range id[len(prefix):] {
+		if ch < '0' || ch > '9' {
+			return false
+		}
+		v = v*10 + int(ch-'0')
+	}
+	*out = v
+	return true
+}
+
+// AllAgentIDs returns the transport ids required by Run for an M×N cloud:
+// fe-0..fe-(M-1), dc-0..dc-(N-1) and coord.
+func AllAgentIDs(m, n int) []string { return allIDs(m, n) }
+
+type coordResult struct {
+	lambda [][]float64
+	stats  *core.Stats
+}
+
+// mailbox wraps an inbox with a pending buffer so agents can receive
+// messages of a specific kind and iteration even when the transport
+// reorders deliveries across rounds.
+type mailbox struct {
+	inbox   <-chan Message
+	pending []Message
+	timeout time.Duration
+}
+
+func newMailbox(t Transport, id string, timeout time.Duration) (*mailbox, error) {
+	in, err := t.Inbox(id)
+	if err != nil {
+		return nil, err
+	}
+	return &mailbox{inbox: in, timeout: timeout}, nil
+}
+
+// recv returns the next message matching kind and iter.
+func (mb *mailbox) recv(kind Kind, iter int) (Message, error) {
+	for idx, msg := range mb.pending {
+		if msg.Kind == kind && msg.Iter == iter {
+			mb.pending = append(mb.pending[:idx], mb.pending[idx+1:]...)
+			return msg, nil
+		}
+	}
+	deadline := time.NewTimer(mb.timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case msg, ok := <-mb.inbox:
+			if !ok {
+				return Message{}, ErrAborted
+			}
+			if msg.Kind == kind && msg.Iter == iter {
+				return msg, nil
+			}
+			mb.pending = append(mb.pending, msg)
+		case <-deadline.C:
+			return Message{}, fmt.Errorf("kind %d iter %d: %w", kind, iter, ErrTimeout)
+		}
+	}
+}
+
+// runFrontEnd is the front-end proxy agent i: it performs the
+// λ-minimization, exchanges (λ̃, φ) with the datacenters, applies the dual
+// update and Gaussian back-substitution for its row of a and φ, and
+// reports its residual contribution.
+func runFrontEnd(e *core.Engine, t Transport, i int, timeout time.Duration) error {
+	inst := e.Instance()
+	n := inst.Cloud.N()
+	mb, err := newMailbox(t, feID(i), timeout)
+	if err != nil {
+		return err
+	}
+	rho, eps := e.Rho(), e.EffectiveEpsilon()
+	loadScale, dualScale := e.LoadScale(), e.DualScale()
+
+	aRow := make([]float64, n)
+	varphiRow := make([]float64, n)
+	lambdaRow := make([]float64, n)
+
+	for iter := 1; ; iter++ {
+		lambdaTilde, err := e.LambdaStep(i, aRow, varphiRow)
+		if err != nil {
+			return fmt.Errorf("front-end %d iter %d: %w", i, iter, err)
+		}
+		for j := 0; j < n; j++ {
+			if err := t.Send(dcID(j), Message{
+				Kind: KindRouting, Iter: iter, From: feID(i),
+				Payload: []float64{float64(i), lambdaTilde[j], varphiRow[j]},
+			}); err != nil {
+				return fmt.Errorf("front-end %d iter %d send: %w", i, iter, err)
+			}
+		}
+
+		aTilde := make([]float64, n)
+		for recvd := 0; recvd < n; recvd++ {
+			msg, err := mb.recv(KindAux, iter)
+			if err != nil {
+				return fmt.Errorf("front-end %d iter %d: %w", i, iter, err)
+			}
+			j := int(msg.Payload[0])
+			aTilde[j] = msg.Payload[1]
+		}
+
+		// Dual prediction and Gaussian back substitution for this row.
+		var residual float64
+		for j := 0; j < n; j++ {
+			varphiTilde := varphiRow[j] - rho*(aTilde[j]-lambdaTilde[j])
+			newVarphi := varphiRow[j] + eps*(varphiTilde-varphiRow[j])
+			if d := math.Abs(newVarphi-varphiRow[j]) / dualScale; d > residual {
+				residual = d
+			}
+			varphiRow[j] = newVarphi
+			aRow[j] += eps * (aTilde[j] - aRow[j])
+			if d := math.Abs(aRow[j]-lambdaTilde[j]) / loadScale; d > residual {
+				residual = d
+			}
+			lambdaRow[j] = lambdaTilde[j]
+		}
+
+		if err := t.Send(coordID(), Message{
+			Kind: KindReport, Iter: iter, From: feID(i), Payload: []float64{residual},
+		}); err != nil {
+			return fmt.Errorf("front-end %d iter %d report: %w", i, iter, err)
+		}
+		ctl, err := mb.recv(KindControl, iter)
+		if err != nil {
+			return fmt.Errorf("front-end %d iter %d control: %w", i, iter, err)
+		}
+		if ctl.Stop {
+			final := append([]float64{float64(i)}, lambdaRow...)
+			return t.Send(coordID(), Message{
+				Kind: KindFinal, Iter: iter, From: feID(i), Payload: final,
+			})
+		}
+	}
+}
+
+// runDatacenter is the datacenter agent j: it performs the μ-, ν- and
+// a-minimizations, sends ã back to the front-ends, applies the dual update
+// and Gaussian back substitution for its column, and reports its residual
+// contribution.
+func runDatacenter(e *core.Engine, t Transport, j int, timeout time.Duration) error {
+	inst := e.Instance()
+	m := inst.Cloud.M()
+	mb, err := newMailbox(t, dcID(j), timeout)
+	if err != nil {
+		return err
+	}
+	rho, eps := e.Rho(), e.EffectiveEpsilon()
+	dualScale := e.DualScale()
+	disableCorrection := e.Options().DisableCorrection
+
+	aCol := make([]float64, m)
+	var mu, nu, phi float64
+
+	for iter := 1; ; iter++ {
+		lambdaTildeCol := make([]float64, m)
+		varphiCol := make([]float64, m)
+		for recvd := 0; recvd < m; recvd++ {
+			msg, err := mb.recv(KindRouting, iter)
+			if err != nil {
+				return fmt.Errorf("datacenter %d iter %d: %w", j, iter, err)
+			}
+			i := int(msg.Payload[0])
+			lambdaTildeCol[i] = msg.Payload[1]
+			varphiCol[i] = msg.Payload[2]
+		}
+
+		var sumA float64
+		for i := 0; i < m; i++ {
+			sumA += aCol[i]
+		}
+		muTilde := e.MuStep(j, sumA, nu, phi)
+		nuTilde := e.NuStep(j, sumA, muTilde, phi)
+		aTilde, err := e.AStep(j, lambdaTildeCol, varphiCol, muTilde, nuTilde, phi, aCol)
+		if err != nil {
+			return fmt.Errorf("datacenter %d iter %d: %w", j, iter, err)
+		}
+		var sumATilde float64
+		for i := 0; i < m; i++ {
+			sumATilde += aTilde[i]
+		}
+		phiTilde := phi - rho*e.PowerBalance(j, sumATilde, muTilde, nuTilde)
+
+		for i := 0; i < m; i++ {
+			if err := t.Send(feID(i), Message{
+				Kind: KindAux, Iter: iter, From: dcID(j),
+				Payload: []float64{float64(j), aTilde[i]},
+			}); err != nil {
+				return fmt.Errorf("datacenter %d iter %d send: %w", j, iter, err)
+			}
+		}
+
+		// Gaussian back substitution for this column (same accumulation
+		// order as the sequential engine).
+		newPhi := phi + eps*(phiTilde-phi)
+		residual := math.Abs(newPhi-phi) / dualScale
+		phi = newPhi
+		var aDelta float64
+		for i := 0; i < m; i++ {
+			old := aCol[i]
+			next := old + eps*(aTilde[i]-old)
+			aDelta += next - old
+			aCol[i] = next
+		}
+		nuOld := nu
+		if disableCorrection {
+			nu = nuTilde
+			mu = muTilde
+		} else {
+			nu = nuOld + eps*(nuTilde-nuOld) + aDelta
+			mu = mu + eps*(muTilde-mu) - (nu - nuOld) + aDelta
+		}
+
+		if err := t.Send(coordID(), Message{
+			Kind: KindReport, Iter: iter, From: dcID(j), Payload: []float64{residual},
+		}); err != nil {
+			return fmt.Errorf("datacenter %d iter %d report: %w", j, iter, err)
+		}
+		ctl, err := mb.recv(KindControl, iter)
+		if err != nil {
+			return fmt.Errorf("datacenter %d iter %d control: %w", j, iter, err)
+		}
+		if ctl.Stop {
+			return t.Send(coordID(), Message{
+				Kind: KindFinal, Iter: iter, From: dcID(j),
+				Payload: []float64{float64(j), mu, nu, phi},
+			})
+		}
+	}
+}
+
+// runCoordinator gathers per-iteration residual reports, decides
+// convergence, broadcasts control messages, and collects the final routing.
+func runCoordinator(e *core.Engine, t Transport, timeout time.Duration) (*coordResult, error) {
+	inst := e.Instance()
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	opts := e.Options()
+	mb, err := newMailbox(t, coordID(), timeout)
+	if err != nil {
+		return nil, err
+	}
+	stats := &core.Stats{}
+
+	broadcast := func(iter int, stop bool) error {
+		for i := 0; i < m; i++ {
+			if err := t.Send(feID(i), Message{Kind: KindControl, Iter: iter, From: coordID(), Stop: stop}); err != nil {
+				return err
+			}
+		}
+		for j := 0; j < n; j++ {
+			if err := t.Send(dcID(j), Message{Kind: KindControl, Iter: iter, From: coordID(), Stop: stop}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	lastIter := 0
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		var residual float64
+		for k := 0; k < m+n; k++ {
+			msg, err := mb.recv(KindReport, iter)
+			if err != nil {
+				return nil, fmt.Errorf("coordinator iter %d: %w", iter, err)
+			}
+			if r := msg.Payload[0]; r > residual {
+				residual = r
+			}
+		}
+		stats.Iterations = iter
+		stats.FinalResidual = residual
+		if opts.TrackResiduals {
+			stats.ResidualTrace = append(stats.ResidualTrace, residual)
+		}
+		stop := residual <= opts.Tolerance || iter == opts.MaxIterations
+		stats.Converged = residual <= opts.Tolerance
+		if err := broadcast(iter, stop); err != nil {
+			return nil, fmt.Errorf("coordinator iter %d broadcast: %w", iter, err)
+		}
+		if stop {
+			lastIter = iter
+			break
+		}
+	}
+
+	lambda := make([][]float64, m)
+	for k := 0; k < m+n; k++ {
+		msg, err := mb.recv(KindFinal, lastIter)
+		if err != nil {
+			return nil, fmt.Errorf("coordinator finals: %w", err)
+		}
+		if len(msg.Payload) == n+1 && msg.From == feID(int(msg.Payload[0])) {
+			i := int(msg.Payload[0])
+			lambda[i] = append([]float64(nil), msg.Payload[1:]...)
+		}
+	}
+	for i := 0; i < m; i++ {
+		if lambda[i] == nil {
+			return nil, fmt.Errorf("coordinator: missing final routing from front-end %d", i)
+		}
+	}
+	return &coordResult{lambda: lambda, stats: stats}, nil
+}

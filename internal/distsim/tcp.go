@@ -1,0 +1,267 @@
+package distsim
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// envelope is the wire frame between nodes and the hub.
+type envelope struct {
+	To string
+	M  Message
+}
+
+// hello registers a node's local agent ids with the hub.
+type hello struct {
+	IDs []string
+}
+
+// TCPHub is a message router: nodes connect over TCP, register the agent
+// ids they host, and exchange gob-encoded envelopes which the hub forwards
+// to the node hosting the destination agent. Messages for ids that have
+// not registered yet are queued and flushed on registration.
+type TCPHub struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	routes  map[string]*hubConn
+	pending map[string][]envelope
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type hubConn struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	c   net.Conn
+}
+
+func (hc *hubConn) send(env envelope) error {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	return hc.enc.Encode(env)
+}
+
+// NewTCPHub listens on addr (e.g. "127.0.0.1:0") and serves until Close.
+func NewTCPHub(addr string) (*TCPHub, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("distsim: hub listen: %w", err)
+	}
+	h := &TCPHub{
+		ln:      ln,
+		routes:  make(map[string]*hubConn),
+		pending: make(map[string][]envelope),
+	}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the hub's listen address.
+func (h *TCPHub) Addr() string { return h.ln.Addr().String() }
+
+// Close stops the hub and disconnects all nodes.
+func (h *TCPHub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	conns := make([]*hubConn, 0, len(h.routes))
+	seen := map[*hubConn]bool{}
+	for _, hc := range h.routes {
+		if !seen[hc] {
+			conns = append(conns, hc)
+			seen[hc] = true
+		}
+	}
+	h.mu.Unlock()
+	err := h.ln.Close()
+	for _, hc := range conns {
+		_ = hc.c.Close()
+	}
+	h.wg.Wait()
+	return err
+}
+
+func (h *TCPHub) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return
+		}
+		h.wg.Add(1)
+		go h.serveConn(conn)
+	}
+}
+
+func (h *TCPHub) serveConn(conn net.Conn) {
+	defer h.wg.Done()
+	dec := gob.NewDecoder(conn)
+	hc := &hubConn{enc: gob.NewEncoder(conn), c: conn}
+	var hi hello
+	if err := dec.Decode(&hi); err != nil {
+		_ = conn.Close()
+		return
+	}
+	h.mu.Lock()
+	var backlog []envelope
+	for _, id := range hi.IDs {
+		h.routes[id] = hc
+		backlog = append(backlog, h.pending[id]...)
+		delete(h.pending, id)
+	}
+	h.mu.Unlock()
+	for _, env := range backlog {
+		if err := hc.send(env); err != nil {
+			_ = conn.Close()
+			return
+		}
+	}
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				_ = conn.Close()
+			}
+			return
+		}
+		h.route(env)
+	}
+}
+
+func (h *TCPHub) route(env envelope) {
+	h.mu.Lock()
+	target, ok := h.routes[env.To]
+	if !ok {
+		h.pending[env.To] = append(h.pending[env.To], env)
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Unlock()
+	_ = target.send(env)
+}
+
+// TCPNode is a Transport whose local agents exchange messages with remote
+// agents through a TCPHub. One node can host any subset of the agent ids;
+// a single-node deployment still pushes every message through the TCP
+// stack and the gob codec.
+type TCPNode struct {
+	conn net.Conn
+
+	encMu sync.Mutex
+	enc   *gob.Encoder
+
+	mu     sync.Mutex
+	boxes  map[string]chan Message
+	closed bool
+	done   chan struct{}
+}
+
+var _ Transport = (*TCPNode)(nil)
+
+// NewTCPNode connects to the hub and registers the local agent ids.
+func NewTCPNode(hubAddr string, localIDs []string, buffer int) (*TCPNode, error) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	conn, err := net.Dial("tcp", hubAddr)
+	if err != nil {
+		return nil, fmt.Errorf("distsim: node dial: %w", err)
+	}
+	n := &TCPNode{
+		conn:  conn,
+		enc:   gob.NewEncoder(conn),
+		boxes: make(map[string]chan Message, len(localIDs)),
+		done:  make(chan struct{}),
+	}
+	for _, id := range localIDs {
+		n.boxes[id] = make(chan Message, buffer)
+	}
+	if err := n.enc.Encode(hello{IDs: localIDs}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("distsim: node hello: %w", err)
+	}
+	go n.readLoop()
+	return n, nil
+}
+
+func (n *TCPNode) readLoop() {
+	dec := gob.NewDecoder(n.conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			n.mu.Lock()
+			if !n.closed {
+				n.closed = true
+				close(n.done)
+				for _, box := range n.boxes {
+					close(box)
+				}
+			}
+			n.mu.Unlock()
+			return
+		}
+		n.mu.Lock()
+		box, ok := n.boxes[env.To]
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		if ok {
+			select {
+			case box <- env.M:
+			case <-n.done:
+				return
+			}
+		}
+	}
+}
+
+// Send implements Transport. Local destinations still round-trip through
+// the hub, exercising the full network path.
+func (n *TCPNode) Send(to string, m Message) error {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	n.encMu.Lock()
+	defer n.encMu.Unlock()
+	if err := n.enc.Encode(envelope{To: to, M: m}); err != nil {
+		return fmt.Errorf("distsim: node send to %q: %w", to, err)
+	}
+	return nil
+}
+
+// Inbox implements Transport.
+func (n *TCPNode) Inbox(id string) (<-chan Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	box, ok := n.boxes[id]
+	if !ok {
+		return nil, fmt.Errorf("inbox of %q: %w", id, ErrUnknownAgent)
+	}
+	return box, nil
+}
+
+// Close implements Transport.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.mu.Unlock()
+	err := n.conn.Close() // readLoop notices and closes the boxes
+	return err
+}

@@ -1,0 +1,201 @@
+// Package distsim runs the distributed 4-block ADM-G algorithm as a real
+// message-passing protocol: every front-end proxy and every datacenter is
+// an agent (goroutine) that exchanges typed messages over a Transport,
+// mirroring the interaction pattern of Fig. 2 in the paper. The numerical
+// steps are the exact per-agent sub-problem solvers from internal/core, so
+// the protocol produces bit-identical iterates to the sequential engine —
+// which the tests assert. Transports include an in-memory channel
+// transport with injectable delay/reordering and transient loss
+// (redelivery), and a TCP hub using encoding/gob.
+package distsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Kind discriminates protocol messages.
+type Kind int
+
+// Message kinds exchanged by the protocol.
+const (
+	// KindRouting carries (λ̃_ij, φ_ij) from front-end i to datacenter j
+	// (Fig. 2, arrows 1).
+	KindRouting Kind = iota + 1
+	// KindAux carries ã_ij from datacenter j back to front-end i
+	// (Fig. 2, arrows 4).
+	KindAux
+	// KindReport carries an agent's residual contribution to the
+	// coordinator at the end of an iteration.
+	KindReport
+	// KindControl is the coordinator's continue/stop broadcast.
+	KindControl
+	// KindFinal carries an agent's final local variables to the
+	// coordinator after stop.
+	KindFinal
+)
+
+// Message is the single wire format of the protocol (gob-friendly).
+type Message struct {
+	Kind    Kind
+	Iter    int
+	From    string
+	Payload []float64
+	Stop    bool
+}
+
+// Transport delivers messages between named agents. Implementations must
+// be safe for concurrent use and must deliver every accepted message
+// eventually (they may delay and reorder).
+type Transport interface {
+	// Send delivers m to the named agent's inbox.
+	Send(to string, m Message) error
+	// Inbox returns the receive channel of the named agent.
+	Inbox(id string) (<-chan Message, error)
+	// Close tears the transport down; pending receives unblock.
+	Close() error
+}
+
+// ErrUnknownAgent is returned for sends to or inboxes of unregistered ids.
+var ErrUnknownAgent = errors.New("distsim: unknown agent")
+
+// ErrClosed is returned when sending on a closed transport.
+var ErrClosed = errors.New("distsim: transport closed")
+
+// ChanOptions configures the in-memory transport's fault injection.
+type ChanOptions struct {
+	// Seed drives the deterministic delay/loss generator.
+	Seed int64
+	// MaxDelay adds a uniform random delivery delay in [0, MaxDelay],
+	// causing reordering between senders. Zero disables delays.
+	MaxDelay time.Duration
+	// LossProb is the probability that a message's first transmission is
+	// "lost"; lost messages are redelivered after RetransmitDelay,
+	// modelling a reliable link with retransmission. Zero disables loss.
+	LossProb float64
+	// RetransmitDelay is the redelivery latency for lost messages
+	// (default 2·MaxDelay + 1ms).
+	RetransmitDelay time.Duration
+	// Buffer is the inbox capacity (default 64).
+	Buffer int
+}
+
+// ChanTransport is an in-memory Transport backed by channels.
+type ChanTransport struct {
+	opts ChanOptions
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	boxes  map[string]chan Message
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ Transport = (*ChanTransport)(nil)
+
+// NewChanTransport registers the given agent ids.
+func NewChanTransport(ids []string, opts ChanOptions) *ChanTransport {
+	if opts.Buffer <= 0 {
+		opts.Buffer = 64
+	}
+	if opts.RetransmitDelay <= 0 {
+		opts.RetransmitDelay = 2*opts.MaxDelay + time.Millisecond
+	}
+	t := &ChanTransport{
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		boxes: make(map[string]chan Message, len(ids)),
+	}
+	for _, id := range ids {
+		t.boxes[id] = make(chan Message, opts.Buffer)
+	}
+	return t
+}
+
+// Send implements Transport.
+func (t *ChanTransport) Send(to string, m Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	box, ok := t.boxes[to]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("send to %q: %w", to, ErrUnknownAgent)
+	}
+	var delay time.Duration
+	if t.opts.MaxDelay > 0 {
+		delay = time.Duration(t.rng.Int63n(int64(t.opts.MaxDelay) + 1))
+	}
+	if t.opts.LossProb > 0 && t.rng.Float64() < t.opts.LossProb {
+		delay += t.opts.RetransmitDelay
+	}
+	if delay > 0 {
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go func() {
+			defer t.wg.Done()
+			time.Sleep(delay)
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				return
+			}
+			box <- m
+		}()
+		return nil
+	}
+	t.mu.Unlock()
+	box <- m
+	return nil
+}
+
+// Inbox implements Transport.
+func (t *ChanTransport) Inbox(id string) (<-chan Message, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	box, ok := t.boxes[id]
+	if !ok {
+		return nil, fmt.Errorf("inbox of %q: %w", id, ErrUnknownAgent)
+	}
+	return box, nil
+}
+
+// Close implements Transport.
+func (t *ChanTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.wg.Wait()
+	t.mu.Lock()
+	for _, box := range t.boxes {
+		close(box)
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// Agent id helpers shared by the protocol and transports.
+func feID(i int) string { return fmt.Sprintf("fe-%d", i) }
+func dcID(j int) string { return fmt.Sprintf("dc-%d", j) }
+func coordID() string   { return "coord" }
+func allIDs(m, n int) []string {
+	ids := make([]string, 0, m+n+1)
+	for i := 0; i < m; i++ {
+		ids = append(ids, feID(i))
+	}
+	for j := 0; j < n; j++ {
+		ids = append(ids, dcID(j))
+	}
+	ids = append(ids, coordID())
+	return ids
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// AblationRow is one configuration of a solver ablation.
+type AblationRow struct {
+	Label         string
+	MeanIters     float64
+	MaxIters      float64
+	ConvergedFrac float64
+}
+
+// AblationResult is a solver-design ablation over a subset of hours.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+	Note  string
+}
+
+// sampleHours picks an evenly spaced subset of the horizon.
+func sampleHours(total, count int) []int {
+	if count >= total {
+		count = total
+	}
+	out := make([]int, 0, count)
+	for k := 0; k < count; k++ {
+		out = append(out, k*total/count)
+	}
+	return out
+}
+
+func runAblationPoint(sc *Scenario, hours []int, opts core.Options) AblationRow {
+	var iters []float64
+	converged := 0
+	for _, h := range hours {
+		inst := sc.InstanceAt(h)
+		_, _, st, err := core.Solve(inst, opts)
+		iters = append(iters, float64(st.Iterations))
+		if err == nil {
+			converged++
+		}
+	}
+	mean, _ := stats.Mean(iters)
+	mx, _ := stats.Percentile(iters, 100)
+	return AblationRow{
+		MeanIters:     mean,
+		MaxIters:      mx,
+		ConvergedFrac: float64(converged) / float64(len(hours)),
+	}
+}
+
+// RunAblationRho sweeps the penalty multiplier ρ over a sample of hours.
+func RunAblationRho(cfg Config, sample int, rhos []float64) (*AblationResult, error) {
+	if len(rhos) == 0 {
+		rhos = []float64{0.03, 0.1, 0.3, 1, 3}
+	}
+	sc, err := NewScenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	hours := sampleHours(sc.Config.Hours, sample)
+	out := &AblationResult{
+		Title: "Ablation: penalty rho vs iterations to convergence",
+		Note:  "the engine scales rho by the instance's curvature estimate; 0.3 is the paper's setting",
+	}
+	for _, rho := range rhos {
+		row := runAblationPoint(sc, hours, core.Options{Rho: rho, MaxIterations: 3000})
+		row.Label = formatG("rho=", rho)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// RunAblationEpsilon sweeps the Gaussian back-substitution step ε.
+func RunAblationEpsilon(cfg Config, sample int, epsilons []float64) (*AblationResult, error) {
+	if len(epsilons) == 0 {
+		epsilons = []float64{0.6, 0.8, 0.9, 1.0}
+	}
+	sc, err := NewScenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	hours := sampleHours(sc.Config.Hours, sample)
+	out := &AblationResult{
+		Title: "Ablation: Gaussian back-substitution step epsilon",
+		Note:  "ADM-G requires epsilon in (0.5, 1]",
+	}
+	for _, eps := range epsilons {
+		row := runAblationPoint(sc, hours, core.Options{Epsilon: eps, MaxIterations: 3000})
+		row.Label = formatG("eps=", eps)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// RunAblationCorrection compares full ADM-G against plain 4-block ADMM
+// (prediction only, no Gaussian back substitution).
+func RunAblationCorrection(cfg Config, sample int) (*AblationResult, error) {
+	sc, err := NewScenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	hours := sampleHours(sc.Config.Hours, sample)
+	out := &AblationResult{
+		Title: "Ablation: ADM-G vs plain 4-block ADMM (no correction step)",
+		Note:  "plain multi-block ADMM has no convergence guarantee without strong convexity (§III-A)",
+	}
+	full := runAblationPoint(sc, hours, core.Options{MaxIterations: 3000})
+	full.Label = "ADM-G (with correction)"
+	out.Rows = append(out.Rows, full)
+	plain := runAblationPoint(sc, hours, core.Options{MaxIterations: 3000, DisableCorrection: true})
+	plain.Label = "plain 4-block ADMM"
+	out.Rows = append(out.Rows, plain)
+	return out, nil
+}
+
+// Table renders the ablation.
+func (r *AblationResult) Table() *Table {
+	t := &Table{
+		Title:   r.Title,
+		Columns: []string{"Config", "Mean iters", "Max iters", "Converged"},
+		Notes:   []string{r.Note},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Label, row.MeanIters, row.MaxIters, row.ConvergedFrac)
+	}
+	return t
+}
+
+func formatG(prefix string, v float64) string {
+	t := Table{}
+	t.AddRow(v)
+	return prefix + t.Rows[0][0]
+}

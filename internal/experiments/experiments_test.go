@@ -1,0 +1,423 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// testConfig is a reduced scenario (small fleet, short horizon) so the
+// test suite stays fast; the full paper scale runs in the benchmarks and
+// cmd/experiments.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.05
+	cfg.Hours = 24
+	return cfg
+}
+
+func TestNewScenarioShapes(t *testing.T) {
+	sc, err := NewScenario(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cloud.N() != 4 || sc.Cloud.M() != 10 {
+		t.Fatalf("topology %dx%d, want 4x10", sc.Cloud.N(), sc.Cloud.M())
+	}
+	if len(sc.FrontEndLoad) != 10 || len(sc.PriceUSD) != 4 || len(sc.CarbonRate) != 4 {
+		t.Fatal("trace shapes wrong")
+	}
+	for _, s := range sc.FrontEndLoad {
+		if s.Len() != 24 {
+			t.Fatalf("front-end trace length %d", s.Len())
+		}
+	}
+	inst := sc.InstanceAt(3)
+	if err := inst.Validate(); err != nil {
+		t.Fatalf("instance invalid: %v", err)
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	a, err := NewScenario(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewScenario(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < a.Config.Hours; tt++ {
+		if a.TotalLoad.At(tt) != b.TotalLoad.At(tt) {
+			t.Fatal("workload not deterministic")
+		}
+		for j := 0; j < 4; j++ {
+			if a.PriceUSD[j].At(tt) != b.PriceUSD[j].At(tt) {
+				t.Fatal("prices not deterministic")
+			}
+		}
+	}
+}
+
+func TestTableOneShape(t *testing.T) {
+	res, err := RunTableOne(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.HybridUSD > row.GridUSD+1e-9 || row.HybridUSD > row.FuelCellUSD+1e-9 {
+			t.Errorf("%s: hybrid %g not cheapest (grid %g, fc %g)",
+				row.Location, row.HybridUSD, row.GridUSD, row.FuelCellUSD)
+		}
+	}
+	dallas, sanJose := res.Rows[0], res.Rows[1]
+	// Paper shape: Dallas grid is cheap (hybrid barely helps); San Jose
+	// grid is expensive (hybrid saves a lot).
+	if dallas.GridUSD > dallas.FuelCellUSD {
+		t.Errorf("Dallas grid %g should be cheaper than fuel cell %g", dallas.GridUSD, dallas.FuelCellUSD)
+	}
+	savingsDallas := 1 - dallas.HybridUSD/dallas.GridUSD
+	savingsSanJose := 1 - sanJose.HybridUSD/sanJose.GridUSD
+	if savingsSanJose <= savingsDallas {
+		t.Errorf("San Jose savings %.1f%% should exceed Dallas %.1f%%",
+			savingsSanJose*100, savingsDallas*100)
+	}
+	if out := res.Table().Render(); !strings.Contains(out, "Dallas") {
+		t.Error("render lacks Dallas row")
+	}
+}
+
+func TestFigOneAndThree(t *testing.T) {
+	f1, err := RunFigOne(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.Prices) != 2 || f1.Demand.Len() != 24 {
+		t.Fatal("fig1 shape wrong")
+	}
+	f3, err := RunFigThree(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3.Summaries) != 1+4+4 {
+		t.Fatalf("fig3 summaries = %d", len(f3.Summaries))
+	}
+	if !strings.Contains(f3.Table().Render(), "carbon") {
+		t.Error("fig3 table lacks carbon series")
+	}
+}
+
+func TestWeekComparisonFigures(t *testing.T) {
+	w, err := RunWeekComparison(testConfig(), core.Options{MaxIterations: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Hybrid) != 24 {
+		t.Fatalf("hours = %d", len(w.Hybrid))
+	}
+
+	// Fig 4: hybrid dominates both pure strategies each hour.
+	for _, row := range w.FigFour() {
+		if row.IHG < -1e-3 {
+			t.Errorf("hour %d: I_hg = %g < 0", row.Hour, row.IHG)
+		}
+		if row.IHF < -1e-3 {
+			t.Errorf("hour %d: I_hf = %g < 0", row.Hour, row.IHF)
+		}
+	}
+
+	// Fig 5 shape: grid-only latency is the worst on average; hybrid is
+	// close to fuel-cell-only.
+	h, g, f := w.strategySeries(func(b core.Breakdown) float64 { return b.AvgLatencySec })
+	avg := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if avg(g) < avg(f) {
+		t.Errorf("grid latency %g should exceed fuel-cell latency %g", avg(g), avg(f))
+	}
+	if avg(h) > avg(g) {
+		t.Errorf("hybrid latency %g should not exceed grid latency %g", avg(h), avg(g))
+	}
+
+	// Fig 6 shape: fuel-cell-only is the costliest energy strategy.
+	h6, g6, f6 := w.strategySeries(func(b core.Breakdown) float64 { return b.EnergyCostUSD })
+	if avg(f6) < avg(g6) || avg(f6) < avg(h6) {
+		t.Errorf("fuel-cell energy cost %g should be the highest (grid %g, hybrid %g)",
+			avg(f6), avg(g6), avg(h6))
+	}
+	if avg(h6) > avg(g6)+1e-9 {
+		t.Errorf("hybrid energy+carbon tradeoff should not cost more than grid in energy+carbon combined")
+	}
+
+	// Fig 7 shape: fuel-cell-only emits nothing; hybrid emits less than grid.
+	h7, g7, f7 := w.strategySeries(func(b core.Breakdown) float64 { return b.CarbonCostUSD })
+	if avg(f7) != 0 {
+		t.Errorf("fuel-cell-only carbon cost %g != 0", avg(f7))
+	}
+	if avg(h7) > avg(g7)+1e-9 {
+		t.Errorf("hybrid carbon cost %g should not exceed grid %g", avg(h7), avg(g7))
+	}
+
+	// Fig 8: utilization within [0, 1]; fuel cells used at least sometimes.
+	var anyUse bool
+	for _, row := range w.FigEight() {
+		if row.Utilization < 0 || row.Utilization > 1+1e-9 {
+			t.Errorf("hour %d: utilization %g out of range", row.Hour, row.Utilization)
+		}
+		if row.Utilization > 0.01 {
+			anyUse = true
+		}
+	}
+	if !anyUse {
+		t.Error("fuel cells never used by hybrid strategy")
+	}
+
+	// Fig 11: iteration CDF is well-formed.
+	f11, err := w.FigEleven()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f11.CDF.Min() < 1 {
+		t.Errorf("min iterations %g < 1", f11.CDF.Min())
+	}
+	if f11.CDF.Max() > 3000 {
+		t.Errorf("max iterations %g exceeded budget", f11.CDF.Max())
+	}
+
+	// All tables render.
+	for _, tb := range []*Table{
+		w.FigFourTable(), w.FigFiveTable(), w.FigSixTable(),
+		w.FigSevenTable(), w.FigEightTable(), f11.Table(),
+	} {
+		if len(tb.Render()) == 0 {
+			t.Error("empty table render")
+		}
+	}
+}
+
+func TestFigNineSweepShape(t *testing.T) {
+	cfg := testConfig()
+	cfg.Hours = 12
+	res, err := RunFigNine(cfg, core.Options{MaxIterations: 3000}, []float64{20, 60, 110})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Cheaper fuel cells → (weakly) more utilization and improvement.
+	if res.Rows[0].AvgUtilization < res.Rows[2].AvgUtilization-1e-9 {
+		t.Errorf("utilization at p0=20 (%g) should exceed p0=110 (%g)",
+			res.Rows[0].AvgUtilization, res.Rows[2].AvgUtilization)
+	}
+	if res.Rows[0].AvgImprovement < res.Rows[2].AvgImprovement-1e-9 {
+		t.Errorf("improvement at p0=20 (%g) should exceed p0=110 (%g)",
+			res.Rows[0].AvgImprovement, res.Rows[2].AvgImprovement)
+	}
+	// At p0 = 20 $/MWh fuel cells beat every grid price: near-full use.
+	if res.Rows[0].AvgUtilization < 0.9 {
+		t.Errorf("utilization at p0=20 = %g, want near 1", res.Rows[0].AvgUtilization)
+	}
+	if !strings.Contains(res.Table().Render(), "p0") {
+		t.Error("fig9 table lacks p0 column")
+	}
+}
+
+func TestFigTenSweepShape(t *testing.T) {
+	cfg := testConfig()
+	cfg.Hours = 12
+	res, err := RunFigTen(cfg, core.Options{MaxIterations: 3000}, []float64{0, 140})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[1].AvgUtilization < res.Rows[0].AvgUtilization-1e-9 {
+		t.Errorf("utilization should grow with the tax: %g at 0 vs %g at 140",
+			res.Rows[0].AvgUtilization, res.Rows[1].AvgUtilization)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := testConfig()
+	cfg.Hours = 12
+	rho, err := RunAblationRho(cfg, 3, []float64{0.1, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rho.Rows) != 2 || rho.Rows[0].MeanIters <= 0 {
+		t.Fatalf("rho ablation malformed: %+v", rho.Rows)
+	}
+	eps, err := RunAblationEpsilon(cfg, 3, []float64{0.8, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps.Rows) != 2 {
+		t.Fatal("epsilon ablation malformed")
+	}
+	corr, err := RunAblationCorrection(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corr.Rows) != 2 {
+		t.Fatal("correction ablation malformed")
+	}
+	for _, r := range []*AblationResult{rho, eps, corr} {
+		if len(r.Table().Render()) == 0 {
+			t.Error("empty ablation render")
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"a", "bb"}}
+	tb.AddRow("x", 1.23456789)
+	tb.AddRow(7, "y")
+	out := tb.Render()
+	if !strings.Contains(out, "== T ==") || !strings.Contains(out, "1.235") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestForecastStudy(t *testing.T) {
+	cfg := testConfig()
+	cfg.Hours = 72 // needs > 2 seasons for Holt-Winters
+	res, err := RunForecastStudy(cfg, core.Options{MaxIterations: 3000}, []string{"naive", "holt-winters"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]ForecastRow{}
+	for _, r := range res.Rows {
+		byName[r.Predictor] = r
+		if r.AvgUFCLoss < 0 || r.MAPE < 0 {
+			t.Errorf("%s: negative metrics %+v", r.Predictor, r)
+		}
+	}
+	hw, naive := byName["holt-winters"], byName["naive"]
+	// The diurnal predictor must forecast the diurnal workload better.
+	if hw.MAPE > naive.MAPE {
+		t.Errorf("holt-winters MAPE %g should beat naive %g", hw.MAPE, naive.MAPE)
+	}
+	// And an accurate forecast should lose very little UFC.
+	if hw.AvgUFCLoss > 0.05 {
+		t.Errorf("holt-winters UFC loss %g too large", hw.AvgUFCLoss)
+	}
+	if !strings.Contains(res.Table().Render(), "holt-winters") {
+		t.Error("table lacks predictor row")
+	}
+}
+
+func TestRightSizingStudy(t *testing.T) {
+	cfg := testConfig()
+	res, err := RunRightSizingStudy(cfg, 4, core.Options{MaxIterations: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// Shutting down idle servers removes cost without touching
+		// utility, so UFC must improve and energy must be saved.
+		if row.RightSizedUFC < row.AlwaysOnUFC {
+			t.Errorf("%s: right-sized UFC %g worse than always-on %g",
+				row.Strategy, row.RightSizedUFC, row.AlwaysOnUFC)
+		}
+		if row.EnergySavedPct <= 0 || row.EnergySavedPct >= 1 {
+			t.Errorf("%s: energy saving %g implausible", row.Strategy, row.EnergySavedPct)
+		}
+	}
+	if !strings.Contains(res.Table().Render(), "Right-sizing") {
+		t.Error("table render broken")
+	}
+}
+
+func TestRampStudy(t *testing.T) {
+	cfg := testConfig()
+	res, err := RunRampStudy(cfg, core.Options{MaxIterations: 3000}, []float64{1, 0.1, 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].CostIncrease != 0 {
+		t.Errorf("unconstrained row has cost increase %g", res.Rows[0].CostIncrease)
+	}
+	for k := 1; k < len(res.Rows); k++ {
+		if res.Rows[k].CostIncrease < res.Rows[k-1].CostIncrease-1e-9 {
+			t.Errorf("tighter ramp %g has smaller cost increase than %g",
+				res.Rows[k].RampFraction, res.Rows[k-1].RampFraction)
+		}
+	}
+	if !strings.Contains(res.Table().Render(), "ramp") {
+		t.Error("table render broken")
+	}
+}
+
+func TestDefaultsAndAccessors(t *testing.T) {
+	if len(DefaultFigNinePrices()) == 0 || len(DefaultFigTenTaxes()) == 0 {
+		t.Error("empty default sweep grids")
+	}
+	if len(DefaultForecastPredictors()) < 3 {
+		t.Error("too few default predictors")
+	}
+	for _, key := range DefaultForecastPredictors() {
+		if _, err := newStudyPredictor(key); err != nil {
+			t.Errorf("%s: %v", key, err)
+		}
+	}
+	if _, err := newStudyPredictor("oracle-from-the-future"); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+	// Zero-valued config picks up every default.
+	cfg := Config{}.withDefaults()
+	if cfg.Seed == 0 || cfg.Hours == 0 || cfg.Scale == 0 || cfg.FuelCellPriceUSD == 0 || cfg.WeightW == 0 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	// FigOne table renders.
+	f1, err := RunFigOne(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f1.Table().Render(), "price-dallas") {
+		t.Error("fig1 table lacks series")
+	}
+	// WeekResult.Hours and unknown-strategy errors.
+	sc, err := NewScenario(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgSmall := testConfig()
+	cfgSmall.Hours = 2
+	scSmall, err := NewScenario(cfgSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	week, err := scSmall.RunWeek([]core.Strategy{core.GridOnly}, core.Options{MaxIterations: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if week.Hours() != 2 {
+		t.Errorf("Hours = %d", week.Hours())
+	}
+	if _, err := week.Breakdowns(core.FuelCellOnly); err == nil {
+		t.Error("missing strategy accepted")
+	}
+	if _, err := week.Iterations(core.FuelCellOnly); err == nil {
+		t.Error("missing strategy accepted")
+	}
+	_ = sc
+}

@@ -1,0 +1,394 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Table I — one-week energy costs of Grid / Fuel Cell / Hybrid at Dallas
+// and San Jose with the Facebook-style power-demand profile.
+// ---------------------------------------------------------------------------
+
+// TableOneRow is one location's weekly costs.
+type TableOneRow struct {
+	Location    string
+	GridUSD     float64
+	FuelCellUSD float64
+	HybridUSD   float64
+}
+
+// TableOneResult reproduces Table I.
+type TableOneResult struct {
+	Rows []TableOneRow
+}
+
+// RunTableOne generates the demand profile and both price traces and
+// computes the three greedy strategy costs per location.
+func RunTableOne(cfg Config) (*TableOneResult, error) {
+	cfg = cfg.withDefaults()
+	demandCfg := trace.DefaultPowerDemandConfig()
+	demandCfg.Seed = cfg.Seed + 100
+	demandCfg.Hours = cfg.Hours
+	demand, err := trace.GenPowerDemand(demandCfg)
+	if err != nil {
+		return nil, err
+	}
+	locations := []struct {
+		name    string
+		profile trace.PriceProfile
+	}{
+		{"Dallas", trace.DallasPriceProfile()},
+		{"San Jose", trace.SanJosePriceProfile()},
+	}
+	out := &TableOneResult{}
+	for k, loc := range locations {
+		price, err := trace.GenPrice(loc.profile, cfg.Seed+200+int64(k), cfg.Hours)
+		if err != nil {
+			return nil, err
+		}
+		costs, err := baseline.Greedy(demand, price, cfg.FuelCellPriceUSD)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, TableOneRow{
+			Location:    loc.name,
+			GridUSD:     costs.GridUSD,
+			FuelCellUSD: costs.FuelCellUSD,
+			HybridUSD:   costs.HybridUSD,
+		})
+	}
+	return out, nil
+}
+
+// Table renders the result.
+func (r *TableOneResult) Table() *Table {
+	t := &Table{
+		Title:   "Table I: weekly energy costs ($) of Grid / Fuel Cell / Hybrid",
+		Columns: []string{"Location", "Grid", "Fuel Cell", "Hybrid"},
+		Notes: []string{
+			"paper: Dallas 9644 / 27957 / 9387; San Jose 28470 / 27957 / 18250",
+		},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Location, row.GridUSD, row.FuelCellUSD, row.HybridUSD)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 1 / Fig. 3 — the trace series themselves.
+// ---------------------------------------------------------------------------
+
+// SeriesSummary describes one trace for the Fig. 1 / Fig. 3 summaries.
+type SeriesSummary struct {
+	Name string
+	Mean float64
+	Min  float64
+	Max  float64
+}
+
+func summarize(s trace.Series) SeriesSummary {
+	return SeriesSummary{Name: s.Name, Mean: s.Mean(), Min: s.Min(), Max: s.Max()}
+}
+
+// FigOneResult reproduces Fig. 1: the facility demand profile and the
+// Dallas / San Jose price traces.
+type FigOneResult struct {
+	Demand    trace.Series
+	Prices    []trace.Series
+	Summaries []SeriesSummary
+}
+
+// RunFigOne generates the Fig. 1 series.
+func RunFigOne(cfg Config) (*FigOneResult, error) {
+	cfg = cfg.withDefaults()
+	demandCfg := trace.DefaultPowerDemandConfig()
+	demandCfg.Seed = cfg.Seed + 100
+	demandCfg.Hours = cfg.Hours
+	demand, err := trace.GenPowerDemand(demandCfg)
+	if err != nil {
+		return nil, err
+	}
+	dallas, err := trace.GenPrice(trace.DallasPriceProfile(), cfg.Seed+200, cfg.Hours)
+	if err != nil {
+		return nil, err
+	}
+	sanJose, err := trace.GenPrice(trace.SanJosePriceProfile(), cfg.Seed+201, cfg.Hours)
+	if err != nil {
+		return nil, err
+	}
+	out := &FigOneResult{Demand: demand, Prices: []trace.Series{dallas, sanJose}}
+	out.Summaries = []SeriesSummary{summarize(demand), summarize(dallas), summarize(sanJose)}
+	return out, nil
+}
+
+// Table renders the Fig. 1 summary.
+func (r *FigOneResult) Table() *Table {
+	t := &Table{
+		Title:   "Fig 1: demand profile (MW) and electricity prices ($/MWh)",
+		Columns: []string{"Series", "Mean", "Min", "Max"},
+	}
+	for _, s := range r.Summaries {
+		t.AddRow(s.Name, s.Mean, s.Min, s.Max)
+	}
+	return t
+}
+
+// FigThreeResult reproduces Fig. 3: workload, prices and carbon rates of
+// the four datacenter sites.
+type FigThreeResult struct {
+	Workload   trace.Series
+	Prices     []trace.Series
+	CarbonRate []trace.Series
+	Summaries  []SeriesSummary
+}
+
+// RunFigThree builds the scenario traces.
+func RunFigThree(cfg Config) (*FigThreeResult, error) {
+	sc, err := NewScenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &FigThreeResult{
+		Workload:   sc.TotalLoad,
+		Prices:     sc.PriceUSD,
+		CarbonRate: sc.CarbonRate,
+	}
+	out.Summaries = append(out.Summaries, summarize(sc.TotalLoad))
+	for _, s := range sc.PriceUSD {
+		out.Summaries = append(out.Summaries, summarize(s))
+	}
+	for _, s := range sc.CarbonRate {
+		out.Summaries = append(out.Summaries, summarize(s))
+	}
+	return out, nil
+}
+
+// Table renders the Fig. 3 summary.
+func (r *FigThreeResult) Table() *Table {
+	t := &Table{
+		Title:   "Fig 3: workload (servers), prices ($/MWh) and carbon rates (t/MWh)",
+		Columns: []string{"Series", "Mean", "Min", "Max"},
+	}
+	for _, s := range r.Summaries {
+		t.AddRow(s.Name, s.Mean, s.Min, s.Max)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 4–8 — the per-hour strategy comparison over one week.
+// ---------------------------------------------------------------------------
+
+// WeekComparison carries the full three-strategy week run that Figs. 4–8
+// and Fig. 11 are sliced from.
+type WeekComparison struct {
+	Scenario *Scenario
+	Week     *WeekResult
+
+	Hybrid   []core.Breakdown
+	Grid     []core.Breakdown
+	FuelCell []core.Breakdown
+}
+
+// RunWeekComparison solves the whole week for the three strategies.
+func RunWeekComparison(cfg Config, opts core.Options) (*WeekComparison, error) {
+	sc, err := NewScenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	strategies := []core.Strategy{core.Hybrid, core.GridOnly, core.FuelCellOnly}
+	week, err := sc.RunWeek(strategies, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &WeekComparison{Scenario: sc, Week: week}
+	if out.Hybrid, err = week.Breakdowns(core.Hybrid); err != nil {
+		return nil, err
+	}
+	if out.Grid, err = week.Breakdowns(core.GridOnly); err != nil {
+		return nil, err
+	}
+	if out.FuelCell, err = week.Breakdowns(core.FuelCellOnly); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FigFourRow is one hour of Fig. 4.
+type FigFourRow struct {
+	Hour int
+	IHG  float64 // hybrid over grid
+	IHF  float64 // hybrid over fuel-cell
+	IFG  float64 // fuel-cell over grid
+}
+
+// FigFour returns the hourly UFC improvements I_hg, I_hf, I_fg.
+func (w *WeekComparison) FigFour() []FigFourRow {
+	rows := make([]FigFourRow, len(w.Hybrid))
+	for t := range rows {
+		rows[t] = FigFourRow{
+			Hour: t,
+			IHG:  core.Improvement(w.Hybrid[t], w.Grid[t]),
+			IHF:  core.Improvement(w.Hybrid[t], w.FuelCell[t]),
+			IFG:  core.Improvement(w.FuelCell[t], w.Grid[t]),
+		}
+	}
+	return rows
+}
+
+// FigFourTable summarizes Fig. 4.
+func (w *WeekComparison) FigFourTable() *Table {
+	rows := w.FigFour()
+	var ihg, ihf, ifg []float64
+	for _, r := range rows {
+		ihg = append(ihg, r.IHG)
+		ihf = append(ihf, r.IHF)
+		ifg = append(ifg, r.IFG)
+	}
+	t := &Table{
+		Title:   "Fig 4: UFC improvement under various strategies (fraction of |UFC|)",
+		Columns: []string{"Metric", "Mean", "Min", "Max"},
+		Notes: []string{
+			"paper: I_fg down to -150% off-peak, <= +30% at peaks; I_hf > 40% avg; I_hg in [0, ~50%]",
+		},
+	}
+	for _, s := range []struct {
+		name string
+		xs   []float64
+	}{{"I_hg (hybrid/grid)", ihg}, {"I_hf (hybrid/fuelcell)", ihf}, {"I_fg (fuelcell/grid)", ifg}} {
+		mean, _ := stats.Mean(s.xs)
+		mn, _ := stats.Percentile(s.xs, 0)
+		mx, _ := stats.Percentile(s.xs, 100)
+		t.AddRow(s.name, mean, mn, mx)
+	}
+	return t
+}
+
+// strategySeries extracts a per-hour metric for all three strategies.
+func (w *WeekComparison) strategySeries(f func(core.Breakdown) float64) (hybrid, grid, fuelCell []float64) {
+	for t := range w.Hybrid {
+		hybrid = append(hybrid, f(w.Hybrid[t]))
+		grid = append(grid, f(w.Grid[t]))
+		fuelCell = append(fuelCell, f(w.FuelCell[t]))
+	}
+	return hybrid, grid, fuelCell
+}
+
+func metricTable(title, unit string, hybrid, grid, fuelCell []float64, notes ...string) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"Strategy", "Mean " + unit, "Min " + unit, "Max " + unit, "Total " + unit},
+		Notes:   notes,
+	}
+	for _, s := range []struct {
+		name string
+		xs   []float64
+	}{{"Hybrid", hybrid}, {"Grid", grid}, {"Fuel Cell", fuelCell}} {
+		mean, _ := stats.Mean(s.xs)
+		mn, _ := stats.Percentile(s.xs, 0)
+		mx, _ := stats.Percentile(s.xs, 100)
+		var total float64
+		for _, x := range s.xs {
+			total += x
+		}
+		t.AddRow(s.name, mean, mn, mx, total)
+	}
+	return t
+}
+
+// FigFiveTable reports the average propagation latency per strategy (ms).
+func (w *WeekComparison) FigFiveTable() *Table {
+	h, g, f := w.strategySeries(func(b core.Breakdown) float64 { return b.AvgLatencySec * 1000 })
+	return metricTable("Fig 5: average propagation latency (ms)", "ms", h, g, f,
+		"paper: fuel-cell 14-16 ms, grid up to 23 ms, hybrid 14-17 ms")
+}
+
+// FigSixTable reports the hourly energy cost per strategy ($).
+func (w *WeekComparison) FigSixTable() *Table {
+	h, g, f := w.strategySeries(func(b core.Breakdown) float64 { return b.EnergyCostUSD })
+	return metricTable("Fig 6: energy cost ($/hour)", "$", h, g, f,
+		"paper: fuel-cell-only costliest; hybrid arbitrage saves ~60% vs fuel-cell")
+}
+
+// FigSevenTable reports the hourly carbon emission cost per strategy ($).
+func (w *WeekComparison) FigSevenTable() *Table {
+	h, g, f := w.strategySeries(func(b core.Breakdown) float64 { return b.CarbonCostUSD })
+	return metricTable("Fig 7: carbon emission cost ($/hour)", "$", h, g, f,
+		"paper: hybrid emission cost close to grid; far below energy cost")
+}
+
+// FigEightRow is one hour of Fig. 8.
+type FigEightRow struct {
+	Hour        int
+	Utilization float64
+}
+
+// FigEight returns the hybrid strategy's hourly fuel-cell utilization.
+func (w *WeekComparison) FigEight() []FigEightRow {
+	rows := make([]FigEightRow, len(w.Hybrid))
+	for t := range rows {
+		rows[t] = FigEightRow{Hour: t, Utilization: w.Hybrid[t].FuelCellUtilization}
+	}
+	return rows
+}
+
+// FigEightTable summarizes Fig. 8.
+func (w *WeekComparison) FigEightTable() *Table {
+	rows := w.FigEight()
+	xs := make([]float64, len(rows))
+	for i, r := range rows {
+		xs[i] = r.Utilization
+	}
+	mean, _ := stats.Mean(xs)
+	mx, _ := stats.Percentile(xs, 100)
+	p90, _ := stats.Percentile(xs, 90)
+	t := &Table{
+		Title:   "Fig 8: fuel-cell utilization (hybrid strategy)",
+		Columns: []string{"Metric", "Value"},
+		Notes:   []string{"paper: average 16.2%, never reaches 70%"},
+	}
+	t.AddRow("mean", mean)
+	t.AddRow("p90", p90)
+	t.AddRow("max", mx)
+	return t
+}
+
+// FigElevenResult reproduces Fig. 11: the CDF of ADM-G iterations over the
+// per-hour runs.
+type FigElevenResult struct {
+	CDF *stats.CDF
+}
+
+// FigEleven builds the iteration-count CDF from the hybrid runs.
+func (w *WeekComparison) FigEleven() (*FigElevenResult, error) {
+	iters, err := w.Week.Iterations(core.Hybrid)
+	if err != nil {
+		return nil, err
+	}
+	cdf, err := stats.NewCDF(iters)
+	if err != nil {
+		return nil, err
+	}
+	return &FigElevenResult{CDF: cdf}, nil
+}
+
+// Table renders Fig. 11.
+func (r *FigElevenResult) Table() *Table {
+	t := &Table{
+		Title:   "Fig 11: CDF of ADM-G iterations to convergence",
+		Columns: []string{"Quantile", "Iterations"},
+		Notes:   []string{"paper: min 37, 80% <= 100, max 130"},
+	}
+	t.AddRow("min", r.CDF.Min())
+	for _, q := range []float64{0.2, 0.5, 0.8, 0.95} {
+		t.AddRow(fmt.Sprintf("p%02.0f", q*100), r.CDF.Quantile(q))
+	}
+	t.AddRow("max", r.CDF.Max())
+	return t
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/carbon"
+	"repro/internal/core"
+	"repro/internal/ramp"
+)
+
+// RampRow is one ramp-limit point of the load-following study.
+type RampRow struct {
+	RampFraction float64 // per-hour ramp limit as a fraction of capacity (1 = unconstrained)
+	WeeklyCost   float64 // Σ over DCs and hours of energy + carbon cost ($)
+	CostIncrease float64 // relative to the unconstrained schedule
+	Utilization  float64 // fuel-cell MWh / demand MWh
+}
+
+// RampResult is the load-following extension study: the paper assumes fuel
+// cells can retarget their output every hour ("the salient advantage ...
+// is the tunable output"); this study quantifies how much of the hybrid
+// strategy's benefit survives when the per-hour ramp rate is limited to a
+// fraction of capacity.
+type RampResult struct {
+	Rows []RampRow
+}
+
+// RunRampStudy runs the hybrid week once, fixes the routing, and
+// re-schedules each datacenter's fuel-cell trajectory under successively
+// tighter ramp limits.
+func RunRampStudy(cfg Config, opts core.Options, fractions []float64) (*RampResult, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{1, 0.5, 0.2, 0.1, 0.05, 0.02}
+	}
+	sc, err := NewScenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts.Strategy = core.Hybrid
+
+	// Per-datacenter demand trajectories induced by the hybrid routing.
+	n := sc.Cloud.N()
+	hours := sc.Config.Hours
+	demand := make([][]float64, n) // [dc][hour]
+	for j := 0; j < n; j++ {
+		demand[j] = make([]float64, hours)
+	}
+	for t := 0; t < hours; t++ {
+		inst := sc.InstanceAt(t)
+		alloc, _, _, err := core.Solve(inst, opts)
+		if err != nil {
+			return nil, fmt.Errorf("hour %d: %w", t, err)
+		}
+		for j := 0; j < n; j++ {
+			demand[j][t] = inst.DemandMW(j, alloc.DCLoad(j))
+		}
+	}
+
+	out := &RampResult{}
+	var baseCost float64
+	for k, frac := range fractions {
+		var totalCost, fcMWh, demandMWh float64
+		for j := 0; j < n; j++ {
+			rcfg := ramp.Config{
+				CapMW:            sc.Cloud.Datacenters[j].FuelCellMaxMW,
+				RampMW:           frac * sc.Cloud.Datacenters[j].FuelCellMaxMW,
+				InitialMW:        0,
+				FuelCellPriceUSD: sc.Config.FuelCellPriceUSD,
+				PriceUSD:         sc.PriceUSD[j].Values,
+				CarbonRate:       sc.CarbonRate[j].Values,
+				EmissionCost:     carbon.LinearTax{Rate: sc.Config.CarbonTaxUSD},
+			}
+			var sched *ramp.Schedule
+			if frac >= 1 {
+				sched, err = ramp.Unconstrained(rcfg, demand[j])
+			} else {
+				sched, err = ramp.Optimize(rcfg, demand[j])
+			}
+			if err != nil {
+				return nil, fmt.Errorf("datacenter %d frac %g: %w", j, frac, err)
+			}
+			totalCost += sched.CostUSD
+			for t := 0; t < hours; t++ {
+				fcMWh += sched.MuMW[t]
+				demandMWh += demand[j][t]
+			}
+		}
+		if k == 0 {
+			baseCost = totalCost
+		}
+		row := RampRow{
+			RampFraction: frac,
+			WeeklyCost:   totalCost,
+			Utilization:  fcMWh / math.Max(demandMWh, 1e-12),
+		}
+		if baseCost > 0 {
+			row.CostIncrease = totalCost/baseCost - 1
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Table renders the study.
+func (r *RampResult) Table() *Table {
+	t := &Table{
+		Title:   "Load-following study: weekly cost vs fuel-cell ramp limit",
+		Columns: []string{"Ramp (frac of cap/h)", "Weekly cost ($)", "Cost increase", "FC utilization"},
+		Notes: []string{
+			"the paper assumes perfect per-hour tunability (first row); tighter ramps erode the arbitrage",
+		},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.RampFraction, row.WeeklyCost, row.CostIncrease, row.Utilization)
+	}
+	return t
+}

@@ -1,0 +1,308 @@
+// Package experiments reconstructs the paper's evaluation (§IV): the
+// four-datacenter / ten-front-end scenario driven by one week of hourly
+// traces, and one runner per table and figure. Each runner returns typed
+// rows and can render itself as a text table; cmd/experiments and the
+// repository benchmarks are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/carbon"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/trace"
+	"repro/internal/utility"
+)
+
+// Config parameterizes the paper scenario.
+type Config struct {
+	// Seed drives every stochastic generator (default 2012).
+	Seed int64
+	// Hours is the horizon length (default one week, 168).
+	Hours int
+	// Scale multiplies the fleet sizes; 1.0 reproduces the paper's
+	// 1.7–2.3 × 10⁴ servers per datacenter. Tests use smaller scales.
+	Scale float64
+	// FuelCellPriceUSD is p0 in $/MWh (paper: 80).
+	FuelCellPriceUSD float64
+	// CarbonTaxUSD is the affine carbon tax rate in $/ton (paper: 25).
+	CarbonTaxUSD float64
+	// WeightW is the utility weight w (paper: 10 $/s²).
+	WeightW float64
+}
+
+// DefaultConfig returns the paper's evaluation setting.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             2012,
+		Hours:            trace.HoursPerWeek,
+		Scale:            1,
+		FuelCellPriceUSD: 80,
+		CarbonTaxUSD:     25,
+		WeightW:          10,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 2012
+	}
+	if c.Hours == 0 {
+		c.Hours = trace.HoursPerWeek
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.FuelCellPriceUSD == 0 {
+		c.FuelCellPriceUSD = 80
+	}
+	if c.WeightW == 0 {
+		c.WeightW = 10
+	}
+	return c
+}
+
+// Scenario is the fully materialized evaluation environment: topology plus
+// all hourly traces.
+type Scenario struct {
+	Config Config
+	Cloud  *model.Cloud
+
+	// FrontEndLoad[i] is front-end i's hourly arrivals (servers).
+	FrontEndLoad []trace.Series
+	// TotalLoad is the aggregate workload trace (Fig. 3 top).
+	TotalLoad trace.Series
+	// PriceUSD[j] is datacenter j's hourly grid price ($/MWh).
+	PriceUSD []trace.Series
+	// CarbonRate[j] is datacenter j's hourly emission rate (t/MWh).
+	CarbonRate []trace.Series
+}
+
+// NewScenario builds the paper scenario: datacenters in Calgary, San Jose,
+// Dallas and Pittsburgh with capacities uniform in scale·[1.7, 2.3]×10⁴
+// servers, ten front-end proxies across the continental US, the synthetic
+// workload/price/fuel-mix traces, and full fuel-cell coverage
+// (μ_j^max = peak facility demand).
+func NewScenario(cfg Config) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pm := model.DefaultPowerModel()
+
+	dcSites := model.PaperDatacenterSites()
+	dcs := make([]model.Datacenter, len(dcSites))
+	for j, site := range dcSites {
+		servers := cfg.Scale * (17000 + 6000*rng.Float64())
+		dcs[j] = model.Datacenter{Location: site, Servers: servers, Power: pm}.FullFuelCell()
+	}
+	feSites := model.PaperFrontEndSites()
+	fes := make([]model.FrontEnd, len(feSites))
+	for i, site := range feSites {
+		fes[i] = model.FrontEnd{Location: site}
+	}
+	cloud, err := model.NewCloud(dcs, fes)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+
+	wcfg := trace.DefaultWorkloadConfig(cloud.TotalServers())
+	wcfg.Seed = cfg.Seed + 1
+	wcfg.Hours = cfg.Hours
+	total, err := trace.GenWorkload(wcfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: workload: %w", err)
+	}
+	parts, err := trace.SplitFrontEnds(total, len(fes), cfg.Seed+2)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: split: %w", err)
+	}
+
+	priceProfiles := []trace.PriceProfile{
+		trace.CalgaryPriceProfile(),
+		trace.SanJosePriceProfile(),
+		trace.DallasPriceProfile(),
+		trace.PittsburghPriceProfile(),
+	}
+	mixProfiles := []trace.MixProfile{
+		trace.CalgaryMixProfile(),
+		trace.SanJoseMixProfile(),
+		trace.DallasMixProfile(),
+		trace.PittsburghMixProfile(),
+	}
+	prices := make([]trace.Series, len(dcs))
+	rates := make([]trace.Series, len(dcs))
+	for j := range dcs {
+		prices[j], err = trace.GenPrice(priceProfiles[j], cfg.Seed+10+int64(j), cfg.Hours)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: price %d: %w", j, err)
+		}
+		rates[j], err = trace.GenCarbonRate(mixProfiles[j], cfg.Seed+20+int64(j), cfg.Hours)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: carbon %d: %w", j, err)
+		}
+	}
+
+	return &Scenario{
+		Config:       cfg,
+		Cloud:        cloud,
+		FrontEndLoad: parts,
+		TotalLoad:    total,
+		PriceUSD:     prices,
+		CarbonRate:   rates,
+	}, nil
+}
+
+// InstanceAt assembles the slot-t optimization instance. The fuel-cell
+// price and carbon tax default to the scenario config but can be
+// overridden (the Fig. 9 and Fig. 10 sweeps).
+func (s *Scenario) InstanceAt(t int) *core.Instance {
+	return s.InstanceAtWith(t, s.Config.FuelCellPriceUSD, s.Config.CarbonTaxUSD)
+}
+
+// InstanceAtWith assembles the slot-t instance with explicit fuel-cell
+// price and carbon tax rate.
+func (s *Scenario) InstanceAtWith(t int, fuelCellPriceUSD, carbonTaxUSD float64) *core.Instance {
+	n := s.Cloud.N()
+	arr := make([]float64, s.Cloud.M())
+	for i := range arr {
+		arr[i] = s.FrontEndLoad[i].At(t)
+	}
+	prices := make([]float64, n)
+	rates := make([]float64, n)
+	costs := make([]carbon.CostFunc, n)
+	for j := 0; j < n; j++ {
+		prices[j] = s.PriceUSD[j].At(t)
+		rates[j] = s.CarbonRate[j].At(t)
+		costs[j] = carbon.LinearTax{Rate: carbonTaxUSD}
+	}
+	return &core.Instance{
+		Cloud:            s.Cloud,
+		Arrivals:         arr,
+		PriceUSD:         prices,
+		FuelCellPriceUSD: fuelCellPriceUSD,
+		CarbonRate:       rates,
+		EmissionCost:     costs,
+		Utility:          utility.Quadratic{},
+		WeightW:          s.Config.WeightW,
+	}
+}
+
+// SlotOutcome is one strategy's result for one hour.
+type SlotOutcome struct {
+	Breakdown core.Breakdown
+	Stats     *core.Stats
+}
+
+// WeekResult holds per-hour outcomes for a set of strategies.
+type WeekResult struct {
+	Strategies []core.Strategy
+	// Outcomes[t][k] is hour t under Strategies[k].
+	Outcomes [][]SlotOutcome
+}
+
+// RunWeek solves every hour of the scenario under each strategy, in
+// parallel across hours. Solver options other than Strategy are shared.
+func (s *Scenario) RunWeek(strategies []core.Strategy, opts core.Options) (*WeekResult, error) {
+	return s.RunWeekWith(strategies, opts, s.Config.FuelCellPriceUSD, s.Config.CarbonTaxUSD)
+}
+
+// RunWeekWith is RunWeek with explicit fuel-cell price and carbon tax.
+func (s *Scenario) RunWeekWith(strategies []core.Strategy, opts core.Options, fuelCellPriceUSD, carbonTaxUSD float64) (*WeekResult, error) {
+	hours := s.Config.Hours
+	out := &WeekResult{
+		Strategies: append([]core.Strategy(nil), strategies...),
+		Outcomes:   make([][]SlotOutcome, hours),
+	}
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > hours {
+		workers = hours
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range jobs {
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					continue
+				}
+				inst := s.InstanceAtWith(t, fuelCellPriceUSD, carbonTaxUSD)
+				slot := make([]SlotOutcome, len(strategies))
+				for k, strat := range strategies {
+					o := opts
+					o.Strategy = strat
+					_, bd, st, err := core.Solve(inst, o)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("hour %d strategy %s: %w", t, strat, err)
+						}
+						mu.Unlock()
+						break
+					}
+					slot[k] = SlotOutcome{Breakdown: bd, Stats: st}
+				}
+				out.Outcomes[t] = slot
+			}
+		}()
+	}
+	for t := 0; t < hours; t++ {
+		jobs <- t
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Strategy index helper.
+func (w *WeekResult) index(s core.Strategy) (int, error) {
+	for k, v := range w.Strategies {
+		if v == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: strategy %s not in result", s)
+}
+
+// Hours returns the horizon length.
+func (w *WeekResult) Hours() int { return len(w.Outcomes) }
+
+// Breakdowns returns the per-hour breakdowns of one strategy.
+func (w *WeekResult) Breakdowns(s core.Strategy) ([]core.Breakdown, error) {
+	k, err := w.index(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Breakdown, len(w.Outcomes))
+	for t, slot := range w.Outcomes {
+		out[t] = slot[k].Breakdown
+	}
+	return out, nil
+}
+
+// Iterations returns per-hour ADM-G iteration counts of one strategy.
+func (w *WeekResult) Iterations(s core.Strategy) ([]float64, error) {
+	k, err := w.index(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(w.Outcomes))
+	for t, slot := range w.Outcomes {
+		out[t] = float64(slot[k].Stats.Iterations)
+	}
+	return out, nil
+}

@@ -1,0 +1,271 @@
+// Package forecast provides the request-arrival predictors the paper's
+// system model depends on (§II-A: "the near-term request arrival at each
+// front-end proxy server can be predicted quite accurately, by employing
+// techniques such as statistical machine learning and time series
+// analysis"). The optimizer consumes one-slot-ahead arrival forecasts;
+// this package supplies classical time-series predictors — seasonal naive,
+// exponential smoothing, Holt–Winters with a daily season — together with
+// accuracy metrics, so the sensitivity of UFC to prediction error can be
+// quantified (see the forecast experiment in internal/experiments).
+package forecast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Predictor produces one-step-ahead forecasts of an hourly series. A
+// Predictor is fed observations in order via Observe and asked for the
+// next value via Predict.
+type Predictor interface {
+	// Observe feeds the value of the current slot.
+	Observe(value float64)
+	// Predict returns the forecast for the next slot. Before any
+	// observation it returns 0.
+	Predict() float64
+	// Name identifies the predictor for reporting.
+	Name() string
+}
+
+// Naive predicts the last observed value (random-walk forecast).
+type Naive struct {
+	last float64
+	seen bool
+}
+
+var _ Predictor = (*Naive)(nil)
+
+// Observe implements Predictor.
+func (p *Naive) Observe(v float64) { p.last, p.seen = v, true }
+
+// Predict implements Predictor.
+func (p *Naive) Predict() float64 {
+	if !p.seen {
+		return 0
+	}
+	return p.last
+}
+
+// Name implements Predictor.
+func (p *Naive) Name() string { return "naive" }
+
+// SeasonalNaive predicts the value observed one season (default 24 hours)
+// ago, falling back to the last value until a full season is seen.
+type SeasonalNaive struct {
+	period  int
+	history []float64
+}
+
+var _ Predictor = (*SeasonalNaive)(nil)
+
+// NewSeasonalNaive builds a seasonal-naive predictor with the period in
+// slots (e.g. 24 for a daily season on hourly data).
+func NewSeasonalNaive(period int) (*SeasonalNaive, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("forecast: period %d", period)
+	}
+	return &SeasonalNaive{period: period}, nil
+}
+
+// Observe implements Predictor.
+func (p *SeasonalNaive) Observe(v float64) { p.history = append(p.history, v) }
+
+// Predict implements Predictor.
+func (p *SeasonalNaive) Predict() float64 {
+	n := len(p.history)
+	if n == 0 {
+		return 0
+	}
+	if n < p.period {
+		return p.history[n-1]
+	}
+	return p.history[n-p.period]
+}
+
+// Name implements Predictor.
+func (p *SeasonalNaive) Name() string { return fmt.Sprintf("seasonal-naive(%d)", p.period) }
+
+// EWMA is simple exponential smoothing with factor alpha in (0, 1].
+type EWMA struct {
+	alpha float64
+	level float64
+	seen  bool
+}
+
+var _ Predictor = (*EWMA)(nil)
+
+// NewEWMA builds an exponentially weighted moving average predictor.
+func NewEWMA(alpha float64) (*EWMA, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("forecast: alpha %g outside (0, 1]", alpha)
+	}
+	return &EWMA{alpha: alpha}, nil
+}
+
+// Observe implements Predictor.
+func (p *EWMA) Observe(v float64) {
+	if !p.seen {
+		p.level, p.seen = v, true
+		return
+	}
+	p.level += p.alpha * (v - p.level)
+}
+
+// Predict implements Predictor.
+func (p *EWMA) Predict() float64 { return p.level }
+
+// Name implements Predictor.
+func (p *EWMA) Name() string { return fmt.Sprintf("ewma(%.2g)", p.alpha) }
+
+// HoltWinters is additive Holt–Winters (triple exponential smoothing) with
+// a fixed seasonal period: level + trend + additive seasonality. It is the
+// workhorse for strongly diurnal datacenter workloads.
+type HoltWinters struct {
+	alpha, beta, gamma float64
+	period             int
+
+	level, trend float64
+	season       []float64
+	warmup       []float64
+	t            int
+	ready        bool
+}
+
+var _ Predictor = (*HoltWinters)(nil)
+
+// NewHoltWinters builds an additive Holt–Winters predictor. alpha, beta
+// and gamma are the level, trend and seasonal smoothing factors in (0, 1);
+// period is the season length in slots.
+func NewHoltWinters(alpha, beta, gamma float64, period int) (*HoltWinters, error) {
+	for _, f := range []float64{alpha, beta, gamma} {
+		if f <= 0 || f >= 1 {
+			return nil, fmt.Errorf("forecast: smoothing factor %g outside (0, 1)", f)
+		}
+	}
+	if period < 2 {
+		return nil, fmt.Errorf("forecast: period %d < 2", period)
+	}
+	return &HoltWinters{alpha: alpha, beta: beta, gamma: gamma, period: period}, nil
+}
+
+// Observe implements Predictor.
+func (p *HoltWinters) Observe(v float64) {
+	p.t++
+	if !p.ready {
+		p.warmup = append(p.warmup, v)
+		if len(p.warmup) == 2*p.period {
+			p.initialize()
+			p.ready = true
+		}
+		return
+	}
+	prevLevel := p.level
+	sIdx := (p.t - 1) % p.period
+	p.level = p.alpha*(v-p.season[sIdx]) + (1-p.alpha)*(p.level+p.trend)
+	p.trend = p.beta*(p.level-prevLevel) + (1-p.beta)*p.trend
+	p.season[sIdx] = p.gamma*(v-p.level) + (1-p.gamma)*p.season[sIdx]
+}
+
+// initialize seeds level/trend/seasonals from two full seasons, the
+// standard Holt–Winters warm start.
+func (p *HoltWinters) initialize() {
+	n := p.period
+	var mean1, mean2 float64
+	for k := 0; k < n; k++ {
+		mean1 += p.warmup[k]
+		mean2 += p.warmup[n+k]
+	}
+	mean1 /= float64(n)
+	mean2 /= float64(n)
+	p.level = mean2
+	p.trend = (mean2 - mean1) / float64(n)
+	p.season = make([]float64, n)
+	for k := 0; k < n; k++ {
+		p.season[k] = (p.warmup[k] - mean1 + p.warmup[n+k] - mean2) / 2
+	}
+	p.warmup = nil
+}
+
+// Predict implements Predictor.
+func (p *HoltWinters) Predict() float64 {
+	if !p.ready {
+		// Until two seasons have been seen, fall back to the last value.
+		if n := p.t; n > 0 {
+			return p.warmup[n-1]
+		}
+		return 0
+	}
+	sIdx := p.t % p.period
+	v := p.level + p.trend + p.season[sIdx]
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Name implements Predictor.
+func (p *HoltWinters) Name() string {
+	return fmt.Sprintf("holt-winters(%g,%g,%g;%d)", p.alpha, p.beta, p.gamma, p.period)
+}
+
+// Accuracy summarizes one-step-ahead forecast errors.
+type Accuracy struct {
+	MAE  float64 // mean absolute error
+	RMSE float64 // root mean squared error
+	MAPE float64 // mean absolute percentage error (skips zero actuals)
+}
+
+// ErrShortSeries is returned when a series is too short to evaluate.
+var ErrShortSeries = errors.New("forecast: series too short")
+
+// Evaluate runs the predictor through the series, comparing each
+// one-step-ahead forecast (made after observing values[0..t]) against
+// values[t+1]. The first warmup forecasts are excluded from the error
+// statistics.
+func Evaluate(p Predictor, values []float64, warmup int) (Accuracy, error) {
+	if len(values) < warmup+2 {
+		return Accuracy{}, fmt.Errorf("%d values with warmup %d: %w", len(values), warmup, ErrShortSeries)
+	}
+	var absSum, sqSum, pctSum float64
+	var count, pctCount int
+	for t := 0; t < len(values)-1; t++ {
+		p.Observe(values[t])
+		pred := p.Predict()
+		actual := values[t+1]
+		if t+1 <= warmup {
+			continue
+		}
+		err := pred - actual
+		absSum += math.Abs(err)
+		sqSum += err * err
+		if actual != 0 {
+			pctSum += math.Abs(err / actual)
+			pctCount++
+		}
+		count++
+	}
+	if count == 0 {
+		return Accuracy{}, ErrShortSeries
+	}
+	acc := Accuracy{
+		MAE:  absSum / float64(count),
+		RMSE: math.Sqrt(sqSum / float64(count)),
+	}
+	if pctCount > 0 {
+		acc.MAPE = pctSum / float64(pctCount)
+	}
+	return acc, nil
+}
+
+// Forecasts returns the predictor's one-step-ahead forecast series aligned
+// with the input: out[t] is the forecast of values[t] made after observing
+// values[0..t-1] (out[0] is the predictor's prior, usually 0).
+func Forecasts(p Predictor, values []float64) []float64 {
+	out := make([]float64, len(values))
+	for t := range values {
+		out[t] = p.Predict()
+		p.Observe(values[t])
+	}
+	return out
+}

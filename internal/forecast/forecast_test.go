@@ -1,0 +1,187 @@
+package forecast
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestNaive(t *testing.T) {
+	var p Naive
+	if p.Predict() != 0 {
+		t.Error("prior should be 0")
+	}
+	p.Observe(5)
+	if p.Predict() != 5 {
+		t.Errorf("predict = %g", p.Predict())
+	}
+	p.Observe(7)
+	if p.Predict() != 7 {
+		t.Errorf("predict = %g", p.Predict())
+	}
+}
+
+func TestSeasonalNaive(t *testing.T) {
+	p, err := NewSeasonalNaive(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{1, 2, 3} {
+		p.Observe(v)
+	}
+	// Next slot is index 3 → season index 0 → value 1.
+	if got := p.Predict(); got != 1 {
+		t.Errorf("predict = %g, want 1", got)
+	}
+	p.Observe(10)
+	if got := p.Predict(); got != 2 {
+		t.Errorf("predict = %g, want 2", got)
+	}
+	if _, err := NewSeasonalNaive(0); err == nil {
+		t.Error("period 0 accepted")
+	}
+}
+
+func TestSeasonalNaiveExactOnPeriodicSeries(t *testing.T) {
+	p, err := NewSeasonalNaive(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, 24*5)
+	for i := range values {
+		values[i] = 100 + 50*math.Sin(2*math.Pi*float64(i%24)/24)
+	}
+	acc, err := Evaluate(p, values, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.MAE > 1e-9 {
+		t.Errorf("seasonal naive on exactly periodic series: MAE %g", acc.MAE)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	p, err := NewEWMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(10)
+	if p.Predict() != 10 {
+		t.Errorf("first level = %g", p.Predict())
+	}
+	p.Observe(20)
+	if p.Predict() != 15 {
+		t.Errorf("level = %g, want 15", p.Predict())
+	}
+	if _, err := NewEWMA(0); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := NewEWMA(1.5); err == nil {
+		t.Error("alpha 1.5 accepted")
+	}
+}
+
+func TestEWMAConvergesOnConstant(t *testing.T) {
+	p, _ := NewEWMA(0.3)
+	for i := 0; i < 100; i++ {
+		p.Observe(42)
+	}
+	if math.Abs(p.Predict()-42) > 1e-9 {
+		t.Errorf("predict = %g", p.Predict())
+	}
+}
+
+func TestHoltWintersValidation(t *testing.T) {
+	if _, err := NewHoltWinters(0, 0.1, 0.1, 24); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := NewHoltWinters(0.1, 1, 0.1, 24); err == nil {
+		t.Error("beta 1 accepted")
+	}
+	if _, err := NewHoltWinters(0.1, 0.1, 0.1, 1); err == nil {
+		t.Error("period 1 accepted")
+	}
+}
+
+func TestHoltWintersTracksSeasonalSeries(t *testing.T) {
+	hw, err := NewHoltWinters(0.4, 0.05, 0.3, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diurnal series with a slow upward trend and light noise.
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 24*10)
+	for i := range values {
+		values[i] = 1000 + 2*float64(i) +
+			300*math.Sin(2*math.Pi*float64(i%24)/24) +
+			10*rng.NormFloat64()
+	}
+	acc, err := Evaluate(hw, values, 24*3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive forecasting has MAE on the order of the hourly swing (~75);
+	// Holt-Winters should be far better.
+	naiveAcc, err := Evaluate(&Naive{}, values, 24*3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.MAE > naiveAcc.MAE/1.5 {
+		t.Errorf("holt-winters MAE %g not clearly better than naive %g", acc.MAE, naiveAcc.MAE)
+	}
+	if acc.MAPE > 0.05 {
+		t.Errorf("holt-winters MAPE %.1f%% too high", acc.MAPE*100)
+	}
+}
+
+func TestHoltWintersOnSyntheticWorkload(t *testing.T) {
+	// The paper's claim: the diurnal datacenter workload is accurately
+	// predictable. Verify on our own workload generator.
+	w, err := trace.GenWorkload(trace.DefaultWorkloadConfig(50000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := NewHoltWinters(0.35, 0.02, 0.25, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Evaluate(hw, w.Values, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.MAPE > 0.12 {
+		t.Errorf("workload MAPE %.1f%%, want accurate prediction (<12%%)", acc.MAPE*100)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(&Naive{}, []float64{1}, 0); !errors.Is(err, ErrShortSeries) {
+		t.Errorf("short series: %v", err)
+	}
+	if _, err := Evaluate(&Naive{}, []float64{1, 2, 3}, 5); !errors.Is(err, ErrShortSeries) {
+		t.Errorf("warmup too long: %v", err)
+	}
+}
+
+func TestForecastsAlignment(t *testing.T) {
+	out := Forecasts(&Naive{}, []float64{3, 5, 7})
+	want := []float64{0, 3, 5}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("forecasts = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestHoltWintersNonNegative(t *testing.T) {
+	hw, _ := NewHoltWinters(0.5, 0.3, 0.3, 2)
+	for _, v := range []float64{10, 0, 10, 0, 0, 0, 0, 0} {
+		hw.Observe(v)
+	}
+	if hw.Predict() < 0 {
+		t.Errorf("negative workload forecast %g", hw.Predict())
+	}
+}

@@ -1,0 +1,177 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// ErrSingular is returned by LU when the input matrix is numerically singular.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// Cholesky holds the lower-triangular factor L with A = L Lᵀ.
+type Cholesky struct {
+	l *Matrix
+}
+
+// NewCholesky factors the symmetric positive definite matrix a. Only the
+// lower triangle of a is read.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	n := a.Rows()
+	if n != a.Cols() {
+		return nil, fmt.Errorf("cholesky of %dx%d matrix: %w", a.Rows(), a.Cols(), ErrDimensionMismatch)
+	}
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("pivot %d is %g: %w", j, d, ErrNotPositiveDefinite)
+		}
+		dj := math.Sqrt(d)
+		l.Set(j, j, dj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/dj)
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// Solve returns x with A x = b.
+func (c *Cholesky) Solve(b Vector) (Vector, error) {
+	n := c.l.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("cholesky solve with %d-vector, want %d: %w", len(b), n, ErrDimensionMismatch)
+	}
+	// Forward substitution: L y = b.
+	y := make(Vector, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l.At(i, k) * y[k]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	// Back substitution: Lᵀ x = y.
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x, nil
+}
+
+// LU holds a permuted LU factorization P A = L U with partial pivoting.
+type LU struct {
+	lu   *Matrix
+	perm []int
+}
+
+// NewLU factors the square matrix a with partial pivoting.
+func NewLU(a *Matrix) (*LU, error) {
+	n := a.Rows()
+	if n != a.Cols() {
+		return nil, fmt.Errorf("lu of %dx%d matrix: %w", a.Rows(), a.Cols(), ErrDimensionMismatch)
+	}
+	lu := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Pivot selection.
+		p, pmax := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.At(i, k)); a > pmax {
+				p, pmax = i, a
+			}
+		}
+		if pmax == 0 || math.IsNaN(pmax) {
+			return nil, fmt.Errorf("pivot column %d: %w", k, ErrSingular)
+		}
+		if p != k {
+			perm[k], perm[p] = perm[p], perm[k]
+			for j := 0; j < n; j++ {
+				vk, vp := lu.At(k, j), lu.At(p, j)
+				lu.Set(k, j, vp)
+				lu.Set(p, j, vk)
+			}
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / pivot
+			lu.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Adds(i, j, -f*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, perm: perm}, nil
+}
+
+// Solve returns x with A x = b.
+func (f *LU) Solve(b Vector) (Vector, error) {
+	n := f.lu.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("lu solve with %d-vector, want %d: %w", len(b), n, ErrDimensionMismatch)
+	}
+	// Apply permutation and forward-substitute through L (unit diagonal).
+	y := make(Vector, n)
+	for i := 0; i < n; i++ {
+		s := b[f.perm[i]]
+		for k := 0; k < i; k++ {
+			s -= f.lu.At(i, k) * y[k]
+		}
+		y[i] = s
+	}
+	// Back-substitute through U.
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= f.lu.At(i, k) * x[k]
+		}
+		x[i] = s / f.lu.At(i, i)
+	}
+	return x, nil
+}
+
+// SolvePD solves A x = b for a symmetric positive definite A, preferring
+// Cholesky and falling back to LU with a tiny diagonal regularization when
+// the matrix is only semidefinite up to rounding.
+func SolvePD(a *Matrix, b Vector) (Vector, error) {
+	if ch, err := NewCholesky(a); err == nil {
+		return ch.Solve(b)
+	}
+	reg := a.Clone()
+	eps := 1e-10 * (1 + a.MaxAbs())
+	for i := 0; i < reg.Rows(); i++ {
+		reg.Adds(i, i, eps)
+	}
+	ch, err := NewCholesky(reg)
+	if err != nil {
+		lu, luErr := NewLU(a)
+		if luErr != nil {
+			return nil, fmt.Errorf("solvePD: %w", err)
+		}
+		return lu.Solve(b)
+	}
+	return ch.Solve(b)
+}

@@ -1,0 +1,249 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixFromRows(t *testing.T) {
+	m, err := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("unexpected matrix %v", m)
+	}
+	if _, err := MatrixFromRows([][]float64{{1}, {2, 3}}); err == nil {
+		t.Fatal("ragged rows should error")
+	}
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	x := VectorOf(3, -1, 2)
+	y := Identity(3).MulVec(x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("I*x = %v", y)
+		}
+	}
+}
+
+func TestMulVecAndTranspose(t *testing.T) {
+	m, _ := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := m.MulVec(VectorOf(1, 1, 1))
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	z := m.MulTransVec(VectorOf(1, 1))
+	want := VectorOf(5, 7, 9)
+	for i := range z {
+		if z[i] != want[i] {
+			t.Fatalf("MulTransVec = %v, want %v", z, want)
+		}
+	}
+	mt := m.Transpose()
+	if mt.Rows() != 3 || mt.At(2, 1) != 6 {
+		t.Fatalf("Transpose = %v", mt)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := MatrixFromRows([][]float64{{0, 1}, {1, 0}})
+	c := a.Mul(b)
+	want := [][]float64{{2, 1}, {4, 3}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul = \n%v", c)
+			}
+		}
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m, _ := MatrixFromRows([][]float64{{1, 2}, {4, 3}})
+	m.Symmetrize()
+	if m.At(0, 1) != 3 || m.At(1, 0) != 3 {
+		t.Fatalf("Symmetrize = \n%v", m)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := Identity(2)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliased data")
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		// Build SPD A = Bᵀ B + I.
+		b := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b.Set(i, j, rng.NormFloat64())
+			}
+		}
+		a := b.Transpose().Mul(b)
+		for i := 0; i < n; i++ {
+			a.Adds(i, i, 1)
+		}
+		x := make(Vector, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		rhs := a.MulVec(x)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := ch.Solve(rhs)
+		if err != nil {
+			t.Fatalf("trial %d solve: %v", trial, err)
+		}
+		if d := got.Sub(x).NormInf(); d > 1e-8 {
+			t.Fatalf("trial %d: residual %g", trial, d)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := NewCholesky(a); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+func TestLURoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		// Boost the diagonal to keep it comfortably nonsingular.
+		for i := 0; i < n; i++ {
+			a.Adds(i, i, float64(n))
+		}
+		x := make(Vector, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		rhs := a.MulVec(x)
+		lu, err := NewLU(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := lu.Solve(rhs)
+		if err != nil {
+			t.Fatalf("trial %d solve: %v", trial, err)
+		}
+		if d := got.Sub(x).NormInf(); d > 1e-7 {
+			t.Fatalf("trial %d: residual %g", trial, d)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := NewLU(a); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+}
+
+func TestLUNeedsPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a, _ := MatrixFromRows([][]float64{{0, 1}, {1, 0}})
+	lu, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := lu.Solve(VectorOf(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 3, 1e-12) || !almostEq(x[1], 2, 1e-12) {
+		t.Fatalf("solve = %v", x)
+	}
+}
+
+func TestSolvePD(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{4, 1}, {1, 3}})
+	x, err := SolvePD(a, VectorOf(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.MulVec(x).Sub(VectorOf(1, 2))
+	if r.NormInf() > 1e-10 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestSolvePDSemidefiniteFallback(t *testing.T) {
+	// Rank-deficient PSD matrix; the regularized path should still produce
+	// a least-squares-ish solution with small residual against a consistent
+	// right-hand side.
+	a, _ := MatrixFromRows([][]float64{{1, 1}, {1, 1}})
+	x, err := SolvePD(a, VectorOf(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.MulVec(x).Sub(VectorOf(2, 2))
+	if r.NormInf() > 1e-4 {
+		t.Fatalf("residual %v too large", r)
+	}
+	if math.IsNaN(x[0]) {
+		t.Fatal("NaN solution")
+	}
+}
+
+func TestMatrixRowViewAndAddScaled(t *testing.T) {
+	m, _ := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	row := m.Row(1)
+	if row[0] != 3 || row[1] != 4 {
+		t.Fatalf("Row = %v", row)
+	}
+	row[0] = 9 // views alias the matrix by contract
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row should be a view, not a copy")
+	}
+	other := Identity(2)
+	m.AddScaled(2, other)
+	if m.At(0, 0) != 3 || m.At(1, 1) != 6 {
+		t.Fatalf("AddScaled = \n%v", m)
+	}
+	if s := m.String(); len(s) == 0 {
+		t.Fatal("String empty")
+	}
+}
+
+func TestNewMatrixPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dimensions accepted")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestSolvePDFallsBackToLU(t *testing.T) {
+	// Symmetric indefinite: Cholesky fails (even regularized), LU succeeds.
+	a, _ := MatrixFromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolvePD(a, VectorOf(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.MulVec(x).Sub(VectorOf(3, 5))
+	if r.NormInf() > 1e-8 {
+		t.Fatalf("residual %v", r)
+	}
+}

@@ -1,0 +1,197 @@
+// Package linalg provides the small dense linear-algebra substrate used by
+// the optimization layers: vectors, matrices, Cholesky and LU factorizations
+// and triangular solves. It is written against float64 and the standard
+// library only; the problem sizes in this repository are small (tens to a
+// few hundred unknowns), so the implementations favour clarity and numerical
+// robustness over blocking or SIMD tricks.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned when operands have incompatible shapes.
+var ErrDimensionMismatch = errors.New("linalg: dimension mismatch")
+
+// Vector is a dense column vector backed by a float64 slice.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// VectorOf returns a vector holding a copy of the given values.
+func VectorOf(values ...float64) Vector {
+	v := make(Vector, len(values))
+	copy(v, values)
+	return v
+}
+
+// Constant returns a length-n vector with every entry set to c.
+func Constant(n int, c float64) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = c
+	}
+	return v
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Len returns the number of entries.
+func (v Vector) Len() int { return len(v) }
+
+// CopyFrom overwrites v with the contents of src.
+func (v Vector) CopyFrom(src Vector) error {
+	if len(v) != len(src) {
+		return fmt.Errorf("copy %d into %d entries: %w", len(src), len(v), ErrDimensionMismatch)
+	}
+	copy(v, src)
+	return nil
+}
+
+// Fill sets every entry of v to c.
+func (v Vector) Fill(c float64) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// Dot returns the inner product <v, w>. It panics on mismatched lengths
+// because that is always a programming error at this layer.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: Dot of %d- and %d-vectors", len(v), len(w)))
+	}
+	var sum float64
+	for i, x := range v {
+		sum += x * w[i]
+	}
+	return sum
+}
+
+// Sum returns the sum of all entries.
+func (v Vector) Sum() float64 {
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean norm, guarding against overflow by scaling.
+func (v Vector) Norm2() float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the maximum absolute entry (0 for the empty vector).
+func (v Vector) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// AddScaled sets v = v + alpha*w in place.
+func (v Vector) AddScaled(alpha float64, w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: AddScaled of %d- and %d-vectors", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+}
+
+// Scale multiplies every entry of v by alpha in place.
+func (v Vector) Scale(alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Sub returns v - w as a new vector.
+func (v Vector) Sub(w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: Sub of %d- and %d-vectors", len(v), len(w)))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Add returns v + w as a new vector.
+func (v Vector) Add(w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: Add of %d- and %d-vectors", len(v), len(w)))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Max returns the maximum entry; it panics on the empty vector.
+func (v Vector) Max() float64 {
+	if len(v) == 0 {
+		panic("linalg: Max of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum entry; it panics on the empty vector.
+func (v Vector) Min() float64 {
+	if len(v) == 0 {
+		panic("linalg: Min of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// AllFinite reports whether every entry is finite (no NaN or Inf).
+func (v Vector) AllFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

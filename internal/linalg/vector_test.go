@@ -1,0 +1,169 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestVectorOfClones(t *testing.T) {
+	src := []float64{1, 2, 3}
+	v := VectorOf(src...)
+	src[0] = 99
+	if v[0] != 1 {
+		t.Fatalf("VectorOf aliased its input: %v", v)
+	}
+	c := v.Clone()
+	c[1] = -5
+	if v[1] != 2 {
+		t.Fatalf("Clone aliased the vector: %v", v)
+	}
+}
+
+func TestConstantAndFill(t *testing.T) {
+	v := Constant(4, 2.5)
+	for i, x := range v {
+		if x != 2.5 {
+			t.Fatalf("Constant[%d] = %g", i, x)
+		}
+	}
+	v.Fill(-1)
+	if v.Sum() != -4 {
+		t.Fatalf("Fill then Sum = %g, want -4", v.Sum())
+	}
+}
+
+func TestDotSumNorms(t *testing.T) {
+	v := VectorOf(3, -4)
+	if got := v.Dot(VectorOf(2, 1)); got != 2 {
+		t.Errorf("Dot = %g, want 2", got)
+	}
+	if got := v.Sum(); got != -1 {
+		t.Errorf("Sum = %g, want -1", got)
+	}
+	if got := v.Norm2(); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Norm2 = %g, want 5", got)
+	}
+	if got := v.NormInf(); got != 4 {
+		t.Errorf("NormInf = %g, want 4", got)
+	}
+}
+
+func TestNorm2OverflowGuard(t *testing.T) {
+	v := VectorOf(1e200, 1e200)
+	want := 1e200 * math.Sqrt2
+	if got := v.Norm2(); !almostEq(got, want, 1e-12) {
+		t.Fatalf("Norm2 = %g, want %g", got, want)
+	}
+}
+
+func TestNorm2Empty(t *testing.T) {
+	if got := NewVector(0).Norm2(); got != 0 {
+		t.Fatalf("Norm2 of empty = %g", got)
+	}
+}
+
+func TestAddScaledSubAdd(t *testing.T) {
+	v := VectorOf(1, 2, 3)
+	v.AddScaled(2, VectorOf(1, 1, 1))
+	want := VectorOf(3, 4, 5)
+	for i := range v {
+		if v[i] != want[i] {
+			t.Fatalf("AddScaled = %v, want %v", v, want)
+		}
+	}
+	d := v.Sub(VectorOf(1, 1, 1))
+	s := d.Add(VectorOf(1, 1, 1))
+	for i := range s {
+		if s[i] != v[i] {
+			t.Fatalf("Sub/Add roundtrip = %v, want %v", s, v)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	v := VectorOf(3, -1, 7, 2)
+	if v.Max() != 7 || v.Min() != -1 {
+		t.Fatalf("Max/Min = %g/%g", v.Max(), v.Min())
+	}
+}
+
+func TestCopyFromMismatch(t *testing.T) {
+	v := NewVector(3)
+	if err := v.CopyFrom(NewVector(2)); err == nil {
+		t.Fatal("CopyFrom with mismatched length should error")
+	}
+	if err := v.CopyFrom(VectorOf(1, 2, 3)); err != nil {
+		t.Fatalf("CopyFrom: %v", err)
+	}
+	if v[2] != 3 {
+		t.Fatalf("CopyFrom content = %v", v)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !VectorOf(1, 2).AllFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if VectorOf(1, math.NaN()).AllFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if VectorOf(math.Inf(1)).AllFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+// Property: the Cauchy-Schwarz inequality |<v,w>| <= |v||w| holds.
+func TestPropCauchySchwarz(t *testing.T) {
+	f := func(a, b, c, d, e, g float64) bool {
+		for _, x := range []float64{a, b, c, d, e, g} {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		v, w := VectorOf(a, b, c), VectorOf(d, e, g)
+		lhs := math.Abs(v.Dot(w))
+		rhs := v.Norm2() * w.Norm2()
+		return lhs <= rhs*(1+1e-10)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle inequality for Norm2.
+func TestPropTriangleInequality(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		for _, x := range []float64{a, b, c, d} {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		v, w := VectorOf(a, b), VectorOf(c, d)
+		return v.Add(w).Norm2() <= v.Norm2()+w.Norm2()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLenScaleAddScaledEdge(t *testing.T) {
+	v := VectorOf(1, 2, 3)
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	v.Scale(2)
+	if v[2] != 6 {
+		t.Fatalf("Scale = %v", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddScaled length mismatch accepted")
+		}
+	}()
+	v.AddScaled(1, VectorOf(1))
+}

@@ -1,0 +1,181 @@
+// Package model describes the physical layer of the geo-distributed cloud:
+// datacenters with their server fleets and power characteristics, front-end
+// proxy servers with their request arrivals, and the propagation-latency
+// matrix between them. It implements the server power model and the
+// empirical latency rule (0.02 ms/km) from §II of the paper.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MsPerKm is the paper's empirical propagation-latency rule: one kilometre
+// of geographical distance costs about 0.02 ms of propagation latency.
+const MsPerKm = 0.02
+
+// earthRadiusKm is the mean Earth radius used by the haversine formula.
+const earthRadiusKm = 6371.0
+
+// Validation errors.
+var (
+	ErrNoDatacenters = errors.New("model: cloud has no datacenters")
+	ErrNoFrontEnds   = errors.New("model: cloud has no front-end servers")
+)
+
+// Location is a point on the Earth's surface.
+type Location struct {
+	Name string  `json:"name"`
+	Lat  float64 `json:"lat"`
+	Lon  float64 `json:"lon"`
+}
+
+// DistanceKm returns the haversine great-circle distance to other.
+func (l Location) DistanceKm(other Location) float64 {
+	const deg = math.Pi / 180
+	lat1, lat2 := l.Lat*deg, other.Lat*deg
+	dLat := (other.Lat - l.Lat) * deg
+	dLon := (other.Lon - l.Lon) * deg
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// PowerModel is the per-server power characterization of a datacenter.
+// Aggregate server power for S active servers serving load λ is
+// S*IdleW + (PeakW-IdleW)*λ, scaled by the facility PUE (§II-B1).
+type PowerModel struct {
+	IdleW float64 `json:"idleW"` // idle power per server, watts
+	PeakW float64 `json:"peakW"` // peak power per server, watts
+	PUE   float64 `json:"pue"`   // facility power usage effectiveness
+}
+
+// DefaultPowerModel matches the paper's evaluation setting: 100 W idle,
+// 200 W peak, PUE 1.2.
+func DefaultPowerModel() PowerModel {
+	return PowerModel{IdleW: 100, PeakW: 200, PUE: 1.2}
+}
+
+// Validate checks physical plausibility.
+func (p PowerModel) Validate() error {
+	if p.IdleW < 0 || p.PeakW < p.IdleW {
+		return fmt.Errorf("model: power model idle %g W, peak %g W is not plausible", p.IdleW, p.PeakW)
+	}
+	if p.PUE < 1 {
+		return fmt.Errorf("model: PUE %g < 1", p.PUE)
+	}
+	return nil
+}
+
+// Datacenter is a back-end processing site.
+type Datacenter struct {
+	Location      Location   `json:"location"`
+	Servers       float64    `json:"servers"`       // S_j, number of homogeneous servers
+	Power         PowerModel `json:"power"`         // per-server power model
+	FuelCellMaxMW float64    `json:"fuelCellMaxMW"` // μ_j^max, MW
+}
+
+// AlphaMW returns α_j = S_j · P_idle · PUE in MW: the load-independent
+// facility power draw.
+func (d Datacenter) AlphaMW() float64 {
+	return d.Servers * d.Power.IdleW * d.Power.PUE / 1e6
+}
+
+// BetaMW returns β_j = (P_peak − P_idle) · PUE in MW per unit of workload
+// (one workload unit keeps one server busy).
+func (d Datacenter) BetaMW() float64 {
+	return (d.Power.PeakW - d.Power.IdleW) * d.Power.PUE / 1e6
+}
+
+// DemandMW returns the total facility power demand D_j(load) in MW for the
+// given routed workload (in servers).
+func (d Datacenter) DemandMW(load float64) float64 {
+	return d.AlphaMW() + d.BetaMW()*load
+}
+
+// PeakDemandMW returns the facility demand when every server is busy.
+func (d Datacenter) PeakDemandMW() float64 { return d.DemandMW(d.Servers) }
+
+// FullFuelCell sets μ_j^max so fuel cells can cover peak facility demand,
+// the paper's "all datacenters can be completely powered by fuel cells"
+// assumption, and returns the datacenter for chaining.
+func (d Datacenter) FullFuelCell() Datacenter {
+	d.FuelCellMaxMW = d.PeakDemandMW()
+	return d
+}
+
+// FrontEnd is a front-end proxy server aggregating a region's requests.
+type FrontEnd struct {
+	Location Location `json:"location"`
+}
+
+// Cloud is the static topology: datacenters, front-ends and the derived
+// latency matrix.
+type Cloud struct {
+	Datacenters []Datacenter
+	FrontEnds   []FrontEnd
+
+	latencySec [][]float64 // [frontend][datacenter], seconds
+}
+
+// NewCloud builds a cloud and its latency matrix. The latency between
+// front-end i and datacenter j follows L_ij = 0.02 ms/km × d_ij.
+func NewCloud(dcs []Datacenter, fes []FrontEnd) (*Cloud, error) {
+	if len(dcs) == 0 {
+		return nil, ErrNoDatacenters
+	}
+	if len(fes) == 0 {
+		return nil, ErrNoFrontEnds
+	}
+	for j, dc := range dcs {
+		if err := dc.Power.Validate(); err != nil {
+			return nil, fmt.Errorf("datacenter %d (%s): %w", j, dc.Location.Name, err)
+		}
+		if dc.Servers <= 0 {
+			return nil, fmt.Errorf("datacenter %d (%s): %g servers", j, dc.Location.Name, dc.Servers)
+		}
+		if dc.FuelCellMaxMW < 0 {
+			return nil, fmt.Errorf("datacenter %d (%s): negative fuel cell capacity", j, dc.Location.Name)
+		}
+	}
+	c := &Cloud{
+		Datacenters: append([]Datacenter(nil), dcs...),
+		FrontEnds:   append([]FrontEnd(nil), fes...),
+	}
+	c.latencySec = make([][]float64, len(fes))
+	for i, fe := range fes {
+		row := make([]float64, len(dcs))
+		for j, dc := range dcs {
+			row[j] = fe.Location.DistanceKm(dc.Location) * MsPerKm / 1000 // seconds
+		}
+		c.latencySec[i] = row
+	}
+	return c, nil
+}
+
+// N returns the number of datacenters.
+func (c *Cloud) N() int { return len(c.Datacenters) }
+
+// M returns the number of front-end proxy servers.
+func (c *Cloud) M() int { return len(c.FrontEnds) }
+
+// LatencySec returns the propagation latency between front-end i and
+// datacenter j in seconds.
+func (c *Cloud) LatencySec(i, j int) float64 { return c.latencySec[i][j] }
+
+// LatencyRow returns a copy of front-end i's latency row in seconds.
+func (c *Cloud) LatencyRow(i int) []float64 {
+	row := make([]float64, len(c.latencySec[i]))
+	copy(row, c.latencySec[i])
+	return row
+}
+
+// TotalServers returns Σ_j S_j.
+func (c *Cloud) TotalServers() float64 {
+	var s float64
+	for _, dc := range c.Datacenters {
+		s += dc.Servers
+	}
+	return s
+}

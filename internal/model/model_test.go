@@ -1,0 +1,156 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	// San Jose <-> Dallas is roughly 2300 km great-circle.
+	d := SanJose.DistanceKm(Dallas)
+	if d < 2100 || d > 2500 {
+		t.Fatalf("SanJose-Dallas distance = %g km", d)
+	}
+	if SanJose.DistanceKm(SanJose) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Location{Lat: math.Mod(lat1, 90), Lon: math.Mod(lon1, 180)}
+		b := Location{Lat: math.Mod(lat2, 90), Lon: math.Mod(lon2, 180)}
+		if math.IsNaN(a.Lat) || math.IsNaN(a.Lon) || math.IsNaN(b.Lat) || math.IsNaN(b.Lon) {
+			return true
+		}
+		d1, d2 := a.DistanceKm(b), b.DistanceKm(a)
+		return math.Abs(d1-d2) < 1e-6 && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerModelValidate(t *testing.T) {
+	if err := DefaultPowerModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := PowerModel{IdleW: 200, PeakW: 100, PUE: 1.2}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("peak < idle accepted")
+	}
+	bad = PowerModel{IdleW: 100, PeakW: 200, PUE: 0.9}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("PUE < 1 accepted")
+	}
+}
+
+func TestAlphaBetaDemand(t *testing.T) {
+	dc := Datacenter{
+		Location: Dallas,
+		Servers:  20000,
+		Power:    DefaultPowerModel(),
+	}
+	// alpha = 20000 * 100 * 1.2 W = 2.4 MW
+	if got := dc.AlphaMW(); math.Abs(got-2.4) > 1e-12 {
+		t.Errorf("alpha = %g MW, want 2.4", got)
+	}
+	// beta = 100 * 1.2 W per server = 1.2e-4 MW
+	if got := dc.BetaMW(); math.Abs(got-1.2e-4) > 1e-18 {
+		t.Errorf("beta = %g MW, want 1.2e-4", got)
+	}
+	// demand at full load = 20000 * 200 * 1.2 W = 4.8 MW
+	if got := dc.DemandMW(20000); math.Abs(got-4.8) > 1e-10 {
+		t.Errorf("demand = %g MW, want 4.8", got)
+	}
+	if got := dc.PeakDemandMW(); math.Abs(got-4.8) > 1e-10 {
+		t.Errorf("peak demand = %g MW, want 4.8", got)
+	}
+	full := dc.FullFuelCell()
+	if math.Abs(full.FuelCellMaxMW-4.8) > 1e-10 {
+		t.Errorf("full fuel cell = %g MW, want 4.8", full.FuelCellMaxMW)
+	}
+	if dc.FuelCellMaxMW != 0 {
+		t.Error("FullFuelCell mutated the receiver")
+	}
+}
+
+func TestNewCloudValidation(t *testing.T) {
+	dc := Datacenter{Location: Dallas, Servers: 100, Power: DefaultPowerModel()}
+	fe := FrontEnd{Location: SanJose}
+	if _, err := NewCloud(nil, []FrontEnd{fe}); err == nil {
+		t.Error("no datacenters accepted")
+	}
+	if _, err := NewCloud([]Datacenter{dc}, nil); err == nil {
+		t.Error("no front-ends accepted")
+	}
+	bad := dc
+	bad.Servers = 0
+	if _, err := NewCloud([]Datacenter{bad}, []FrontEnd{fe}); err == nil {
+		t.Error("zero servers accepted")
+	}
+	c, err := NewCloud([]Datacenter{dc}, []FrontEnd{fe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 1 || c.M() != 1 {
+		t.Fatalf("N=%d M=%d", c.N(), c.M())
+	}
+}
+
+func TestLatencyMatrix(t *testing.T) {
+	dcs := []Datacenter{
+		{Location: Dallas, Servers: 100, Power: DefaultPowerModel()},
+		{Location: SanJose, Servers: 100, Power: DefaultPowerModel()},
+	}
+	fes := []FrontEnd{{Location: Dallas}}
+	c, err := NewCloud(dcs, fes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dallas front-end to Dallas datacenter: zero latency.
+	if c.LatencySec(0, 0) != 0 {
+		t.Errorf("self latency = %g", c.LatencySec(0, 0))
+	}
+	// Dallas -> San Jose: ~2300 km * 0.02 ms/km = ~46 ms = 0.046 s.
+	l := c.LatencySec(0, 1)
+	if l < 0.040 || l > 0.052 {
+		t.Errorf("Dallas-SanJose latency = %g s", l)
+	}
+	row := c.LatencyRow(0)
+	row[0] = 99
+	if c.LatencySec(0, 0) == 99 {
+		t.Error("LatencyRow aliased internal state")
+	}
+}
+
+func TestPaperSites(t *testing.T) {
+	if got := len(PaperDatacenterSites()); got != 4 {
+		t.Errorf("datacenter sites = %d, want 4", got)
+	}
+	if got := len(PaperFrontEndSites()); got != 10 {
+		t.Errorf("front-end sites = %d, want 10", got)
+	}
+	seen := map[string]bool{}
+	for _, s := range PaperFrontEndSites() {
+		if seen[s.Name] {
+			t.Errorf("duplicate front-end site %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestTotalServers(t *testing.T) {
+	dcs := []Datacenter{
+		{Location: Dallas, Servers: 100, Power: DefaultPowerModel()},
+		{Location: SanJose, Servers: 250, Power: DefaultPowerModel()},
+	}
+	c, err := NewCloud(dcs, []FrontEnd{{Location: Dallas}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TotalServers(); got != 350 {
+		t.Errorf("TotalServers = %g", got)
+	}
+}

@@ -1,0 +1,35 @@
+package model
+
+// Well-known site coordinates used by the paper's evaluation (§IV-A): four
+// datacenters in Calgary, San Jose, Dallas and Pittsburgh and ten front-end
+// proxies scattered across the continental United States.
+var (
+	Calgary    = Location{Name: "Calgary", Lat: 51.05, Lon: -114.07}
+	SanJose    = Location{Name: "San Jose", Lat: 37.34, Lon: -121.89}
+	Dallas     = Location{Name: "Dallas", Lat: 32.78, Lon: -96.80}
+	Pittsburgh = Location{Name: "Pittsburgh", Lat: 40.44, Lon: -79.99}
+)
+
+// PaperDatacenterSites returns the four datacenter locations in the paper's
+// order: Calgary, San Jose, Dallas, Pittsburgh.
+func PaperDatacenterSites() []Location {
+	return []Location{Calgary, SanJose, Dallas, Pittsburgh}
+}
+
+// PaperFrontEndSites returns ten metro areas roughly uniformly scattered
+// across the continental United States, standing in for the paper's ten
+// front-end proxy servers.
+func PaperFrontEndSites() []Location {
+	return []Location{
+		{Name: "Seattle", Lat: 47.61, Lon: -122.33},
+		{Name: "Los Angeles", Lat: 34.05, Lon: -118.24},
+		{Name: "Phoenix", Lat: 33.45, Lon: -112.07},
+		{Name: "Denver", Lat: 39.74, Lon: -104.99},
+		{Name: "Houston", Lat: 29.76, Lon: -95.37},
+		{Name: "Minneapolis", Lat: 44.98, Lon: -93.27},
+		{Name: "Chicago", Lat: 41.88, Lon: -87.63},
+		{Name: "Atlanta", Lat: 33.75, Lon: -84.39},
+		{Name: "New York", Lat: 40.71, Lon: -74.01},
+		{Name: "Miami", Lat: 25.76, Lon: -80.19},
+	}
+}

@@ -1,0 +1,390 @@
+// Package qp provides the convex-optimization substrate for the UFC solver:
+// a dense primal active-set solver for strictly convex quadratic programs,
+// an exact Euclidean projection onto the (scaled) simplex, and 1-D convex
+// minimizers. The ADMM sub-problems in the paper (λ- and a-minimizations,
+// §III-C) are small strictly convex QPs over simplex-like sets, which is
+// exactly what this package solves.
+package qp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Solver-level errors.
+var (
+	// ErrInfeasible is returned when no feasible point can be constructed.
+	ErrInfeasible = errors.New("qp: problem is infeasible")
+	// ErrMaxIterations is returned when the active-set loop fails to
+	// terminate within the iteration budget.
+	ErrMaxIterations = errors.New("qp: iteration limit exceeded")
+	// ErrNotConvex is returned when the Hessian is not positive definite
+	// on the feasible subspace.
+	ErrNotConvex = errors.New("qp: Hessian is not positive definite")
+)
+
+// Problem describes the strictly convex quadratic program
+//
+//	min  ½ xᵀ H x + cᵀ x
+//	s.t. Aeq x = beq
+//	     Ain x ≤ bin
+//	     x ≥ lower  (entrywise, may be -Inf)
+//	     x ≤ upper  (entrywise, may be +Inf)
+//
+// H must be symmetric positive definite. Lower/Upper may be nil, meaning
+// unbounded. Start may be nil; the solver then attempts to construct a
+// feasible point itself (it understands the simplex-like structures used in
+// this repository and falls back to a least-squares phase-1).
+type Problem struct {
+	H     *linalg.Matrix
+	C     linalg.Vector
+	Aeq   *linalg.Matrix
+	Beq   linalg.Vector
+	Ain   *linalg.Matrix
+	Bin   linalg.Vector
+	Lower linalg.Vector
+	Upper linalg.Vector
+	Start linalg.Vector
+}
+
+// Result holds the solver output.
+type Result struct {
+	X          linalg.Vector
+	Objective  float64
+	Iterations int
+}
+
+// Options tunes the active-set solver.
+type Options struct {
+	MaxIterations int     // default 100 + 10n
+	Tolerance     float64 // default 1e-9 (feasibility / multiplier tolerance)
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 200 + 20*n
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-9
+	}
+	return o
+}
+
+// constraint is an internal normalized inequality aᵀx ≤ b.
+type constraint struct {
+	a linalg.Vector
+	b float64
+}
+
+// Solve runs the primal active-set method on the problem.
+func Solve(p *Problem, opts Options) (*Result, error) {
+	n := p.C.Len()
+	if p.H.Rows() != n || p.H.Cols() != n {
+		return nil, fmt.Errorf("qp: H is %dx%d for %d variables: %w",
+			p.H.Rows(), p.H.Cols(), n, linalg.ErrDimensionMismatch)
+	}
+	opts = opts.withDefaults(n)
+	p = promoteFixedBounds(p, n)
+
+	ineqs := gatherInequalities(p, n)
+	x, err := feasibleStart(p, ineqs, opts.Tolerance)
+	if err != nil {
+		return nil, err
+	}
+
+	// Working set: indices into ineqs currently treated as equalities.
+	active := make([]bool, len(ineqs))
+	for k, con := range ineqs {
+		if math.Abs(con.a.Dot(x)-con.b) <= opts.Tolerance*(1+math.Abs(con.b)) {
+			active[k] = true
+		}
+	}
+
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		g := p.H.MulVec(x)
+		g.AddScaled(1, p.C)
+
+		step, ineqMult, err := equalityStep(p, ineqs, active, g, n)
+		if err != nil {
+			return nil, err
+		}
+
+		if step.NormInf() <= opts.Tolerance {
+			// Stationary on the working set: check inequality multipliers.
+			worst, worstIdx := 0.0, -1
+			for k, lam := range ineqMult {
+				if !active[k] {
+					continue
+				}
+				if lam < worst {
+					worst, worstIdx = lam, k
+				}
+			}
+			if worstIdx < 0 || worst >= -opts.Tolerance {
+				return &Result{X: x, Objective: Objective(p, x), Iterations: iter}, nil
+			}
+			active[worstIdx] = false
+			continue
+		}
+
+		// Line search toward x+step, blocking on inactive inequalities.
+		alpha, blocking := 1.0, -1
+		for k, con := range ineqs {
+			if active[k] {
+				continue
+			}
+			ad := con.a.Dot(step)
+			if ad <= opts.Tolerance {
+				continue // moving away from or parallel to the constraint
+			}
+			slack := con.b - con.a.Dot(x)
+			if slack < 0 {
+				slack = 0
+			}
+			if a := slack / ad; a < alpha {
+				alpha, blocking = a, k
+			}
+		}
+		x.AddScaled(alpha, step)
+		if blocking >= 0 {
+			active[blocking] = true
+		}
+	}
+	return nil, fmt.Errorf("after %d iterations: %w", opts.MaxIterations, ErrMaxIterations)
+}
+
+// Objective evaluates ½xᵀHx + cᵀx.
+func Objective(p *Problem, x linalg.Vector) float64 {
+	return 0.5*x.Dot(p.H.MulVec(x)) + p.C.Dot(x)
+}
+
+// promoteFixedBounds rewrites variables with Lower[j] == Upper[j] as
+// equality rows. Leaving them as a pair of opposing inequalities makes the
+// active set degenerate (both constraints are always active) and can cycle
+// the solver. Returns p unchanged when there is nothing to promote.
+func promoteFixedBounds(p *Problem, n int) *Problem {
+	if p.Lower == nil || p.Upper == nil {
+		return p
+	}
+	var fixed []int
+	for j := 0; j < n; j++ {
+		if p.Lower[j] == p.Upper[j] && !math.IsInf(p.Lower[j], 0) {
+			fixed = append(fixed, j)
+		}
+	}
+	if len(fixed) == 0 {
+		return p
+	}
+	meq := 0
+	if p.Aeq != nil {
+		meq = p.Aeq.Rows()
+	}
+	aeq := linalg.NewMatrix(meq+len(fixed), n)
+	beq := linalg.NewVector(meq + len(fixed))
+	for i := 0; i < meq; i++ {
+		for j := 0; j < n; j++ {
+			aeq.Set(i, j, p.Aeq.At(i, j))
+		}
+		beq[i] = p.Beq[i]
+	}
+	lower := p.Lower.Clone()
+	upper := p.Upper.Clone()
+	for k, j := range fixed {
+		aeq.Set(meq+k, j, 1)
+		beq[meq+k] = p.Lower[j]
+		lower[j] = math.Inf(-1)
+		upper[j] = math.Inf(1)
+	}
+	out := *p
+	out.Aeq, out.Beq, out.Lower, out.Upper = aeq, beq, lower, upper
+	return &out
+}
+
+// gatherInequalities normalizes Ain/bounds into a single list of aᵀx ≤ b.
+func gatherInequalities(p *Problem, n int) []constraint {
+	var cons []constraint
+	if p.Ain != nil {
+		for i := 0; i < p.Ain.Rows(); i++ {
+			cons = append(cons, constraint{a: p.Ain.Row(i).Clone(), b: p.Bin[i]})
+		}
+	}
+	if p.Lower != nil {
+		for j := 0; j < n; j++ {
+			if math.IsInf(p.Lower[j], -1) {
+				continue
+			}
+			a := linalg.NewVector(n)
+			a[j] = -1
+			cons = append(cons, constraint{a: a, b: -p.Lower[j]})
+		}
+	}
+	if p.Upper != nil {
+		for j := 0; j < n; j++ {
+			if math.IsInf(p.Upper[j], 1) {
+				continue
+			}
+			a := linalg.NewVector(n)
+			a[j] = 1
+			cons = append(cons, constraint{a: a, b: p.Upper[j]})
+		}
+	}
+	return cons
+}
+
+// equalityStep solves the equality-constrained QP for the step direction:
+//
+//	min ½ pᵀHp + gᵀp   s.t.  Aeq p = req,  a_kᵀ p = 0 for active k,
+//
+// where req restores any equality residual. It returns the step and the
+// multipliers of the active inequality constraints (indexed like ineqs;
+// entries for inactive constraints are 0).
+func equalityStep(
+	p *Problem,
+	ineqs []constraint,
+	active []bool,
+	g linalg.Vector,
+	n int,
+) (linalg.Vector, []float64, error) {
+	meq := 0
+	if p.Aeq != nil {
+		meq = p.Aeq.Rows()
+	}
+	var act []int
+	for k, on := range active {
+		if on {
+			act = append(act, k)
+		}
+	}
+	m := meq + len(act)
+
+	// KKT system: [H  Aᵀ; A  0] [p; y] = [-g; r].
+	kkt := linalg.NewMatrix(n+m, n+m)
+	rhs := linalg.NewVector(n + m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			kkt.Set(i, j, p.H.At(i, j))
+		}
+		rhs[i] = -g[i]
+	}
+	row := n
+	if p.Aeq != nil {
+		for i := 0; i < meq; i++ {
+			for j := 0; j < n; j++ {
+				v := p.Aeq.At(i, j)
+				kkt.Set(row, j, v)
+				kkt.Set(j, row, v)
+			}
+			// Current equality residual must stay zero (the start is feasible),
+			// but keep the restoration term for numerical drift.
+			rhs[row] = 0
+			row++
+		}
+	}
+	for _, k := range act {
+		for j := 0; j < n; j++ {
+			v := ineqs[k].a[j]
+			kkt.Set(row, j, v)
+			kkt.Set(j, row, v)
+		}
+		rhs[row] = 0
+		row++
+	}
+
+	lu, err := linalg.NewLU(kkt)
+	if err != nil {
+		// A redundant active set makes the KKT matrix singular. Regularize
+		// the dual block slightly; this perturbs multipliers by O(1e-10).
+		reg := kkt.Clone()
+		for i := n; i < n+m; i++ {
+			reg.Adds(i, i, -1e-10)
+		}
+		lu, err = linalg.NewLU(reg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("KKT solve: %w", ErrNotConvex)
+		}
+	}
+	sol, err := lu.Solve(rhs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("KKT solve: %w", err)
+	}
+
+	step := sol[:n].Clone()
+	mult := make([]float64, len(ineqs))
+	for idx, k := range act {
+		mult[k] = sol[n+meq+idx]
+	}
+	return step, mult, nil
+}
+
+// feasibleStart returns a point satisfying all constraints. It uses the
+// caller-provided start when feasible, then tries simple heuristics, then a
+// phase-1 least-squares repair.
+func feasibleStart(p *Problem, ineqs []constraint, tol float64) (linalg.Vector, error) {
+	n := p.C.Len()
+	if p.Start != nil {
+		x := p.Start.Clone()
+		if isFeasible(p, ineqs, x, tol) {
+			return x, nil
+		}
+	}
+	// Heuristic 1: zero vector.
+	x := linalg.NewVector(n)
+	clampToBounds(p, x)
+	if isFeasible(p, ineqs, x, tol) {
+		return x, nil
+	}
+	// Heuristic 2: least-squares solution of the equalities, clamped, then
+	// scaled back if it violates inequality rows with nonnegative normals.
+	if p.Aeq != nil && p.Aeq.Rows() > 0 {
+		if ls := equalityLeastSquares(p.Aeq, p.Beq); ls != nil {
+			clampToBounds(p, ls)
+			if isFeasible(p, ineqs, ls, tol) {
+				return ls, nil
+			}
+		}
+	}
+	return nil, ErrInfeasible
+}
+
+func clampToBounds(p *Problem, x linalg.Vector) {
+	for j := range x {
+		if p.Lower != nil && x[j] < p.Lower[j] {
+			x[j] = p.Lower[j]
+		}
+		if p.Upper != nil && x[j] > p.Upper[j] {
+			x[j] = p.Upper[j]
+		}
+	}
+}
+
+func isFeasible(p *Problem, ineqs []constraint, x linalg.Vector, tol float64) bool {
+	if p.Aeq != nil {
+		r := p.Aeq.MulVec(x).Sub(p.Beq)
+		if r.NormInf() > tol*(1+p.Beq.NormInf()) {
+			return false
+		}
+	}
+	for _, con := range ineqs {
+		if con.a.Dot(x) > con.b+tol*(1+math.Abs(con.b)) {
+			return false
+		}
+	}
+	return true
+}
+
+// equalityLeastSquares returns the minimum-norm solution of A x = b via the
+// normal equations of Aᵀ (A Aᵀ) y = b, x = Aᵀ y. Returns nil on failure.
+func equalityLeastSquares(a *linalg.Matrix, b linalg.Vector) linalg.Vector {
+	aat := a.Mul(a.Transpose())
+	for i := 0; i < aat.Rows(); i++ {
+		aat.Adds(i, i, 1e-12)
+	}
+	y, err := linalg.SolvePD(aat, b)
+	if err != nil {
+		return nil
+	}
+	return a.MulTransVec(y)
+}

@@ -1,0 +1,134 @@
+package qp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestObjectiveValue(t *testing.T) {
+	h := linalg.Identity(2)
+	p := &Problem{H: h, C: linalg.VectorOf(1, -1)}
+	x := linalg.VectorOf(2, 3)
+	want := 0.5*(4+9) + (2 - 3)
+	if got := Objective(p, x); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("objective = %g, want %g", got, want)
+	}
+}
+
+func TestPromotedFixedBoundEqualsEquality(t *testing.T) {
+	// min (x-3)^2 + (y-5)^2 with y fixed at 1 via lower==upper.
+	h := linalg.NewMatrix(2, 2)
+	h.Set(0, 0, 2)
+	h.Set(1, 1, 2)
+	p := &Problem{
+		H:     h,
+		C:     linalg.VectorOf(-6, -10),
+		Lower: linalg.VectorOf(math.Inf(-1), 1),
+		Upper: linalg.VectorOf(math.Inf(1), 1),
+		Start: linalg.VectorOf(0, 1),
+	}
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-3) > 1e-8 || math.Abs(res.X[1]-1) > 1e-10 {
+		t.Fatalf("x = %v, want (3, 1)", res.X)
+	}
+}
+
+func TestFixedBoundConflictsWithEquality(t *testing.T) {
+	// x fixed at 1 but equality forces x = 2: infeasible.
+	h := linalg.Identity(1)
+	aeq := linalg.NewMatrix(1, 1)
+	aeq.Set(0, 0, 1)
+	p := &Problem{
+		H:     h,
+		C:     linalg.NewVector(1),
+		Aeq:   aeq,
+		Beq:   linalg.VectorOf(2),
+		Lower: linalg.VectorOf(1),
+		Upper: linalg.VectorOf(1),
+		Start: linalg.VectorOf(1),
+	}
+	if _, err := Solve(p, Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("conflicting constraints: %v", err)
+	}
+}
+
+func TestDimensionMismatchRejected(t *testing.T) {
+	p := &Problem{H: linalg.Identity(3), C: linalg.VectorOf(1, 2)}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("H/C mismatch accepted")
+	}
+}
+
+func TestIterationLimit(t *testing.T) {
+	// A feasible problem with an absurdly small iteration budget must
+	// return ErrMaxIterations rather than a wrong answer.
+	n := 6
+	h := linalg.Identity(n)
+	c := linalg.Constant(n, -10)
+	aeq := linalg.NewMatrix(1, n)
+	for j := 0; j < n; j++ {
+		aeq.Set(0, j, 1)
+	}
+	start := linalg.NewVector(n)
+	start[0] = 3 // vertex far from the uniform optimum: several active-set
+	// changes (one bound dropped per iteration) are required.
+	p := &Problem{
+		H: h, C: c,
+		Aeq: aeq, Beq: linalg.VectorOf(3),
+		Lower: linalg.NewVector(n),
+		Upper: linalg.Constant(n, math.Inf(1)),
+		Start: start,
+	}
+	if _, err := Solve(p, Options{MaxIterations: 1}); !errors.Is(err, ErrMaxIterations) {
+		t.Fatalf("1-iteration budget: %v", err)
+	}
+}
+
+func TestEqualityOnlyLeastSquaresStart(t *testing.T) {
+	// No caller start, zero infeasible for the equality: the solver must
+	// construct its own feasible point via least squares.
+	h := linalg.Identity(2)
+	aeq := linalg.NewMatrix(1, 2)
+	aeq.Set(0, 0, 1)
+	aeq.Set(0, 1, 1)
+	p := &Problem{
+		H: h, C: linalg.NewVector(2),
+		Aeq: aeq, Beq: linalg.VectorOf(4),
+	}
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// min ||x||^2 s.t. x1+x2=4 → (2,2).
+	if math.Abs(res.X[0]-2) > 1e-8 || math.Abs(res.X[1]-2) > 1e-8 {
+		t.Fatalf("x = %v, want (2,2)", res.X)
+	}
+}
+
+func TestRedundantActiveConstraintsHandled(t *testing.T) {
+	// Duplicate inequality rows make the active set degenerate; the
+	// regularized KKT fallback must still solve it.
+	h := linalg.Identity(2)
+	ain := linalg.NewMatrix(2, 2)
+	ain.Set(0, 0, 1)
+	ain.Set(1, 0, 1) // duplicate of row 0
+	p := &Problem{
+		H:   h,
+		C:   linalg.VectorOf(-10, 0),
+		Ain: ain, Bin: linalg.VectorOf(1, 1),
+		Start: linalg.NewVector(2),
+	}
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-6 {
+		t.Fatalf("x = %v, want x0 = 1", res.X)
+	}
+}

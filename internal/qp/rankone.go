@@ -1,0 +1,99 @@
+package qp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// SolveSumCappedRankOne solves, exactly and in O(M log M),
+//
+//	min  ½ρ‖a‖² + ½ρκ(1ᵀa)² + cᵀa
+//	s.t. 1ᵀa ≤ cap,  a ≥ 0,
+//
+// the structure of the paper's per-datacenter a-minimization (20) (in the
+// engine's scaled units κ = 1). Decomposition: for a fixed total z = 1ᵀa
+// the inner problem is a diagonal QP over the scaled simplex whose
+// solution is the water-filling a_i = max(0, (θ(z) − c_i)/ρ); the outer
+// objective G(z) = inner(z) + ½ρκz² is convex with derivative
+// θ(z) + ρκz, so the optimal total is the root of a piecewise-linear
+// increasing function, clamped to [0, cap].
+func SolveSumCappedRankOne(rho, kappa float64, c linalg.Vector, cap float64) (linalg.Vector, error) {
+	m := c.Len()
+	if rho <= 0 {
+		return nil, fmt.Errorf("qp: rank-one solver needs rho > 0, got %g", rho)
+	}
+	if kappa < 0 || cap < 0 {
+		return nil, fmt.Errorf("qp: rank-one solver kappa %g cap %g", kappa, cap)
+	}
+	out := linalg.NewVector(m)
+	if m == 0 || cap == 0 {
+		return out, nil
+	}
+
+	sorted := append([]float64(nil), c...)
+	sort.Float64s(sorted)
+	prefix := make([]float64, m+1)
+	for i, v := range sorted {
+		prefix[i+1] = prefix[i] + v
+	}
+
+	// theta(z): the inner dual with Σ max(0, (θ − c_i)/ρ) = z.
+	theta := func(z float64) float64 {
+		if z <= 0 {
+			return sorted[0]
+		}
+		// Find the active count k: θ in (sorted[k-1], sorted[k]].
+		// θ_k = (ρz + prefix[k]) / k must satisfy θ_k ≤ sorted[k] (or k = m).
+		k := sort.Search(m, func(k0 int) bool {
+			k := k0 + 1
+			th := (rho*z + prefix[k]) / float64(k)
+			return k == m || th <= sorted[k]
+		}) + 1
+		return (rho*z + prefix[k]) / float64(k)
+	}
+
+	// dG/dz = theta(z) + ρκz, increasing. Root in [0, cap] by bisection.
+	deriv := func(z float64) float64 { return theta(z) + rho*kappa*z }
+	var z float64
+	switch {
+	case deriv(0) >= 0:
+		z = 0
+	case deriv(cap) <= 0:
+		z = cap
+	default:
+		lo, hi := 0.0, cap
+		for iter := 0; iter < 200 && hi-lo > 1e-14*(1+cap); iter++ {
+			mid := lo + (hi-lo)/2
+			if deriv(mid) < 0 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		z = lo + (hi-lo)/2
+	}
+	if z <= 0 {
+		return out, nil
+	}
+
+	th := theta(z)
+	var sum float64
+	for i, ci := range c {
+		if v := (th - ci) / rho; v > 0 {
+			out[i] = v
+			sum += v
+		}
+	}
+	// Rescale the tiny bisection residual so 1ᵀa = z exactly (preserves
+	// nonnegativity and feasibility).
+	if sum > 0 && math.Abs(sum-z) > 0 {
+		f := z / sum
+		for i := range out {
+			out[i] *= f
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// rankOneObjective evaluates ½ρ‖a‖² + ½ρκ(1ᵀa)² + cᵀa.
+func rankOneObjective(rho, kappa float64, c, a linalg.Vector) float64 {
+	s := a.Sum()
+	return 0.5*rho*a.Dot(a) + 0.5*rho*kappa*s*s + c.Dot(a)
+}
+
+func TestRankOneMatchesActiveSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.Intn(12)
+		rho := 0.01 + rng.Float64()*2
+		kappa := rng.Float64() * 2
+		cap := rng.Float64() * 20
+		c := linalg.NewVector(m)
+		for i := range c {
+			c[i] = rng.NormFloat64() * 3
+		}
+
+		fast, err := SolveSumCappedRankOne(rho, kappa, c, cap)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Reference: dense active-set on the same QP.
+		h := linalg.NewMatrix(m, m)
+		for r := 0; r < m; r++ {
+			for cc := 0; cc < m; cc++ {
+				v := rho * kappa
+				if r == cc {
+					v += rho
+				}
+				h.Set(r, cc, v)
+			}
+		}
+		ain := linalg.NewMatrix(1, m)
+		for i := 0; i < m; i++ {
+			ain.Set(0, i, 1)
+		}
+		ref, err := Solve(&Problem{
+			H: h, C: c,
+			Ain: ain, Bin: linalg.VectorOf(cap),
+			Lower: linalg.NewVector(m),
+			Upper: linalg.Constant(m, math.Inf(1)),
+			Start: linalg.NewVector(m),
+		}, Options{})
+		if err != nil {
+			t.Fatalf("trial %d reference: %v", trial, err)
+		}
+
+		objFast := rankOneObjective(rho, kappa, c, fast)
+		objRef := rankOneObjective(rho, kappa, c, ref.X)
+		if objFast > objRef+1e-7*(1+math.Abs(objRef)) {
+			t.Fatalf("trial %d: fast obj %g worse than reference %g\nc=%v\nfast=%v\nref=%v",
+				trial, objFast, objRef, c, fast, ref.X)
+		}
+		// Feasibility.
+		if fast.Sum() > cap+1e-8*(1+cap) || fast.Min() < 0 {
+			t.Fatalf("trial %d: infeasible fast solution sum=%g cap=%g min=%g",
+				trial, fast.Sum(), cap, fast.Min())
+		}
+	}
+}
+
+func TestRankOneEdgeCases(t *testing.T) {
+	// All costs positive → a = 0.
+	a, err := SolveSumCappedRankOne(1, 1, linalg.VectorOf(1, 2, 3), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sum() != 0 {
+		t.Errorf("positive costs should give zero: %v", a)
+	}
+	// Strongly negative costs → cap binds.
+	a, err = SolveSumCappedRankOne(1, 0.1, linalg.VectorOf(-100, -100), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Sum()-2) > 1e-9 {
+		t.Errorf("cap should bind: sum = %g", a.Sum())
+	}
+	// Zero cap.
+	a, err = SolveSumCappedRankOne(1, 1, linalg.VectorOf(-1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 0 {
+		t.Errorf("zero cap: %v", a)
+	}
+	// Empty.
+	if a, err = SolveSumCappedRankOne(1, 1, linalg.NewVector(0), 1); err != nil || a.Len() != 0 {
+		t.Errorf("empty: %v %v", a, err)
+	}
+	// Bad rho.
+	if _, err = SolveSumCappedRankOne(0, 1, linalg.VectorOf(1), 1); err == nil {
+		t.Error("rho 0 accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package qp
+
+import "math"
+
+// MinimizeConvex1D minimizes a convex differentiable function on [lo, hi]
+// given its derivative, by bisection on the derivative sign. hi may be
+// +Inf, in which case the bracket is grown geometrically first. The result
+// is accurate to roughly tol in the argument.
+func MinimizeConvex1D(deriv func(float64) float64, lo, hi, tol float64) float64 {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if deriv(lo) >= 0 {
+		return lo // increasing from the left edge: minimum at lo
+	}
+	if math.IsInf(hi, 1) {
+		// Grow the bracket until the derivative turns nonnegative.
+		hi = math.Max(1, 2*math.Abs(lo))
+		for i := 0; i < 200 && deriv(hi) < 0; i++ {
+			hi *= 2
+		}
+	}
+	if deriv(hi) <= 0 {
+		return hi // still decreasing at the right edge: minimum at hi
+	}
+	for hi-lo > tol*(1+math.Abs(lo)+math.Abs(hi)) {
+		mid := lo + (hi-lo)/2
+		if deriv(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if mid == lo && mid == hi {
+			break
+		}
+	}
+	return lo + (hi-lo)/2
+}
+
+// GoldenSection minimizes a unimodal function on [lo, hi] without
+// derivatives, to argument accuracy tol.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64) float64 {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	const invPhi = 0.6180339887498949
+	a, b := lo, hi
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > tol*(1+math.Abs(a)+math.Abs(b)) {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return (a + b) / 2
+}

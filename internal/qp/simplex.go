@@ -1,0 +1,105 @@
+package qp
+
+import (
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// ProjectSimplex returns the Euclidean projection of v onto the scaled
+// simplex {x : x ≥ 0, Σx = total}. total must be nonnegative; a zero total
+// projects everything to the origin. The classical O(n log n) sort-based
+// algorithm (Held–Wolfe–Crowder) is used.
+func ProjectSimplex(v linalg.Vector, total float64) linalg.Vector {
+	n := v.Len()
+	out := linalg.NewVector(n)
+	if n == 0 || total <= 0 {
+		return out
+	}
+	sorted := v.Clone()
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+
+	// Find the largest k with sorted[k-1] - (cum(k) - total)/k > 0.
+	var cum float64
+	theta := 0.0
+	for k := 1; k <= n; k++ {
+		cum += sorted[k-1]
+		t := (cum - total) / float64(k)
+		if sorted[k-1]-t > 0 {
+			theta = t
+		}
+	}
+	for i, x := range v {
+		if d := x - theta; d > 0 {
+			out[i] = d
+		}
+	}
+	return out
+}
+
+// ProjectCappedSimplex projects v onto {x : 0 ≤ x ≤ cap_i, Σx = total} via
+// bisection on the shift θ in x_i = clamp(v_i − θ, 0, cap_i). It returns nil
+// when the set is empty (Σcap < total).
+func ProjectCappedSimplex(v, caps linalg.Vector, total float64) linalg.Vector {
+	n := v.Len()
+	if caps.Len() != n {
+		panic("qp: ProjectCappedSimplex dimension mismatch")
+	}
+	var capSum float64
+	for _, c := range caps {
+		capSum += c
+	}
+	if total < 0 || capSum < total-1e-12 {
+		return nil
+	}
+	sum := func(theta float64) float64 {
+		var s float64
+		for i, x := range v {
+			s += Clamp(x-theta, 0, caps[i])
+		}
+		return s
+	}
+	lo, hi := v.Min()-total/float64(max(n, 1))-1, v.Max()+1
+	for sum(lo) < total {
+		lo -= 1 + (hi - lo)
+	}
+	for sum(hi) > total {
+		hi += 1 + (hi - lo)
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if sum(mid) > total {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	theta := (lo + hi) / 2
+	out := linalg.NewVector(n)
+	for i, x := range v {
+		out[i] = Clamp(x-theta, 0, caps[i])
+	}
+	// Repair tiny residual mass on an interior coordinate.
+	if diff := total - out.Sum(); diff != 0 {
+		for i := range out {
+			adj := Clamp(out[i]+diff, 0, caps[i])
+			diff -= adj - out[i]
+			out[i] = adj
+			if diff == 0 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Clamp restricts x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,162 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func TestProjectSimplexAlreadyFeasible(t *testing.T) {
+	v := linalg.VectorOf(0.2, 0.3, 0.5)
+	p := ProjectSimplex(v, 1)
+	for i := range v {
+		if math.Abs(p[i]-v[i]) > 1e-12 {
+			t.Fatalf("feasible point moved: %v -> %v", v, p)
+		}
+	}
+}
+
+func TestProjectSimplexKnown(t *testing.T) {
+	// Projection of (1,0) onto sum=1 simplex is itself; of (2,0) is (1.5,.5)
+	// clipped -> actually (1.5, 0.5) has sum 2... compute: theta=(2-1)/1? Let
+	// us verify against the definition with a tiny grid search instead.
+	v := linalg.VectorOf(2, 0)
+	p := ProjectSimplex(v, 1)
+	best := math.Inf(1)
+	var bx, by float64
+	for x := 0.0; x <= 1.0001; x += 0.0005 {
+		y := 1 - x
+		d := (x-2)*(x-2) + y*y
+		if d < best {
+			best, bx, by = d, x, y
+		}
+	}
+	if math.Abs(p[0]-bx) > 1e-3 || math.Abs(p[1]-by) > 1e-3 {
+		t.Fatalf("projection %v, grid says (%g, %g)", p, bx, by)
+	}
+}
+
+func TestProjectSimplexZeroTotal(t *testing.T) {
+	p := ProjectSimplex(linalg.VectorOf(1, 2, 3), 0)
+	if p.Sum() != 0 || p.Min() != 0 {
+		t.Fatalf("zero-total projection = %v", p)
+	}
+}
+
+// Properties: feasibility and idempotence.
+func TestPropProjectSimplexFeasibleIdempotent(t *testing.T) {
+	f := func(a, b, c, d float64, scale uint8) bool {
+		for _, x := range []float64{a, b, c, d} {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e8 {
+				return true
+			}
+		}
+		total := 1 + float64(scale%100)
+		v := linalg.VectorOf(a, b, c, d)
+		p := ProjectSimplex(v, total)
+		if p.Min() < 0 {
+			return false
+		}
+		if math.Abs(p.Sum()-total) > 1e-6*(1+total) {
+			return false
+		}
+		q := ProjectSimplex(p, total)
+		return q.Sub(p).NormInf() < 1e-9*(1+total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: projection is the nearest feasible point (vs random candidates).
+func TestPropProjectSimplexOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		v := linalg.NewVector(n)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 5
+		}
+		total := rng.Float64()*10 + 0.1
+		p := ProjectSimplex(v, total)
+		dp := p.Sub(v).Norm2()
+		for k := 0; k < 20; k++ {
+			// Random feasible candidate via projection of random point.
+			cand := linalg.NewVector(n)
+			for i := range cand {
+				cand[i] = rng.Float64()
+			}
+			cand = ProjectSimplex(cand, total)
+			if cand.Sub(v).Norm2() < dp-1e-7 {
+				t.Fatalf("trial %d: candidate closer than projection", trial)
+			}
+		}
+	}
+}
+
+func TestProjectCappedSimplex(t *testing.T) {
+	v := linalg.VectorOf(5, 5, 5)
+	caps := linalg.VectorOf(1, 2, 10)
+	p := ProjectCappedSimplex(v, caps, 6)
+	if p == nil {
+		t.Fatal("feasible problem returned nil")
+	}
+	if math.Abs(p.Sum()-6) > 1e-6 {
+		t.Fatalf("sum = %g", p.Sum())
+	}
+	for i := range p {
+		if p[i] < -1e-9 || p[i] > caps[i]+1e-9 {
+			t.Fatalf("entry %d = %g out of [0, %g]", i, p[i], caps[i])
+		}
+	}
+}
+
+func TestProjectCappedSimplexInfeasible(t *testing.T) {
+	if p := ProjectCappedSimplex(linalg.VectorOf(1, 1), linalg.VectorOf(1, 1), 3); p != nil {
+		t.Fatalf("infeasible set produced %v", p)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 3, 3}, {-1, 0, 3, 0}, {2, 0, 3, 2},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%g, %g, %g) = %g, want %g", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestMinimizeConvex1D(t *testing.T) {
+	// min (x-3)^2 on [0, 10].
+	x := MinimizeConvex1D(func(x float64) float64 { return 2 * (x - 3) }, 0, 10, 1e-10)
+	if math.Abs(x-3) > 1e-6 {
+		t.Fatalf("x = %g, want 3", x)
+	}
+	// Minimum at left edge.
+	x = MinimizeConvex1D(func(x float64) float64 { return 1 }, 2, 10, 1e-10)
+	if x != 2 {
+		t.Fatalf("x = %g, want 2", x)
+	}
+	// Minimum at right edge.
+	x = MinimizeConvex1D(func(x float64) float64 { return -1 }, 2, 10, 1e-10)
+	if x != 10 {
+		t.Fatalf("x = %g, want 10", x)
+	}
+	// Unbounded above bracket growth.
+	x = MinimizeConvex1D(func(x float64) float64 { return 2 * (x - 1000) }, 0, math.Inf(1), 1e-9)
+	if math.Abs(x-1000) > 1e-3 {
+		t.Fatalf("x = %g, want 1000", x)
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	x := GoldenSection(func(x float64) float64 { return (x - 2.5) * (x - 2.5) }, 0, 10, 1e-10)
+	if math.Abs(x-2.5) > 1e-6 {
+		t.Fatalf("x = %g, want 2.5", x)
+	}
+}

@@ -1,0 +1,271 @@
+// Package ramp relaxes the paper's perfect load-following assumption: real
+// fuel cells ramp their output at a finite rate (the paper's reference
+// [21] reports Bloom-style distributed generation following load at fine
+// time scales, and §IV-A assumes arbitrary per-hour tunability). This
+// package schedules a datacenter's fuel-cell output trajectory across a
+// horizon under a ramp-rate limit |μ_t − μ_{t−1}| ≤ R, minimizing the
+// energy-plus-carbon cost of covering the hourly demand. The per-slot cost
+// can be any convex emission policy, so the optimizer is a dynamic program
+// over a discretized output grid rather than a QP.
+package ramp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/carbon"
+)
+
+// Config describes one datacenter's fuel-cell scheduling problem.
+type Config struct {
+	// CapMW is the fuel-cell capacity μ^max.
+	CapMW float64
+	// RampMW is the maximum per-slot output change R (MW per hour).
+	RampMW float64
+	// InitialMW is the output level before the first slot.
+	InitialMW float64
+	// FuelCellPriceUSD is p0 ($/MWh).
+	FuelCellPriceUSD float64
+	// PriceUSD is the hourly grid price ($/MWh), one per slot.
+	PriceUSD []float64
+	// CarbonRate is the hourly grid emission rate (t/MWh), one per slot.
+	CarbonRate []float64
+	// EmissionCost is the emission policy V.
+	EmissionCost carbon.CostFunc
+	// Levels is the output-grid resolution of the dynamic program
+	// (default 201 levels across [0, CapMW]).
+	Levels int
+}
+
+// Validation errors.
+var (
+	ErrBadHorizon = errors.New("ramp: price, carbon and demand series must share a positive length")
+	ErrBadConfig  = errors.New("ramp: invalid configuration")
+)
+
+func (c Config) validate(horizon int) error {
+	if horizon == 0 || len(c.PriceUSD) != horizon || len(c.CarbonRate) != horizon {
+		return fmt.Errorf("%d prices, %d rates, %d demands: %w",
+			len(c.PriceUSD), len(c.CarbonRate), horizon, ErrBadHorizon)
+	}
+	if c.CapMW < 0 || c.RampMW < 0 || c.InitialMW < 0 || c.InitialMW > c.CapMW+1e-12 {
+		return fmt.Errorf("cap %g ramp %g initial %g: %w", c.CapMW, c.RampMW, c.InitialMW, ErrBadConfig)
+	}
+	if c.FuelCellPriceUSD < 0 || c.EmissionCost == nil {
+		return fmt.Errorf("fuel-cell price %g, nil-cost=%v: %w",
+			c.FuelCellPriceUSD, c.EmissionCost == nil, ErrBadConfig)
+	}
+	return nil
+}
+
+// Schedule is the optimized trajectory.
+type Schedule struct {
+	MuMW    []float64 // fuel-cell output per slot
+	NuMW    []float64 // grid draw per slot
+	CostUSD float64   // total energy + carbon cost
+}
+
+// Optimize computes the cost-minimal fuel-cell trajectory covering
+// demandMW under the ramp constraint. Slot costs are
+//
+//	p0·μ_t + p_t·(d_t − μ_t) + V(C_t·(d_t − μ_t)),
+//
+// with 0 ≤ μ_t ≤ min(Cap, d_t) and |μ_t − μ_{t−1}| ≤ R (μ_0 measured
+// against InitialMW). The dynamic program is exact on the discretized
+// grid; with the default 201 levels the discretization error is ≤ 0.25 %
+// of capacity per slot.
+func Optimize(cfg Config, demandMW []float64) (*Schedule, error) {
+	horizon := len(demandMW)
+	if err := cfg.validate(horizon); err != nil {
+		return nil, err
+	}
+	levels := cfg.Levels
+	if levels <= 1 {
+		levels = 201
+	}
+	if cfg.CapMW == 0 {
+		// No fuel cells: all grid.
+		out := &Schedule{MuMW: make([]float64, horizon), NuMW: append([]float64(nil), demandMW...)}
+		for t, d := range demandMW {
+			if d < 0 {
+				return nil, fmt.Errorf("ramp: negative demand %g at slot %d", d, t)
+			}
+			out.CostUSD += cfg.PriceUSD[t]*d + cfg.EmissionCost.Cost(cfg.CarbonRate[t]*d)
+		}
+		return out, nil
+	}
+
+	step := cfg.CapMW / float64(levels-1)
+	rampLevels := int(math.Floor(cfg.RampMW/step + 1e-9))
+	level := func(mw float64) int {
+		l := int(math.Round(mw / step))
+		if l < 0 {
+			return 0
+		}
+		if l >= levels {
+			return levels - 1
+		}
+		return l
+	}
+
+	slotCost := func(t, l int) (float64, bool) {
+		mu := float64(l) * step
+		d := demandMW[t]
+		if d < 0 {
+			return 0, false
+		}
+		if mu > d+step/2 {
+			return math.Inf(1), true // cannot exceed demand (ν ≥ 0)
+		}
+		if mu > d {
+			mu = d
+		}
+		grid := d - mu
+		return cfg.FuelCellPriceUSD*mu + cfg.PriceUSD[t]*grid +
+			cfg.EmissionCost.Cost(cfg.CarbonRate[t]*grid), true
+	}
+
+	const inf = math.MaxFloat64 / 4
+	cost := make([]float64, levels)
+	next := make([]float64, levels)
+	choice := make([][]int16, horizon) // back-pointers
+	for t := range choice {
+		choice[t] = make([]int16, levels)
+	}
+
+	// Backward induction: cost[l] = min future cost entering slot t at
+	// level l (chosen for slot t).
+	for l := range cost {
+		cost[l] = 0
+	}
+	for t := horizon - 1; t >= 0; t-- {
+		for l := 0; l < levels; l++ {
+			sc, ok := slotCost(t, l)
+			if !ok {
+				return nil, fmt.Errorf("ramp: negative demand at slot %d", t)
+			}
+			if math.IsInf(sc, 1) {
+				next[l] = inf
+				continue
+			}
+			if t == horizon-1 {
+				next[l] = sc
+				choice[t][l] = int16(l)
+				continue
+			}
+			best := inf
+			var bestNext int
+			lo, hi := l-rampLevels, l+rampLevels
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= levels {
+				hi = levels - 1
+			}
+			for ln := lo; ln <= hi; ln++ {
+				if cost[ln] < best {
+					best = cost[ln]
+					bestNext = ln
+				}
+			}
+			next[l] = sc + best
+			choice[t][l] = int16(bestNext)
+		}
+		cost, next = next, cost
+	}
+
+	// Pick the best feasible first level around the initial output.
+	startL := level(cfg.InitialMW)
+	lo, hi := startL-rampLevels, startL+rampLevels
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= levels {
+		hi = levels - 1
+	}
+	bestL, bestC := lo, inf
+	for l := lo; l <= hi; l++ {
+		if cost[l] < bestC {
+			bestC, bestL = cost[l], l
+		}
+	}
+	if bestC >= inf {
+		return nil, fmt.Errorf("ramp: no feasible trajectory from initial output %g MW", cfg.InitialMW)
+	}
+
+	out := &Schedule{
+		MuMW: make([]float64, horizon),
+		NuMW: make([]float64, horizon),
+	}
+	l := bestL
+	for t := 0; t < horizon; t++ {
+		mu := float64(l) * step
+		if mu > demandMW[t] {
+			mu = demandMW[t]
+		}
+		out.MuMW[t] = mu
+		out.NuMW[t] = demandMW[t] - mu
+		grid := out.NuMW[t]
+		out.CostUSD += cfg.FuelCellPriceUSD*mu + cfg.PriceUSD[t]*grid +
+			cfg.EmissionCost.Cost(cfg.CarbonRate[t]*grid)
+		if t < horizon-1 {
+			l = int(choice[t][l])
+		}
+	}
+	return out, nil
+}
+
+// Unconstrained returns the per-slot greedy optimum (infinite ramp rate),
+// the baseline the ramp-limited schedule is compared against.
+func Unconstrained(cfg Config, demandMW []float64) (*Schedule, error) {
+	horizon := len(demandMW)
+	if err := cfg.validate(horizon); err != nil {
+		return nil, err
+	}
+	out := &Schedule{
+		MuMW: make([]float64, horizon),
+		NuMW: make([]float64, horizon),
+	}
+	for t, d := range demandMW {
+		if d < 0 {
+			return nil, fmt.Errorf("ramp: negative demand %g at slot %d", d, t)
+		}
+		mu := bestSlotMu(cfg, t, d)
+		out.MuMW[t] = mu
+		out.NuMW[t] = d - mu
+		out.CostUSD += cfg.FuelCellPriceUSD*mu + cfg.PriceUSD[t]*(d-mu) +
+			cfg.EmissionCost.Cost(cfg.CarbonRate[t]*(d-mu))
+	}
+	return out, nil
+}
+
+// bestSlotMu solves the 1-D convex slot problem by derivative bisection.
+func bestSlotMu(cfg Config, t int, demand float64) float64 {
+	hi := math.Min(cfg.CapMW, demand)
+	if hi <= 0 {
+		return 0
+	}
+	c := cfg.CarbonRate[t]
+	deriv := func(mu float64) float64 {
+		grid := demand - mu
+		return cfg.FuelCellPriceUSD - cfg.PriceUSD[t] - c*cfg.EmissionCost.Marginal(c*grid)
+	}
+	// Convex: derivative non-decreasing in mu. Bisection.
+	if deriv(0) >= 0 {
+		return 0
+	}
+	if deriv(hi) <= 0 {
+		return hi
+	}
+	lo := 0.0
+	for k := 0; k < 100; k++ {
+		mid := (lo + hi) / 2
+		if deriv(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

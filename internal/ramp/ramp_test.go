@@ -1,0 +1,221 @@
+package ramp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/carbon"
+)
+
+func testConfig(horizon int) Config {
+	prices := make([]float64, horizon)
+	rates := make([]float64, horizon)
+	for t := range prices {
+		// Alternating cheap/expensive hours around the fuel-cell price.
+		if t%2 == 0 {
+			prices[t] = 30
+		} else {
+			prices[t] = 120
+		}
+		rates[t] = 0.5
+	}
+	return Config{
+		CapMW:            4,
+		RampMW:           4, // unconstrained by default
+		InitialMW:        0,
+		FuelCellPriceUSD: 80,
+		PriceUSD:         prices,
+		CarbonRate:       rates,
+		EmissionCost:     carbon.LinearTax{Rate: 25},
+		Levels:           401,
+	}
+}
+
+func constDemand(horizon int, d float64) []float64 {
+	out := make([]float64, horizon)
+	for t := range out {
+		out[t] = d
+	}
+	return out
+}
+
+func TestValidation(t *testing.T) {
+	cfg := testConfig(4)
+	if _, err := Optimize(cfg, constDemand(3, 1)); !errors.Is(err, ErrBadHorizon) {
+		t.Errorf("horizon mismatch: %v", err)
+	}
+	bad := cfg
+	bad.InitialMW = 99
+	if _, err := Optimize(bad, constDemand(4, 1)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("initial above cap: %v", err)
+	}
+	bad = cfg
+	bad.EmissionCost = nil
+	if _, err := Optimize(bad, constDemand(4, 1)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil cost: %v", err)
+	}
+	if _, err := Optimize(cfg, []float64{1, -1, 1, 1}); err == nil {
+		t.Error("negative demand accepted")
+	}
+}
+
+func TestUnconstrainedMatchesGreedyThreshold(t *testing.T) {
+	cfg := testConfig(6)
+	sched, err := Unconstrained(cfg, constDemand(6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Effective grid cost: 30+12.5=42.5 (cheap hours, below 80 → grid) or
+	// 120+12.5=132.5 (expensive hours, above 80 → fuel cell).
+	for t2, mu := range sched.MuMW {
+		if t2%2 == 0 && mu != 0 {
+			t.Errorf("slot %d: mu %g, want 0 (cheap grid)", t2, mu)
+		}
+		if t2%2 == 1 && math.Abs(mu-3) > 1e-9 {
+			t.Errorf("slot %d: mu %g, want 3 (expensive grid)", t2, mu)
+		}
+	}
+}
+
+func TestOptimizeWithLooseRampMatchesUnconstrained(t *testing.T) {
+	cfg := testConfig(8)
+	demand := constDemand(8, 3)
+	unc, err := Unconstrained(cfg, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Optimize(cfg, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DP discretization: within a grid step of the exact optimum.
+	if opt.CostUSD > unc.CostUSD*1.01+1 {
+		t.Errorf("loose-ramp DP cost %g vs unconstrained %g", opt.CostUSD, unc.CostUSD)
+	}
+}
+
+func TestOptimizeRespectsRampLimit(t *testing.T) {
+	cfg := testConfig(12)
+	cfg.RampMW = 0.5
+	demand := constDemand(12, 3.5)
+	sched, err := Optimize(cfg, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := cfg.InitialMW
+	for t2, mu := range sched.MuMW {
+		if d := math.Abs(mu - prev); d > cfg.RampMW+1e-6 {
+			t.Errorf("slot %d: ramp %g exceeds limit %g", t2, d, cfg.RampMW)
+		}
+		if mu < -1e-12 || mu > cfg.CapMW+1e-9 {
+			t.Errorf("slot %d: mu %g out of [0, %g]", t2, mu, cfg.CapMW)
+		}
+		if nu := sched.NuMW[t2]; nu < -1e-9 {
+			t.Errorf("slot %d: negative grid draw %g", t2, nu)
+		}
+		if math.Abs(mu+sched.NuMW[t2]-demand[t2]) > 1e-9 {
+			t.Errorf("slot %d: power balance broken", t2)
+		}
+		prev = mu
+	}
+}
+
+func TestTighterRampCostsMore(t *testing.T) {
+	demand := constDemand(24, 3)
+	var prevCost float64
+	for k, rampMW := range []float64{4, 1, 0.25, 0.05} {
+		cfg := testConfig(24)
+		cfg.RampMW = rampMW
+		sched, err := Optimize(cfg, demand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k > 0 && sched.CostUSD < prevCost-1e-6 {
+			t.Errorf("ramp %g: cost %g below looser-ramp cost %g", rampMW, sched.CostUSD, prevCost)
+		}
+		prevCost = sched.CostUSD
+	}
+}
+
+func TestZeroRampFreezesOutput(t *testing.T) {
+	cfg := testConfig(6)
+	cfg.RampMW = 0
+	cfg.InitialMW = 2
+	sched, err := Optimize(cfg, constDemand(6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2, mu := range sched.MuMW {
+		if math.Abs(mu-2) > cfg.CapMW/400+1e-9 {
+			t.Errorf("slot %d: mu %g moved despite zero ramp", t2, mu)
+		}
+	}
+}
+
+func TestZeroCapacityAllGrid(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.CapMW = 0
+	sched, err := Optimize(cfg, constDemand(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2, mu := range sched.MuMW {
+		if mu != 0 || sched.NuMW[t2] != 2 {
+			t.Errorf("slot %d: mu %g nu %g", t2, mu, sched.NuMW[t2])
+		}
+	}
+	if sched.CostUSD <= 0 {
+		t.Error("zero cost with positive demand")
+	}
+}
+
+func TestOptimizeAnticipatesPriceSpike(t *testing.T) {
+	// With a slow ramp, the scheduler must start ramping up before the
+	// expensive hour arrives — the behaviour a greedy (memoryless)
+	// controller cannot produce.
+	// Pre-spike grid is only slightly cheaper than fuel cells, then two
+	// very expensive hours hit: the optimal schedule ramps up in advance,
+	// which a myopic controller cannot do.
+	horizon := 6
+	prices := []float64{75, 75, 75, 75, 200, 200}
+	cfg := Config{
+		CapMW:            4,
+		RampMW:           1,
+		InitialMW:        0,
+		FuelCellPriceUSD: 80,
+		PriceUSD:         prices,
+		CarbonRate:       make([]float64, horizon),
+		EmissionCost:     carbon.ZeroCost{},
+		Levels:           401,
+	}
+	demand := constDemand(horizon, 4)
+	sched, err := Optimize(cfg, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.MuMW[4] < 3.9 || sched.MuMW[5] < 3.9 {
+		t.Errorf("spike hours output %g/%g, want ~4 (pre-ramped)", sched.MuMW[4], sched.MuMW[5])
+	}
+	if sched.MuMW[3] < 2.9 {
+		t.Errorf("hour before spike output %g, want >= 3 (anticipatory ramp)", sched.MuMW[3])
+	}
+	// Myopic: stay at 0 through the cheap hours (grid 75 < fuel 80), then
+	// ramp 1 MW per spike hour: fuel 80*(1+2), grid 75*16 + 200*(3+2).
+	myopicCost := 80.0*3 + 75*16 + 200*5
+	if sched.CostUSD >= myopicCost {
+		t.Errorf("DP cost %g not better than myopic %g", sched.CostUSD, myopicCost)
+	}
+}
+
+func TestNonlinearEmissionCostSupported(t *testing.T) {
+	cfg := testConfig(6)
+	cfg.EmissionCost = carbon.CapAndTrade{CapTons: 1, Price: 100}
+	sched, err := Optimize(cfg, constDemand(6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.MuMW) != 6 {
+		t.Fatal("schedule shape wrong")
+	}
+}

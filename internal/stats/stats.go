@@ -1,0 +1,117 @@
+// Package stats provides the small descriptive-statistics helpers used by
+// the experiment harness: means, percentiles and empirical CDFs (Fig. 11
+// reports the CDF of ADM-G iteration counts).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a statistic of an empty sample is requested.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs))), nil
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of [0, 100]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds the empirical CDF of the sample.
+func NewCDF(xs []float64) (*CDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}, nil
+}
+
+// At returns P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest sample value v with P(X ≤ v) ≥ q, for
+// q in (0, 1].
+func (c *CDF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return c.sorted[idx]
+}
+
+// Points returns the CDF's (value, probability) support points, suitable
+// for plotting.
+func (c *CDF) Points() (values, probs []float64) {
+	values = append([]float64(nil), c.sorted...)
+	probs = make([]float64, len(values))
+	for i := range values {
+		probs[i] = float64(i+1) / float64(len(values))
+	}
+	return values, probs
+}
+
+// Min returns the sample minimum.
+func (c *CDF) Min() float64 { return c.sorted[0] }
+
+// Max returns the sample maximum.
+func (c *CDF) Max() float64 { return c.sorted[len(c.sorted)-1] }

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Fatalf("mean = %g, %v", m, err)
+	}
+	sd, err := StdDev([]float64{2, 2, 2})
+	if err != nil || sd != 0 {
+		t.Fatalf("stddev = %g, %v", sd, err)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty mean: %v", err)
+	}
+	if _, err := StdDev(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty stddev: %v", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {50, 30}, {100, 50}, {25, 20},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil || math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%g = %g (%v), want %g", c.p, got, err, c.want)
+		}
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("negative percentile accepted")
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty percentile: %v", err)
+	}
+	one, err := Percentile([]float64{7}, 83)
+	if err != nil || one != 7 {
+		t.Errorf("singleton percentile = %g, %v", one, err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %g", got)
+	}
+	if got := c.At(2); got != 0.5 {
+		t.Errorf("At(2) = %g", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Errorf("At(10) = %g", got)
+	}
+	if got := c.Quantile(0.5); got != 2 {
+		t.Errorf("Q(0.5) = %g", got)
+	}
+	if got := c.Quantile(1); got != 4 {
+		t.Errorf("Q(1) = %g", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Q(0) = %g", got)
+	}
+	if c.Min() != 1 || c.Max() != 4 {
+		t.Errorf("min/max = %g/%g", c.Min(), c.Max())
+	}
+	vals, probs := c.Points()
+	if len(vals) != 4 || probs[3] != 1 {
+		t.Errorf("points = %v %v", vals, probs)
+	}
+	if _, err := NewCDF(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty cdf: %v", err)
+	}
+}
+
+// Property: CDF is monotone and At(Quantile(q)) >= q.
+func TestPropCDFMonotone(t *testing.T) {
+	f := func(a, b, c, d float64, qRaw uint8) bool {
+		for _, x := range []float64{a, b, c, d} {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		cdf, err := NewCDF([]float64{a, b, c, d})
+		if err != nil {
+			return false
+		}
+		q := float64(qRaw%100+1) / 100
+		v := cdf.Quantile(q)
+		return cdf.At(v) >= q-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,308 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/carbon"
+)
+
+// WorkloadConfig drives the synthetic interactive-workload generator. The
+// output follows the shape of the HP trace used in the paper: a strong
+// diurnal pattern with high variability and bursts.
+type WorkloadConfig struct {
+	Seed       int64
+	Hours      int
+	Servers    float64 // total fleet size the trace is normalized against
+	MinUtil    float64 // trough utilization of the fleet (e.g. 0.30)
+	MaxUtil    float64 // peak utilization of the fleet (e.g. 0.85)
+	Burstiness float64 // multiplicative noise std dev (e.g. 0.06)
+}
+
+// DefaultWorkloadConfig matches the paper's scenario scale.
+func DefaultWorkloadConfig(servers float64) WorkloadConfig {
+	return WorkloadConfig{
+		Seed:       20120910,
+		Hours:      HoursPerWeek,
+		Servers:    servers,
+		MinUtil:    0.30,
+		MaxUtil:    0.85,
+		Burstiness: 0.06,
+	}
+}
+
+// GenWorkload produces the total hourly request demand in "servers
+// required" units, never exceeding the fleet size.
+func GenWorkload(cfg WorkloadConfig) (Series, error) {
+	if cfg.Hours <= 0 || cfg.Servers <= 0 {
+		return Series{}, fmt.Errorf("trace: workload config hours=%d servers=%g", cfg.Hours, cfg.Servers)
+	}
+	if cfg.MinUtil < 0 || cfg.MaxUtil > 1 || cfg.MinUtil >= cfg.MaxUtil {
+		return Series{}, fmt.Errorf("trace: utilization band [%g, %g] invalid", cfg.MinUtil, cfg.MaxUtil)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vals := make([]float64, cfg.Hours)
+	for t := range vals {
+		util := cfg.MinUtil + (cfg.MaxUtil-cfg.MinUtil)*diurnal(t)
+		noise := 1 + cfg.Burstiness*rng.NormFloat64()
+		if noise < 0.5 {
+			noise = 0.5
+		}
+		v := util * noise * cfg.Servers
+		if v > cfg.Servers {
+			v = cfg.Servers
+		}
+		if v < 0 {
+			v = 0
+		}
+		vals[t] = v
+	}
+	return Series{Name: "workload", Values: vals}, nil
+}
+
+// SplitFrontEnds distributes a total workload across m front-end proxies.
+// Per the paper, the split follows a normal distribution: each front-end
+// receives a fixed weight drawn from |N(1, 0.35)|, normalized, with small
+// hourly jitter that is re-normalized so the per-hour sum is preserved
+// exactly.
+func SplitFrontEnds(total Series, m int, seed int64) ([]Series, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("trace: split into %d front-ends", m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	weights := make([]float64, m)
+	var wsum float64
+	for i := range weights {
+		w := math.Abs(1 + 0.35*rng.NormFloat64())
+		if w < 0.1 {
+			w = 0.1
+		}
+		weights[i] = w
+		wsum += w
+	}
+	for i := range weights {
+		weights[i] /= wsum
+	}
+	out := make([]Series, m)
+	for i := range out {
+		out[i] = Series{
+			Name:   fmt.Sprintf("frontend-%d", i),
+			Values: make([]float64, total.Len()),
+		}
+	}
+	jitter := make([]float64, m)
+	for t := 0; t < total.Len(); t++ {
+		var jsum float64
+		for i := range jitter {
+			j := weights[i] * math.Abs(1+0.08*rng.NormFloat64())
+			jitter[i] = j
+			jsum += j
+		}
+		for i := range out {
+			out[i].Values[t] = total.At(t) * jitter[i] / jsum
+		}
+	}
+	return out, nil
+}
+
+// PriceProfile parameterizes a location's hourly electricity-price model
+// (locational marginal prices, $/MWh): a base price plus a diurnal peak
+// component, Gaussian noise, and occasional price spikes, floored at a
+// minimum clearing price.
+type PriceProfile struct {
+	Name      string
+	BaseUSD   float64 // off-peak base price, $/MWh
+	PeakUSD   float64 // additional price at the daily peak, $/MWh
+	NoiseStd  float64 // additive Gaussian noise, $/MWh
+	SpikeProb float64 // per-hour probability of a spike
+	SpikeUSD  float64 // mean spike magnitude, $/MWh
+	FloorUSD  float64 // minimum clearing price
+}
+
+// GenPrice produces an hourly price series from the profile.
+func GenPrice(p PriceProfile, seed int64, hours int) (Series, error) {
+	if hours <= 0 {
+		return Series{}, fmt.Errorf("trace: price series of %d hours", hours)
+	}
+	if p.BaseUSD < 0 || p.PeakUSD < 0 || p.SpikeProb < 0 || p.SpikeProb > 1 {
+		return Series{}, fmt.Errorf("trace: price profile %+v invalid", p)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, hours)
+	for t := range vals {
+		v := p.BaseUSD + p.PeakUSD*diurnal(t) + p.NoiseStd*rng.NormFloat64()
+		if rng.Float64() < p.SpikeProb {
+			v += p.SpikeUSD * (0.5 + rng.Float64())
+		}
+		if v < p.FloorUSD {
+			v = p.FloorUSD
+		}
+		vals[t] = v
+	}
+	return Series{Name: p.Name, Values: vals}, nil
+}
+
+// Calibrated per-location price profiles. Dallas (ERCOT) is cheap with rare
+// scarcity spikes; San Jose (CAISO) is expensive and frequently above the
+// $80/MWh fuel-cell price; Calgary (AESO) and Pittsburgh (PJM) sit in
+// between, with Pittsburgh showing pronounced evening peaks.
+func DallasPriceProfile() PriceProfile {
+	return PriceProfile{Name: "price-dallas", BaseUSD: 18, PeakUSD: 18, NoiseStd: 3.5, SpikeProb: 0.03, SpikeUSD: 70, FloorUSD: 8}
+}
+
+// SanJosePriceProfile returns the CAISO-like expensive profile: cheap
+// off-peak nights but steep daytime peaks well above the fuel-cell price,
+// giving the hybrid strategy its Table I arbitrage headroom.
+func SanJosePriceProfile() PriceProfile {
+	return PriceProfile{Name: "price-sanjose", BaseUSD: 22, PeakUSD: 125, NoiseStd: 7, SpikeProb: 0.05, SpikeUSD: 45, FloorUSD: 18}
+}
+
+// CalgaryPriceProfile returns the AESO-like moderate profile.
+func CalgaryPriceProfile() PriceProfile {
+	return PriceProfile{Name: "price-calgary", BaseUSD: 32, PeakUSD: 24, NoiseStd: 5, SpikeProb: 0.04, SpikeUSD: 60, FloorUSD: 12}
+}
+
+// PittsburghPriceProfile returns the PJM-like profile with evening peaks.
+func PittsburghPriceProfile() PriceProfile {
+	return PriceProfile{Name: "price-pittsburgh", BaseUSD: 28, PeakUSD: 30, NoiseStd: 5, SpikeProb: 0.035, SpikeUSD: 65, FloorUSD: 12}
+}
+
+// MixProfile parameterizes a region's hourly fuel mix: a base mix, plus a
+// fuel whose share swings with the diurnal demand curve (gas peakers by
+// day, or wind by night), as observed in the RTO fuel-mix data.
+type MixProfile struct {
+	Name       string
+	Base       carbon.Mix
+	SwingFuel  carbon.FuelType
+	SwingShare float64 // added share of the swing fuel at peak (0..1 scale of base total)
+	NoiseStd   float64 // relative noise on each component
+}
+
+// GenMixes produces the hourly fuel mixes for the region.
+func GenMixes(p MixProfile, seed int64, hours int) ([]carbon.Mix, error) {
+	if hours <= 0 {
+		return nil, fmt.Errorf("trace: mix series of %d hours", hours)
+	}
+	var baseTotal float64
+	for _, g := range p.Base {
+		if g < 0 {
+			return nil, fmt.Errorf("trace: mix profile %s has negative generation", p.Name)
+		}
+		baseTotal += g
+	}
+	if baseTotal == 0 {
+		return nil, fmt.Errorf("trace: mix profile %s is empty", p.Name)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]carbon.Mix, hours)
+	for t := range out {
+		m := make(carbon.Mix, len(p.Base)+1)
+		for f, g := range p.Base {
+			v := g * math.Abs(1+p.NoiseStd*rng.NormFloat64())
+			m[f] = v
+		}
+		m[p.SwingFuel] += baseTotal * p.SwingShare * diurnal(t)
+		out[t] = m
+	}
+	return out, nil
+}
+
+// GenCarbonRate converts the profile's hourly mixes to a carbon emission
+// rate series (t/MWh) via the paper's Eq. (1).
+func GenCarbonRate(p MixProfile, seed int64, hours int) (Series, error) {
+	mixes, err := GenMixes(p, seed, hours)
+	if err != nil {
+		return Series{}, err
+	}
+	vals := make([]float64, hours)
+	for t, m := range mixes {
+		r, err := m.RateTonPerMWh()
+		if err != nil {
+			return Series{}, fmt.Errorf("trace: mix at hour %d: %w", t, err)
+		}
+		vals[t] = r
+	}
+	return Series{Name: "carbon-" + p.Name, Values: vals}, nil
+}
+
+// Calibrated per-location fuel-mix profiles (shares reflect the 2012-era
+// grids: Alberta coal-heavy, California gas/hydro/nuclear, ERCOT
+// gas/coal/wind, PJM coal/nuclear/gas).
+func CalgaryMixProfile() MixProfile {
+	return MixProfile{
+		Name:       "calgary",
+		Base:       carbon.Mix{carbon.Coal: 55, carbon.Gas: 32, carbon.Wind: 6, carbon.Hydro: 7},
+		SwingFuel:  carbon.Gas,
+		SwingShare: 0.15,
+		NoiseStd:   0.04,
+	}
+}
+
+// SanJoseMixProfile returns the CAISO-like clean profile.
+func SanJoseMixProfile() MixProfile {
+	return MixProfile{
+		Name:       "sanjose",
+		Base:       carbon.Mix{carbon.Gas: 45, carbon.Nuclear: 18, carbon.Hydro: 22, carbon.Wind: 12, carbon.Coal: 3},
+		SwingFuel:  carbon.Gas,
+		SwingShare: 0.20,
+		NoiseStd:   0.05,
+	}
+}
+
+// DallasMixProfile returns the ERCOT-like profile.
+func DallasMixProfile() MixProfile {
+	return MixProfile{
+		Name:       "dallas",
+		Base:       carbon.Mix{carbon.Gas: 45, carbon.Coal: 32, carbon.Wind: 12, carbon.Nuclear: 11},
+		SwingFuel:  carbon.Gas,
+		SwingShare: 0.18,
+		NoiseStd:   0.05,
+	}
+}
+
+// PittsburghMixProfile returns the PJM-like profile.
+func PittsburghMixProfile() MixProfile {
+	return MixProfile{
+		Name:       "pittsburgh",
+		Base:       carbon.Mix{carbon.Coal: 45, carbon.Nuclear: 32, carbon.Gas: 18, carbon.Hydro: 3, carbon.Wind: 2},
+		SwingFuel:  carbon.Gas,
+		SwingShare: 0.15,
+		NoiseStd:   0.04,
+	}
+}
+
+// PowerDemandConfig drives the Facebook-style facility power-demand profile
+// used by Table I and Fig. 1: a diurnal MW curve with mild noise.
+type PowerDemandConfig struct {
+	Seed     int64
+	Hours    int
+	MeanMW   float64 // weekly mean demand
+	SwingMW  float64 // peak-to-mean swing
+	NoiseStd float64 // relative noise
+}
+
+// DefaultPowerDemandConfig calibrates the profile so a week of demand at
+// the paper's fuel-cell price (80 $/MWh) costs on the order of the paper's
+// Table I "Fuel Cell" figure (~$28k/week → mean ≈ 2.08 MW).
+func DefaultPowerDemandConfig() PowerDemandConfig {
+	return PowerDemandConfig{Seed: 8, Hours: HoursPerWeek, MeanMW: 2.08, SwingMW: 0.55, NoiseStd: 0.03}
+}
+
+// GenPowerDemand produces the hourly facility power demand in MW.
+func GenPowerDemand(cfg PowerDemandConfig) (Series, error) {
+	if cfg.Hours <= 0 || cfg.MeanMW <= 0 {
+		return Series{}, fmt.Errorf("trace: power demand config hours=%d mean=%g", cfg.Hours, cfg.MeanMW)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vals := make([]float64, cfg.Hours)
+	for t := range vals {
+		v := cfg.MeanMW + cfg.SwingMW*(diurnal(t)*2-1)
+		v *= math.Abs(1 + cfg.NoiseStd*rng.NormFloat64())
+		if v < 0.1*cfg.MeanMW {
+			v = 0.1 * cfg.MeanMW
+		}
+		vals[t] = v
+	}
+	return Series{Name: "power-demand", Values: vals}, nil
+}

@@ -1,0 +1,178 @@
+// Package trace provides the trace substrates of the evaluation. The paper
+// drives its simulation with real one-week hourly traces (an HP request
+// trace, RTO/ISO locational marginal prices, and RTO/ISO fuel-mix data)
+// that are not redistributable; this package generates deterministic
+// synthetic equivalents calibrated to the same shapes: a strongly diurnal
+// bursty workload, spatially diverse electricity prices with peak/off-peak
+// structure and spikes, and per-region fuel mixes with a diurnal pattern.
+// Every generator is seeded, so all experiments are reproducible.
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// HoursPerWeek is the length of the paper's evaluation window (Sep 10–16,
+// 2012): one week of hourly slots.
+const HoursPerWeek = 168
+
+// Series is a named hourly time series.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// NewSeries builds a series, copying values.
+func NewSeries(name string, values []float64) Series {
+	return Series{Name: name, Values: append([]float64(nil), values...)}
+}
+
+// Len returns the number of samples.
+func (s Series) Len() int { return len(s.Values) }
+
+// At returns the sample at hour t.
+func (s Series) At(t int) float64 { return s.Values[t] }
+
+// Clone returns a deep copy.
+func (s Series) Clone() Series { return NewSeries(s.Name, s.Values) }
+
+// Mean returns the arithmetic mean (0 for the empty series).
+func (s Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Sum returns the sum of all samples.
+func (s Series) Sum() float64 {
+	var sum float64
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum
+}
+
+// Max returns the maximum sample; it panics on an empty series.
+func (s Series) Max() float64 {
+	if len(s.Values) == 0 {
+		panic("trace: Max of empty series")
+	}
+	m := s.Values[0]
+	for _, v := range s.Values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum sample; it panics on an empty series.
+func (s Series) Min() float64 {
+	if len(s.Values) == 0 {
+		panic("trace: Min of empty series")
+	}
+	m := s.Values[0]
+	for _, v := range s.Values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Scale multiplies every sample by f, returning a new series.
+func (s Series) Scale(f float64) Series {
+	out := s.Clone()
+	for i := range out.Values {
+		out.Values[i] *= f
+	}
+	return out
+}
+
+// WriteCSV writes the series as columns: an "hour" column followed by one
+// column per series. All series must share a length.
+func WriteCSV(w io.Writer, series []Series) error {
+	if len(series) == 0 {
+		return errors.New("trace: no series to write")
+	}
+	n := series[0].Len()
+	for _, s := range series {
+		if s.Len() != n {
+			return fmt.Errorf("trace: series %q has %d samples, want %d", s.Name, s.Len(), n)
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "hour")
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	row := make([]string, len(series)+1)
+	for t := 0; t < n; t++ {
+		row[0] = strconv.Itoa(t)
+		for k, s := range series {
+			row[k+1] = strconv.FormatFloat(s.At(t), 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write row %d: %w", t, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads series previously written with WriteCSV.
+func ReadCSV(r io.Reader) ([]Series, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(rows) < 1 || len(rows[0]) < 2 || rows[0][0] != "hour" {
+		return nil, errors.New("trace: malformed csv header")
+	}
+	series := make([]Series, len(rows[0])-1)
+	for k := range series {
+		series[k] = Series{Name: rows[0][k+1], Values: make([]float64, 0, len(rows)-1)}
+	}
+	for i, row := range rows[1:] {
+		if len(row) != len(rows[0]) {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want %d", i+1, len(row), len(rows[0]))
+		}
+		for k := range series {
+			v, err := strconv.ParseFloat(row[k+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d field %d: %w", i+1, k+1, err)
+			}
+			series[k].Values = append(series[k].Values, v)
+		}
+	}
+	return series, nil
+}
+
+// diurnal returns a smooth [0,1] daily activity curve for hour-of-week t:
+// low at night, peaking in the late afternoon, slightly damped on the
+// weekend (days 5 and 6).
+func diurnal(t int) float64 {
+	hour := float64(t % 24)
+	day := (t / 24) % 7
+	// Peak near 16:00, trough near 04:00.
+	base := 0.5 - 0.5*math.Cos((hour-4)/24*2*math.Pi)
+	if day >= 5 {
+		base *= 0.8
+	}
+	return base
+}

@@ -1,0 +1,325 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/carbon"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("x", []float64{1, 2, 3})
+	if s.Len() != 3 || s.At(1) != 2 {
+		t.Fatalf("series basics broken: %+v", s)
+	}
+	if s.Mean() != 2 || s.Sum() != 6 || s.Max() != 3 || s.Min() != 1 {
+		t.Fatalf("stats broken: mean=%g sum=%g", s.Mean(), s.Sum())
+	}
+	sc := s.Scale(2)
+	if sc.At(0) != 2 || s.At(0) != 1 {
+		t.Fatal("Scale should not mutate the receiver")
+	}
+	c := s.Clone()
+	c.Values[0] = 99
+	if s.At(0) != 1 {
+		t.Fatal("Clone aliased values")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	a := NewSeries("a", []float64{1.5, 2.5})
+	b := NewSeries("b", []float64{-1, 0.25})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []Series{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "a" || got[1].At(1) != 0.25 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if err := WriteCSV(&bytes.Buffer{}, nil); err == nil {
+		t.Error("empty series list accepted")
+	}
+	mismatch := []Series{NewSeries("a", []float64{1}), NewSeries("b", []float64{1, 2})}
+	if err := WriteCSV(&bytes.Buffer{}, mismatch); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("nope\n")); err == nil {
+		t.Error("malformed header accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("hour,a\n0,notanumber\n")); err == nil {
+		t.Error("non-numeric field accepted")
+	}
+}
+
+func TestGenWorkloadShape(t *testing.T) {
+	cfg := DefaultWorkloadConfig(80000)
+	w, err := GenWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != HoursPerWeek {
+		t.Fatalf("len = %d", w.Len())
+	}
+	if w.Max() > 80000 || w.Min() < 0 {
+		t.Fatalf("workload out of range: [%g, %g]", w.Min(), w.Max())
+	}
+	// Strong diurnal pattern: peak should be well above trough.
+	if w.Max() < 1.8*w.Min() {
+		t.Fatalf("workload lacks diurnality: min %g, max %g", w.Min(), w.Max())
+	}
+}
+
+func TestGenWorkloadDeterministic(t *testing.T) {
+	cfg := DefaultWorkloadConfig(1000)
+	a, _ := GenWorkload(cfg)
+	b, _ := GenWorkload(cfg)
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+	cfg.Seed++
+	c, _ := GenWorkload(cfg)
+	same := true
+	for i := range a.Values {
+		if a.Values[i] != c.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenWorkloadValidation(t *testing.T) {
+	bad := DefaultWorkloadConfig(100)
+	bad.MinUtil = 0.9
+	bad.MaxUtil = 0.5
+	if _, err := GenWorkload(bad); err == nil {
+		t.Error("inverted utilization band accepted")
+	}
+	if _, err := GenWorkload(WorkloadConfig{Hours: 0, Servers: 1}); err == nil {
+		t.Error("zero hours accepted")
+	}
+}
+
+func TestSplitFrontEndsConservesMass(t *testing.T) {
+	total, _ := GenWorkload(DefaultWorkloadConfig(50000))
+	parts, err := SplitFrontEnds(total, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 10 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	for t2 := 0; t2 < total.Len(); t2++ {
+		var sum float64
+		for _, p := range parts {
+			if p.At(t2) < 0 {
+				t.Fatalf("negative share at hour %d", t2)
+			}
+			sum += p.At(t2)
+		}
+		if math.Abs(sum-total.At(t2)) > 1e-6*total.At(t2) {
+			t.Fatalf("hour %d: parts sum %g != total %g", t2, sum, total.At(t2))
+		}
+	}
+	if _, err := SplitFrontEnds(total, 0, 1); err == nil {
+		t.Error("zero front-ends accepted")
+	}
+}
+
+func TestGenPriceProfiles(t *testing.T) {
+	cases := []struct {
+		profile PriceProfile
+		minMean float64
+		maxMean float64
+	}{
+		{DallasPriceProfile(), 18, 40},
+		{SanJosePriceProfile(), 70, 95},
+		{CalgaryPriceProfile(), 30, 60},
+		{PittsburghPriceProfile(), 30, 60},
+	}
+	for _, c := range cases {
+		s, err := GenPrice(c.profile, 1, HoursPerWeek)
+		if err != nil {
+			t.Fatalf("%s: %v", c.profile.Name, err)
+		}
+		if s.Min() < c.profile.FloorUSD-1e-9 {
+			t.Errorf("%s: price %g below floor", c.profile.Name, s.Min())
+		}
+		if m := s.Mean(); m < c.minMean || m > c.maxMean {
+			t.Errorf("%s: mean price %g outside [%g, %g]", c.profile.Name, m, c.minMean, c.maxMean)
+		}
+	}
+}
+
+func TestSanJoseOftenAboveFuelCellPrice(t *testing.T) {
+	// Table I requires the San Jose hybrid to save substantially vs grid:
+	// prices must frequently exceed the $80/MWh fuel-cell price.
+	s, err := GenPrice(SanJosePriceProfile(), 1, HoursPerWeek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, v := range s.Values {
+		if v > 80 {
+			count++
+		}
+	}
+	frac := float64(count) / float64(s.Len())
+	if frac < 0.25 || frac > 0.95 {
+		t.Fatalf("San Jose hours above $80: %.0f%%, want 25-95%%", frac*100)
+	}
+}
+
+func TestDallasRarelyAboveFuelCellPrice(t *testing.T) {
+	s, err := GenPrice(DallasPriceProfile(), 1, HoursPerWeek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, v := range s.Values {
+		if v > 80 {
+			count++
+		}
+	}
+	if frac := float64(count) / float64(s.Len()); frac > 0.10 {
+		t.Fatalf("Dallas hours above $80: %.0f%%, want <10%%", frac*100)
+	}
+}
+
+func TestGenPriceValidation(t *testing.T) {
+	if _, err := GenPrice(DallasPriceProfile(), 1, 0); err == nil {
+		t.Error("zero hours accepted")
+	}
+	bad := DallasPriceProfile()
+	bad.SpikeProb = 2
+	if _, err := GenPrice(bad, 1, 10); err == nil {
+		t.Error("invalid spike probability accepted")
+	}
+}
+
+func TestGenCarbonRates(t *testing.T) {
+	cases := []struct {
+		profile MixProfile
+		lo, hi  float64
+	}{
+		{CalgaryMixProfile(), 0.55, 0.85},
+		{SanJoseMixProfile(), 0.18, 0.40},
+		{DallasMixProfile(), 0.40, 0.65},
+		{PittsburghMixProfile(), 0.45, 0.70},
+	}
+	for _, c := range cases {
+		s, err := GenCarbonRate(c.profile, 3, HoursPerWeek)
+		if err != nil {
+			t.Fatalf("%s: %v", c.profile.Name, err)
+		}
+		if m := s.Mean(); m < c.lo || m > c.hi {
+			t.Errorf("%s: mean carbon rate %g t/MWh outside [%g, %g]", c.profile.Name, m, c.lo, c.hi)
+		}
+		// Physical bound: within Table III extremes.
+		if s.Max() > 0.968 || s.Min() < 0.0135 {
+			t.Errorf("%s: rate out of physical bounds [%g, %g]", c.profile.Name, s.Min(), s.Max())
+		}
+	}
+}
+
+func TestGenMixesValidation(t *testing.T) {
+	if _, err := GenMixes(MixProfile{Name: "empty"}, 1, 10); err == nil {
+		t.Error("empty mix accepted")
+	}
+	bad := MixProfile{Name: "neg", Base: carbon.Mix{carbon.Coal: -1}}
+	if _, err := GenMixes(bad, 1, 10); err == nil {
+		t.Error("negative generation accepted")
+	}
+}
+
+func TestGenPowerDemand(t *testing.T) {
+	cfg := DefaultPowerDemandConfig()
+	s, err := GenPowerDemand(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != HoursPerWeek {
+		t.Fatalf("len = %d", s.Len())
+	}
+	// Mean should land near the configured mean so the Table I fuel-cell
+	// cost is on the paper's scale.
+	if m := s.Mean(); math.Abs(m-cfg.MeanMW) > 0.25*cfg.MeanMW {
+		t.Fatalf("mean demand %g MW, want ≈ %g", m, cfg.MeanMW)
+	}
+	if s.Min() <= 0 {
+		t.Fatal("non-positive demand")
+	}
+	if _, err := GenPowerDemand(PowerDemandConfig{Hours: 0, MeanMW: 1}); err == nil {
+		t.Error("zero hours accepted")
+	}
+}
+
+func TestDiurnalWeekendDamping(t *testing.T) {
+	// The workload generator damps weekends (days 5-6): compare the
+	// weekday peak-hour mean against the weekend peak-hour mean.
+	cfg := DefaultWorkloadConfig(10000)
+	cfg.Burstiness = 0 // isolate the deterministic shape
+	w, err := GenWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakHour := 16
+	var weekday, weekend float64
+	for day := 0; day < 5; day++ {
+		weekday += w.At(day*24+peakHour) / 5
+	}
+	for day := 5; day < 7; day++ {
+		weekend += w.At(day*24+peakHour) / 2
+	}
+	if weekend >= weekday {
+		t.Errorf("weekend peak %g should be below weekday peak %g", weekend, weekday)
+	}
+}
+
+func TestPriceDiurnalStructure(t *testing.T) {
+	// Daytime (peak) prices must exceed night prices on average.
+	s, err := GenPrice(PittsburghPriceProfile(), 9, HoursPerWeek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var day, night float64
+	var dayN, nightN int
+	for t2, v := range s.Values {
+		switch t2 % 24 {
+		case 14, 15, 16, 17:
+			day += v
+			dayN++
+		case 2, 3, 4, 5:
+			night += v
+			nightN++
+		}
+	}
+	if day/float64(dayN) <= night/float64(nightN) {
+		t.Errorf("day mean %g should exceed night mean %g", day/float64(dayN), night/float64(nightN))
+	}
+}
+
+func TestCarbonRateDiurnalSwing(t *testing.T) {
+	// The gas swing raises (or shifts) the carbon rate during the day for
+	// coal-light regions; at minimum the series must not be constant.
+	s, err := GenCarbonRate(SanJoseMixProfile(), 4, HoursPerWeek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Max()-s.Min() < 1e-4 {
+		t.Error("carbon rate series is (nearly) constant; swing missing")
+	}
+}

@@ -1,0 +1,135 @@
+// Package utility models the workload-performance component of UFC: the
+// latency utility U of the user population behind each front-end proxy
+// server. The paper assumes U is decreasing and concave in the average
+// propagation latency; its evaluation uses the quadratic form of Eq. (2).
+package utility
+
+import (
+	"fmt"
+	"math"
+)
+
+// Func is a latency-utility function for one front-end's user group.
+// Utility is a function of the routing vector λ_i and the latency row L_i
+// (seconds); arrivals A_i is the total demand at the front-end.
+type Func interface {
+	// Value returns U(λ_i).
+	Value(lambda, latencySec []float64, arrivals float64) float64
+	// Gradient returns ∂U/∂λ_ij for all j.
+	Gradient(lambda, latencySec []float64, arrivals float64) []float64
+	// Name identifies the utility for reporting.
+	Name() string
+}
+
+// Quadratic is the paper's Eq. (2): U(λ_i) = −A_i · (Σ_j λ_ij L_ij / A_i)².
+// It reflects the user's increased tendency to leave the service as
+// latency grows.
+type Quadratic struct{}
+
+var _ Func = Quadratic{}
+
+// Value implements Func.
+func (Quadratic) Value(lambda, latencySec []float64, arrivals float64) float64 {
+	if arrivals <= 0 {
+		return 0
+	}
+	avg := weightedLatency(lambda, latencySec) / arrivals
+	return -arrivals * avg * avg
+}
+
+// Gradient implements Func. ∂U/∂λ_ij = −(2/A_i)·(Σ_k λ_ik L_ik)·L_ij.
+func (Quadratic) Gradient(lambda, latencySec []float64, arrivals float64) []float64 {
+	g := make([]float64, len(lambda))
+	if arrivals <= 0 {
+		return g
+	}
+	w := weightedLatency(lambda, latencySec)
+	for j, l := range latencySec {
+		g[j] = -2 * w * l / arrivals
+	}
+	return g
+}
+
+// Name implements Func.
+func (Quadratic) Name() string { return "quadratic" }
+
+// Linear is U(λ_i) = −Σ_j λ_ij L_ij: utility decreases linearly with the
+// total latency-weighted traffic. Concave (affine) but not strongly
+// concave — exercises the ADM-G convergence theory without strong
+// convexity.
+type Linear struct{}
+
+var _ Func = Linear{}
+
+// Value implements Func.
+func (Linear) Value(lambda, latencySec []float64, _ float64) float64 {
+	return -weightedLatency(lambda, latencySec)
+}
+
+// Gradient implements Func.
+func (Linear) Gradient(lambda, latencySec []float64, _ float64) []float64 {
+	g := make([]float64, len(lambda))
+	for j, l := range latencySec {
+		g[j] = -l
+	}
+	return g
+}
+
+// Name implements Func.
+func (Linear) Name() string { return "linear" }
+
+// Exponential is U(λ_i) = −A_i·(exp(k·avg) − 1): sharply punishes long
+// average latencies, modelling SLA-style cliffs. Concave? Note −exp is
+// concave in avg but avg is linear in λ, so U is concave in λ. K is in
+// 1/seconds.
+type Exponential struct {
+	K float64
+}
+
+var _ Func = Exponential{}
+
+// Value implements Func.
+func (e Exponential) Value(lambda, latencySec []float64, arrivals float64) float64 {
+	if arrivals <= 0 {
+		return 0
+	}
+	avg := weightedLatency(lambda, latencySec) / arrivals
+	return -arrivals * (math.Exp(e.K*avg) - 1)
+}
+
+// Gradient implements Func.
+func (e Exponential) Gradient(lambda, latencySec []float64, arrivals float64) []float64 {
+	g := make([]float64, len(lambda))
+	if arrivals <= 0 {
+		return g
+	}
+	avg := weightedLatency(lambda, latencySec) / arrivals
+	scale := -e.K * math.Exp(e.K*avg)
+	for j, l := range latencySec {
+		g[j] = scale * l
+	}
+	return g
+}
+
+// Name implements Func.
+func (e Exponential) Name() string { return fmt.Sprintf("exponential(k=%g)", e.K) }
+
+// AverageLatencySec returns Σ_j λ_ij L_ij / A_i, the user-experienced
+// average propagation latency in seconds (0 when there is no traffic).
+func AverageLatencySec(lambda, latencySec []float64, arrivals float64) float64 {
+	if arrivals <= 0 {
+		return 0
+	}
+	return weightedLatency(lambda, latencySec) / arrivals
+}
+
+func weightedLatency(lambda, latencySec []float64) float64 {
+	if len(lambda) != len(latencySec) {
+		panic(fmt.Sprintf("utility: %d routings vs %d latencies", len(lambda), len(latencySec)))
+	}
+	var s float64
+	for j, l := range lambda {
+		s += l * latencySec[j]
+	}
+	return s
+}

@@ -1,0 +1,95 @@
+package utility
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuadraticValue(t *testing.T) {
+	// All traffic to one DC with latency 0.02 s, A=100:
+	// avg = 0.02, U = -100 * 0.0004 = -0.04.
+	u := Quadratic{}
+	got := u.Value([]float64{100, 0}, []float64{0.02, 0.05}, 100)
+	if math.Abs(got-(-0.04)) > 1e-12 {
+		t.Fatalf("value = %g, want -0.04", got)
+	}
+	if u.Value([]float64{0, 0}, []float64{0.02, 0.05}, 0) != 0 {
+		t.Fatal("zero arrivals should yield zero utility")
+	}
+}
+
+func TestQuadraticPrefersLowLatency(t *testing.T) {
+	u := Quadratic{}
+	near := u.Value([]float64{100, 0}, []float64{0.01, 0.05}, 100)
+	far := u.Value([]float64{0, 100}, []float64{0.01, 0.05}, 100)
+	if near <= far {
+		t.Fatalf("near=%g should beat far=%g", near, far)
+	}
+}
+
+func checkGradient(t *testing.T, u Func, lambda, lat []float64, a float64) {
+	t.Helper()
+	g := u.Gradient(lambda, lat, a)
+	const h = 1e-6
+	for j := range lambda {
+		lp := append([]float64(nil), lambda...)
+		lm := append([]float64(nil), lambda...)
+		lp[j] += h
+		lm[j] -= h
+		fd := (u.Value(lp, lat, a) - u.Value(lm, lat, a)) / (2 * h)
+		if math.Abs(fd-g[j]) > 1e-5*(1+math.Abs(fd)) {
+			t.Errorf("%s: grad[%d] = %g, finite diff %g", u.Name(), j, g[j], fd)
+		}
+	}
+}
+
+func TestGradientsMatchFiniteDifferences(t *testing.T) {
+	lambda := []float64{30, 50, 20}
+	lat := []float64{0.01, 0.02, 0.04}
+	for _, u := range []Func{Quadratic{}, Linear{}, Exponential{K: 5}} {
+		checkGradient(t, u, lambda, lat, 100)
+	}
+}
+
+func TestLinearValue(t *testing.T) {
+	got := Linear{}.Value([]float64{10, 5}, []float64{0.01, 0.02}, 15)
+	want := -(10*0.01 + 5*0.02)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("value = %g, want %g", got, want)
+	}
+}
+
+func TestExponentialZeroArrivals(t *testing.T) {
+	e := Exponential{K: 3}
+	if e.Value([]float64{0}, []float64{0.01}, 0) != 0 {
+		t.Fatal("zero arrivals should yield zero utility")
+	}
+	g := e.Gradient([]float64{0}, []float64{0.01}, 0)
+	if g[0] != 0 {
+		t.Fatal("zero arrivals should yield zero gradient")
+	}
+}
+
+func TestAverageLatencySec(t *testing.T) {
+	got := AverageLatencySec([]float64{50, 50}, []float64{0.010, 0.030}, 100)
+	if math.Abs(got-0.020) > 1e-12 {
+		t.Fatalf("avg = %g, want 0.020", got)
+	}
+	if AverageLatencySec([]float64{0}, []float64{0.01}, 0) != 0 {
+		t.Fatal("avg with zero arrivals should be 0")
+	}
+}
+
+func TestUtilityConcavityOnSegment(t *testing.T) {
+	// Concavity: U(mid) >= (U(a)+U(b))/2 along any segment.
+	lat := []float64{0.01, 0.03, 0.05}
+	a := []float64{100, 0, 0}
+	b := []float64{0, 0, 100}
+	mid := []float64{50, 0, 50}
+	for _, u := range []Func{Quadratic{}, Linear{}, Exponential{K: 10}} {
+		ua, ub, um := u.Value(a, lat, 100), u.Value(b, lat, 100), u.Value(mid, lat, 100)
+		if um < (ua+ub)/2-1e-9 {
+			t.Errorf("%s not concave: mid %g < avg %g", u.Name(), um, (ua+ub)/2)
+		}
+	}
+}

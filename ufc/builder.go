@@ -1,0 +1,149 @@
+package ufc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/carbon"
+	"repro/internal/model"
+	"repro/internal/utility"
+)
+
+// Builder assembles a single-slot Instance fluently. Defaults follow the
+// paper's evaluation: full fuel-cell coverage per datacenter, fuel-cell
+// price 80 $/MWh, a 25 $/ton carbon tax, the quadratic latency utility and
+// weight w = 10 $/s².
+type Builder struct {
+	dcs    []model.Datacenter
+	prices []float64
+	rates  []float64
+	costs  []carbon.CostFunc
+
+	fes      []model.FrontEnd
+	arrivals []float64
+
+	fuelCellPrice float64
+	taxRate       float64
+	weight        float64
+	util          utility.Func
+	power         model.PowerModel
+	rightSizing   bool
+
+	err error
+}
+
+// NewBuilder returns a Builder with the paper's default parameters.
+func NewBuilder() *Builder {
+	return &Builder{
+		fuelCellPrice: 80,
+		taxRate:       25,
+		weight:        10,
+		util:          utility.Quadratic{},
+		power:         model.DefaultPowerModel(),
+	}
+}
+
+// Datacenter adds a back-end site with full fuel-cell coverage, a grid
+// price in $/MWh and a carbon emission rate in t/MWh. The emission cost is
+// the builder's carbon tax; use DatacenterCustom for other policies.
+func (b *Builder) Datacenter(name string, lat, lon, servers, priceUSD, carbonRate float64) *Builder {
+	dc := model.Datacenter{
+		Location: model.Location{Name: name, Lat: lat, Lon: lon},
+		Servers:  servers,
+		Power:    b.power,
+	}.FullFuelCell()
+	return b.DatacenterCustom(dc, priceUSD, carbonRate, nil)
+}
+
+// DatacenterCustom adds a fully specified datacenter. A nil cost selects
+// the builder's carbon tax.
+func (b *Builder) DatacenterCustom(dc Datacenter, priceUSD, carbonRate float64, cost CostFunc) *Builder {
+	b.dcs = append(b.dcs, dc)
+	b.prices = append(b.prices, priceUSD)
+	b.rates = append(b.rates, carbonRate)
+	b.costs = append(b.costs, cost)
+	return b
+}
+
+// FrontEnd adds a front-end proxy with its slot arrivals (in servers).
+func (b *Builder) FrontEnd(name string, lat, lon, arrivals float64) *Builder {
+	b.fes = append(b.fes, model.FrontEnd{Location: model.Location{Name: name, Lat: lat, Lon: lon}})
+	b.arrivals = append(b.arrivals, arrivals)
+	return b
+}
+
+// FuelCellPrice sets p0 in $/MWh.
+func (b *Builder) FuelCellPrice(usdPerMWh float64) *Builder {
+	b.fuelCellPrice = usdPerMWh
+	return b
+}
+
+// CarbonTax sets the default linear tax rate in $/ton for datacenters
+// added without an explicit cost function.
+func (b *Builder) CarbonTax(usdPerTon float64) *Builder {
+	b.taxRate = usdPerTon
+	return b
+}
+
+// Weight sets the utility weight w.
+func (b *Builder) Weight(w float64) *Builder {
+	b.weight = w
+	return b
+}
+
+// Utility sets the latency-utility function.
+func (b *Builder) Utility(u UtilityFunc) *Builder {
+	if u == nil {
+		b.err = errors.New("ufc: nil utility")
+		return b
+	}
+	b.util = u
+	return b
+}
+
+// Power sets the per-server power model used by subsequently added
+// datacenters (Datacenter shorthand only).
+func (b *Builder) Power(pm PowerModel) *Builder {
+	b.power = pm
+	return b
+}
+
+// RightSizing enables the idle-servers-off extension (paper §II-C Remark):
+// each datacenter powers only the servers its routed load requires.
+func (b *Builder) RightSizing() *Builder {
+	b.rightSizing = true
+	return b
+}
+
+// Build validates and assembles the instance.
+func (b *Builder) Build() (*Instance, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	cloud, err := model.NewCloud(b.dcs, b.fes)
+	if err != nil {
+		return nil, fmt.Errorf("ufc: %w", err)
+	}
+	costs := make([]carbon.CostFunc, len(b.costs))
+	for j, c := range b.costs {
+		if c == nil {
+			c = carbon.LinearTax{Rate: b.taxRate}
+		}
+		costs[j] = c
+	}
+	inst := &Instance{
+		Cloud:            cloud,
+		Arrivals:         append([]float64(nil), b.arrivals...),
+		PriceUSD:         append([]float64(nil), b.prices...),
+		FuelCellPriceUSD: b.fuelCellPrice,
+		CarbonRate:       append([]float64(nil), b.rates...),
+		EmissionCost:     costs,
+		Utility:          b.util,
+		WeightW:          b.weight,
+		RightSizing:      b.rightSizing,
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}

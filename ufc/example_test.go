@@ -1,0 +1,140 @@
+package ufc_test
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"testing"
+
+	"repro/ufc"
+)
+
+// ExampleSolve shows the minimal end-to-end use of the library: build a
+// two-datacenter cloud, maximize UFC for one slot, and read the result.
+func ExampleSolve() {
+	inst, err := ufc.NewBuilder().
+		Datacenter("Cheap&Dirty", 40.0, -100.0, 10000, 30, 0.80).
+		Datacenter("Pricey&Clean", 40.0, -80.0, 10000, 95, 0.15).
+		FrontEnd("Metro", 40.0, -90.0, 8000).
+		FuelCellPrice(80).
+		CarbonTax(25).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, bd, stats, err := ufc.Solve(inst, ufc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("converged:", stats.Converged)
+	fmt.Println("fuel cells used:", bd.FuelCellMWh > 0)
+	// Output:
+	// converged: true
+	// fuel cells used: true
+}
+
+// ExampleImprovement computes the paper's I_hg metric from two strategy
+// runs.
+func ExampleImprovement() {
+	hybrid := ufc.Breakdown{UFC: -80}
+	grid := ufc.Breakdown{UFC: -100}
+	fmt.Printf("I_hg = %.0f%%\n", ufc.Improvement(hybrid, grid)*100)
+	// Output:
+	// I_hg = 20%
+}
+
+func TestFacadeSweeps(t *testing.T) {
+	cfg := ufc.DefaultScenarioConfig()
+	cfg.Scale = 0.02
+	cfg.Hours = 6
+	opts := ufc.Options{MaxIterations: 4000}
+	p, err := ufc.SweepFuelCellPrice(cfg, opts, []float64{25, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != 2 || p.Rows[0].AvgUtilization < p.Rows[1].AvgUtilization {
+		t.Errorf("price sweep shape wrong: %+v", p.Rows)
+	}
+	c, err := ufc.SweepCarbonTax(cfg, opts, []float64{0, 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rows) != 2 || c.Rows[1].AvgUtilization < c.Rows[0].AvgUtilization-1e-9 {
+		t.Errorf("tax sweep shape wrong: %+v", c.Rows)
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	// Evaluate + NewCloud + DefaultPowerModel.
+	dc := ufc.Datacenter{
+		Location: ufc.Location{Name: "A", Lat: 10, Lon: 10},
+		Servers:  1000,
+		Power:    ufc.DefaultPowerModel(),
+	}.FullFuelCell()
+	dcs := []ufc.Datacenter{dc}
+	fes := []ufc.FrontEnd{{Location: ufc.Location{Name: "B", Lat: 11, Lon: 11}}}
+	cloud, err := ufc.NewCloud(dcs, fes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepped, err := ufc.NewSteppedTax([]float64{2}, []float64{10, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &ufc.Instance{
+		Cloud:            cloud,
+		Arrivals:         []float64{500},
+		PriceUSD:         []float64{60},
+		FuelCellPriceUSD: 80,
+		CarbonRate:       []float64{0.5},
+		EmissionCost:     []ufc.CostFunc{stepped},
+		Utility:          ufc.QuadraticUtility{},
+		WeightW:          10,
+	}
+	alloc, _, _, err := ufc.Solve(inst, ufc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := ufc.Evaluate(inst, alloc)
+	if bd.DemandMWh <= 0 {
+		t.Error("evaluate broken")
+	}
+
+	// Builder knobs: Power and RightSizing.
+	inst2, err := ufc.NewBuilder().
+		Power(ufc.PowerModel{IdleW: 90, PeakW: 210, PUE: 1.3}).
+		RightSizing().
+		Datacenter("C", 10, 10, 1000, 50, 0.5).
+		FrontEnd("D", 11, 11, 400).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst2.RightSizing {
+		t.Error("RightSizing not applied")
+	}
+	if inst2.Cloud.Datacenters[0].Power.PUE != 1.3 {
+		t.Error("Power not applied")
+	}
+
+	// Predictor constructors.
+	if _, err := ufc.NewEWMA(0.5); err != nil {
+		t.Error(err)
+	}
+	if _, err := ufc.NewSeasonalNaive(24); err != nil {
+		t.Error(err)
+	}
+
+	// UnconstrainedRamp facade.
+	sched, err := ufc.UnconstrainedRamp(ufc.RampConfig{
+		CapMW: 1, FuelCellPriceUSD: 80,
+		PriceUSD: []float64{120}, CarbonRate: []float64{0.4},
+		EmissionCost: ufc.LinearTax{Rate: 25},
+	}, []float64{0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sched.MuMW[0]-0.8) > 1e-9 {
+		t.Errorf("expensive grid hour should use fuel cells: %v", sched.MuMW)
+	}
+}

@@ -1,0 +1,62 @@
+package ufc
+
+import (
+	"io"
+
+	"repro/internal/codec"
+	"repro/internal/forecast"
+	"repro/internal/ramp"
+)
+
+// Forecasting re-exports: the arrival predictors the paper's system model
+// assumes (§II-A).
+type (
+	// Predictor produces one-step-ahead arrival forecasts.
+	Predictor = forecast.Predictor
+	// ForecastAccuracy summarizes one-step-ahead errors.
+	ForecastAccuracy = forecast.Accuracy
+)
+
+// NewHoltWinters builds an additive Holt–Winters predictor (level, trend
+// and seasonal smoothing factors in (0, 1); period in slots, e.g. 24).
+func NewHoltWinters(alpha, beta, gamma float64, period int) (Predictor, error) {
+	return forecast.NewHoltWinters(alpha, beta, gamma, period)
+}
+
+// NewEWMA builds a simple exponential-smoothing predictor.
+func NewEWMA(alpha float64) (Predictor, error) { return forecast.NewEWMA(alpha) }
+
+// NewSeasonalNaive builds a predictor repeating the value one season ago.
+func NewSeasonalNaive(period int) (Predictor, error) { return forecast.NewSeasonalNaive(period) }
+
+// EvaluatePredictor runs the predictor through a series and reports
+// one-step-ahead accuracy, skipping the first warmup forecasts.
+func EvaluatePredictor(p Predictor, values []float64, warmup int) (ForecastAccuracy, error) {
+	return forecast.Evaluate(p, values, warmup)
+}
+
+// Ramp-scheduling re-exports: the load-following extension relaxing the
+// paper's perfect-tunability assumption.
+type (
+	// RampConfig describes a datacenter's fuel-cell scheduling problem.
+	RampConfig = ramp.Config
+	// RampSchedule is an optimized output trajectory.
+	RampSchedule = ramp.Schedule
+)
+
+// OptimizeRamp schedules a fuel-cell trajectory under a ramp-rate limit.
+func OptimizeRamp(cfg RampConfig, demandMW []float64) (*RampSchedule, error) {
+	return ramp.Optimize(cfg, demandMW)
+}
+
+// UnconstrainedRamp is the per-slot greedy optimum (infinite ramp rate).
+func UnconstrainedRamp(cfg RampConfig, demandMW []float64) (*RampSchedule, error) {
+	return ramp.Unconstrained(cfg, demandMW)
+}
+
+// WriteInstance serializes an instance as JSON (the format consumed by
+// cmd/ufcnode).
+func WriteInstance(w io.Writer, inst *Instance) error { return codec.EncodeInstance(w, inst) }
+
+// ReadInstance parses an instance previously written with WriteInstance.
+func ReadInstance(r io.Reader) (*Instance, error) { return codec.DecodeInstance(r) }

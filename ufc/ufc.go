@@ -1,0 +1,149 @@
+// Package ufc is the public API of the repository: a library for studying
+// fuel-cell generation in geo-distributed cloud services, reproducing
+// "Fuel Cell Generation in Geo-Distributed Cloud Services: A Quantitative
+// Study" (ICDCS 2014).
+//
+// The library models a cloud of N geo-distributed datacenters (each with a
+// fuel-cell installation) fed by M front-end proxies, defines the UFC
+// index — the operator's combined satisfaction from workload latency,
+// energy cost and carbon emission — and maximizes it by jointly choosing
+// per-datacenter fuel-cell output and geographic request routing with the
+// paper's distributed 4-block ADM-G algorithm.
+//
+// Quick start:
+//
+//	inst, err := ufc.NewBuilder().
+//		Datacenter("San Jose", 37.34, -121.89, 20000, 95, 0.30).
+//		Datacenter("Dallas", 32.78, -96.80, 20000, 35, 0.55).
+//		FrontEnd("Chicago", 41.88, -87.63, 12000).
+//		Build()
+//	alloc, breakdown, stats, err := ufc.Solve(inst, ufc.Options{})
+//
+// See examples/ for runnable programs and cmd/experiments for the full
+// reproduction of the paper's tables and figures.
+package ufc
+
+import (
+	"time"
+
+	"repro/internal/carbon"
+	"repro/internal/core"
+	"repro/internal/distsim"
+	"repro/internal/model"
+	"repro/internal/utility"
+)
+
+// Core problem types, re-exported from the implementation packages.
+type (
+	// Instance is one time slot of the UFC maximization problem.
+	Instance = core.Instance
+	// Allocation is a joint routing and power decision.
+	Allocation = core.Allocation
+	// Breakdown decomposes the UFC of an allocation.
+	Breakdown = core.Breakdown
+	// Options configures the ADM-G solver.
+	Options = core.Options
+	// Stats reports solver behaviour.
+	Stats = core.Stats
+	// Strategy selects the allowed energy sources.
+	Strategy = core.Strategy
+	// FeasibilityReport quantifies constraint violations.
+	FeasibilityReport = core.FeasibilityReport
+
+	// Cloud is the static topology.
+	Cloud = model.Cloud
+	// Datacenter is a back-end site.
+	Datacenter = model.Datacenter
+	// FrontEnd is a front-end proxy server.
+	FrontEnd = model.FrontEnd
+	// Location is a point on Earth.
+	Location = model.Location
+	// PowerModel is the per-server power characterization.
+	PowerModel = model.PowerModel
+
+	// CostFunc is an emission cost function V_j.
+	CostFunc = carbon.CostFunc
+	// LinearTax is a flat carbon tax.
+	LinearTax = carbon.LinearTax
+	// CapAndTrade is a permit-based emission cost.
+	CapAndTrade = carbon.CapAndTrade
+	// SteppedTax is a progressive piecewise-linear tax.
+	SteppedTax = carbon.SteppedTax
+	// QuadraticCost is an offset program with growing marginal price.
+	QuadraticCost = carbon.QuadraticCost
+
+	// UtilityFunc is a latency-utility function U.
+	UtilityFunc = utility.Func
+	// QuadraticUtility is the paper's Eq. (2) utility.
+	QuadraticUtility = utility.Quadratic
+	// LinearUtility decreases linearly with latency-weighted traffic.
+	LinearUtility = utility.Linear
+	// ExponentialUtility punishes long latencies sharply.
+	ExponentialUtility = utility.Exponential
+)
+
+// Strategies.
+const (
+	// Hybrid coordinates grid power with fuel cells (the paper's
+	// proposal).
+	Hybrid = core.Hybrid
+	// GridOnly forbids fuel cells.
+	GridOnly = core.GridOnly
+	// FuelCellOnly forbids grid power.
+	FuelCellOnly = core.FuelCellOnly
+)
+
+// Solve maximizes UFC for the instance with the distributed 4-block ADM-G
+// algorithm (run in-process) and returns a feasible allocation, its UFC
+// breakdown and solver statistics.
+func Solve(inst *Instance, opts Options) (*Allocation, Breakdown, *Stats, error) {
+	return core.Solve(inst, opts)
+}
+
+// Evaluate computes the UFC breakdown of an arbitrary allocation.
+func Evaluate(inst *Instance, alloc *Allocation) Breakdown {
+	return core.Evaluate(inst, alloc)
+}
+
+// CheckFeasibility measures an allocation's constraint violations.
+func CheckFeasibility(inst *Instance, alloc *Allocation) FeasibilityReport {
+	return core.CheckFeasibility(inst, alloc)
+}
+
+// Improvement returns the relative UFC improvement of x over y (the
+// paper's I_hg / I_hf / I_fg metrics).
+func Improvement(x, y Breakdown) float64 { return core.Improvement(x, y) }
+
+// NewCloud builds a topology from datacenters and front-ends.
+func NewCloud(dcs []Datacenter, fes []FrontEnd) (*Cloud, error) {
+	return model.NewCloud(dcs, fes)
+}
+
+// DefaultPowerModel is the paper's server power model (100 W idle, 200 W
+// peak, PUE 1.2).
+func DefaultPowerModel() PowerModel { return model.DefaultPowerModel() }
+
+// NewSteppedTax validates and builds a progressive piecewise-linear carbon
+// tax (rates must be non-decreasing for convexity).
+func NewSteppedTax(thresholds, rates []float64) (SteppedTax, error) {
+	return carbon.NewSteppedTax(thresholds, rates)
+}
+
+// SolveDistributed runs the same algorithm as Solve but as a real
+// message-passing protocol: one agent per front-end and datacenter plus a
+// coordinator, exchanging messages over an in-memory transport with the
+// given artificial per-message delay bound (0 disables delays). The result
+// is numerically identical to Solve.
+func SolveDistributed(inst *Instance, opts Options, maxDelay time.Duration) (*Allocation, Breakdown, *Stats, error) {
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	tr := distsim.NewChanTransport(distsim.AllAgentIDs(m, n), distsim.ChanOptions{
+		Seed:     1,
+		MaxDelay: maxDelay,
+	})
+	defer func() { _ = tr.Close() }()
+	res, err := distsim.Run(inst, distsim.RunOptions{Solver: opts}, tr)
+	if err != nil {
+		return nil, Breakdown{}, nil, err
+	}
+	return res.Allocation, res.Breakdown, res.Stats, nil
+}

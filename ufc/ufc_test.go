@@ -1,0 +1,178 @@
+package ufc_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/ufc"
+)
+
+func buildTwoDCInstance(t *testing.T) *ufc.Instance {
+	t.Helper()
+	inst, err := ufc.NewBuilder().
+		Datacenter("San Jose", 37.34, -121.89, 2000, 95, 0.30).
+		Datacenter("Dallas", 32.78, -96.80, 2000, 30, 0.55).
+		FrontEnd("Chicago", 41.88, -87.63, 900).
+		FrontEnd("Seattle", 47.61, -122.33, 700).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestBuilderAndSolve(t *testing.T) {
+	inst := buildTwoDCInstance(t)
+	alloc, bd, stats, err := ufc.Solve(inst, ufc.Options{})
+	if err != nil {
+		t.Fatalf("solve: %v (iters %d)", err, stats.Iterations)
+	}
+	if !ufc.CheckFeasibility(inst, alloc).Ok(1e-2 * 1600) {
+		t.Error("infeasible allocation")
+	}
+	if bd.DemandMWh <= 0 || bd.AvgLatencySec <= 0 {
+		t.Errorf("degenerate breakdown: %+v", bd)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := ufc.NewBuilder().Build(); err == nil {
+		t.Error("empty builder accepted")
+	}
+	if _, err := ufc.NewBuilder().Utility(nil).Build(); err == nil {
+		t.Error("nil utility accepted")
+	}
+	// Overloaded cloud.
+	_, err := ufc.NewBuilder().
+		Datacenter("X", 0, 0, 10, 40, 0.5).
+		FrontEnd("Y", 1, 1, 100).
+		Build()
+	if err == nil {
+		t.Error("overload accepted")
+	}
+}
+
+func TestBuilderCustomKnobs(t *testing.T) {
+	inst, err := ufc.NewBuilder().
+		FuelCellPrice(50).
+		CarbonTax(100).
+		Weight(5).
+		Utility(ufc.LinearUtility{}).
+		Datacenter("A", 10, 10, 1000, 60, 0.4).
+		FrontEnd("B", 11, 11, 400).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.FuelCellPriceUSD != 50 || inst.WeightW != 5 {
+		t.Error("knobs not applied")
+	}
+	if inst.EmissionCost[0].(ufc.LinearTax).Rate != 100 {
+		t.Error("carbon tax not applied")
+	}
+}
+
+func TestStrategiesViaFacade(t *testing.T) {
+	inst := buildTwoDCInstance(t)
+	var ufcVals []float64
+	for _, s := range []ufc.Strategy{ufc.Hybrid, ufc.GridOnly, ufc.FuelCellOnly} {
+		_, bd, _, err := ufc.Solve(inst, ufc.Options{Strategy: s})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		ufcVals = append(ufcVals, bd.UFC)
+	}
+	tol := 1e-3 * (1 + math.Abs(ufcVals[0]))
+	if ufcVals[0] < ufcVals[1]-tol || ufcVals[0] < ufcVals[2]-tol {
+		t.Errorf("hybrid %g must dominate grid %g and fuel cell %g",
+			ufcVals[0], ufcVals[1], ufcVals[2])
+	}
+}
+
+func TestSolveDistributedMatchesSolve(t *testing.T) {
+	inst := buildTwoDCInstance(t)
+	_, bdSeq, _, err := ufc.Solve(inst, ufc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bdDist, _, err := ufc.SolveDistributed(inst, ufc.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdSeq.UFC != bdDist.UFC {
+		t.Errorf("distributed UFC %v != sequential %v", bdDist.UFC, bdSeq.UFC)
+	}
+}
+
+func TestImprovementFacade(t *testing.T) {
+	x := ufc.Breakdown{UFC: -10}
+	y := ufc.Breakdown{UFC: -20}
+	if got := ufc.Improvement(x, y); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("improvement = %g", got)
+	}
+}
+
+func TestScenarioFacade(t *testing.T) {
+	cfg := ufc.DefaultScenarioConfig()
+	cfg.Scale = 0.02
+	cfg.Hours = 6
+	sc, err := ufc.NewScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cloud.N() != 4 {
+		t.Fatalf("N = %d", sc.Cloud.N())
+	}
+	w, err := ufc.RunWeekComparison(cfg, ufc.Options{MaxIterations: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Hybrid) != 6 {
+		t.Fatalf("hours = %d", len(w.Hybrid))
+	}
+}
+
+func TestExtensionFacades(t *testing.T) {
+	hw, err := ufc.NewHoltWinters(0.4, 0.05, 0.3, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, 24*6)
+	for i := range values {
+		values[i] = 100 + 40*math.Sin(2*math.Pi*float64(i%24)/24)
+	}
+	acc, err := ufc.EvaluatePredictor(hw, values, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.MAPE > 0.05 {
+		t.Errorf("facade predictor MAPE %g", acc.MAPE)
+	}
+
+	inst := buildTwoDCInstance(t)
+	var buf bytes.Buffer
+	if err := ufc.WriteInstance(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ufc.ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cloud.N() != inst.Cloud.N() {
+		t.Error("round trip lost topology")
+	}
+
+	sched, err := ufc.OptimizeRamp(ufc.RampConfig{
+		CapMW: 2, RampMW: 0.5, FuelCellPriceUSD: 80,
+		PriceUSD:     []float64{50, 120, 120, 50},
+		CarbonRate:   []float64{0.5, 0.5, 0.5, 0.5},
+		EmissionCost: ufc.LinearTax{Rate: 25},
+	}, []float64{1.5, 1.5, 1.5, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.MuMW) != 4 {
+		t.Error("ramp schedule shape wrong")
+	}
+}
