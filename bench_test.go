@@ -269,12 +269,71 @@ func benchInstance(b *testing.B) *ufc.Instance {
 // 20% fleet scale).
 func BenchmarkSolveSlot(b *testing.B) {
 	inst := benchInstance(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, _, err := core.Solve(inst, benchSolver); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSolveColdStart solves 24 consecutive hourly slots from scratch
+// (the pre-warm-start behaviour), reporting the total ADM-G iterations.
+func BenchmarkSolveColdStart(b *testing.B) {
+	sc, err := experiments.NewScenario(benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var iters int
+	for i := 0; i < b.N; i++ {
+		iters = 0
+		for t := 0; t < 24; t++ {
+			_, _, st, err := core.Solve(sc.InstanceAt(t), benchSolver)
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters += st.Iterations
+		}
+	}
+	b.ReportMetric(float64(iters), "iters/day")
+}
+
+// BenchmarkSolveWarmStart solves the same 24 slots through one engine,
+// seeding each hour with the previous hour's converged state. Compare the
+// iters/day metric against BenchmarkSolveColdStart.
+func BenchmarkSolveWarmStart(b *testing.B) {
+	sc, err := experiments.NewScenario(benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var iters int
+	for i := 0; i < b.N; i++ {
+		iters = 0
+		eng, err := core.NewEngine(sc.InstanceAt(0), benchSolver)
+		if err != nil {
+			b.Fatal(err)
+		}
+		state := core.NewState(sc.Cloud.M(), sc.Cloud.N())
+		for t := 0; t < 24; t++ {
+			if t > 0 {
+				if err := eng.Reset(sc.InstanceAt(t)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			_, _, st, err := eng.SolveState(state)
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters += st.Iterations
+		}
+		eng.Close()
+	}
+	b.ReportMetric(float64(iters), "iters/day")
 }
 
 // BenchmarkIterate measures a single ADM-G iteration (all four block
@@ -286,6 +345,31 @@ func BenchmarkIterate(b *testing.B) {
 		b.Fatal(err)
 	}
 	s := core.NewState(inst.Cloud.M(), inst.Cloud.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Iterate(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIterateParallel measures the same iteration with the
+// intra-iteration worker pool enabled (bit-identical iterates).
+func BenchmarkIterateParallel(b *testing.B) {
+	inst := benchInstance(b)
+	opts := benchSolver
+	opts.Workers = 4
+	e, err := core.NewEngine(inst, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	s := core.NewState(inst.Cloud.M(), inst.Cloud.N())
+	if err := e.Iterate(s); err != nil { // spawn the pool outside the timer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := e.Iterate(s); err != nil {
@@ -341,6 +425,7 @@ func BenchmarkIterateWide(b *testing.B) {
 		b.Fatal(err)
 	}
 	s := core.NewState(m, inst.Cloud.N())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := e.Iterate(s); err != nil {

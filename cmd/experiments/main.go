@@ -8,6 +8,7 @@
 //	experiments [-run all|table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|
 //	             forecast|ramp|rightsizing|ablations]
 //	            [-scale f] [-hours n] [-seed n] [-sample n] [-maxiters n]
+//	            [-warm] [-workers n]
 package main
 
 import (
@@ -36,6 +37,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 2012, "master random seed")
 	sample := fs.Int("sample", 24, "hours sampled by the ablations")
 	maxIters := fs.Int("maxiters", 3000, "ADM-G iteration budget per slot")
+	warm := fs.Bool("warm", false, "run the week comparison sequentially, warm-starting each hour from the previous one")
+	workers := fs.Int("workers", 0, "intra-iteration solver workers per engine (0 or 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,7 +47,7 @@ func run(args []string) error {
 	cfg.Scale = *scale
 	cfg.Hours = *hours
 	cfg.Seed = *seed
-	opts := core.Options{MaxIterations: *maxIters}
+	opts := core.Options{MaxIterations: *maxIters, Workers: *workers}
 
 	ids := strings.Split(*which, ",")
 	want := func(id string) bool {
@@ -87,7 +90,11 @@ func run(args []string) error {
 		}
 	}
 	if needWeek {
-		week, err := experiments.RunWeekComparison(cfg, opts)
+		runWeek := experiments.RunWeekComparison
+		if *warm {
+			runWeek = experiments.RunWeekComparisonWarm
+		}
+		week, err := runWeek(cfg, opts)
 		if err != nil {
 			return fmt.Errorf("week comparison: %w", err)
 		}

@@ -76,12 +76,26 @@ type Mix map[FuelType]float64
 // ErrEmptyMix is returned when a mix generates no electricity at all.
 var ErrEmptyMix = errors.New("carbon: fuel mix has no generation")
 
+// Fuels returns the mix's fuel types in ascending order. Map iteration
+// order is randomized per process; visiting fuels in a fixed order keeps
+// float accumulations and RNG draws — and therefore every downstream
+// solve — reproducible across runs.
+func (m Mix) Fuels() []FuelType {
+	fs := make([]FuelType, 0, len(m))
+	for f := range m {
+		fs = append(fs, f)
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
+	return fs
+}
+
 // RateTonPerMWh computes the fuel-mix weighted carbon emission rate of the
 // region via the paper's Eq. (1), converted to metric tons of CO₂ per MWh
 // (numerically equal to kg/kWh, i.e. g/kWh divided by 1000).
 func (m Mix) RateTonPerMWh() (float64, error) {
 	var totalGen, weighted float64
-	for fuel, gen := range m {
+	for _, fuel := range m.Fuels() {
+		gen := m[fuel]
 		if gen < 0 {
 			return 0, fmt.Errorf("carbon: negative generation %g for %s", gen, fuel)
 		}
@@ -101,8 +115,8 @@ func (m Mix) RateTonPerMWh() (float64, error) {
 // Normalized returns a copy of the mix scaled so generation sums to 1.
 func (m Mix) Normalized() Mix {
 	var total float64
-	for _, g := range m {
-		total += g
+	for _, f := range m.Fuels() {
+		total += m[f]
 	}
 	out := make(Mix, len(m))
 	if total == 0 {

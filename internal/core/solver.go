@@ -15,6 +15,7 @@ import (
 var (
 	ErrNotConverged = errors.New("core: ADM-G did not converge within the iteration budget")
 	ErrBadOptions   = errors.New("core: invalid solver options")
+	ErrBadState     = errors.New("core: state dimensions do not match the instance")
 )
 
 // Options configures the distributed 4-block ADM-G solver.
@@ -39,6 +40,13 @@ type Options struct {
 	// TrackResiduals records the residual after every iteration in
 	// Stats.ResidualTrace.
 	TrackResiduals bool
+	// Workers fans the per-front-end λ-steps and per-datacenter
+	// μ/ν/a-steps of each Iterate across this many goroutines (0 or 1 =
+	// serial). Every work item writes to a fixed index and no reduction
+	// is reordered, so parallel iterates are bit-identical to serial
+	// ones. Engines iterated with Workers > 1 must be released with
+	// Close; Solve and SolveFrom do this automatically.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +74,15 @@ func (o Options) validate() error {
 	}
 	if o.Epsilon <= 0.5 || o.Epsilon > 1 {
 		return fmt.Errorf("epsilon %g outside (0.5, 1]: %w", o.Epsilon, ErrBadOptions)
+	}
+	if o.Tolerance < 0 {
+		return fmt.Errorf("tolerance %g: %w", o.Tolerance, ErrBadOptions)
+	}
+	if o.MaxIterations < 0 {
+		return fmt.Errorf("max iterations %d: %w", o.MaxIterations, ErrBadOptions)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("workers %d: %w", o.Workers, ErrBadOptions)
 	}
 	switch o.Strategy {
 	case Hybrid, GridOnly, FuelCellOnly:
@@ -140,6 +157,7 @@ func zeros2(m, n int) [][]float64 {
 type Engine struct {
 	inst *Instance
 	opts Options
+	m, n int
 
 	alphaEq []float64 // α_j/β_j (server-equivalents)
 	beta    []float64 // β_j, MW per workload unit (for unit conversion)
@@ -147,6 +165,7 @@ type Engine struct {
 	p0Eq    []float64 // p0·β_j, $ per server-equivalent-hour
 	pEq     []float64 // p_j·β_j
 	cEq     []float64 // C_j·β_j, tons per server-equivalent-hour
+	lat     [][]float64 // cached latency rows (Cloud.LatencyRow allocates)
 
 	// rho is the effective penalty: Options.Rho times the instance's
 	// marginal-cost scale, so the paper's ρ = 0.3 sits in the regime
@@ -156,6 +175,17 @@ type Engine struct {
 	// dualScale is the marginal-cost scale used to normalize dual-change
 	// residuals in the convergence test.
 	dualScale float64
+
+	// Reusable per-iteration buffers (see workspace.go). Iterate and
+	// SolveState use these and are therefore NOT safe for concurrent use
+	// on the same engine; the exported step methods remain pure.
+	scratch iterScratch
+	ws      []*StepWorkspace
+	pool    *workerPool // spawned lazily on the first parallel Iterate
+	// iterState points at the state currently being iterated so the
+	// fan-out phases (methods, not closures) can reach it without
+	// per-call allocations.
+	iterState *State
 }
 
 // NewEngine validates the instance and options and prepares an engine.
@@ -167,22 +197,51 @@ func NewEngine(inst *Instance, opts Options) (*Engine, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
-	n := inst.Cloud.N()
+	m, n := inst.Cloud.M(), inst.Cloud.N()
 	e := &Engine{
-		inst:    inst,
 		opts:    opts,
+		m:       m,
+		n:       n,
 		alphaEq: make([]float64, n),
 		beta:    make([]float64, n),
 		capEq:   make([]float64, n),
 		p0Eq:    make([]float64, n),
 		pEq:     make([]float64, n),
 		cEq:     make([]float64, n),
+		lat:     matrixRows(m, n),
 	}
+	e.scratch.init(m, n)
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	e.ws = make([]*StepWorkspace, workers)
+	for w := range e.ws {
+		e.ws[w] = e.newStepWorkspace()
+	}
+	if err := e.configure(inst); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// configure derives all per-datacenter scaled parameters, the latency
+// cache and the effective penalty from inst. It is shared by NewEngine and
+// Reset; inst must already be validated and dimension-compatible.
+func (e *Engine) configure(inst *Instance) error {
+	m, n := e.m, e.n
+	e.inst = inst
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			e.lat[i][j] = inst.Cloud.LatencySec(i, j)
+		}
+	}
+	opts := e.opts
 	for j := 0; j < n; j++ {
 		dc := inst.Cloud.Datacenters[j]
 		beta := inst.BetaMW(j)
 		if beta <= 0 {
-			return nil, fmt.Errorf("core: datacenter %d has zero dynamic power range", j)
+			return fmt.Errorf("core: datacenter %d has zero dynamic power range", j)
 		}
 		e.beta[j] = beta
 		e.alphaEq[j] = inst.AlphaMW(j) / beta
@@ -200,7 +259,7 @@ func NewEngine(inst *Instance, opts Options) (*Engine, error) {
 		// ν ≡ 0 requires fuel cells to cover worst-case demand.
 		for j := 0; j < n; j++ {
 			if peak := inst.PeakDemandMW(j); e.capEq[j]*e.beta[j] < peak-1e-9 {
-				return nil, fmt.Errorf("datacenter %d: capacity %g MW < peak demand %g MW: %w",
+				return fmt.Errorf("datacenter %d: capacity %g MW < peak demand %g MW: %w",
 					j, e.capEq[j]*e.beta[j], peak, ErrFuelCellDeficit)
 			}
 		}
@@ -229,10 +288,9 @@ func NewEngine(inst *Instance, opts Options) (*Engine, error) {
 		meanA = 1
 	}
 	var meanLat2 float64
-	m := inst.Cloud.M()
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
-			l := inst.Cloud.LatencySec(i, j)
+			l := e.lat[i][j]
 			meanLat2 += l * l
 		}
 	}
@@ -248,7 +306,23 @@ func NewEngine(inst *Instance, opts Options) (*Engine, error) {
 	}
 	e.rho = opts.Rho * scale
 	e.dualScale = math.Max(costScale, 1e-12)
-	return e, nil
+	return nil
+}
+
+// Reset swaps in a new slot's instance — prices, arrivals, carbon rates —
+// without re-deriving the engine's structure or reallocating any scratch.
+// The new instance must have the same topology dimensions as the one the
+// engine was built with. The caller's iterate (if any) is untouched, which
+// is exactly what warm-starting the next hourly slot wants.
+func (e *Engine) Reset(inst *Instance) error {
+	if err := inst.Validate(); err != nil {
+		return err
+	}
+	if inst.Cloud.M() != e.m || inst.Cloud.N() != e.n {
+		return fmt.Errorf("core: Reset with %d×%d cloud on a %d×%d engine: %w",
+			inst.Cloud.M(), inst.Cloud.N(), e.m, e.n, ErrBadState)
+	}
+	return e.configure(inst)
 }
 
 // Instance returns the engine's problem instance.
@@ -261,70 +335,124 @@ func (e *Engine) Options() Options { return e.opts }
 //
 //	min −wU(λ_i) + Σ_j (φ_ij λ_ij + ρ/2 (λ_ij² − 2 a_ij λ_ij))
 //	s.t. Σ_j λ_ij = A_i, λ_ij ≥ 0.
+//
+// It is pure with respect to the engine; long-running agents should hold a
+// StepWorkspace and call LambdaStepInto to avoid the per-call allocations.
 func (e *Engine) LambdaStep(i int, aRow, varphiRow []float64) ([]float64, error) {
-	n := e.inst.Cloud.N()
+	dst := make([]float64, e.n)
+	if err := e.LambdaStepInto(e.newStepWorkspace(), i, aRow, varphiRow, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// LambdaStepInto is the allocation-free λ-minimization: the result is
+// written into dst (length N) and ws provides all scratch. Concurrent
+// callers must use distinct workspaces.
+//
+// For the Quadratic and Linear utilities the sub-problem is
+//
+//	min ½ρ‖λ‖² + ½s(Lᵀλ)² + cᵀλ  over {λ ≥ 0, Σλ = A_i}
+//
+// (s = 2w/A_i, s = 0 respectively), an identity-plus-rank-one QP solved
+// exactly by solveLambdaQP; other utilities fall back to the generic
+// projected-gradient path, which allocates.
+func (e *Engine) LambdaStepInto(ws *StepWorkspace, i int, aRow, varphiRow, dst []float64) error {
+	n := e.n
 	arrivals := e.inst.Arrivals[i]
 	if arrivals <= 0 {
-		return make([]float64, n), nil
+		for j := 0; j < n; j++ {
+			dst[j] = 0
+		}
+		return nil
 	}
 	rho := e.rho
-	lat := e.inst.Cloud.LatencyRow(i)
+	lat := e.lat[i]
 
 	switch u := e.inst.Utility.(type) {
 	case utility.Quadratic:
-		// −wU = (w/A_i)(Σλ_ij L_ij)² → H = ρI + (2w/A_i) L Lᵀ.
-		h := linalg.NewMatrix(n, n)
-		scale := 2 * e.inst.WeightW / arrivals
-		for r := 0; r < n; r++ {
-			for c := 0; c < n; c++ {
-				v := scale * lat[r] * lat[c]
-				if r == c {
-					v += rho
-				}
-				h.Set(r, c, v)
-			}
-		}
-		cvec := linalg.NewVector(n)
+		// −wU = (w/A_i)(Σλ_ij L_ij)² → curvature s = 2w/A_i along L.
+		cvec := ws.cn
 		for j := 0; j < n; j++ {
 			cvec[j] = varphiRow[j] - rho*aRow[j]
 		}
-		return e.solveSimplexQP(h, cvec, arrivals, aRow)
+		e.solveLambdaQP(ws, cvec, lat, 2*e.inst.WeightW/arrivals, arrivals, dst)
+		return nil
 	case utility.Linear:
 		// −wU = w Σλ_ij L_ij → linear term only.
-		h := linalg.NewMatrix(n, n)
-		for j := 0; j < n; j++ {
-			h.Set(j, j, rho)
-		}
-		cvec := linalg.NewVector(n)
+		cvec := ws.cn
 		for j := 0; j < n; j++ {
 			cvec[j] = e.inst.WeightW*lat[j] + varphiRow[j] - rho*aRow[j]
 		}
-		return e.solveSimplexQP(h, cvec, arrivals, aRow)
+		e.solveLambdaQP(ws, cvec, lat, 0, arrivals, dst)
+		return nil
 	default:
-		return e.lambdaProjGrad(u, lat, arrivals, aRow, varphiRow)
+		x, err := e.lambdaProjGrad(u, lat, arrivals, aRow, varphiRow)
+		if err != nil {
+			return err
+		}
+		copy(dst, x)
+		return nil
 	}
 }
 
-// solveSimplexQP solves min ½λᵀHλ + cᵀλ over {λ ≥ 0, Σλ = arrivals},
-// warm-started by projecting the hint onto the feasible simplex.
-func (e *Engine) solveSimplexQP(h *linalg.Matrix, c linalg.Vector, arrivals float64, hint []float64) ([]float64, error) {
-	n := c.Len()
-	aeq := linalg.NewMatrix(1, n)
-	for j := 0; j < n; j++ {
-		aeq.Set(0, j, 1)
+// solveLambdaQP solves min ½ρ‖λ‖² + ½s(lᵀλ)² + cᵀλ over the scaled simplex
+// {λ ≥ 0, Σλ = total} exactly, writing the optimum into dst.
+//
+// For a fixed t = lᵀλ the problem reduces to a Euclidean projection:
+// λ*(t) = Proj_simplex(−(c + s·t·l)/ρ, total), and a fixed point of
+// t ↦ lᵀλ*(t) satisfies the KKT conditions of the full (strictly convex)
+// QP. g(t) = lᵀλ*(t) − t is strictly decreasing — the projection is a
+// monotone operator and the input moves along −l — so the unique root on
+// [total·min(l), total·max(l)] is found by bisection to machine precision.
+func (e *Engine) solveLambdaQP(ws *StepWorkspace, c, l []float64, s, total float64, dst []float64) {
+	n := len(c)
+	rho := e.rho
+	eval := func(t float64) float64 {
+		v := ws.vn
+		for j := 0; j < n; j++ {
+			v[j] = -(c[j] + s*t*l[j]) / rho
+		}
+		qp.ProjectSimplexInto(dst, ws.pn, v, total)
+		var lt float64
+		for j := 0; j < n; j++ {
+			lt += l[j] * dst[j]
+		}
+		return lt
 	}
-	start := qp.ProjectSimplex(linalg.VectorOf(hint...), arrivals)
-	res, err := qp.Solve(&qp.Problem{
-		H: h, C: c,
-		Aeq: aeq, Beq: linalg.VectorOf(arrivals),
-		Lower: linalg.NewVector(n),
-		Upper: linalg.Constant(n, math.Inf(1)),
-		Start: start,
-	}, qp.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("λ-minimization: %w", err)
+	if s == 0 {
+		eval(0)
+		return
 	}
-	return res.X, nil
+	lmin, lmax := l[0], l[0]
+	for _, v := range l[1:] {
+		if v < lmin {
+			lmin = v
+		}
+		if v > lmax {
+			lmax = v
+		}
+	}
+	lo, hi := total*lmin, total*lmax
+	if hi <= lo {
+		// All latencies equal: t is forced, one projection suffices.
+		eval(lo)
+		return
+	}
+	// g(lo) ≥ 0 and g(hi) ≤ 0 hold by construction (lᵀλ ∈ [lo, hi] for
+	// every feasible λ), so plain bisection converges unconditionally.
+	for iter := 0; iter < 200 && hi-lo > 1e-14*(1+math.Abs(lo)+math.Abs(hi)); iter++ {
+		mid := lo + (hi-lo)/2
+		if mid <= lo || mid >= hi {
+			break
+		}
+		if eval(mid) > mid {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	eval(lo + (hi-lo)/2)
 }
 
 // lambdaProjGrad is the generic λ-step for non-quadratic utilities:
@@ -421,21 +549,33 @@ func (e *Engine) NuStep(j int, sumA, muTilde, phi float64) float64 {
 // admits an exact O(M log M) water-filling solution
 // (qp.SolveSumCappedRankOne), so this step stays cheap even with many
 // front-ends (the paper's "transformed into a second order cone program
-// and solved efficiently" remark). The previous column is not needed: the
-// solver is closed-form, not iterative.
-func (e *Engine) AStep(j int, lambdaTildeCol, varphiCol []float64, muTilde, nuTilde, phi float64, _ []float64) ([]float64, error) {
-	m := e.inst.Cloud.M()
+// and solved efficiently" remark).
+//
+// It is pure with respect to the engine; long-running agents should hold a
+// StepWorkspace and call AStepInto to avoid the per-call allocations.
+func (e *Engine) AStep(j int, lambdaTildeCol, varphiCol []float64, muTilde, nuTilde, phi float64) ([]float64, error) {
+	dst := make([]float64, e.m)
+	if err := e.AStepInto(e.newStepWorkspace(), j, lambdaTildeCol, varphiCol, muTilde, nuTilde, phi, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// AStepInto is the allocation-free a-minimization: the result is written
+// into dst (length M) and ws provides all scratch. Concurrent callers must
+// use distinct workspaces.
+func (e *Engine) AStepInto(ws *StepWorkspace, j int, lambdaTildeCol, varphiCol []float64, muTilde, nuTilde, phi float64, dst []float64) error {
+	m := e.m
 	rho := e.rho
-	cvec := linalg.NewVector(m)
+	cvec := ws.cm
 	off := e.alphaEq[j] - muTilde - nuTilde
 	for i := 0; i < m; i++ {
 		cvec[i] = -(phi + varphiCol[i]) + rho*(-lambdaTildeCol[i]+off)
 	}
-	sol, err := qp.SolveSumCappedRankOne(rho, 1, cvec, e.inst.Cloud.Datacenters[j].Servers)
-	if err != nil {
-		return nil, fmt.Errorf("a-minimization at datacenter %d: %w", j, err)
+	if err := qp.SolveSumCappedRankOneInto(dst, ws.sortm, ws.prefm, rho, 1, cvec, e.inst.Cloud.Datacenters[j].Servers); err != nil {
+		return fmt.Errorf("a-minimization at datacenter %d: %w", j, err)
 	}
-	return sol, nil
+	return nil
 }
 
 // PowerBalance returns α_j + Σ_i a_ij − μ − ν in server-equivalent units,
@@ -445,98 +585,118 @@ func (e *Engine) PowerBalance(j int, sumA, mu, nu float64) float64 {
 }
 
 // Iterate performs one full ADM-G iteration (prediction §III-C step 1 plus
-// Gaussian back substitution step 2) on the state in place.
+// Gaussian back substitution step 2) on the state in place. All
+// temporaries live in engine-owned scratch, so the steady-state loop is
+// allocation-free; consequently Iterate is NOT safe for concurrent use on
+// the same engine (the exported step methods remain pure). With
+// Options.Workers > 1 the per-front-end and per-datacenter minimizations
+// fan out across a persistent goroutine pool; every work item writes to a
+// fixed index, so the iterates are bit-identical to the serial ones.
 func (e *Engine) Iterate(s *State) error {
-	m, n := e.inst.Cloud.M(), e.inst.Cloud.N()
+	m, n := e.m, e.n
 	rho, eps := e.rho, e.opts.Epsilon
 	if e.opts.DisableCorrection {
 		eps = 1
 	}
+	sc := &e.scratch
+	e.iterState = s
+
+	// Σ_i a_ij of the incoming state, needed by the μ/ν-steps (s.A is
+	// only mutated after the prediction phases).
+	for j := 0; j < n; j++ {
+		var sum float64
+		for i := 0; i < m; i++ {
+			sum += s.A[i][j]
+		}
+		sc.sumA[j] = sum
+	}
 
 	// --- 1.1 λ-minimization (per front-end). ---
-	lambdaTilde := make([][]float64, m)
-	for i := 0; i < m; i++ {
-		lt, err := e.LambdaStep(i, s.A[i], s.Varphi[i])
-		if err != nil {
-			return err
-		}
-		lambdaTilde[i] = lt
+	if err := e.runPhase(phaseLambda, m); err != nil {
+		e.iterState = nil
+		return err
 	}
-
-	sumA := colSums(s.A, n)
-
-	// --- 1.2 μ-minimization and 1.3 ν-minimization (per datacenter). ---
-	muTilde := make([]float64, n)
-	nuTilde := make([]float64, n)
-	for j := 0; j < n; j++ {
-		muTilde[j] = e.MuStep(j, sumA[j], s.Nu[j], s.Phi[j])
-		nuTilde[j] = e.NuStep(j, sumA[j], muTilde[j], s.Phi[j])
+	// --- 1.2–1.4 μ-, ν- and a-minimization (per datacenter). ---
+	if err := e.runPhase(phaseDatacenter, n); err != nil {
+		e.iterState = nil
+		return err
 	}
+	e.iterState = nil
+	lambdaTilde, aTildeT := sc.lambdaTilde, sc.aTildeT
+	muTilde, nuTilde := sc.muTilde, sc.nuTilde
 
-	// --- 1.4 a-minimization (per datacenter). ---
-	aTilde := zeros2(m, n)
+	// --- 1.5 dual updates fused with step 2's Gaussian back substitution
+	// (backward order). Each φ_j / φ_ij prediction depends only on its own
+	// pre-update value, so predicting and correcting in one pass produces
+	// the same floats as the two-pass formulation.
 	for j := 0; j < n; j++ {
-		col, err := e.AStep(j, column(lambdaTilde, j), column(s.Varphi, j),
-			muTilde[j], nuTilde[j], s.Phi[j], column(s.A, j))
-		if err != nil {
-			return err
-		}
+		var sumATilde float64
+		row := aTildeT[j]
 		for i := 0; i < m; i++ {
-			aTilde[i][j] = col[i]
+			sumATilde += row[i]
 		}
-	}
-
-	// --- 1.5 dual updates. ---
-	sumATilde := colSums(aTilde, n)
-	phiTilde := make([]float64, n)
-	for j := 0; j < n; j++ {
-		phiTilde[j] = s.Phi[j] - rho*e.PowerBalance(j, sumATilde[j], muTilde[j], nuTilde[j])
-	}
-	varphiTilde := zeros2(m, n)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			varphiTilde[i][j] = s.Varphi[i][j] - rho*(aTilde[i][j]-lambdaTilde[i][j])
-		}
-	}
-
-	// --- 2. Gaussian back substitution (backward order). ---
-	for j := 0; j < n; j++ {
-		s.Phi[j] += eps * (phiTilde[j] - s.Phi[j])
+		phiTilde := s.Phi[j] - rho*e.PowerBalance(j, sumATilde, muTilde[j], nuTilde[j])
+		s.Phi[j] += eps * (phiTilde - s.Phi[j])
 	}
 	for i := 0; i < m; i++ {
+		vrow, lrow := s.Varphi[i], lambdaTilde[i]
 		for j := 0; j < n; j++ {
-			s.Varphi[i][j] += eps * (varphiTilde[i][j] - s.Varphi[i][j])
+			varphiTilde := vrow[j] - rho*(aTildeT[j][i]-lrow[j])
+			vrow[j] += eps * (varphiTilde - vrow[j])
 		}
 	}
-	aDeltaSum := make([]float64, n) // Σ_i (a^{k+1} − a^k), scaled β = 1
 	for j := 0; j < n; j++ {
-		var d float64
+		var d float64 // Σ_i (a^{k+1} − a^k), scaled β = 1
+		row := aTildeT[j]
 		for i := 0; i < m; i++ {
 			old := s.A[i][j]
-			next := old + eps*(aTilde[i][j]-old)
+			next := old + eps*(row[i]-old)
 			d += next - old
 			s.A[i][j] = next
 		}
-		aDeltaSum[j] = d
-	}
-	for j := 0; j < n; j++ {
 		nuOld := s.Nu[j]
 		var nuNext float64
 		if e.opts.DisableCorrection {
 			nuNext = nuTilde[j]
-		} else {
-			nuNext = nuOld + eps*(nuTilde[j]-nuOld) + aDeltaSum[j]
-		}
-		if e.opts.DisableCorrection {
 			s.Mu[j] = muTilde[j]
 		} else {
+			nuNext = nuOld + eps*(nuTilde[j]-nuOld) + d
 			muOld := s.Mu[j]
-			s.Mu[j] = muOld + eps*(muTilde[j]-muOld) - (nuNext - nuOld) + aDeltaSum[j]
+			s.Mu[j] = muOld + eps*(muTilde[j]-muOld) - (nuNext - nuOld) + d
 		}
 		s.Nu[j] = nuNext
 	}
 	for i := 0; i < m; i++ {
 		copy(s.Lambda[i], lambdaTilde[i])
+	}
+	return nil
+}
+
+// lambdaItem is the λ-phase work item: front-end i's prediction into the
+// scratch row.
+func (e *Engine) lambdaItem(ws *StepWorkspace, i int) error {
+	s := e.iterState
+	return e.LambdaStepInto(ws, i, s.A[i], s.Varphi[i], e.scratch.lambdaTilde[i])
+}
+
+// datacenterItem is the datacenter-phase work item: datacenter j's μ-, ν-
+// and a-predictions. The a-prediction is written as a contiguous row of
+// the transposed scratch matrix, so parallel items never share cache
+// lines.
+func (e *Engine) datacenterItem(ws *StepWorkspace, j int) error {
+	s, sc := e.iterState, &e.scratch
+	m, rho := e.m, e.rho
+	mu := e.MuStep(j, sc.sumA[j], s.Nu[j], s.Phi[j])
+	nu := e.NuStep(j, sc.sumA[j], mu, s.Phi[j])
+	sc.muTilde[j], sc.nuTilde[j] = mu, nu
+	phi := s.Phi[j]
+	off := e.alphaEq[j] - mu - nu
+	cvec := ws.cm
+	for i := 0; i < m; i++ {
+		cvec[i] = -(phi + s.Varphi[i][j]) + rho*(-sc.lambdaTilde[i][j]+off)
+	}
+	if err := qp.SolveSumCappedRankOneInto(sc.aTildeT[j], ws.sortm, ws.prefm, rho, 1, cvec, e.inst.Cloud.Datacenters[j].Servers); err != nil {
+		return fmt.Errorf("a-minimization at datacenter %d: %w", j, err)
 	}
 	return nil
 }
@@ -555,9 +715,12 @@ func (e *Engine) Residual(s *State) float64 {
 			}
 		}
 	}
-	sumA := colSums(s.A, n)
 	for j := 0; j < n; j++ {
-		if d := math.Abs(e.PowerBalance(j, sumA[j], s.Mu[j], s.Nu[j])); d > r {
+		var sumA float64
+		for i := 0; i < m; i++ {
+			sumA += s.A[i][j]
+		}
+		if d := math.Abs(e.PowerBalance(j, sumA, s.Mu[j], s.Nu[j])); d > r {
 			r = d
 		}
 	}
@@ -620,18 +783,41 @@ func copyState(dst, src *State) {
 	copy(dst.Phi, src.Phi)
 }
 
-// Solve runs the full distributed 4-block ADM-G loop for the instance and
-// returns a feasible allocation (after the exact power-split finalization),
-// the UFC breakdown, and solver statistics.
+// Solve runs the full distributed 4-block ADM-G loop for the instance from
+// the zero state and returns a feasible allocation (after the exact
+// power-split finalization), the UFC breakdown, and solver statistics.
 func Solve(inst *Instance, opts Options) (*Allocation, Breakdown, *Stats, error) {
+	return SolveFrom(inst, opts, nil)
+}
+
+// SolveFrom is Solve warm-started from a prior iterate: s is iterated in
+// place until convergence (a nil s means a cold start from the zero
+// state). Seeding hour t's solve with hour t−1's converged state cuts the
+// iteration count sharply when adjacent slots are similar, which is the
+// trace-driven evaluation's common case.
+func SolveFrom(inst *Instance, opts Options, s *State) (*Allocation, Breakdown, *Stats, error) {
 	e, err := NewEngine(inst, opts)
 	if err != nil {
 		return nil, Breakdown{}, nil, err
 	}
-	s := NewState(inst.Cloud.M(), inst.Cloud.N())
-	prev := NewState(inst.Cloud.M(), inst.Cloud.N())
+	defer e.Close()
+	if s == nil {
+		s = NewState(e.m, e.n)
+	}
+	return e.SolveState(s)
+}
+
+// SolveState runs the ADM-G loop on the engine's current instance starting
+// from (and mutating) s, which must match the engine's dimensions. Combine
+// with Reset to chain warm-started solves across slots without rebuilding
+// the engine.
+func (e *Engine) SolveState(s *State) (*Allocation, Breakdown, *Stats, error) {
+	if err := checkStateDims(s, e.m, e.n); err != nil {
+		return nil, Breakdown{}, nil, err
+	}
 	stats := &Stats{}
-	opts = e.opts
+	opts := e.opts
+	prev := e.scratch.prev
 
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
 		copyState(prev, s)
@@ -651,12 +837,26 @@ func Solve(inst *Instance, opts Options) (*Allocation, Breakdown, *Stats, error)
 	}
 
 	alloc := e.Finalize(s)
-	bd := Evaluate(inst, alloc)
+	bd := Evaluate(e.inst, alloc)
 	if !stats.Converged {
 		return alloc, bd, stats, fmt.Errorf("residual %g after %d iterations: %w",
 			stats.FinalResidual, stats.Iterations, ErrNotConverged)
 	}
 	return alloc, bd, stats, nil
+}
+
+// checkStateDims verifies that s is an m×n iterate.
+func checkStateDims(s *State, m, n int) error {
+	if s == nil || len(s.Lambda) != m || len(s.A) != m || len(s.Varphi) != m ||
+		len(s.Mu) != n || len(s.Nu) != n || len(s.Phi) != n {
+		return ErrBadState
+	}
+	for i := 0; i < m; i++ {
+		if len(s.Lambda[i]) != n || len(s.A[i]) != n || len(s.Varphi[i]) != n {
+			return ErrBadState
+		}
+	}
+	return nil
 }
 
 // Finalize converts a (near-)converged iterate into an exactly feasible
@@ -738,20 +938,3 @@ func (e *Engine) DualScale() float64 { return e.dualScale }
 // factor for datacenter j's power variables).
 func (e *Engine) BetaMW(j int) float64 { return e.beta[j] }
 
-func colSums(rows [][]float64, n int) []float64 {
-	out := make([]float64, n)
-	for i := range rows {
-		for j := 0; j < n; j++ {
-			out[j] += rows[i][j]
-		}
-	}
-	return out
-}
-
-func column(rows [][]float64, j int) []float64 {
-	out := make([]float64, len(rows))
-	for i := range rows {
-		out[i] = rows[i][j]
-	}
-	return out
-}

@@ -149,6 +149,15 @@ func TestOptionsValidation(t *testing.T) {
 	if _, _, _, err := core.Solve(inst, core.Options{Strategy: core.Strategy(42)}); !errors.Is(err, core.ErrBadOptions) {
 		t.Errorf("bad strategy: %v", err)
 	}
+	if _, _, _, err := core.Solve(inst, core.Options{Tolerance: -1e-6}); !errors.Is(err, core.ErrBadOptions) {
+		t.Errorf("negative tolerance: %v", err)
+	}
+	if _, _, _, err := core.Solve(inst, core.Options{MaxIterations: -5}); !errors.Is(err, core.ErrBadOptions) {
+		t.Errorf("negative max iterations: %v", err)
+	}
+	if _, _, _, err := core.Solve(inst, core.Options{Workers: -2}); !errors.Is(err, core.ErrBadOptions) {
+		t.Errorf("negative workers: %v", err)
+	}
 }
 
 func TestNotConvergedStillReturnsAllocation(t *testing.T) {

@@ -205,10 +205,12 @@ func runFrontEnd(e *core.Engine, t Transport, i int, timeout time.Duration) erro
 	aRow := make([]float64, n)
 	varphiRow := make([]float64, n)
 	lambdaRow := make([]float64, n)
+	lambdaTilde := make([]float64, n)
+	aTilde := make([]float64, n)
+	ws := e.NewStepWorkspace()
 
 	for iter := 1; ; iter++ {
-		lambdaTilde, err := e.LambdaStep(i, aRow, varphiRow)
-		if err != nil {
+		if err := e.LambdaStepInto(ws, i, aRow, varphiRow, lambdaTilde); err != nil {
 			return fmt.Errorf("front-end %d iter %d: %w", i, iter, err)
 		}
 		for j := 0; j < n; j++ {
@@ -220,7 +222,6 @@ func runFrontEnd(e *core.Engine, t Transport, i int, timeout time.Duration) erro
 			}
 		}
 
-		aTilde := make([]float64, n)
 		for recvd := 0; recvd < n; recvd++ {
 			msg, err := mb.recv(KindAux, iter)
 			if err != nil {
@@ -280,11 +281,13 @@ func runDatacenter(e *core.Engine, t Transport, j int, timeout time.Duration) er
 	disableCorrection := e.Options().DisableCorrection
 
 	aCol := make([]float64, m)
+	lambdaTildeCol := make([]float64, m)
+	varphiCol := make([]float64, m)
+	aTilde := make([]float64, m)
+	ws := e.NewStepWorkspace()
 	var mu, nu, phi float64
 
 	for iter := 1; ; iter++ {
-		lambdaTildeCol := make([]float64, m)
-		varphiCol := make([]float64, m)
 		for recvd := 0; recvd < m; recvd++ {
 			msg, err := mb.recv(KindRouting, iter)
 			if err != nil {
@@ -301,8 +304,7 @@ func runDatacenter(e *core.Engine, t Transport, j int, timeout time.Duration) er
 		}
 		muTilde := e.MuStep(j, sumA, nu, phi)
 		nuTilde := e.NuStep(j, sumA, muTilde, phi)
-		aTilde, err := e.AStep(j, lambdaTildeCol, varphiCol, muTilde, nuTilde, phi, aCol)
-		if err != nil {
+		if err := e.AStepInto(ws, j, lambdaTildeCol, varphiCol, muTilde, nuTilde, phi, aTilde); err != nil {
 			return fmt.Errorf("datacenter %d iter %d: %w", j, iter, err)
 		}
 		var sumATilde float64

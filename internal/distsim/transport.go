@@ -91,7 +91,8 @@ type ChanTransport struct {
 	rng    *rand.Rand
 	boxes  map[string]chan Message
 	closed bool
-	wg     sync.WaitGroup
+	done   chan struct{}  // closed by Close; unblocks senders
+	wg     sync.WaitGroup // in-flight sends (immediate and delayed)
 }
 
 var _ Transport = (*ChanTransport)(nil)
@@ -108,6 +109,7 @@ func NewChanTransport(ids []string, opts ChanOptions) *ChanTransport {
 		opts:  opts,
 		rng:   rand.New(rand.NewSource(opts.Seed)),
 		boxes: make(map[string]chan Message, len(ids)),
+		done:  make(chan struct{}),
 	}
 	for _, id := range ids {
 		t.boxes[id] = make(chan Message, opts.Buffer)
@@ -134,25 +136,34 @@ func (t *ChanTransport) Send(to string, m Message) error {
 	if t.opts.LossProb > 0 && t.rng.Float64() < t.opts.LossProb {
 		delay += t.opts.RetransmitDelay
 	}
+	// Every send — immediate or delayed — holds a wg slot until the
+	// message is in the box (or the transport closes), so Close can wait
+	// for in-flight sends before closing the inboxes. Without this, a
+	// concurrent Close racing the blocking `box <- m` below is a send on
+	// a closed channel.
+	t.wg.Add(1)
 	if delay > 0 {
-		t.wg.Add(1)
 		t.mu.Unlock()
 		go func() {
 			defer t.wg.Done()
 			time.Sleep(delay)
-			t.mu.Lock()
-			closed := t.closed
-			t.mu.Unlock()
-			if closed {
-				return
-			}
-			box <- m
+			t.deliver(box, m)
 		}()
 		return nil
 	}
 	t.mu.Unlock()
-	box <- m
-	return nil
+	defer t.wg.Done()
+	return t.deliver(box, m)
+}
+
+// deliver blocks until the message is enqueued or the transport closes.
+func (t *ChanTransport) deliver(box chan Message, m Message) error {
+	select {
+	case box <- m:
+		return nil
+	case <-t.done:
+		return ErrClosed
+	}
 }
 
 // Inbox implements Transport.
@@ -175,7 +186,8 @@ func (t *ChanTransport) Close() error {
 	}
 	t.closed = true
 	t.mu.Unlock()
-	t.wg.Wait()
+	close(t.done) // unblock senders stuck on full boxes
+	t.wg.Wait()   // no sends in flight past this point
 	t.mu.Lock()
 	for _, box := range t.boxes {
 		close(box)

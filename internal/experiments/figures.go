@@ -196,14 +196,32 @@ type WeekComparison struct {
 	FuelCell []core.Breakdown
 }
 
-// RunWeekComparison solves the whole week for the three strategies.
+// RunWeekComparison solves the whole week for the three strategies with
+// per-hour cold starts run in parallel across hours.
 func RunWeekComparison(cfg Config, opts core.Options) (*WeekComparison, error) {
+	return runWeekComparison(cfg, opts, false)
+}
+
+// RunWeekComparisonWarm is RunWeekComparison on the sequential
+// warm-started runner: each hour's solve is seeded with the previous
+// hour's converged state, trading cross-hour parallelism for far fewer
+// total ADM-G iterations.
+func RunWeekComparisonWarm(cfg Config, opts core.Options) (*WeekComparison, error) {
+	return runWeekComparison(cfg, opts, true)
+}
+
+func runWeekComparison(cfg Config, opts core.Options, warm bool) (*WeekComparison, error) {
 	sc, err := NewScenario(cfg)
 	if err != nil {
 		return nil, err
 	}
 	strategies := []core.Strategy{core.Hybrid, core.GridOnly, core.FuelCellOnly}
-	week, err := sc.RunWeek(strategies, opts)
+	var week *WeekResult
+	if warm {
+		week, err = sc.RunWeekWarmStart(strategies, opts)
+	} else {
+		week, err = sc.RunWeek(strategies, opts)
+	}
 	if err != nil {
 		return nil, err
 	}

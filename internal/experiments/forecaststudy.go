@@ -76,16 +76,24 @@ func RunForecastStudy(cfg Config, opts core.Options, predictors []string) (*Fore
 	oracles := make(map[int]oracleSlot, sc.Config.Hours-warmup)
 	hybrid := opts
 	hybrid.Strategy = core.Hybrid
+	// Warm-chain the oracle solves: hour t starts from hour t−1's
+	// converged state. Each slot keeps its own engine for the later
+	// realized-routing Finalize calls.
+	var warm *core.State
 	for t := warmup; t < sc.Config.Hours; t++ {
 		inst := sc.InstanceAt(t)
-		_, bd, _, err := core.Solve(inst, hybrid)
-		if err != nil {
-			return nil, fmt.Errorf("oracle hour %d: %w", t, err)
-		}
 		eng, err := core.NewEngine(inst, hybrid)
 		if err != nil {
 			return nil, err
 		}
+		if warm == nil {
+			warm = core.NewState(m, sc.Cloud.N())
+		}
+		_, bd, _, err := eng.SolveState(warm)
+		if err != nil {
+			return nil, fmt.Errorf("oracle hour %d: %w", t, err)
+		}
+		eng.Close()
 		oracles[t] = oracleSlot{bd: bd, eng: eng}
 	}
 

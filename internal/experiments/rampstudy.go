@@ -46,9 +46,22 @@ func RunRampStudy(cfg Config, opts core.Options, fractions []float64) (*RampResu
 	for j := 0; j < n; j++ {
 		demand[j] = make([]float64, hours)
 	}
+	var (
+		eng   *core.Engine
+		state *core.State
+	)
 	for t := 0; t < hours; t++ {
 		inst := sc.InstanceAt(t)
-		alloc, _, _, err := core.Solve(inst, opts)
+		if eng == nil {
+			if eng, err = core.NewEngine(inst, opts); err != nil {
+				return nil, fmt.Errorf("hour %d: %w", t, err)
+			}
+			defer eng.Close()
+			state = core.NewState(sc.Cloud.M(), n)
+		} else if err := eng.Reset(inst); err != nil {
+			return nil, fmt.Errorf("hour %d: %w", t, err)
+		}
+		alloc, _, _, err := eng.SolveState(state)
 		if err != nil {
 			return nil, fmt.Errorf("hour %d: %w", t, err)
 		}

@@ -217,11 +217,18 @@ func (s *Scenario) RunWeekWith(strategies []core.Strategy, opts core.Options, fu
 		Outcomes:   make([][]SlotOutcome, hours),
 	}
 	jobs := make(chan int)
+	cancel := make(chan struct{})
 	var (
 		wg       sync.WaitGroup
-		mu       sync.Mutex
+		errOnce  sync.Once
 		firstErr error
 	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			close(cancel)
+		})
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > hours {
 		workers = hours
@@ -231,11 +238,10 @@ func (s *Scenario) RunWeekWith(strategies []core.Strategy, opts core.Options, fu
 		go func() {
 			defer wg.Done()
 			for t := range jobs {
-				mu.Lock()
-				failed := firstErr != nil
-				mu.Unlock()
-				if failed {
-					continue
+				select {
+				case <-cancel:
+					continue // drain remaining jobs without working
+				default:
 				}
 				inst := s.InstanceAtWith(t, fuelCellPriceUSD, carbonTaxUSD)
 				slot := make([]SlotOutcome, len(strategies))
@@ -244,11 +250,7 @@ func (s *Scenario) RunWeekWith(strategies []core.Strategy, opts core.Options, fu
 					o.Strategy = strat
 					_, bd, st, err := core.Solve(inst, o)
 					if err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = fmt.Errorf("hour %d strategy %s: %w", t, strat, err)
-						}
-						mu.Unlock()
+						fail(fmt.Errorf("hour %d strategy %s: %w", t, strat, err))
 						break
 					}
 					slot[k] = SlotOutcome{Breakdown: bd, Stats: st}
@@ -266,6 +268,76 @@ func (s *Scenario) RunWeekWith(strategies []core.Strategy, opts core.Options, fu
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// RunWeekWarmStart solves the week sequentially in time, seeding each
+// hour's ADM-G with the previous hour's converged state (Engine.Reset +
+// Engine.SolveState): adjacent slots differ only by smooth trace
+// movements, so the warm chain converges in far fewer total iterations
+// than per-slot cold starts. The strategies still run concurrently with
+// one another — the trade is cross-hour parallelism for warm-start
+// iteration savings, selectable per run.
+func (s *Scenario) RunWeekWarmStart(strategies []core.Strategy, opts core.Options) (*WeekResult, error) {
+	return s.RunWeekWarmStartWith(strategies, opts, s.Config.FuelCellPriceUSD, s.Config.CarbonTaxUSD)
+}
+
+// RunWeekWarmStartWith is RunWeekWarmStart with explicit fuel-cell price
+// and carbon tax.
+func (s *Scenario) RunWeekWarmStartWith(strategies []core.Strategy, opts core.Options, fuelCellPriceUSD, carbonTaxUSD float64) (*WeekResult, error) {
+	hours := s.Config.Hours
+	out := &WeekResult{
+		Strategies: append([]core.Strategy(nil), strategies...),
+		Outcomes:   make([][]SlotOutcome, hours),
+	}
+	for t := range out.Outcomes {
+		out.Outcomes[t] = make([]SlotOutcome, len(strategies))
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(strategies))
+	for k, strat := range strategies {
+		wg.Add(1)
+		go func(k int, strat core.Strategy) {
+			defer wg.Done()
+			errs[k] = s.runWarmStrategy(k, strat, opts, fuelCellPriceUSD, carbonTaxUSD, out)
+		}(k, strat)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runWarmStrategy chains one strategy's hourly solves through a single
+// engine and state.
+func (s *Scenario) runWarmStrategy(k int, strat core.Strategy, opts core.Options, fuelCellPriceUSD, carbonTaxUSD float64, out *WeekResult) error {
+	o := opts
+	o.Strategy = strat
+	var (
+		eng   *core.Engine
+		state *core.State
+	)
+	for t := 0; t < s.Config.Hours; t++ {
+		inst := s.InstanceAtWith(t, fuelCellPriceUSD, carbonTaxUSD)
+		if eng == nil {
+			var err error
+			if eng, err = core.NewEngine(inst, o); err != nil {
+				return fmt.Errorf("hour %d strategy %s: %w", t, strat, err)
+			}
+			defer eng.Close()
+			state = core.NewState(s.Cloud.M(), s.Cloud.N())
+		} else if err := eng.Reset(inst); err != nil {
+			return fmt.Errorf("hour %d strategy %s: %w", t, strat, err)
+		}
+		_, bd, st, err := eng.SolveState(state)
+		if err != nil {
+			return fmt.Errorf("hour %d strategy %s: %w", t, strat, err)
+		}
+		out.Outcomes[t][k] = SlotOutcome{Breakdown: bd, Stats: st}
+	}
+	return nil
 }
 
 // Strategy index helper.

@@ -22,20 +22,38 @@ import (
 // increasing function, clamped to [0, cap].
 func SolveSumCappedRankOne(rho, kappa float64, c linalg.Vector, cap float64) (linalg.Vector, error) {
 	m := c.Len()
+	out := linalg.NewVector(m)
+	if err := SolveSumCappedRankOneInto(out, make([]float64, m), make([]float64, m+1), rho, kappa, c, cap); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SolveSumCappedRankOneInto is the allocation-free form of
+// SolveSumCappedRankOne: it writes the solution into dst (length M) using
+// sorted (length M) and prefix (length M+1) as workspace. The buffers must
+// not alias c. The float sequence produced is bit-identical to
+// SolveSumCappedRankOne's.
+func SolveSumCappedRankOneInto(dst, sorted, prefix []float64, rho, kappa float64, c []float64, cap float64) error {
+	m := len(c)
 	if rho <= 0 {
-		return nil, fmt.Errorf("qp: rank-one solver needs rho > 0, got %g", rho)
+		return fmt.Errorf("qp: rank-one solver needs rho > 0, got %g", rho)
 	}
 	if kappa < 0 || cap < 0 {
-		return nil, fmt.Errorf("qp: rank-one solver kappa %g cap %g", kappa, cap)
+		return fmt.Errorf("qp: rank-one solver kappa %g cap %g", kappa, cap)
 	}
-	out := linalg.NewVector(m)
+	for i := range dst[:m] {
+		dst[i] = 0
+	}
 	if m == 0 || cap == 0 {
-		return out, nil
+		return nil
 	}
 
-	sorted := append([]float64(nil), c...)
+	copy(sorted, c)
+	sorted = sorted[:m]
 	sort.Float64s(sorted)
-	prefix := make([]float64, m+1)
+	prefix = prefix[:m+1]
+	prefix[0] = 0
 	for i, v := range sorted {
 		prefix[i+1] = prefix[i] + v
 	}
@@ -46,12 +64,22 @@ func SolveSumCappedRankOne(rho, kappa float64, c linalg.Vector, cap float64) (li
 			return sorted[0]
 		}
 		// Find the active count k: θ in (sorted[k-1], sorted[k]].
-		// θ_k = (ρz + prefix[k]) / k must satisfy θ_k ≤ sorted[k] (or k = m).
-		k := sort.Search(m, func(k0 int) bool {
-			k := k0 + 1
+		// θ_k = (ρz + prefix[k]) / k must satisfy θ_k ≤ sorted[k] (or
+		// k = m). Hand-rolled binary search with sort.Search's exact
+		// midpoint arithmetic, so tie behaviour matches it bit for bit
+		// without the closure the stdlib call would need.
+		i, j := 0, m
+		for i < j {
+			h := int(uint(i+j) >> 1)
+			k := h + 1
 			th := (rho*z + prefix[k]) / float64(k)
-			return k == m || th <= sorted[k]
-		}) + 1
+			if !(k == m || th <= sorted[k]) {
+				i = h + 1
+			} else {
+				j = h
+			}
+		}
+		k := i + 1
 		return (rho*z + prefix[k]) / float64(k)
 	}
 
@@ -76,14 +104,14 @@ func SolveSumCappedRankOne(rho, kappa float64, c linalg.Vector, cap float64) (li
 		z = lo + (hi-lo)/2
 	}
 	if z <= 0 {
-		return out, nil
+		return nil
 	}
 
 	th := theta(z)
 	var sum float64
 	for i, ci := range c {
 		if v := (th - ci) / rho; v > 0 {
-			out[i] = v
+			dst[i] = v
 			sum += v
 		}
 	}
@@ -91,9 +119,9 @@ func SolveSumCappedRankOne(rho, kappa float64, c linalg.Vector, cap float64) (li
 	// nonnegativity and feasibility).
 	if sum > 0 && math.Abs(sum-z) > 0 {
 		f := z / sum
-		for i := range out {
-			out[i] *= f
+		for i := range dst[:m] {
+			dst[i] *= f
 		}
 	}
-	return out, nil
+	return nil
 }

@@ -11,30 +11,50 @@ import (
 // projects everything to the origin. The classical O(n log n) sort-based
 // algorithm (Held–Wolfe–Crowder) is used.
 func ProjectSimplex(v linalg.Vector, total float64) linalg.Vector {
-	n := v.Len()
-	out := linalg.NewVector(n)
-	if n == 0 || total <= 0 {
-		return out
-	}
-	sorted := v.Clone()
-	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	out := linalg.NewVector(v.Len())
+	ProjectSimplexInto(out, make([]float64, v.Len()), v, total)
+	return out
+}
 
-	// Find the largest k with sorted[k-1] - (cum(k) - total)/k > 0.
+// ProjectSimplexInto is the allocation-free form of ProjectSimplex: it
+// writes the projection of v into dst using scratch (same length as v) as
+// sort workspace. dst may alias v; scratch must alias neither. The float
+// sequence produced is bit-identical to ProjectSimplex's.
+func ProjectSimplexInto(dst, scratch, v []float64, total float64) {
+	n := len(v)
+	if n == 0 {
+		return
+	}
+	if total <= 0 {
+		for i := range dst[:n] {
+			dst[i] = 0
+		}
+		return
+	}
+	copy(scratch, v)
+	sorted := scratch[:n]
+	sort.Float64s(sorted)
+
+	// Find the largest k with sorted[k-1] - (cum(k) - total)/k > 0,
+	// scanning the ascending sort from the top so the accumulation order
+	// matches the descending-sort formulation exactly.
 	var cum float64
 	theta := 0.0
 	for k := 1; k <= n; k++ {
-		cum += sorted[k-1]
+		x := sorted[n-k]
+		cum += x
 		t := (cum - total) / float64(k)
-		if sorted[k-1]-t > 0 {
+		if x-t > 0 {
 			theta = t
 		}
 	}
 	for i, x := range v {
 		if d := x - theta; d > 0 {
-			out[i] = d
+			dst[i] = d
+		} else {
+			dst[i] = 0
 		}
 	}
-	return out
 }
 
 // ProjectCappedSimplex projects v onto {x : 0 ≤ x ≤ cap_i, Σx = total} via

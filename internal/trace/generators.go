@@ -184,12 +184,16 @@ func GenMixes(p MixProfile, seed int64, hours int) ([]carbon.Mix, error) {
 	if hours <= 0 {
 		return nil, fmt.Errorf("trace: mix series of %d hours", hours)
 	}
+	// Visit fuels in sorted order: ranging over the map directly would
+	// consume RNG draws in the per-process randomized iteration order,
+	// producing a different trace on every run.
+	fuels := p.Base.Fuels()
 	var baseTotal float64
-	for _, g := range p.Base {
-		if g < 0 {
+	for _, f := range fuels {
+		if p.Base[f] < 0 {
 			return nil, fmt.Errorf("trace: mix profile %s has negative generation", p.Name)
 		}
-		baseTotal += g
+		baseTotal += p.Base[f]
 	}
 	if baseTotal == 0 {
 		return nil, fmt.Errorf("trace: mix profile %s is empty", p.Name)
@@ -198,9 +202,8 @@ func GenMixes(p MixProfile, seed int64, hours int) ([]carbon.Mix, error) {
 	out := make([]carbon.Mix, hours)
 	for t := range out {
 		m := make(carbon.Mix, len(p.Base)+1)
-		for f, g := range p.Base {
-			v := g * math.Abs(1+p.NoiseStd*rng.NormFloat64())
-			m[f] = v
+		for _, f := range fuels {
+			m[f] = p.Base[f] * math.Abs(1+p.NoiseStd*rng.NormFloat64())
 		}
 		m[p.SwingFuel] += baseTotal * p.SwingShare * diurnal(t)
 		out[t] = m
