@@ -393,6 +393,177 @@ func BenchmarkSolveDistributedInMemory(b *testing.B) {
 	}
 }
 
+// --- Transport micro-benchmarks (binary wire layer vs gob baseline). ---
+
+// transportPair abstracts the two TCP transports so the throughput
+// benchmarks measure them identically.
+type transportPair struct {
+	send    func(to string, m distsim.Message) error
+	inbox   <-chan distsim.Message
+	stats   func() distsim.TransportStats
+	cleanup func()
+}
+
+func newWirePair(b *testing.B) transportPair {
+	b.Helper()
+	hub, err := distsim.NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	recv, err := distsim.NewTCPNode(hub.Addr(), []string{"dc-0"}, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	send, err := distsim.NewTCPNode(hub.Addr(), []string{"fe-0"}, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inbox, err := recv.Inbox("dc-0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return transportPair{
+		send:  send.Send,
+		inbox: inbox,
+		stats: send.Stats,
+		cleanup: func() {
+			_ = send.Close()
+			_ = recv.Close()
+			_ = hub.Close()
+		},
+	}
+}
+
+func newGobPair(b *testing.B) transportPair {
+	b.Helper()
+	hub, err := distsim.NewGobTCPHub("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	recv, err := distsim.NewGobTCPNode(hub.Addr(), []string{"dc-0"}, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	send, err := distsim.NewGobTCPNode(hub.Addr(), []string{"fe-0"}, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inbox, err := recv.Inbox("dc-0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return transportPair{
+		send:  send.Send,
+		inbox: inbox,
+		stats: send.Stats,
+		cleanup: func() {
+			_ = send.Close()
+			_ = recv.Close()
+			_ = hub.Close()
+		},
+	}
+}
+
+// benchTransportThroughput pumps b.N routing messages fe-0 → hub → dc-0
+// over loopback and reports msgs/sec and bytes/msg. The payload is the
+// routing message each stack actually carries, and Iter cycles through
+// the range a real solve produces (MaxIterations caps it at a few
+// thousand) so varint/gob integer sizes are representative.
+func benchTransportThroughput(b *testing.B, pair transportPair, payload []float64) {
+	defer pair.cleanup()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < b.N; i++ {
+			<-pair.inbox
+		}
+		close(done)
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pair.send("dc-0", distsim.Message{
+			Kind: distsim.KindRouting, Iter: 1 + i%1000, From: "fe-0", Payload: payload,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+	b.StopTimer()
+	st := pair.stats()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/sec")
+	if st.MessagesSent > 0 {
+		b.ReportMetric(float64(st.BytesSent)/float64(st.MessagesSent), "bytes/msg")
+	}
+	if st.Flushes > 0 {
+		b.ReportMetric(st.AvgBatch(), "msgs/flush")
+	}
+}
+
+// BenchmarkTransportThroughput measures the binary wire layer: framed
+// records, coalesced buffered writes, index routing. The payload is the
+// current protocol's routing message (λ̃_ij, φ_ij) — the sender index
+// rides in the frame header, not the payload.
+func BenchmarkTransportThroughput(b *testing.B) {
+	benchTransportThroughput(b, newWirePair(b), []float64{0.5227926331, 0.1893718274})
+}
+
+// BenchmarkTransportThroughputGob measures the retained gob baseline
+// (one gob encode + one unbuffered socket write per message) that the
+// wire layer replaced. It carries the pre-optimization routing message,
+// which spent a third float64 duplicating the sender index the string
+// addresses already encoded. Compare msgs/sec and bytes/msg against
+// BenchmarkTransportThroughput.
+func BenchmarkTransportThroughputGob(b *testing.B) {
+	benchTransportThroughput(b, newGobPair(b), []float64{0, 0.5227926331, 0.1893718274})
+}
+
+// BenchmarkSolveDistributedTCP measures a full distributed solve with
+// every message crossing loopback TCP through the hub via the binary
+// wire layer.
+func BenchmarkSolveDistributedTCP(b *testing.B) {
+	inst := benchInstance(b)
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub, err := distsim.NewTCPHub("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		node, err := distsim.NewTCPNode(hub.Addr(), distsim.AllAgentIDs(m, n), 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := distsim.Run(inst, distsim.RunOptions{Solver: benchSolver}, node); err != nil {
+			b.Fatal(err)
+		}
+		_ = node.Close()
+		_ = hub.Close()
+	}
+}
+
+// BenchmarkSolveDistributedTCPGob is the same solve over the gob
+// baseline transport.
+func BenchmarkSolveDistributedTCPGob(b *testing.B) {
+	inst := benchInstance(b)
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub, err := distsim.NewGobTCPHub("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		node, err := distsim.NewGobTCPNode(hub.Addr(), distsim.AllAgentIDs(m, n), 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := distsim.Run(inst, distsim.RunOptions{Solver: benchSolver}, node); err != nil {
+			b.Fatal(err)
+		}
+		_ = node.Close()
+		_ = hub.Close()
+	}
+}
+
 // BenchmarkIterateWide measures one ADM-G iteration with 50 front-ends —
 // the per-iteration cost is dominated by the per-datacenter a-minimization
 // QPs, whose size grows with M (the motivation for the distributed

@@ -41,6 +41,8 @@ func run(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	st := hub.Stats()
+	fmt.Printf("shutting down: forwarded %d msgs / %d bytes, %d flushes (avg batch %.1f, max %d)\n",
+		st.MessagesSent, st.BytesSent, st.Flushes, st.AvgBatch(), st.MaxBatch)
 	return nil
 }

@@ -78,6 +78,14 @@ func run(args []string) error {
 		Solver:  core.Options{MaxIterations: *maxIters},
 		Timeout: *timeout,
 	}, node, ids)
+	if st := node.Stats(); st.MessagesSent > 0 || st.MessagesReceived > 0 {
+		fmt.Fprintf(os.Stderr,
+			"transport: sent %d msgs / %d bytes (%.1f bytes/msg), received %d msgs / %d bytes, %d flushes (avg batch %.1f, max %d)\n",
+			st.MessagesSent, st.BytesSent,
+			float64(st.BytesSent)/float64(max(st.MessagesSent, 1)),
+			st.MessagesReceived, st.BytesReceived,
+			st.Flushes, st.AvgBatch(), st.MaxBatch)
+	}
 	if err != nil {
 		return err
 	}

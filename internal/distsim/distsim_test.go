@@ -2,8 +2,10 @@ package distsim_test
 
 import (
 	"errors"
+	"io"
 	"math"
 	"math/rand"
+	"net"
 	"testing"
 	"time"
 
@@ -332,6 +334,249 @@ func TestRunAgentsSplitAcrossGoroutines(t *testing.T) {
 
 var errTestUnexpectedResult = errors.New("non-coordinator RunAgents returned a result")
 
+// TestDistributedOverGobTCP keeps the retained gob baseline transport
+// correct: it must still produce bit-identical results, since the
+// benchmarks use it as the reference the binary wire layer is measured
+// against.
+func TestDistributedOverGobTCP(t *testing.T) {
+	inst := testInstance(t, 4)
+	_, seqBD, _, err := core.Solve(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := distsim.NewGobTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	node, err := distsim.NewGobTCPNode(hub.Addr(), distsim.AllAgentIDs(m, n), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = node.Close() }()
+	res, err := distsim.Run(inst, distsim.RunOptions{Timeout: time.Minute}, node)
+	if err != nil {
+		t.Fatalf("gob TCP run: %v", err)
+	}
+	if res.Breakdown.UFC != seqBD.UFC {
+		t.Errorf("UFC over gob TCP: %v vs %v", res.Breakdown.UFC, seqBD.UFC)
+	}
+}
+
+// TestSendAfterClose demands a consistent ErrClosed (not a raw socket or
+// codec error) from Send after Close on every transport.
+func TestSendAfterClose(t *testing.T) {
+	msg := distsim.Message{Kind: distsim.KindReport, Iter: 1, From: "fe-0", Payload: []float64{1}}
+
+	t.Run("chan", func(t *testing.T) {
+		tr := distsim.NewChanTransport([]string{"fe-0", "coord"}, distsim.ChanOptions{})
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Send("coord", msg); !errors.Is(err, distsim.ErrClosed) {
+			t.Errorf("chan send after close: %v", err)
+		}
+	})
+
+	t.Run("tcp", func(t *testing.T) {
+		hub, err := distsim.NewTCPHub("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = hub.Close() }()
+		node, err := distsim.NewTCPNode(hub.Addr(), []string{"fe-0", "coord"}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Send("coord", msg); err != nil {
+			t.Fatalf("send before close: %v", err)
+		}
+		if err := node.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Send("coord", msg); !errors.Is(err, distsim.ErrClosed) {
+			t.Errorf("tcp send after close: %v", err)
+		}
+		if err := node.Close(); err != nil {
+			t.Errorf("double close: %v", err)
+		}
+	})
+
+	t.Run("gob", func(t *testing.T) {
+		hub, err := distsim.NewGobTCPHub("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = hub.Close() }()
+		node, err := distsim.NewGobTCPNode(hub.Addr(), []string{"fe-0", "coord"}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Send("coord", msg); !errors.Is(err, distsim.ErrClosed) {
+			t.Errorf("gob send after close: %v", err)
+		}
+	})
+}
+
+// TestChanTransportCloseCancelsDelayedSends pins the fix for Close
+// blocking on in-flight fault-injected deliveries: with a retransmit
+// delay of several seconds queued, Close must return almost immediately.
+func TestChanTransportCloseCancelsDelayedSends(t *testing.T) {
+	tr := distsim.NewChanTransport([]string{"a"}, distsim.ChanOptions{
+		Seed:            1,
+		LossProb:        1, // every send takes the delayed path
+		RetransmitDelay: 10 * time.Second,
+	})
+	for k := 0; k < 8; k++ {
+		if err := tr.Send("a", distsim.Message{Kind: distsim.KindReport, Iter: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("Close blocked %v on delayed deliveries", waited)
+	}
+}
+
+// TestHubRedeliversAfterReconnect covers the hub's lost-route path end to
+// end: a node hosting dc-0 dies, traffic for dc-0 queues as pending, and
+// a reconnecting node hosting dc-0 drains it.
+func TestHubRedeliversAfterReconnect(t *testing.T) {
+	hub, err := distsim.NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+
+	victim, err := distsim.NewTCPNode(hub.Addr(), []string{"dc-0"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := distsim.NewTCPNode(hub.Addr(), []string{"fe-0"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sender.Close() }()
+
+	if err := victim.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the hub a moment to observe the disconnect and drop the route.
+	time.Sleep(100 * time.Millisecond)
+
+	want := distsim.Message{Kind: distsim.KindRouting, Iter: 9, From: "fe-0", Payload: []float64{0, 1.25, 2.5}}
+	if err := sender.Send("dc-0", want); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the record reach the hub's pending queue
+
+	replacement, err := distsim.NewTCPNode(hub.Addr(), []string{"dc-0"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = replacement.Close() }()
+	inbox, err := replacement.Inbox("dc-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-inbox:
+		if got.Kind != want.Kind || got.Iter != want.Iter || got.From != want.From ||
+			len(got.Payload) != len(want.Payload) || got.Payload[1] != want.Payload[1] {
+			t.Fatalf("redelivered message %+v, want %+v", got, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending message never redelivered to reconnected node")
+	}
+}
+
+// TestTCPSendSteadyStateAllocs pins the allocation-free send path: after
+// warmup, TCPNode.Send must not allocate. The peer is a raw discarding
+// socket so the in-process receive path stays out of the measurement.
+func TestTCPSendSteadyStateAllocs(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { _, _ = io.Copy(io.Discard, conn) }()
+		}
+	}()
+	node, err := distsim.NewTCPNode(ln.Addr().String(), []string{"fe-0"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = node.Close() }()
+
+	msg := distsim.Message{Kind: distsim.KindRouting, Iter: 7, From: "fe-0", Payload: []float64{1, 2.5, 3.25}}
+	for k := 0; k < 512; k++ { // warm the buffer pool and writer
+		if err := node.Send("dc-0", msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		if err := node.Send("dc-0", msg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0.1 {
+		t.Errorf("steady-state Send allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestTCPNodeStats sanity-checks the transport counters against a run.
+func TestTCPNodeStats(t *testing.T) {
+	inst := testInstance(t, 12)
+	hub, err := distsim.NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	node, err := distsim.NewTCPNode(hub.Addr(), distsim.AllAgentIDs(m, n), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = node.Close() }()
+	res, err := distsim.Run(inst, distsim.RunOptions{Timeout: time.Minute}, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := node.Stats()
+	// Every iteration moves 2·M·N routing/aux + 2·(M+N) report/control
+	// messages, plus finals and the hello.
+	minMsgs := uint64(res.Stats.Iterations * (2*m*n + 2*(m+n)))
+	if st.MessagesSent < minMsgs {
+		t.Errorf("sent %d messages, expected at least %d", st.MessagesSent, minMsgs)
+	}
+	if st.MessagesReceived < minMsgs {
+		t.Errorf("received %d messages, expected at least %d", st.MessagesReceived, minMsgs)
+	}
+	if st.BytesSent == 0 || st.BytesReceived == 0 || st.Flushes == 0 {
+		t.Errorf("degenerate stats: %+v", st)
+	}
+	if st.MessagesSent > 0 && st.BytesSent/st.MessagesSent > 128 {
+		t.Errorf("bytes/msg %d suspiciously large for the binary codec", st.BytesSent/st.MessagesSent)
+	}
+	hs := hub.Stats()
+	if hs.MessagesReceived < minMsgs || hs.MessagesSent < minMsgs {
+		t.Errorf("hub stats too low: %+v", hs)
+	}
+}
+
 func TestRunFailsWhenPeerMissing(t *testing.T) {
 	// Datacenter agents never start: the front-ends and coordinator must
 	// time out with an error rather than hang.
@@ -344,5 +589,59 @@ func TestRunFailsWhenPeerMissing(t *testing.T) {
 	_, err := distsim.RunAgents(inst, distsim.RunOptions{Timeout: 100 * time.Millisecond}, tr, partial)
 	if err == nil {
 		t.Fatal("expected timeout with missing datacenter agents")
+	}
+}
+
+// TestCloseFlushesPendingSends pins the graceful-close contract: sends
+// are asynchronous (queued for the coalescing writer), so a node that
+// Closes immediately after its last Send must still get every queued
+// record onto the wire. A multi-process run depends on this — front-end
+// nodes close as soon as they have sent their final reports, while the
+// coordinator process is still waiting to receive them.
+func TestCloseFlushesPendingSends(t *testing.T) {
+	hub, err := distsim.NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+	recv, err := distsim.NewTCPNode(hub.Addr(), []string{"dc-0"}, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = recv.Close() }()
+	send, err := distsim.NewTCPNode(hub.Addr(), []string{"fe-0"}, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inbox, err := recv.Inbox("dc-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const burst = 200
+	for k := 0; k < burst; k++ {
+		if err := send.Send("dc-0", distsim.Message{
+			Kind: distsim.KindFinal, Iter: 1, From: "fe-0",
+			Payload: []float64{float64(k)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close immediately: every queued record must still be delivered.
+	if err := send.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < burst; k++ {
+		select {
+		case msg, ok := <-inbox:
+			if !ok {
+				t.Fatalf("inbox closed after %d of %d messages", k, burst)
+			}
+			if len(msg.Payload) != 1 || msg.Payload[0] != float64(k) {
+				t.Fatalf("message %d out of order or corrupt: %+v", k, msg)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("received %d of %d messages sent before Close", k, burst)
+		}
 	}
 }

@@ -53,6 +53,7 @@ func RunAgents(inst *core.Instance, opts RunOptions, transport Transport, agentI
 		opts.Timeout = 30 * time.Second
 	}
 	m, n := inst.Cloud.M(), inst.Cloud.N()
+	tab := newIDTable(m, n)
 
 	type launch struct {
 		run func() error
@@ -66,7 +67,7 @@ func RunAgents(inst *core.Instance, opts RunOptions, transport Transport, agentI
 		case id == coordID():
 			hasCoord = true
 			launches = append(launches, launch{run: func() error {
-				res, err := runCoordinator(engine, transport, opts.Timeout)
+				res, err := runCoordinator(engine, transport, tab, opts.Timeout)
 				if err != nil {
 					return err
 				}
@@ -76,12 +77,12 @@ func RunAgents(inst *core.Instance, opts RunOptions, transport Transport, agentI
 		case parseID(id, "fe-", &i) && i >= 0 && i < m:
 			idx := i
 			launches = append(launches, launch{run: func() error {
-				return runFrontEnd(engine, transport, idx, opts.Timeout)
+				return runFrontEnd(engine, transport, tab, idx, opts.Timeout)
 			}})
 		case parseID(id, "dc-", &j) && j >= 0 && j < n:
 			idx := j
 			launches = append(launches, launch{run: func() error {
-				return runDatacenter(engine, transport, idx, opts.Timeout)
+				return runDatacenter(engine, transport, tab, idx, opts.Timeout)
 			}})
 		default:
 			return nil, fmt.Errorf("distsim: agent id %q invalid for a %dx%d cloud", id, m, n)
@@ -140,6 +141,25 @@ func parseID(id, prefix string, out *int) bool {
 // fe-0..fe-(M-1), dc-0..dc-(N-1) and coord.
 func AllAgentIDs(m, n int) []string { return allIDs(m, n) }
 
+// idTable precomputes the agent id strings of an M×N cloud so the
+// per-iteration send loops never format ids (each protocol iteration
+// addresses ~2·M·N+2·(M+N) messages).
+type idTable struct {
+	fe, dc []string
+	coord  string
+}
+
+func newIDTable(m, n int) *idTable {
+	t := &idTable{fe: make([]string, m), dc: make([]string, n), coord: coordID()}
+	for i := range t.fe {
+		t.fe[i] = feID(i)
+	}
+	for j := range t.dc {
+		t.dc[j] = dcID(j)
+	}
+	return t
+}
+
 type coordResult struct {
 	lambda [][]float64
 	stats  *core.Stats
@@ -192,10 +212,11 @@ func (mb *mailbox) recv(kind Kind, iter int) (Message, error) {
 // λ-minimization, exchanges (λ̃, φ) with the datacenters, applies the dual
 // update and Gaussian back-substitution for its row of a and φ, and
 // reports its residual contribution.
-func runFrontEnd(e *core.Engine, t Transport, i int, timeout time.Duration) error {
+func runFrontEnd(e *core.Engine, t Transport, tab *idTable, i int, timeout time.Duration) error {
 	inst := e.Instance()
 	n := inst.Cloud.N()
-	mb, err := newMailbox(t, feID(i), timeout)
+	self := tab.fe[i]
+	mb, err := newMailbox(t, self, timeout)
 	if err != nil {
 		return err
 	}
@@ -214,9 +235,9 @@ func runFrontEnd(e *core.Engine, t Transport, i int, timeout time.Duration) erro
 			return fmt.Errorf("front-end %d iter %d: %w", i, iter, err)
 		}
 		for j := 0; j < n; j++ {
-			if err := t.Send(dcID(j), Message{
-				Kind: KindRouting, Iter: iter, From: feID(i),
-				Payload: []float64{float64(i), lambdaTilde[j], varphiRow[j]},
+			if err := t.Send(tab.dc[j], Message{
+				Kind: KindRouting, Iter: iter, From: self,
+				Payload: []float64{lambdaTilde[j], varphiRow[j]},
 			}); err != nil {
 				return fmt.Errorf("front-end %d iter %d send: %w", i, iter, err)
 			}
@@ -227,8 +248,12 @@ func runFrontEnd(e *core.Engine, t Transport, i int, timeout time.Duration) erro
 			if err != nil {
 				return fmt.Errorf("front-end %d iter %d: %w", i, iter, err)
 			}
-			j := int(msg.Payload[0])
-			aTilde[j] = msg.Payload[1]
+			// The sender identifies the column: ã_ij arrives from dc-j.
+			var j int
+			if !parseID(msg.From, "dc-", &j) || j < 0 || j >= n || len(msg.Payload) != 1 {
+				return fmt.Errorf("front-end %d iter %d: bad aux message from %q", i, iter, msg.From)
+			}
+			aTilde[j] = msg.Payload[0]
 		}
 
 		// Dual prediction and Gaussian back substitution for this row.
@@ -247,8 +272,8 @@ func runFrontEnd(e *core.Engine, t Transport, i int, timeout time.Duration) erro
 			lambdaRow[j] = lambdaTilde[j]
 		}
 
-		if err := t.Send(coordID(), Message{
-			Kind: KindReport, Iter: iter, From: feID(i), Payload: []float64{residual},
+		if err := t.Send(tab.coord, Message{
+			Kind: KindReport, Iter: iter, From: self, Payload: []float64{residual},
 		}); err != nil {
 			return fmt.Errorf("front-end %d iter %d report: %w", i, iter, err)
 		}
@@ -258,8 +283,8 @@ func runFrontEnd(e *core.Engine, t Transport, i int, timeout time.Duration) erro
 		}
 		if ctl.Stop {
 			final := append([]float64{float64(i)}, lambdaRow...)
-			return t.Send(coordID(), Message{
-				Kind: KindFinal, Iter: iter, From: feID(i), Payload: final,
+			return t.Send(tab.coord, Message{
+				Kind: KindFinal, Iter: iter, From: self, Payload: final,
 			})
 		}
 	}
@@ -269,10 +294,11 @@ func runFrontEnd(e *core.Engine, t Transport, i int, timeout time.Duration) erro
 // a-minimizations, sends ã back to the front-ends, applies the dual update
 // and Gaussian back substitution for its column, and reports its residual
 // contribution.
-func runDatacenter(e *core.Engine, t Transport, j int, timeout time.Duration) error {
+func runDatacenter(e *core.Engine, t Transport, tab *idTable, j int, timeout time.Duration) error {
 	inst := e.Instance()
 	m := inst.Cloud.M()
-	mb, err := newMailbox(t, dcID(j), timeout)
+	self := tab.dc[j]
+	mb, err := newMailbox(t, self, timeout)
 	if err != nil {
 		return err
 	}
@@ -293,9 +319,13 @@ func runDatacenter(e *core.Engine, t Transport, j int, timeout time.Duration) er
 			if err != nil {
 				return fmt.Errorf("datacenter %d iter %d: %w", j, iter, err)
 			}
-			i := int(msg.Payload[0])
-			lambdaTildeCol[i] = msg.Payload[1]
-			varphiCol[i] = msg.Payload[2]
+			// The sender identifies the row: (λ̃_ij, φ_ij) arrives from fe-i.
+			var i int
+			if !parseID(msg.From, "fe-", &i) || i < 0 || i >= m || len(msg.Payload) != 2 {
+				return fmt.Errorf("datacenter %d iter %d: bad routing message from %q", j, iter, msg.From)
+			}
+			lambdaTildeCol[i] = msg.Payload[0]
+			varphiCol[i] = msg.Payload[1]
 		}
 
 		var sumA float64
@@ -314,9 +344,9 @@ func runDatacenter(e *core.Engine, t Transport, j int, timeout time.Duration) er
 		phiTilde := phi - rho*e.PowerBalance(j, sumATilde, muTilde, nuTilde)
 
 		for i := 0; i < m; i++ {
-			if err := t.Send(feID(i), Message{
-				Kind: KindAux, Iter: iter, From: dcID(j),
-				Payload: []float64{float64(j), aTilde[i]},
+			if err := t.Send(tab.fe[i], Message{
+				Kind: KindAux, Iter: iter, From: self,
+				Payload: []float64{aTilde[i]},
 			}); err != nil {
 				return fmt.Errorf("datacenter %d iter %d send: %w", j, iter, err)
 			}
@@ -343,8 +373,8 @@ func runDatacenter(e *core.Engine, t Transport, j int, timeout time.Duration) er
 			mu = mu + eps*(muTilde-mu) - (nu - nuOld) + aDelta
 		}
 
-		if err := t.Send(coordID(), Message{
-			Kind: KindReport, Iter: iter, From: dcID(j), Payload: []float64{residual},
+		if err := t.Send(tab.coord, Message{
+			Kind: KindReport, Iter: iter, From: self, Payload: []float64{residual},
 		}); err != nil {
 			return fmt.Errorf("datacenter %d iter %d report: %w", j, iter, err)
 		}
@@ -353,8 +383,8 @@ func runDatacenter(e *core.Engine, t Transport, j int, timeout time.Duration) er
 			return fmt.Errorf("datacenter %d iter %d control: %w", j, iter, err)
 		}
 		if ctl.Stop {
-			return t.Send(coordID(), Message{
-				Kind: KindFinal, Iter: iter, From: dcID(j),
+			return t.Send(tab.coord, Message{
+				Kind: KindFinal, Iter: iter, From: self,
 				Payload: []float64{float64(j), mu, nu, phi},
 			})
 		}
@@ -363,11 +393,11 @@ func runDatacenter(e *core.Engine, t Transport, j int, timeout time.Duration) er
 
 // runCoordinator gathers per-iteration residual reports, decides
 // convergence, broadcasts control messages, and collects the final routing.
-func runCoordinator(e *core.Engine, t Transport, timeout time.Duration) (*coordResult, error) {
+func runCoordinator(e *core.Engine, t Transport, tab *idTable, timeout time.Duration) (*coordResult, error) {
 	inst := e.Instance()
 	m, n := inst.Cloud.M(), inst.Cloud.N()
 	opts := e.Options()
-	mb, err := newMailbox(t, coordID(), timeout)
+	mb, err := newMailbox(t, tab.coord, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -375,12 +405,12 @@ func runCoordinator(e *core.Engine, t Transport, timeout time.Duration) (*coordR
 
 	broadcast := func(iter int, stop bool) error {
 		for i := 0; i < m; i++ {
-			if err := t.Send(feID(i), Message{Kind: KindControl, Iter: iter, From: coordID(), Stop: stop}); err != nil {
+			if err := t.Send(tab.fe[i], Message{Kind: KindControl, Iter: iter, From: tab.coord, Stop: stop}); err != nil {
 				return err
 			}
 		}
 		for j := 0; j < n; j++ {
-			if err := t.Send(dcID(j), Message{Kind: KindControl, Iter: iter, From: coordID(), Stop: stop}); err != nil {
+			if err := t.Send(tab.dc[j], Message{Kind: KindControl, Iter: iter, From: tab.coord, Stop: stop}); err != nil {
 				return err
 			}
 		}
@@ -421,8 +451,10 @@ func runCoordinator(e *core.Engine, t Transport, timeout time.Duration) (*coordR
 		if err != nil {
 			return nil, fmt.Errorf("coordinator finals: %w", err)
 		}
-		if len(msg.Payload) == n+1 && msg.From == feID(int(msg.Payload[0])) {
-			i := int(msg.Payload[0])
+		if len(msg.Payload) != n+1 {
+			continue
+		}
+		if i := int(msg.Payload[0]); i >= 0 && i < m && msg.From == tab.fe[i] {
 			lambda[i] = append([]float64(nil), msg.Payload[1:]...)
 		}
 	}

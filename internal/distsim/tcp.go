@@ -1,49 +1,55 @@
 package distsim
 
 import (
-	"encoding/gob"
-	"errors"
+	"bufio"
+	"encoding/binary"
 	"fmt"
-	"io"
+	"hash/fnv"
 	"net"
 	"sync"
 )
 
-// envelope is the wire frame between nodes and the hub.
-type envelope struct {
-	To string
-	M  Message
-}
+// routeShardCount shards the hub's routing table so registration and
+// failure handling on one shard never contend with forwarding on another.
+// Power of two: the shard of index i is i & (routeShardCount-1).
+const routeShardCount = 16
 
-// hello registers a node's local agent ids with the hub.
-type hello struct {
-	IDs []string
+// routeShard holds the routing slots whose agent index ≡ shard id
+// (mod routeShardCount). Slot k of a shard serves agent index
+// k*routeShardCount + shard. Messages for agents that have not registered
+// yet wait in pending (heap-owned copies) and drain on registration.
+type routeShard struct {
+	mu           sync.RWMutex
+	slots        []*hubConn
+	named        map[string]*hubConn
+	pending      map[uint32][][]byte
+	namedPending map[string][][]byte
 }
 
 // TCPHub is a message router: nodes connect over TCP, register the agent
-// ids they host, and exchange gob-encoded envelopes which the hub forwards
-// to the node hosting the destination agent. Messages for ids that have
-// not registered yet are queued and flushed on registration.
+// ids they host, and exchange binary wire records (see wire.go) which the
+// hub forwards verbatim — it peeks only the destination, never decodes a
+// payload. Routing is index-based through a sharded slot table; records
+// for unregistered ids are queued and flushed on registration, and
+// records stranded on a broken connection are requeued for the next node
+// that registers the destination.
 type TCPHub struct {
-	ln net.Listener
+	ln       net.Listener
+	counters transportCounters
+	shards   [routeShardCount]routeShard
 
-	mu      sync.Mutex
-	routes  map[string]*hubConn
-	pending map[string][]envelope
-	closed  bool
-	wg      sync.WaitGroup
+	mu     sync.Mutex
+	conns  map[net.Conn]*hubConn // value nil until the hello arrives
+	closed bool
+	wg     sync.WaitGroup
 }
 
+// hubConn is one node connection: its coalescing writer plus the routes
+// it registered (so a failure can drop exactly those).
 type hubConn struct {
-	mu  sync.Mutex
-	enc *gob.Encoder
-	c   net.Conn
-}
-
-func (hc *hubConn) send(env envelope) error {
-	hc.mu.Lock()
-	defer hc.mu.Unlock()
-	return hc.enc.Encode(env)
+	cw    *connWriter
+	idxs  []uint32
+	names []string
 }
 
 // NewTCPHub listens on addr (e.g. "127.0.0.1:0") and serves until Close.
@@ -52,11 +58,7 @@ func NewTCPHub(addr string) (*TCPHub, error) {
 	if err != nil {
 		return nil, fmt.Errorf("distsim: hub listen: %w", err)
 	}
-	h := &TCPHub{
-		ln:      ln,
-		routes:  make(map[string]*hubConn),
-		pending: make(map[string][]envelope),
-	}
+	h := &TCPHub{ln: ln, conns: make(map[net.Conn]*hubConn)}
 	h.wg.Add(1)
 	go h.acceptLoop()
 	return h, nil
@@ -64,6 +66,9 @@ func NewTCPHub(addr string) (*TCPHub, error) {
 
 // Addr returns the hub's listen address.
 func (h *TCPHub) Addr() string { return h.ln.Addr().String() }
+
+// Stats returns a snapshot of the hub's forwarding counters.
+func (h *TCPHub) Stats() TransportStats { return h.counters.snapshot() }
 
 // Close stops the hub and disconnects all nodes.
 func (h *TCPHub) Close() error {
@@ -73,20 +78,29 @@ func (h *TCPHub) Close() error {
 		return nil
 	}
 	h.closed = true
-	conns := make([]*hubConn, 0, len(h.routes))
-	seen := map[*hubConn]bool{}
-	for _, hc := range h.routes {
-		if !seen[hc] {
-			conns = append(conns, hc)
-			seen[hc] = true
-		}
+	type pair struct {
+		c  net.Conn
+		hc *hubConn
+	}
+	conns := make([]pair, 0, len(h.conns))
+	for c, hc := range h.conns {
+		conns = append(conns, pair{c, hc})
 	}
 	h.mu.Unlock()
 	err := h.ln.Close()
-	for _, hc := range conns {
-		_ = hc.c.Close()
+	for _, p := range conns {
+		if p.hc != nil {
+			p.hc.cw.fail(ErrClosed)
+		} else {
+			_ = p.c.Close()
+		}
 	}
 	h.wg.Wait()
+	for _, p := range conns {
+		if p.hc != nil {
+			p.hc.cw.close(ErrClosed)
+		}
+	}
 	return err
 }
 
@@ -104,65 +118,237 @@ func (h *TCPHub) acceptLoop() {
 
 func (h *TCPHub) serveConn(conn net.Conn) {
 	defer h.wg.Done()
-	dec := gob.NewDecoder(conn)
-	hc := &hubConn{enc: gob.NewEncoder(conn), c: conn}
-	var hi hello
-	if err := dec.Decode(&hi); err != nil {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
 		_ = conn.Close()
 		return
 	}
-	h.mu.Lock()
-	var backlog []envelope
-	for _, id := range hi.IDs {
-		h.routes[id] = hc
-		backlog = append(backlog, h.pending[id]...)
-		delete(h.pending, id)
-	}
+	h.conns[conn] = nil
 	h.mu.Unlock()
-	for _, env := range backlog {
-		if err := hc.send(env); err != nil {
-			_ = conn.Close()
-			return
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var scratch []byte
+	// Handshake: the first record must be a hello registering routes.
+	body, wire, err := readRecord(br, &scratch)
+	if err == nil {
+		var ids []string
+		if ids, err = parseHello(body); err == nil {
+			h.counters.noteRecv(wire)
+			h.serveRegistered(conn, br, &scratch, ids)
 		}
 	}
+	_ = conn.Close()
+	h.mu.Lock()
+	delete(h.conns, conn)
+	h.mu.Unlock()
+}
+
+// serveRegistered runs the post-handshake forwarding loop for one node.
+func (h *TCPHub) serveRegistered(conn net.Conn, br *bufio.Reader, scratch *[]byte, ids []string) {
+	hc := &hubConn{}
+	hc.cw = newConnWriter(conn, 1024, &h.counters, func(unsent []*frameBuf) {
+		h.dropConn(hc)
+		for _, fb := range unsent {
+			h.requeueRecord(fb)
+		}
+	})
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		hc.cw.close(ErrClosed)
+		return
+	}
+	h.conns[conn] = hc
+	h.mu.Unlock()
+	h.register(hc, ids)
+
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				_ = conn.Close()
-			}
+		body, wire, err := readRecord(br, scratch)
+		if err != nil {
+			// Node gone (EOF) or stream corrupt: drop its routes so new
+			// traffic queues as pending, then shut the write half down
+			// (the writer's failure hook requeues anything undrained).
+			h.dropConn(hc)
+			hc.cw.fail(err)
 			return
 		}
-		h.route(env)
+		h.counters.noteRecv(wire)
+		fb := getFrame()
+		fb.b = binary.AppendUvarint(fb.b, uint64(len(body)))
+		fb.b = append(fb.b, body...)
+		h.route(fb)
 	}
 }
 
-func (h *TCPHub) route(env envelope) {
-	h.mu.Lock()
-	target, ok := h.routes[env.To]
-	if !ok {
-		h.pending[env.To] = append(h.pending[env.To], env)
-		h.mu.Unlock()
+func (h *TCPHub) shardOf(idx uint32) (*routeShard, int) {
+	return &h.shards[idx&(routeShardCount-1)], int(idx / routeShardCount)
+}
+
+func (h *TCPHub) namedShard(name []byte) *routeShard {
+	f := fnv.New32a()
+	_, _ = f.Write(name)
+	return &h.shards[f.Sum32()&(routeShardCount-1)]
+}
+
+// register installs hc as the route for ids and drains any pending
+// records queued for them.
+func (h *TCPHub) register(hc *hubConn, ids []string) {
+	for _, id := range ids {
+		var backlog [][]byte
+		if idx, ok := agentIndex(id); ok {
+			hc.idxs = append(hc.idxs, idx)
+			sh, slot := h.shardOf(idx)
+			sh.mu.Lock()
+			for slot >= len(sh.slots) {
+				sh.slots = append(sh.slots, nil)
+			}
+			sh.slots[slot] = hc
+			if sh.pending != nil {
+				backlog = sh.pending[idx]
+				delete(sh.pending, idx)
+			}
+			sh.mu.Unlock()
+		} else {
+			hc.names = append(hc.names, id)
+			sh := h.namedShard([]byte(id))
+			sh.mu.Lock()
+			if sh.named == nil {
+				sh.named = make(map[string]*hubConn)
+			}
+			sh.named[id] = hc
+			if sh.namedPending != nil {
+				backlog = sh.namedPending[id]
+				delete(sh.namedPending, id)
+			}
+			sh.mu.Unlock()
+		}
+		for _, rec := range backlog {
+			fb := getFrame()
+			fb.b = append(fb.b, rec...)
+			h.route(fb)
+		}
+	}
+}
+
+// dropConn removes every route pointing at hc. Idempotent; safe to call
+// from both the read loop and the writer failure hook.
+func (h *TCPHub) dropConn(hc *hubConn) {
+	for _, idx := range hc.idxs {
+		sh, slot := h.shardOf(idx)
+		sh.mu.Lock()
+		if slot < len(sh.slots) && sh.slots[slot] == hc {
+			sh.slots[slot] = nil
+		}
+		sh.mu.Unlock()
+	}
+	for _, name := range hc.names {
+		sh := h.namedShard([]byte(name))
+		sh.mu.Lock()
+		if sh.named[name] == hc {
+			delete(sh.named, name)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// route forwards one record (ownership of fb transfers in). Unroutable
+// records go to the destination's pending queue; a failed enqueue drops
+// the broken connection and requeues the record.
+func (h *TCPHub) route(fb *frameBuf) {
+	_, body := splitRecord(fb.b)
+	hello, named, toIdx, to, err := peekRoute(body)
+	if err != nil || hello {
+		putFrame(fb) // malformed or misplaced hello: drop
 		return
 	}
-	h.mu.Unlock()
-	_ = target.send(env)
+	var target *hubConn
+	if named {
+		sh := h.namedShard(to)
+		sh.mu.RLock()
+		target = sh.named[string(to)]
+		sh.mu.RUnlock()
+	} else {
+		sh, slot := h.shardOf(toIdx)
+		sh.mu.RLock()
+		if slot < len(sh.slots) {
+			target = sh.slots[slot]
+		}
+		sh.mu.RUnlock()
+	}
+	if target == nil {
+		h.addPending(named, toIdx, to, fb.b)
+		putFrame(fb)
+		return
+	}
+	if err := target.cw.enqueue(fb); err != nil {
+		h.dropConn(target)
+		h.requeueRecord(fb)
+	}
+}
+
+// requeueRecord puts an undeliverable record back on the pending queue of
+// its destination (taking a heap copy) and recycles the buffer.
+func (h *TCPHub) requeueRecord(fb *frameBuf) {
+	_, body := splitRecord(fb.b)
+	hello, named, toIdx, to, err := peekRoute(body)
+	if err == nil && !hello {
+		h.addPending(named, toIdx, to, fb.b)
+	}
+	putFrame(fb)
+}
+
+func (h *TCPHub) addPending(named bool, toIdx uint32, to []byte, rec []byte) {
+	cp := append([]byte(nil), rec...)
+	if named {
+		sh := h.namedShard(to)
+		sh.mu.Lock()
+		if sh.namedPending == nil {
+			sh.namedPending = make(map[string][][]byte)
+		}
+		sh.namedPending[string(to)] = append(sh.namedPending[string(to)], cp)
+		sh.mu.Unlock()
+		return
+	}
+	sh, _ := h.shardOf(toIdx)
+	sh.mu.Lock()
+	if sh.pending == nil {
+		sh.pending = make(map[uint32][][]byte)
+	}
+	sh.pending[toIdx] = append(sh.pending[toIdx], cp)
+	sh.mu.Unlock()
+}
+
+// splitRecord separates a record's uvarint length prefix from its body.
+func splitRecord(rec []byte) (prefix, body []byte) {
+	_, n := binary.Uvarint(rec)
+	if n <= 0 {
+		return rec, nil
+	}
+	return rec[:n], rec[n:]
 }
 
 // TCPNode is a Transport whose local agents exchange messages with remote
-// agents through a TCPHub. One node can host any subset of the agent ids;
-// a single-node deployment still pushes every message through the TCP
-// stack and the gob codec.
+// agents through a TCPHub over the binary wire codec. One node can host
+// any subset of the agent ids; a single-node deployment still pushes
+// every message through the TCP stack and the codec. Sends are buffered
+// and coalesced (see connWriter) and allocate nothing in steady state.
 type TCPNode struct {
-	conn net.Conn
+	conn     net.Conn
+	cw       *connWriter
+	counters transportCounters
+	cache    idCache
 
-	encMu sync.Mutex
-	enc   *gob.Encoder
+	// Inbox tables are built at construction and never mutated, so the
+	// read loop and Inbox need no lock to consult them.
+	boxIdx  []chan Message
+	boxName map[string]chan Message
 
-	mu     sync.Mutex
-	boxes  map[string]chan Message
-	closed bool
-	done   chan struct{}
+	haltOnce sync.Once
+	done     chan struct{}
+
+	boxMu       sync.Mutex
+	boxesClosed bool
 }
 
 var _ Transport = (*TCPNode)(nil)
@@ -177,67 +363,105 @@ func NewTCPNode(hubAddr string, localIDs []string, buffer int) (*TCPNode, error)
 		return nil, fmt.Errorf("distsim: node dial: %w", err)
 	}
 	n := &TCPNode{
-		conn:  conn,
-		enc:   gob.NewEncoder(conn),
-		boxes: make(map[string]chan Message, len(localIDs)),
-		done:  make(chan struct{}),
+		conn:    conn,
+		boxName: make(map[string]chan Message),
+		done:    make(chan struct{}),
 	}
 	for _, id := range localIDs {
-		n.boxes[id] = make(chan Message, buffer)
+		box := make(chan Message, buffer)
+		if idx, ok := agentIndex(id); ok {
+			for int(idx) >= len(n.boxIdx) {
+				n.boxIdx = append(n.boxIdx, nil)
+			}
+			n.boxIdx[idx] = box
+		} else {
+			n.boxName[id] = box
+		}
 	}
-	if err := n.enc.Encode(hello{IDs: localIDs}); err != nil {
-		_ = conn.Close()
+	n.cw = newConnWriter(conn, 256, &n.counters, nil)
+	fb := getFrame()
+	fb.b = appendHello(fb.b, localIDs)
+	if err := n.cw.enqueue(fb); err != nil {
+		putFrame(fb)
+		n.cw.close(err)
 		return nil, fmt.Errorf("distsim: node hello: %w", err)
 	}
 	go n.readLoop()
 	return n, nil
 }
 
+// Stats returns a snapshot of the node's transport counters.
+func (n *TCPNode) Stats() TransportStats { return n.counters.snapshot() }
+
+// halt shuts the write half down and unblocks send/deliver paths; the
+// read loop notices the closed connection and closes the inboxes.
+func (n *TCPNode) halt(cause error) {
+	n.haltOnce.Do(func() {
+		n.cw.fail(cause)
+		close(n.done)
+	})
+}
+
 func (n *TCPNode) readLoop() {
-	dec := gob.NewDecoder(n.conn)
+	defer n.closeBoxes()
+	br := bufio.NewReaderSize(n.conn, 64<<10)
+	var scratch []byte
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
-			n.mu.Lock()
-			if !n.closed {
-				n.closed = true
-				close(n.done)
-				for _, box := range n.boxes {
-					close(box)
-				}
-			}
-			n.mu.Unlock()
+		body, wire, err := readRecord(br, &scratch)
+		if err != nil {
+			n.halt(err)
 			return
 		}
-		n.mu.Lock()
-		box, ok := n.boxes[env.To]
-		closed := n.closed
-		n.mu.Unlock()
-		if closed {
+		n.counters.noteRecv(wire)
+		fr, err := decodeMessageFrame(body, &n.cache)
+		if err != nil {
+			n.halt(err)
 			return
 		}
-		if ok {
-			select {
-			case box <- env.M:
-			case <-n.done:
-				return
-			}
+		var box chan Message
+		if fr.named {
+			box = n.boxName[fr.to]
+		} else if int(fr.toIdx) < len(n.boxIdx) {
+			box = n.boxIdx[fr.toIdx]
+		}
+		if box == nil {
+			continue // not hosted here; a stale hub route — drop
+		}
+		select {
+		case box <- fr.msg:
+		case <-n.done:
+			return
 		}
 	}
 }
 
-// Send implements Transport. Local destinations still round-trip through
-// the hub, exercising the full network path.
-func (n *TCPNode) Send(to string, m Message) error {
-	n.mu.Lock()
-	closed := n.closed
-	n.mu.Unlock()
-	if closed {
-		return ErrClosed
+// closeBoxes closes every inbox exactly once. Only the read loop sends on
+// the boxes, and it calls this on exit, so the close cannot race a send.
+func (n *TCPNode) closeBoxes() {
+	n.boxMu.Lock()
+	defer n.boxMu.Unlock()
+	if n.boxesClosed {
+		return
 	}
-	n.encMu.Lock()
-	defer n.encMu.Unlock()
-	if err := n.enc.Encode(envelope{To: to, M: m}); err != nil {
+	n.boxesClosed = true
+	for _, box := range n.boxIdx {
+		if box != nil {
+			close(box)
+		}
+	}
+	for _, box := range n.boxName {
+		close(box)
+	}
+}
+
+// Send implements Transport. Local destinations still round-trip through
+// the hub, exercising the full network path. After Close (or a broken
+// connection) it consistently returns an error matching ErrClosed.
+func (n *TCPNode) Send(to string, m Message) error {
+	fb := getFrame()
+	fb.b = appendFrame(fb.b, to, &m)
+	if err := n.cw.enqueue(fb); err != nil {
+		putFrame(fb)
 		return fmt.Errorf("distsim: node send to %q: %w", to, err)
 	}
 	return nil
@@ -245,23 +469,23 @@ func (n *TCPNode) Send(to string, m Message) error {
 
 // Inbox implements Transport.
 func (n *TCPNode) Inbox(id string) (<-chan Message, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	box, ok := n.boxes[id]
-	if !ok {
+	if idx, ok := agentIndex(id); ok {
+		if int(idx) < len(n.boxIdx) && n.boxIdx[idx] != nil {
+			return n.boxIdx[idx], nil
+		}
 		return nil, fmt.Errorf("inbox of %q: %w", id, ErrUnknownAgent)
 	}
-	return box, nil
+	if box, ok := n.boxName[id]; ok {
+		return box, nil
+	}
+	return nil, fmt.Errorf("inbox of %q: %w", id, ErrUnknownAgent)
 }
 
-// Close implements Transport.
+// Close implements Transport. It first flushes records still queued in
+// the coalescing writer (a remote coordinator may be waiting on this
+// node's final reports), then tears the connection down.
 func (n *TCPNode) Close() error {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return nil
-	}
-	n.mu.Unlock()
-	err := n.conn.Close() // readLoop notices and closes the boxes
-	return err
+	n.cw.shutdown()
+	n.halt(ErrClosed)
+	return nil
 }

@@ -1,0 +1,304 @@
+package distsim
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// This file retains the original gob-encoded TCP transport as a measured
+// baseline for the binary wire codec (see wire.go): every message was a
+// gob envelope written to the socket unbuffered, one syscall per send.
+// BenchmarkTransportThroughputGob and BenchmarkSolveDistributedTCPGob in
+// the repository root pin its msgs/sec and bytes/msg so the speedup of
+// the framed transport stays quantified. Do not use it in new code.
+
+// envelope is the gob wire frame between nodes and the hub.
+type envelope struct {
+	To string
+	M  Message
+}
+
+// hello registers a node's local agent ids with the gob hub.
+type hello struct {
+	IDs []string
+}
+
+// GobTCPHub is the legacy gob-encoded message router. Nodes connect over
+// TCP, register the agent ids they host, and exchange gob envelopes which
+// the hub re-encodes towards the node hosting the destination. Messages
+// for ids that have not registered yet are queued and flushed on
+// registration.
+type GobTCPHub struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	routes  map[string]*gobHubConn
+	pending map[string][]envelope
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type gobHubConn struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	c   net.Conn
+}
+
+func (hc *gobHubConn) send(env envelope) error {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	return hc.enc.Encode(env)
+}
+
+// NewGobTCPHub listens on addr (e.g. "127.0.0.1:0") and serves until
+// Close.
+func NewGobTCPHub(addr string) (*GobTCPHub, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("distsim: gob hub listen: %w", err)
+	}
+	h := &GobTCPHub{
+		ln:      ln,
+		routes:  make(map[string]*gobHubConn),
+		pending: make(map[string][]envelope),
+	}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the hub's listen address.
+func (h *GobTCPHub) Addr() string { return h.ln.Addr().String() }
+
+// Close stops the hub and disconnects all nodes.
+func (h *GobTCPHub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	conns := make([]*gobHubConn, 0, len(h.routes))
+	seen := map[*gobHubConn]bool{}
+	for _, hc := range h.routes {
+		if !seen[hc] {
+			conns = append(conns, hc)
+			seen[hc] = true
+		}
+	}
+	h.mu.Unlock()
+	err := h.ln.Close()
+	for _, hc := range conns {
+		_ = hc.c.Close()
+	}
+	h.wg.Wait()
+	return err
+}
+
+func (h *GobTCPHub) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return
+		}
+		h.wg.Add(1)
+		go h.serveConn(conn)
+	}
+}
+
+func (h *GobTCPHub) serveConn(conn net.Conn) {
+	defer h.wg.Done()
+	dec := gob.NewDecoder(conn)
+	hc := &gobHubConn{enc: gob.NewEncoder(conn), c: conn}
+	var hi hello
+	if err := dec.Decode(&hi); err != nil {
+		_ = conn.Close()
+		return
+	}
+	h.mu.Lock()
+	var backlog []envelope
+	for _, id := range hi.IDs {
+		h.routes[id] = hc
+		backlog = append(backlog, h.pending[id]...)
+		delete(h.pending, id)
+	}
+	h.mu.Unlock()
+	for _, env := range backlog {
+		if err := hc.send(env); err != nil {
+			_ = conn.Close()
+			return
+		}
+	}
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				_ = conn.Close()
+			}
+			return
+		}
+		h.route(env)
+	}
+}
+
+func (h *GobTCPHub) route(env envelope) {
+	h.mu.Lock()
+	target, ok := h.routes[env.To]
+	if !ok {
+		h.pending[env.To] = append(h.pending[env.To], env)
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Unlock()
+	_ = target.send(env)
+}
+
+// GobTCPNode is the legacy gob Transport matching GobTCPHub. It carries
+// the same counters as TCPNode so benchmarks can compare bytes/msg.
+type GobTCPNode struct {
+	conn     net.Conn
+	counters transportCounters
+
+	encMu sync.Mutex
+	enc   *gob.Encoder
+	cw    *countingWriter
+
+	mu     sync.Mutex
+	boxes  map[string]chan Message
+	closed bool
+	done   chan struct{}
+}
+
+var _ Transport = (*GobTCPNode)(nil)
+
+// countingWriter counts bytes written to the socket.
+type countingWriter struct {
+	w        io.Writer
+	counters *transportCounters
+	n        int
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += n
+	return n, err
+}
+
+// NewGobTCPNode connects to the gob hub and registers the local agent
+// ids.
+func NewGobTCPNode(hubAddr string, localIDs []string, buffer int) (*GobTCPNode, error) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	conn, err := net.Dial("tcp", hubAddr)
+	if err != nil {
+		return nil, fmt.Errorf("distsim: gob node dial: %w", err)
+	}
+	n := &GobTCPNode{
+		conn:  conn,
+		boxes: make(map[string]chan Message, len(localIDs)),
+		done:  make(chan struct{}),
+	}
+	n.cw = &countingWriter{w: conn, counters: &n.counters}
+	n.enc = gob.NewEncoder(n.cw)
+	for _, id := range localIDs {
+		n.boxes[id] = make(chan Message, buffer)
+	}
+	if err := n.enc.Encode(hello{IDs: localIDs}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("distsim: gob node hello: %w", err)
+	}
+	go n.readLoop()
+	return n, nil
+}
+
+// Stats returns a snapshot of the node's transport counters.
+func (n *GobTCPNode) Stats() TransportStats { return n.counters.snapshot() }
+
+func (n *GobTCPNode) readLoop() {
+	dec := gob.NewDecoder(n.conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			n.mu.Lock()
+			if !n.closed {
+				n.closed = true
+				close(n.done)
+				for _, box := range n.boxes {
+					close(box)
+				}
+			}
+			n.mu.Unlock()
+			return
+		}
+		n.counters.noteRecv(0)
+		n.mu.Lock()
+		box, ok := n.boxes[env.To]
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		if ok {
+			select {
+			case box <- env.M:
+			case <-n.done:
+				return
+			}
+		}
+	}
+}
+
+// Send implements Transport. Every send is one gob encode plus one
+// unbuffered socket write — the baseline the framed transport replaces.
+// After Close it consistently returns an error matching ErrClosed.
+func (n *GobTCPNode) Send(to string, m Message) error {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return fmt.Errorf("distsim: gob node send to %q: %w", to, ErrClosed)
+	}
+	n.encMu.Lock()
+	defer n.encMu.Unlock()
+	n.cw.n = 0
+	if err := n.enc.Encode(envelope{To: to, M: m}); err != nil {
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return fmt.Errorf("distsim: gob node send to %q: %w", to, ErrClosed)
+		}
+		return fmt.Errorf("distsim: gob node send to %q: %w: %v", to, ErrClosed, err)
+	}
+	n.counters.noteSend(n.cw.n)
+	return nil
+}
+
+// Inbox implements Transport.
+func (n *GobTCPNode) Inbox(id string) (<-chan Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	box, ok := n.boxes[id]
+	if !ok {
+		return nil, fmt.Errorf("inbox of %q: %w", id, ErrUnknownAgent)
+	}
+	return box, nil
+}
+
+// Close implements Transport.
+func (n *GobTCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.mu.Unlock()
+	err := n.conn.Close() // readLoop notices and closes the boxes
+	return err
+}

@@ -1,0 +1,190 @@
+package distsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectConn is a net.Conn stub whose write half can be failed on
+// demand, for driving connWriter error paths deterministically.
+type collectConn struct {
+	mu     sync.Mutex
+	wrote  []byte
+	failAt int // fail writes once len(wrote) would exceed this; <0 = never
+	closed bool
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (c *collectConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, net.ErrClosed
+	}
+	if c.failAt >= 0 && len(c.wrote)+len(p) > c.failAt {
+		return 0, errInjected
+	}
+	c.wrote = append(c.wrote, p...)
+	return len(p), nil
+}
+
+func (c *collectConn) Read(p []byte) (int, error) { return 0, io.EOF }
+func (c *collectConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+func (c *collectConn) LocalAddr() net.Addr                { return nil }
+func (c *collectConn) RemoteAddr() net.Addr               { return nil }
+func (c *collectConn) SetDeadline(time.Time) error        { return nil }
+func (c *collectConn) SetReadDeadline(time.Time) error    { return nil }
+func (c *collectConn) SetWriteDeadline(time.Time) error   { return nil }
+
+func frameFor(to string, m Message) *frameBuf {
+	fb := getFrame()
+	fb.b = appendFrame(fb.b, to, &m)
+	return fb
+}
+
+// TestConnWriterCoalesces checks that a burst of enqueued records reaches
+// the socket and is accounted as batched flushes.
+func TestConnWriterCoalesces(t *testing.T) {
+	conn := &collectConn{failAt: -1}
+	var counters transportCounters
+	cw := newConnWriter(conn, 64, &counters, nil)
+	const burst = 50
+	var want int
+	for k := 0; k < burst; k++ {
+		fb := frameFor("fe-0", Message{Kind: KindAux, Iter: k, From: "dc-0", Payload: []float64{float64(k)}})
+		want += len(fb.b)
+		if err := cw.enqueue(fb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := counters.snapshot()
+		if st.MessagesSent == burst {
+			if int(st.BytesSent) != want {
+				t.Fatalf("bytes sent %d want %d", st.BytesSent, want)
+			}
+			if st.Flushes == 0 || st.Flushes > burst {
+				t.Fatalf("flushes %d outside (0, %d]", st.Flushes, burst)
+			}
+			if st.MaxBatch == 0 {
+				t.Fatal("max batch not recorded")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("writer drained %d of %d messages", st.MessagesSent, burst)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cw.close(ErrClosed)
+	if err := cw.enqueue(frameFor("fe-0", Message{Kind: KindAux, From: "dc-0"})); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enqueue after close: %v", err)
+	}
+}
+
+// TestConnWriterFailureHandsBackUnsent verifies the onFail hook receives
+// records that were enqueued but never written — the mechanism the hub
+// uses to requeue messages for a reconnecting node.
+func TestConnWriterFailureHandsBackUnsent(t *testing.T) {
+	conn := &collectConn{failAt: 0} // every write fails
+	var counters transportCounters
+	got := make(chan []*frameBuf, 1)
+	cw := newConnWriter(conn, 64, &counters, func(unsent []*frameBuf) {
+		got <- unsent
+	})
+	fb := frameFor("dc-3", Message{Kind: KindRouting, Iter: 7, From: "fe-1", Payload: []float64{1, 2, 3}})
+	wantBytes := append([]byte(nil), fb.b...)
+	if err := cw.enqueue(fb); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case unsent := <-got:
+		if len(unsent) != 1 {
+			t.Fatalf("got %d unsent records, want 1", len(unsent))
+		}
+		if string(unsent[0].b) != string(wantBytes) {
+			t.Fatal("unsent record bytes mangled")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("onFail never called")
+	}
+	// The writer is dead: enqueue reports an ErrClosed-matching error
+	// that preserves the cause.
+	err := cw.enqueue(frameFor("dc-3", Message{Kind: KindAux, From: "fe-1"}))
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("enqueue after failure: %v", err)
+	}
+}
+
+// TestHubRequeuesOnDeadRoute exercises TCPHub.route's failure path
+// directly: a registered route whose writer is already dead must not
+// swallow the record — it is requeued as pending and drained when a
+// fresh connection registers the destination.
+func TestHubRequeuesOnDeadRoute(t *testing.T) {
+	h := &TCPHub{conns: make(map[net.Conn]*hubConn)}
+
+	// A dead connection registered for dc-0.
+	deadConn := &collectConn{failAt: -1}
+	dead := &hubConn{}
+	dead.cw = newConnWriter(deadConn, 4, &h.counters, func(unsent []*frameBuf) {
+		h.dropConn(dead)
+		for _, fb := range unsent {
+			h.requeueRecord(fb)
+		}
+	})
+	h.register(dead, []string{"dc-0"})
+	dead.cw.close(net.ErrClosed) // writer gone; route entry still present
+
+	msg := Message{Kind: KindRouting, Iter: 3, From: "fe-0", Payload: []float64{0, 1.5, 2.5}}
+	h.route(frameFor("dc-0", msg))
+
+	idx, ok := agentIndex("dc-0")
+	if !ok {
+		t.Fatal("dc-0 not standard")
+	}
+	sh, _ := h.shardOf(idx)
+	sh.mu.RLock()
+	pending := len(sh.pending[idx])
+	sh.mu.RUnlock()
+	if pending != 1 {
+		t.Fatalf("pending records for dc-0: %d, want 1", pending)
+	}
+
+	// A replacement connection registers dc-0: the pending record drains.
+	liveConn := &collectConn{failAt: -1}
+	live := &hubConn{}
+	live.cw = newConnWriter(liveConn, 4, &h.counters, nil)
+	h.register(live, []string{"dc-0"})
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		liveConn.mu.Lock()
+		n := len(liveConn.wrote)
+		liveConn.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("requeued record never delivered to replacement conn")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sh.mu.RLock()
+	pending = len(sh.pending[idx])
+	sh.mu.RUnlock()
+	if pending != 0 {
+		t.Fatalf("pending not drained: %d records left", pending)
+	}
+	live.cw.close(ErrClosed)
+}

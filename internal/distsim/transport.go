@@ -6,7 +6,9 @@
 // the protocol produces bit-identical iterates to the sequential engine —
 // which the tests assert. Transports include an in-memory channel
 // transport with injectable delay/reordering and transient loss
-// (redelivery), and a TCP hub using encoding/gob.
+// (redelivery), and a TCP hub speaking a compact binary framing codec
+// with coalesced, buffered writes (see wire.go; the original gob
+// transport is retained in tcp_gob.go as a benchmark baseline).
 package distsim
 
 import (
@@ -146,8 +148,15 @@ func (t *ChanTransport) Send(to string, m Message) error {
 		t.mu.Unlock()
 		go func() {
 			defer t.wg.Done()
-			time.Sleep(delay)
-			t.deliver(box, m)
+			// Sleep against t.done so Close never waits out the full
+			// delay of in-flight fault-injected deliveries.
+			timer := time.NewTimer(delay)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+				_ = t.deliver(box, m)
+			case <-t.done:
+			}
 		}()
 		return nil
 	}

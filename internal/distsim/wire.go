@@ -1,0 +1,460 @@
+package distsim
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Wire format of the TCP transport (node ⇄ hub, both directions).
+//
+// The stream is a sequence of length-prefixed records:
+//
+//	uvarint  body length in bytes
+//	body
+//
+// A message body is
+//
+//	byte     kind|flags (low nibble: kind 1..5; 0x10 = Stop, 0x20 = named
+//	         addressing; high bits reserved, must be zero)
+//	address  to
+//	address  from
+//	uvarint  iter
+//	float64  payload values, little-endian, until the end of the body
+//	         (the record length determines the count — no count field)
+//
+// where an address is a uvarint agent index (named flag clear) or a
+// uvarint-length-prefixed UTF-8 id string (named flag set; used only for
+// agents outside the standard fe-i / dc-j / coord namespace). A hello
+// body (first byte 0) registers the sender's hosted agents:
+//
+//	byte     0
+//	uvarint  id count
+//	uvarint length + bytes, per id
+//
+// Standard agent ids map onto a dense index space that needs no topology
+// knowledge: coord → 0, fe-i → 1+2i, dc-j → 2+2j. Indices address the
+// hub's routing slots directly and let both ends skip string formatting
+// and parsing on the hot path; the receive side interns index → id
+// strings in an idCache so decoded Messages alias a single string per
+// agent.
+
+// Frame kinds and flags, all packed into the first body byte: the low
+// nibble is the message kind (0 = hello), the next two bits are flags and
+// the top two bits are reserved.
+const (
+	frameKindHello = 0
+
+	frameKindMask       = 0x0f
+	frameFlagStop  byte = 1 << 4
+	frameFlagNamed byte = 1 << 5
+
+	// maxFrameBytes bounds a single record; protocol frames are tiny, so
+	// anything larger is a corrupt or hostile stream.
+	maxFrameBytes = 1 << 20
+	// maxWireAgents bounds agent indices accepted off the wire, keeping a
+	// corrupt frame from growing routing tables without limit.
+	maxWireAgents = 1 << 20
+)
+
+// Wire decoding errors. Truncated and malformed frames fail cleanly with
+// these sentinels rather than panicking.
+var (
+	ErrFrameTruncated = errors.New("distsim: truncated wire frame")
+	ErrFrameInvalid   = errors.New("distsim: invalid wire frame")
+)
+
+// agentIndex maps a standard agent id to its dense wire index.
+func agentIndex(id string) (uint32, bool) {
+	if id == "coord" {
+		return 0, true
+	}
+	var k int
+	if parseID(id, "fe-", &k) && k >= 0 {
+		return uint32(1 + 2*k), true
+	}
+	if parseID(id, "dc-", &k) && k >= 0 {
+		return uint32(2 + 2*k), true
+	}
+	return 0, false
+}
+
+// agentID is the inverse of agentIndex.
+func agentID(idx uint32) string {
+	switch {
+	case idx == 0:
+		return "coord"
+	case idx%2 == 1:
+		return fmt.Sprintf("fe-%d", (idx-1)/2)
+	default:
+		return fmt.Sprintf("dc-%d", (idx-2)/2)
+	}
+}
+
+// idCache interns index → id strings so decoding a frame never formats or
+// allocates an id after the first message from each agent.
+type idCache struct {
+	mu  sync.RWMutex
+	ids []string
+}
+
+func (c *idCache) lookup(idx uint32) string {
+	c.mu.RLock()
+	if int(idx) < len(c.ids) && c.ids[idx] != "" {
+		s := c.ids[idx]
+		c.mu.RUnlock()
+		return s
+	}
+	c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for int(idx) >= len(c.ids) {
+		c.ids = append(c.ids, "")
+	}
+	if c.ids[idx] == "" {
+		c.ids[idx] = agentID(idx)
+	}
+	return c.ids[idx]
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// appendFrame appends the length-prefixed record for m addressed to `to`
+// onto dst and returns the extended slice. It allocates nothing beyond
+// growing dst.
+func appendFrame(dst []byte, to string, m *Message) []byte {
+	toIdx, toOK := agentIndex(to)
+	fromIdx, fromOK := agentIndex(m.From)
+	head := byte(m.Kind) & frameKindMask
+	if m.Stop {
+		head |= frameFlagStop
+	}
+	n := len(m.Payload)
+	var body int
+	if toOK && fromOK {
+		body = 1 + uvarintLen(uint64(toIdx)) + uvarintLen(uint64(fromIdx))
+	} else {
+		head |= frameFlagNamed
+		body = 1 + uvarintLen(uint64(len(to))) + len(to) +
+			uvarintLen(uint64(len(m.From))) + len(m.From)
+	}
+	body += uvarintLen(uint64(uint(m.Iter))) + 8*n
+
+	dst = binary.AppendUvarint(dst, uint64(body))
+	dst = append(dst, head)
+	if head&frameFlagNamed == 0 {
+		dst = binary.AppendUvarint(dst, uint64(toIdx))
+		dst = binary.AppendUvarint(dst, uint64(fromIdx))
+	} else {
+		dst = binary.AppendUvarint(dst, uint64(len(to)))
+		dst = append(dst, to...)
+		dst = binary.AppendUvarint(dst, uint64(len(m.From)))
+		dst = append(dst, m.From...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(uint(m.Iter)))
+	for _, v := range m.Payload {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// appendHello appends the length-prefixed hello record registering ids.
+func appendHello(dst []byte, ids []string) []byte {
+	body := 1 + uvarintLen(uint64(len(ids)))
+	for _, id := range ids {
+		body += uvarintLen(uint64(len(id))) + len(id)
+	}
+	dst = binary.AppendUvarint(dst, uint64(body))
+	dst = append(dst, frameKindHello)
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	for _, id := range ids {
+		dst = binary.AppendUvarint(dst, uint64(len(id)))
+		dst = append(dst, id...)
+	}
+	return dst
+}
+
+// byteCursor is a bounds-checked reader over a frame body.
+type byteCursor struct {
+	b   []byte
+	off int
+}
+
+func (c *byteCursor) u8() (byte, error) {
+	if c.off >= len(c.b) {
+		return 0, ErrFrameTruncated
+	}
+	v := c.b[c.off]
+	c.off++
+	return v, nil
+}
+
+func (c *byteCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		return 0, ErrFrameTruncated
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *byteCursor) bytes(n int) ([]byte, error) {
+	if n < 0 || c.off+n > len(c.b) {
+		return nil, ErrFrameTruncated
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v, nil
+}
+
+// wireMsg is a decoded message record.
+type wireMsg struct {
+	to    string // set only for named frames
+	toIdx uint32 // valid when !named
+	named bool
+	msg   Message
+}
+
+// decodeMessageFrame parses a message body. The payload slice is freshly
+// allocated (messages outlive the read buffer); the From id is interned
+// through the cache for indexed frames.
+func decodeMessageFrame(b []byte, cache *idCache) (wireMsg, error) {
+	var fr wireMsg
+	c := byteCursor{b: b}
+	head, err := c.u8()
+	if err != nil {
+		return fr, err
+	}
+	kind := Kind(head & frameKindMask)
+	if kind < KindRouting || kind > KindFinal || head&^(frameKindMask|frameFlagStop|frameFlagNamed) != 0 {
+		return fr, fmt.Errorf("%w: message head byte %#02x", ErrFrameInvalid, head)
+	}
+	fr.msg.Kind = kind
+	fr.msg.Stop = head&frameFlagStop != 0
+	fr.named = head&frameFlagNamed != 0
+	if fr.named {
+		to, err := c.readString()
+		if err != nil {
+			return fr, err
+		}
+		from, err := c.readString()
+		if err != nil {
+			return fr, err
+		}
+		fr.to, fr.msg.From = to, from
+	} else {
+		toIdx, err := c.uvarint()
+		if err != nil {
+			return fr, err
+		}
+		fromIdx, err := c.uvarint()
+		if err != nil {
+			return fr, err
+		}
+		if toIdx >= maxWireAgents || fromIdx >= maxWireAgents {
+			return fr, fmt.Errorf("%w: agent index out of range", ErrFrameInvalid)
+		}
+		fr.toIdx = uint32(toIdx)
+		fr.msg.From = cache.lookup(uint32(fromIdx))
+	}
+	iter, err := c.uvarint()
+	if err != nil {
+		return fr, err
+	}
+	fr.msg.Iter = int(iter)
+	// The payload runs to the end of the body; the record length is the
+	// count, so the trailing bytes must be a whole number of float64s.
+	trailing := len(b) - c.off
+	if trailing%8 != 0 {
+		return fr, fmt.Errorf("%w: %d trailing payload bytes", ErrFrameInvalid, trailing)
+	}
+	if n := trailing / 8; n > 0 {
+		fr.msg.Payload = make([]float64, n)
+		for i := range fr.msg.Payload {
+			raw, _ := c.bytes(8)
+			fr.msg.Payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw))
+		}
+	}
+	return fr, nil
+}
+
+func (c *byteCursor) readString() (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(c.b)-c.off) {
+		return "", ErrFrameTruncated
+	}
+	raw, err := c.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+// parseHello parses a hello body into the registered id list.
+func parseHello(b []byte) ([]string, error) {
+	c := byteCursor{b: b}
+	head, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	if head != frameKindHello {
+		return nil, fmt.Errorf("%w: expected hello, got head byte %#02x", ErrFrameInvalid, head)
+	}
+	count, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > maxWireAgents || count > uint64(len(b)) {
+		return nil, fmt.Errorf("%w: hello registers %d agents", ErrFrameInvalid, count)
+	}
+	ids := make([]string, 0, count)
+	for k := uint64(0); k < count; k++ {
+		id, err := c.readString()
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	if c.off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing hello bytes", ErrFrameInvalid, len(b)-c.off)
+	}
+	return ids, nil
+}
+
+// peekRoute extracts just the routing information of a message body
+// without touching the payload — the hub forwards records verbatim.
+func peekRoute(b []byte) (hello, named bool, toIdx uint32, to []byte, err error) {
+	c := byteCursor{b: b}
+	head, err := c.u8()
+	if err != nil {
+		return false, false, 0, nil, err
+	}
+	if head == frameKindHello {
+		return true, false, 0, nil, nil
+	}
+	kind := Kind(head & frameKindMask)
+	if kind < KindRouting || kind > KindFinal || head&^(frameKindMask|frameFlagStop|frameFlagNamed) != 0 {
+		return false, false, 0, nil, fmt.Errorf("%w: message head byte %#02x", ErrFrameInvalid, head)
+	}
+	if head&frameFlagNamed != 0 {
+		n, err := c.uvarint()
+		if err != nil {
+			return false, false, 0, nil, err
+		}
+		raw, err := c.bytes(int(n))
+		if err != nil {
+			return false, false, 0, nil, err
+		}
+		return false, true, 0, raw, nil
+	}
+	idx, err := c.uvarint()
+	if err != nil {
+		return false, false, 0, nil, err
+	}
+	if idx >= maxWireAgents {
+		return false, false, 0, nil, fmt.Errorf("%w: agent index out of range", ErrFrameInvalid)
+	}
+	return false, false, uint32(idx), nil, nil
+}
+
+// readRecord reads one length-prefixed record body into *scratch (grown as
+// needed) and returns the body plus the total bytes consumed off the wire.
+func readRecord(br *bufio.Reader, scratch *[]byte) (body []byte, wireBytes int, err error) {
+	ln, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, err
+	}
+	if ln == 0 || ln > maxFrameBytes {
+		return nil, 0, fmt.Errorf("%w: record length %d", ErrFrameInvalid, ln)
+	}
+	if uint64(cap(*scratch)) < ln {
+		*scratch = make([]byte, ln)
+	}
+	b := (*scratch)[:ln]
+	if _, err := io.ReadFull(br, b); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, 0, err
+	}
+	return b, int(ln) + uvarintLen(ln), nil
+}
+
+// TransportStats is a point-in-time snapshot of a TCP transport's
+// counters. Messages and bytes count length-prefixed records on the wire
+// (including the one-off hello); Flushes counts syscall-bounded write
+// batches, so MessagesSent/Flushes is the average coalescing batch size
+// and MaxBatch the largest batch drained in one flush.
+type TransportStats struct {
+	MessagesSent     uint64
+	BytesSent        uint64
+	MessagesReceived uint64
+	BytesReceived    uint64
+	Flushes          uint64
+	MaxBatch         uint64
+}
+
+// AvgBatch is the mean number of records coalesced per flush.
+func (s TransportStats) AvgBatch() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.MessagesSent) / float64(s.Flushes)
+}
+
+// transportCounters is the shared atomic counter block behind
+// TransportStats.
+type transportCounters struct {
+	msgsSent  atomic.Uint64
+	bytesSent atomic.Uint64
+	msgsRecv  atomic.Uint64
+	bytesRecv atomic.Uint64
+	flushes   atomic.Uint64
+	maxBatch  atomic.Uint64
+}
+
+func (c *transportCounters) noteSend(wireBytes int) {
+	c.msgsSent.Add(1)
+	c.bytesSent.Add(uint64(wireBytes))
+}
+
+func (c *transportCounters) noteRecv(wireBytes int) {
+	c.msgsRecv.Add(1)
+	c.bytesRecv.Add(uint64(wireBytes))
+}
+
+func (c *transportCounters) noteFlush(batch int) {
+	c.flushes.Add(1)
+	for {
+		cur := c.maxBatch.Load()
+		if uint64(batch) <= cur || c.maxBatch.CompareAndSwap(cur, uint64(batch)) {
+			return
+		}
+	}
+}
+
+func (c *transportCounters) snapshot() TransportStats {
+	return TransportStats{
+		MessagesSent:     c.msgsSent.Load(),
+		BytesSent:        c.bytesSent.Load(),
+		MessagesReceived: c.msgsRecv.Load(),
+		BytesReceived:    c.bytesRecv.Load(),
+		Flushes:          c.flushes.Load(),
+		MaxBatch:         c.maxBatch.Load(),
+	}
+}

@@ -1,0 +1,298 @@
+package distsim
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// wireTestMessages enumerates every message kind crossed with empty,
+// short and long payloads, the Stop flag, and both standard (indexed) and
+// non-standard (named) addressing.
+func wireTestMessages() []struct {
+	to string
+	m  Message
+} {
+	rng := rand.New(rand.NewSource(42))
+	long := make([]float64, 4096)
+	for i := range long {
+		long[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(12)-6))
+	}
+	var cases []struct {
+		to string
+		m  Message
+	}
+	payloads := [][]float64{
+		nil,
+		{0},
+		{1.5, -2.25, math.Pi},
+		{math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64, -0.0},
+		long,
+	}
+	addrs := []struct{ to, from string }{
+		{"fe-0", "dc-0"},
+		{"dc-7", "fe-12"},
+		{"coord", "fe-3"},
+		{"fe-524286", "coord"}, // large index, still below maxWireAgents
+		{"observer", "fe-2"},    // named: non-standard destination
+		{"dc-1", "gremlin-9"},   // named: non-standard sender
+		{"", ""},                // named: empty ids
+	}
+	for kind := KindRouting; kind <= KindFinal; kind++ {
+		for _, p := range payloads {
+			for _, stop := range []bool{false, true} {
+				for _, a := range addrs {
+					cases = append(cases, struct {
+						to string
+						m  Message
+					}{a.to, Message{
+						Kind: kind, Iter: rng.Intn(1 << 20), From: a.from,
+						Payload: p, Stop: stop,
+					}})
+				}
+			}
+		}
+	}
+	return cases
+}
+
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWireRoundTrip encodes then decodes every message shape and demands
+// bit-identical payloads plus exact kind/iter/from/stop and routing.
+func TestWireRoundTrip(t *testing.T) {
+	var cache idCache
+	for _, tc := range wireTestMessages() {
+		rec := appendFrame(nil, tc.to, &tc.m)
+
+		// The record must round-trip through the stream reader.
+		br := bufio.NewReader(bytes.NewReader(rec))
+		var scratch []byte
+		body, wire, err := readRecord(br, &scratch)
+		if err != nil {
+			t.Fatalf("readRecord(%q -> %q kind %d): %v", tc.m.From, tc.to, tc.m.Kind, err)
+		}
+		if wire != len(rec) {
+			t.Fatalf("wire bytes %d != record length %d", wire, len(rec))
+		}
+
+		fr, err := decodeMessageFrame(body, &cache)
+		if err != nil {
+			t.Fatalf("decode(%q -> %q kind %d): %v", tc.m.From, tc.to, tc.m.Kind, err)
+		}
+		got := fr.msg
+		if got.Kind != tc.m.Kind || got.Iter != tc.m.Iter || got.Stop != tc.m.Stop {
+			t.Fatalf("header mismatch: got %+v want %+v", got, tc.m)
+		}
+		if got.From != tc.m.From {
+			t.Fatalf("from: got %q want %q", got.From, tc.m.From)
+		}
+		if !sameFloats(got.Payload, tc.m.Payload) {
+			t.Fatalf("payload mismatch for kind %d len %d", tc.m.Kind, len(tc.m.Payload))
+		}
+
+		// Routing info must agree with decode on both paths.
+		hello, named, toIdx, toName, err := peekRoute(body)
+		if err != nil || hello {
+			t.Fatalf("peekRoute: hello=%v err=%v", hello, err)
+		}
+		if named != fr.named {
+			t.Fatalf("peek named=%v decode named=%v", named, fr.named)
+		}
+		if named {
+			if string(toName) != tc.to || fr.to != tc.to {
+				t.Fatalf("named to: peek %q decode %q want %q", toName, fr.to, tc.to)
+			}
+		} else {
+			wantIdx, ok := agentIndex(tc.to)
+			if !ok || toIdx != wantIdx || fr.toIdx != wantIdx {
+				t.Fatalf("indexed to: peek %d decode %d want %d (%q)", toIdx, fr.toIdx, wantIdx, tc.to)
+			}
+		}
+	}
+}
+
+// TestWireTruncatedFrames verifies every strict prefix of a valid body
+// decodes to a clean error or — when the cut lands exactly on a float64
+// boundary, indistinguishable from a genuinely shorter message because
+// the record length is the payload count — to the same message with a
+// bitwise prefix of the payload. Never a panic, never bogus fields.
+// Mid-record truncation on the stream itself is caught by the length
+// prefix (second half of the test).
+func TestWireTruncatedFrames(t *testing.T) {
+	var cache idCache
+	for _, tc := range wireTestMessages() {
+		rec := appendFrame(nil, tc.to, &tc.m)
+		_, body := splitRecord(rec)
+		headerEnd := len(body) - 8*len(tc.m.Payload)
+		for cut := 0; cut < len(body); cut++ {
+			fr, err := decodeMessageFrame(body[:cut], &cache)
+			if err != nil {
+				continue
+			}
+			if cut < headerEnd || (cut-headerEnd)%8 != 0 {
+				t.Fatalf("truncated body (%d of %d bytes) decoded without error", cut, len(body))
+			}
+			got := fr.msg
+			if got.Kind != tc.m.Kind || got.Iter != tc.m.Iter || got.Stop != tc.m.Stop ||
+				got.From != tc.m.From ||
+				!sameFloats(got.Payload, tc.m.Payload[:(cut-headerEnd)/8]) {
+				t.Fatalf("payload-truncated body decoded to bogus message %+v", got)
+			}
+		}
+	}
+	// A truncated stream record (length prefix promising more bytes than
+	// arrive) must fail cleanly too.
+	rec := appendFrame(nil, "fe-0", &Message{Kind: KindAux, From: "dc-0", Payload: []float64{1, 2}})
+	for cut := 1; cut < len(rec); cut++ {
+		br := bufio.NewReader(bytes.NewReader(rec[:cut]))
+		var scratch []byte
+		if _, _, err := readRecord(br, &scratch); err == nil {
+			t.Fatalf("truncated record (%d of %d bytes) read without error", cut, len(rec))
+		}
+	}
+}
+
+func TestWireRejectsBadFrames(t *testing.T) {
+	var cache idCache
+	bad := [][]byte{
+		{},                        // empty
+		{0, 0},                    // hello passed to message decoder
+		{0x0f, 0, 0, 0},           // kind nibble outside 1..5
+		{byte(KindAux) | 0x40, 0, 0, 0},   // reserved head bit set
+		{byte(KindAux), 0, 0, 0, 1, 2, 3}, // trailing bytes not a whole float64
+	}
+	for _, b := range bad {
+		if _, err := decodeMessageFrame(b, &cache); err == nil {
+			t.Errorf("frame %v decoded without error", b)
+		}
+	}
+	// Oversized record length.
+	var huge []byte
+	huge = append(huge, 0xff, 0xff, 0xff, 0x7f) // uvarint ≫ maxFrameBytes
+	br := bufio.NewReader(bytes.NewReader(huge))
+	var scratch []byte
+	if _, _, err := readRecord(br, &scratch); !errors.Is(err, ErrFrameInvalid) {
+		t.Errorf("oversized record: %v", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	for _, ids := range [][]string{
+		{},
+		{"coord"},
+		{"fe-0", "fe-1", "dc-0", "dc-1", "coord"},
+		{"weird agent", "", "fe-3"},
+	} {
+		rec := appendHello(nil, ids)
+		_, body := splitRecord(rec)
+		hello, _, _, _, err := peekRoute(body)
+		if err != nil || !hello {
+			t.Fatalf("peekRoute(hello %v): hello=%v err=%v", ids, hello, err)
+		}
+		got, err := parseHello(body)
+		if err != nil {
+			t.Fatalf("parseHello(%v): %v", ids, err)
+		}
+		if len(got) != len(ids) {
+			t.Fatalf("hello ids: got %v want %v", got, ids)
+		}
+		for k := range ids {
+			if got[k] != ids[k] {
+				t.Fatalf("hello ids: got %v want %v", got, ids)
+			}
+		}
+		for cut := 0; cut < len(body); cut++ {
+			if _, err := parseHello(body[:cut]); err == nil {
+				t.Fatalf("truncated hello (%d bytes) parsed without error", cut)
+			}
+		}
+	}
+}
+
+// TestAgentIndexRoundTrip pins the dense index scheme.
+func TestAgentIndexRoundTrip(t *testing.T) {
+	var cache idCache
+	for _, id := range []string{"coord", "fe-0", "fe-1", "fe-31", "dc-0", "dc-7", "dc-999"} {
+		idx, ok := agentIndex(id)
+		if !ok {
+			t.Fatalf("agentIndex(%q) not standard", id)
+		}
+		if back := agentID(idx); back != id {
+			t.Errorf("agentID(agentIndex(%q)) = %q", id, back)
+		}
+		if s := cache.lookup(idx); s != id {
+			t.Errorf("cache.lookup(%d) = %q want %q", idx, s, id)
+		}
+		// Interning: the same index yields the same string header.
+		if s1, s2 := cache.lookup(idx), cache.lookup(idx); s1 != s2 {
+			t.Errorf("cache not stable for %q", id)
+		}
+	}
+	for _, id := range []string{"", "fe-", "fe-x", "gremlin-1", "coord2", "FE-1"} {
+		if _, ok := agentIndex(id); ok {
+			t.Errorf("agentIndex(%q) unexpectedly standard", id)
+		}
+	}
+}
+
+// FuzzWireDecode drives the three decoders with arbitrary bytes: they
+// must never panic, and whatever decodes must re-encode to a frame that
+// decodes identically.
+func FuzzWireDecode(f *testing.F) {
+	// Seed corpus: valid frames of every kind plus truncations of each.
+	seeds := [][]byte{
+		appendHello(nil, []string{"fe-0", "dc-0", "coord"}),
+		{0}, {0, 0}, {1}, {5, 1}, {6, 0},
+	}
+	for _, tc := range wireTestMessages()[:40] {
+		rec := appendFrame(nil, tc.to, &tc.m)
+		_, body := splitRecord(rec)
+		seeds = append(seeds, append([]byte(nil), body...))
+		if len(body) > 3 {
+			seeds = append(seeds, append([]byte(nil), body[:len(body)/2]...))
+			seeds = append(seeds, append([]byte(nil), body[:len(body)-1]...))
+		}
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var cache idCache
+		_, _, _, _, _ = peekRoute(b)
+		_, _ = parseHello(b)
+		fr, err := decodeMessageFrame(b, &cache)
+		if err != nil {
+			return
+		}
+		// Decoded OK: the message must survive a canonical re-encode.
+		to := fr.to
+		if !fr.named {
+			to = cache.lookup(fr.toIdx)
+		}
+		rec := appendFrame(nil, to, &fr.msg)
+		_, body := splitRecord(rec)
+		fr2, err := decodeMessageFrame(body, &cache)
+		if err != nil {
+			t.Fatalf("re-encode of decoded frame failed to decode: %v", err)
+		}
+		if fr2.msg.Kind != fr.msg.Kind || fr2.msg.Iter != fr.msg.Iter ||
+			fr2.msg.Stop != fr.msg.Stop || fr2.msg.From != fr.msg.From ||
+			!sameFloats(fr2.msg.Payload, fr.msg.Payload) {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", fr2.msg, fr.msg)
+		}
+	})
+}
