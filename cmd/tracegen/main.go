@@ -53,7 +53,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() //ufc:discard safety net for the error paths; the success path returns the real Close error below
 		if err := trace.WriteCSV(f, series); err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}

@@ -35,7 +35,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer func() { _ = hub.Close() }()
+	defer func() { _ = hub.Close() }() //ufc:discard best-effort cleanup on the signal-driven exit path
 	fmt.Println("hub listening on", hub.Addr())
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,299 @@
+// Command ufclint runs the repository's custom static analyzers (see
+// internal/analysis): detrand, hotalloc, wiresafe and errdiscard enforce
+// the solver's determinism, zero-allocation and wire-safety invariants at
+// compile time.
+//
+// Two modes:
+//
+//	ufclint ./...                          # standalone: load, check, report
+//	go vet -vettool=$(which ufclint) ./... # vet unit-checker protocol
+//
+// Standalone mode shells out to `go list -export -deps -json` and
+// type-checks each target package against its dependencies' export data —
+// no third-party loader required. Vet-tool mode implements the cmd/go unit
+// checker contract: it is invoked once per package with a JSON config file
+// argument, and with -V=full for the toolchain's cache key.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args))
+}
+
+func run(argv []string) int {
+	progname := filepath.Base(argv[0])
+	args := argv[1:]
+
+	// cmd/go probes the tool before every vet run: -V=full for the action
+	// cache key (the reply must start with "<name> version") and -flags for
+	// the tool's analyzer flags (a JSON array).
+	for _, a := range args {
+		switch a {
+		case "-V=full", "-V":
+			fmt.Printf("%s version 1.0.0\n", strings.TrimSuffix(progname, ".exe"))
+			return 0
+		case "-flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ContinueOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers := analysis.All()
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "%s: unknown analyzer %q\n", progname, name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return unitCheck(rest[0], analyzers)
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	return standalone(rest, analyzers)
+}
+
+// ---------------------------------------------------------------------------
+// Standalone mode: go list -export -deps -json.
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	cmdArgs := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ufclint: go list: %v\n", err)
+		return 2
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "ufclint: parse go list output: %v\n", err)
+			return 2
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	exitCode := 0
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			fmt.Fprintf(os.Stderr, "ufclint: %s: %s\n", p.ImportPath, p.Error.Err)
+			exitCode = 2
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		diags, err := checkPackage(fset, p.ImportPath, files, p.ImportMap, exports, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ufclint: %s: %v\n", p.ImportPath, err)
+			exitCode = 2
+			continue
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		if len(diags) > 0 {
+			exitCode = 1
+		}
+	}
+	return exitCode
+}
+
+// checkPackage parses and type-checks one package against precompiled
+// export data and runs the analyzers over it.
+func checkPackage(fset *token.FileSet, path string, files []string, importMap, exports map[string]string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, af)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(p string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[p]; ok {
+			p = mapped
+		}
+		file, ok := exports[p]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{Importer: imp}
+	info := analysis.NewInfo()
+	pkg, err := conf.Check(path, fset, syntax, info)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := analysis.Run(fset, syntax, pkg, info, analyzers)
+	sortDiags(fset, diags)
+	return diags, err
+}
+
+func sortDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+}
+
+// ---------------------------------------------------------------------------
+// Vet-tool mode: the cmd/go unit checker protocol.
+
+// vetConfig mirrors the JSON config cmd/go hands a -vettool (one package
+// per invocation).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitCheck(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ufclint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ufclint: parse %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The analyzers export no facts, but cmd/go expects the facts file to
+	// exist as a cacheable action output.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("ufclint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "ufclint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var syntax []*ast.File
+	for _, f := range cfg.GoFiles {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "ufclint: %v\n", err)
+			return 2
+		}
+		syntax = append(syntax, af)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(p string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[p]; ok {
+			p = mapped
+		}
+		file, ok := cfg.PackageFile[p]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	info := analysis.NewInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, syntax, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "ufclint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	diags, err := analysis.Run(fset, syntax, pkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ufclint: %v\n", err)
+		return 2
+	}
+	sortDiags(fset, diags)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

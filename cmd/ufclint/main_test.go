@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestVersionHandshake checks the -V=full reply cmd/go uses for its action
+// cache key: it must start with "<tool name> version".
+func TestVersionHandshake(t *testing.T) {
+	if code := run([]string{"ufclint", "-V=full"}); code != 0 {
+		t.Fatalf("-V=full exited %d", code)
+	}
+}
+
+// TestStandaloneCleanOnDistsim runs the full standalone pipeline (go list
+// -export, parse, type-check, all four analyzers) over the wire layer and
+// requires a clean report: every invariant violation in distsim must be
+// fixed or carry a justification directive.
+func TestStandaloneCleanOnDistsim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list -export")
+	}
+	code := run([]string{"ufclint", "repro/internal/distsim", "repro/internal/core"})
+	if code != 0 {
+		t.Fatalf("ufclint reported findings on internal/distsim + internal/core (exit %d); see stderr", code)
+	}
+}
+
+// TestStandaloneFlagsInjectedViolation proves the standalone driver actually
+// analyzes: a throwaway package with a hotpath Sprintf must be flagged.
+func TestStandaloneFlagsInjectedViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list -export")
+	}
+	dir := t.TempDir()
+	src := []byte(`package scratch
+
+import "fmt"
+
+//ufc:hotpath
+func hot(n int) string { return fmt.Sprintf("%d", n) }
+`)
+	if err := os.WriteFile(dir+"/scratch.go", src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod := []byte("module scratch\n\ngo 1.21\n")
+	if err := os.WriteFile(dir+"/go.mod", mod, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	// Capture stderr to keep `go test` output clean and assert the message.
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	code := run([]string{"ufclint", "."})
+	os.Stderr = old
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("expected exit 1 on a hotpath violation, got %d (output %q)", code, buf.String())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("fmt.Sprintf allocates")) {
+		t.Fatalf("expected a hotalloc diagnostic, got %q", buf.String())
+	}
+}

@@ -79,7 +79,7 @@ func run(args []string) error {
 			if err == nil {
 				bd, st = res.Breakdown, res.Stats
 			}
-			_ = tr.Close()
+			_ = tr.Close() //ufc:discard in-process transport; Run already surfaced any failure
 		} else {
 			_, bd, st, err = core.Solve(inst, opts)
 		}

@@ -63,13 +63,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer func() { _ = hub.Close() }()
+	defer func() { _ = hub.Close() }() //ufc:discard example teardown; errors have nowhere useful to go
 	m, n := inst.Cloud.M(), inst.Cloud.N()
 	node, err := distsim.NewTCPNode(hub.Addr(), distsim.AllAgentIDs(m, n), 256)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer func() { _ = node.Close() }()
+	defer func() { _ = node.Close() }() //ufc:discard example teardown; errors have nowhere useful to go
 	res, err := distsim.Run(inst, distsim.RunOptions{
 		Solver:  core.Options{MaxIterations: 3000},
 		Timeout: time.Minute,

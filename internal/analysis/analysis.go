@@ -1,0 +1,270 @@
+// Package analysis implements ufclint's custom static analyzers: compile-time
+// enforcement of the solver invariants that previously lived only in runtime
+// tests — bit-identical distributed vs. sequential ADM-G iterates
+// (determinism), allocation-free hot loops, wire-format safety, and explicit
+// error handling on transport and file operations.
+//
+// The package mirrors the golang.org/x/tools/go/analysis API shape (Analyzer,
+// Pass, Diagnostic) but is built on the standard library only, since this
+// module carries no external dependencies. The cmd/ufclint driver runs the
+// analyzers either standalone over `go list` output or as a `go vet -vettool`
+// unit checker.
+//
+// Source annotations understood by the analyzers:
+//
+//	//ufc:hotpath      (function doc) — hotalloc checks this function for
+//	                   allocation-causing constructs.
+//	//ufc:nondet <why> (same or preceding line) — suppresses a detrand
+//	                   finding with a justification.
+//	//ufc:discard <why> (same or preceding line) — justifies a `_ =` error
+//	                   discard for errdiscard.
+//	//ufc:unvalidated <why> (same or preceding line) — suppresses a wiresafe
+//	                   finding with a justification.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.
+	Name string
+	// Doc is a one-paragraph description of what it enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+
+	// directives caches per-file line → "//ufc:<name> ..." comments.
+	directives map[*ast.File]map[int]string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// Invariants are enforced on production code; tests may freely range over
+// maps, drop errors, and allocate.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// FileOf returns the *ast.File whose range covers pos, or nil.
+func (p *Pass) FileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Suppressed reports whether node's line (or the line directly above it)
+// carries a //ufc:<directive> comment with a non-empty justification.
+func (p *Pass) Suppressed(node ast.Node, directive string) bool {
+	file := p.FileOf(node.Pos())
+	if file == nil {
+		return false
+	}
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]map[int]string)
+	}
+	lines, ok := p.directives[file]
+	if !ok {
+		lines = make(map[int]string)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(c.Text, "//ufc:"); ok {
+					lines[p.Fset.Position(c.Pos()).Line] = rest
+				}
+			}
+		}
+		p.directives[file] = lines
+	}
+	line := p.Fset.Position(node.Pos()).Line
+	for _, l := range [2]int{line, line - 1} {
+		if rest, ok := lines[l]; ok {
+			name, why, _ := strings.Cut(rest, " ")
+			if name == directive && strings.TrimSpace(why) != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncHasDirective reports whether the function's doc comment contains the
+// //ufc:<directive> marker (e.g. "hotpath").
+func FuncHasDirective(fn *ast.FuncDecl, directive string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, "//ufc:"); ok {
+			name, _, _ := strings.Cut(rest, " ")
+			if name == directive {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// WalkStack walks the tree rooted at root, calling fn with the ancestor
+// stack (root first, parent of n last) before visiting each node. If fn
+// returns false the subtree under n is skipped.
+func WalkStack(root ast.Node, fn func(stack []ast.Node, n ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := fn(stack, n)
+		stack = append(stack, n)
+		if !ok {
+			// Still pop: Inspect sends the nil for this node only if we
+			// return true, so unwind manually by returning false after
+			// removing the just-pushed frame.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// funcOf resolves a call's callee to a *types.Func (package-level function
+// or method), or nil.
+func (p *Pass) funcOf(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := p.TypesInfo.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := p.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// calleeFromPackage reports whether the call resolves to a function or
+// method defined in the package with the given import path.
+func (p *Pass) calleeFromPackage(call *ast.CallExpr, path string) bool {
+	f := p.funcOf(call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == path
+}
+
+// isPackageLevelCall reports whether the call is pkgpath.name(...), i.e. a
+// package-level function (no receiver).
+func (p *Pass) isPackageLevelCall(call *ast.CallExpr, path, name string) bool {
+	f := p.funcOf(call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != path || f.Name() != name {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// exprEqual reports whether two expressions denote the same variable or
+// field chain (identifier identity via types.Object, selector chains
+// compared recursively). It is intentionally conservative: unknown forms
+// compare unequal.
+func (p *Pass) exprEqual(a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch ea := a.(type) {
+	case *ast.Ident:
+		eb, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		oa := p.TypesInfo.ObjectOf(ea)
+		ob := p.TypesInfo.ObjectOf(eb)
+		return oa != nil && oa == ob
+	case *ast.SelectorExpr:
+		eb, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		return ea.Sel.Name == eb.Sel.Name && p.exprEqual(ea.X, eb.X)
+	case *ast.StarExpr:
+		eb, ok := b.(*ast.StarExpr)
+		if !ok {
+			return false
+		}
+		return p.exprEqual(ea.X, eb.X)
+	case *ast.IndexExpr:
+		eb, ok := b.(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		return p.exprEqual(ea.X, eb.X) && p.exprEqual(ea.Index, eb.Index)
+	}
+	return false
+}
+
+// isByteSlice reports whether t's underlying type is []byte.
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Run applies the analyzers to one type-checked package and returns the
+// findings in source order.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	return diags, nil
+}

@@ -1,0 +1,148 @@
+// Package analysistest runs ufclint analyzers over fixture packages and
+// checks their diagnostics against `// want` comments, mirroring the
+// golang.org/x/tools analysistest contract on the standard library only.
+//
+// A fixture directory holds one package; every expected diagnostic is
+// declared on the offending line as
+//
+//	code // want `regexp`
+//
+// (backquoted or double-quoted). The test fails on any diagnostic without a
+// matching want, and on any want without a matching diagnostic. Fixtures
+// may import the standard library (type-checked from source via
+// go/importer); they cannot import module packages.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// sharedImporter type-checks stdlib imports from GOROOT source. It caches
+// internally, so all fixture packages share one instance (and one FileSet,
+// which the importer requires).
+var (
+	fsetOnce sync.Once
+	fset     *token.FileSet
+	imp      types.Importer
+)
+
+func sharedFset() (*token.FileSet, types.Importer) {
+	fsetOnce.Do(func() {
+		fset = token.NewFileSet()
+		imp = importer.ForCompiler(fset, "source", nil)
+	})
+	return fset, imp
+}
+
+var wantRe = regexp.MustCompile("// want (`[^`]*`|\"[^\"]*\")")
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run applies the analyzer to the fixture package in dir and verifies its
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	fset, imp := sharedFset()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var files []*ast.File
+	wants := make(map[string]map[int][]*want) // file → line → expectations
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture: %v", err)
+		}
+		files = append(files, f)
+		wants[path] = parseWants(t, path, string(src))
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	pkgName := files[0].Name.Name
+	conf := types.Config{Importer: imp}
+	info := analysis.NewInfo()
+	pkg, err := conf.Check(pkgName, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-check fixture %s: %v", dir, err)
+	}
+
+	diags, err := analysis.Run(fset, files, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		lineWants := wants[pos.Filename][pos.Line]
+		found := false
+		for _, w := range lineWants {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	var missing []string
+	for path, byLine := range wants {
+		for line, ws := range byLine {
+			for _, w := range ws {
+				if !w.matched {
+					missing = append(missing, fmt.Sprintf("%s:%d: expected diagnostic matching %q", filepath.Base(path), line, w.re))
+				}
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Error(m)
+	}
+}
+
+func parseWants(t *testing.T, path, src string) map[int][]*want {
+	t.Helper()
+	out := make(map[int][]*want)
+	for i, line := range strings.Split(src, "\n") {
+		for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+			pat := m[1][1 : len(m[1])-1] // strip quotes/backquotes
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, pat, err)
+			}
+			out[i+1] = append(out[i+1], &want{re: re})
+		}
+	}
+	return out
+}

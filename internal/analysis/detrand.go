@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// detPackages are the determinism-critical packages: every agent of the
+// distributed ADM-G protocol must compute the same float trajectory, so
+// nothing in these packages may depend on map iteration order, the global
+// math/rand source, or the wall clock.
+var detPackages = map[string]bool{
+	"admm":    true,
+	"trace":   true,
+	"carbon":  true,
+	"distsim": true,
+	"core":    true,
+}
+
+// Detrand flags nondeterminism sources in determinism-critical packages:
+//
+//   - ranging over a map, unless the body is provably order-insensitive
+//     (pure key collection or keyed transfer with no function calls) or the
+//     site carries a //ufc:nondet justification;
+//   - calls to the process-global math/rand functions (rand.Intn,
+//     rand.Float64, ...), which are unseeded and shared — every RNG draw
+//     must come from an explicitly seeded *rand.Rand;
+//   - time.Now feeding computation (deadline plumbing via Set*Deadline is
+//     exempt).
+//
+// This is the compile-time form of the PR 1 cross-process reproducibility
+// fix: GenMixes drew from its RNG while ranging over the base fuel-mix map,
+// so each process consumed the draws in a different per-process iteration
+// order and solved a different problem.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "flag map-order, global-RNG and wall-clock nondeterminism in determinism-critical packages",
+	Run:  runDetrand,
+}
+
+func runDetrand(pass *Pass) error {
+	if !detPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		WalkStack(file, func(stack []ast.Node, n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				pass.checkMapRange(n)
+			case *ast.CallExpr:
+				pass.checkGlobalRand(n)
+				pass.checkWallClock(n, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange flags `for ... := range m` over a map unless the body is
+// order-insensitive or the site is justified with //ufc:nondet.
+func (p *Pass) checkMapRange(rs *ast.RangeStmt) {
+	t := p.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if p.orderInsensitiveBody(rs) || p.Suppressed(rs, "nondet") {
+		return
+	}
+	p.Reportf(rs.Pos(), "range over map has nondeterministic iteration order that can reach numeric state; collect and sort the keys first (see carbon.Mix.Fuels) or justify with //ufc:nondet")
+}
+
+// orderInsensitiveBody recognizes the two loop shapes whose result cannot
+// depend on iteration order:
+//
+//	for k := range m { keys = append(keys, k) }   // key collection (sorted after)
+//	for k, v := range m { out[k] = <pure expr> }  // keyed transfer
+//
+// Any function or method call in the body (an RNG draw, an accumulating
+// method, I/O) disqualifies it — calls can carry order-dependent state even
+// when the assignment targets look independent.
+func (p *Pass) orderInsensitiveBody(rs *ast.RangeStmt) bool {
+	key, _ := rs.Key.(*ast.Ident)
+	if key == nil || key.Name == "_" {
+		return false
+	}
+	if len(rs.Body.List) == 0 {
+		return true
+	}
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, rhs := as.Lhs[0], as.Rhs[0]
+		switch {
+		case p.isSelfAppendOfKey(lhs, rhs, key):
+			// keys = append(keys, k)
+		case p.isKeyedIndex(lhs, key) && !containsCall(rhs):
+			// out[k] = <call-free expression>
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isSelfAppendOfKey matches `x = append(x, key)`.
+func (p *Pass) isSelfAppendOfKey(lhs, rhs ast.Expr, key *ast.Ident) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+		return false
+	}
+	if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "append" || p.TypesInfo.Uses[fn] != types.Universe.Lookup("append") {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	if !ok || p.TypesInfo.ObjectOf(arg) != p.TypesInfo.ObjectOf(key) {
+		return false
+	}
+	return p.exprEqual(lhs, call.Args[0])
+}
+
+// isKeyedIndex matches an index expression whose index is exactly the range
+// key, e.g. out[k].
+func (p *Pass) isKeyedIndex(lhs ast.Expr, key *ast.Ident) bool {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+	return ok && p.TypesInfo.ObjectOf(id) == p.TypesInfo.ObjectOf(key)
+}
+
+// containsCall reports whether the expression tree contains any call other
+// than the len/cap builtins and type conversions.
+func containsCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// globalRandAllowed are math/rand package-level functions that do not draw
+// from (or reseed) the shared source.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// checkGlobalRand flags calls to math/rand package-level draw functions.
+// Methods on an explicitly constructed *rand.Rand are fine — those carry
+// their own seeded source.
+func (p *Pass) checkGlobalRand(call *ast.CallExpr) {
+	f := p.funcOf(call)
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	path := f.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return
+	}
+	if globalRandAllowed[f.Name()] {
+		return
+	}
+	p.Reportf(call.Pos(), "rand.%s draws from the process-global math/rand source; use a seeded *rand.Rand (rand.New(rand.NewSource(seed))) so every process computes the same trajectory", f.Name())
+}
+
+// checkWallClock flags time.Now in determinism-critical code. A time.Now
+// whose result flows directly into a Set*Deadline call is I/O plumbing,
+// not numeric state, and is exempt.
+func (p *Pass) checkWallClock(call *ast.CallExpr, stack []ast.Node) {
+	if !p.isPackageLevelCall(call, "time", "Now") {
+		return
+	}
+	for _, anc := range stack {
+		c, ok := anc.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+				return
+			}
+		}
+	}
+	if p.Suppressed(call, "nondet") {
+		return
+	}
+	p.Reportf(call.Pos(), "time.Now in a determinism-critical package: wall-clock values must not feed computation; pass timestamps in explicitly or justify with //ufc:nondet")
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Errdiscard flags silently dropped error returns from transport and
+// file/network operations outside tests:
+//
+//   - a statement-level call (including `defer x.Close()`) whose error
+//     result vanishes entirely;
+//   - a blank assignment `_ = x.Close()` without a //ufc:discard
+//     justification comment on the same or preceding line.
+//
+// Only failure-prone operations are watched (Send, Close, Flush, Sync,
+// Shutdown, Write*, Set*Deadline); receivers that cannot fail by contract
+// (strings.Builder, bytes.Buffer, hash.Hash) are exempt. The point is not
+// ritual error wrapping — it is that a dropped Transport.Send is a
+// protocol-level message loss and a dropped Close can swallow the only
+// report of a failed flush, so every drop must be a visible, justified
+// decision.
+var Errdiscard = &Analyzer{
+	Name: "errdiscard",
+	Doc:  "flag silently dropped errors from transport and file/network operations outside tests",
+	Run:  runErrdiscard,
+}
+
+// watchedCallees are the method/function names whose error results must not
+// be dropped silently.
+var watchedCallees = map[string]bool{
+	"Send":             true,
+	"Close":            true,
+	"Flush":            true,
+	"Sync":             true,
+	"Shutdown":         true,
+	"Write":            true,
+	"WriteString":      true,
+	"WriteByte":        true,
+	"WriteRune":        true,
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+// neverFailPkgs define receiver types whose watched methods are documented
+// to always return a nil error.
+var neverFailPkgs = map[string]bool{"strings": true, "bytes": true, "hash": true}
+
+func runErrdiscard(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					pass.checkDroppedCall(call, "silently discards")
+				}
+			case *ast.DeferStmt:
+				// Keep recursing: a deferred closure body may itself hold
+				// blank discards.
+				pass.checkDroppedCall(n.Call, "defers and silently discards")
+			case *ast.GoStmt:
+				pass.checkDroppedCall(n.Call, "silently discards (in a goroutine)")
+			case *ast.AssignStmt:
+				pass.checkBlankDiscard(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// watchedErrorCall reports whether the call is a watched operation whose
+// result set includes an error.
+func (p *Pass) watchedErrorCall(call *ast.CallExpr) bool {
+	f := p.funcOf(call)
+	if f == nil || !watchedCallees[f.Name()] {
+		return false
+	}
+	if f.Pkg() != nil && neverFailPkgs[f.Pkg().Path()] {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pass) checkDroppedCall(call *ast.CallExpr, verb string) {
+	if !p.watchedErrorCall(call) {
+		return
+	}
+	f := p.funcOf(call)
+	p.Reportf(call.Pos(), "%s the error returned by %s; handle it, propagate it, or make the drop explicit with `_ = ...` plus a //ufc:discard justification", verb, f.Name())
+}
+
+// checkBlankDiscard flags `_ = x.Close()` (all-blank assignments of a
+// watched call) lacking a //ufc:discard justification.
+func (p *Pass) checkBlankDiscard(as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || !p.watchedErrorCall(call) {
+		return
+	}
+	for _, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return // some result is kept; assume it is the error being handled
+		}
+	}
+	if p.Suppressed(as, "discard") {
+		return
+	}
+	f := p.funcOf(call)
+	p.Reportf(as.Pos(), "blank discard of the error returned by %s needs a //ufc:discard justification on this line or the line above", f.Name())
+}

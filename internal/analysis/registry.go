@@ -1,0 +1,16 @@
+package analysis
+
+// All returns every ufclint analyzer in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Detrand, Hotalloc, Wiresafe, Errdiscard}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

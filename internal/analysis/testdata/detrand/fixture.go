@@ -1,0 +1,96 @@
+// Fixture for the detrand analyzer. The package is named "trace" to land in
+// the determinism-critical set.
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// genMixesRegression reproduces the PR 1 cross-process reproducibility bug:
+// RNG draws are consumed in map iteration order, so every process that
+// ranges the map differently solves a different problem.
+func genMixesRegression(base map[string]float64, rng *rand.Rand) map[string]float64 {
+	out := make(map[string]float64, len(base))
+	for f, g := range base { // want `range over map has nondeterministic iteration order`
+		out[f] = g * (1 + 0.1*rng.NormFloat64())
+	}
+	return out
+}
+
+// genMixesFixed is the shipped fix: collect the keys (order-insensitive),
+// sort them, then consume the draws in a fixed order.
+func genMixesFixed(base map[string]float64, rng *rand.Rand) map[string]float64 {
+	keys := make([]string, 0, len(base))
+	for f := range base {
+		keys = append(keys, f)
+	}
+	sort.Strings(keys)
+	out := make(map[string]float64, len(base))
+	for _, f := range keys {
+		out[f] = base[f] * (1 + 0.1*rng.NormFloat64())
+	}
+	return out
+}
+
+// normalized is the keyed-transfer shape: each key is written independently
+// with a call-free expression, so iteration order cannot matter.
+func normalized(m map[string]float64, total float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for f, g := range m {
+		out[f] = g / total
+	}
+	return out
+}
+
+// accumulate is order-sensitive in principle (float addition does not
+// commute bit-exactly), so even a call-free body is flagged when it folds
+// into a shared accumulator.
+func accumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, g := range m { // want `range over map has nondeterministic iteration order`
+		sum += g
+	}
+	return sum
+}
+
+// closeAll carries a justification: teardown order is not numeric state.
+func closeAll(boxes map[string]chan int) {
+	//ufc:nondet close order of channels is observationally irrelevant
+	for _, box := range boxes {
+		close(box)
+	}
+}
+
+// jitterGlobal draws from the shared, unseeded process-global source.
+func jitterGlobal() float64 {
+	return rand.Float64() // want `process-global math/rand source`
+}
+
+// jitterSeeded constructs an explicitly seeded generator; rand.New and
+// rand.NewSource are constructors, not draws.
+func jitterSeeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// stamp feeds the wall clock into a numeric value.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `wall-clock values must not feed computation`
+}
+
+// stampJustified carries a justification for a log-only timestamp.
+func stampJustified() int64 {
+	return time.Now().UnixNano() //ufc:nondet log timestamp; never reaches solver state
+}
+
+type deadlineConn interface {
+	SetReadDeadline(t time.Time) error
+}
+
+// armDeadline is I/O plumbing: time.Now flowing directly into a
+// Set*Deadline call is exempt.
+func armDeadline(c deadlineConn) error {
+	return c.SetReadDeadline(time.Now().Add(time.Second))
+}

@@ -1,0 +1,60 @@
+// Fixture for the errdiscard analyzer.
+package errdiscard
+
+import (
+	"errors"
+	"strings"
+)
+
+type conn struct{}
+
+func (conn) Close() error         { return errors.New("close failed") }
+func (conn) Send(to string) error { return nil }
+func (conn) Flush() error         { return nil }
+func (conn) Detach()              {}
+
+func dropStmt(c conn) {
+	c.Close() // want `silently discards the error returned by Close`
+}
+
+func dropDefer(c conn) {
+	defer c.Close() // want `defers and silently discards the error returned by Close`
+}
+
+func dropGo(c conn) {
+	go c.Flush() // want `silently discards \(in a goroutine\) the error returned by Flush`
+}
+
+func dropSend(c conn) {
+	c.Send("fe-0") // want `silently discards the error returned by Send`
+}
+
+func dropBlank(c conn) {
+	_ = c.Close() // want `blank discard of the error returned by Close`
+}
+
+func dropInDeferredClosure(c conn) {
+	defer func() {
+		_ = c.Close() // want `blank discard of the error returned by Close`
+	}()
+}
+
+func justified(c conn) {
+	_ = c.Close() //ufc:discard teardown; the read loop already reported the real error
+}
+
+func handled(c conn) error {
+	return c.Close()
+}
+
+// Detach returns nothing; only error-returning operations are watched.
+func noError(c conn) {
+	c.Detach()
+}
+
+// strings.Builder's Write methods are documented to never fail.
+func neverFails() string {
+	var sb strings.Builder
+	sb.WriteString("x")
+	return sb.String()
+}

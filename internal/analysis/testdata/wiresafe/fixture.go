@@ -1,0 +1,46 @@
+// Fixture for the wiresafe analyzer. The package is named "distsim" because
+// the analyzer only applies to the wire layer.
+package distsim
+
+const (
+	frameKindData  byte = 0x01
+	frameKindHello byte = 0x02 // want `used on the encode side but never on the decode side`
+	//ufc:unvalidated reserved for protocol v2; current decoders ignore it by design
+	frameFlagTrace byte = 0x40
+)
+
+// appendHeader is encode-side: it emits all three constants.
+func appendHeader(dst []byte, trace bool) []byte {
+	k := frameKindData
+	if trace {
+		k |= frameFlagTrace
+	}
+	return append(dst, k, frameKindHello)
+}
+
+// parseKind is decode-side and interprets frameKindData — so that constant
+// is symmetric — but nothing ever decodes frameKindHello.
+func parseKind(b []byte) (byte, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	return b[0] & frameKindData, true
+}
+
+// decodeHeader indexes its payload without any length validation.
+func decodeHeader(b []byte) byte {
+	return b[0] // want `reads a \[\]byte payload without validating its length`
+}
+
+// decodeGuarded validates before every access.
+func decodeGuarded(b []byte) (byte, bool) {
+	if len(b) < 1 {
+		return 0, false
+	}
+	return b[0], true
+}
+
+// peekReserved documents why the raw access is safe.
+func peekReserved(b []byte) byte {
+	return b[4] //ufc:unvalidated caller guarantees an 8-byte header
+}

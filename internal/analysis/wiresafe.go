@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// Wiresafe checks the binary wire layer (package distsim) for the two
+// classes of framing bug the PR 2 codec is exposed to:
+//
+//   - decode-side functions that index or slice a []byte parameter without
+//     any length validation in the function body. A truncated or hostile
+//     frame must fail with ErrFrameTruncated, not a bounds panic, so every
+//     raw payload access needs a len() guard (or must go through the
+//     bounds-checked byteCursor);
+//
+//   - wire constants (frameKind*/frameFlag*) referenced asymmetrically:
+//     a kind or flag that the encode side (append*/encode*/write*) emits
+//     but the decode side (decode*/parse*/peek*/read*) never interprets —
+//     or vice versa — is a silent protocol skew between peers.
+var Wiresafe = &Analyzer{
+	Name: "wiresafe",
+	Doc:  "flag unvalidated payload reads and encode/decode-asymmetric wire constants in the distsim wire layer",
+	Run:  runWiresafe,
+}
+
+var (
+	wireConstRe  = regexp.MustCompile(`^frame(Kind|Flag)`)
+	encodeSideRe = regexp.MustCompile(`^(append|encode|write|marshal|Append|Encode|Write|Marshal)`)
+	decodeSideRe = regexp.MustCompile(`^(decode|parse|peek|read|split|unmarshal|Decode|Parse|Peek|Read|Split|Unmarshal)`)
+)
+
+func runWiresafe(pass *Pass) error {
+	if pass.Pkg.Name() != "distsim" {
+		return nil
+	}
+	// encUse/decUse record, per wire constant, one position on each side.
+	type sides struct {
+		enc, dec bool
+		decl     *ast.Ident
+	}
+	consts := make(map[types.Object]*sides)
+
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if wireConstRe.MatchString(name.Name) {
+							if obj := pass.TypesInfo.Defs[name]; obj != nil {
+								consts[obj] = &sides{decl: name}
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				pass.checkPayloadReads(d)
+			}
+		}
+	}
+	if len(consts) == 0 {
+		return nil
+	}
+	// Classify every use of each wire constant by its enclosing function.
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			enc := encodeSideRe.MatchString(fd.Name.Name)
+			dec := decodeSideRe.MatchString(fd.Name.Name)
+			if !enc && !dec {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if s, ok := consts[pass.TypesInfo.Uses[id]]; ok {
+					s.enc = s.enc || enc
+					s.dec = s.dec || dec
+				}
+				return true
+			})
+		}
+	}
+	for _, s := range consts {
+		if s.enc == s.dec { // used on both sides, or on neither (dead: vet's
+			continue // unused check owns that case)
+		}
+		side, missing := "encode", "decode"
+		if s.dec {
+			side, missing = "decode", "encode"
+		}
+		if pass.Suppressed(s.decl, "unvalidated") {
+			continue
+		}
+		pass.Reportf(s.decl.Pos(), "wire constant %s is used on the %s side but never on the %s side; peers will disagree on the frame format", s.decl.Name, side, missing)
+	}
+	return nil
+}
+
+// checkPayloadReads flags decode-side functions that index/slice a []byte
+// parameter without a len() guard anywhere in the body.
+func (p *Pass) checkPayloadReads(fd *ast.FuncDecl) {
+	if fd.Body == nil || !decodeSideRe.MatchString(fd.Name.Name) {
+		return
+	}
+	// Collect []byte parameter objects.
+	params := make(map[types.Object]bool)
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := p.TypesInfo.Defs[name]; obj != nil && isByteSlice(obj.Type()) {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	var raw ast.Node // first unguarded-candidate access
+	hasLenGuard := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && params[p.TypesInfo.Uses[id]] && raw == nil {
+				raw = n
+			}
+		case *ast.SliceExpr:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && params[p.TypesInfo.Uses[id]] && raw == nil {
+				raw = n
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "len" && p.TypesInfo.Uses[id] == types.Universe.Lookup("len") {
+				if len(n.Args) == 1 {
+					if arg, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok && params[p.TypesInfo.Uses[arg]] {
+						hasLenGuard = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if raw != nil && !hasLenGuard && !p.Suppressed(raw, "unvalidated") {
+		p.Reportf(raw.Pos(), "%s reads a []byte payload without validating its length; a truncated frame must fail with ErrFrameTruncated, not a bounds panic", fd.Name.Name)
+	}
+}

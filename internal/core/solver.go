@@ -159,12 +159,12 @@ type Engine struct {
 	opts Options
 	m, n int
 
-	alphaEq []float64 // α_j/β_j (server-equivalents)
-	beta    []float64 // β_j, MW per workload unit (for unit conversion)
-	capEq   []float64 // effective μ_j^max/β_j per strategy
-	p0Eq    []float64 // p0·β_j, $ per server-equivalent-hour
-	pEq     []float64 // p_j·β_j
-	cEq     []float64 // C_j·β_j, tons per server-equivalent-hour
+	alphaEq []float64   // α_j/β_j (server-equivalents)
+	beta    []float64   // β_j, MW per workload unit (for unit conversion)
+	capEq   []float64   // effective μ_j^max/β_j per strategy
+	p0Eq    []float64   // p0·β_j, $ per server-equivalent-hour
+	pEq     []float64   // p_j·β_j
+	cEq     []float64   // C_j·β_j, tons per server-equivalent-hour
 	lat     [][]float64 // cached latency rows (Cloud.LatencyRow allocates)
 
 	// rho is the effective penalty: Options.Rho times the instance's
@@ -357,6 +357,8 @@ func (e *Engine) LambdaStep(i int, aRow, varphiRow []float64) ([]float64, error)
 // (s = 2w/A_i, s = 0 respectively), an identity-plus-rank-one QP solved
 // exactly by solveLambdaQP; other utilities fall back to the generic
 // projected-gradient path, which allocates.
+//
+//ufc:hotpath
 func (e *Engine) LambdaStepInto(ws *StepWorkspace, i int, aRow, varphiRow, dst []float64) error {
 	n := e.n
 	arrivals := e.inst.Arrivals[i]
@@ -405,6 +407,8 @@ func (e *Engine) LambdaStepInto(ws *StepWorkspace, i int, aRow, varphiRow, dst [
 // QP. g(t) = lᵀλ*(t) − t is strictly decreasing — the projection is a
 // monotone operator and the input moves along −l — so the unique root on
 // [total·min(l), total·max(l)] is found by bisection to machine precision.
+//
+//ufc:hotpath
 func (e *Engine) solveLambdaQP(ws *StepWorkspace, c, l []float64, s, total float64, dst []float64) {
 	n := len(c)
 	rho := e.rho
@@ -509,6 +513,8 @@ func (e *Engine) lambdaProjGrad(u utility.Func, lat []float64, arrivals float64,
 //	μ̃_j = clamp(α_j + Σ_i a_ij − ν_j − (φ_j + p0)/ρ, 0, μ_j^max)
 //
 // in server-equivalent units.
+//
+//ufc:hotpath
 func (e *Engine) MuStep(j int, sumA, nu, phi float64) float64 {
 	target := e.alphaEq[j] + sumA - nu - (phi+e.p0Eq[j])/e.rho
 	return qp.Clamp(target, 0, e.capEq[j])
@@ -564,6 +570,8 @@ func (e *Engine) AStep(j int, lambdaTildeCol, varphiCol []float64, muTilde, nuTi
 // AStepInto is the allocation-free a-minimization: the result is written
 // into dst (length M) and ws provides all scratch. Concurrent callers must
 // use distinct workspaces.
+//
+//ufc:hotpath
 func (e *Engine) AStepInto(ws *StepWorkspace, j int, lambdaTildeCol, varphiCol []float64, muTilde, nuTilde, phi float64, dst []float64) error {
 	m := e.m
 	rho := e.rho
@@ -580,6 +588,8 @@ func (e *Engine) AStepInto(ws *StepWorkspace, j int, lambdaTildeCol, varphiCol [
 
 // PowerBalance returns α_j + Σ_i a_ij − μ − ν in server-equivalent units,
 // the residual of the power balance constraint (15).
+//
+//ufc:hotpath
 func (e *Engine) PowerBalance(j int, sumA, mu, nu float64) float64 {
 	return e.alphaEq[j] + sumA - mu - nu
 }
@@ -592,6 +602,8 @@ func (e *Engine) PowerBalance(j int, sumA, mu, nu float64) float64 {
 // Options.Workers > 1 the per-front-end and per-datacenter minimizations
 // fan out across a persistent goroutine pool; every work item writes to a
 // fixed index, so the iterates are bit-identical to the serial ones.
+//
+//ufc:hotpath
 func (e *Engine) Iterate(s *State) error {
 	m, n := e.m, e.n
 	rho, eps := e.rho, e.opts.Epsilon
@@ -674,6 +686,8 @@ func (e *Engine) Iterate(s *State) error {
 
 // lambdaItem is the λ-phase work item: front-end i's prediction into the
 // scratch row.
+//
+//ufc:hotpath
 func (e *Engine) lambdaItem(ws *StepWorkspace, i int) error {
 	s := e.iterState
 	return e.LambdaStepInto(ws, i, s.A[i], s.Varphi[i], e.scratch.lambdaTilde[i])
@@ -683,6 +697,8 @@ func (e *Engine) lambdaItem(ws *StepWorkspace, i int) error {
 // and a-predictions. The a-prediction is written as a contiguous row of
 // the transposed scratch matrix, so parallel items never share cache
 // lines.
+//
+//ufc:hotpath
 func (e *Engine) datacenterItem(ws *StepWorkspace, j int) error {
 	s, sc := e.iterState, &e.scratch
 	m, rho := e.m, e.rho
@@ -937,4 +953,3 @@ func (e *Engine) DualScale() float64 { return e.dualScale }
 // BetaMW returns β_j in MW per workload unit (the server-equivalent scale
 // factor for datacenter j's power variables).
 func (e *Engine) BetaMW(j int) float64 { return e.beta[j] }
-

@@ -71,6 +71,7 @@ const (
 	phaseDatacenter                    // per-datacenter μ/ν/a-minimization
 )
 
+//ufc:hotpath
 func (e *Engine) phaseItem(ph phaseID, ws *StepWorkspace, idx int) error {
 	if ph == phaseLambda {
 		return e.lambdaItem(ws, idx)
@@ -86,11 +87,11 @@ func (e *Engine) phaseItem(ph phaseID, ws *StepWorkspace, idx int) error {
 // bit-identical to serial ones.
 type workerPool struct {
 	e       *Engine
-	helpers int            // goroutines beyond the calling one
-	wake    chan phaseID   // one send per helper per phase; closed by Close
-	done    chan error     // one result per helper per phase
-	next    atomic.Int64   // shared work-stealing cursor
-	count   int64          // items in the current phase
+	helpers int          // goroutines beyond the calling one
+	wake    chan phaseID // one send per helper per phase; closed by Close
+	done    chan error   // one result per helper per phase
+	next    atomic.Int64 // shared work-stealing cursor
+	count   int64        // items in the current phase
 }
 
 // runPhase executes items 0..count-1 of the phase, fanning out across the
@@ -136,6 +137,8 @@ func (e *Engine) runPhase(ph phaseID, count int) error {
 // drain claims and runs items until the phase is exhausted, returning the
 // first error encountered (remaining items still run; they only write
 // scratch).
+//
+//ufc:hotpath
 func (p *workerPool) drain(ph phaseID, ws *StepWorkspace) error {
 	var first error
 	for {

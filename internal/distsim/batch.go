@@ -76,6 +76,8 @@ func newConnWriter(conn net.Conn, queue int, counters *transportCounters, onFail
 
 // enqueue hands a record to the writer. On success the writer owns fb; on
 // error the caller keeps ownership (so the hub can requeue the bytes).
+//
+//ufc:hotpath
 func (cw *connWriter) enqueue(fb *frameBuf) error {
 	select {
 	case <-cw.done:
@@ -107,7 +109,7 @@ func (cw *connWriter) fail(cause error) {
 		}
 		cw.errMu.Unlock()
 		close(cw.done)
-		_ = cw.conn.Close()
+		_ = cw.conn.Close() //ufc:discard the writer is failing with its own cause already
 	})
 }
 
@@ -133,6 +135,7 @@ func (cw *connWriter) close(cause error) {
 // right after the final Send of a protocol run would drop the tail of
 // the queue — exactly the records a remote coordinator is waiting for.
 func (cw *connWriter) shutdown() {
+	//ufc:discard a failed deadline set degrades to a blocking flush, which fail() still bounds
 	_ = cw.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 	cw.drainOnce.Do(func() { close(cw.drain) })
 	cw.wg.Wait()
@@ -175,6 +178,8 @@ func (cw *connWriter) loop() {
 // writeBatch coalesces fb plus everything else waiting in the queue into
 // one socket write. It reports false after a write error (the writer is
 // dead and the loop must exit).
+//
+//ufc:hotpath
 func (cw *connWriter) writeBatch(buf *[]byte, batch *[]*frameBuf, fb *frameBuf) bool {
 	b, recs := (*buf)[:0], (*batch)[:0]
 	b = append(b, fb.b...)

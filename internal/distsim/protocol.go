@@ -98,7 +98,7 @@ func RunAgents(inst *core.Instance, opts RunOptions, transport Transport, agentI
 		if err := <-errCh; err != nil && firstErr == nil {
 			firstErr = err
 			// Unblock everything else.
-			_ = transport.Close()
+			_ = transport.Close() //ufc:discard firstErr is the failure being reported; Close is only a wakeup
 		}
 	}
 	if firstErr != nil {

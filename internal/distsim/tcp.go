@@ -83,6 +83,7 @@ func (h *TCPHub) Close() error {
 		hc *hubConn
 	}
 	conns := make([]pair, 0, len(h.conns))
+	//ufc:nondet teardown order of connections carries no numeric state
 	for c, hc := range h.conns {
 		conns = append(conns, pair{c, hc})
 	}
@@ -92,7 +93,7 @@ func (h *TCPHub) Close() error {
 		if p.hc != nil {
 			p.hc.cw.fail(ErrClosed)
 		} else {
-			_ = p.c.Close()
+			_ = p.c.Close() //ufc:discard hub is shutting down; the listener error is already captured
 		}
 	}
 	h.wg.Wait()
@@ -121,7 +122,7 @@ func (h *TCPHub) serveConn(conn net.Conn) {
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
-		_ = conn.Close()
+		_ = conn.Close() //ufc:discard racing connection against shutdown; nothing was sent yet
 		return
 	}
 	h.conns[conn] = nil
@@ -138,7 +139,7 @@ func (h *TCPHub) serveConn(conn net.Conn) {
 			h.serveRegistered(conn, br, &scratch, ids)
 		}
 	}
-	_ = conn.Close()
+	_ = conn.Close() //ufc:discard read loop already ended with its own error
 	h.mu.Lock()
 	delete(h.conns, conn)
 	h.mu.Unlock()
@@ -187,7 +188,7 @@ func (h *TCPHub) shardOf(idx uint32) (*routeShard, int) {
 
 func (h *TCPHub) namedShard(name []byte) *routeShard {
 	f := fnv.New32a()
-	_, _ = f.Write(name)
+	_, _ = f.Write(name) //ufc:discard fnv's Write is documented to never fail
 	return &h.shards[f.Sum32()&(routeShardCount-1)]
 }
 
@@ -255,6 +256,8 @@ func (h *TCPHub) dropConn(hc *hubConn) {
 // route forwards one record (ownership of fb transfers in). Unroutable
 // records go to the destination's pending queue; a failed enqueue drops
 // the broken connection and requeues the record.
+//
+//ufc:hotpath
 func (h *TCPHub) route(fb *frameBuf) {
 	_, body := splitRecord(fb.b)
 	hello, named, toIdx, to, err := peekRoute(body)
@@ -322,7 +325,7 @@ func (h *TCPHub) addPending(named bool, toIdx uint32, to []byte, rec []byte) {
 // splitRecord separates a record's uvarint length prefix from its body.
 func splitRecord(rec []byte) (prefix, body []byte) {
 	_, n := binary.Uvarint(rec)
-	if n <= 0 {
+	if n <= 0 || n > len(rec) {
 		return rec, nil
 	}
 	return rec[:n], rec[n:]
@@ -449,6 +452,7 @@ func (n *TCPNode) closeBoxes() {
 			close(box)
 		}
 	}
+	//ufc:nondet close order of receive boxes is observationally irrelevant
 	for _, box := range n.boxName {
 		close(box)
 	}
@@ -457,6 +461,8 @@ func (n *TCPNode) closeBoxes() {
 // Send implements Transport. Local destinations still round-trip through
 // the hub, exercising the full network path. After Close (or a broken
 // connection) it consistently returns an error matching ErrClosed.
+//
+//ufc:hotpath
 func (n *TCPNode) Send(to string, m Message) error {
 	fb := getFrame()
 	fb.b = appendFrame(fb.b, to, &m)

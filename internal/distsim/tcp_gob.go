@@ -84,6 +84,7 @@ func (h *GobTCPHub) Close() error {
 	h.closed = true
 	conns := make([]*gobHubConn, 0, len(h.routes))
 	seen := map[*gobHubConn]bool{}
+	//ufc:nondet teardown order of connections carries no numeric state
 	for _, hc := range h.routes {
 		if !seen[hc] {
 			conns = append(conns, hc)
@@ -93,7 +94,7 @@ func (h *GobTCPHub) Close() error {
 	h.mu.Unlock()
 	err := h.ln.Close()
 	for _, hc := range conns {
-		_ = hc.c.Close()
+		_ = hc.c.Close() //ufc:discard hub is shutting down; the listener error is already captured
 	}
 	h.wg.Wait()
 	return err
@@ -117,7 +118,7 @@ func (h *GobTCPHub) serveConn(conn net.Conn) {
 	hc := &gobHubConn{enc: gob.NewEncoder(conn), c: conn}
 	var hi hello
 	if err := dec.Decode(&hi); err != nil {
-		_ = conn.Close()
+		_ = conn.Close() //ufc:discard handshake already failed; decode error wins
 		return
 	}
 	h.mu.Lock()
@@ -130,7 +131,7 @@ func (h *GobTCPHub) serveConn(conn net.Conn) {
 	h.mu.Unlock()
 	for _, env := range backlog {
 		if err := hc.send(env); err != nil {
-			_ = conn.Close()
+			_ = conn.Close() //ufc:discard backlog replay already failed; send error wins
 			return
 		}
 	}
@@ -138,7 +139,7 @@ func (h *GobTCPHub) serveConn(conn net.Conn) {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				_ = conn.Close()
+				_ = conn.Close() //ufc:discard read loop already ended with its own error
 			}
 			return
 		}
@@ -210,7 +211,7 @@ func NewGobTCPNode(hubAddr string, localIDs []string, buffer int) (*GobTCPNode, 
 		n.boxes[id] = make(chan Message, buffer)
 	}
 	if err := n.enc.Encode(hello{IDs: localIDs}); err != nil {
-		_ = conn.Close()
+		_ = conn.Close() //ufc:discard the hello encode error is the one returned
 		return nil, fmt.Errorf("distsim: gob node hello: %w", err)
 	}
 	go n.readLoop()
@@ -229,6 +230,7 @@ func (n *GobTCPNode) readLoop() {
 			if !n.closed {
 				n.closed = true
 				close(n.done)
+				//ufc:nondet close order of receive boxes is observationally irrelevant
 				for _, box := range n.boxes {
 					close(box)
 				}

@@ -40,11 +40,11 @@ func (c *collectConn) Close() error {
 	c.closed = true
 	return nil
 }
-func (c *collectConn) LocalAddr() net.Addr                { return nil }
-func (c *collectConn) RemoteAddr() net.Addr               { return nil }
-func (c *collectConn) SetDeadline(time.Time) error        { return nil }
-func (c *collectConn) SetReadDeadline(time.Time) error    { return nil }
-func (c *collectConn) SetWriteDeadline(time.Time) error   { return nil }
+func (c *collectConn) LocalAddr() net.Addr              { return nil }
+func (c *collectConn) RemoteAddr() net.Addr             { return nil }
+func (c *collectConn) SetDeadline(time.Time) error      { return nil }
+func (c *collectConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *collectConn) SetWriteDeadline(time.Time) error { return nil }
 
 func frameFor(to string, m Message) *frameBuf {
 	fb := getFrame()

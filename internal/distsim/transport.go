@@ -198,6 +198,7 @@ func (t *ChanTransport) Close() error {
 	close(t.done) // unblock senders stuck on full boxes
 	t.wg.Wait()   // no sends in flight past this point
 	t.mu.Lock()
+	//ufc:nondet close order of receive boxes is observationally irrelevant
 	for _, box := range t.boxes {
 		close(box)
 	}

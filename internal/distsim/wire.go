@@ -134,6 +134,8 @@ func uvarintLen(v uint64) int {
 // appendFrame appends the length-prefixed record for m addressed to `to`
 // onto dst and returns the extended slice. It allocates nothing beyond
 // growing dst.
+//
+//ufc:hotpath
 func appendFrame(dst []byte, to string, m *Message) []byte {
 	toIdx, toOK := agentIndex(to)
 	fromIdx, fromOK := agentIndex(m.From)
@@ -171,6 +173,8 @@ func appendFrame(dst []byte, to string, m *Message) []byte {
 }
 
 // appendHello appends the length-prefixed hello record registering ids.
+//
+//ufc:hotpath
 func appendHello(dst []byte, ids []string) []byte {
 	body := 1 + uvarintLen(uint64(len(ids)))
 	for _, id := range ids {
@@ -374,6 +378,8 @@ func peekRoute(b []byte) (hello, named bool, toIdx uint32, to []byte, err error)
 
 // readRecord reads one length-prefixed record body into *scratch (grown as
 // needed) and returns the body plus the total bytes consumed off the wire.
+//
+//ufc:hotpath
 func readRecord(br *bufio.Reader, scratch *[]byte) (body []byte, wireBytes int, err error) {
 	ln, err := binary.ReadUvarint(br)
 	if err != nil {

@@ -37,9 +37,9 @@ func wireTestMessages() []struct {
 		{"dc-7", "fe-12"},
 		{"coord", "fe-3"},
 		{"fe-524286", "coord"}, // large index, still below maxWireAgents
-		{"observer", "fe-2"},    // named: non-standard destination
-		{"dc-1", "gremlin-9"},   // named: non-standard sender
-		{"", ""},                // named: empty ids
+		{"observer", "fe-2"},   // named: non-standard destination
+		{"dc-1", "gremlin-9"},  // named: non-standard sender
+		{"", ""},               // named: empty ids
 	}
 	for kind := KindRouting; kind <= KindFinal; kind++ {
 		for _, p := range payloads {
@@ -169,9 +169,9 @@ func TestWireTruncatedFrames(t *testing.T) {
 func TestWireRejectsBadFrames(t *testing.T) {
 	var cache idCache
 	bad := [][]byte{
-		{},                        // empty
-		{0, 0},                    // hello passed to message decoder
-		{0x0f, 0, 0, 0},           // kind nibble outside 1..5
+		{},                                // empty
+		{0, 0},                            // hello passed to message decoder
+		{0x0f, 0, 0, 0},                   // kind nibble outside 1..5
 		{byte(KindAux) | 0x40, 0, 0, 0},   // reserved head bit set
 		{byte(KindAux), 0, 0, 0, 1, 2, 3}, // trailing bytes not a whole float64
 	}

@@ -140,7 +140,7 @@ func SolveDistributed(inst *Instance, opts Options, maxDelay time.Duration) (*Al
 		Seed:     1,
 		MaxDelay: maxDelay,
 	})
-	defer func() { _ = tr.Close() }()
+	defer func() { _ = tr.Close() }() //ufc:discard in-process transport; Run already surfaced any failure
 	res, err := distsim.Run(inst, distsim.RunOptions{Solver: opts}, tr)
 	if err != nil {
 		return nil, Breakdown{}, nil, err
