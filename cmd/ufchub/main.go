@@ -16,6 +16,7 @@ import (
 	"syscall"
 
 	"repro/internal/distsim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ufchub", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7070", "address to listen on")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and net/http/pprof on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -37,6 +39,17 @@ func run(args []string) error {
 	}
 	defer func() { _ = hub.Close() }() //ufc:discard best-effort cleanup on the signal-driven exit path
 	fmt.Println("hub listening on", hub.Addr())
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		hub.RegisterMetrics(reg, telemetry.L("component", "hub"))
+		msrv, err := telemetry.StartServer(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = msrv.Close() }() //ufc:discard process is exiting; nothing to salvage from the listener
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", msrv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -23,7 +23,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/distsim"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
+
+// metricsStarted, when non-nil, is invoked with the metrics server's
+// resolved listen address. Tests hook it to scrape a node bound to an
+// ephemeral port.
+var metricsStarted func(addr string)
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -39,6 +45,7 @@ func run(args []string) error {
 	agents := fs.String("agents", "all", "comma-separated agent ids (fe-0, dc-1, coord) or all")
 	timeout := fs.Duration("timeout", time.Minute, "per-message wait timeout")
 	maxIters := fs.Int("maxiters", 3000, "ADM-G iteration budget")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and net/http/pprof on this address")
 	writeInstance := fs.String("write-instance", "", "write a scenario slot as an instance file and exit")
 	hour := fs.Int("hour", 12, "scenario hour for -write-instance")
 	scale := fs.Float64("scale", 0.2, "scenario fleet scale for -write-instance")
@@ -73,9 +80,26 @@ func run(args []string) error {
 	}
 	defer func() { _ = node.Close() }() //ufc:discard best-effort cleanup; RunAgents already reported the run's outcome
 
+	probe := telemetry.NewSolverProbe()
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		probe.Register(reg)
+		node.RegisterMetrics(reg, telemetry.L("component", "node"))
+		// The server is deliberately left open until process exit so the
+		// final counters of a finished solve remain scrapeable.
+		msrv, err := telemetry.StartServer(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", msrv.Addr())
+		if metricsStarted != nil {
+			metricsStarted(msrv.Addr())
+		}
+	}
+
 	fmt.Fprintf(os.Stderr, "node hosting %v against hub %s\n", ids, *hub)
 	res, err := distsim.RunAgents(inst, distsim.RunOptions{
-		Solver:  core.Options{MaxIterations: *maxIters},
+		Solver:  core.Options{MaxIterations: *maxIters, Probe: probe},
 		Timeout: *timeout,
 	}, node, ids)
 	if st := node.Stats(); st.MessagesSent > 0 || st.MessagesReceived > 0 {

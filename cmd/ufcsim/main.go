@@ -5,18 +5,28 @@
 //
 // Usage:
 //
-//	ufcsim [-strategy hybrid|grid|fuelcell] [-hours n] [-scale f] [-seed n] [-distributed]
+//	ufcsim [-strategy hybrid|grid|fuelcell] [-hours n] [-scale f] [-seed n]
+//	       [-warm] [-distributed] [-trace-residuals]
+//	       [-metrics-addr host:port] [-ndjson file]
+//
+// With -metrics-addr the run exposes a Prometheus /metrics endpoint
+// (solver counters, phase timings, residual histograms) and net/http/pprof
+// on the same listener for live profiling. With -ndjson every solved slot
+// is appended to the given file (or stdout with "-") as one JSON record —
+// the raw data behind the paper's Figs. 5–9.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/distsim"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -34,8 +44,15 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 2012, "master random seed")
 	maxIters := fs.Int("maxiters", 3000, "ADM-G iteration budget per slot")
 	distributed := fs.Bool("distributed", false, "run each slot over the message-passing runtime")
+	warm := fs.Bool("warm", false, "warm-start each slot from the previous slot's iterate")
+	traceResiduals := fs.Bool("trace-residuals", false, "record per-iteration residuals (printed summary + ndjson residualTrace)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and net/http/pprof on this address")
+	ndjsonPath := fs.String("ndjson", "", "append one JSON record per solved slot to this file (\"-\" for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *warm && *distributed {
+		return fmt.Errorf("-warm requires the in-process engine; it cannot be combined with -distributed")
 	}
 
 	var strategy core.Strategy
@@ -58,41 +75,115 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := core.Options{Strategy: strategy, MaxIterations: *maxIters}
+	probe := telemetry.NewSolverProbe()
+	opts := core.Options{
+		Strategy:       strategy,
+		MaxIterations:  *maxIters,
+		TrackResiduals: *traceResiduals,
+		Probe:          probe,
+	}
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		probe.Register(reg)
+		msrv, err := telemetry.StartServer(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = msrv.Close() }() //ufc:discard process is exiting; nothing to salvage from the listener
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", msrv.Addr())
+	}
+
+	var emit *telemetry.NDJSONEmitter
+	if *ndjsonPath != "" {
+		w := io.Writer(os.Stdout)
+		if *ndjsonPath != "-" {
+			f, err := os.Create(*ndjsonPath)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = f.Close() }() //ufc:discard emitter Flush below reports the meaningful write errors
+			w = f
+		}
+		emit = telemetry.NewNDJSONEmitter(w)
+	}
+
+	// Warm-start mode keeps one engine and one iterate alive across the
+	// whole week: Reset swaps in each slot's prices/arrivals and
+	// SolveState continues from the previous slot's converged state.
+	var (
+		eng   *core.Engine
+		state *core.State
+	)
+	if *warm {
+		inst0 := sc.InstanceAt(0)
+		eng, err = core.NewEngine(inst0, opts)
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		state = core.NewState(inst0.Cloud.M(), inst0.Cloud.N())
+	}
 
 	fmt.Printf("%4s  %12s  %10s  %10s  %8s  %6s  %5s\n",
 		"hour", "UFC($)", "energy($)", "carbon($)", "lat(ms)", "FCutil", "iters")
 	start := time.Now()
 	var totalEnergy, totalCarbon float64
+	var totalIters int
 	for t := 0; t < cfg.Hours; t++ {
 		inst := sc.InstanceAt(t)
 		var (
-			bd  core.Breakdown
-			st  *core.Stats
-			err error
+			alloc *core.Allocation
+			bd    core.Breakdown
+			st    *core.Stats
+			err   error
 		)
-		if *distributed {
+		switch {
+		case *distributed:
 			m, n := inst.Cloud.M(), inst.Cloud.N()
 			tr := distsim.NewChanTransport(distsim.AllAgentIDs(m, n), distsim.ChanOptions{Seed: int64(t)})
 			var res *distsim.Result
 			res, err = distsim.Run(inst, distsim.RunOptions{Solver: opts}, tr)
 			if err == nil {
-				bd, st = res.Breakdown, res.Stats
+				alloc, bd, st = res.Allocation, res.Breakdown, res.Stats
 			}
 			_ = tr.Close() //ufc:discard in-process transport; Run already surfaced any failure
-		} else {
-			_, bd, st, err = core.Solve(inst, opts)
+		case *warm:
+			if t > 0 {
+				err = eng.Reset(inst)
+			}
+			if err == nil {
+				alloc, bd, st, err = eng.SolveState(state)
+			}
+		default:
+			alloc, bd, st, err = core.Solve(inst, opts)
 		}
 		if err != nil {
 			return fmt.Errorf("hour %d: %w", t, err)
 		}
 		totalEnergy += bd.EnergyCostUSD
 		totalCarbon += bd.CarbonCostUSD
+		totalIters += st.Iterations
 		fmt.Printf("%4d  %12.2f  %10.2f  %10.2f  %8.2f  %5.1f%%  %5d\n",
 			t, bd.UFC, bd.EnergyCostUSD, bd.CarbonCostUSD,
 			bd.AvgLatencySec*1000, bd.FuelCellUtilization*100, st.Iterations)
+		if *traceResiduals && len(st.ResidualTrace) > 0 {
+			first, last := st.ResidualTrace[0], st.ResidualTrace[len(st.ResidualTrace)-1]
+			fmt.Printf("      residuals: %d recorded, first %.3e, last %.3e\n",
+				len(st.ResidualTrace), first, last)
+		}
+		if emit != nil {
+			if err := emit.Emit(experiments.NewSlotRecord(t, strategy, bd, alloc, st, *warm && t > 0)); err != nil {
+				return fmt.Errorf("hour %d: ndjson: %w", t, err)
+			}
+		}
 	}
-	fmt.Printf("\nstrategy %s: weekly energy $%.0f, carbon $%.0f, elapsed %v\n",
-		strategy, totalEnergy, totalCarbon, time.Since(start).Round(time.Millisecond))
+	if emit != nil {
+		if err := emit.Flush(); err != nil {
+			return fmt.Errorf("ndjson flush: %w", err)
+		}
+	}
+	fmt.Printf("\nstrategy %s: weekly energy $%.0f, carbon $%.0f, %d ADM-G iterations (%d warm-started solves), elapsed %v\n",
+		strategy, totalEnergy, totalCarbon, totalIters, probe.WarmStarts(), time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunTinySimulation(t *testing.T) {
 	if err := run([]string{"-hours", "3", "-scale", "0.05"}); err != nil {
@@ -22,5 +28,61 @@ func TestRunStrategies(t *testing.T) {
 	}
 	if err := run([]string{"-strategy", "nuclear"}); err == nil {
 		t.Fatal("unknown strategy accepted")
+	}
+}
+
+// TestWarmWeekWithNDJSON runs the warm-started week path with residual
+// tracing and the per-slot NDJSON emitter, then checks every record
+// parses and carries the figure quantities.
+func TestWarmWeekWithNDJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slots.ndjson")
+	if err := run([]string{
+		"-hours", "4", "-scale", "0.05", "-warm", "-trace-residuals",
+		"-ndjson", path, "-metrics-addr", "127.0.0.1:0",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	hour := 0
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("slot %d: %v", hour, err)
+		}
+		if got := int(rec["hour"].(float64)); got != hour {
+			t.Errorf("record %d has hour %d", hour, got)
+		}
+		for _, key := range []string{"ufc", "energyCostUSD", "carbonCostUSD", "gridMWh", "fuelCellMWh", "iterations", "dcLoad", "residualTrace"} {
+			if _, ok := rec[key]; !ok {
+				t.Errorf("slot %d missing %q", hour, key)
+			}
+		}
+		if warm := rec["warmStarted"].(bool); warm != (hour > 0) {
+			t.Errorf("slot %d warmStarted = %v", hour, warm)
+		}
+		if conv := rec["converged"].(bool); !conv {
+			t.Errorf("slot %d did not converge", hour)
+		}
+		hour++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if hour != 4 {
+		t.Fatalf("expected 4 NDJSON records, got %d", hour)
+	}
+}
+
+// TestWarmRejectsDistributed: the two execution modes are exclusive.
+func TestWarmRejectsDistributed(t *testing.T) {
+	if err := run([]string{"-warm", "-distributed"}); err == nil {
+		t.Fatal("-warm -distributed accepted")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/linalg"
+	"repro/internal/telemetry"
 )
 
 // Errors returned by the framework.
@@ -52,6 +53,10 @@ type Options struct {
 	Epsilon       float64 // Gaussian back-substitution step, in (0.5, 1] (default 1)
 	MaxIterations int     // default 1000
 	Tolerance     float64 // primal residual and iterate-change tolerance (default 1e-6)
+	// Probe, when non-nil, records per-iteration relative primal
+	// residuals and the solve outcome. Generic ADM-G always starts from
+	// the zero point, so every solve is reported as a cold start.
+	Probe *telemetry.SolverProbe
 }
 
 func (o Options) withDefaults() Options {
@@ -231,7 +236,10 @@ func (s *Solver) Solve(opts Options) (*Result, error) {
 		}
 
 		scale := 1 + s.b.NormInf()
+		rel := primal.Norm2() / scale
+		opts.Probe.ObserveIteration(rel)
 		if primal.Norm2() <= opts.Tolerance*scale && change <= opts.Tolerance*scale {
+			opts.Probe.ObserveSolve(iter, rel, true, false)
 			return s.result(x, y, primal, iter, true), nil
 		}
 	}
@@ -241,6 +249,7 @@ func (s *Solver) Solve(opts Options) (*Result, error) {
 		primal.AddScaled(1, blk.K().MulVec(x[i]))
 	}
 	res := s.result(x, y, primal, opts.MaxIterations, false)
+	opts.Probe.ObserveSolve(opts.MaxIterations, res.Residual/(1+s.b.NormInf()), false, false)
 	return res, fmt.Errorf("residual %g after %d iterations: %w", res.Residual, opts.MaxIterations, ErrNotConverged)
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/qp"
+	"repro/internal/telemetry"
 )
 
 // freeQuadBlock builds an unconstrained quadratic block ½‖x−target‖².
@@ -227,5 +228,35 @@ func TestSingleBlockReducesToAugmentedLagrangian(t *testing.T) {
 	}
 	if math.Abs(res.X[0][0]-1) > 1e-6 || math.Abs(res.X[0][1]-1) > 1e-6 {
 		t.Fatalf("x = %v, want (1,1)", res.X[0])
+	}
+}
+
+// TestProbeObservesGenericSolve: a probe attached via Options must see
+// every iteration and the final outcome of the generic ADM-G loop.
+func TestProbeObservesGenericSolve(t *testing.T) {
+	n := 3
+	targets := []linalg.Vector{
+		linalg.VectorOf(1, 0, -1),
+		linalg.VectorOf(2, 2, 2),
+	}
+	d := linalg.VectorOf(3, 1, 2)
+	blocks := make([]Block, len(targets))
+	for i := range blocks {
+		blocks[i] = freeQuadBlock(targets[i], linalg.Identity(n))
+	}
+	s, err := New(blocks, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := telemetry.NewSolverProbe()
+	res, err := s.Solve(Options{Rho: 1, MaxIterations: 2000, Tolerance: 1e-9, Probe: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := probe.Iterations(), uint64(res.Iterations); got != want {
+		t.Errorf("probe iterations = %d, want %d", got, want)
+	}
+	if probe.Solves() != 1 || probe.WarmStarts() != 0 {
+		t.Errorf("probe solves = %d warm = %d, want 1/0", probe.Solves(), probe.WarmStarts())
 	}
 }

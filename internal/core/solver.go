@@ -8,6 +8,7 @@ import (
 	"repro/internal/carbon"
 	"repro/internal/linalg"
 	"repro/internal/qp"
+	"repro/internal/telemetry"
 	"repro/internal/utility"
 )
 
@@ -47,6 +48,12 @@ type Options struct {
 	// ones. Engines iterated with Workers > 1 must be released with
 	// Close; Solve and SolveFrom do this automatically.
 	Workers int
+	// Probe, when non-nil, receives the solver's telemetry: per-block
+	// phase timings from Iterate and per-iteration residuals plus solve
+	// outcomes from SolveState. Recording is allocation-free, never feeds
+	// back into the numerics, and a nil probe costs one predictable
+	// branch per record point. One probe may aggregate many engines.
+	Probe *telemetry.SolverProbe
 }
 
 func (o Options) withDefaults() Options {
@@ -98,7 +105,9 @@ type Stats struct {
 	Converged     bool
 	FinalResidual float64 // combined relative primal residual
 	// ResidualTrace holds the residual after each iteration when
-	// Options.TrackResiduals is set.
+	// Options.TrackResiduals is set. It is a fresh copy per solve — safe
+	// to retain across warm-started SolveState/SolveFrom calls on the
+	// same engine.
 	ResidualTrace []float64
 }
 
@@ -612,6 +621,10 @@ func (e *Engine) Iterate(s *State) error {
 	}
 	sc := &e.scratch
 	e.iterState = s
+	probe := e.opts.Probe
+	// Phase spans: the clock is read inside the probe (never here), so a
+	// nil probe keeps the loop clock-free and deterministic.
+	span := probe.StartSpan()
 
 	// Σ_i a_ij of the incoming state, needed by the μ/ν-steps (s.A is
 	// only mutated after the prediction phases).
@@ -628,11 +641,13 @@ func (e *Engine) Iterate(s *State) error {
 		e.iterState = nil
 		return err
 	}
+	span = probe.PhaseDone(telemetry.SolverPhaseLambda, span)
 	// --- 1.2–1.4 μ-, ν- and a-minimization (per datacenter). ---
 	if err := e.runPhase(phaseDatacenter, n); err != nil {
 		e.iterState = nil
 		return err
 	}
+	span = probe.PhaseDone(telemetry.SolverPhaseDatacenter, span)
 	e.iterState = nil
 	lambdaTilde, aTildeT := sc.lambdaTilde, sc.aTildeT
 	muTilde, nuTilde := sc.muTilde, sc.nuTilde
@@ -681,6 +696,7 @@ func (e *Engine) Iterate(s *State) error {
 	for i := 0; i < m; i++ {
 		copy(s.Lambda[i], lambdaTilde[i])
 	}
+	probe.PhaseDone(telemetry.SolverPhaseCorrection, span)
 	return nil
 }
 
@@ -834,6 +850,14 @@ func (e *Engine) SolveState(s *State) (*Allocation, Breakdown, *Stats, error) {
 	stats := &Stats{}
 	opts := e.opts
 	prev := e.scratch.prev
+	probe := opts.Probe
+	warm := probe != nil && !stateIsZero(s)
+	if opts.TrackResiduals {
+		// The trace accumulates in engine-owned scratch (its capacity
+		// survives warm-started re-solves) and is copied out below, so the
+		// returned Stats never aliases state a later SolveState mutates.
+		e.scratch.trace = e.scratch.trace[:0]
+	}
 
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
 		copyState(prev, s)
@@ -841,8 +865,9 @@ func (e *Engine) SolveState(s *State) (*Allocation, Breakdown, *Stats, error) {
 			return nil, Breakdown{}, nil, fmt.Errorf("iteration %d: %w", iter, err)
 		}
 		res := e.RoutingResidual(s, prev)
+		probe.ObserveIteration(res)
 		if opts.TrackResiduals {
-			stats.ResidualTrace = append(stats.ResidualTrace, res)
+			e.scratch.trace = append(e.scratch.trace, res)
 		}
 		stats.Iterations = iter
 		stats.FinalResidual = res
@@ -851,6 +876,10 @@ func (e *Engine) SolveState(s *State) (*Allocation, Breakdown, *Stats, error) {
 			break
 		}
 	}
+	if opts.TrackResiduals {
+		stats.ResidualTrace = append([]float64(nil), e.scratch.trace...)
+	}
+	probe.ObserveSolve(stats.Iterations, stats.FinalResidual, stats.Converged, warm)
 
 	alloc := e.Finalize(s)
 	bd := Evaluate(e.inst, alloc)
@@ -859,6 +888,25 @@ func (e *Engine) SolveState(s *State) (*Allocation, Breakdown, *Stats, error) {
 			stats.FinalResidual, stats.Iterations, ErrNotConverged)
 	}
 	return alloc, bd, stats, nil
+}
+
+// stateIsZero reports whether s is the all-zero iterate — the cold-start
+// state. SolveState uses it to classify warm vs. cold starts for the
+// telemetry probe; it is only evaluated when a probe is attached.
+func stateIsZero(s *State) bool {
+	for i := range s.Lambda {
+		for j := range s.Lambda[i] {
+			if s.Lambda[i][j] != 0 || s.A[i][j] != 0 || s.Varphi[i][j] != 0 {
+				return false
+			}
+		}
+	}
+	for j := range s.Mu {
+		if s.Mu[j] != 0 || s.Nu[j] != 0 || s.Phi[j] != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // checkStateDims verifies that s is an m×n iterate.

@@ -1,0 +1,129 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// TestInstrumentedIterateZeroAllocs extends the allocation gate to the
+// instrumented loop: attaching a SolverProbe must not cost a single heap
+// allocation in steady state.
+func TestInstrumentedIterateZeroAllocs(t *testing.T) {
+	inst := smallInstance(t, 61)
+	probe := telemetry.NewSolverProbe()
+	eng, err := core.NewEngine(inst, core.Options{Probe: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := core.NewState(inst.Cloud.M(), inst.Cloud.N())
+	for k := 0; k < 5; k++ {
+		if err := eng.Iterate(state); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := eng.Iterate(state); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented Iterate allocates %.1f objects/op, want 0", allocs)
+	}
+	if probe.PhaseNanos(telemetry.SolverPhaseLambda) == 0 ||
+		probe.PhaseNanos(telemetry.SolverPhaseDatacenter) == 0 ||
+		probe.PhaseNanos(telemetry.SolverPhaseCorrection) == 0 {
+		t.Error("probe missed a phase span")
+	}
+}
+
+// TestProbeRecordsSolveLifecycle drives a cold solve and a warm-started
+// re-solve through one engine and checks the probe's aggregate view.
+func TestProbeRecordsSolveLifecycle(t *testing.T) {
+	inst := smallInstance(t, 62)
+	probe := telemetry.NewSolverProbe()
+	eng, err := core.NewEngine(inst, core.Options{Probe: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := core.NewState(inst.Cloud.M(), inst.Cloud.N())
+	_, _, cold, err := eng.SolveState(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Reset(perturb(inst, 0.03)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, warm, err := eng.SolveState(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := probe.Solves(); got != 2 {
+		t.Errorf("probe solves = %d, want 2", got)
+	}
+	if got := probe.WarmStarts(); got != 1 {
+		t.Errorf("probe warm starts = %d, want 1 (cold %d iters, warm %d)", got, cold.Iterations, warm.Iterations)
+	}
+	if got, want := probe.Iterations(), uint64(cold.Iterations+warm.Iterations); got != want {
+		t.Errorf("probe iterations = %d, want %d", got, want)
+	}
+}
+
+// TestProbeDoesNotPerturbSolve: attaching a probe must not change a
+// single float of the solve — telemetry never feeds back into numerics.
+func TestProbeDoesNotPerturbSolve(t *testing.T) {
+	inst := smallInstance(t, 63)
+	_, plainBD, plainStats, err := core.Solve(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, probedBD, probedStats, err := core.Solve(inst, core.Options{Probe: telemetry.NewSolverProbe()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainBD.UFC != probedBD.UFC || plainStats.Iterations != probedStats.Iterations {
+		t.Errorf("probe perturbed the solve: UFC %v vs %v, iters %d vs %d",
+			probedBD.UFC, plainBD.UFC, probedStats.Iterations, plainStats.Iterations)
+	}
+}
+
+// TestResidualTraceIsolation is the regression test for the trace
+// aliasing fix: the ResidualTrace returned by one SolveState call must
+// stay intact when the same engine runs further (warm-started) solves.
+func TestResidualTraceIsolation(t *testing.T) {
+	inst := smallInstance(t, 64)
+	eng, err := core.NewEngine(inst, core.Options{TrackResiduals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := core.NewState(inst.Cloud.M(), inst.Cloud.N())
+	_, _, first, err := eng.SolveState(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.ResidualTrace) != first.Iterations {
+		t.Fatalf("trace length %d != iterations %d", len(first.ResidualTrace), first.Iterations)
+	}
+	snapshot := append([]float64(nil), first.ResidualTrace...)
+
+	if err := eng.Reset(perturb(inst, 0.05)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, second, err := eng.SolveState(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.ResidualTrace) != second.Iterations {
+		t.Fatalf("second trace length %d != iterations %d", len(second.ResidualTrace), second.Iterations)
+	}
+	for i := range snapshot {
+		if first.ResidualTrace[i] != snapshot[i] {
+			t.Fatalf("first solve's trace mutated at %d: %g -> %g", i, snapshot[i], first.ResidualTrace[i])
+		}
+	}
+	if second.Iterations > 0 && &first.ResidualTrace[0] == &second.ResidualTrace[0] {
+		t.Fatal("traces share backing storage")
+	}
+}

@@ -39,6 +39,7 @@ type iterScratch struct {
 	nuTilde     []float64   // n
 	sumA        []float64   // n, Σ_i a_ij of the incoming state
 	prev        *State      // previous iterate for SolveState's residual
+	trace       []float64   // residual-trace accumulator, reset per solve
 }
 
 func (sc *iterScratch) init(m, n int) {

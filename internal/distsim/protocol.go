@@ -431,6 +431,7 @@ func runCoordinator(e *core.Engine, t Transport, tab *idTable, timeout time.Dura
 		}
 		stats.Iterations = iter
 		stats.FinalResidual = residual
+		opts.Probe.ObserveIteration(residual)
 		if opts.TrackResiduals {
 			stats.ResidualTrace = append(stats.ResidualTrace, residual)
 		}
@@ -444,6 +445,8 @@ func runCoordinator(e *core.Engine, t Transport, tab *idTable, timeout time.Dura
 			break
 		}
 	}
+	// Distributed runs always start from the zero iterate.
+	opts.Probe.ObserveSolve(stats.Iterations, stats.FinalResidual, stats.Converged, false)
 
 	lambda := make([][]float64, m)
 	for k := 0; k < m+n; k++ {

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net"
+	"strconv"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // routeShardCount shards the hub's routing table so registration and
@@ -24,6 +27,18 @@ type routeShard struct {
 	named        map[string]*hubConn
 	pending      map[uint32][][]byte
 	namedPending map[string][][]byte
+	stats        shardStats
+}
+
+// shardStats are the per-shard routing counters, updated lock-free on the
+// forwarding path and exposed via TCPHub.RegisterMetrics with a
+// shard="<id>" label. A skewed msgs distribution across shards reveals
+// routing hot spots; requeues/pending expose churn and slow registrants.
+type shardStats struct {
+	msgs     telemetry.Counter // records routed through this shard
+	bytes    telemetry.Counter // wire bytes routed (prefix included)
+	requeues telemetry.Counter // records requeued after a failed delivery
+	pending  telemetry.Counter // records parked for unregistered destinations
 }
 
 // TCPHub is a message router: nodes connect over TCP, register the agent
@@ -69,6 +84,23 @@ func (h *TCPHub) Addr() string { return h.ln.Addr().String() }
 
 // Stats returns a snapshot of the hub's forwarding counters.
 func (h *TCPHub) Stats() TransportStats { return h.counters.snapshot() }
+
+// RegisterMetrics attaches the hub's transport counters and its 16
+// per-shard routing counters to reg, tagging every series with the given
+// labels (per-shard series additionally carry shard="<id>"). Call before
+// serving traffic matters little — registration only publishes the
+// already-live counters; the hot paths never touch the registry.
+func (h *TCPHub) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.Label) {
+	h.counters.register(reg, labels...)
+	for s := range h.shards {
+		sl := append(append([]telemetry.Label{}, labels...), telemetry.L("shard", strconv.Itoa(s)))
+		st := &h.shards[s].stats
+		reg.RegisterCounter("ufc_hub_shard_msgs_total", "records routed per hub shard", &st.msgs, sl...)
+		reg.RegisterCounter("ufc_hub_shard_bytes_total", "wire bytes routed per hub shard", &st.bytes, sl...)
+		reg.RegisterCounter("ufc_hub_shard_requeues_total", "records requeued after a failed delivery", &st.requeues, sl...)
+		reg.RegisterCounter("ufc_hub_shard_pending_total", "records parked for unregistered destinations", &st.pending, sl...)
+	}
+}
 
 // Close stops the hub and disconnects all nodes.
 func (h *TCPHub) Close() error {
@@ -266,13 +298,15 @@ func (h *TCPHub) route(fb *frameBuf) {
 		return
 	}
 	var target *hubConn
+	var sh *routeShard
 	if named {
-		sh := h.namedShard(to)
+		sh = h.namedShard(to)
 		sh.mu.RLock()
 		target = sh.named[string(to)]
 		sh.mu.RUnlock()
 	} else {
-		sh, slot := h.shardOf(toIdx)
+		var slot int
+		sh, slot = h.shardOf(toIdx)
 		sh.mu.RLock()
 		if slot < len(sh.slots) {
 			target = sh.slots[slot]
@@ -284,6 +318,8 @@ func (h *TCPHub) route(fb *frameBuf) {
 		putFrame(fb)
 		return
 	}
+	sh.stats.msgs.Inc()
+	sh.stats.bytes.Add(uint64(len(fb.b)))
 	if err := target.cw.enqueue(fb); err != nil {
 		h.dropConn(target)
 		h.requeueRecord(fb)
@@ -296,9 +332,19 @@ func (h *TCPHub) requeueRecord(fb *frameBuf) {
 	_, body := splitRecord(fb.b)
 	hello, named, toIdx, to, err := peekRoute(body)
 	if err == nil && !hello {
+		h.shardFor(named, toIdx, to).stats.requeues.Inc()
 		h.addPending(named, toIdx, to, fb.b)
 	}
 	putFrame(fb)
+}
+
+// shardFor resolves the routing shard of a destination.
+func (h *TCPHub) shardFor(named bool, toIdx uint32, to []byte) *routeShard {
+	if named {
+		return h.namedShard(to)
+	}
+	sh, _ := h.shardOf(toIdx)
+	return sh
 }
 
 func (h *TCPHub) addPending(named bool, toIdx uint32, to []byte, rec []byte) {
@@ -311,6 +357,7 @@ func (h *TCPHub) addPending(named bool, toIdx uint32, to []byte, rec []byte) {
 		}
 		sh.namedPending[string(to)] = append(sh.namedPending[string(to)], cp)
 		sh.mu.Unlock()
+		sh.stats.pending.Inc()
 		return
 	}
 	sh, _ := h.shardOf(toIdx)
@@ -320,6 +367,7 @@ func (h *TCPHub) addPending(named bool, toIdx uint32, to []byte, rec []byte) {
 	}
 	sh.pending[toIdx] = append(sh.pending[toIdx], cp)
 	sh.mu.Unlock()
+	sh.stats.pending.Inc()
 }
 
 // splitRecord separates a record's uvarint length prefix from its body.
@@ -395,6 +443,13 @@ func NewTCPNode(hubAddr string, localIDs []string, buffer int) (*TCPNode, error)
 
 // Stats returns a snapshot of the node's transport counters.
 func (n *TCPNode) Stats() TransportStats { return n.counters.snapshot() }
+
+// RegisterMetrics attaches the node's transport counters to reg under the
+// ufc_transport_* names. When hub and node share one registry, pass
+// distinguishing labels (e.g. component="node").
+func (n *TCPNode) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.Label) {
+	n.counters.register(reg, labels...)
+}
 
 // halt shuts the write half down and unblocks send/deliver paths; the
 // read loop notices the closed connection and closes the inboxes.

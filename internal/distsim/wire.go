@@ -8,7 +8,8 @@ import (
 	"io"
 	"math"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Wire format of the TCP transport (node ⇄ hub, both directions).
@@ -423,35 +424,49 @@ func (s TransportStats) AvgBatch() float64 {
 	return float64(s.MessagesSent) / float64(s.Flushes)
 }
 
-// transportCounters is the shared atomic counter block behind
-// TransportStats.
+// transportCounters is the shared counter block behind TransportStats.
+// The instruments are telemetry types so a transport can be attached to a
+// metrics registry (see the RegisterMetrics methods) and scraped live;
+// TransportStats remains the point-in-time snapshot view of the same
+// counters. Updates stay single atomic ops — the hot send/receive paths
+// pay nothing for the registry integration.
 type transportCounters struct {
-	msgsSent  atomic.Uint64
-	bytesSent atomic.Uint64
-	msgsRecv  atomic.Uint64
-	bytesRecv atomic.Uint64
-	flushes   atomic.Uint64
-	maxBatch  atomic.Uint64
+	msgsSent  telemetry.Counter
+	bytesSent telemetry.Counter
+	msgsRecv  telemetry.Counter
+	bytesRecv telemetry.Counter
+	flushes   telemetry.Counter
+	maxBatch  telemetry.Gauge
 }
 
+// register attaches the counters to reg under the ufc_transport_* names.
+// Attaching two transports to one registry requires distinguishing labels
+// (e.g. component="hub" vs component="node").
+func (c *transportCounters) register(reg *telemetry.Registry, labels ...telemetry.Label) {
+	reg.RegisterCounter("ufc_transport_msgs_sent_total", "wire records sent", &c.msgsSent, labels...)
+	reg.RegisterCounter("ufc_transport_bytes_sent_total", "wire bytes sent (including length prefixes)", &c.bytesSent, labels...)
+	reg.RegisterCounter("ufc_transport_msgs_received_total", "wire records received", &c.msgsRecv, labels...)
+	reg.RegisterCounter("ufc_transport_bytes_received_total", "wire bytes received (including length prefixes)", &c.bytesRecv, labels...)
+	reg.RegisterCounter("ufc_transport_flushes_total", "syscall-bounded write batches", &c.flushes, labels...)
+	reg.RegisterGauge("ufc_transport_max_batch", "largest record batch drained in one flush", &c.maxBatch, labels...)
+}
+
+//ufc:hotpath
 func (c *transportCounters) noteSend(wireBytes int) {
-	c.msgsSent.Add(1)
+	c.msgsSent.Inc()
 	c.bytesSent.Add(uint64(wireBytes))
 }
 
+//ufc:hotpath
 func (c *transportCounters) noteRecv(wireBytes int) {
-	c.msgsRecv.Add(1)
+	c.msgsRecv.Inc()
 	c.bytesRecv.Add(uint64(wireBytes))
 }
 
+//ufc:hotpath
 func (c *transportCounters) noteFlush(batch int) {
-	c.flushes.Add(1)
-	for {
-		cur := c.maxBatch.Load()
-		if uint64(batch) <= cur || c.maxBatch.CompareAndSwap(cur, uint64(batch)) {
-			return
-		}
-	}
+	c.flushes.Inc()
+	c.maxBatch.Max(float64(batch))
 }
 
 func (c *transportCounters) snapshot() TransportStats {
@@ -461,6 +476,6 @@ func (c *transportCounters) snapshot() TransportStats {
 		MessagesReceived: c.msgsRecv.Load(),
 		BytesReceived:    c.bytesRecv.Load(),
 		Flushes:          c.flushes.Load(),
-		MaxBatch:         c.maxBatch.Load(),
+		MaxBatch:         uint64(c.maxBatch.Load()),
 	}
 }

@@ -1,0 +1,83 @@
+package experiments
+
+import "repro/internal/core"
+
+// SlotRecord is one hourly slot of a week run in the shape the paper's
+// evaluation figures consume: Fig. 5 (UFC per hour), Fig. 6–7 (energy and
+// carbon breakdown), Fig. 8 (fuel-cell utilization) and Fig. 9
+// (iterations to converge), plus the per-datacenter load and power split
+// behind the λ/μ summaries. Emitted as NDJSON — one line per slot — by
+// cmd/ufcsim so downstream plotting never re-runs the solver.
+type SlotRecord struct {
+	Hour     int    `json:"hour"`
+	Strategy string `json:"strategy"`
+
+	// Objective and cost breakdown (Breakdown field names match the
+	// core definitions; see core.Breakdown).
+	UFC             float64 `json:"ufc"`
+	UtilityWeighted float64 `json:"utilityWeighted"`
+	EnergyCostUSD   float64 `json:"energyCostUSD"`
+	GridCostUSD     float64 `json:"gridCostUSD"`
+	FuelCellCostUSD float64 `json:"fuelCellCostUSD"`
+	CarbonCostUSD   float64 `json:"carbonCostUSD"`
+	EmissionTons    float64 `json:"emissionTons"`
+
+	// Energy volumes and quality-of-service summaries.
+	DemandMWh           float64 `json:"demandMWh"`
+	GridMWh             float64 `json:"gridMWh"`
+	FuelCellMWh         float64 `json:"fuelCellMWh"`
+	AvgLatencyMs        float64 `json:"avgLatencyMs"`
+	FuelCellUtilization float64 `json:"fuelCellUtilization"`
+
+	// Per-datacenter λ/μ/ν summaries: routed load (workload units) and
+	// the power split (MW), indexed by datacenter.
+	DCLoad     []float64 `json:"dcLoad"`
+	FuelCellMW []float64 `json:"fuelCellMW"`
+	GridMW     []float64 `json:"gridMW"`
+
+	// Solver behaviour for the slot.
+	Iterations    int       `json:"iterations"`
+	Converged     bool      `json:"converged"`
+	FinalResidual float64   `json:"finalResidual"`
+	WarmStarted   bool      `json:"warmStarted"`
+	ResidualTrace []float64 `json:"residualTrace,omitempty"`
+}
+
+// NewSlotRecord assembles the record for one solved slot. alloc may be
+// nil (distributed runs that only report the breakdown keep the
+// per-datacenter sections empty); stats must be non-nil. The residual
+// trace is referenced, not copied — core.Stats already hands out a
+// per-solve copy.
+func NewSlotRecord(hour int, strategy core.Strategy, bd core.Breakdown, alloc *core.Allocation, stats *core.Stats, warm bool) SlotRecord {
+	rec := SlotRecord{
+		Hour:                hour,
+		Strategy:            strategy.String(),
+		UFC:                 bd.UFC,
+		UtilityWeighted:     bd.UtilityWeighted,
+		EnergyCostUSD:       bd.EnergyCostUSD,
+		GridCostUSD:         bd.GridCostUSD,
+		FuelCellCostUSD:     bd.FuelCellCostUSD,
+		CarbonCostUSD:       bd.CarbonCostUSD,
+		EmissionTons:        bd.EmissionTons,
+		DemandMWh:           bd.DemandMWh,
+		GridMWh:             bd.GridMWh,
+		FuelCellMWh:         bd.FuelCellMWh,
+		AvgLatencyMs:        bd.AvgLatencySec * 1000,
+		FuelCellUtilization: bd.FuelCellUtilization,
+		Iterations:          stats.Iterations,
+		Converged:           stats.Converged,
+		FinalResidual:       stats.FinalResidual,
+		WarmStarted:         warm,
+		ResidualTrace:       stats.ResidualTrace,
+	}
+	if alloc != nil {
+		n := len(alloc.MuMW)
+		rec.DCLoad = make([]float64, n)
+		for j := 0; j < n; j++ {
+			rec.DCLoad[j] = alloc.DCLoad(j)
+		}
+		rec.FuelCellMW = append([]float64(nil), alloc.MuMW...)
+		rec.GridMW = append([]float64(nil), alloc.NuMW...)
+	}
+	return rec
+}

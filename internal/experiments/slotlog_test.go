@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// TestSlotRecordRoundTrip solves one scenario slot, builds the NDJSON
+// record, and checks the emitted JSON carries the solve's numbers.
+func TestSlotRecordRoundTrip(t *testing.T) {
+	sc, err := NewScenario(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := sc.InstanceAt(7)
+	alloc, bd, stats, err := core.Solve(inst, core.Options{TrackResiduals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewSlotRecord(7, core.Hybrid, bd, alloc, stats, true)
+	if rec.Hour != 7 || rec.Strategy != core.Hybrid.String() || !rec.WarmStarted {
+		t.Fatalf("header fields wrong: %+v", rec)
+	}
+	if rec.UFC != bd.UFC || rec.Iterations != stats.Iterations || len(rec.ResidualTrace) != stats.Iterations {
+		t.Fatalf("payload fields wrong: %+v", rec)
+	}
+	n := inst.Cloud.N()
+	if len(rec.DCLoad) != n || len(rec.FuelCellMW) != n || len(rec.GridMW) != n {
+		t.Fatalf("per-datacenter slices sized %d/%d/%d, want %d",
+			len(rec.DCLoad), len(rec.FuelCellMW), len(rec.GridMW), n)
+	}
+
+	var buf bytes.Buffer
+	emit := telemetry.NewNDJSONEmitter(&buf)
+	if err := emit.Emit(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := emit.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var back SlotRecord
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.UFC != rec.UFC || back.FinalResidual != rec.FinalResidual || len(back.ResidualTrace) != len(rec.ResidualTrace) {
+		t.Fatalf("round trip diverged: %+v vs %+v", back, rec)
+	}
+}
+
+// TestSlotRecordNilAllocation: distributed runs without an allocation
+// still produce a valid record with empty per-datacenter sections.
+func TestSlotRecordNilAllocation(t *testing.T) {
+	rec := NewSlotRecord(0, core.GridOnly, core.Breakdown{UFC: 1}, nil, &core.Stats{Iterations: 3, Converged: true}, false)
+	if rec.DCLoad != nil || rec.FuelCellMW != nil || rec.GridMW != nil {
+		t.Fatalf("expected empty per-datacenter sections: %+v", rec)
+	}
+	if rec.UFC != 1 || rec.Iterations != 3 || !rec.Converged {
+		t.Fatalf("scalar fields wrong: %+v", rec)
+	}
+}

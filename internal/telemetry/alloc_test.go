@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInstrumentsZeroAlloc is the allocation gate for every hot-path
+// update: counter/gauge/histogram writes and the solver probe's record
+// methods must never touch the heap.
+func TestInstrumentsZeroAlloc(t *testing.T) {
+	var c Counter
+	var g Gauge
+	h := NewHistogram(ExponentialBuckets(1e-9, 10, 11))
+	p := NewSolverProbe()
+	start := p.StartSpan()
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(1.5) }},
+		{"Gauge.Add", func() { g.Add(0.5) }},
+		{"Gauge.Max", func() { g.Max(2) }},
+		{"Histogram.Observe", func() { h.Observe(1e-4) }},
+		{"Probe.PhaseDone", func() { start = p.PhaseDone(SolverPhaseLambda, start) }},
+		{"Probe.ObserveIteration", func() { p.ObserveIteration(1e-4) }},
+		{"Probe.ObserveSolve", func() { p.ObserveSolve(12, 1e-4, true, true) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(500, tc.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f objects/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(ExponentialBuckets(1e-9, 10, 11))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(2.5e-4)
+	}
+}
+
+func BenchmarkSolverProbePhase(b *testing.B) {
+	p := NewSolverProbe()
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		start = p.PhaseDone(SolverPhase(i%3), start)
+		p.ObserveIteration(1e-4)
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	reg := NewRegistry()
+	p := NewSolverProbe()
+	p.Register(reg)
+	for i := 0; i < 100; i++ {
+		p.ObserveIteration(1e-4)
+	}
+	p.ObserveSolve(100, 1e-4, true, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reg.WritePrometheus(discard{})
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

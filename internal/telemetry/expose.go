@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name. It is a
+// cold path: scrapes may allocate freely.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var cum []uint64
+	for _, fam := range r.sortedFamilies() {
+		if fam.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", fam.name, fam.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.name, fam.kind)
+		for _, s := range fam.series {
+			switch fam.kind {
+			case kindCounter:
+				writeSample(bw, fam.name, "", s.labels, "", strconv.FormatUint(s.c.Load(), 10))
+			case kindGauge:
+				writeSample(bw, fam.name, "", s.labels, "", formatFloat(s.g.Load()))
+			case kindHistogram:
+				cum = s.h.snapshotCumulative(cum)
+				sum := s.h.Sum()
+				for i, bound := range s.h.bounds {
+					writeSample(bw, fam.name, "_bucket", s.labels,
+						`le="`+formatFloat(bound)+`"`, strconv.FormatUint(cum[i], 10))
+				}
+				total := cum[len(cum)-1]
+				writeSample(bw, fam.name, "_bucket", s.labels, `le="+Inf"`, strconv.FormatUint(total, 10))
+				writeSample(bw, fam.name, "_sum", s.labels, "", formatFloat(sum))
+				writeSample(bw, fam.name, "_count", s.labels, "", strconv.FormatUint(total, 10))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name_suffix{labels,extra} value` line.
+func writeSample(w io.Writer, name, suffix, labels, extra, value string) {
+	lab := labels
+	if extra != "" {
+		if lab != "" {
+			lab += ","
+		}
+		lab += extra
+	}
+	if lab != "" {
+		fmt.Fprintf(w, "%s%s{%s} %s\n", name, suffix, lab, value)
+	} else {
+		fmt.Fprintf(w, "%s%s %s\n", name, suffix, value)
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in the Prometheus
+// text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// The response is already partially written; all we can do is
+			// drop the connection, which WritePrometheus's error implies.
+			return
+		}
+	})
+}
+
+// A Server exposes a registry at /metrics plus the standard net/http/pprof
+// endpoints under /debug/pprof/ on its own listener, so profiling a live
+// ufcnode/ufchub/ufcsim never shares a mux with application traffic.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer listens on addr (e.g. "127.0.0.1:0") and serves metrics and
+// pprof in a background goroutine until Close.
+func StartServer(addr string, reg *Registry) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: metrics listen: %w", err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}}
+	go func() {
+		// Serve returns http.ErrServerClosed (or the listener error) on
+		// Close; either way the server is done and the error is expected.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

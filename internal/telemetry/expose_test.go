@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact exposition bytes: families
+// sorted by name, HELP/TYPE headers, label merging, cumulative histogram
+// buckets with the +Inf bucket, and minimal float formatting.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	ops0 := reg.Counter("test_ops_total", "operations", L("shard", "0"))
+	ops1 := reg.Counter("test_ops_total", "operations", L("shard", "1"))
+	lvl := reg.Gauge("test_gauge", "current level")
+	h := reg.Histogram("test_hist", "latencies", []float64{1, 2, 4}, L("path", `a"b\c`))
+
+	ops0.Add(42)
+	ops1.Add(7)
+	lvl.Set(1.5)
+	for _, v := range []float64{0.5, 3, 9} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP test_gauge current level`,
+		`# TYPE test_gauge gauge`,
+		`test_gauge 1.5`,
+		`# HELP test_hist latencies`,
+		`# TYPE test_hist histogram`,
+		`test_hist_bucket{path="a\"b\\c",le="1"} 1`,
+		`test_hist_bucket{path="a\"b\\c",le="2"} 1`,
+		`test_hist_bucket{path="a\"b\\c",le="4"} 2`,
+		`test_hist_bucket{path="a\"b\\c",le="+Inf"} 3`,
+		`test_hist_sum{path="a\"b\\c"} 12.5`,
+		`test_hist_count{path="a\"b\\c"} 3`,
+		`# HELP test_ops_total operations`,
+		`# TYPE test_ops_total counter`,
+		`test_ops_total{shard="0"} 42`,
+		`test_ops_total{shard="1"} 7`,
+	}, "\n") + "\n"
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestServerServesMetricsAndPprof starts the exposition server on an
+// ephemeral port and scrapes /metrics and the pprof index over real HTTP.
+func TestServerServesMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("srv_probe_total", "probe").Add(3)
+	srv, err := StartServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	body := httpGet(t, fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if !strings.Contains(body, "srv_probe_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if pp := httpGet(t, fmt.Sprintf("http://%s/debug/pprof/", srv.Addr())); !strings.Contains(pp, "goroutine") {
+		t.Errorf("pprof index unexpected:\n%.200s", pp)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,30 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// NDJSONEmitter streams records as newline-delimited JSON — the offline
+// companion to the /metrics endpoint. The week runner uses it to emit one
+// record per hourly slot (UFC, energy/carbon breakdown, per-datacenter
+// power split, iterations-to-converge) for plotting the paper's Figs.
+// 5–9 without re-running the solver. Not safe for concurrent use.
+type NDJSONEmitter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewNDJSONEmitter wraps w in a buffered NDJSON encoder.
+func NewNDJSONEmitter(w io.Writer) *NDJSONEmitter {
+	bw := bufio.NewWriter(w)
+	return &NDJSONEmitter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes one record followed by a newline.
+func (e *NDJSONEmitter) Emit(v any) error { return e.enc.Encode(v) }
+
+// Flush pushes buffered records to the underlying writer. Call it after
+// the final Emit (or per record when tailing the stream live).
+func (e *NDJSONEmitter) Flush() error { return e.bw.Flush() }

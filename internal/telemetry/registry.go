@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Label is one key="value" pair attached to a metric series. Labels are
+// formatted once at registration time; they never appear on a hot path.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for Label{Key: k, Value: v}.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// series is one registered instrument: a preformatted label string plus
+// exactly one of the instrument pointers.
+type series struct {
+	labels string // `k="v",k2="v2"` without braces, "" for unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups all series sharing a metric name (same kind, same help).
+type family struct {
+	name, help string
+	kind       metricKind
+	series     []series
+}
+
+// A Registry is a named collection of instruments for exposition. All
+// registration happens at setup time under a lock; scraping takes the
+// same lock but the instruments themselves are updated lock-free, so a
+// scrape never stalls a hot path.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// Counter creates, registers and returns a new counter series.
+// It panics on an invalid name, a kind clash or a duplicate series —
+// registration is setup-time code and misuse is a programmer error.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.RegisterCounter(name, help, c, labels...)
+	return c
+}
+
+// RegisterCounter attaches an existing counter (e.g. one embedded in a
+// transport's counter block) to the registry.
+func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...Label) {
+	r.add(name, help, kindCounter, series{labels: formatLabels(labels), c: c})
+}
+
+// Gauge creates, registers and returns a new gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.RegisterGauge(name, help, g, labels...)
+	return g
+}
+
+// RegisterGauge attaches an existing gauge to the registry.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge, labels ...Label) {
+	r.add(name, help, kindGauge, series{labels: formatLabels(labels), g: g})
+}
+
+// Histogram creates, registers and returns a new fixed-bucket histogram
+// series over the given strictly increasing upper bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	h := NewHistogram(bounds)
+	r.RegisterHistogram(name, help, h, labels...)
+	return h
+}
+
+// RegisterHistogram attaches an existing histogram to the registry.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.add(name, help, kindHistogram, series{labels: formatLabels(labels), h: h})
+}
+
+func (r *Registry) add(name, help string, kind metricKind, s series) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.byName[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, kind: kind}
+		r.byName[name] = fam
+		r.families = append(r.families, fam)
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, fam.kind, kind))
+	}
+	for _, prev := range fam.series {
+		if prev.labels == s.labels {
+			panic(fmt.Sprintf("telemetry: duplicate series %s{%s}", name, s.labels))
+		}
+	}
+	fam.series = append(fam.series, s)
+}
+
+// sortedFamilies returns the families ordered by name, so exposition is
+// deterministic regardless of registration order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, len(r.families))
+	copy(out, r.families)
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// validMetricName implements the Prometheus data-model name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, ch := range name {
+		alpha := ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z' || ch == '_' || ch == ':'
+		if !alpha && (i == 0 || ch < '0' || ch > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelKey implements the label-name grammar [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelKey(key string) bool {
+	if key == "" {
+		return false
+	}
+	for i, ch := range key {
+		alpha := ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z' || ch == '_'
+		if !alpha && (i == 0 || ch < '0' || ch > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// formatLabels renders labels as `k="v",k2="v2"` (no braces), with values
+// escaped per the exposition format. Label order follows the caller.
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		if !validLabelKey(l.Key) {
+			panic(fmt.Sprintf("telemetry: invalid label key %q", l.Key))
+		}
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		escapeLabelValue(&sb, l.Value)
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+// escapeLabelValue escapes backslash, double quote and newline, per the
+// Prometheus text exposition format.
+func escapeLabelValue(sb *strings.Builder, v string) {
+	for _, ch := range v {
+		switch ch {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(ch)
+		}
+	}
+}

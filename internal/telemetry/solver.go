@@ -1,0 +1,169 @@
+package telemetry
+
+import "time"
+
+// SolverPhase names one block of the ADM-G iteration for phase timing.
+type SolverPhase uint8
+
+// The per-iteration phases of the distributed 4-block ADM-G loop: the
+// per-front-end λ-minimization fan-out, the per-datacenter μ/ν/a-step
+// fan-out, and the fused dual-update + Gaussian back-substitution pass.
+const (
+	SolverPhaseLambda SolverPhase = iota
+	SolverPhaseDatacenter
+	SolverPhaseCorrection
+	numSolverPhases
+)
+
+// solverPhaseNames are the `phase` label values, indexed by SolverPhase.
+var solverPhaseNames = [numSolverPhases]string{"lambda", "datacenter", "correction"}
+
+// SolverProbe is the phase/span recorder for ADM-G solves. One probe
+// aggregates any number of solves (a whole week run, a daemon's lifetime):
+// per-block wall time, per-iteration residuals, iterations-to-converge,
+// warm-start hits and convergence outcomes. All record methods are safe
+// for nil receivers (a nil probe is "telemetry off"), allocation-free and
+// safe for concurrent use — though phase timings assume the usual one
+// -solve-at-a-time engine contract.
+type SolverProbe struct {
+	solves      Counter // completed solves (converged or not)
+	converged   Counter
+	unconverged Counter
+	warmStarts  Counter // solves seeded from a nonzero iterate
+	coldStarts  Counter
+	iterations  Counter // total ADM-G iterations across all solves
+
+	phaseNanos [numSolverPhases]Counter // cumulative wall time per block
+
+	iterHist     *Histogram // iterations-to-converge per solve
+	residualHist *Histogram // per-iteration combined relative residual
+
+	lastIterations Gauge
+	lastResidual   Gauge
+}
+
+// NewSolverProbe returns a probe with the default bucket layout:
+// iteration counts on a doubling scale to 4096 and residuals on a decade
+// scale from 1e-9 to 10 (the solver's default tolerance is 2.5e-4).
+func NewSolverProbe() *SolverProbe {
+	return &SolverProbe{
+		iterHist:     NewHistogram(ExponentialBuckets(4, 2, 11)),
+		residualHist: NewHistogram(ExponentialBuckets(1e-9, 10, 11)),
+	}
+}
+
+// Register attaches the probe's instruments to reg under the ufc_solver_*
+// names, tagging every series with the given labels.
+func (p *SolverProbe) Register(reg *Registry, labels ...Label) {
+	reg.RegisterCounter("ufc_solver_solves_total", "completed ADM-G solves", &p.solves, labels...)
+	reg.RegisterCounter("ufc_solver_converged_total", "solves that reached the residual tolerance", &p.converged, labels...)
+	reg.RegisterCounter("ufc_solver_unconverged_total", "solves that exhausted the iteration budget", &p.unconverged, labels...)
+	reg.RegisterCounter("ufc_solver_warm_starts_total", "solves seeded from a previous slot's iterate", &p.warmStarts, labels...)
+	reg.RegisterCounter("ufc_solver_cold_starts_total", "solves started from the zero state", &p.coldStarts, labels...)
+	reg.RegisterCounter("ufc_solver_iterations_total", "ADM-G iterations across all solves", &p.iterations, labels...)
+	for ph := SolverPhase(0); ph < numSolverPhases; ph++ {
+		phl := append(append([]Label{}, labels...), L("phase", solverPhaseNames[ph]))
+		reg.RegisterCounter("ufc_solver_phase_nanoseconds_total",
+			"cumulative wall time per ADM-G block", &p.phaseNanos[ph], phl...)
+	}
+	reg.RegisterHistogram("ufc_solver_solve_iterations", "iterations to converge per solve", p.iterHist, labels...)
+	reg.RegisterHistogram("ufc_solver_iteration_residual", "combined relative residual after each iteration", p.residualHist, labels...)
+	reg.RegisterGauge("ufc_solver_last_iterations", "iteration count of the most recent solve", &p.lastIterations, labels...)
+	reg.RegisterGauge("ufc_solver_last_residual", "final residual of the most recent solve", &p.lastResidual, labels...)
+}
+
+// StartSpan returns the wall-clock start of a phase span. It lives here —
+// not at the call site — so determinism-critical packages never read the
+// clock themselves: a nil probe yields the zero time, and the value only
+// ever flows back into PhaseDone.
+func (p *SolverProbe) StartSpan() time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// PhaseDone attributes the span since start to phase ph and returns the
+// new span start, so consecutive phases chain without re-reading the
+// clock twice per boundary. Nil-safe.
+//
+//ufc:hotpath
+func (p *SolverProbe) PhaseDone(ph SolverPhase, start time.Time) time.Time {
+	if p == nil {
+		return start
+	}
+	now := time.Now()
+	d := now.Sub(start)
+	if d > 0 {
+		p.phaseNanos[ph].Add(uint64(d))
+	}
+	return now
+}
+
+// ObserveIteration records one completed ADM-G iteration and its combined
+// relative residual. Nil-safe.
+//
+//ufc:hotpath
+func (p *SolverProbe) ObserveIteration(residual float64) {
+	if p == nil {
+		return
+	}
+	p.iterations.Inc()
+	p.residualHist.Observe(residual)
+}
+
+// ObserveSolve records a finished solve: its iteration count, final
+// residual, convergence outcome and whether it was warm-started. Nil-safe.
+func (p *SolverProbe) ObserveSolve(iterations int, finalResidual float64, converged, warm bool) {
+	if p == nil {
+		return
+	}
+	p.solves.Inc()
+	if converged {
+		p.converged.Inc()
+	} else {
+		p.unconverged.Inc()
+	}
+	if warm {
+		p.warmStarts.Inc()
+	} else {
+		p.coldStarts.Inc()
+	}
+	p.iterHist.Observe(float64(iterations))
+	p.lastIterations.Set(float64(iterations))
+	p.lastResidual.Set(finalResidual)
+}
+
+// Iterations returns the total ADM-G iterations recorded so far (0 for a
+// nil probe).
+func (p *SolverProbe) Iterations() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.iterations.Load()
+}
+
+// Solves returns the total solves recorded so far (0 for a nil probe).
+func (p *SolverProbe) Solves() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.solves.Load()
+}
+
+// PhaseNanos returns the cumulative wall time attributed to ph in
+// nanoseconds (0 for a nil probe).
+func (p *SolverProbe) PhaseNanos(ph SolverPhase) uint64 {
+	if p == nil || ph >= numSolverPhases {
+		return 0
+	}
+	return p.phaseNanos[ph].Load()
+}
+
+// WarmStarts returns the warm-started solve count (0 for a nil probe).
+func (p *SolverProbe) WarmStarts() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.warmStarts.Load()
+}

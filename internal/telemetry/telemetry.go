@@ -1,0 +1,173 @@
+// Package telemetry is the repo's zero-allocation observability layer: a
+// registry of pre-registered atomic instruments (counters, gauges,
+// fixed-bucket histograms), a phase/span probe for the ADM-G solver loop,
+// a Prometheus-text-format + pprof HTTP exposition server, and an NDJSON
+// stream emitter for per-slot week-runner records.
+//
+// Design rules (enforced by benchmark and by the ufclint hotalloc gate):
+//
+//   - Instrument handles are resolved once at setup time. A hot-path
+//     update is a single atomic operation on a handle the caller already
+//     holds — no map lookups, no label formatting, no interface boxing.
+//   - Instruments are usable standalone (their zero value is ready) so
+//     subsystems like the distsim transport can count unconditionally and
+//     attach their counters to a Registry only when a caller wants
+//     exposition.
+//   - The package is standard library only and must not import any solver
+//     package (internal/core and internal/admm import it).
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// A Counter is a monotonically increasing uint64. The zero value is ready
+// to use; updates are lock-free and safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1 to the counter.
+//
+//ufc:hotpath
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+//
+//ufc:hotpath
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// A Gauge is an instantaneous float64 value. The zero value reads 0;
+// updates are lock-free and safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+//
+//ufc:hotpath
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the gauge (CAS loop; intended for low-frequency updates).
+//
+//ufc:hotpath
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Max raises the gauge to v if v exceeds the current value.
+//
+//ufc:hotpath
+func (g *Gauge) Max(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v || g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// A Histogram counts observations into fixed buckets chosen at
+// construction. Buckets follow the Prometheus convention: bucket i counts
+// observations v with v ≤ bounds[i] (cumulated at exposition time), plus
+// an implicit +Inf bucket. Observe is a bounded scan over the bucket
+// bounds plus two atomic ops — no allocation, safe for concurrent use.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given strictly increasing
+// upper bounds. It panics on unsorted or empty bounds — histograms are
+// constructed once at setup time, so misconfiguration is a programmer
+// error.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	for i := 1; i < len(own); i++ {
+		if own[i] <= own[i-1] {
+			panic("telemetry: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{bounds: own, buckets: make([]atomic.Uint64, len(own)+1)}
+}
+
+// Observe records one value.
+//
+//ufc:hotpath
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the histogram's upper bucket bounds (not including +Inf).
+// The returned slice must not be mutated.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// snapshotCumulative writes the cumulative bucket counts (len(bounds)+1
+// entries, the last being the all-observations total) into dst and returns
+// it. The per-bucket reads are individually atomic; the scrape is a
+// monotone approximation under concurrent writes, like any Prometheus
+// collector.
+func (h *Histogram) snapshotCumulative(dst []uint64) []uint64 {
+	dst = dst[:0]
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		dst = append(dst, cum)
+	}
+	return dst
+}
+
+// LinearBuckets returns n bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns n bounds start, start·factor, start·factor², ...
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

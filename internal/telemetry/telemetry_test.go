@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+
+	var g Gauge
+	if g.Load() != 0 {
+		t.Fatalf("zero gauge = %g, want 0", g.Load())
+	}
+	g.Set(1.5)
+	g.Add(-0.25)
+	if got := g.Load(); got != 1.25 {
+		t.Fatalf("gauge = %g, want 1.25", got)
+	}
+	g.Max(0.5)
+	if got := g.Load(); got != 1.25 {
+		t.Fatalf("Max lowered the gauge to %g", got)
+	}
+	g.Max(7)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("Max did not raise the gauge: %g", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 2.5, 9} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-13) > 1e-12 {
+		t.Fatalf("sum = %g, want 13", got)
+	}
+	cum := h.snapshotCumulative(nil)
+	want := []uint64{2, 2, 3, 4} // le1: {0.5,1}, le2: same, le4: +2.5, +Inf: +9
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative[%d] = %d, want %d (all %v)", i, cum[i], want[i], cum)
+		}
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {2, 1}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(0, 10, 3)
+	if lin[0] != 0 || lin[1] != 10 || lin[2] != 20 {
+		t.Fatalf("LinearBuckets = %v", lin)
+	}
+	exp := ExponentialBuckets(1, 2, 4)
+	if exp[0] != 1 || exp[3] != 8 {
+		t.Fatalf("ExponentialBuckets = %v", exp)
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup_total", "x", L("a", "1"))
+	for name, f := range map[string]func(){
+		"bad name":       func() { reg.Counter("bad name", "x") },
+		"bad label":      func() { reg.Counter("ok_total", "x", L("bad key", "v")) },
+		"kind clash":     func() { reg.Gauge("dup_total", "x") },
+		"duplicate":      func() { reg.Counter("dup_total", "x", L("a", "1")) },
+		"dup no labels":  func() { reg.Gauge("plain", "x"); reg.Gauge("plain", "x") },
+		"hist no bounds": func() { reg.Histogram("hist", "x", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestRegistryConcurrentScrape hammers every instrument kind from many
+// goroutines while scrapes run concurrently, then checks the final
+// totals. Run under -race this is the registry's data-race gate.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("conc_ops_total", "ops", L("kind", "inc"))
+	gauge := reg.Gauge("conc_level", "level")
+	h := reg.Histogram("conc_lat", "latencies", []float64{1, 10, 100})
+
+	const workers, perWorker = 8, 5000
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				gauge.Max(float64(w*perWorker + i))
+				h.Observe(float64(i % 200))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() { // concurrent scraper
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			if err := reg.WritePrometheus(&sb); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+
+	if c.Load() != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", c.Load(), workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	if gauge.Load() != float64(workers*perWorker-1) {
+		t.Fatalf("gauge max = %g, want %d", gauge.Load(), workers*perWorker-1)
+	}
+}
+
+func TestSolverProbeNilSafe(t *testing.T) {
+	var p *SolverProbe
+	start := p.StartSpan()
+	p.PhaseDone(SolverPhaseLambda, start)
+	p.ObserveIteration(0.5)
+	p.ObserveSolve(10, 1e-5, true, true)
+	if p.Iterations() != 0 || p.Solves() != 0 || p.WarmStarts() != 0 || p.PhaseNanos(SolverPhaseLambda) != 0 {
+		t.Fatal("nil probe accumulated state")
+	}
+}
+
+func TestSolverProbeRecords(t *testing.T) {
+	p := NewSolverProbe()
+	start := p.StartSpan()
+	time.Sleep(time.Millisecond)
+	next := p.PhaseDone(SolverPhaseLambda, start)
+	if !next.After(start) {
+		t.Fatal("PhaseDone did not advance the span start")
+	}
+	if p.PhaseNanos(SolverPhaseLambda) == 0 {
+		t.Fatal("phase time not recorded")
+	}
+	for i := 0; i < 5; i++ {
+		p.ObserveIteration(1e-3)
+	}
+	p.ObserveSolve(5, 1e-3, true, false)
+	p.ObserveSolve(7, 2e-2, false, true)
+	if p.Iterations() != 5 || p.Solves() != 2 || p.WarmStarts() != 1 {
+		t.Fatalf("probe state: iters %d solves %d warm %d", p.Iterations(), p.Solves(), p.WarmStarts())
+	}
+	if p.converged.Load() != 1 || p.unconverged.Load() != 1 || p.coldStarts.Load() != 1 {
+		t.Fatal("outcome counters wrong")
+	}
+	if p.lastIterations.Load() != 7 || p.lastResidual.Load() != 2e-2 {
+		t.Fatal("last-solve gauges wrong")
+	}
+
+	reg := NewRegistry()
+	p.Register(reg, L("component", "test"))
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`ufc_solver_solves_total{component="test"} 2`,
+		`ufc_solver_iterations_total{component="test"} 5`,
+		`ufc_solver_warm_starts_total{component="test"} 1`,
+		`ufc_solver_phase_nanoseconds_total{component="test",phase="lambda"}`,
+		`ufc_solver_solve_iterations_count{component="test"} 2`,
+		`ufc_solver_iteration_residual_bucket{component="test",le="+Inf"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
