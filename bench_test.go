@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -84,7 +85,7 @@ func BenchmarkFig3(b *testing.B) {
 // Fig. 4–8 and Fig. 11 benchmarks' reporting.
 func runWeekComparison(b *testing.B) *experiments.WeekComparison {
 	b.Helper()
-	w, err := experiments.RunWeekComparison(benchConfig(), benchSolver)
+	w, err := experiments.RunWeekComparison(context.Background(), benchConfig(), benchSolver)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func BenchmarkFig9(b *testing.B) {
 	cfg.Hours = 24
 	prices := []float64{20, 27, 45, 65, 80, 110}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFigNine(cfg, benchSolver, prices)
+		res, err := experiments.RunFigNine(context.Background(), cfg, benchSolver, prices)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func BenchmarkFig10(b *testing.B) {
 	cfg.Hours = 24
 	taxes := []float64{0, 25, 75, 140, 200}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFigTen(cfg, benchSolver, taxes)
+		res, err := experiments.RunFigTen(context.Background(), cfg, benchSolver, taxes)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -410,7 +411,7 @@ func BenchmarkSolveDistributedInMemory(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr := distsim.NewChanTransport(distsim.AllAgentIDs(m, n), distsim.ChanOptions{Seed: int64(i)})
-		if _, err := distsim.Run(inst, distsim.RunOptions{Solver: benchSolver}, tr); err != nil {
+		if _, err := distsim.Run(context.Background(), inst, distsim.RunOptions{Solver: benchSolver}, tr); err != nil {
 			b.Fatal(err)
 		}
 		_ = tr.Close()
@@ -557,7 +558,7 @@ func BenchmarkSolveDistributedTCP(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := distsim.Run(inst, distsim.RunOptions{Solver: benchSolver}, node); err != nil {
+		if _, err := distsim.Run(context.Background(), inst, distsim.RunOptions{Solver: benchSolver}, node); err != nil {
 			b.Fatal(err)
 		}
 		_ = node.Close()
@@ -580,7 +581,7 @@ func BenchmarkSolveDistributedTCPGob(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := distsim.Run(inst, distsim.RunOptions{Solver: benchSolver}, node); err != nil {
+		if _, err := distsim.Run(context.Background(), inst, distsim.RunOptions{Solver: benchSolver}, node); err != nil {
 			b.Fatal(err)
 		}
 		_ = node.Close()

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -94,7 +95,7 @@ func run(args []string) error {
 		if *warm {
 			runWeek = experiments.RunWeekComparisonWarm
 		}
-		week, err := runWeek(cfg, opts)
+		week, err := runWeek(context.Background(), cfg, opts)
 		if err != nil {
 			return fmt.Errorf("week comparison: %w", err)
 		}
@@ -123,14 +124,14 @@ func run(args []string) error {
 	}
 
 	if want("fig9") {
-		res, err := experiments.RunFigNine(cfg, opts, nil)
+		res, err := experiments.RunFigNine(context.Background(), cfg, opts, nil)
 		if err != nil {
 			return fmt.Errorf("fig9: %w", err)
 		}
 		fmt.Println(res.Table().Render())
 	}
 	if want("fig10") {
-		res, err := experiments.RunFigTen(cfg, opts, nil)
+		res, err := experiments.RunFigTen(context.Background(), cfg, opts, nil)
 		if err != nil {
 			return fmt.Errorf("fig10: %w", err)
 		}

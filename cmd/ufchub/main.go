@@ -30,10 +30,11 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ufchub", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7070", "address to listen on")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and net/http/pprof on this address")
+	idleTimeout := fs.Duration("idle-timeout", 0, "drop node connections silent for this long (0 disables; pair with ufcnode -heartbeat-interval)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	hub, err := distsim.NewTCPHub(*listen)
+	hub, err := distsim.NewTCPHubOpts(*listen, distsim.HubOptions{IdleTimeout: *idleTimeout})
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +50,15 @@ func run(args []string) error {
 	writeInstance := fs.String("write-instance", "", "write a scenario slot as an instance file and exit")
 	hour := fs.Int("hour", 12, "scenario hour for -write-instance")
 	scale := fs.Float64("scale", 0.2, "scenario fleet scale for -write-instance")
+	faultPlanPath := fs.String("fault-plan", "", "JSON fault plan injected between this node's agents and the hub (enables the resilient protocol)")
+	resilient := fs.Bool("resilient", false, "run the retry/deadline/degradation protocol even without a fault plan")
+	retryInterval := fs.Duration("retry-interval", 0, "base retransmit interval (0 uses the default)")
+	maxRetries := fs.Int("max-retries", 0, "retransmissions per blocked wait (0 uses the default)")
+	messageDeadline := fs.Duration("message-deadline", 0, "per-message degradation deadline (0 uses the default)")
+	stalenessCap := fs.Int("staleness-cap", 0, "consecutive stale rounds tolerated per peer before aborting (0 uses the default)")
+	deadAfter := fs.Int("dead-after", 0, "missed reports before the coordinator declares an agent dead (0 uses the default)")
+	heartbeatInterval := fs.Duration("heartbeat-interval", 0, "hub liveness ping interval (0 disables heartbeats)")
+	heartbeatMiss := fs.Int("heartbeat-miss", 0, "missed heartbeat windows before the hub link is declared dead (0 uses the default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,17 +84,53 @@ func run(args []string) error {
 	if *agents == "all" {
 		ids = distsim.AllAgentIDs(m, n)
 	}
-	node, err := distsim.NewTCPNode(*hub, ids, 256)
+	node, err := distsim.NewTCPNodeOpts(*hub, ids, distsim.NodeOptions{
+		Buffer:            256,
+		HeartbeatInterval: *heartbeatInterval,
+		HeartbeatMiss:     *heartbeatMiss,
+	})
 	if err != nil {
 		return err
 	}
 	defer func() { _ = node.Close() }() //ufc:discard best-effort cleanup; RunAgents already reported the run's outcome
+
+	var tr distsim.Transport = node
+	var faults *distsim.FaultTransport
+	if *faultPlanPath != "" {
+		data, err := os.ReadFile(*faultPlanPath)
+		if err != nil {
+			return err
+		}
+		plan, err := distsim.ParseFaultPlan(data)
+		if err != nil {
+			return fmt.Errorf("fault plan %s: %w", *faultPlanPath, err)
+		}
+		faults, err = distsim.NewFaultTransport(node, plan)
+		if err != nil {
+			return fmt.Errorf("fault plan %s: %w", *faultPlanPath, err)
+		}
+		tr = faults
+		*resilient = true
+	}
+	var resil *distsim.Resilience
+	if *resilient {
+		resil = &distsim.Resilience{
+			RetryInterval:   *retryInterval,
+			MaxRetries:      *maxRetries,
+			MessageDeadline: *messageDeadline,
+			StalenessCap:    *stalenessCap,
+			DeadAfter:       *deadAfter,
+		}
+	}
 
 	probe := telemetry.NewSolverProbe()
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
 		probe.Register(reg)
 		node.RegisterMetrics(reg, telemetry.L("component", "node"))
+		if faults != nil {
+			faults.RegisterMetrics(reg, telemetry.L("component", "node"))
+		}
 		// The server is deliberately left open until process exit so the
 		// final counters of a finished solve remain scrapeable.
 		msrv, err := telemetry.StartServer(*metricsAddr, reg)
@@ -98,10 +144,16 @@ func run(args []string) error {
 	}
 
 	fmt.Fprintf(os.Stderr, "node hosting %v against hub %s\n", ids, *hub)
-	res, err := distsim.RunAgents(inst, distsim.RunOptions{
-		Solver:  core.Options{MaxIterations: *maxIters, Probe: probe},
-		Timeout: *timeout,
-	}, node, ids)
+	res, err := distsim.RunAgents(context.Background(), inst, distsim.RunOptions{
+		Solver:     core.Options{MaxIterations: *maxIters, Probe: probe},
+		Timeout:    *timeout,
+		Resilience: resil,
+	}, tr, ids)
+	if faults != nil {
+		fst := faults.Stats()
+		fmt.Fprintf(os.Stderr, "faults: dropped %d, duplicated %d, delayed %d, partition-dropped %d, crash-dropped %d\n",
+			fst.Dropped, fst.Duplicated, fst.Delayed, fst.PartitionDropped, fst.CrashDropped)
+	}
 	if st := node.Stats(); st.MessagesSent > 0 || st.MessagesReceived > 0 {
 		fmt.Fprintf(os.Stderr,
 			"transport: sent %d msgs / %d bytes (%.1f bytes/msg), received %d msgs / %d bytes, %d flushes (avg batch %.1f, max %d)\n",

@@ -8,6 +8,8 @@
 //	ufcsim [-strategy hybrid|grid|fuelcell] [-hours n] [-scale f] [-seed n]
 //	       [-warm] [-distributed] [-trace-residuals]
 //	       [-metrics-addr host:port] [-ndjson file]
+//	       [-fault-plan plan.json] [-retry-interval d] [-message-deadline d]
+//	       [-staleness-cap n] [-dead-after n]
 //
 // With -metrics-addr the run exposes a Prometheus /metrics endpoint
 // (solver counters, phase timings, residual histograms) and net/http/pprof
@@ -17,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -48,11 +51,31 @@ func run(args []string) error {
 	traceResiduals := fs.Bool("trace-residuals", false, "record per-iteration residuals (printed summary + ndjson residualTrace)")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and net/http/pprof on this address")
 	ndjsonPath := fs.String("ndjson", "", "append one JSON record per solved slot to this file (\"-\" for stdout)")
+	faultPlanPath := fs.String("fault-plan", "", "JSON fault plan injected into the -distributed transport (enables the resilient protocol)")
+	retryInterval := fs.Duration("retry-interval", 0, "base retransmit interval under -fault-plan (0 uses the default)")
+	maxRetries := fs.Int("max-retries", 0, "retransmissions per blocked wait under -fault-plan (0 uses the default)")
+	messageDeadline := fs.Duration("message-deadline", 0, "per-message degradation deadline under -fault-plan (0 uses the default; it dominates wall-clock once agents die)")
+	stalenessCap := fs.Int("staleness-cap", 0, "consecutive stale rounds tolerated per peer before aborting (0 uses the default)")
+	deadAfter := fs.Int("dead-after", 0, "missed reports before the coordinator declares an agent dead (0 uses the default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *warm && *distributed {
 		return fmt.Errorf("-warm requires the in-process engine; it cannot be combined with -distributed")
+	}
+	var faultPlan *distsim.FaultPlan
+	if *faultPlanPath != "" {
+		if !*distributed {
+			return fmt.Errorf("-fault-plan requires -distributed")
+		}
+		data, err := os.ReadFile(*faultPlanPath)
+		if err != nil {
+			return err
+		}
+		faultPlan, err = distsim.ParseFaultPlan(data)
+		if err != nil {
+			return fmt.Errorf("fault plan %s: %w", *faultPlanPath, err)
+		}
 	}
 
 	var strategy core.Strategy
@@ -141,11 +164,31 @@ func run(args []string) error {
 		switch {
 		case *distributed:
 			m, n := inst.Cloud.M(), inst.Cloud.N()
-			tr := distsim.NewChanTransport(distsim.AllAgentIDs(m, n), distsim.ChanOptions{Seed: int64(t)})
+			var tr distsim.Transport = distsim.NewChanTransport(distsim.AllAgentIDs(m, n), distsim.ChanOptions{Seed: int64(t)})
+			ro := distsim.RunOptions{Solver: opts}
+			if faultPlan != nil {
+				tr, err = distsim.NewFaultTransport(tr, faultPlan)
+				if err != nil {
+					return fmt.Errorf("hour %d: %w", t, err)
+				}
+				ro.Resilience = &distsim.Resilience{
+					Seed:            faultPlan.Seed,
+					RetryInterval:   *retryInterval,
+					MaxRetries:      *maxRetries,
+					MessageDeadline: *messageDeadline,
+					StalenessCap:    *stalenessCap,
+					DeadAfter:       *deadAfter,
+				}
+			}
 			var res *distsim.Result
-			res, err = distsim.Run(inst, distsim.RunOptions{Solver: opts}, tr)
+			res, err = distsim.Run(context.Background(), inst, ro, tr)
 			if err == nil {
 				alloc, bd, st = res.Allocation, res.Breakdown, res.Stats
+				if res.Degradation != nil {
+					d := res.Degradation
+					fmt.Fprintf(os.Stderr, "      degraded: dead=%v missedReports=%d staleRounds=%d proximityFE=%v\n",
+						d.DeadAgents, d.MissedReports, d.StaleRounds, d.ProximityFrontEnds)
+				}
 			}
 			_ = tr.Close() //ufc:discard in-process transport; Run already surfaced any failure
 		case *warm:

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,7 +58,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			_, bd, _, err := ufc.Solve(inst, ufc.Options{MaxIterations: 3000})
+			_, bd, _, err := ufc.Solve(context.Background(), inst, ufc.Options{MaxIterations: 3000})
 			if err != nil {
 				log.Fatalf("%s p0=%g: %v", policy.Name(), p0, err)
 			}

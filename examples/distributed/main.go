@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -37,10 +38,11 @@ func main() {
 		log.Fatal(err)
 	}
 	opts := ufc.Options{MaxIterations: 3000}
+	ctx := context.Background()
 
 	// 1. Sequential in-process engine.
 	start := time.Now()
-	_, bdSeq, statsSeq, err := ufc.Solve(inst, opts)
+	_, bdSeq, statsSeq, err := ufc.Solve(ctx, inst, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,14 +52,14 @@ func main() {
 	// 2. Message-passing agents with injected delays (reordering) and
 	// transient loss with redelivery.
 	start = time.Now()
-	_, bdMsg, statsMsg, err := ufc.SolveDistributed(inst, opts, 100*time.Microsecond)
+	_, bdMsg, statsMsg, err := ufc.SolveDistributed(ctx, inst, opts, ufc.DistOptions{MaxDelay: 100 * time.Microsecond})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("message passing:     UFC %.6f in %3d iterations (%v)\n",
 		bdMsg.UFC, statsMsg.Iterations, time.Since(start).Round(time.Millisecond))
 
-	// 3. Over a real TCP hub on localhost (gob-encoded envelopes).
+	// 3. Over a real TCP hub on localhost (binary wire frames).
 	start = time.Now()
 	hub, err := distsim.NewTCPHub("127.0.0.1:0")
 	if err != nil {
@@ -70,7 +72,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer func() { _ = node.Close() }() //ufc:discard example teardown; errors have nowhere useful to go
-	res, err := distsim.Run(inst, distsim.RunOptions{
+	res, err := distsim.Run(ctx, inst, distsim.RunOptions{
 		Solver:  core.Options{MaxIterations: 3000},
 		Timeout: time.Minute,
 	}, node)

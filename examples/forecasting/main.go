@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -58,7 +59,7 @@ func main() {
 				}
 			}
 
-			allocPred, _, _, err := ufc.Solve(predInst, ufc.Options{MaxIterations: 3000})
+			allocPred, _, _, err := ufc.Solve(context.Background(), predInst, ufc.Options{MaxIterations: 3000})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -85,7 +86,7 @@ func main() {
 			}
 			bdRealized := ufc.Evaluate(actual, realized)
 
-			_, bdOracle, _, err := ufc.Solve(actual, ufc.Options{MaxIterations: 3000})
+			_, bdOracle, _, err := ufc.Solve(context.Background(), actual, ufc.Options{MaxIterations: 3000})
 			if err != nil {
 				log.Fatal(err)
 			}

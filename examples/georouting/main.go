@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 	for t := 0; t < cfg.Hours; t += 4 {
 		inst := sc.InstanceAt(t)
 		for _, s := range strategies {
-			_, bd, _, err := ufc.Solve(inst, ufc.Options{Strategy: s, MaxIterations: 3000})
+			_, bd, _, err := ufc.Solve(context.Background(), inst, ufc.Options{Strategy: s, MaxIterations: 3000})
 			if err != nil {
 				log.Fatalf("hour %d %s: %v", t, s, err)
 			}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	alloc, bd, stats, err := ufc.Solve(inst, ufc.Options{})
+	alloc, bd, stats, err := ufc.Solve(context.Background(), inst, ufc.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,6 +14,7 @@
 package admm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -148,6 +149,14 @@ func New(blocks []Block, b linalg.Vector) (*Solver, error) {
 
 // Solve runs ADM-G from the zero initial point.
 func (s *Solver) Solve(opts Options) (*Result, error) {
+	return s.SolveContext(context.Background(), opts)
+}
+
+// SolveContext is Solve with cancellation, polled once per iteration.
+func (s *Solver) SolveContext(ctx context.Context, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if opts.Rho <= 0 {
 		return nil, ErrBadRho
@@ -169,6 +178,9 @@ func (s *Solver) Solve(opts Options) (*Result, error) {
 
 	xt := make([]linalg.Vector, m) // predicted x̃
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("admm: solve cancelled at iteration %d: %w", iter, err)
+		}
 		// --- Prediction sweep (forward order). ---
 		kxt := make([]linalg.Vector, m)
 		for i, blk := range s.blocks {

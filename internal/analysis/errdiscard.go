@@ -13,8 +13,8 @@ import (
 //   - a blank assignment `_ = x.Close()` without a //ufc:discard
 //     justification comment on the same or preceding line.
 //
-// Only failure-prone operations are watched (Send, Close, Flush, Sync,
-// Shutdown, Write*, Set*Deadline); receivers that cannot fail by contract
+// Only failure-prone operations are watched (Send, Resend, Close, Flush,
+// Sync, Shutdown, Write*, Set*Deadline); receivers that cannot fail by contract
 // (strings.Builder, bytes.Buffer, hash.Hash) are exempt. The point is not
 // ritual error wrapping — it is that a dropped Transport.Send is a
 // protocol-level message loss and a dropped Close can swallow the only
@@ -30,6 +30,7 @@ var Errdiscard = &Analyzer{
 // be dropped silently.
 var watchedCallees = map[string]bool{
 	"Send":             true,
+	"Resend":           true,
 	"Close":            true,
 	"Flush":            true,
 	"Sync":             true,

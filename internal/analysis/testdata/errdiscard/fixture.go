@@ -8,10 +8,11 @@ import (
 
 type conn struct{}
 
-func (conn) Close() error         { return errors.New("close failed") }
-func (conn) Send(to string) error { return nil }
-func (conn) Flush() error         { return nil }
-func (conn) Detach()              {}
+func (conn) Close() error                     { return errors.New("close failed") }
+func (conn) Send(to string) error             { return nil }
+func (conn) Resend(to string, iter int) error { return nil }
+func (conn) Flush() error                     { return nil }
+func (conn) Detach()                          {}
 
 func dropStmt(c conn) {
 	c.Close() // want `silently discards the error returned by Close`
@@ -27,6 +28,16 @@ func dropGo(c conn) {
 
 func dropSend(c conn) {
 	c.Send("fe-0") // want `silently discards the error returned by Send`
+}
+
+// The retry layer's Resend is as much a protocol-level message loss as a
+// dropped Send.
+func dropResend(c conn) {
+	c.Resend("fe-0", 7) // want `silently discards the error returned by Resend`
+}
+
+func justifiedResend(c conn) {
+	_ = c.Resend("fe-0", 7) //ufc:discard solicited resend is best-effort; the retry timer covers real loss
 }
 
 func dropBlank(c conn) {

@@ -1,6 +1,7 @@
 package distsim_test
 
 import (
+	"context"
 	"errors"
 	"io"
 	"math"
@@ -67,7 +68,7 @@ func runDistributed(t *testing.T, inst *core.Instance, chanOpts distsim.ChanOpti
 	m, n := inst.Cloud.M(), inst.Cloud.N()
 	tr := distsim.NewChanTransport(distsim.AllAgentIDs(m, n), chanOpts)
 	defer func() { _ = tr.Close() }()
-	res, err := distsim.Run(inst, distsim.RunOptions{}, tr)
+	res, err := distsim.Run(context.Background(), inst, distsim.RunOptions{}, tr)
 	if err != nil {
 		t.Fatalf("distributed run: %v", err)
 	}
@@ -148,7 +149,7 @@ func TestDistributedOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = node.Close() }()
-	res, err := distsim.Run(inst, distsim.RunOptions{Timeout: time.Minute}, node)
+	res, err := distsim.Run(context.Background(), inst, distsim.RunOptions{Timeout: time.Minute}, node)
 	if err != nil {
 		t.Fatalf("TCP run: %v", err)
 	}
@@ -194,7 +195,7 @@ func TestDistributedMultiNodeTCP(t *testing.T) {
 	// hub through any node (they all reach the hub), Inbox picks the node
 	// hosting the id.
 	tr := &multiNode{nodes: []*distsim.TCPNode{feNode, dcNode, coNode}}
-	res, err := distsim.Run(inst, distsim.RunOptions{Timeout: time.Minute}, tr)
+	res, err := distsim.Run(context.Background(), inst, distsim.RunOptions{Timeout: time.Minute}, tr)
 	if err != nil {
 		t.Fatalf("multi-node TCP run: %v", err)
 	}
@@ -258,7 +259,7 @@ func TestRunTimesOutCleanly(t *testing.T) {
 	// using a tiny timeout: agents cannot complete a round.
 	tr := distsim.NewChanTransport(distsim.AllAgentIDs(m, n)[:m+n], distsim.ChanOptions{})
 	defer func() { _ = tr.Close() }()
-	_, err := distsim.Run(inst, distsim.RunOptions{Timeout: 50 * time.Millisecond}, tr)
+	_, err := distsim.Run(context.Background(), inst, distsim.RunOptions{Timeout: 50 * time.Millisecond}, tr)
 	if err == nil {
 		t.Fatal("expected an error with missing coordinator inbox")
 	}
@@ -269,7 +270,7 @@ func TestDistributedGridOnlyStrategy(t *testing.T) {
 	m, n := inst.Cloud.M(), inst.Cloud.N()
 	tr := distsim.NewChanTransport(distsim.AllAgentIDs(m, n), distsim.ChanOptions{Seed: 3})
 	defer func() { _ = tr.Close() }()
-	res, err := distsim.Run(inst, distsim.RunOptions{
+	res, err := distsim.Run(context.Background(), inst, distsim.RunOptions{
 		Solver: core.Options{Strategy: core.GridOnly},
 	}, tr)
 	if err != nil {
@@ -290,10 +291,10 @@ func TestRunAgentsRejectsInvalidID(t *testing.T) {
 	m, n := inst.Cloud.M(), inst.Cloud.N()
 	tr := distsim.NewChanTransport(distsim.AllAgentIDs(m, n), distsim.ChanOptions{})
 	defer func() { _ = tr.Close() }()
-	if _, err := distsim.RunAgents(inst, distsim.RunOptions{}, tr, []string{"fe-999"}); err == nil {
+	if _, err := distsim.RunAgents(context.Background(), inst, distsim.RunOptions{}, tr, []string{"fe-999"}); err == nil {
 		t.Fatal("out-of-range front-end accepted")
 	}
-	if _, err := distsim.RunAgents(inst, distsim.RunOptions{}, tr, []string{"gremlin-1"}); err == nil {
+	if _, err := distsim.RunAgents(context.Background(), inst, distsim.RunOptions{}, tr, []string{"gremlin-1"}); err == nil {
 		t.Fatal("unknown agent kind accepted")
 	}
 }
@@ -314,13 +315,13 @@ func TestRunAgentsSplitAcrossGoroutines(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		// Front-end half runs "elsewhere"; returns nil result.
-		res, err := distsim.RunAgents(inst, distsim.RunOptions{}, tr, all[:m])
+		res, err := distsim.RunAgents(context.Background(), inst, distsim.RunOptions{}, tr, all[:m])
 		if err == nil && res != nil {
 			err = errTestUnexpectedResult
 		}
 		done <- err
 	}()
-	res, err := distsim.RunAgents(inst, distsim.RunOptions{}, tr, all[m:])
+	res, err := distsim.RunAgents(context.Background(), inst, distsim.RunOptions{}, tr, all[m:])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +356,7 @@ func TestDistributedOverGobTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = node.Close() }()
-	res, err := distsim.Run(inst, distsim.RunOptions{Timeout: time.Minute}, node)
+	res, err := distsim.Run(context.Background(), inst, distsim.RunOptions{Timeout: time.Minute}, node)
 	if err != nil {
 		t.Fatalf("gob TCP run: %v", err)
 	}
@@ -551,7 +552,7 @@ func TestTCPNodeStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = node.Close() }()
-	res, err := distsim.Run(inst, distsim.RunOptions{Timeout: time.Minute}, node)
+	res, err := distsim.Run(context.Background(), inst, distsim.RunOptions{Timeout: time.Minute}, node)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -586,7 +587,7 @@ func TestRunFailsWhenPeerMissing(t *testing.T) {
 	tr := distsim.NewChanTransport(all, distsim.ChanOptions{})
 	defer func() { _ = tr.Close() }()
 	partial := append(append([]string{}, all[:m]...), "coord")
-	_, err := distsim.RunAgents(inst, distsim.RunOptions{Timeout: 100 * time.Millisecond}, tr, partial)
+	_, err := distsim.RunAgents(context.Background(), inst, distsim.RunOptions{Timeout: 100 * time.Millisecond}, tr, partial)
 	if err == nil {
 		t.Fatal("expected timeout with missing datacenter agents")
 	}

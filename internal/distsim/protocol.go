@@ -1,6 +1,7 @@
 package distsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -18,8 +19,36 @@ var (
 // RunOptions configures a distributed run.
 type RunOptions struct {
 	Solver core.Options
-	// Timeout bounds each individual message wait (default 30s).
+	// Timeout bounds each individual message wait (default 30s). It
+	// applies to the legacy fail-fast protocol; with Resilience set the
+	// per-phase MessageDeadline governs waits instead.
 	Timeout time.Duration
+	// Resilience, when non-nil, enables the hardened protocol: bounded
+	// retransmission with backoff, duplicate suppression, per-phase
+	// degrade deadlines with stale-iterate fallback, and coordinator
+	// liveness tracking with proximity-routing finalization for dead
+	// front-ends. Nil runs the legacy fail-fast protocol.
+	Resilience *Resilience
+}
+
+// Degradation reports how a resilient run deviated from fault-free
+// operation. Nil on a Result means the run saw no degradation at all.
+type Degradation struct {
+	// DeadAgents are agents the coordinator declared dead after
+	// Resilience.DeadAfter consecutive missed reports.
+	DeadAgents []string
+	// MissedReports counts report slots that hit the degrade deadline.
+	MissedReports int
+	// StaleRounds counts coordinator rounds completed with at least one
+	// missing report.
+	StaleRounds int
+	// ProximityFrontEnds lists front-ends whose final routing was
+	// reconstructed by proximity fallback (all load to the nearest
+	// datacenter) because the agent died before delivering it.
+	ProximityFrontEnds []int
+	// WorkerErrors are failures of local non-coordinator agents that the
+	// resilient run tolerated (e.g. simulated crashes).
+	WorkerErrors []string
 }
 
 // Result of a distributed run.
@@ -27,14 +56,19 @@ type Result struct {
 	Allocation *core.Allocation
 	Breakdown  core.Breakdown
 	Stats      *core.Stats
+	// Degradation is non-nil when a resilient run degraded (dead agents,
+	// missed reports, proximity fallback or tolerated worker failures).
+	Degradation *Degradation
 }
 
 // Run executes the distributed 4-block ADM-G protocol over the transport:
 // M front-end agents, N datacenter agents and one coordinator exchange the
 // messages of Fig. 2 until the coordinator detects convergence. The caller
 // supplies a transport already registered with the ids of AllAgentIDs.
-func Run(inst *core.Instance, opts RunOptions, transport Transport) (*Result, error) {
-	return RunAgents(inst, opts, transport, allIDs(inst.Cloud.M(), inst.Cloud.N()))
+// Cancelling ctx aborts the protocol between message waits and iteration
+// phases.
+func Run(ctx context.Context, inst *core.Instance, opts RunOptions, transport Transport) (*Result, error) {
+	return RunAgents(ctx, inst, opts, transport, allIDs(inst.Cloud.M(), inst.Cloud.N()))
 }
 
 // RunAgents runs only the named agents ("fe-<i>", "dc-<j>", "coord") over
@@ -44,7 +78,7 @@ func Run(inst *core.Instance, opts RunOptions, transport Transport) (*Result, er
 // the engine is deterministic, so all participants agree on the effective
 // parameters. The Result is non-nil only when the coordinator is among the
 // local agents; other participants receive (nil, nil) on clean shutdown.
-func RunAgents(inst *core.Instance, opts RunOptions, transport Transport, agentIDs []string) (*Result, error) {
+func RunAgents(ctx context.Context, inst *core.Instance, opts RunOptions, transport Transport, agentIDs []string) (*Result, error) {
 	engine, err := core.NewEngine(inst, opts.Solver)
 	if err != nil {
 		return nil, err
@@ -52,10 +86,19 @@ func RunAgents(inst *core.Instance, opts RunOptions, transport Transport, agentI
 	if opts.Timeout <= 0 {
 		opts.Timeout = 30 * time.Second
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var pol Resilience
+	resilient := opts.Resilience != nil
+	if resilient {
+		pol = opts.Resilience.withDefaults()
+	}
 	m, n := inst.Cloud.M(), inst.Cloud.N()
 	tab := newIDTable(m, n)
 
 	type launch struct {
+		id  string
 		run func() error
 	}
 	var launches []launch
@@ -66,8 +109,14 @@ func RunAgents(inst *core.Instance, opts RunOptions, transport Transport, agentI
 		switch {
 		case id == coordID():
 			hasCoord = true
-			launches = append(launches, launch{run: func() error {
-				res, err := runCoordinator(engine, transport, tab, opts.Timeout)
+			launches = append(launches, launch{id: id, run: func() error {
+				var res *coordResult
+				var err error
+				if resilient {
+					res, err = runCoordinatorRes(ctx, engine, transport, tab, pol)
+				} else {
+					res, err = runCoordinator(ctx, engine, transport, tab, opts.Timeout)
+				}
 				if err != nil {
 					return err
 				}
@@ -76,27 +125,56 @@ func RunAgents(inst *core.Instance, opts RunOptions, transport Transport, agentI
 			}})
 		case parseID(id, "fe-", &i) && i >= 0 && i < m:
 			idx := i
-			launches = append(launches, launch{run: func() error {
-				return runFrontEnd(engine, transport, tab, idx, opts.Timeout)
+			launches = append(launches, launch{id: id, run: func() error {
+				if resilient {
+					return runFrontEndRes(ctx, engine, transport, tab, idx, pol)
+				}
+				return runFrontEnd(ctx, engine, transport, tab, idx, opts.Timeout)
 			}})
 		case parseID(id, "dc-", &j) && j >= 0 && j < n:
 			idx := j
-			launches = append(launches, launch{run: func() error {
-				return runDatacenter(engine, transport, tab, idx, opts.Timeout)
+			launches = append(launches, launch{id: id, run: func() error {
+				if resilient {
+					return runDatacenterRes(ctx, engine, transport, tab, idx, pol)
+				}
+				return runDatacenter(ctx, engine, transport, tab, idx, opts.Timeout)
 			}})
 		default:
 			return nil, fmt.Errorf("distsim: agent id %q invalid for a %dx%d cloud", id, m, n)
 		}
 	}
 
-	errCh := make(chan error, len(launches))
+	type workerErr struct {
+		id  string
+		err error
+	}
+	errCh := make(chan workerErr, len(launches))
 	for _, l := range launches {
-		go func(run func() error) { errCh <- run() }(l.run)
+		go func(id string, run func() error) { errCh <- workerErr{id: id, err: run()} }(l.id, l.run)
 	}
 	var firstErr error
+	var workerErrs []string
 	for range launches {
-		if err := <-errCh; err != nil && firstErr == nil {
-			firstErr = err
+		we := <-errCh
+		if resilient {
+			// Any exited agent — finished or failed — stops reading its
+			// inbox while stragglers may still retransmit to it. Drain it
+			// so a full mailbox can never block live senders and cascade
+			// into a fleet-wide deadlock on a synchronous transport.
+			go drainInbox(transport, we.id)
+		}
+		if we.err == nil {
+			continue
+		}
+		if resilient && we.id != tab.coord {
+			// Degraded operation tolerates non-coordinator failures
+			// (crashed or declared-dead agents); the coordinator routes
+			// around them and still produces a result.
+			workerErrs = append(workerErrs, we.id+": "+we.err.Error())
+			continue
+		}
+		if firstErr == nil {
+			firstErr = we.err
 			// Unblock everything else.
 			_ = transport.Close() //ufc:discard firstErr is the failure being reported; Close is only a wakeup
 		}
@@ -114,11 +192,33 @@ func RunAgents(inst *core.Instance, opts RunOptions, transport Transport, agentI
 		copy(state.Lambda[i], res.lambda[i])
 	}
 	alloc := engine.Finalize(state)
+	degr := res.degr
+	if len(workerErrs) > 0 {
+		if degr == nil {
+			degr = &Degradation{}
+		}
+		degr.WorkerErrors = workerErrs
+	}
 	return &Result{
-		Allocation: alloc,
-		Breakdown:  core.Evaluate(inst, alloc),
-		Stats:      res.stats,
+		Allocation:  alloc,
+		Breakdown:   core.Evaluate(inst, alloc),
+		Stats:       res.stats,
+		Degradation: degr,
 	}, nil
+}
+
+// drainInbox consumes a failed worker's mailbox until the transport
+// closes it. Without a reader, peer retransmissions aimed at the dead
+// agent would fill its bounded inbox and block the senders — and with a
+// synchronous in-process transport that backpressure cascades into a
+// fleet-wide deadlock.
+func drainInbox(t Transport, id string) {
+	in, err := t.Inbox(id)
+	if err != nil {
+		return
+	}
+	for range in {
+	}
 }
 
 // parseID extracts the integer suffix of ids like "fe-3".
@@ -163,23 +263,27 @@ func newIDTable(m, n int) *idTable {
 type coordResult struct {
 	lambda [][]float64
 	stats  *core.Stats
+	degr   *Degradation
 }
 
 // mailbox wraps an inbox with a pending buffer so agents can receive
 // messages of a specific kind and iteration even when the transport
-// reorders deliveries across rounds.
+// reorders deliveries across rounds. Waits also unblock when the run's
+// context is cancelled (a Background context never fires: its Done
+// channel is nil, and a nil channel never selects).
 type mailbox struct {
 	inbox   <-chan Message
 	pending []Message
 	timeout time.Duration
+	ctx     context.Context
 }
 
-func newMailbox(t Transport, id string, timeout time.Duration) (*mailbox, error) {
+func newMailbox(ctx context.Context, t Transport, id string, timeout time.Duration) (*mailbox, error) {
 	in, err := t.Inbox(id)
 	if err != nil {
 		return nil, err
 	}
-	return &mailbox{inbox: in, timeout: timeout}, nil
+	return &mailbox{inbox: in, timeout: timeout, ctx: ctx}, nil
 }
 
 // recv returns the next message matching kind and iter.
@@ -204,6 +308,8 @@ func (mb *mailbox) recv(kind Kind, iter int) (Message, error) {
 			mb.pending = append(mb.pending, msg)
 		case <-deadline.C:
 			return Message{}, fmt.Errorf("kind %d iter %d: %w", kind, iter, ErrTimeout)
+		case <-mb.ctx.Done():
+			return Message{}, mb.ctx.Err()
 		}
 	}
 }
@@ -212,11 +318,11 @@ func (mb *mailbox) recv(kind Kind, iter int) (Message, error) {
 // λ-minimization, exchanges (λ̃, φ) with the datacenters, applies the dual
 // update and Gaussian back-substitution for its row of a and φ, and
 // reports its residual contribution.
-func runFrontEnd(e *core.Engine, t Transport, tab *idTable, i int, timeout time.Duration) error {
+func runFrontEnd(ctx context.Context, e *core.Engine, t Transport, tab *idTable, i int, timeout time.Duration) error {
 	inst := e.Instance()
 	n := inst.Cloud.N()
 	self := tab.fe[i]
-	mb, err := newMailbox(t, self, timeout)
+	mb, err := newMailbox(ctx, t, self, timeout)
 	if err != nil {
 		return err
 	}
@@ -294,11 +400,11 @@ func runFrontEnd(e *core.Engine, t Transport, tab *idTable, i int, timeout time.
 // a-minimizations, sends ã back to the front-ends, applies the dual update
 // and Gaussian back substitution for its column, and reports its residual
 // contribution.
-func runDatacenter(e *core.Engine, t Transport, tab *idTable, j int, timeout time.Duration) error {
+func runDatacenter(ctx context.Context, e *core.Engine, t Transport, tab *idTable, j int, timeout time.Duration) error {
 	inst := e.Instance()
 	m := inst.Cloud.M()
 	self := tab.dc[j]
-	mb, err := newMailbox(t, self, timeout)
+	mb, err := newMailbox(ctx, t, self, timeout)
 	if err != nil {
 		return err
 	}
@@ -393,11 +499,11 @@ func runDatacenter(e *core.Engine, t Transport, tab *idTable, j int, timeout tim
 
 // runCoordinator gathers per-iteration residual reports, decides
 // convergence, broadcasts control messages, and collects the final routing.
-func runCoordinator(e *core.Engine, t Transport, tab *idTable, timeout time.Duration) (*coordResult, error) {
+func runCoordinator(ctx context.Context, e *core.Engine, t Transport, tab *idTable, timeout time.Duration) (*coordResult, error) {
 	inst := e.Instance()
 	m, n := inst.Cloud.M(), inst.Cloud.N()
 	opts := e.Options()
-	mb, err := newMailbox(t, tab.coord, timeout)
+	mb, err := newMailbox(ctx, t, tab.coord, timeout)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -50,6 +51,7 @@ type shardStats struct {
 // that registers the destination.
 type TCPHub struct {
 	ln       net.Listener
+	opts     HubOptions
 	counters transportCounters
 	shards   [routeShardCount]routeShard
 
@@ -57,6 +59,14 @@ type TCPHub struct {
 	conns  map[net.Conn]*hubConn // value nil until the hello arrives
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// HubOptions configures a TCPHub's liveness behaviour.
+type HubOptions struct {
+	// IdleTimeout drops a node connection that produces no records (not
+	// even heartbeat pings) for this long. Zero disables the check —
+	// connections then linger until the peer closes or the hub shuts down.
+	IdleTimeout time.Duration
 }
 
 // hubConn is one node connection: its coalescing writer plus the routes
@@ -69,11 +79,16 @@ type hubConn struct {
 
 // NewTCPHub listens on addr (e.g. "127.0.0.1:0") and serves until Close.
 func NewTCPHub(addr string) (*TCPHub, error) {
+	return NewTCPHubOpts(addr, HubOptions{})
+}
+
+// NewTCPHubOpts is NewTCPHub with explicit liveness options.
+func NewTCPHubOpts(addr string, opts HubOptions) (*TCPHub, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("distsim: hub listen: %w", err)
 	}
-	h := &TCPHub{ln: ln, conns: make(map[net.Conn]*hubConn)}
+	h := &TCPHub{ln: ln, opts: opts, conns: make(map[net.Conn]*hubConn)}
 	h.wg.Add(1)
 	go h.acceptLoop()
 	return h, nil
@@ -197,6 +212,12 @@ func (h *TCPHub) serveRegistered(conn net.Conn, br *bufio.Reader, scratch *[]byt
 	h.register(hc, ids)
 
 	for {
+		if h.opts.IdleTimeout > 0 {
+			// Liveness: a node that stops producing records — including
+			// heartbeat pings — past the idle window is dead; the failed
+			// read below drops its routes.
+			_ = conn.SetReadDeadline(time.Now().Add(h.opts.IdleTimeout)) //ufc:discard a failed deadline set surfaces as the next read's error
+		}
 		body, wire, err := readRecord(br, scratch)
 		if err != nil {
 			// Node gone (EOF) or stream corrupt: drop its routes so new
@@ -207,6 +228,18 @@ func (h *TCPHub) serveRegistered(conn net.Conn, br *bufio.Reader, scratch *[]byt
 			return
 		}
 		h.counters.noteRecv(wire)
+		if ping, _ := parseHeartbeat(body); ping {
+			h.counters.pingsRecv.Inc()
+			pfb := getFrame()
+			pfb.b = appendPong(pfb.b)
+			if err := hc.cw.enqueue(pfb); err != nil {
+				putFrame(pfb)
+				// Writer already failed; the next read will surface it.
+				continue
+			}
+			h.counters.pingsSent.Inc()
+			continue
+		}
 		fb := getFrame()
 		fb.b = binary.AppendUvarint(fb.b, uint64(len(body)))
 		fb.b = append(fb.b, body...)
@@ -387,6 +420,7 @@ func splitRecord(rec []byte) (prefix, body []byte) {
 type TCPNode struct {
 	conn     net.Conn
 	cw       *connWriter
+	opts     NodeOptions
 	counters transportCounters
 	cache    idCache
 
@@ -404,10 +438,32 @@ type TCPNode struct {
 
 var _ Transport = (*TCPNode)(nil)
 
+// NodeOptions configures a TCPNode beyond its hosted ids.
+type NodeOptions struct {
+	// Buffer is the per-agent inbox capacity (default 64).
+	Buffer int
+	// HeartbeatInterval, when positive, makes the node ping the hub at
+	// this period and enforce link liveness: a read silence longer than
+	// HeartbeatInterval × HeartbeatMiss tears the transport down (sends
+	// start failing, inboxes close) instead of hanging forever.
+	HeartbeatInterval time.Duration
+	// HeartbeatMiss is the number of missed heartbeat windows tolerated
+	// before the link is declared dead (default 3).
+	HeartbeatMiss int
+}
+
 // NewTCPNode connects to the hub and registers the local agent ids.
 func NewTCPNode(hubAddr string, localIDs []string, buffer int) (*TCPNode, error) {
-	if buffer <= 0 {
-		buffer = 64
+	return NewTCPNodeOpts(hubAddr, localIDs, NodeOptions{Buffer: buffer})
+}
+
+// NewTCPNodeOpts is NewTCPNode with heartbeat/liveness options.
+func NewTCPNodeOpts(hubAddr string, localIDs []string, opts NodeOptions) (*TCPNode, error) {
+	if opts.Buffer <= 0 {
+		opts.Buffer = 64
+	}
+	if opts.HeartbeatMiss <= 0 {
+		opts.HeartbeatMiss = 3
 	}
 	conn, err := net.Dial("tcp", hubAddr)
 	if err != nil {
@@ -415,11 +471,12 @@ func NewTCPNode(hubAddr string, localIDs []string, buffer int) (*TCPNode, error)
 	}
 	n := &TCPNode{
 		conn:    conn,
+		opts:    opts,
 		boxName: make(map[string]chan Message),
 		done:    make(chan struct{}),
 	}
 	for _, id := range localIDs {
-		box := make(chan Message, buffer)
+		box := make(chan Message, opts.Buffer)
 		if idx, ok := agentIndex(id); ok {
 			for int(idx) >= len(n.boxIdx) {
 				n.boxIdx = append(n.boxIdx, nil)
@@ -438,7 +495,31 @@ func NewTCPNode(hubAddr string, localIDs []string, buffer int) (*TCPNode, error)
 		return nil, fmt.Errorf("distsim: node hello: %w", err)
 	}
 	go n.readLoop()
+	if opts.HeartbeatInterval > 0 {
+		go n.heartbeatLoop()
+	}
 	return n, nil
+}
+
+// heartbeatLoop pings the hub every HeartbeatInterval until the node
+// shuts down or the writer fails.
+func (n *TCPNode) heartbeatLoop() {
+	tick := time.NewTicker(n.opts.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			fb := getFrame()
+			fb.b = appendPing(fb.b)
+			if err := n.cw.enqueue(fb); err != nil {
+				putFrame(fb)
+				return
+			}
+			n.counters.pingsSent.Inc()
+		case <-n.done:
+			return
+		}
+	}
 }
 
 // Stats returns a snapshot of the node's transport counters.
@@ -465,12 +546,23 @@ func (n *TCPNode) readLoop() {
 	br := bufio.NewReaderSize(n.conn, 64<<10)
 	var scratch []byte
 	for {
+		if n.opts.HeartbeatInterval > 0 {
+			// Liveness: the hub answers every ping, so a silent link for
+			// HeartbeatMiss windows means the hub (or the path) is gone;
+			// the expired deadline fails the read and tears the node down.
+			window := n.opts.HeartbeatInterval * time.Duration(n.opts.HeartbeatMiss)
+			_ = n.conn.SetReadDeadline(time.Now().Add(window)) //ufc:discard a failed deadline set surfaces as the next read's error
+		}
 		body, wire, err := readRecord(br, &scratch)
 		if err != nil {
 			n.halt(err)
 			return
 		}
 		n.counters.noteRecv(wire)
+		if _, pong := parseHeartbeat(body); pong {
+			n.counters.pingsRecv.Inc()
+			continue
+		}
 		fr, err := decodeMessageFrame(body, &n.cache)
 		if err != nil {
 			n.halt(err)

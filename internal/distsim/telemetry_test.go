@@ -1,6 +1,7 @@
 package distsim_test
 
 import (
+	"context"
 	"io"
 	"net"
 	"strings"
@@ -39,7 +40,7 @@ func TestTransportAndShardMetrics(t *testing.T) {
 	defer func() { _ = node.Close() }()
 	node.RegisterMetrics(reg, telemetry.L("component", "node"))
 
-	res, err := distsim.Run(inst, distsim.RunOptions{
+	res, err := distsim.Run(context.Background(), inst, distsim.RunOptions{
 		Solver:  core.Options{Probe: probe},
 		Timeout: time.Minute,
 	}, node)

@@ -17,6 +17,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Kind discriminates protocol messages.
@@ -38,6 +40,9 @@ const (
 	// KindFinal carries an agent's final local variables to the
 	// coordinator after stop.
 	KindFinal
+	// KindFinalAck is the coordinator's acknowledgement of a KindFinal in
+	// the resilient protocol; agents retransmit finals until acked.
+	KindFinalAck
 )
 
 // Message is the single wire format of the protocol (gob-friendly).
@@ -85,9 +90,30 @@ type ChanOptions struct {
 	Buffer int
 }
 
+// chanCounters instruments the in-memory transport. The in-flight gauge
+// counts accepted-but-undelivered messages; every accepted send must
+// balance it — delivered, rejected at close, or canceled by Close while
+// still sitting in a fault-injected delay.
+type chanCounters struct {
+	inflight  telemetry.Gauge
+	accepted  telemetry.Counter
+	delivered telemetry.Counter
+	canceled  telemetry.Counter
+}
+
+// register attaches the counters to reg under the ufc_transport_* names.
+func (c *chanCounters) register(reg *telemetry.Registry, labels ...telemetry.Label) {
+	reg.RegisterGauge("ufc_transport_inflight", "messages accepted by Send but not yet delivered", &c.inflight, labels...)
+	reg.RegisterCounter("ufc_transport_accepted_total", "messages accepted by Send", &c.accepted, labels...)
+	reg.RegisterCounter("ufc_transport_delivered_total", "messages placed in an inbox", &c.delivered, labels...)
+	reg.RegisterCounter("ufc_transport_canceled_total", "in-flight messages canceled by Close", &c.canceled, labels...)
+}
+
 // ChanTransport is an in-memory Transport backed by channels.
 type ChanTransport struct {
 	opts ChanOptions
+
+	counters chanCounters
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -144,18 +170,24 @@ func (t *ChanTransport) Send(to string, m Message) error {
 	// concurrent Close racing the blocking `box <- m` below is a send on
 	// a closed channel.
 	t.wg.Add(1)
+	t.counters.accepted.Inc()
+	t.counters.inflight.Add(1)
 	if delay > 0 {
 		t.mu.Unlock()
 		go func() {
 			defer t.wg.Done()
 			// Sleep against t.done so Close never waits out the full
-			// delay of in-flight fault-injected deliveries.
+			// delay of in-flight fault-injected deliveries. The cancel
+			// branch must balance the in-flight gauge exactly like a
+			// delivery would, or teardown leaks a nonzero reading.
 			timer := time.NewTimer(delay)
 			defer timer.Stop()
 			select {
 			case <-timer.C:
 				_ = t.deliver(box, m)
 			case <-t.done:
+				t.counters.inflight.Add(-1)
+				t.counters.canceled.Inc()
 			}
 		}()
 		return nil
@@ -169,10 +201,25 @@ func (t *ChanTransport) Send(to string, m Message) error {
 func (t *ChanTransport) deliver(box chan Message, m Message) error {
 	select {
 	case box <- m:
+		t.counters.inflight.Add(-1)
+		t.counters.delivered.Inc()
 		return nil
 	case <-t.done:
+		t.counters.inflight.Add(-1)
+		t.counters.canceled.Inc()
 		return ErrClosed
 	}
+}
+
+// InFlight reports the number of messages accepted by Send and not yet
+// delivered (queued in a fault-injected delay or blocked on a full inbox).
+// After Close it is always zero: canceled deliveries decrement the gauge.
+func (t *ChanTransport) InFlight() int64 { return int64(t.counters.inflight.Load()) }
+
+// RegisterMetrics attaches the transport's counters to a telemetry
+// registry (ufc_transport_inflight and friends).
+func (t *ChanTransport) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.Label) {
+	t.counters.register(reg, labels...)
 }
 
 // Inbox implements Transport.

@@ -21,7 +21,7 @@ import (
 //
 // A message body is
 //
-//	byte     kind|flags (low nibble: kind 1..5; 0x10 = Stop, 0x20 = named
+//	byte     kind|flags (low nibble: kind 1..6; 0x10 = Stop, 0x20 = named
 //	         addressing; high bits reserved, must be zero)
 //	address  to
 //	address  from
@@ -38,6 +38,11 @@ import (
 //	uvarint  id count
 //	uvarint length + bytes, per id
 //
+// Heartbeats are single-byte records: a node sends ping (0x0e) and the
+// hub answers pong (0x0f). Both values sit above the message-kind range
+// (1..6), so they are unambiguous as the first body byte and are
+// intercepted before frame decoding.
+//
 // Standard agent ids map onto a dense index space that needs no topology
 // knowledge: coord → 0, fe-i → 1+2i, dc-j → 2+2j. Indices address the
 // hub's routing slots directly and let both ends skip string formatting
@@ -50,6 +55,11 @@ import (
 // the top two bits are reserved.
 const (
 	frameKindHello = 0
+
+	// frameKindPing/Pong are whole single-byte record bodies (no flags,
+	// no addressing): the node's liveness probe and the hub's answer.
+	frameKindPing byte = 0x0e
+	frameKindPong byte = 0x0f
 
 	frameKindMask       = 0x0f
 	frameFlagStop  byte = 1 << 4
@@ -191,6 +201,31 @@ func appendHello(dst []byte, ids []string) []byte {
 	return dst
 }
 
+// appendPing appends the length-prefixed single-byte ping record.
+//
+//ufc:hotpath
+func appendPing(dst []byte) []byte {
+	dst = append(dst, 1, frameKindPing)
+	return dst
+}
+
+// appendPong appends the length-prefixed single-byte pong record.
+//
+//ufc:hotpath
+func appendPong(dst []byte) []byte {
+	dst = append(dst, 1, frameKindPong)
+	return dst
+}
+
+// parseHeartbeat reports whether a record body is a ping or pong frame.
+// Heartbeats are intercepted before message decoding.
+func parseHeartbeat(body []byte) (ping, pong bool) {
+	if len(body) != 1 {
+		return false, false
+	}
+	return body[0] == frameKindPing, body[0] == frameKindPong
+}
+
 // byteCursor is a bounds-checked reader over a frame body.
 type byteCursor struct {
 	b   []byte
@@ -243,7 +278,7 @@ func decodeMessageFrame(b []byte, cache *idCache) (wireMsg, error) {
 		return fr, err
 	}
 	kind := Kind(head & frameKindMask)
-	if kind < KindRouting || kind > KindFinal || head&^(frameKindMask|frameFlagStop|frameFlagNamed) != 0 {
+	if kind < KindRouting || kind > KindFinalAck || head&^(frameKindMask|frameFlagStop|frameFlagNamed) != 0 {
 		return fr, fmt.Errorf("%w: message head byte %#02x", ErrFrameInvalid, head)
 	}
 	fr.msg.Kind = kind
@@ -353,7 +388,7 @@ func peekRoute(b []byte) (hello, named bool, toIdx uint32, to []byte, err error)
 		return true, false, 0, nil, nil
 	}
 	kind := Kind(head & frameKindMask)
-	if kind < KindRouting || kind > KindFinal || head&^(frameKindMask|frameFlagStop|frameFlagNamed) != 0 {
+	if kind < KindRouting || kind > KindFinalAck || head&^(frameKindMask|frameFlagStop|frameFlagNamed) != 0 {
 		return false, false, 0, nil, fmt.Errorf("%w: message head byte %#02x", ErrFrameInvalid, head)
 	}
 	if head&frameFlagNamed != 0 {
@@ -414,6 +449,11 @@ type TransportStats struct {
 	BytesReceived    uint64
 	Flushes          uint64
 	MaxBatch         uint64
+	// HeartbeatsSent counts pings sent (node) or pongs answered (hub);
+	// HeartbeatsReceived counts the opposite direction. A live link keeps
+	// both advancing; a stalled one trips the read-deadline liveness check.
+	HeartbeatsSent     uint64
+	HeartbeatsReceived uint64
 }
 
 // AvgBatch is the mean number of records coalesced per flush.
@@ -437,6 +477,8 @@ type transportCounters struct {
 	bytesRecv telemetry.Counter
 	flushes   telemetry.Counter
 	maxBatch  telemetry.Gauge
+	pingsSent telemetry.Counter
+	pingsRecv telemetry.Counter
 }
 
 // register attaches the counters to reg under the ufc_transport_* names.
@@ -449,6 +491,8 @@ func (c *transportCounters) register(reg *telemetry.Registry, labels ...telemetr
 	reg.RegisterCounter("ufc_transport_bytes_received_total", "wire bytes received (including length prefixes)", &c.bytesRecv, labels...)
 	reg.RegisterCounter("ufc_transport_flushes_total", "syscall-bounded write batches", &c.flushes, labels...)
 	reg.RegisterGauge("ufc_transport_max_batch", "largest record batch drained in one flush", &c.maxBatch, labels...)
+	reg.RegisterCounter("ufc_transport_heartbeats_sent_total", "heartbeat frames sent", &c.pingsSent, labels...)
+	reg.RegisterCounter("ufc_transport_heartbeats_received_total", "heartbeat frames received", &c.pingsRecv, labels...)
 }
 
 //ufc:hotpath
@@ -471,11 +515,13 @@ func (c *transportCounters) noteFlush(batch int) {
 
 func (c *transportCounters) snapshot() TransportStats {
 	return TransportStats{
-		MessagesSent:     c.msgsSent.Load(),
-		BytesSent:        c.bytesSent.Load(),
-		MessagesReceived: c.msgsRecv.Load(),
-		BytesReceived:    c.bytesRecv.Load(),
-		Flushes:          c.flushes.Load(),
-		MaxBatch:         uint64(c.maxBatch.Load()),
+		MessagesSent:       c.msgsSent.Load(),
+		BytesSent:          c.bytesSent.Load(),
+		MessagesReceived:   c.msgsRecv.Load(),
+		BytesReceived:      c.bytesRecv.Load(),
+		Flushes:            c.flushes.Load(),
+		MaxBatch:           uint64(c.maxBatch.Load()),
+		HeartbeatsSent:     c.pingsSent.Load(),
+		HeartbeatsReceived: c.pingsRecv.Load(),
 	}
 }

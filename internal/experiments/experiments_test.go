@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -112,7 +113,7 @@ func TestFigOneAndThree(t *testing.T) {
 }
 
 func TestWeekComparisonFigures(t *testing.T) {
-	w, err := RunWeekComparison(testConfig(), core.Options{MaxIterations: 3000})
+	w, err := RunWeekComparison(context.Background(), testConfig(), core.Options{MaxIterations: 3000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestWeekComparisonFigures(t *testing.T) {
 func TestFigNineSweepShape(t *testing.T) {
 	cfg := testConfig()
 	cfg.Hours = 12
-	res, err := RunFigNine(cfg, core.Options{MaxIterations: 3000}, []float64{20, 60, 110})
+	res, err := RunFigNine(context.Background(), cfg, core.Options{MaxIterations: 3000}, []float64{20, 60, 110})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestFigNineSweepShape(t *testing.T) {
 func TestFigTenSweepShape(t *testing.T) {
 	cfg := testConfig()
 	cfg.Hours = 12
-	res, err := RunFigTen(cfg, core.Options{MaxIterations: 3000}, []float64{0, 140})
+	res, err := RunFigTen(context.Background(), cfg, core.Options{MaxIterations: 3000}, []float64{0, 140})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,7 +407,7 @@ func TestDefaultsAndAccessors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	week, err := scSmall.RunWeek([]core.Strategy{core.GridOnly}, core.Options{MaxIterations: 4000})
+	week, err := scSmall.RunWeek(context.Background(), []core.Strategy{core.GridOnly}, core.Options{MaxIterations: 4000})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baseline"
@@ -198,19 +199,19 @@ type WeekComparison struct {
 
 // RunWeekComparison solves the whole week for the three strategies with
 // per-hour cold starts run in parallel across hours.
-func RunWeekComparison(cfg Config, opts core.Options) (*WeekComparison, error) {
-	return runWeekComparison(cfg, opts, false)
+func RunWeekComparison(ctx context.Context, cfg Config, opts core.Options) (*WeekComparison, error) {
+	return runWeekComparison(ctx, cfg, opts, false)
 }
 
 // RunWeekComparisonWarm is RunWeekComparison on the sequential
 // warm-started runner: each hour's solve is seeded with the previous
 // hour's converged state, trading cross-hour parallelism for far fewer
 // total ADM-G iterations.
-func RunWeekComparisonWarm(cfg Config, opts core.Options) (*WeekComparison, error) {
-	return runWeekComparison(cfg, opts, true)
+func RunWeekComparisonWarm(ctx context.Context, cfg Config, opts core.Options) (*WeekComparison, error) {
+	return runWeekComparison(ctx, cfg, opts, true)
 }
 
-func runWeekComparison(cfg Config, opts core.Options, warm bool) (*WeekComparison, error) {
+func runWeekComparison(ctx context.Context, cfg Config, opts core.Options, warm bool) (*WeekComparison, error) {
 	sc, err := NewScenario(cfg)
 	if err != nil {
 		return nil, err
@@ -218,9 +219,9 @@ func runWeekComparison(cfg Config, opts core.Options, warm bool) (*WeekCompariso
 	strategies := []core.Strategy{core.Hybrid, core.GridOnly, core.FuelCellOnly}
 	var week *WeekResult
 	if warm {
-		week, err = sc.RunWeekWarmStart(strategies, opts)
+		week, err = sc.RunWeekWarmStart(ctx, strategies, opts)
 	} else {
-		week, err = sc.RunWeek(strategies, opts)
+		week, err = sc.RunWeek(ctx, strategies, opts)
 	}
 	if err != nil {
 		return nil, err

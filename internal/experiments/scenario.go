@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -205,12 +206,16 @@ type WeekResult struct {
 
 // RunWeek solves every hour of the scenario under each strategy, in
 // parallel across hours. Solver options other than Strategy are shared.
-func (s *Scenario) RunWeek(strategies []core.Strategy, opts core.Options) (*WeekResult, error) {
-	return s.RunWeekWith(strategies, opts, s.Config.FuelCellPriceUSD, s.Config.CarbonTaxUSD)
+// Cancelling ctx aborts outstanding hourly solves between iterations.
+func (s *Scenario) RunWeek(ctx context.Context, strategies []core.Strategy, opts core.Options) (*WeekResult, error) {
+	return s.RunWeekWith(ctx, strategies, opts, s.Config.FuelCellPriceUSD, s.Config.CarbonTaxUSD)
 }
 
 // RunWeekWith is RunWeek with explicit fuel-cell price and carbon tax.
-func (s *Scenario) RunWeekWith(strategies []core.Strategy, opts core.Options, fuelCellPriceUSD, carbonTaxUSD float64) (*WeekResult, error) {
+func (s *Scenario) RunWeekWith(ctx context.Context, strategies []core.Strategy, opts core.Options, fuelCellPriceUSD, carbonTaxUSD float64) (*WeekResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	hours := s.Config.Hours
 	out := &WeekResult{
 		Strategies: append([]core.Strategy(nil), strategies...),
@@ -241,6 +246,9 @@ func (s *Scenario) RunWeekWith(strategies []core.Strategy, opts core.Options, fu
 				select {
 				case <-cancel:
 					continue // drain remaining jobs without working
+				case <-ctx.Done():
+					fail(ctx.Err())
+					continue
 				default:
 				}
 				inst := s.InstanceAtWith(t, fuelCellPriceUSD, carbonTaxUSD)
@@ -248,7 +256,7 @@ func (s *Scenario) RunWeekWith(strategies []core.Strategy, opts core.Options, fu
 				for k, strat := range strategies {
 					o := opts
 					o.Strategy = strat
-					_, bd, st, err := core.Solve(inst, o)
+					_, bd, st, err := core.SolveContext(ctx, inst, o)
 					if err != nil {
 						fail(fmt.Errorf("hour %d strategy %s: %w", t, strat, err))
 						break
@@ -277,13 +285,16 @@ func (s *Scenario) RunWeekWith(strategies []core.Strategy, opts core.Options, fu
 // than per-slot cold starts. The strategies still run concurrently with
 // one another — the trade is cross-hour parallelism for warm-start
 // iteration savings, selectable per run.
-func (s *Scenario) RunWeekWarmStart(strategies []core.Strategy, opts core.Options) (*WeekResult, error) {
-	return s.RunWeekWarmStartWith(strategies, opts, s.Config.FuelCellPriceUSD, s.Config.CarbonTaxUSD)
+func (s *Scenario) RunWeekWarmStart(ctx context.Context, strategies []core.Strategy, opts core.Options) (*WeekResult, error) {
+	return s.RunWeekWarmStartWith(ctx, strategies, opts, s.Config.FuelCellPriceUSD, s.Config.CarbonTaxUSD)
 }
 
 // RunWeekWarmStartWith is RunWeekWarmStart with explicit fuel-cell price
 // and carbon tax.
-func (s *Scenario) RunWeekWarmStartWith(strategies []core.Strategy, opts core.Options, fuelCellPriceUSD, carbonTaxUSD float64) (*WeekResult, error) {
+func (s *Scenario) RunWeekWarmStartWith(ctx context.Context, strategies []core.Strategy, opts core.Options, fuelCellPriceUSD, carbonTaxUSD float64) (*WeekResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	hours := s.Config.Hours
 	out := &WeekResult{
 		Strategies: append([]core.Strategy(nil), strategies...),
@@ -298,7 +309,7 @@ func (s *Scenario) RunWeekWarmStartWith(strategies []core.Strategy, opts core.Op
 		wg.Add(1)
 		go func(k int, strat core.Strategy) {
 			defer wg.Done()
-			errs[k] = s.runWarmStrategy(k, strat, opts, fuelCellPriceUSD, carbonTaxUSD, out)
+			errs[k] = s.runWarmStrategy(ctx, k, strat, opts, fuelCellPriceUSD, carbonTaxUSD, out)
 		}(k, strat)
 	}
 	wg.Wait()
@@ -312,7 +323,7 @@ func (s *Scenario) RunWeekWarmStartWith(strategies []core.Strategy, opts core.Op
 
 // runWarmStrategy chains one strategy's hourly solves through a single
 // engine and state.
-func (s *Scenario) runWarmStrategy(k int, strat core.Strategy, opts core.Options, fuelCellPriceUSD, carbonTaxUSD float64, out *WeekResult) error {
+func (s *Scenario) runWarmStrategy(ctx context.Context, k int, strat core.Strategy, opts core.Options, fuelCellPriceUSD, carbonTaxUSD float64, out *WeekResult) error {
 	o := opts
 	o.Strategy = strat
 	var (
@@ -331,7 +342,7 @@ func (s *Scenario) runWarmStrategy(k int, strat core.Strategy, opts core.Options
 		} else if err := eng.Reset(inst); err != nil {
 			return fmt.Errorf("hour %d strategy %s: %w", t, strat, err)
 		}
-		_, bd, st, err := eng.SolveState(state)
+		_, bd, st, err := eng.SolveStateContext(ctx, state)
 		if err != nil {
 			return fmt.Errorf("hour %d strategy %s: %w", t, strat, err)
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/stats"
 )
@@ -36,7 +38,7 @@ func DefaultFigTenTaxes() []float64 {
 
 // RunFigNine sweeps the fuel-cell generation price p0 and reports the
 // average UFC improvement (hybrid over grid) and fuel-cell utilization.
-func RunFigNine(cfg Config, opts core.Options, prices []float64) (*SweepResult, error) {
+func RunFigNine(ctx context.Context, cfg Config, opts core.Options, prices []float64) (*SweepResult, error) {
 	if len(prices) == 0 {
 		prices = DefaultFigNinePrices()
 	}
@@ -45,7 +47,7 @@ func RunFigNine(cfg Config, opts core.Options, prices []float64) (*SweepResult, 
 		return nil, err
 	}
 	// Grid-only is independent of p0: solve once.
-	gridWeek, err := sc.RunWeek([]core.Strategy{core.GridOnly}, opts)
+	gridWeek, err := sc.RunWeek(ctx, []core.Strategy{core.GridOnly}, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -55,7 +57,7 @@ func RunFigNine(cfg Config, opts core.Options, prices []float64) (*SweepResult, 
 	}
 	out := &SweepResult{Name: "fig9"}
 	for _, p0 := range prices {
-		week, err := sc.RunWeekWith([]core.Strategy{core.Hybrid}, opts, p0, sc.Config.CarbonTaxUSD)
+		week, err := sc.RunWeekWith(ctx, []core.Strategy{core.Hybrid}, opts, p0, sc.Config.CarbonTaxUSD)
 		if err != nil {
 			return nil, err
 		}
@@ -70,7 +72,7 @@ func RunFigNine(cfg Config, opts core.Options, prices []float64) (*SweepResult, 
 
 // RunFigTen sweeps the carbon tax rate and reports the same two metrics.
 // Both strategies depend on the tax, so Grid is re-solved per point.
-func RunFigTen(cfg Config, opts core.Options, taxes []float64) (*SweepResult, error) {
+func RunFigTen(ctx context.Context, cfg Config, opts core.Options, taxes []float64) (*SweepResult, error) {
 	if len(taxes) == 0 {
 		taxes = DefaultFigTenTaxes()
 	}
@@ -80,7 +82,7 @@ func RunFigTen(cfg Config, opts core.Options, taxes []float64) (*SweepResult, er
 	}
 	out := &SweepResult{Name: "fig10"}
 	for _, tax := range taxes {
-		week, err := sc.RunWeekWith([]core.Strategy{core.Hybrid, core.GridOnly}, opts, sc.Config.FuelCellPriceUSD, tax)
+		week, err := sc.RunWeekWith(ctx, []core.Strategy{core.Hybrid, core.GridOnly}, opts, sc.Config.FuelCellPriceUSD, tax)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package ufc_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -22,7 +23,7 @@ func ExampleSolve() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, bd, stats, err := ufc.Solve(inst, ufc.Options{})
+	_, bd, stats, err := ufc.Solve(context.Background(), inst, ufc.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,14 +49,14 @@ func TestFacadeSweeps(t *testing.T) {
 	cfg.Scale = 0.02
 	cfg.Hours = 6
 	opts := ufc.Options{MaxIterations: 4000}
-	p, err := ufc.SweepFuelCellPrice(cfg, opts, []float64{25, 100})
+	p, err := ufc.SweepFuelCellPrice(context.Background(), cfg, opts, []float64{25, 100})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(p.Rows) != 2 || p.Rows[0].AvgUtilization < p.Rows[1].AvgUtilization {
 		t.Errorf("price sweep shape wrong: %+v", p.Rows)
 	}
-	c, err := ufc.SweepCarbonTax(cfg, opts, []float64{0, 150})
+	c, err := ufc.SweepCarbonTax(context.Background(), cfg, opts, []float64{0, 150})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestFacadeHelpers(t *testing.T) {
 		Utility:          ufc.QuadraticUtility{},
 		WeightW:          10,
 	}
-	alloc, _, _, err := ufc.Solve(inst, ufc.Options{})
+	alloc, _, _, err := ufc.Solve(context.Background(), inst, ufc.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package ufc
 
 import (
+	"context"
+
 	"repro/internal/experiments"
 )
 
@@ -29,19 +31,43 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) { return experiments.New
 
 // RunWeekComparison solves every hour under Hybrid, GridOnly and
 // FuelCellOnly — the computation behind the paper's Figs. 4–8 and 11.
-func RunWeekComparison(cfg ScenarioConfig, opts Options) (*WeekComparison, error) {
-	return experiments.RunWeekComparison(cfg, opts)
+// ctx cancellation aborts outstanding hourly solves between iterations.
+func RunWeekComparison(ctx context.Context, cfg ScenarioConfig, opts Options) (*WeekComparison, error) {
+	return experiments.RunWeekComparison(ctx, cfg, opts)
+}
+
+// RunWeekComparisonBackground is RunWeekComparison with
+// context.Background.
+//
+// Deprecated: use RunWeekComparison with an explicit context.
+func RunWeekComparisonBackground(cfg ScenarioConfig, opts Options) (*WeekComparison, error) {
+	return RunWeekComparison(context.Background(), cfg, opts)
 }
 
 // SweepFuelCellPrice reproduces Fig. 9: average UFC improvement and
 // fuel-cell utilization as the fuel-cell price varies. A nil price grid
 // uses the default.
-func SweepFuelCellPrice(cfg ScenarioConfig, opts Options, prices []float64) (*SweepResult, error) {
-	return experiments.RunFigNine(cfg, opts, prices)
+func SweepFuelCellPrice(ctx context.Context, cfg ScenarioConfig, opts Options, prices []float64) (*SweepResult, error) {
+	return experiments.RunFigNine(ctx, cfg, opts, prices)
+}
+
+// SweepFuelCellPriceBackground is SweepFuelCellPrice with
+// context.Background.
+//
+// Deprecated: use SweepFuelCellPrice with an explicit context.
+func SweepFuelCellPriceBackground(cfg ScenarioConfig, opts Options, prices []float64) (*SweepResult, error) {
+	return SweepFuelCellPrice(context.Background(), cfg, opts, prices)
 }
 
 // SweepCarbonTax reproduces Fig. 10: the same metrics as the carbon tax
 // varies. A nil tax grid uses the default.
-func SweepCarbonTax(cfg ScenarioConfig, opts Options, taxes []float64) (*SweepResult, error) {
-	return experiments.RunFigTen(cfg, opts, taxes)
+func SweepCarbonTax(ctx context.Context, cfg ScenarioConfig, opts Options, taxes []float64) (*SweepResult, error) {
+	return experiments.RunFigTen(ctx, cfg, opts, taxes)
+}
+
+// SweepCarbonTaxBackground is SweepCarbonTax with context.Background.
+//
+// Deprecated: use SweepCarbonTax with an explicit context.
+func SweepCarbonTaxBackground(cfg ScenarioConfig, opts Options, taxes []float64) (*SweepResult, error) {
+	return SweepCarbonTax(context.Background(), cfg, opts, taxes)
 }

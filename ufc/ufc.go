@@ -17,13 +17,26 @@
 //		Datacenter("Dallas", 32.78, -96.80, 20000, 35, 0.55).
 //		FrontEnd("Chicago", 41.88, -87.63, 12000).
 //		Build()
-//	alloc, breakdown, stats, err := ufc.Solve(inst, ufc.Options{})
+//	alloc, breakdown, stats, err := ufc.Solve(ctx, inst, ufc.Options{})
+//
+// # Contexts and deprecation
+//
+// Every solving entry point is context-first: Solve, SolveDistributed,
+// RunDistributed, RunWeekComparison, SweepFuelCellPrice and SweepCarbonTax
+// all take a context.Context as their first argument, checked once per
+// ADM-G iteration (no allocation), so callers can cancel or deadline-bound
+// any solve. The pre-context signatures survive as thin deprecated
+// wrappers named *Background (SolveBackground, SolveDistributedBackground,
+// …) that pass context.Background; migrate by adding a ctx argument and
+// dropping the suffix. SolveDistributed's old positional maxDelay is now
+// DistOptions.MaxDelay.
 //
 // See examples/ for runnable programs and cmd/experiments for the full
 // reproduction of the paper's tables and figures.
 package ufc
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/carbon"
@@ -80,6 +93,28 @@ type (
 	LinearUtility = utility.Linear
 	// ExponentialUtility punishes long latencies sharply.
 	ExponentialUtility = utility.Exponential
+
+	// Resilience configures the hardened distributed protocol: retry
+	// backoff, degrade deadlines, staleness cap and liveness thresholds.
+	Resilience = distsim.Resilience
+	// FaultPlan is a seeded, deterministic chaos schedule applied to the
+	// distributed transport (drops, duplicates, delays, partitions,
+	// crashes).
+	FaultPlan = distsim.FaultPlan
+	// LinkFault is one per-link fault rule of a FaultPlan.
+	LinkFault = distsim.LinkFault
+	// Partition isolates agents for an iteration window.
+	Partition = distsim.Partition
+	// Crash silences an agent from an iteration onward.
+	Crash = distsim.Crash
+	// FaultStats counts the faults a plan actually injected.
+	FaultStats = distsim.FaultStats
+	// Degradation reports how a resilient distributed run deviated from
+	// fault-free operation.
+	Degradation = distsim.Degradation
+	// DistributedResult is the full outcome of a distributed run,
+	// including any Degradation.
+	DistributedResult = distsim.Result
 )
 
 // Strategies.
@@ -95,9 +130,17 @@ const (
 
 // Solve maximizes UFC for the instance with the distributed 4-block ADM-G
 // algorithm (run in-process) and returns a feasible allocation, its UFC
-// breakdown and solver statistics.
-func Solve(inst *Instance, opts Options) (*Allocation, Breakdown, *Stats, error) {
-	return core.Solve(inst, opts)
+// breakdown and solver statistics. ctx is checked once per iteration — a
+// cancelled or expired context aborts the solve with its error.
+func Solve(ctx context.Context, inst *Instance, opts Options) (*Allocation, Breakdown, *Stats, error) {
+	return core.SolveContext(ctx, inst, opts)
+}
+
+// SolveBackground is Solve with context.Background.
+//
+// Deprecated: use Solve with an explicit context.
+func SolveBackground(inst *Instance, opts Options) (*Allocation, Breakdown, *Stats, error) {
+	return Solve(context.Background(), inst, opts)
 }
 
 // Evaluate computes the UFC breakdown of an arbitrary allocation.
@@ -129,21 +172,140 @@ func NewSteppedTax(thresholds, rates []float64) (SteppedTax, error) {
 	return carbon.NewSteppedTax(thresholds, rates)
 }
 
+// Transport choices for DistOptions.
+const (
+	// TransportChan runs the protocol over the in-memory channel
+	// transport (the default).
+	TransportChan = "chan"
+	// TransportTCP pushes every message through a real TCP hub speaking
+	// the binary wire codec; with an empty HubAddr a loopback hub is spun
+	// up for the run and torn down afterwards.
+	TransportTCP = "tcp"
+)
+
+// DistOptions configures a distributed run beyond the solver options. The
+// zero value reproduces the historical behaviour: in-memory transport, no
+// injected delay, fail-fast protocol, no faults.
+type DistOptions struct {
+	// Transport selects TransportChan (default) or TransportTCP.
+	Transport string
+	// HubAddr is the TCP hub to connect to (TransportTCP only). Empty
+	// spins up a private loopback hub for the duration of the run.
+	HubAddr string
+	// Seed drives the in-memory transport's delay/reordering generator
+	// (0 uses seed 1, the historical default).
+	Seed int64
+	// MaxDelay bounds the in-memory transport's injected uniform delivery
+	// delay; zero disables delays (TransportChan only).
+	MaxDelay time.Duration
+	// Timeout bounds each message wait of the legacy fail-fast protocol
+	// (default 30s). Ignored when Resilience is set.
+	Timeout time.Duration
+	// HeartbeatInterval enables hub heartbeats at this period
+	// (TransportTCP only); zero disables them.
+	HeartbeatInterval time.Duration
+	// HeartbeatMiss is the missed-heartbeat tolerance before the link is
+	// declared dead (default 3; TransportTCP only).
+	HeartbeatMiss int
+	// Resilience, when non-nil, runs the hardened protocol: bounded
+	// retransmission, duplicate suppression, degrade deadlines with
+	// stale-iterate fallback, and liveness-based degradation.
+	Resilience *Resilience
+	// FaultPlan, when non-nil, wraps the transport in a deterministic
+	// chaos injector. Pair with Resilience — the fail-fast protocol
+	// aborts on the first lost message.
+	FaultPlan *FaultPlan
+}
+
 // SolveDistributed runs the same algorithm as Solve but as a real
 // message-passing protocol: one agent per front-end and datacenter plus a
-// coordinator, exchanging messages over an in-memory transport with the
-// given artificial per-message delay bound (0 disables delays). The result
-// is numerically identical to Solve.
-func SolveDistributed(inst *Instance, opts Options, maxDelay time.Duration) (*Allocation, Breakdown, *Stats, error) {
-	m, n := inst.Cloud.M(), inst.Cloud.N()
-	tr := distsim.NewChanTransport(distsim.AllAgentIDs(m, n), distsim.ChanOptions{
-		Seed:     1,
-		MaxDelay: maxDelay,
-	})
-	defer func() { _ = tr.Close() }() //ufc:discard in-process transport; Run already surfaced any failure
-	res, err := distsim.Run(inst, distsim.RunOptions{Solver: opts}, tr)
+// coordinator, exchanging typed messages over the transport selected by
+// dist. With a zero DistOptions the result is numerically identical to
+// Solve.
+func SolveDistributed(ctx context.Context, inst *Instance, opts Options, dist DistOptions) (*Allocation, Breakdown, *Stats, error) {
+	res, err := RunDistributed(ctx, inst, opts, dist)
 	if err != nil {
 		return nil, Breakdown{}, nil, err
 	}
 	return res.Allocation, res.Breakdown, res.Stats, nil
+}
+
+// SolveDistributedBackground preserves the pre-context signature: an
+// in-memory transport with the given artificial per-message delay bound.
+//
+// Deprecated: use SolveDistributed with a context and DistOptions
+// (maxDelay is DistOptions.MaxDelay).
+func SolveDistributedBackground(inst *Instance, opts Options, maxDelay time.Duration) (*Allocation, Breakdown, *Stats, error) {
+	return SolveDistributed(context.Background(), inst, opts, DistOptions{MaxDelay: maxDelay})
+}
+
+// RunDistributed is SolveDistributed returning the full distributed
+// result, including the Degradation report of a resilient run (nil when
+// the run saw no faults worth degrading over).
+func RunDistributed(ctx context.Context, inst *Instance, opts Options, dist DistOptions) (*DistributedResult, error) {
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	ids := distsim.AllAgentIDs(m, n)
+
+	var tr distsim.Transport
+	var hub *distsim.TCPHub
+	switch dist.Transport {
+	case "", TransportChan:
+		seed := dist.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		tr = distsim.NewChanTransport(ids, distsim.ChanOptions{Seed: seed, MaxDelay: dist.MaxDelay})
+	case TransportTCP:
+		hubAddr := dist.HubAddr
+		if hubAddr == "" {
+			var err error
+			hub, err = distsim.NewTCPHubOpts("127.0.0.1:0", distsim.HubOptions{})
+			if err != nil {
+				return nil, err
+			}
+			hubAddr = hub.Addr()
+		}
+		node, err := distsim.NewTCPNodeOpts(hubAddr, ids, distsim.NodeOptions{
+			HeartbeatInterval: dist.HeartbeatInterval,
+			HeartbeatMiss:     dist.HeartbeatMiss,
+		})
+		if err != nil {
+			if hub != nil {
+				_ = hub.Close() //ufc:discard dial failure is the error being reported
+			}
+			return nil, err
+		}
+		tr = node
+	default:
+		return nil, &UnknownTransportError{Transport: dist.Transport}
+	}
+	if dist.FaultPlan != nil {
+		ft, err := distsim.NewFaultTransport(tr, dist.FaultPlan)
+		if err != nil {
+			_ = tr.Close() //ufc:discard plan validation failure is the error being reported
+			if hub != nil {
+				_ = hub.Close() //ufc:discard plan validation failure is the error being reported
+			}
+			return nil, err
+		}
+		tr = ft
+	}
+	defer func() {
+		_ = tr.Close() //ufc:discard in-process transport; Run already surfaced any failure
+		if hub != nil {
+			_ = hub.Close() //ufc:discard private loopback hub; the run's outcome was already decided
+		}
+	}()
+	return distsim.Run(ctx, inst, distsim.RunOptions{
+		Solver:     opts,
+		Timeout:    dist.Timeout,
+		Resilience: dist.Resilience,
+	}, tr)
+}
+
+// UnknownTransportError reports an unrecognized DistOptions.Transport.
+type UnknownTransportError struct{ Transport string }
+
+func (e *UnknownTransportError) Error() string {
+	return "ufc: unknown distributed transport " + e.Transport
 }

@@ -2,6 +2,7 @@ package ufc_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -24,7 +25,7 @@ func buildTwoDCInstance(t *testing.T) *ufc.Instance {
 
 func TestBuilderAndSolve(t *testing.T) {
 	inst := buildTwoDCInstance(t)
-	alloc, bd, stats, err := ufc.Solve(inst, ufc.Options{})
+	alloc, bd, stats, err := ufc.Solve(context.Background(), inst, ufc.Options{})
 	if err != nil {
 		t.Fatalf("solve: %v (iters %d)", err, stats.Iterations)
 	}
@@ -77,7 +78,7 @@ func TestStrategiesViaFacade(t *testing.T) {
 	inst := buildTwoDCInstance(t)
 	var ufcVals []float64
 	for _, s := range []ufc.Strategy{ufc.Hybrid, ufc.GridOnly, ufc.FuelCellOnly} {
-		_, bd, _, err := ufc.Solve(inst, ufc.Options{Strategy: s})
+		_, bd, _, err := ufc.Solve(context.Background(), inst, ufc.Options{Strategy: s})
 		if err != nil {
 			t.Fatalf("%s: %v", s, err)
 		}
@@ -92,11 +93,11 @@ func TestStrategiesViaFacade(t *testing.T) {
 
 func TestSolveDistributedMatchesSolve(t *testing.T) {
 	inst := buildTwoDCInstance(t)
-	_, bdSeq, _, err := ufc.Solve(inst, ufc.Options{})
+	_, bdSeq, _, err := ufc.Solve(context.Background(), inst, ufc.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, bdDist, _, err := ufc.SolveDistributed(inst, ufc.Options{}, 0)
+	_, bdDist, _, err := ufc.SolveDistributed(context.Background(), inst, ufc.Options{}, ufc.DistOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestScenarioFacade(t *testing.T) {
 	if sc.Cloud.N() != 4 {
 		t.Fatalf("N = %d", sc.Cloud.N())
 	}
-	w, err := ufc.RunWeekComparison(cfg, ufc.Options{MaxIterations: 3000})
+	w, err := ufc.RunWeekComparison(context.Background(), cfg, ufc.Options{MaxIterations: 3000})
 	if err != nil {
 		t.Fatal(err)
 	}
