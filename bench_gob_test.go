@@ -1,0 +1,80 @@
+//go:build gobbaseline
+
+package repro_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/distsim"
+)
+
+// Gob-baseline transport benchmarks, compiled only with -tags gobbaseline
+// alongside internal/distsim/tcp_gob.go. They pin the legacy transport's
+// msgs/sec and bytes/msg so the framed wire layer's speedup stays
+// quantified:
+//
+//	go test -tags gobbaseline -bench Gob .
+
+func newGobPair(b *testing.B) transportPair {
+	b.Helper()
+	hub, err := distsim.NewGobTCPHub("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	recv, err := distsim.NewGobTCPNode(hub.Addr(), []string{"dc-0"}, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	send, err := distsim.NewGobTCPNode(hub.Addr(), []string{"fe-0"}, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inbox, err := recv.Inbox("dc-0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return transportPair{
+		send:  send.Send,
+		inbox: inbox,
+		stats: send.Stats,
+		cleanup: func() {
+			_ = send.Close()
+			_ = recv.Close()
+			_ = hub.Close()
+		},
+	}
+}
+
+// BenchmarkTransportThroughputGob measures the retained gob baseline
+// (one gob encode + one unbuffered socket write per message) that the
+// wire layer replaced. It carries the pre-optimization routing message,
+// which spent a third float64 duplicating the sender index the string
+// addresses already encoded. Compare msgs/sec and bytes/msg against
+// BenchmarkTransportThroughput.
+func BenchmarkTransportThroughputGob(b *testing.B) {
+	benchTransportThroughput(b, newGobPair(b), []float64{0, 0.5227926331, 0.1893718274})
+}
+
+// BenchmarkSolveDistributedTCPGob is the same solve as
+// BenchmarkSolveDistributedTCP over the gob baseline transport.
+func BenchmarkSolveDistributedTCPGob(b *testing.B) {
+	inst := benchInstance(b)
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub, err := distsim.NewGobTCPHub("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		node, err := distsim.NewGobTCPNode(hub.Addr(), distsim.AllAgentIDs(m, n), 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := distsim.Run(context.Background(), inst, distsim.RunOptions{Solver: benchSolver}, node); err != nil {
+			b.Fatal(err)
+		}
+		_ = node.Close()
+		_ = hub.Close()
+	}
+}

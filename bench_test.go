@@ -418,7 +418,8 @@ func BenchmarkSolveDistributedInMemory(b *testing.B) {
 	}
 }
 
-// --- Transport micro-benchmarks (binary wire layer vs gob baseline). ---
+// --- Transport micro-benchmarks (binary wire layer; the gob baseline
+// comparison lives in bench_gob_test.go behind -tags gobbaseline). ---
 
 // transportPair abstracts the two TCP transports so the throughput
 // benchmarks measure them identically.
@@ -440,36 +441,6 @@ func newWirePair(b *testing.B) transportPair {
 		b.Fatal(err)
 	}
 	send, err := distsim.NewTCPNode(hub.Addr(), []string{"fe-0"}, 4096)
-	if err != nil {
-		b.Fatal(err)
-	}
-	inbox, err := recv.Inbox("dc-0")
-	if err != nil {
-		b.Fatal(err)
-	}
-	return transportPair{
-		send:  send.Send,
-		inbox: inbox,
-		stats: send.Stats,
-		cleanup: func() {
-			_ = send.Close()
-			_ = recv.Close()
-			_ = hub.Close()
-		},
-	}
-}
-
-func newGobPair(b *testing.B) transportPair {
-	b.Helper()
-	hub, err := distsim.NewGobTCPHub("127.0.0.1:0")
-	if err != nil {
-		b.Fatal(err)
-	}
-	recv, err := distsim.NewGobTCPNode(hub.Addr(), []string{"dc-0"}, 4096)
-	if err != nil {
-		b.Fatal(err)
-	}
-	send, err := distsim.NewGobTCPNode(hub.Addr(), []string{"fe-0"}, 4096)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -532,16 +503,6 @@ func BenchmarkTransportThroughput(b *testing.B) {
 	benchTransportThroughput(b, newWirePair(b), []float64{0.5227926331, 0.1893718274})
 }
 
-// BenchmarkTransportThroughputGob measures the retained gob baseline
-// (one gob encode + one unbuffered socket write per message) that the
-// wire layer replaced. It carries the pre-optimization routing message,
-// which spent a third float64 duplicating the sender index the string
-// addresses already encoded. Compare msgs/sec and bytes/msg against
-// BenchmarkTransportThroughput.
-func BenchmarkTransportThroughputGob(b *testing.B) {
-	benchTransportThroughput(b, newGobPair(b), []float64{0, 0.5227926331, 0.1893718274})
-}
-
 // BenchmarkSolveDistributedTCP measures a full distributed solve with
 // every message crossing loopback TCP through the hub via the binary
 // wire layer.
@@ -555,29 +516,6 @@ func BenchmarkSolveDistributedTCP(b *testing.B) {
 			b.Fatal(err)
 		}
 		node, err := distsim.NewTCPNode(hub.Addr(), distsim.AllAgentIDs(m, n), 256)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := distsim.Run(context.Background(), inst, distsim.RunOptions{Solver: benchSolver}, node); err != nil {
-			b.Fatal(err)
-		}
-		_ = node.Close()
-		_ = hub.Close()
-	}
-}
-
-// BenchmarkSolveDistributedTCPGob is the same solve over the gob
-// baseline transport.
-func BenchmarkSolveDistributedTCPGob(b *testing.B) {
-	inst := benchInstance(b)
-	m, n := inst.Cloud.M(), inst.Cloud.N()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		hub, err := distsim.NewGobTCPHub("127.0.0.1:0")
-		if err != nil {
-			b.Fatal(err)
-		}
-		node, err := distsim.NewGobTCPNode(hub.Addr(), distsim.AllAgentIDs(m, n), 256)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -621,6 +559,39 @@ func BenchmarkIterateWide(b *testing.B) {
 		b.Fatal(err)
 	}
 	s := core.NewState(m, inst.Cloud.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Iterate(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIterateScale measures one ADM-G iteration at the tentpole
+// scale — N=200 datacenters × M=20 000 front-ends in 16 regions — with
+// the region latency cutoff as the sparsity mask, so the per-iteration
+// work covers the ~N·M/16 feasible pairs instead of all 4 million.
+// ReportAllocs keeps the 0 allocs/op steady-state guarantee visible at
+// this size (the scaling acceptance gate); BENCH_scaling.json records the
+// full size sweep via cmd/experiments/benchjson.
+func BenchmarkIterateScale(b *testing.B) {
+	st, err := experiments.NewSyntheticTopology(experiments.Topology{N: 200, M: 20000, Regions: 16}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := st.Instance(8)
+	opts := benchSolver
+	opts.SparsityCutoff = st.CutoffSec
+	opts.Workers = 8
+	e, err := core.NewEngine(inst, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := core.NewState(inst.Cloud.M(), inst.Cloud.N())
+	if err := e.Iterate(s); err != nil { // warm the scratch outside the timer
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,368 @@
+// Command benchjson measures the topology scaling sweep behind
+// BENCH_scaling.json: for each N,M,R point it builds the synthetic
+// topology, solves one slot, and records iteration count, wall-clock per
+// iteration, and the allocator footprint of the steady-state Iterate
+// (allocs and heap bytes per iteration — both must stay 0 whatever the
+// size). Points with R > 1 solve under the region sparsity cutoff, so
+// per-iteration work covers the feasible pairs instead of M·N.
+//
+// With -hubtree it additionally deploys the 20×200 instance twice over
+// real TCP — once on a flat hub, once on a root hub with one sub-hub per
+// region — and records the root-hub byte reduction the hierarchy buys.
+//
+// Usage:
+//
+//	benchjson [-points "4,10,1;20,200,4;100,2000,8;200,20000,16"]
+//	          [-workers n] [-hubtree] [-out BENCH_scaling.json]
+//	benchjson -validate BENCH_scaling.json
+//
+// The -validate mode re-reads a result file strictly (unknown fields are
+// errors) and checks its invariants; CI runs it against a freshly
+// generated smoke point so the schema and the gates stay enforced.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distsim"
+	"repro/internal/experiments"
+)
+
+const schemaID = "ufc-bench-scaling/v1"
+
+// BenchFile is the JSON document benchjson emits and validates.
+type BenchFile struct {
+	Schema  string         `json:"schema"`
+	Go      string         `json:"go"`
+	Workers int            `json:"workers"`
+	Points  []PointResult  `json:"points"`
+	HubTree *HubTreeResult `json:"hubTree,omitempty"`
+}
+
+// PointResult is one topology point of the sweep.
+type PointResult struct {
+	Topology      string  `json:"topology"` // "N,M,R"
+	Sparse        bool    `json:"sparse"`
+	FeasiblePairs int     `json:"feasiblePairs"`
+	Iterations    int     `json:"iterations"`
+	Converged     bool    `json:"converged"`
+	FinalResidual float64 `json:"finalResidual"`
+	SolveNs       int64   `json:"solveNs"`       // whole-solve wall clock
+	NsPerIter     int64   `json:"nsPerIter"`     // steady-state Iterate
+	AllocsPerIter float64 `json:"allocsPerIter"` // must be 0
+	BytesPerIter  int64   `json:"bytesPerIter"`  // must be 0
+}
+
+// HubTreeResult compares a flat hub against a root + per-region sub-hub
+// tree on the same instance: identical results, fewer bytes at the root.
+type HubTreeResult struct {
+	Topology     string  `json:"topology"`
+	Regions      int     `json:"regions"`
+	Iterations   int     `json:"iterations"`
+	UFCMatch     bool    `json:"ufcMatch"`
+	FlatHubBytes uint64  `json:"flatHubBytes"`
+	RootHubBytes uint64  `json:"rootHubBytes"`
+	Reduction    float64 `json:"reduction"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	points := fs.String("points", "4,10,1;20,200,4;100,2000,8;200,20000,16",
+		"semicolon-separated topology points \"N,M,R\" (R > 1 solves under the region sparsity cutoff)")
+	workers := fs.Int("workers", 8, "solver workers per engine")
+	hubTree := fs.Bool("hubtree", true, "measure flat-vs-tree root-hub bytes at 20,200,4 over real TCP")
+	out := fs.String("out", "BENCH_scaling.json", "output file (\"-\" for stdout)")
+	validate := fs.String("validate", "", "validate an existing result file instead of measuring")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *validate != "" {
+		return validateFile(*validate)
+	}
+
+	file := BenchFile{Schema: schemaID, Go: runtime.Version(), Workers: *workers}
+	for _, spec := range strings.Split(*points, ";") {
+		topo, err := experiments.ParseTopology(strings.TrimSpace(spec))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "point %s...\n", topo)
+		pt, err := measurePoint(topo, *workers)
+		if err != nil {
+			return fmt.Errorf("point %s: %w", topo, err)
+		}
+		file.Points = append(file.Points, *pt)
+		fmt.Fprintf(os.Stderr, "  %d pairs, %d iters (converged=%v), %.2fms/iter, %.0f allocs/iter\n",
+			pt.FeasiblePairs, pt.Iterations, pt.Converged, float64(pt.NsPerIter)/1e6, pt.AllocsPerIter)
+	}
+	if *hubTree {
+		fmt.Fprintln(os.Stderr, "hub tree 20,200,4...")
+		ht, err := measureHubTree()
+		if err != nil {
+			return fmt.Errorf("hub tree: %w", err)
+		}
+		file.HubTree = ht
+		fmt.Fprintf(os.Stderr, "  flat %d B vs root %d B: %.2fx reduction (UFC match=%v)\n",
+			ht.FlatHubBytes, ht.RootHubBytes, ht.Reduction, ht.UFCMatch)
+	}
+
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	return validateFile(*out)
+}
+
+// budgets picks the solve iteration budget and the microbench rep count
+// by problem size, so the big points stay tractable.
+func budgets(pairs int) (solveIters, reps int) {
+	switch {
+	case pairs <= 10_000:
+		return 3000, 50
+	case pairs <= 100_000:
+		return 300, 20
+	default:
+		return 100, 5
+	}
+}
+
+func measurePoint(spec experiments.Topology, workers int) (*PointResult, error) {
+	st, err := experiments.NewSyntheticTopology(spec, 7)
+	if err != nil {
+		return nil, err
+	}
+	inst := st.Instance(8)
+	sparse := spec.Regions > 1
+	// Budget by the approximate mask size (the engine reports the exact
+	// count below, but it is only built once).
+	approxPairs := spec.M * spec.N
+	if sparse {
+		approxPairs /= spec.Regions
+	}
+	solveIters, reps := budgets(approxPairs)
+	opts := core.Options{Workers: workers, MaxIterations: solveIters}
+	if sparse {
+		opts.SparsityCutoff = st.CutoffSec
+	}
+	eng, err := core.NewEngine(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	pairs := eng.FeasiblePairs()
+
+	state := core.NewState(inst.Cloud.M(), inst.Cloud.N())
+	t0 := time.Now()
+	_, _, stats, err := eng.SolveState(state)
+	if err != nil && !errors.Is(err, core.ErrNotConverged) {
+		return nil, err
+	}
+	solveDur := time.Since(t0)
+
+	// Steady-state Iterate microbench on the solved state: the mask, the
+	// scratch and the worker pool are warm, matching BenchmarkIterateScale.
+	if err := eng.Iterate(state); err != nil {
+		return nil, err
+	}
+	allocs := testing.AllocsPerRun(reps, func() {
+		if err := eng.Iterate(state); err != nil {
+			panic(err)
+		}
+	})
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t1 := time.Now()
+	for k := 0; k < reps; k++ {
+		if err := eng.Iterate(state); err != nil {
+			return nil, err
+		}
+	}
+	perIter := time.Since(t1) / time.Duration(reps)
+	runtime.ReadMemStats(&after)
+
+	return &PointResult{
+		Topology:      spec.String(),
+		Sparse:        sparse,
+		FeasiblePairs: pairs,
+		Iterations:    stats.Iterations,
+		Converged:     stats.Converged,
+		FinalResidual: stats.FinalResidual,
+		SolveNs:       solveDur.Nanoseconds(),
+		NsPerIter:     perIter.Nanoseconds(),
+		AllocsPerIter: allocs,
+		BytesPerIter:  int64(after.TotalAlloc-before.TotalAlloc) / int64(reps),
+	}, nil
+}
+
+// measureHubTree runs the 20×200 R=4 sparse instance over a flat hub and
+// over a root + 4 sub-hub tree, both for a fixed 40 iterations, and
+// reports the root-hub byte reduction.
+func measureHubTree() (*HubTreeResult, error) {
+	const regions = 4
+	const iters = 40
+	st, err := experiments.NewSyntheticTopology(experiments.Topology{N: 20, M: 200, Regions: regions}, 7)
+	if err != nil {
+		return nil, err
+	}
+	inst := st.Instance(1)
+	opts := core.Options{SparsityCutoff: st.CutoffSec, MaxIterations: iters}
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	runOpts := distsim.RunOptions{Solver: opts, Timeout: time.Minute}
+
+	// Flat deployment.
+	flatHub, err := distsim.NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = flatHub.Close() }() //ufc:discard measurement teardown
+	flatNode, err := distsim.NewTCPNode(flatHub.Addr(), distsim.AllAgentIDs(m, n), 4096)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = flatNode.Close() }() //ufc:discard measurement teardown
+	flatRes, err := distsim.Run(context.Background(), inst, runOpts, flatNode)
+	if err != nil {
+		return nil, fmt.Errorf("flat run: %w", err)
+	}
+	flatStats := flatHub.Stats()
+
+	// Tree deployment: coordinator on the root, each region's agents on
+	// that region's sub-hub.
+	root, err := distsim.NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = root.Close() }() //ufc:discard measurement teardown
+	regionIDs := make([][]string, regions)
+	for i := 0; i < m; i++ {
+		r := st.FERegion[i]
+		regionIDs[r] = append(regionIDs[r], fmt.Sprintf("fe-%d", i))
+	}
+	for j := 0; j < n; j++ {
+		r := st.DCRegion[j]
+		regionIDs[r] = append(regionIDs[r], fmt.Sprintf("dc-%d", j))
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, regions)
+	for r := 0; r < regions; r++ {
+		sub, err := distsim.NewTCPHubOpts("127.0.0.1:0", distsim.HubOptions{Parent: root.Addr(), Region: r})
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = sub.Close() }() //ufc:discard measurement teardown
+		node, err := distsim.NewTCPNode(sub.Addr(), regionIDs[r], 1024)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = node.Close() }() //ufc:discard measurement teardown
+		wg.Add(1)
+		go func(r int, node *distsim.TCPNode) {
+			defer wg.Done()
+			if _, err := distsim.RunAgents(context.Background(), inst, runOpts, node, regionIDs[r]); err != nil {
+				errCh <- fmt.Errorf("region %d agents: %w", r, err)
+			}
+		}(r, node)
+	}
+	coNode, err := distsim.NewTCPNode(root.Addr(), []string{"coord"}, 4096)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = coNode.Close() }() //ufc:discard measurement teardown
+	treeRes, err := distsim.RunAgents(context.Background(), inst, runOpts, coNode, []string{"coord"})
+	if err != nil {
+		return nil, fmt.Errorf("tree coordinator: %w", err)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return nil, err
+	}
+	rootStats := root.Stats()
+
+	flatBytes := flatStats.BytesSent + flatStats.BytesReceived
+	rootBytes := rootStats.BytesSent + rootStats.BytesReceived
+	ht := &HubTreeResult{
+		Topology:     "20,200,4",
+		Regions:      regions,
+		Iterations:   flatRes.Stats.Iterations,
+		UFCMatch:     flatRes.Breakdown.UFC == treeRes.Breakdown.UFC,
+		FlatHubBytes: flatBytes,
+		RootHubBytes: rootBytes,
+	}
+	if rootBytes > 0 {
+		ht.Reduction = float64(flatBytes) / float64(rootBytes)
+	}
+	return ht, nil
+}
+
+// validateFile strictly re-reads a result file and enforces the gates the
+// scaling work promises: zero steady-state allocations at every point and
+// a ≥4× root-hub byte reduction when the hub-tree section is present.
+func validateFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }() //ufc:discard read-only file
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var file BenchFile
+	if err := dec.Decode(&file); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if file.Schema != schemaID {
+		return fmt.Errorf("%s: schema %q, want %q", path, file.Schema, schemaID)
+	}
+	if len(file.Points) == 0 {
+		return fmt.Errorf("%s: no points", path)
+	}
+	for _, pt := range file.Points {
+		if _, err := experiments.ParseTopology(pt.Topology); err != nil {
+			return fmt.Errorf("%s: point %q: %w", path, pt.Topology, err)
+		}
+		if pt.FeasiblePairs <= 0 || pt.Iterations <= 0 || pt.NsPerIter <= 0 || pt.SolveNs <= 0 {
+			return fmt.Errorf("%s: point %s: non-positive measurement", path, pt.Topology)
+		}
+		if pt.AllocsPerIter >= 1 {
+			return fmt.Errorf("%s: point %s: %v allocs/iter, want 0 (zero-alloc gate)", path, pt.Topology, pt.AllocsPerIter)
+		}
+	}
+	if ht := file.HubTree; ht != nil {
+		if !ht.UFCMatch {
+			return fmt.Errorf("%s: hub tree UFC mismatch", path)
+		}
+		if ht.Reduction < 4 {
+			return fmt.Errorf("%s: hub tree root-byte reduction %.2fx, want >= 4x", path, ht.Reduction)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s: valid (%d points%s)\n", path, len(file.Points),
+		map[bool]string{true: " + hub tree", false: ""}[file.HubTree != nil])
+	return nil
+}

@@ -6,6 +6,16 @@
 //	ufcnode -hub 127.0.0.1:7070 -instance inst.json -agents fe-0,fe-1,...  &
 //	ufcnode -hub 127.0.0.1:7070 -instance inst.json -agents dc-0,...      &
 //	ufcnode -hub 127.0.0.1:7070 -instance inst.json -agents coord
+//
+// Hubs compose into a tree for large topologies: start a root hub, then
+// one sub-hub per region with -parent pointing at the root, and connect
+// each region's nodes to its sub-hub. Intra-region traffic terminates at
+// the sub-hub; the rest travels the hub↔hub links as coalesced batch
+// records.
+//
+//	ufchub -listen :7070                                          # root
+//	ufchub -listen :7071 -parent 127.0.0.1:7070 -region 0         # region 0
+//	ufchub -listen :7072 -parent 127.0.0.1:7070 -region 1         # region 1
 package main
 
 import (
@@ -31,10 +41,18 @@ func run(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7070", "address to listen on")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and net/http/pprof on this address")
 	idleTimeout := fs.Duration("idle-timeout", 0, "drop node connections silent for this long (0 disables; pair with ufcnode -heartbeat-interval)")
+	parent := fs.String("parent", "", "parent hub address; makes this a regional sub-hub in a hub tree")
+	region := fs.Int("region", 0, "region tag reported to the parent hub (with -parent)")
+	routeShards := fs.Int("route-shards", 0, "routing-table shards, power of two (0 uses the default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	hub, err := distsim.NewTCPHubOpts(*listen, distsim.HubOptions{IdleTimeout: *idleTimeout})
+	hub, err := distsim.NewTCPHubOpts(*listen, distsim.HubOptions{
+		IdleTimeout: *idleTimeout,
+		RouteShards: *routeShards,
+		Parent:      *parent,
+		Region:      *region,
+	})
 	if err != nil {
 		return err
 	}

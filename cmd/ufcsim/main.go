@@ -6,10 +6,19 @@
 // Usage:
 //
 //	ufcsim [-strategy hybrid|grid|fuelcell] [-hours n] [-scale f] [-seed n]
+//	       [-topology N,M,R] [-sparse]
 //	       [-warm] [-distributed] [-trace-residuals]
 //	       [-metrics-addr host:port] [-ndjson file]
 //	       [-fault-plan plan.json] [-retry-interval d] [-message-deadline d]
 //	       [-staleness-cap n] [-dead-after n]
+//
+// With -topology N,M,R the paper's fixed 4×10 fleet is replaced by a
+// synthetic one: N datacenters and M front-ends clustered into R
+// geographic regions (see internal/experiments.NewSyntheticTopology).
+// Adding -sparse restricts routing to intra-region pairs by setting the
+// solver's SparsityCutoff to the topology's region cutoff — per-iteration
+// work and wire traffic then scale with the number of feasible pairs
+// instead of M·N.
 //
 // With -metrics-addr the run exposes a Prometheus /metrics endpoint
 // (solver counters, phase timings, residual histograms) and net/http/pprof
@@ -45,6 +54,8 @@ func run(args []string) error {
 	hours := fs.Int("hours", 168, "horizon length in hours")
 	scale := fs.Float64("scale", 1, "fleet scale relative to the paper")
 	seed := fs.Int64("seed", 2012, "master random seed")
+	topoSpec := fs.String("topology", "", "synthetic topology \"N,M,R\" (N datacenters, M front-ends, R regions) instead of the paper's 4x10 fleet")
+	sparse := fs.Bool("sparse", false, "with -topology: restrict routing to intra-region pairs (sets the solver's SparsityCutoff to the region cutoff)")
 	maxIters := fs.Int("maxiters", 3000, "ADM-G iteration budget per slot")
 	distributed := fs.Bool("distributed", false, "run each slot over the message-passing runtime")
 	warm := fs.Bool("warm", false, "warm-start each slot from the previous slot's iterate")
@@ -98,12 +109,38 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var topo *experiments.SyntheticTopology
+	if *topoSpec != "" {
+		spec, err := experiments.ParseTopology(*topoSpec)
+		if err != nil {
+			return err
+		}
+		topo, err = experiments.NewSyntheticTopology(spec, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "synthetic topology %s: %.0f servers, region cutoff %.2fms\n",
+			spec, topo.Cloud.TotalServers(), topo.CutoffSec*1000)
+	} else if *sparse {
+		return fmt.Errorf("-sparse requires -topology")
+	}
+	// instanceAt yields hour t's instance: the paper trace scenario, or the
+	// synthetic topology with per-hour arrival/price draws.
+	instanceAt := func(t int) *core.Instance {
+		if topo != nil {
+			return topo.Instance(*seed + int64(t))
+		}
+		return sc.InstanceAt(t)
+	}
 	probe := telemetry.NewSolverProbe()
 	opts := core.Options{
 		Strategy:       strategy,
 		MaxIterations:  *maxIters,
 		TrackResiduals: *traceResiduals,
 		Probe:          probe,
+	}
+	if *sparse {
+		opts.SparsityCutoff = topo.CutoffSec
 	}
 
 	if *metricsAddr != "" {
@@ -139,7 +176,7 @@ func run(args []string) error {
 		state *core.State
 	)
 	if *warm {
-		inst0 := sc.InstanceAt(0)
+		inst0 := instanceAt(0)
 		eng, err = core.NewEngine(inst0, opts)
 		if err != nil {
 			return err
@@ -154,7 +191,7 @@ func run(args []string) error {
 	var totalEnergy, totalCarbon float64
 	var totalIters int
 	for t := 0; t < cfg.Hours; t++ {
-		inst := sc.InstanceAt(t)
+		inst := instanceAt(t)
 		var (
 			alloc *core.Allocation
 			bd    core.Breakdown

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/carbon"
 	"repro/internal/linalg"
+	"repro/internal/model"
 	"repro/internal/qp"
 	"repro/internal/telemetry"
 	"repro/internal/utility"
@@ -42,6 +43,17 @@ type Options struct {
 	// TrackResiduals records the residual after every iteration in
 	// Stats.ResidualTrace.
 	TrackResiduals bool
+	// SparsityCutoff, when positive, restricts routing to (front-end,
+	// datacenter) pairs whose propagation latency is at most this many
+	// seconds: off-cutoff pairs have λ_ij = a_ij = φ_ij ≡ 0 for the whole
+	// solve and every M×N loop — steps, dual updates, residuals — walks
+	// only the feasible pairs, so per-iteration work scales with the mask
+	// size instead of M·N. Every front-end keeps at least its nearest
+	// datacenter, so the per-row demand constraint stays feasible. Zero
+	// (the default) keeps the dense paper solver, bit-identical to an
+	// engine built before this option existed. Sparse solves require the
+	// Quadratic or Linear utility (the exact λ-QP path).
+	SparsityCutoff float64
 	// Workers fans the per-front-end λ-steps and per-datacenter
 	// μ/ν/a-steps of each Iterate across this many goroutines (0 or 1 =
 	// serial). Every work item writes to a fixed index and no reduction
@@ -92,6 +104,9 @@ func (o Options) validate() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("workers %d: %w", o.Workers, ErrBadOptions)
 	}
+	if o.SparsityCutoff < 0 {
+		return fmt.Errorf("sparsity cutoff %g: %w", o.SparsityCutoff, ErrBadOptions)
+	}
 	switch o.Strategy {
 	case Hybrid, GridOnly, FuelCellOnly:
 	default:
@@ -128,24 +143,21 @@ type State struct {
 }
 
 // NewState returns the zero-initialized iterate (the paper initializes all
-// variables to 0).
+// variables to 0). All six blocks share one contiguous backing slab —
+// (3M+3)·N floats — so building a state costs a constant number of
+// allocations however large the topology, and row sweeps walk memory
+// sequentially. Rows are full-capacity views: an append on one can never
+// bleed into the next.
 func NewState(m, n int) *State {
-	return &State{
-		Lambda: zeros2(m, n),
-		A:      zeros2(m, n),
-		Varphi: zeros2(m, n),
-		Mu:     make([]float64, n),
-		Nu:     make([]float64, n),
-		Phi:    make([]float64, n),
-	}
-}
-
-func zeros2(m, n int) [][]float64 {
-	out := make([][]float64, m)
-	for i := range out {
-		out[i] = make([]float64, n)
-	}
-	return out
+	slab := make([]float64, (3*m+3)*n)
+	s := &State{}
+	s.Lambda, slab = carveRows(slab, m, n)
+	s.A, slab = carveRows(slab, m, n)
+	s.Varphi, slab = carveRows(slab, m, n)
+	s.Mu, slab = slab[:n:n], slab[n:]
+	s.Nu, slab = slab[:n:n], slab[n:]
+	s.Phi = slab[:n:n]
+	return s
 }
 
 // Engine carries the per-agent sub-problem solvers of §III-C. Its step
@@ -176,6 +188,13 @@ type Engine struct {
 	pEq     []float64   // p_j·β_j
 	cEq     []float64   // C_j·β_j, tons per server-equivalent-hour
 	lat     [][]float64 // cached latency rows (Cloud.LatencyRow allocates)
+
+	// sp is the routing-feasibility mask (see sparsity.go); nil when
+	// Options.SparsityCutoff is zero and every loop runs dense. spCloud
+	// remembers which cloud the mask was built from so Reset with the same
+	// topology object skips the rebuild.
+	sp      *sparsity
+	spCloud *model.Cloud
 
 	// rho is the effective penalty: Options.Rho times the instance's
 	// marginal-cost scale, so the paper's ρ = 0.3 sits in the regime
@@ -245,6 +264,20 @@ func (e *Engine) configure(inst *Instance) error {
 		for j := 0; j < n; j++ {
 			e.lat[i][j] = inst.Cloud.LatencySec(i, j)
 		}
+	}
+	if cut := e.opts.SparsityCutoff; cut > 0 {
+		switch inst.Utility.(type) {
+		case utility.Quadratic, utility.Linear:
+		default:
+			return fmt.Errorf("core: SparsityCutoff %g needs the Quadratic or Linear utility (exact masked λ-step), got %T: %w",
+				cut, inst.Utility, ErrBadOptions)
+		}
+		if e.sp == nil || e.spCloud != inst.Cloud {
+			e.sp = buildSparsity(e.lat, cut)
+			e.spCloud = inst.Cloud
+		}
+	} else {
+		e.sp, e.spCloud = nil, nil
 	}
 	opts := e.opts
 	for j := 0; j < n; j++ {
@@ -319,20 +352,43 @@ func (e *Engine) configure(inst *Instance) error {
 	return nil
 }
 
-// Reset swaps in a new slot's instance — prices, arrivals, carbon rates —
-// without re-deriving the engine's structure or reallocating any scratch.
-// The new instance must have the same topology dimensions as the one the
-// engine was built with. The caller's iterate (if any) is untouched, which
-// is exactly what warm-starting the next hourly slot wants.
+// Reset swaps in a new slot's instance — prices, arrivals, carbon rates,
+// or even a different topology. With unchanged (M, N) dimensions no
+// scratch is reallocated, and the caller's iterate (if any) is untouched —
+// exactly what warm-starting the next hourly slot wants. When the
+// dimensions change, every engine buffer (scaled parameters, latency
+// cache, iteration scratch, step workspaces, sparsity mask) is rebuilt at
+// the new shape — never aliased to the old one — and any worker pool is
+// stopped first, because its goroutines hold references to the old
+// workspaces (it respawns lazily on the next parallel Iterate). States
+// from the old shape do not fit the resized engine; start from NewState.
 func (e *Engine) Reset(inst *Instance) error {
 	if err := inst.Validate(); err != nil {
 		return err
 	}
-	if inst.Cloud.M() != e.m || inst.Cloud.N() != e.n {
-		return fmt.Errorf("core: Reset with %d×%d cloud on a %d×%d engine: %w",
-			inst.Cloud.M(), inst.Cloud.N(), e.m, e.n, ErrBadState)
+	if m, n := inst.Cloud.M(), inst.Cloud.N(); m != e.m || n != e.n {
+		e.resize(m, n)
 	}
 	return e.configure(inst)
+}
+
+// resize rebuilds every dimension-dependent buffer at the new shape.
+func (e *Engine) resize(m, n int) {
+	e.Close() // worker goroutines captured the old e.ws pointers
+	e.m, e.n = m, n
+	e.alphaEq = make([]float64, n)
+	e.beta = make([]float64, n)
+	e.capEq = make([]float64, n)
+	e.p0Eq = make([]float64, n)
+	e.pEq = make([]float64, n)
+	e.cEq = make([]float64, n)
+	e.lat = matrixRows(m, n)
+	e.sp, e.spCloud = nil, nil
+	e.scratch = iterScratch{}
+	e.scratch.init(m, n)
+	for w := range e.ws {
+		e.ws[w] = e.newStepWorkspace()
+	}
 }
 
 // Instance returns the engine's problem instance.
@@ -370,6 +426,9 @@ func (e *Engine) LambdaStep(i int, aRow, varphiRow []float64) ([]float64, error)
 //
 //ufc:hotpath
 func (e *Engine) LambdaStepInto(ws *StepWorkspace, i int, aRow, varphiRow, dst []float64) error {
+	if e.sp != nil {
+		return e.lambdaStepMasked(ws, i, aRow, varphiRow, dst)
+	}
 	n := e.n
 	arrivals := e.inst.Arrivals[i]
 	if arrivals <= 0 {
@@ -408,6 +467,101 @@ func (e *Engine) LambdaStepInto(ws *StepWorkspace, i int, aRow, varphiRow, dst [
 	}
 }
 
+// lambdaStepMasked is the sparse λ-minimization: the sub-problem is the
+// dense one restricted to the feasible columns of front-end i (off-mask
+// coordinates are pinned at 0, which only shrinks the simplex), gathered
+// into compact workspace vectors and solved by the same exact QP. Only the
+// masked entries of dst are written; callers keep off-mask entries at zero
+// (NewState starts there and masked solves never move them).
+//
+//ufc:hotpath
+func (e *Engine) lambdaStepMasked(ws *StepWorkspace, i int, aRow, varphiRow, dst []float64) error {
+	idx := e.sp.rows[i]
+	k := len(idx)
+	arrivals := e.inst.Arrivals[i]
+	if arrivals <= 0 {
+		for _, j := range idx {
+			dst[j] = 0
+		}
+		return nil
+	}
+	rho := e.rho
+	full := e.lat[i]
+	lat := ws.ln[:k]
+	for t, j := range idx {
+		lat[t] = full[j]
+	}
+	cvec, out := ws.cn[:k], ws.xn[:k]
+	switch e.inst.Utility.(type) {
+	case utility.Quadratic:
+		for t, j := range idx {
+			cvec[t] = varphiRow[j] - rho*aRow[j]
+		}
+		e.solveLambdaQP(ws, cvec, lat, 2*e.inst.WeightW/arrivals, arrivals, out)
+	case utility.Linear:
+		w := e.inst.WeightW
+		for t, j := range idx {
+			cvec[t] = w*lat[t] + varphiRow[j] - rho*aRow[j]
+		}
+		e.solveLambdaQP(ws, cvec, lat, 0, arrivals, out)
+	default:
+		// configure rejects this combination; unreachable via the API.
+		return fmt.Errorf("core: masked λ-step with %T utility: %w", e.inst.Utility, ErrBadOptions)
+	}
+	for t, j := range idx {
+		dst[j] = out[t]
+	}
+	return nil
+}
+
+// LambdaStepCompactInto is LambdaStepInto over compact vectors: aC,
+// varphiC and dst are indexed by FeasibleCols(i) (length = mask row size).
+// Distributed front-end agents use it to keep their per-iteration state
+// and messages proportional to the mask instead of N. On a dense engine it
+// is LambdaStepInto verbatim (compact == full).
+//
+//ufc:hotpath
+func (e *Engine) LambdaStepCompactInto(ws *StepWorkspace, i int, aC, varphiC, dst []float64) error {
+	if e.sp == nil {
+		return e.LambdaStepInto(ws, i, aC, varphiC, dst)
+	}
+	idx := e.sp.rows[i]
+	k := len(idx)
+	if len(aC) != k || len(varphiC) != k || len(dst) != k {
+		return ErrBadState
+	}
+	arrivals := e.inst.Arrivals[i]
+	if arrivals <= 0 {
+		for t := range dst {
+			dst[t] = 0
+		}
+		return nil
+	}
+	rho := e.rho
+	full := e.lat[i]
+	lat := ws.ln[:k]
+	for t, j := range idx {
+		lat[t] = full[j]
+	}
+	cvec := ws.cn[:k]
+	switch e.inst.Utility.(type) {
+	case utility.Quadratic:
+		for t := 0; t < k; t++ {
+			cvec[t] = varphiC[t] - rho*aC[t]
+		}
+		e.solveLambdaQP(ws, cvec, lat, 2*e.inst.WeightW/arrivals, arrivals, dst)
+	case utility.Linear:
+		w := e.inst.WeightW
+		for t := 0; t < k; t++ {
+			cvec[t] = w*lat[t] + varphiC[t] - rho*aC[t]
+		}
+		e.solveLambdaQP(ws, cvec, lat, 0, arrivals, dst)
+	default:
+		return fmt.Errorf("core: masked λ-step with %T utility: %w", e.inst.Utility, ErrBadOptions)
+	}
+	return nil
+}
+
 // solveLambdaQP solves min ½ρ‖λ‖² + ½s(lᵀλ)² + cᵀλ over the scaled simplex
 // {λ ≥ 0, Σλ = total} exactly, writing the optimum into dst.
 //
@@ -423,7 +577,10 @@ func (e *Engine) solveLambdaQP(ws *StepWorkspace, c, l []float64, s, total float
 	n := len(c)
 	rho := e.rho
 	eval := func(t float64) float64 {
-		v := ws.vn
+		// Slice to the problem size: masked callers pass compact c/l/dst
+		// prefixes shorter than the workspace (dense callers pass n == N,
+		// the same floats as before).
+		v := ws.vn[:n]
 		for j := 0; j < n; j++ {
 			v[j] = -(c[j] + s*t*l[j]) / rho
 		}
@@ -596,6 +753,33 @@ func (e *Engine) AStepInto(ws *StepWorkspace, j int, lambdaTildeCol, varphiCol [
 	return nil
 }
 
+// AStepCompactInto is AStepInto over compact vectors: lambdaTildeC,
+// varphiC and dst are indexed by FeasibleRows(j) (length = mask column
+// size). Distributed datacenter agents use it so their water-filling
+// solves cover only the front-ends that can actually route to them. On a
+// dense engine it is AStepInto verbatim (compact == full).
+//
+//ufc:hotpath
+func (e *Engine) AStepCompactInto(ws *StepWorkspace, j int, lambdaTildeC, varphiC []float64, muTilde, nuTilde, phi float64, dst []float64) error {
+	if e.sp == nil {
+		return e.AStepInto(ws, j, lambdaTildeC, varphiC, muTilde, nuTilde, phi, dst)
+	}
+	k := len(e.sp.cols[j])
+	if len(lambdaTildeC) != k || len(varphiC) != k || len(dst) != k {
+		return ErrBadState
+	}
+	rho := e.rho
+	off := e.alphaEq[j] - muTilde - nuTilde
+	cvec := ws.cm[:k]
+	for t := 0; t < k; t++ {
+		cvec[t] = -(phi + varphiC[t]) + rho*(-lambdaTildeC[t]+off)
+	}
+	if err := qp.SolveSumCappedRankOneInto(dst, ws.sortm[:k], ws.prefm[:k+1], rho, 1, cvec, e.inst.Cloud.Datacenters[j].Servers); err != nil {
+		return fmt.Errorf("a-minimization at datacenter %d: %w", j, err)
+	}
+	return nil
+}
+
 // PowerBalance returns α_j + Σ_i a_ij − μ − ν in server-equivalent units,
 // the residual of the power balance constraint (15).
 //
@@ -629,12 +813,22 @@ func (e *Engine) Iterate(s *State) error {
 
 	// Σ_i a_ij of the incoming state, needed by the μ/ν-steps (s.A is
 	// only mutated after the prediction phases).
-	for j := 0; j < n; j++ {
-		var sum float64
-		for i := 0; i < m; i++ {
-			sum += s.A[i][j]
+	if sp := e.sp; sp != nil {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for _, i := range sp.cols[j] {
+				sum += s.A[i][j]
+			}
+			sc.sumA[j] = sum
 		}
-		sc.sumA[j] = sum
+	} else {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for i := 0; i < m; i++ {
+				sum += s.A[i][j]
+			}
+			sc.sumA[j] = sum
+		}
 	}
 
 	// --- 1.1 λ-minimization (per front-end). ---
@@ -650,13 +844,29 @@ func (e *Engine) Iterate(s *State) error {
 	}
 	span = probe.PhaseDone(telemetry.SolverPhaseDatacenter, span)
 	e.iterState = nil
-	lambdaTilde, aTildeT := sc.lambdaTilde, sc.aTildeT
-	muTilde, nuTilde := sc.muTilde, sc.nuTilde
 
 	// --- 1.5 dual updates fused with step 2's Gaussian back substitution
 	// (backward order). Each φ_j / φ_ij prediction depends only on its own
 	// pre-update value, so predicting and correcting in one pass produces
 	// the same floats as the two-pass formulation.
+	if sp := e.sp; sp != nil {
+		e.correctionMasked(s, sp, rho, eps)
+	} else {
+		e.correctionDense(s, rho, eps)
+	}
+	probe.PhaseDone(telemetry.SolverPhaseCorrection, span)
+	return nil
+}
+
+// correctionDense is Iterate's fused dual-update + Gaussian
+// back-substitution pass over all M×N pairs — the paper's loops verbatim.
+//
+//ufc:hotpath
+func (e *Engine) correctionDense(s *State, rho, eps float64) {
+	m, n := e.m, e.n
+	sc := &e.scratch
+	lambdaTilde, aTildeT := sc.lambdaTilde, sc.aTildeT
+	muTilde, nuTilde := sc.muTilde, sc.nuTilde
 	for j := 0; j < n; j++ {
 		var sumATilde float64
 		row := aTildeT[j]
@@ -697,8 +907,63 @@ func (e *Engine) Iterate(s *State) error {
 	for i := 0; i < m; i++ {
 		copy(s.Lambda[i], lambdaTilde[i])
 	}
-	probe.PhaseDone(telemetry.SolverPhaseCorrection, span)
-	return nil
+}
+
+// correctionMasked is correctionDense restricted to the feasibility mask.
+// Off-mask entries of λ, a, φ_ij and the scratch predictions are all zero
+// and stay zero: every skipped update is a no-op on a zero entry (0 + ε·0),
+// and the Σ_i reductions lose only zero terms, so the masked pass computes
+// the same per-column totals as the dense pass would on the masked state.
+//
+//ufc:hotpath
+func (e *Engine) correctionMasked(s *State, sp *sparsity, rho, eps float64) {
+	n := e.n
+	sc := &e.scratch
+	lambdaTilde, aTildeT := sc.lambdaTilde, sc.aTildeT
+	muTilde, nuTilde := sc.muTilde, sc.nuTilde
+	for j := 0; j < n; j++ {
+		var sumATilde float64
+		row := aTildeT[j]
+		for _, i := range sp.cols[j] {
+			sumATilde += row[i]
+		}
+		phiTilde := s.Phi[j] - rho*e.PowerBalance(j, sumATilde, muTilde[j], nuTilde[j])
+		s.Phi[j] += eps * (phiTilde - s.Phi[j])
+	}
+	for i, idx := range sp.rows {
+		vrow, lrow := s.Varphi[i], lambdaTilde[i]
+		for _, j := range idx {
+			varphiTilde := vrow[j] - rho*(aTildeT[j][i]-lrow[j])
+			vrow[j] += eps * (varphiTilde - vrow[j])
+		}
+	}
+	for j := 0; j < n; j++ {
+		var d float64 // Σ_i (a^{k+1} − a^k), scaled β = 1
+		row := aTildeT[j]
+		for _, i := range sp.cols[j] {
+			old := s.A[i][j]
+			next := old + eps*(row[i]-old)
+			d += next - old
+			s.A[i][j] = next
+		}
+		nuOld := s.Nu[j]
+		var nuNext float64
+		if e.opts.DisableCorrection {
+			nuNext = nuTilde[j]
+			s.Mu[j] = muTilde[j]
+		} else {
+			nuNext = nuOld + eps*(nuTilde[j]-nuOld) + d
+			muOld := s.Mu[j]
+			s.Mu[j] = muOld + eps*(muTilde[j]-muOld) - (nuNext - nuOld) + d
+		}
+		s.Nu[j] = nuNext
+	}
+	for i, idx := range sp.rows {
+		lrow, trow := s.Lambda[i], lambdaTilde[i]
+		for _, j := range idx {
+			lrow[j] = trow[j]
+		}
+	}
 }
 
 // lambdaItem is the λ-phase work item: front-end i's prediction into the
@@ -724,6 +989,29 @@ func (e *Engine) datacenterItem(ws *StepWorkspace, j int) error {
 	sc.muTilde[j], sc.nuTilde[j] = mu, nu
 	phi := s.Phi[j]
 	off := e.alphaEq[j] - mu - nu
+	if sp := e.sp; sp != nil {
+		// Masked a-step: gather the feasible column into a compact cost
+		// vector, water-fill over it, scatter back. Off-mask entries of
+		// the transposed scratch row were zeroed at init and are never
+		// written, so downstream masked loops can skip them.
+		idx := sp.cols[j]
+		k := len(idx)
+		if k == 0 {
+			return nil // no front-end can route here: ã_·j ≡ 0
+		}
+		cvec, out := ws.cm[:k], ws.xm[:k]
+		for t, i := range idx {
+			cvec[t] = -(phi + s.Varphi[i][j]) + rho*(-sc.lambdaTilde[i][j]+off)
+		}
+		if err := qp.SolveSumCappedRankOneInto(out, ws.sortm[:k], ws.prefm[:k+1], rho, 1, cvec, e.inst.Cloud.Datacenters[j].Servers); err != nil {
+			return fmt.Errorf("a-minimization at datacenter %d: %w", j, err)
+		}
+		row := sc.aTildeT[j]
+		for t, i := range idx {
+			row[i] = out[t]
+		}
+		return nil
+	}
 	cvec := ws.cm
 	for i := 0; i < m; i++ {
 		cvec[i] = -(phi + s.Varphi[i][j]) + rho*(-sc.lambdaTilde[i][j]+off)
@@ -741,6 +1029,25 @@ func (e *Engine) Residual(s *State) float64 {
 	m, n := e.inst.Cloud.M(), e.inst.Cloud.N()
 	scale := e.loadScale()
 	var r float64
+	if sp := e.sp; sp != nil {
+		for i, idx := range sp.rows {
+			for _, j := range idx {
+				if d := math.Abs(s.A[i][j] - s.Lambda[i][j]); d > r {
+					r = d
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			var sumA float64
+			for _, i := range sp.cols[j] {
+				sumA += s.A[i][j]
+			}
+			if d := math.Abs(e.PowerBalance(j, sumA, s.Mu[j], s.Nu[j])); d > r {
+				r = d
+			}
+		}
+		return r / scale
+	}
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
 			if d := math.Abs(s.A[i][j] - s.Lambda[i][j]); d > r {
@@ -781,6 +1088,29 @@ func (e *Engine) RoutingResidual(s, prev *State) float64 {
 	m, n := e.inst.Cloud.M(), e.inst.Cloud.N()
 	scale := e.loadScale()
 	var r float64
+	if sp := e.sp; sp != nil {
+		for i, idx := range sp.rows {
+			for _, j := range idx {
+				if d := math.Abs(s.A[i][j] - s.Lambda[i][j]); d > r {
+					r = d
+				}
+			}
+		}
+		r /= scale
+		for j := 0; j < n; j++ {
+			if d := math.Abs(s.Phi[j]-prev.Phi[j]) / e.dualScale; d > r {
+				r = d
+			}
+		}
+		for i, idx := range sp.rows {
+			for _, j := range idx {
+				if d := math.Abs(s.Varphi[i][j]-prev.Varphi[i][j]) / e.dualScale; d > r {
+					r = d
+				}
+			}
+		}
+		return r
+	}
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
 			if d := math.Abs(s.A[i][j] - s.Lambda[i][j]); d > r {
@@ -804,16 +1134,49 @@ func (e *Engine) RoutingResidual(s, prev *State) float64 {
 	return r
 }
 
-// copyState deep-copies src into dst (shapes must match).
-func copyState(dst, src *State) {
-	for i := range src.Lambda {
-		copy(dst.Lambda[i], src.Lambda[i])
-		copy(dst.A[i], src.A[i])
+// residualSnapshot copies the parts of src that RoutingResidual reads from
+// the previous iterate — Phi and the (masked) Varphi block. Snapshotting
+// only those keeps SolveState's per-iteration bookkeeping at one M×N sweep
+// instead of the four a full state copy would cost, without changing a
+// single returned float.
+func (e *Engine) residualSnapshot(dst, src *State) {
+	copy(dst.Phi, src.Phi)
+	if sp := e.sp; sp != nil {
+		for i, idx := range sp.rows {
+			drow, srow := dst.Varphi[i], src.Varphi[i]
+			for _, j := range idx {
+				drow[j] = srow[j]
+			}
+		}
+		return
+	}
+	for i := range src.Varphi {
 		copy(dst.Varphi[i], src.Varphi[i])
 	}
-	copy(dst.Mu, src.Mu)
-	copy(dst.Nu, src.Nu)
-	copy(dst.Phi, src.Phi)
+}
+
+// maskState zeroes the off-mask entries of the M×N blocks so a sparse
+// solve starts — and provably stays — inside the masked feasible set.
+// Masked entries are preserved: warm starts from a previous solve under
+// the same mask pass through untouched, while dense or differently-masked
+// warm starts are projected onto the mask.
+func (e *Engine) maskState(s *State) {
+	sp := e.sp
+	if sp == nil {
+		return
+	}
+	for i := 0; i < e.m; i++ {
+		idx := sp.rows[i]
+		lrow, arow, vrow := s.Lambda[i], s.A[i], s.Varphi[i]
+		t := 0
+		for j := 0; j < e.n; j++ {
+			if t < len(idx) && int(idx[t]) == j {
+				t++
+				continue
+			}
+			lrow[j], arow[j], vrow[j] = 0, 0, 0
+		}
+	}
 }
 
 // Solve runs the full distributed 4-block ADM-G loop for the instance from
@@ -871,6 +1234,7 @@ func (e *Engine) SolveStateContext(ctx context.Context, s *State) (*Allocation, 
 	if err := checkStateDims(s, e.m, e.n); err != nil {
 		return nil, Breakdown{}, nil, err
 	}
+	e.maskState(s)
 	stats := &Stats{}
 	opts := e.opts
 	prev := e.scratch.prev
@@ -887,7 +1251,7 @@ func (e *Engine) SolveStateContext(ctx context.Context, s *State) (*Allocation, 
 		if err := ctx.Err(); err != nil {
 			return nil, Breakdown{}, nil, fmt.Errorf("solve cancelled at iteration %d: %w", iter, err)
 		}
-		copyState(prev, s)
+		e.residualSnapshot(prev, s)
 		if err := e.Iterate(s); err != nil {
 			return nil, Breakdown{}, nil, fmt.Errorf("iteration %d: %w", iter, err)
 		}

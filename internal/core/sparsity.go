@@ -1,0 +1,132 @@
+package core
+
+// sparsity is the routing-feasibility mask derived from
+// Options.SparsityCutoff: the set of (front-end i, datacenter j) pairs
+// whose propagation latency is at most the cutoff. The solver restricts
+// every M×N loop — λ-steps, a-steps, dual updates, residuals — to this
+// set, so per-iteration work and wire traffic scale with the number of
+// feasible pairs instead of M·N. Off-mask variables are identically zero
+// for the whole solve, which makes the masked iterate a feasible point of
+// the dense problem with the extra constraint λ_ij = a_ij = 0 off-mask.
+//
+// Both index lists are ascending and share one backing slab each, so the
+// mask adds two allocations regardless of M and N.
+type sparsity struct {
+	rows [][]int32 // per front-end i: feasible datacenter indices j
+	cols [][]int32 // per datacenter j: feasible front-end indices i
+	nnz  int       // number of feasible pairs
+}
+
+// buildSparsity derives the mask from the engine's latency cache. Every
+// front-end keeps at least its nearest datacenter (first index on ties),
+// so the per-row simplex constraint Σ_j λ_ij = A_i always has a feasible
+// support; a datacenter outside every front-end's cutoff simply receives
+// no load. The construction reads only lat, so it is deterministic.
+func buildSparsity(lat [][]float64, cutoff float64) *sparsity {
+	m := len(lat)
+	n := 0
+	if m > 0 {
+		n = len(lat[0])
+	}
+	sp := &sparsity{
+		rows: make([][]int32, m),
+		cols: make([][]int32, n),
+	}
+	// Pass 1: per-row and per-column feasible counts. forced[i] holds the
+	// argmin-latency datacenter of a row with no pair under the cutoff,
+	// -1 otherwise.
+	rowCnt := make([]int, m)
+	colCnt := make([]int, n)
+	forced := make([]int32, m)
+	for i := 0; i < m; i++ {
+		row := lat[i]
+		cnt, argmin := 0, 0
+		for j := 0; j < n; j++ {
+			if row[j] < row[argmin] {
+				argmin = j
+			}
+			if row[j] <= cutoff {
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			// Force the nearest datacenter so the row stays feasible.
+			forced[i] = int32(argmin)
+			rowCnt[i] = 1
+			colCnt[argmin]++
+			sp.nnz++
+			continue
+		}
+		forced[i] = -1
+		rowCnt[i] = cnt
+		sp.nnz += cnt
+		for j := 0; j < n; j++ {
+			if row[j] <= cutoff {
+				colCnt[j]++
+			}
+		}
+	}
+	// Pass 2: carve both index lists out of single slabs and fill them in
+	// ascending scan order (columns inherit ascending i because rows are
+	// visited in order).
+	rowBack := make([]int32, sp.nnz)
+	colBack := make([]int32, sp.nnz)
+	off := 0
+	for i, cnt := range rowCnt {
+		sp.rows[i] = rowBack[off : off : off+cnt]
+		off += cnt
+	}
+	off = 0
+	for j, cnt := range colCnt {
+		sp.cols[j] = colBack[off : off : off+cnt]
+		off += cnt
+	}
+	for i := 0; i < m; i++ {
+		if j := forced[i]; j >= 0 {
+			sp.rows[i] = append(sp.rows[i], j)
+			sp.cols[j] = append(sp.cols[j], int32(i))
+			continue
+		}
+		row := lat[i]
+		for j := 0; j < n; j++ {
+			if row[j] <= cutoff {
+				sp.rows[i] = append(sp.rows[i], int32(j))
+				sp.cols[j] = append(sp.cols[j], int32(i))
+			}
+		}
+	}
+	return sp
+}
+
+// Sparse reports whether the engine runs with a routing-feasibility mask
+// (Options.SparsityCutoff > 0).
+func (e *Engine) Sparse() bool { return e.sp != nil }
+
+// FeasiblePairs returns the number of (front-end, datacenter) pairs the
+// solver iterates over: the mask size when sparse, M·N when dense.
+func (e *Engine) FeasiblePairs() int {
+	if e.sp != nil {
+		return e.sp.nnz
+	}
+	return e.m * e.n
+}
+
+// FeasibleCols returns the ascending datacenter indices front-end i may
+// route to, or nil when the engine is dense (all N columns feasible). The
+// slice is owned by the engine and must not be mutated.
+func (e *Engine) FeasibleCols(i int) []int32 {
+	if e.sp == nil {
+		return nil
+	}
+	return e.sp.rows[i]
+}
+
+// FeasibleRows returns the ascending front-end indices that may route to
+// datacenter j, or nil when the engine is dense (all M rows feasible). The
+// slice is owned by the engine and must not be mutated.
+func (e *Engine) FeasibleRows(j int) []int32 {
+	if e.sp == nil {
+		return nil
+	}
+	return e.sp.cols[j]
+}

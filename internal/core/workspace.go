@@ -9,9 +9,11 @@ import "sync/atomic"
 // must not be shared between concurrent callers.
 type StepWorkspace struct {
 	cn, vn, pn []float64 // length-N buffers: λ-step cost, projection input, sort scratch
+	ln, xn     []float64 // length-N buffers: gathered latencies / compact λ output (masked paths)
 	cm         []float64 // length-M buffer: a-step cost
 	sortm      []float64 // length-M sort buffer for the water-filling solver
 	prefm      []float64 // length-M+1 prefix sums
+	xm         []float64 // length-M buffer: compact a output (masked paths)
 }
 
 // NewStepWorkspace returns a workspace sized for the engine's topology.
@@ -23,9 +25,12 @@ func (e *Engine) newStepWorkspace() *StepWorkspace {
 		cn:    make([]float64, n),
 		vn:    make([]float64, n),
 		pn:    make([]float64, n),
+		ln:    make([]float64, n),
+		xn:    make([]float64, n),
 		cm:    make([]float64, m),
 		sortm: make([]float64, m),
 		prefm: make([]float64, m+1),
+		xm:    make([]float64, m),
 	}
 }
 
@@ -55,12 +60,19 @@ func (sc *iterScratch) init(m, n int) {
 // Rows are full-capacity slices, so an append on one row can never bleed
 // into the next.
 func matrixRows(r, c int) [][]float64 {
-	backing := make([]float64, r*c)
+	rows, _ := carveRows(make([]float64, r*c), r, c)
+	return rows
+}
+
+// carveRows slices an r×c row matrix off the front of slab and returns the
+// rows plus the remaining slab. Rows are full-capacity slices, so an
+// append on one row can never bleed into the next.
+func carveRows(slab []float64, r, c int) ([][]float64, []float64) {
 	rows := make([][]float64, r)
 	for i := range rows {
-		rows[i] = backing[i*c : (i+1)*c : (i+1)*c]
+		rows[i] = slab[i*c : (i+1)*c : (i+1)*c]
 	}
-	return rows
+	return rows, slab[r*c:]
 }
 
 // phaseID names the fan-out phases of Iterate. Work items are engine

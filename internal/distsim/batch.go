@@ -46,6 +46,11 @@ type connWriter struct {
 	once      sync.Once
 	drainOnce sync.Once
 	counters  *transportCounters
+	// wrap, set on hub↔hub links, wraps every multi-record write batch in
+	// a single batch record (see appendBatchFrame), so the peer receives
+	// one record per flush instead of one per message. Single records pass
+	// through unwrapped; receivers accept both forms.
+	wrap bool
 	// onFail, when set, receives every record that was enqueued but never
 	// written after a write error (the hub uses it to requeue messages
 	// for a reconnecting node). Ownership of the frameBufs transfers to
@@ -58,6 +63,12 @@ type connWriter struct {
 }
 
 func newConnWriter(conn net.Conn, queue int, counters *transportCounters, onFail func([]*frameBuf)) *connWriter {
+	return newConnWriterWrap(conn, queue, counters, false, onFail)
+}
+
+// newConnWriterWrap is newConnWriter with explicit batch wrapping (hub
+// peer links set wrap; node links never do).
+func newConnWriterWrap(conn net.Conn, queue int, counters *transportCounters, wrap bool, onFail func([]*frameBuf)) *connWriter {
 	if queue <= 0 {
 		queue = 256
 	}
@@ -67,6 +78,7 @@ func newConnWriter(conn net.Conn, queue int, counters *transportCounters, onFail
 		done:     make(chan struct{}),
 		drain:    make(chan struct{}),
 		counters: counters,
+		wrap:     wrap,
 		onFail:   onFail,
 	}
 	cw.wg.Add(1)
@@ -149,11 +161,16 @@ const maxCoalescedBytes = 64 << 10
 func (cw *connWriter) loop() {
 	defer cw.wg.Done()
 	buf := make([]byte, 0, maxCoalescedBytes)
+	var wrapBuf []byte
+	if cw.wrap {
+		// Room for the coalesced records plus the batch head and prefix.
+		wrapBuf = make([]byte, 0, maxCoalescedBytes+16)
+	}
 	batch := make([]*frameBuf, 0, 64)
 	for {
 		select {
 		case fb := <-cw.q:
-			if !cw.writeBatch(&buf, &batch, fb) {
+			if !cw.writeBatch(&buf, &wrapBuf, &batch, fb) {
 				return
 			}
 		case <-cw.drain:
@@ -161,7 +178,7 @@ func (cw *connWriter) loop() {
 			for {
 				select {
 				case fb := <-cw.q:
-					if !cw.writeBatch(&buf, &batch, fb) {
+					if !cw.writeBatch(&buf, &wrapBuf, &batch, fb) {
 						return
 					}
 				default:
@@ -177,10 +194,11 @@ func (cw *connWriter) loop() {
 
 // writeBatch coalesces fb plus everything else waiting in the queue into
 // one socket write. It reports false after a write error (the writer is
-// dead and the loop must exit).
+// dead and the loop must exit). With wrap set, a multi-record batch goes
+// out as one batch record — the peer pays one record dispatch per flush.
 //
 //ufc:hotpath
-func (cw *connWriter) writeBatch(buf *[]byte, batch *[]*frameBuf, fb *frameBuf) bool {
+func (cw *connWriter) writeBatch(buf, wrapBuf *[]byte, batch *[]*frameBuf, fb *frameBuf) bool {
 	b, recs := (*buf)[:0], (*batch)[:0]
 	b = append(b, fb.b...)
 	recs = append(recs, fb)
@@ -195,6 +213,33 @@ func (cw *connWriter) writeBatch(buf *[]byte, batch *[]*frameBuf, fb *frameBuf) 
 		break
 	}
 	*buf, *batch = b, recs
+	if cw.wrap && len(recs) > 1 {
+		w := appendBatchFrame((*wrapBuf)[:0], b)
+		*wrapBuf = w
+		// Queue momentarily idle (or the batch is full): one syscall, one
+		// wire record for the whole batch.
+		n, err := cw.conn.Write(w)
+		if err != nil {
+			// A partially written batch record breaks the stream mid-frame;
+			// nothing after the cut is recoverable, so records are handed
+			// back only when none of the batch reached the socket.
+			cw.fail(err)
+			if n > 0 {
+				for _, fb := range recs {
+					putFrame(fb)
+				}
+				recs = recs[:0]
+			}
+			cw.failUnsent(recs)
+			return false
+		}
+		cw.counters.noteSend(len(w))
+		cw.counters.noteFlush(len(recs))
+		for _, fb := range recs {
+			putFrame(fb)
+		}
+		return true
+	}
 	// Queue momentarily idle (or the batch is full): one syscall for the
 	// whole batch.
 	n, err := cw.conn.Write(b)
@@ -227,6 +272,12 @@ func (cw *connWriter) failBatch(batch []*frameBuf, written int, err error) {
 		}
 		off += len(fb.b)
 	}
+	cw.failUnsent(unsent)
+}
+
+// failUnsent hands unsent plus everything still queued to onFail (or back
+// to the pool) after the writer has already failed.
+func (cw *connWriter) failUnsent(unsent []*frameBuf) {
 	for {
 		select {
 		case fb := <-cw.q:

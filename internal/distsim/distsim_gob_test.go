@@ -1,0 +1,64 @@
+//go:build gobbaseline
+
+package distsim_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distsim"
+)
+
+// TestDistributedOverGobTCP keeps the retained gob baseline transport
+// correct: it must still produce bit-identical results, since the
+// benchmarks use it as the reference the binary wire layer is measured
+// against.
+func TestDistributedOverGobTCP(t *testing.T) {
+	inst := testInstance(t, 4)
+	_, seqBD, _, err := core.Solve(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := distsim.NewGobTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	node, err := distsim.NewGobTCPNode(hub.Addr(), distsim.AllAgentIDs(m, n), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = node.Close() }()
+	res, err := distsim.Run(context.Background(), inst, distsim.RunOptions{Timeout: time.Minute}, node)
+	if err != nil {
+		t.Fatalf("gob TCP run: %v", err)
+	}
+	if res.Breakdown.UFC != seqBD.UFC {
+		t.Errorf("UFC over gob TCP: %v vs %v", res.Breakdown.UFC, seqBD.UFC)
+	}
+}
+
+// TestGobSendAfterClose is TestSendAfterClose's gob leg, compiled with
+// the baseline transport.
+func TestGobSendAfterClose(t *testing.T) {
+	msg := distsim.Message{Kind: distsim.KindReport, Iter: 1, From: "fe-0", Payload: []float64{1}}
+	hub, err := distsim.NewGobTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+	node, err := distsim.NewGobTCPNode(hub.Addr(), []string{"fe-0", "coord"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Send("coord", msg); !errors.Is(err, distsim.ErrClosed) {
+		t.Errorf("gob send after close: %v", err)
+	}
+}

@@ -92,6 +92,9 @@ func RunAgents(ctx context.Context, inst *core.Instance, opts RunOptions, transp
 	var pol Resilience
 	resilient := opts.Resilience != nil
 	if resilient {
+		if engine.Sparse() {
+			return nil, fmt.Errorf("distsim: the resilient protocol does not support SparsityCutoff yet: %w", core.ErrBadOptions)
+		}
 		pol = opts.Resilience.withDefaults()
 	}
 	m, n := inst.Cloud.M(), inst.Cloud.N()
@@ -317,8 +320,12 @@ func (mb *mailbox) recv(kind Kind, iter int) (Message, error) {
 // runFrontEnd is the front-end proxy agent i: it performs the
 // λ-minimization, exchanges (λ̃, φ) with the datacenters, applies the dual
 // update and Gaussian back-substitution for its row of a and φ, and
-// reports its residual contribution.
+// reports its residual contribution. On a sparse engine the compact
+// variant runs instead and exchanges messages only across feasible pairs.
 func runFrontEnd(ctx context.Context, e *core.Engine, t Transport, tab *idTable, i int, timeout time.Duration) error {
+	if e.Sparse() {
+		return runFrontEndSparse(ctx, e, t, tab, i, timeout)
+	}
 	inst := e.Instance()
 	n := inst.Cloud.N()
 	self := tab.fe[i]
@@ -399,8 +406,12 @@ func runFrontEnd(ctx context.Context, e *core.Engine, t Transport, tab *idTable,
 // runDatacenter is the datacenter agent j: it performs the μ-, ν- and
 // a-minimizations, sends ã back to the front-ends, applies the dual update
 // and Gaussian back substitution for its column, and reports its residual
-// contribution.
+// contribution. On a sparse engine the compact variant runs instead and
+// exchanges messages only across feasible pairs.
 func runDatacenter(ctx context.Context, e *core.Engine, t Transport, tab *idTable, j int, timeout time.Duration) error {
+	if e.Sparse() {
+		return runDatacenterSparse(ctx, e, t, tab, j, timeout)
+	}
 	inst := e.Instance()
 	m := inst.Cloud.M()
 	self := tab.dc[j]

@@ -1,0 +1,232 @@
+package distsim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Sparse protocol agents: the masked counterparts of runFrontEnd and
+// runDatacenter, used whenever the engine carries a routing-feasibility
+// mask (Options.SparsityCutoff > 0). Each agent keeps its per-iteration
+// state in compact vectors indexed by its mask slice and exchanges
+// messages only across feasible (front-end, datacenter) pairs, so wire
+// traffic per iteration scales with the mask size instead of M·N — on a
+// hub tree with latency-local regions, the cross-pair traffic this
+// removes is exactly the traffic that would otherwise transit the root.
+//
+// The float expressions and their evaluation order are copied verbatim
+// from the dense agents, and the compact vectors enumerate the same
+// ascending mask indices as the engine's masked loops, so a distributed
+// sparse solve is bit-identical to the in-process masked solve (which is
+// itself bit-identical to the dense solve restricted to the mask).
+
+// runFrontEndSparse is front-end agent i over compact vectors indexed by
+// FeasibleCols(i).
+func runFrontEndSparse(ctx context.Context, e *core.Engine, tr Transport, tab *idTable, i int, timeout time.Duration) error {
+	inst := e.Instance()
+	n := inst.Cloud.N()
+	self := tab.fe[i]
+	mb, err := newMailbox(ctx, tr, self, timeout)
+	if err != nil {
+		return err
+	}
+	cols := e.FeasibleCols(i)
+	k := len(cols)
+	pos := make(map[int]int, k) // datacenter index j -> compact slot
+	for t, j := range cols {
+		pos[int(j)] = t
+	}
+	rho, eps := e.Rho(), e.EffectiveEpsilon()
+	loadScale, dualScale := e.LoadScale(), e.DualScale()
+
+	aC := make([]float64, k)
+	varphiC := make([]float64, k)
+	lambdaC := make([]float64, k)
+	lambdaTildeC := make([]float64, k)
+	aTildeC := make([]float64, k)
+	ws := e.NewStepWorkspace()
+
+	for iter := 1; ; iter++ {
+		if err := e.LambdaStepCompactInto(ws, i, aC, varphiC, lambdaTildeC); err != nil {
+			return fmt.Errorf("front-end %d iter %d: %w", i, iter, err)
+		}
+		for t, j := range cols {
+			if err := tr.Send(tab.dc[j], Message{
+				Kind: KindRouting, Iter: iter, From: self,
+				Payload: []float64{lambdaTildeC[t], varphiC[t]},
+			}); err != nil {
+				return fmt.Errorf("front-end %d iter %d send: %w", i, iter, err)
+			}
+		}
+
+		for recvd := 0; recvd < k; recvd++ {
+			msg, err := mb.recv(KindAux, iter)
+			if err != nil {
+				return fmt.Errorf("front-end %d iter %d: %w", i, iter, err)
+			}
+			var j int
+			if !parseID(msg.From, "dc-", &j) || len(msg.Payload) != 1 {
+				return fmt.Errorf("front-end %d iter %d: bad aux message from %q", i, iter, msg.From)
+			}
+			t, ok := pos[j]
+			if !ok {
+				return fmt.Errorf("front-end %d iter %d: aux from infeasible datacenter %d", i, iter, j)
+			}
+			aTildeC[t] = msg.Payload[0]
+		}
+
+		// Dual prediction and Gaussian back substitution for this row —
+		// identical arithmetic to the dense agent, restricted to the mask.
+		var residual float64
+		for t := 0; t < k; t++ {
+			varphiTilde := varphiC[t] - rho*(aTildeC[t]-lambdaTildeC[t])
+			newVarphi := varphiC[t] + eps*(varphiTilde-varphiC[t])
+			if d := math.Abs(newVarphi-varphiC[t]) / dualScale; d > residual {
+				residual = d
+			}
+			varphiC[t] = newVarphi
+			aC[t] += eps * (aTildeC[t] - aC[t])
+			if d := math.Abs(aC[t]-lambdaTildeC[t]) / loadScale; d > residual {
+				residual = d
+			}
+			lambdaC[t] = lambdaTildeC[t]
+		}
+
+		if err := tr.Send(tab.coord, Message{
+			Kind: KindReport, Iter: iter, From: self, Payload: []float64{residual},
+		}); err != nil {
+			return fmt.Errorf("front-end %d iter %d report: %w", i, iter, err)
+		}
+		ctl, err := mb.recv(KindControl, iter)
+		if err != nil {
+			return fmt.Errorf("front-end %d iter %d control: %w", i, iter, err)
+		}
+		if ctl.Stop {
+			// The final routing scatters back to full length: off-mask
+			// entries are identically zero for the whole solve.
+			final := make([]float64, n+1)
+			final[0] = float64(i)
+			for t, j := range cols {
+				final[1+int(j)] = lambdaC[t]
+			}
+			return tr.Send(tab.coord, Message{
+				Kind: KindFinal, Iter: iter, From: self, Payload: final,
+			})
+		}
+	}
+}
+
+// runDatacenterSparse is datacenter agent j over compact vectors indexed
+// by FeasibleRows(j). A datacenter outside every front-end's cutoff
+// (k == 0) still runs: it computes its μ/ν/φ updates over an empty load
+// column — matching the engine's masked iterate exactly — and keeps
+// reporting to the coordinator.
+func runDatacenterSparse(ctx context.Context, e *core.Engine, tr Transport, tab *idTable, j int, timeout time.Duration) error {
+	self := tab.dc[j]
+	mb, err := newMailbox(ctx, tr, self, timeout)
+	if err != nil {
+		return err
+	}
+	rows := e.FeasibleRows(j)
+	k := len(rows)
+	pos := make(map[int]int, k) // front-end index i -> compact slot
+	for t, i := range rows {
+		pos[int(i)] = t
+	}
+	rho, eps := e.Rho(), e.EffectiveEpsilon()
+	dualScale := e.DualScale()
+	disableCorrection := e.Options().DisableCorrection
+
+	aC := make([]float64, k)
+	lambdaTildeC := make([]float64, k)
+	varphiC := make([]float64, k)
+	aTildeC := make([]float64, k)
+	ws := e.NewStepWorkspace()
+	var mu, nu, phi float64
+
+	for iter := 1; ; iter++ {
+		for recvd := 0; recvd < k; recvd++ {
+			msg, err := mb.recv(KindRouting, iter)
+			if err != nil {
+				return fmt.Errorf("datacenter %d iter %d: %w", j, iter, err)
+			}
+			var i int
+			if !parseID(msg.From, "fe-", &i) || len(msg.Payload) != 2 {
+				return fmt.Errorf("datacenter %d iter %d: bad routing message from %q", j, iter, msg.From)
+			}
+			t, ok := pos[i]
+			if !ok {
+				return fmt.Errorf("datacenter %d iter %d: routing from infeasible front-end %d", j, iter, i)
+			}
+			lambdaTildeC[t] = msg.Payload[0]
+			varphiC[t] = msg.Payload[1]
+		}
+
+		var sumA float64
+		for t := 0; t < k; t++ {
+			sumA += aC[t]
+		}
+		muTilde := e.MuStep(j, sumA, nu, phi)
+		nuTilde := e.NuStep(j, sumA, muTilde, phi)
+		if k > 0 {
+			if err := e.AStepCompactInto(ws, j, lambdaTildeC, varphiC, muTilde, nuTilde, phi, aTildeC); err != nil {
+				return fmt.Errorf("datacenter %d iter %d: %w", j, iter, err)
+			}
+		}
+		var sumATilde float64
+		for t := 0; t < k; t++ {
+			sumATilde += aTildeC[t]
+		}
+		phiTilde := phi - rho*e.PowerBalance(j, sumATilde, muTilde, nuTilde)
+
+		for t, i := range rows {
+			if err := tr.Send(tab.fe[i], Message{
+				Kind: KindAux, Iter: iter, From: self,
+				Payload: []float64{aTildeC[t]},
+			}); err != nil {
+				return fmt.Errorf("datacenter %d iter %d send: %w", j, iter, err)
+			}
+		}
+
+		// Gaussian back substitution for this column (same accumulation
+		// order as the engine's masked correction).
+		newPhi := phi + eps*(phiTilde-phi)
+		residual := math.Abs(newPhi-phi) / dualScale
+		phi = newPhi
+		var aDelta float64
+		for t := 0; t < k; t++ {
+			old := aC[t]
+			next := old + eps*(aTildeC[t]-old)
+			aDelta += next - old
+			aC[t] = next
+		}
+		nuOld := nu
+		if disableCorrection {
+			nu = nuTilde
+			mu = muTilde
+		} else {
+			nu = nuOld + eps*(nuTilde-nuOld) + aDelta
+			mu = mu + eps*(muTilde-mu) - (nu - nuOld) + aDelta
+		}
+
+		if err := tr.Send(tab.coord, Message{
+			Kind: KindReport, Iter: iter, From: self, Payload: []float64{residual},
+		}); err != nil {
+			return fmt.Errorf("datacenter %d iter %d report: %w", j, iter, err)
+		}
+		ctl, err := mb.recv(KindControl, iter)
+		if err != nil {
+			return fmt.Errorf("datacenter %d iter %d control: %w", j, iter, err)
+		}
+		if ctl.Stop {
+			return tr.Send(tab.coord, Message{
+				Kind: KindFinal, Iter: iter, From: self,
+				Payload: []float64{float64(j), mu, nu, phi},
+			})
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math/bits"
 	"net"
 	"strconv"
 	"sync"
@@ -13,10 +14,11 @@ import (
 	"repro/internal/telemetry"
 )
 
-// routeShardCount shards the hub's routing table so registration and
-// failure handling on one shard never contend with forwarding on another.
-// Power of two: the shard of index i is i & (routeShardCount-1).
-const routeShardCount = 16
+// defaultRouteShards is the default routing-table shard count
+// (HubOptions.RouteShards overrides it): sharding keeps registration and
+// failure handling on one shard from contending with forwarding on
+// another. Power of two: the shard of index i is i & (shards-1).
+const defaultRouteShards = 16
 
 // routeShard holds the routing slots whose agent index ≡ shard id
 // (mod routeShardCount). Slot k of a shard serves agent index
@@ -49,11 +51,22 @@ type shardStats struct {
 // for unregistered ids are queued and flushed on registration, and
 // records stranded on a broken connection are requeued for the next node
 // that registers the destination.
+//
+// Hubs compose into a tree: a hub started with HubOptions.Parent is a
+// regional sub-hub that forwards records it cannot route locally up the
+// parent link and propagates its registrations upward, so the parent
+// routes those ids back down. Hub↔hub links wrap their write batches in
+// single batch records each way (see frameKindBatch), so a sub-hub
+// serving a whole region costs its parent O(1) records per flush instead
+// of one per message.
 type TCPHub struct {
-	ln       net.Listener
-	opts     HubOptions
-	counters transportCounters
-	shards   [routeShardCount]routeShard
+	ln         net.Listener
+	opts       HubOptions
+	counters   transportCounters
+	shards     []routeShard
+	shardMask  uint32
+	shardShift uint
+	parent     *parentLink // nil on a root hub
 
 	mu     sync.Mutex
 	conns  map[net.Conn]*hubConn // value nil until the hello arrives
@@ -61,16 +74,35 @@ type TCPHub struct {
 	wg     sync.WaitGroup
 }
 
-// HubOptions configures a TCPHub's liveness behaviour.
+// HubOptions configures a TCPHub's liveness behaviour and its place in a
+// hub tree.
 type HubOptions struct {
 	// IdleTimeout drops a node connection that produces no records (not
 	// even heartbeat pings) for this long. Zero disables the check —
 	// connections then linger until the peer closes or the hub shuts down.
 	IdleTimeout time.Duration
+	// RouteShards is the number of routing-table shards (power of two;
+	// default 16). Raise it on hubs serving many concurrent connections to
+	// cut registration/forwarding contention.
+	RouteShards int
+	// Parent, when non-empty, is the address of the parent hub: this hub
+	// becomes a regional sub-hub. Records whose destination is not
+	// registered locally travel up the parent link (batched); local
+	// registrations propagate upward so the parent routes the ids down.
+	Parent string
+	// Region tags the sub-hub in its parent handshake (informational).
+	Region int
 }
 
-// hubConn is one node connection: its coalescing writer plus the routes
-// it registered (so a failure can drop exactly those).
+// parentLink is a sub-hub's connection to its parent hub.
+type parentLink struct {
+	conn net.Conn
+	cw   *connWriter
+}
+
+// hubConn is one connection served by the hub — a node or a child hub:
+// its coalescing writer plus the routes it registered (so a failure can
+// drop exactly those).
 type hubConn struct {
 	cw    *connWriter
 	idxs  []uint32
@@ -82,16 +114,106 @@ func NewTCPHub(addr string) (*TCPHub, error) {
 	return NewTCPHubOpts(addr, HubOptions{})
 }
 
-// NewTCPHubOpts is NewTCPHub with explicit liveness options.
+// NewTCPHubOpts is NewTCPHub with explicit options.
 func NewTCPHubOpts(addr string, opts HubOptions) (*TCPHub, error) {
+	if opts.RouteShards == 0 {
+		opts.RouteShards = defaultRouteShards
+	}
+	if opts.RouteShards < 1 || opts.RouteShards&(opts.RouteShards-1) != 0 {
+		return nil, fmt.Errorf("distsim: hub route shards must be a power of two, got %d", opts.RouteShards)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("distsim: hub listen: %w", err)
 	}
 	h := &TCPHub{ln: ln, opts: opts, conns: make(map[net.Conn]*hubConn)}
+	h.initShards(opts.RouteShards)
+	if opts.Parent != "" {
+		if err := h.dialParent(opts.Parent, opts.Region); err != nil {
+			_ = ln.Close() //ufc:discard the parent dial error below is the failure being reported
+			return nil, err
+		}
+	}
 	h.wg.Add(1)
 	go h.acceptLoop()
 	return h, nil
+}
+
+// initShards sizes the routing table; count must be a power of two.
+func (h *TCPHub) initShards(count int) {
+	h.shards = make([]routeShard, count)
+	h.shardMask = uint32(count - 1)
+	h.shardShift = uint(bits.TrailingZeros32(uint32(count)))
+}
+
+// dialParent connects a sub-hub to its parent and starts the downward
+// read loop. The first record up the link is the hub handshake; the
+// writer wraps subsequent batches in batch records.
+func (h *TCPHub) dialParent(addr string, region int) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("distsim: sub-hub dial parent: %w", err)
+	}
+	pl := &parentLink{conn: conn}
+	pl.cw = newConnWriterWrap(conn, 1024, &h.counters, true, nil)
+	fb := getFrame()
+	fb.b = appendHubHello(fb.b, region)
+	if err := pl.cw.enqueue(fb); err != nil {
+		putFrame(fb)
+		pl.cw.close(err)
+		return fmt.Errorf("distsim: sub-hub handshake: %w", err)
+	}
+	h.parent = pl
+	h.wg.Add(1)
+	go h.parentReadLoop()
+	return nil
+}
+
+// parentReadLoop receives downward records from the parent hub —
+// individually or wrapped in batch records — and routes them to local
+// connections. Records the parent sent here that have no local route yet
+// park in the pending queues (never bounce back up).
+func (h *TCPHub) parentReadLoop() {
+	defer h.wg.Done()
+	br := bufio.NewReaderSize(h.parent.conn, 64<<10)
+	var scratch []byte
+	for {
+		body, wire, err := readRecord(br, &scratch)
+		if err != nil {
+			h.parent.cw.fail(err)
+			return
+		}
+		h.counters.noteRecv(wire)
+		if _, pong := parseHeartbeat(body); pong {
+			continue
+		}
+		if peekBatch(body) {
+			rest, err := parseBatch(body)
+			if err != nil {
+				h.parent.cw.fail(err)
+				return
+			}
+			for len(rest) > 0 {
+				var sub []byte
+				sub, rest, err = splitBatchRecord(rest)
+				if err != nil {
+					h.parent.cw.fail(err)
+					return
+				}
+				h.acceptFromParent(sub)
+			}
+			continue
+		}
+		h.acceptFromParent(body)
+	}
+}
+
+// acceptFromParent re-frames one downward record and routes it locally.
+func (h *TCPHub) acceptFromParent(body []byte) {
+	fb := getFrame()
+	fb.b = binary.AppendUvarint(fb.b, uint64(len(body)))
+	fb.b = append(fb.b, body...)
+	h.route(fb, true)
 }
 
 // Addr returns the hub's listen address.
@@ -100,7 +222,7 @@ func (h *TCPHub) Addr() string { return h.ln.Addr().String() }
 // Stats returns a snapshot of the hub's forwarding counters.
 func (h *TCPHub) Stats() TransportStats { return h.counters.snapshot() }
 
-// RegisterMetrics attaches the hub's transport counters and its 16
+// RegisterMetrics attaches the hub's transport counters and its
 // per-shard routing counters to reg, tagging every series with the given
 // labels (per-shard series additionally carry shard="<id>"). Call before
 // serving traffic matters little — registration only publishes the
@@ -136,6 +258,12 @@ func (h *TCPHub) Close() error {
 	}
 	h.mu.Unlock()
 	err := h.ln.Close()
+	if h.parent != nil {
+		// Flush records still queued upward (a remote coordinator may be
+		// waiting on this region's reports), then drop the link so the
+		// parent read loop exits.
+		h.parent.cw.shutdown()
+	}
 	for _, p := range conns {
 		if p.hc != nil {
 			p.hc.cw.fail(ErrClosed)
@@ -177,13 +305,22 @@ func (h *TCPHub) serveConn(conn net.Conn) {
 
 	br := bufio.NewReaderSize(conn, 64<<10)
 	var scratch []byte
-	// Handshake: the first record must be a hello registering routes.
+	// Handshake: the first record must register the peer — a hello with
+	// routes from a node, or a hub hello from a child sub-hub (which
+	// registers incrementally as its own nodes arrive).
 	body, wire, err := readRecord(br, &scratch)
 	if err == nil {
-		var ids []string
-		if ids, err = parseHello(body); err == nil {
-			h.counters.noteRecv(wire)
-			h.serveRegistered(conn, br, &scratch, ids)
+		if peekHubHello(body) {
+			if _, herr := parseHubHello(body); herr == nil {
+				h.counters.noteRecv(wire)
+				h.serveRegistered(conn, br, &scratch, nil, true)
+			}
+		} else {
+			var ids []string
+			if ids, err = parseHello(body); err == nil {
+				h.counters.noteRecv(wire)
+				h.serveRegistered(conn, br, &scratch, ids, false)
+			}
 		}
 	}
 	_ = conn.Close() //ufc:discard read loop already ended with its own error
@@ -192,10 +329,13 @@ func (h *TCPHub) serveConn(conn net.Conn) {
 	h.mu.Unlock()
 }
 
-// serveRegistered runs the post-handshake forwarding loop for one node.
-func (h *TCPHub) serveRegistered(conn net.Conn, br *bufio.Reader, scratch *[]byte, ids []string) {
+// serveRegistered runs the post-handshake forwarding loop for one peer —
+// a node, or (hubPeer) a child sub-hub. Child hubs register routes
+// incrementally with hello records as their own nodes connect, and their
+// downward writer wraps batches in batch records.
+func (h *TCPHub) serveRegistered(conn net.Conn, br *bufio.Reader, scratch *[]byte, ids []string, hubPeer bool) {
 	hc := &hubConn{}
-	hc.cw = newConnWriter(conn, 1024, &h.counters, func(unsent []*frameBuf) {
+	hc.cw = newConnWriterWrap(conn, 1024, &h.counters, hubPeer, func(unsent []*frameBuf) {
 		h.dropConn(hc)
 		for _, fb := range unsent {
 			h.requeueRecord(fb)
@@ -209,7 +349,9 @@ func (h *TCPHub) serveRegistered(conn net.Conn, br *bufio.Reader, scratch *[]byt
 	}
 	h.conns[conn] = hc
 	h.mu.Unlock()
-	h.register(hc, ids)
+	if len(ids) > 0 {
+		h.register(hc, ids)
+	}
 
 	for {
 		if h.opts.IdleTimeout > 0 {
@@ -240,25 +382,58 @@ func (h *TCPHub) serveRegistered(conn net.Conn, br *bufio.Reader, scratch *[]byt
 			h.counters.pingsSent.Inc()
 			continue
 		}
-		fb := getFrame()
-		fb.b = binary.AppendUvarint(fb.b, uint64(len(body)))
-		fb.b = append(fb.b, body...)
-		h.route(fb)
+		if peekBatch(body) {
+			rest, err := parseBatch(body)
+			if err != nil {
+				h.dropConn(hc)
+				hc.cw.fail(err)
+				return
+			}
+			for len(rest) > 0 {
+				var sub []byte
+				sub, rest, err = splitBatchRecord(rest)
+				if err != nil {
+					h.dropConn(hc)
+					hc.cw.fail(err)
+					return
+				}
+				h.acceptRecord(hc, sub)
+			}
+			continue
+		}
+		h.acceptRecord(hc, body)
 	}
 }
 
+// acceptRecord dispatches one inbound record body from hc: incremental
+// hellos (a child hub relaying its nodes' registrations) extend hc's
+// routes; everything else is re-framed and routed.
+func (h *TCPHub) acceptRecord(hc *hubConn, body []byte) {
+	if len(body) > 0 && body[0] == frameKindHello {
+		if ids, err := parseHello(body); err == nil {
+			h.register(hc, ids)
+		}
+		return
+	}
+	fb := getFrame()
+	fb.b = binary.AppendUvarint(fb.b, uint64(len(body)))
+	fb.b = append(fb.b, body...)
+	h.route(fb, false)
+}
+
 func (h *TCPHub) shardOf(idx uint32) (*routeShard, int) {
-	return &h.shards[idx&(routeShardCount-1)], int(idx / routeShardCount)
+	return &h.shards[idx&h.shardMask], int(idx >> h.shardShift)
 }
 
 func (h *TCPHub) namedShard(name []byte) *routeShard {
 	f := fnv.New32a()
 	_, _ = f.Write(name) //ufc:discard fnv's Write is documented to never fail
-	return &h.shards[f.Sum32()&(routeShardCount-1)]
+	return &h.shards[f.Sum32()&h.shardMask]
 }
 
 // register installs hc as the route for ids and drains any pending
-// records queued for them.
+// records queued for them. On a sub-hub the registration also propagates
+// up the parent link, so the parent starts routing those ids down here.
 func (h *TCPHub) register(hc *hubConn, ids []string) {
 	for _, id := range ids {
 		var backlog [][]byte
@@ -289,10 +464,19 @@ func (h *TCPHub) register(hc *hubConn, ids []string) {
 			}
 			sh.mu.Unlock()
 		}
+		// Drained backlog re-routes as if freshly accepted here: should the
+		// route vanish again it parks locally rather than bouncing upward.
 		for _, rec := range backlog {
 			fb := getFrame()
 			fb.b = append(fb.b, rec...)
-			h.route(fb)
+			h.route(fb, true)
+		}
+	}
+	if p := h.parent; p != nil {
+		fb := getFrame()
+		fb.b = appendHello(fb.b, ids)
+		if err := p.cw.enqueue(fb); err != nil {
+			putFrame(fb)
 		}
 	}
 }
@@ -318,12 +502,15 @@ func (h *TCPHub) dropConn(hc *hubConn) {
 	}
 }
 
-// route forwards one record (ownership of fb transfers in). Unroutable
-// records go to the destination's pending queue; a failed enqueue drops
-// the broken connection and requeues the record.
+// route forwards one record (ownership of fb transfers in). On a sub-hub
+// a record without a local route travels up the parent link — unless it
+// arrived from the parent (fromParent), in which case it parks in the
+// destination's pending queue so a tree can never bounce a record in a
+// loop. On a root hub unroutable records always park; a failed enqueue
+// drops the broken connection and requeues the record.
 //
 //ufc:hotpath
-func (h *TCPHub) route(fb *frameBuf) {
+func (h *TCPHub) route(fb *frameBuf, fromParent bool) {
 	_, body := splitRecord(fb.b)
 	hello, named, toIdx, to, err := peekRoute(body)
 	if err != nil || hello {
@@ -347,6 +534,15 @@ func (h *TCPHub) route(fb *frameBuf) {
 		sh.mu.RUnlock()
 	}
 	if target == nil {
+		if p := h.parent; p != nil && !fromParent {
+			sh.stats.msgs.Inc()
+			sh.stats.bytes.Add(uint64(len(fb.b)))
+			if err := p.cw.enqueue(fb); err != nil {
+				h.addPending(named, toIdx, to, fb.b)
+				putFrame(fb)
+			}
+			return
+		}
 		h.addPending(named, toIdx, to, fb.b)
 		putFrame(fb)
 		return

@@ -1,3 +1,5 @@
+//go:build gobbaseline
+
 package distsim
 
 import (
@@ -12,9 +14,15 @@ import (
 // This file retains the original gob-encoded TCP transport as a measured
 // baseline for the binary wire codec (see wire.go): every message was a
 // gob envelope written to the socket unbuffered, one syscall per send.
-// BenchmarkTransportThroughputGob and BenchmarkSolveDistributedTCPGob in
-// the repository root pin its msgs/sec and bytes/msg so the speedup of
-// the framed transport stays quantified. Do not use it in new code.
+// It is compiled only under the gobbaseline build tag — the production
+// build carries no gob dependency — and its correctness test plus
+// BenchmarkTransportThroughputGob / BenchmarkSolveDistributedTCPGob in
+// the repository root (same tag) pin its msgs/sec and bytes/msg so the
+// speedup of the framed transport stays quantified:
+//
+//	go test -tags gobbaseline -bench Gob .
+//
+// Do not use it in new code.
 
 // envelope is the gob wire frame between nodes and the hub.
 type envelope struct {

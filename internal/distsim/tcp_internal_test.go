@@ -133,6 +133,7 @@ func TestConnWriterFailureHandsBackUnsent(t *testing.T) {
 // fresh connection registers the destination.
 func TestHubRequeuesOnDeadRoute(t *testing.T) {
 	h := &TCPHub{conns: make(map[net.Conn]*hubConn)}
+	h.initShards(defaultRouteShards)
 
 	// A dead connection registered for dc-0.
 	deadConn := &collectConn{failAt: -1}
@@ -147,7 +148,7 @@ func TestHubRequeuesOnDeadRoute(t *testing.T) {
 	dead.cw.close(net.ErrClosed) // writer gone; route entry still present
 
 	msg := Message{Kind: KindRouting, Iter: 3, From: "fe-0", Payload: []float64{0, 1.5, 2.5}}
-	h.route(frameFor("dc-0", msg))
+	h.route(frameFor("dc-0", msg), false)
 
 	idx, ok := agentIndex("dc-0")
 	if !ok {

@@ -8,7 +8,8 @@
 // transport with injectable delay/reordering and transient loss
 // (redelivery), and a TCP hub speaking a compact binary framing codec
 // with coalesced, buffered writes (see wire.go; the original gob
-// transport is retained in tcp_gob.go as a benchmark baseline).
+// transport is retained in tcp_gob.go as a benchmark baseline behind the
+// gobbaseline build tag).
 package distsim
 
 import (

@@ -61,6 +61,21 @@ const (
 	frameKindPing byte = 0x0e
 	frameKindPong byte = 0x0f
 
+	// frameKindHubHello is a whole-record head byte opening a hub→hub
+	// parent link: a regional sub-hub introduces itself with its region id
+	// and the parent enables record batching on the downward half of the
+	// link. Like the heartbeats it sits above the message-kind range, so it
+	// can never be confused with an addressed message.
+	frameKindHubHello byte = 0x0c
+
+	// frameKindBatch is a whole-record head byte carrying a coalesced
+	// batch: the body is the head byte followed by complete length-prefixed
+	// records, concatenated. Hub↔hub links wrap their write batches in one
+	// batch record each way, so a regional sub-hub delivers a whole
+	// iteration's worth of reports to its parent as one record instead of
+	// O(M); node links never carry it. Batches do not nest.
+	frameKindBatch byte = 0x0d
+
 	frameKindMask       = 0x0f
 	frameFlagStop  byte = 1 << 4
 	frameFlagNamed byte = 1 << 5
@@ -215,6 +230,95 @@ func appendPing(dst []byte) []byte {
 func appendPong(dst []byte) []byte {
 	dst = append(dst, 1, frameKindPong)
 	return dst
+}
+
+// appendHubHello appends the length-prefixed hub handshake record: a
+// child hub's first record on its parent link, carrying the region id.
+func appendHubHello(dst []byte, region int) []byte {
+	body := 1 + uvarintLen(uint64(uint(region)))
+	dst = binary.AppendUvarint(dst, uint64(body))
+	dst = append(dst, frameKindHubHello)
+	dst = binary.AppendUvarint(dst, uint64(uint(region)))
+	return dst
+}
+
+// peekHubHello reports whether a record body is a hub handshake.
+func peekHubHello(b []byte) bool {
+	return len(b) > 0 && b[0] == frameKindHubHello
+}
+
+// parseHubHello parses a hub handshake body into the child's region id.
+func parseHubHello(b []byte) (int, error) {
+	c := byteCursor{b: b}
+	head, err := c.u8()
+	if err != nil {
+		return 0, err
+	}
+	if head != frameKindHubHello {
+		return 0, fmt.Errorf("%w: expected hub hello, got head byte %#02x", ErrFrameInvalid, head)
+	}
+	region, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if region > maxWireAgents {
+		return 0, fmt.Errorf("%w: hub region %d out of range", ErrFrameInvalid, region)
+	}
+	if c.off != len(b) {
+		return 0, fmt.Errorf("%w: %d trailing hub hello bytes", ErrFrameInvalid, len(b)-c.off)
+	}
+	return int(region), nil
+}
+
+// appendBatchFrame appends one length-prefixed batch record whose body
+// wraps inner — a concatenation of complete length-prefixed records — so
+// the peer receives the whole batch as a single wire record.
+//
+//ufc:hotpath
+func appendBatchFrame(dst, inner []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(1+len(inner)))
+	dst = append(dst, frameKindBatch)
+	dst = append(dst, inner...)
+	return dst
+}
+
+// peekBatch reports whether a record body is a batch frame.
+func peekBatch(b []byte) bool {
+	return len(b) > 0 && b[0] == frameKindBatch
+}
+
+// parseBatch validates a batch body and returns the concatenated
+// length-prefixed sub-records it wraps; iterate with splitBatchRecord.
+func parseBatch(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, ErrFrameTruncated
+	}
+	if b[0] != frameKindBatch {
+		return nil, fmt.Errorf("%w: expected batch, got head byte %#02x", ErrFrameInvalid, b[0])
+	}
+	return b[1:], nil
+}
+
+// splitBatchRecord splits the first length-prefixed sub-record off a
+// batch payload, returning its body and the remaining payload. Nested
+// batches are rejected: a batch wraps plain records only.
+func splitBatchRecord(rest []byte) (body, remainder []byte, err error) {
+	ln, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, nil, ErrFrameTruncated
+	}
+	if ln == 0 || ln > maxFrameBytes {
+		return nil, nil, fmt.Errorf("%w: batch sub-record length %d", ErrFrameInvalid, ln)
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) < ln {
+		return nil, nil, ErrFrameTruncated
+	}
+	body, remainder = rest[:ln], rest[ln:]
+	if len(body) > 0 && body[0] == frameKindBatch {
+		return nil, nil, fmt.Errorf("%w: nested batch record", ErrFrameInvalid)
+	}
+	return body, remainder, nil
 }
 
 // parseHeartbeat reports whether a record body is a ping or pong frame.

@@ -296,3 +296,109 @@ func FuzzWireDecode(f *testing.F) {
 		}
 	})
 }
+
+// TestBatchRoundTrip packs several complete records into one batch record
+// and checks their bodies unpack in order and byte-identical.
+func TestBatchRoundTrip(t *testing.T) {
+	var inner []byte
+	var want [][]byte
+	for _, tc := range wireTestMessages()[:8] {
+		rec := appendFrame(nil, tc.to, &tc.m)
+		_, recBody := splitRecord(rec)
+		want = append(want, recBody)
+		inner = append(inner, rec...)
+	}
+	batch := appendBatchFrame(nil, inner)
+
+	// The batch record itself must survive the stream reader.
+	br := bufio.NewReader(bytes.NewReader(batch))
+	var scratch []byte
+	body, wire, err := readRecord(br, &scratch)
+	if err != nil {
+		t.Fatalf("readRecord(batch): %v", err)
+	}
+	if wire != len(batch) {
+		t.Fatalf("wire bytes %d != batch length %d", wire, len(batch))
+	}
+	if !peekBatch(body) {
+		t.Fatal("peekBatch rejected a batch body")
+	}
+	rest, err := parseBatch(body)
+	if err != nil {
+		t.Fatalf("parseBatch: %v", err)
+	}
+	for k := 0; len(rest) > 0; k++ {
+		sub, rem, err := splitBatchRecord(rest)
+		if err != nil {
+			t.Fatalf("splitBatchRecord #%d: %v", k, err)
+		}
+		if k >= len(want) || !bytes.Equal(sub, want[k]) {
+			t.Fatalf("batch record #%d does not match the packed record", k)
+		}
+		rest = rem
+	}
+}
+
+// TestBatchRejectsBadFrames drives the batch codec's failure paths:
+// truncation at every cut, nested batches, zero-length sub-records.
+func TestBatchRejectsBadFrames(t *testing.T) {
+	if _, err := parseBatch(nil); !errors.Is(err, ErrFrameTruncated) {
+		t.Errorf("parseBatch(empty): %v", err)
+	}
+	if _, err := parseBatch([]byte{byte(KindAux)}); !errors.Is(err, ErrFrameInvalid) {
+		t.Errorf("parseBatch(non-batch head): %v", err)
+	}
+	rec := appendFrame(nil, "fe-0", &Message{Kind: KindAux, From: "dc-0", Payload: []float64{1, 2}})
+	batch := appendBatchFrame(nil, rec)
+	_, body := splitRecord(batch)
+	rest, err := parseBatch(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(rest); cut++ {
+		if _, _, err := splitBatchRecord(rest[:cut]); err == nil {
+			t.Fatalf("truncated batch payload (%d of %d bytes) split without error", cut, len(rest))
+		}
+	}
+	// A batch nested inside a batch is invalid — the writer never produces
+	// one and a decoder that recursed could be pumped into deep nesting.
+	nested := appendBatchFrame(nil, batch)
+	_, nestedBody := splitRecord(nested)
+	inner, err := parseBatch(nestedBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := splitBatchRecord(inner); !errors.Is(err, ErrFrameInvalid) {
+		t.Errorf("nested batch split: %v, want ErrFrameInvalid", err)
+	}
+	// Zero-length sub-record.
+	if _, _, err := splitBatchRecord([]byte{0}); !errors.Is(err, ErrFrameInvalid) {
+		t.Errorf("zero-length batch sub-record: %v, want ErrFrameInvalid", err)
+	}
+}
+
+// TestHubHelloRoundTrip pins the hub↔hub handshake record.
+func TestHubHelloRoundTrip(t *testing.T) {
+	for _, region := range []int{0, 1, 7, 4095} {
+		rec := appendHubHello(nil, region)
+		_, body := splitRecord(rec)
+		if !peekHubHello(body) {
+			t.Fatalf("peekHubHello(region %d) = false", region)
+		}
+		got, err := parseHubHello(body)
+		if err != nil {
+			t.Fatalf("parseHubHello(region %d): %v", region, err)
+		}
+		if got != region {
+			t.Fatalf("hub hello region: got %d want %d", got, region)
+		}
+		for cut := 0; cut < len(body); cut++ {
+			if _, err := parseHubHello(body[:cut]); err == nil {
+				t.Fatalf("truncated hub hello (%d bytes) parsed without error", cut)
+			}
+		}
+	}
+	if peekHubHello(nil) {
+		t.Error("peekHubHello(nil) = true")
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/carbon"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/utility"
+)
+
+// Topology specifies a synthetic geo-distributed fleet: N datacenters and
+// M front-ends spread over Regions geographic clusters. It is the shape
+// behind ufcsim's -topology N,M,R flag and the scaling benchmarks, where
+// the paper's fixed 4×10 layout is too small.
+type Topology struct {
+	N       int // datacenters
+	M       int // front-ends
+	Regions int // geographic clusters (1 ≤ Regions ≤ N and ≤ M)
+}
+
+// ParseTopology parses the "N,M,R" form of the -topology flag.
+func ParseTopology(s string) (Topology, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return Topology{}, fmt.Errorf("experiments: topology %q: want N,M,R", s)
+	}
+	var vals [3]int
+	for k, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return Topology{}, fmt.Errorf("experiments: topology %q: %w", s, err)
+		}
+		vals[k] = v
+	}
+	t := Topology{N: vals[0], M: vals[1], Regions: vals[2]}
+	return t, t.Validate()
+}
+
+// Validate checks the spec's internal consistency.
+func (t Topology) Validate() error {
+	if t.N < 1 || t.M < 1 {
+		return fmt.Errorf("experiments: topology needs N ≥ 1 and M ≥ 1, got %d×%d", t.N, t.M)
+	}
+	if t.Regions < 1 || t.Regions > t.N || t.Regions > t.M {
+		return fmt.Errorf("experiments: topology %d×%d needs 1 ≤ R ≤ min(N, M), got R=%d", t.N, t.M, t.Regions)
+	}
+	return nil
+}
+
+// String renders the spec in the flag's own N,M,R form.
+func (t Topology) String() string { return fmt.Sprintf("%d,%d,%d", t.N, t.M, t.Regions) }
+
+// SyntheticTopology is a materialized Topology: the cloud, the
+// region assignment of every agent, and a latency cutoff that separates
+// intra-region from cross-region routing.
+type SyntheticTopology struct {
+	Spec  Topology
+	Cloud *model.Cloud
+
+	// DCRegion[j] and FERegion[i] give each agent's region. Assignments
+	// are contiguous: region r owns datacenters [r·N/R, (r+1)·N/R) and the
+	// analogous front-end span, so a regional sub-hub serves a contiguous
+	// id range.
+	DCRegion []int
+	FERegion []int
+
+	// CutoffSec is the smallest latency cutoff that keeps every
+	// intra-region (front-end, datacenter) pair feasible. Region centers
+	// are placed hundreds of kilometres apart while members jitter only
+	// tens of kilometres around their center, so this cutoff excludes
+	// every cross-region pair — Options.SparsityCutoff = CutoffSec turns
+	// the solver's mask into exactly the region structure.
+	CutoffSec float64
+}
+
+// Region-grid geometry (degrees): centers sit on a grid spaced widely
+// enough that the member jitter below can never blur two regions together.
+const (
+	regionOriginLat = 30.0
+	regionOriginLon = -122.0
+	regionSpacing   = 9.0  // between adjacent region centers
+	memberJitterDeg = 0.75 // members scatter ±this around their center
+)
+
+// NewSyntheticTopology builds the fleet deterministically from the seed:
+// region centers on a widely spaced grid, datacenters and front-ends
+// jittered around their region's center, server counts uniform in
+// [17 000, 23 000]·4/N per datacenter (so total capacity is independent
+// of the fleet size and comparable to the paper's).
+func NewSyntheticTopology(spec Topology, seed int64) (*SyntheticTopology, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pm := model.DefaultPowerModel()
+	r := spec.Regions
+
+	cols := int(math.Ceil(math.Sqrt(float64(r))))
+	centers := make([]model.Location, r)
+	for k := range centers {
+		centers[k] = model.Location{
+			Name: fmt.Sprintf("region-%d", k),
+			Lat:  regionOriginLat + float64(k/cols)*regionSpacing,
+			Lon:  regionOriginLon + float64(k%cols)*regionSpacing,
+		}
+	}
+	jitter := func(c model.Location, name string) model.Location {
+		return model.Location{
+			Name: name,
+			Lat:  c.Lat + (2*rng.Float64()-1)*memberJitterDeg,
+			Lon:  c.Lon + (2*rng.Float64()-1)*memberJitterDeg,
+		}
+	}
+
+	st := &SyntheticTopology{
+		Spec:     spec,
+		DCRegion: make([]int, spec.N),
+		FERegion: make([]int, spec.M),
+	}
+	dcs := make([]model.Datacenter, spec.N)
+	for j := range dcs {
+		reg := j * r / spec.N
+		st.DCRegion[j] = reg
+		loc := jitter(centers[reg], fmt.Sprintf("dc-%d", j))
+		// Per-DC fleets shrink as 1/N so total capacity stays at the
+		// paper's ~8×10⁴ servers whatever the topology size: scaling
+		// studies then measure solver cost, not a bigger workload.
+		servers := (17000 + 6000*rng.Float64()) * 4 / float64(spec.N)
+		dcs[j] = model.Datacenter{Location: loc, Servers: servers, Power: pm}.FullFuelCell()
+	}
+	fes := make([]model.FrontEnd, spec.M)
+	for i := range fes {
+		reg := i * r / spec.M
+		st.FERegion[i] = reg
+		fes[i] = model.FrontEnd{Location: jitter(centers[reg], fmt.Sprintf("fe-%d", i))}
+	}
+	cloud, err := model.NewCloud(dcs, fes)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: synthetic topology: %w", err)
+	}
+	st.Cloud = cloud
+
+	// The cutoff: tight upper envelope of the intra-region latencies.
+	var maxIntra float64
+	for i := 0; i < spec.M; i++ {
+		for j := 0; j < spec.N; j++ {
+			if st.FERegion[i] == st.DCRegion[j] && cloud.LatencySec(i, j) > maxIntra {
+				maxIntra = cloud.LatencySec(i, j)
+			}
+		}
+	}
+	st.CutoffSec = maxIntra * (1 + 1e-9)
+	return st, nil
+}
+
+// Instance assembles a solvable instance on the synthetic cloud with
+// deterministic per-seed arrivals, prices and carbon rates. Total arrivals
+// land around 55% of fleet capacity — loaded enough that routing choices
+// matter, slack enough that every strategy is feasible. Distinct seeds
+// model distinct hourly slots (smoothly unrelated draws), so warm-start
+// chains can Reset between Instance(seed) and Instance(seed+1).
+func (st *SyntheticTopology) Instance(seed int64) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	m, n := st.Cloud.M(), st.Cloud.N()
+	perFE := 0.55 * st.Cloud.TotalServers() / float64(m)
+	arr := make([]float64, m)
+	for i := range arr {
+		arr[i] = perFE * (0.6 + 0.8*rng.Float64())
+	}
+	prices := make([]float64, n)
+	rates := make([]float64, n)
+	costs := make([]carbon.CostFunc, n)
+	for j := 0; j < n; j++ {
+		prices[j] = 30 + 60*rng.Float64()
+		rates[j] = 0.2 + 0.6*rng.Float64()
+		costs[j] = carbon.LinearTax{Rate: 25}
+	}
+	return &core.Instance{
+		Cloud:            st.Cloud,
+		Arrivals:         arr,
+		PriceUSD:         prices,
+		FuelCellPriceUSD: 80,
+		CarbonRate:       rates,
+		EmissionCost:     costs,
+		Utility:          utility.Quadratic{},
+		WeightW:          10,
+	}
+}
