@@ -55,6 +55,7 @@ type PointResult struct {
 	Topology      string  `json:"topology"` // "N,M,R"
 	Sparse        bool    `json:"sparse"`
 	FeasiblePairs int     `json:"feasiblePairs"`
+	Tolerance     float64 `json:"tolerance"` // load-scaled (core.OneServerTolerance)
 	Iterations    int     `json:"iterations"`
 	Converged     bool    `json:"converged"`
 	FinalResidual float64 `json:"finalResidual"`
@@ -112,6 +113,10 @@ func run(args []string) error {
 		file.Points = append(file.Points, *pt)
 		fmt.Fprintf(os.Stderr, "  %d pairs, %d iters (converged=%v), %.2fms/iter, %.0f allocs/iter\n",
 			pt.FeasiblePairs, pt.Iterations, pt.Converged, float64(pt.NsPerIter)/1e6, pt.AllocsPerIter)
+		if !pt.Converged {
+			fmt.Fprintf(os.Stderr, "  WARNING: point %s did not converge within its %d-iteration budget (residual %.3g) — the file will fail validation\n",
+				topo, pt.Iterations, pt.FinalResidual)
+		}
 	}
 	if *hubTree {
 		fmt.Fprintln(os.Stderr, "hub tree 20,200,4...")
@@ -140,15 +145,18 @@ func run(args []string) error {
 }
 
 // budgets picks the solve iteration budget and the microbench rep count
-// by problem size, so the big points stay tractable.
+// by problem size. The budget is generous relative to the observed
+// iteration counts at the load-scaled tolerance (see
+// core.OneServerTolerance) — every sweep point is expected to converge;
+// a point that does not is reported loudly and fails validation.
 func budgets(pairs int) (solveIters, reps int) {
 	switch {
 	case pairs <= 10_000:
 		return 3000, 50
 	case pairs <= 100_000:
-		return 300, 20
+		return 4000, 20
 	default:
-		return 100, 5
+		return 6000, 5
 	}
 }
 
@@ -166,7 +174,12 @@ func measurePoint(spec experiments.Topology, workers int) (*PointResult, error) 
 		approxPairs /= spec.Regions
 	}
 	solveIters, reps := budgets(approxPairs)
-	opts := core.Options{Workers: workers, MaxIterations: solveIters}
+	// The sweep holds total demand roughly constant, so per-front-end
+	// arrivals shrink as M grows and the default relative tolerance would
+	// demand ever more absolute precision. Solve each point at its
+	// one-misrouted-server tolerance instead — the same precision the
+	// paper's scenario gets from the default.
+	opts := core.Options{Workers: workers, MaxIterations: solveIters, Tolerance: core.OneServerTolerance(inst)}
 	if sparse {
 		opts.SparsityCutoff = st.CutoffSec
 	}
@@ -211,6 +224,7 @@ func measurePoint(spec experiments.Topology, workers int) (*PointResult, error) 
 		Topology:      spec.String(),
 		Sparse:        sparse,
 		FeasiblePairs: pairs,
+		Tolerance:     opts.Tolerance,
 		Iterations:    stats.Iterations,
 		Converged:     stats.Converged,
 		FinalResidual: stats.FinalResidual,
@@ -350,8 +364,14 @@ func validateFile(path string) error {
 		if pt.FeasiblePairs <= 0 || pt.Iterations <= 0 || pt.NsPerIter <= 0 || pt.SolveNs <= 0 {
 			return fmt.Errorf("%s: point %s: non-positive measurement", path, pt.Topology)
 		}
+		if pt.Tolerance <= 0 || pt.Tolerance >= 1 {
+			return fmt.Errorf("%s: point %s: tolerance %g outside (0, 1)", path, pt.Topology, pt.Tolerance)
+		}
 		if pt.AllocsPerIter >= 1 {
 			return fmt.Errorf("%s: point %s: %v allocs/iter, want 0 (zero-alloc gate)", path, pt.Topology, pt.AllocsPerIter)
+		}
+		if !pt.Converged {
+			return fmt.Errorf("%s: point %s: not converged (residual %g; raise the budget or loosen the tolerance)", path, pt.Topology, pt.FinalResidual)
 		}
 	}
 	if ht := file.HubTree; ht != nil {

@@ -16,6 +16,17 @@
 //	ufchub -listen :7070                                          # root
 //	ufchub -listen :7071 -parent 127.0.0.1:7070 -region 0         # region 0
 //	ufchub -listen :7072 -parent 127.0.0.1:7070 -region 1         # region 1
+//
+// With -serve the hub additionally becomes an online control plane: a
+// background pipeline re-solves the -topology instance every
+// -slot-interval on a rolling horizon (warm-started from the previous
+// slot's iterate) and publishes each slot's routing table as an immutable
+// snapshot. Lookup records arriving on any connection are answered from
+// the current snapshot — one atomic load, no locks, no allocation — so
+// decision latency is independent of solve time. Drive it with ufcload:
+//
+//	ufchub -listen :7070 -serve -topology 20,200,4 -slot-interval 500ms -slot-cycle 8
+//	ufcload -addr 127.0.0.1:7070 -conns 4 -rps 20000 -duration 10s
 package main
 
 import (
@@ -23,9 +34,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
+	"time"
 
+	"repro/internal/controlplane"
+	"repro/internal/core"
 	"repro/internal/distsim"
+	"repro/internal/experiments"
 	"repro/internal/telemetry"
 )
 
@@ -44,23 +60,72 @@ func run(args []string) error {
 	parent := fs.String("parent", "", "parent hub address; makes this a regional sub-hub in a hub tree")
 	region := fs.Int("region", 0, "region tag reported to the parent hub (with -parent)")
 	routeShards := fs.Int("route-shards", 0, "routing-table shards, power of two (0 uses the default)")
+	serve := fs.Bool("serve", false, "run an online control plane: rolling-horizon solves of -topology, lookups answered from the live snapshot")
+	topoSpec := fs.String("topology", "", "with -serve: synthetic topology \"N,M,R\" to serve (required)")
+	seed := fs.Int64("seed", 7, "with -serve: synthetic topology base seed")
+	slotInterval := fs.Duration("slot-interval", time.Second, "with -serve: pacing between slot re-solves")
+	slotCycle := fs.Int("slot-cycle", 0, "with -serve: cycle per-slot inputs over this many distinct slots (> 0 exercises the memo cache; 0 = every slot distinct)")
+	cacheSize := fs.Int("cache-size", 64, "with -serve: solve memoization cache entries (0 disables)")
+	maxIters := fs.Int("maxiters", 0, "with -serve: per-slot solver iteration budget (0 = solver default)")
+	solverWorkers := fs.Int("solver-workers", runtime.GOMAXPROCS(0), "with -serve: solver worker goroutines")
+	cold := fs.Bool("cold", false, "with -serve: disable warm starts (every slot solves from zero; the baseline ufcload's bench compares against)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	hub, err := distsim.NewTCPHubOpts(*listen, distsim.HubOptions{
+
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+
+	opts := distsim.HubOptions{
 		IdleTimeout: *idleTimeout,
 		RouteShards: *routeShards,
 		Parent:      *parent,
 		Region:      *region,
-	})
+	}
+
+	var pipe *controlplane.Pipeline
+	if *serve {
+		var err error
+		if pipe, err = newServePipeline(*topoSpec, *seed, *slotCycle, *cacheSize, *maxIters, *solverWorkers, *slotInterval, !*cold, reg); err != nil {
+			return err
+		}
+		opts.Decider = pipe
+	} else {
+		for _, f := range []struct {
+			set  bool
+			name string
+		}{
+			{*topoSpec != "", "-topology"},
+			{*slotCycle != 0, "-slot-cycle"},
+			{*cold, "-cold"},
+		} {
+			if f.set {
+				return fmt.Errorf("%s requires -serve", f.name)
+			}
+		}
+	}
+
+	hub, err := distsim.NewTCPHubOpts(*listen, opts)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = hub.Close() }() //ufc:discard best-effort cleanup on the signal-driven exit path
 	fmt.Println("hub listening on", hub.Addr())
 
-	if *metricsAddr != "" {
-		reg := telemetry.NewRegistry()
+	if pipe != nil {
+		// First solve completes before Run returns: the hub never serves a
+		// "no snapshot" decision to a client that waited for this line.
+		if err := pipe.Run(); err != nil {
+			return fmt.Errorf("control plane: %w", err)
+		}
+		defer func() { _ = pipe.Stop() }() //ufc:discard report below prints the final state
+		r := pipe.Report()
+		fmt.Printf("control plane serving %s (slot 0: %d iterations)\n", *topoSpec, r.ColdIterations)
+	}
+
+	if reg != nil {
 		hub.RegisterMetrics(reg, telemetry.L("component", "hub"))
 		msrv, err := telemetry.StartServer(*metricsAddr, reg)
 		if err != nil {
@@ -76,5 +141,60 @@ func run(args []string) error {
 	st := hub.Stats()
 	fmt.Printf("shutting down: forwarded %d msgs / %d bytes, %d flushes (avg batch %.1f, max %d)\n",
 		st.MessagesSent, st.BytesSent, st.Flushes, st.AvgBatch(), st.MaxBatch)
+	if pipe != nil {
+		r := pipe.Report()
+		fmt.Printf("control plane: %d solves (%d warm avg %.0f iters, %d cold avg %.0f iters), cache %d hits / %d misses, %d decisions\n",
+			r.Solves, r.WarmSolves, r.WarmPerSolve(), r.ColdSolves, r.ColdPerSolve(), r.CacheHits, r.CacheMisses, st.DecisionsAnswered)
+	}
 	return nil
+}
+
+// newServePipeline validates the -serve flag set and builds the rolling
+// horizon pipeline (idle; the caller starts it).
+func newServePipeline(topoSpec string, seed int64, slotCycle, cacheSize, maxIters, workers int, interval time.Duration, warm bool, reg *telemetry.Registry) (*controlplane.Pipeline, error) {
+	if topoSpec == "" {
+		return nil, fmt.Errorf("-serve requires -topology \"N,M,R\"")
+	}
+	spec, err := experiments.ParseTopology(topoSpec)
+	if err != nil {
+		return nil, err
+	}
+	if slotCycle < 0 {
+		return nil, fmt.Errorf("-slot-cycle %d: must be >= 0", slotCycle)
+	}
+	if cacheSize < 0 {
+		return nil, fmt.Errorf("-cache-size %d: must be >= 0", cacheSize)
+	}
+	if maxIters < 0 {
+		return nil, fmt.Errorf("-maxiters %d: must be >= 0", maxIters)
+	}
+	if interval < 0 {
+		return nil, fmt.Errorf("-slot-interval %v: must be >= 0", interval)
+	}
+	st, err := experiments.NewSyntheticTopology(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	solver := core.Options{
+		Workers:       workers,
+		MaxIterations: maxIters,
+		Tolerance:     core.OneServerTolerance(st.Instance(seed)),
+	}
+	if spec.Regions > 1 {
+		solver.SparsityCutoff = st.CutoffSec
+	}
+	return controlplane.New(controlplane.Config{
+		Instance: func(slot int64) *core.Instance {
+			if slotCycle > 0 {
+				slot %= int64(slotCycle)
+			}
+			return st.SlotInstance(seed, slot)
+		},
+		Solver:       solver,
+		WarmStart:    warm,
+		CacheSize:    cacheSize,
+		Quantum:      1e-3,
+		SlotInterval: interval,
+		Metrics:      reg,
+	})
 }

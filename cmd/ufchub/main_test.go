@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunFlagValidation: every invalid flag combination must fail fast —
+// before a listener is bound or a solve starts.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"route shards not power of two", []string{"-route-shards", "3"}, "power of two"},
+		{"route shards negative", []string{"-route-shards", "-2"}, "power of two"},
+		{"topology without serve", []string{"-topology", "4,10,1"}, "-topology requires -serve"},
+		{"slot cycle without serve", []string{"-slot-cycle", "4"}, "-slot-cycle requires -serve"},
+		{"cold without serve", []string{"-cold"}, "-cold requires -serve"},
+		{"serve without topology", []string{"-serve"}, "-serve requires -topology"},
+		{"serve bad topology", []string{"-serve", "-topology", "4,10"}, "want N,M,R"},
+		{"serve zero-agent topology", []string{"-serve", "-topology", "0,10,1"}, "N ≥ 1"},
+		{"serve regions above min", []string{"-serve", "-topology", "4,10,5"}, "1 ≤ R ≤ min(N, M)"},
+		{"negative slot cycle", []string{"-serve", "-topology", "4,10,1", "-slot-cycle", "-1"}, "-slot-cycle"},
+		{"negative cache size", []string{"-serve", "-topology", "4,10,1", "-cache-size", "-1"}, "-cache-size"},
+		{"negative maxiters", []string{"-serve", "-topology", "4,10,1", "-maxiters", "-5"}, "-maxiters"},
+		{"negative slot interval", []string{"-serve", "-topology", "4,10,1", "-slot-interval", "-1s"}, "-slot-interval"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(append([]string{"-listen", "127.0.0.1:0"}, tc.args...))
+			if err == nil {
+				t.Fatalf("%v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestNewServePipelineValid: a well-formed -serve flag set yields an idle
+// pipeline whose first slot solves on demand.
+func TestNewServePipelineValid(t *testing.T) {
+	pipe, err := newServePipeline("3,6,3", 7, 2, 8, 500, 1, 50*time.Millisecond, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.RunSlot(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pipe.Stop() }() //ufc:discard test cleanup
+	if _, _, _, ok := pipe.Decide(0, 0); !ok {
+		t.Fatal("no decision after the first slot solved")
+	}
+	if r := pipe.Report(); r.Solves != 1 {
+		t.Fatalf("%d solves after one RunSlot", r.Solves)
+	}
+}

@@ -86,3 +86,38 @@ func TestWarmRejectsDistributed(t *testing.T) {
 		t.Fatal("-warm -distributed accepted")
 	}
 }
+
+// TestTopologyFlagValidation: every malformed -topology spec and the
+// -sparse dependency must be rejected before any work starts.
+func TestTopologyFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"two fields", []string{"-topology", "4,10"}},
+		{"four fields", []string{"-topology", "4,10,1,9"}},
+		{"non-numeric", []string{"-topology", "4,ten,1"}},
+		{"zero datacenters", []string{"-topology", "0,10,1"}},
+		{"zero front-ends", []string{"-topology", "4,0,1"}},
+		{"zero regions", []string{"-topology", "4,10,0"}},
+		{"regions above N", []string{"-topology", "4,10,5"}},
+		{"regions above M", []string{"-topology", "10,4,5"}},
+		{"negative", []string{"-topology", "-4,10,1"}},
+		{"sparse without topology", []string{"-sparse"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(append([]string{"-hours", "1", "-scale", "0.05"}, tc.args...)); err == nil {
+				t.Errorf("%v accepted", tc.args)
+			}
+		})
+	}
+}
+
+// TestTopologyFlagAccepted: a well-formed spec runs end to end, with and
+// without the sparsity mask.
+func TestTopologyFlagAccepted(t *testing.T) {
+	if err := run([]string{"-hours", "1", "-topology", "2,4,2", "-sparse"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package controlplane
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/core"
+)
+
+// memoCache memoizes solved routing tables by a quantized digest of the
+// slot's inputs: two slots whose prices, arrivals and carbon rates agree
+// to within the quantum produce the same key and share one snapshot, so
+// the second slot publishes without iterating at all. Capacity is bounded
+// by FIFO eviction over an insertion ring — the rolling horizon revisits
+// recent regimes (diurnal cycles), so recency is the right retention
+// policy and an LRU's bookkeeping would buy little.
+//
+// Keys are the exact quantized byte strings, not hashes: a lookup is one
+// map probe with no collision risk, and Go interns the comparison.
+type memoCache struct {
+	cap     int
+	entries map[string]*Snapshot
+	ring    []string // insertion order; head = oldest
+	head    int
+}
+
+func newMemoCache(capacity int) *memoCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &memoCache{
+		cap:     capacity,
+		entries: make(map[string]*Snapshot, capacity),
+		ring:    make([]string, 0, capacity),
+	}
+}
+
+// get returns the snapshot memoized under key, if any. A nil cache always
+// misses.
+func (c *memoCache) get(key string) (*Snapshot, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s, ok := c.entries[key]
+	return s, ok
+}
+
+// put memoizes s under key, evicting the oldest entry at capacity.
+func (c *memoCache) put(key string, s *Snapshot) {
+	if c == nil {
+		return
+	}
+	if _, exists := c.entries[key]; exists {
+		c.entries[key] = s
+		return
+	}
+	if len(c.ring) == c.cap {
+		delete(c.entries, c.ring[c.head])
+		c.ring[c.head] = key
+		c.head = (c.head + 1) % c.cap
+	} else {
+		c.ring = append(c.ring, key)
+	}
+	c.entries[key] = s
+}
+
+// len reports the live entry count.
+func (c *memoCache) len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.entries)
+}
+
+// digestInstance renders the solve-relevant inputs of inst — topology
+// dimensions, arrivals, grid prices, carbon rates, fuel-cell price — as a
+// quantized byte key. Each array is quantized relative to its own largest
+// magnitude: value v becomes round(v/(q·ref)) with ref = max|v| over the
+// array, so a 0.1% quantum means "every input agrees to 0.1% of the
+// array's scale". dst is reused across slots; the returned string is a
+// fresh copy suitable as a map key.
+func digestInstance(dst []byte, inst *core.Instance, quantum float64) ([]byte, string) {
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	dst = dst[:0]
+	dst = binary.AppendUvarint(dst, uint64(m))
+	dst = binary.AppendUvarint(dst, uint64(n))
+	dst = appendQuantized(dst, inst.Arrivals, quantum)
+	dst = appendQuantized(dst, inst.PriceUSD, quantum)
+	dst = appendQuantized(dst, inst.CarbonRate, quantum)
+	dst = appendQuantizedScalar(dst, inst.FuelCellPriceUSD, quantum)
+	dst = appendQuantizedScalar(dst, inst.WeightW, quantum)
+	return dst, string(dst)
+}
+
+// appendQuantized appends round(v/(q·ref)) for every v, ref being the
+// array's largest magnitude, preceded by ref itself quantized to the same
+// relative precision. The per-value entries make the key shape-relative
+// (jitter below the quantum collides, as intended); the leading ref entry
+// keeps it scale-aware — two slots whose arrivals differ by a uniform
+// factor have the same shape but different optima, and must not share a
+// snapshot.
+func appendQuantized(dst []byte, vals []float64, quantum float64) []byte {
+	ref := 0.0
+	for _, v := range vals {
+		if a := math.Abs(v); a > ref {
+			ref = a
+		}
+	}
+	if ref == 0 {
+		ref = 1
+	}
+	dst = appendQuantizedScalar(dst, ref, quantum)
+	step := quantum * ref
+	for _, v := range vals {
+		dst = binary.AppendVarint(dst, int64(math.Round(v/step)))
+	}
+	return dst
+}
+
+// appendQuantizedScalar quantizes one value on a logarithmic grid with
+// ~quantum relative resolution: values within the quantum of each other
+// share a key entry, values a whole scale apart never do. A sign byte
+// keeps 0, +1 and -1 distinct (log alone would conflate them).
+func appendQuantizedScalar(dst []byte, v, quantum float64) []byte {
+	switch {
+	case v == 0:
+		return append(dst, 0)
+	case v > 0:
+		dst = append(dst, 1)
+	default:
+		dst = append(dst, 2)
+		v = -v
+	}
+	return binary.AppendVarint(dst, int64(math.Round(math.Log(v)/math.Log1p(quantum))))
+}

@@ -1,0 +1,103 @@
+package controlplane
+
+import (
+	"fmt"
+	"time"
+)
+
+// The control-plane statistics vector exchanged over the wire (distsim's
+// cpstats record carries opaque float64s; this package owns the layout).
+// Version 1 indices:
+const (
+	statsIdxVersion = iota
+	statsIdxM
+	statsIdxN
+	statsIdxSlot
+	statsIdxSolves
+	statsIdxWarmSolves
+	statsIdxColdSolves
+	statsIdxWarmIters
+	statsIdxColdIters
+	statsIdxUnconverged
+	statsIdxCacheHits
+	statsIdxCacheMisses
+	statsIdxSolveNanos
+	statsIdxAgeNanos
+	statsLen
+)
+
+const statsVersion = 1
+
+// Stats is the decoded statistics vector: the pipeline's Report plus the
+// serving topology shape (which a remote load generator needs to know
+// before it can address front-ends).
+type Stats struct {
+	M, N int
+	Report
+}
+
+// Decide serves one routing decision from the current snapshot. Together
+// with StatsPayload it makes *Pipeline implement distsim's Decider
+// interface, so a hub can be handed the pipeline directly.
+//
+//ufc:hotpath
+func (p *Pipeline) Decide(fe uint32, u uint64) (dc uint32, slot uint64, ageNanos int64, ok bool) {
+	return p.router.Decide(fe, u)
+}
+
+// StatsPayload appends the version-1 statistics vector to dst. All values
+// are exact: every counter stays far below 2^53.
+func (p *Pipeline) StatsPayload(dst []float64) []float64 {
+	r := p.Report()
+	var m, n int
+	if s := p.router.Current(); s != nil {
+		m, n = s.M, s.N
+	} else {
+		m, n = len(p.state.Lambda), len(p.state.Mu)
+	}
+	return append(dst,
+		statsVersion,
+		float64(m),
+		float64(n),
+		float64(r.Slot),
+		float64(r.Solves),
+		float64(r.WarmSolves),
+		float64(r.ColdSolves),
+		float64(r.WarmIterations),
+		float64(r.ColdIterations),
+		float64(r.Unconverged),
+		float64(r.CacheHits),
+		float64(r.CacheMisses),
+		float64(r.SolveNanos),
+		float64(r.AgeNanos),
+	)
+}
+
+// ParseStatsPayload decodes a statistics vector produced by StatsPayload.
+func ParseStatsPayload(vals []float64) (Stats, error) {
+	var s Stats
+	if len(vals) < statsLen {
+		return s, fmt.Errorf("controlplane: stats payload has %d values, want at least %d", len(vals), statsLen)
+	}
+	if v := vals[statsIdxVersion]; v != statsVersion {
+		return s, fmt.Errorf("controlplane: stats payload version %g, want %d", v, statsVersion)
+	}
+	s.M = int(vals[statsIdxM])
+	s.N = int(vals[statsIdxN])
+	s.Slot = int64(vals[statsIdxSlot])
+	s.Solves = uint64(vals[statsIdxSolves])
+	s.WarmSolves = uint64(vals[statsIdxWarmSolves])
+	s.ColdSolves = uint64(vals[statsIdxColdSolves])
+	s.WarmIterations = uint64(vals[statsIdxWarmIters])
+	s.ColdIterations = uint64(vals[statsIdxColdIters])
+	s.Unconverged = uint64(vals[statsIdxUnconverged])
+	s.CacheHits = uint64(vals[statsIdxCacheHits])
+	s.CacheMisses = uint64(vals[statsIdxCacheMisses])
+	s.SolveNanos = uint64(vals[statsIdxSolveNanos])
+	s.AgeNanos = int64(vals[statsIdxAgeNanos])
+	return s, nil
+}
+
+// Freshness converts the reported snapshot age to a duration (-1ns if no
+// snapshot is live).
+func (s Stats) Freshness() time.Duration { return time.Duration(s.AgeNanos) }

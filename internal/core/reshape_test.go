@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// The rolling-horizon control plane reuses one engine across topology
+// reshapes: Reset to a differently-shaped instance must leave no trace of
+// the old slab in subsequent solves. These regression tests pin that down
+// by comparing a reshaped engine bit-for-bit against a fresh one.
+
+func reshapeInstance(t *testing.T, n, m, r int, seed int64) (*core.Instance, core.Options) {
+	t.Helper()
+	st, err := experiments.NewSyntheticTopology(experiments.Topology{N: n, M: m, Regions: r}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := st.Instance(seed + 1)
+	opts := core.Options{MaxIterations: 5, Workers: 2}
+	if r > 1 {
+		opts.SparsityCutoff = st.CutoffSec
+	}
+	return inst, opts
+}
+
+// solveBudget runs the engine's 5-iteration budget from the zero state
+// and returns the finalized allocation (ErrNotConverged is the expected
+// outcome of so small a budget).
+func solveBudget(t *testing.T, eng *core.Engine, m, n int) *core.Allocation {
+	t.Helper()
+	alloc, _, _, err := eng.SolveState(core.NewState(m, n))
+	if err != nil && !errors.Is(err, core.ErrNotConverged) {
+		t.Fatal(err)
+	}
+	return alloc
+}
+
+func requireIdentical(t *testing.T, got, want *core.Allocation) {
+	t.Helper()
+	if len(got.Lambda) != len(want.Lambda) {
+		t.Fatalf("lambda rows %d vs %d", len(got.Lambda), len(want.Lambda))
+	}
+	for i := range want.Lambda {
+		for j := range want.Lambda[i] {
+			if math.Float64bits(got.Lambda[i][j]) != math.Float64bits(want.Lambda[i][j]) {
+				t.Fatalf("lambda[%d][%d]: reshaped %g vs fresh %g", i, j, got.Lambda[i][j], want.Lambda[i][j])
+			}
+		}
+	}
+	for j := range want.MuMW {
+		if math.Float64bits(got.MuMW[j]) != math.Float64bits(want.MuMW[j]) ||
+			math.Float64bits(got.NuMW[j]) != math.Float64bits(want.NuMW[j]) {
+			t.Fatalf("power[%d]: reshaped (%g, %g) vs fresh (%g, %g)",
+				j, got.MuMW[j], got.NuMW[j], want.MuMW[j], want.NuMW[j])
+		}
+	}
+}
+
+// testReshape solves shape A (populating every internal slab), resets the
+// same engine to shape B and checks the B solve is bit-identical to a
+// never-reshaped engine's. Both engines run shape A's options — Reset
+// keeps the engine's options, so the fresh reference must too.
+func testReshape(t *testing.T, nA, mA, rA, nB, mB, rB int) {
+	instA, optsA := reshapeInstance(t, nA, mA, rA, 11)
+	instB, _ := reshapeInstance(t, nB, mB, rB, 23)
+
+	eng, err := core.NewEngine(instA, optsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	solveBudget(t, eng, mA, nA) // dirty the slab with shape-A values
+
+	if err := eng.Reset(instB); err != nil {
+		t.Fatal(err)
+	}
+	// A stale shape-A state must be rejected, not silently read.
+	if _, _, _, err := eng.SolveState(core.NewState(mA, nA)); !errors.Is(err, core.ErrBadState) {
+		t.Fatalf("stale-shape state: got %v, want ErrBadState", err)
+	}
+	reshaped := solveBudget(t, eng, mB, nB)
+
+	fresh, err := core.NewEngine(instB, optsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	requireIdentical(t, reshaped, solveBudget(t, fresh, mB, nB))
+}
+
+func TestResetReshapeSmall(t *testing.T) {
+	// 20 DCs × 200 FEs and back down to the paper scale.
+	testReshape(t, 20, 200, 4, 4, 10, 1)
+	testReshape(t, 4, 10, 1, 20, 200, 4)
+}
+
+func TestResetReshapeLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Grow 20×200 → 200×20000 (the 100× scaling point): the old slab is
+	// a tiny corner of the new one; any stale read shows up as a
+	// bit-level mismatch against the fresh engine.
+	testReshape(t, 20, 200, 4, 200, 20000, 16)
+	testReshape(t, 200, 20000, 16, 20, 200, 4)
+}

@@ -83,9 +83,37 @@ func (o Options) withDefaults() Options {
 		o.MaxIterations = 2000
 	}
 	if o.Tolerance == 0 {
-		o.Tolerance = 2.5e-4
+		o.Tolerance = DefaultTolerance
 	}
 	return o
+}
+
+// DefaultTolerance is the relative routing-residual tolerance used when
+// Options.Tolerance is zero. It matches the paper's scenario scale:
+// arrivals per front-end are in the thousands, so 2.5e-4 of the peak is
+// on the order of one misrouted server.
+const DefaultTolerance = 2.5e-4
+
+// OneServerTolerance returns the relative tolerance at which the
+// instance's residual corresponds to roughly one server of misrouted
+// load. Residuals are measured relative to the peak per-front-end
+// arrival rate, so at a fixed fleet capacity the default tolerance
+// demands ~M× more absolute precision as front-ends multiply — far past
+// the point where tighter routing changes any provisioning decision.
+// Large-topology sweeps and the rolling-horizon control plane solve at
+// this tolerance instead; it never loosens below the default.
+func OneServerTolerance(inst *Instance) float64 {
+	var peak float64
+	for _, a := range inst.Arrivals {
+		if a > peak {
+			peak = a
+		}
+	}
+	if peak*DefaultTolerance >= 1 {
+		// One server is already within the default's absolute precision.
+		return DefaultTolerance
+	}
+	return 1 / peak
 }
 
 func (o Options) validate() error {
@@ -120,6 +148,10 @@ type Stats struct {
 	Iterations    int
 	Converged     bool
 	FinalResidual float64 // combined relative primal residual
+	// WarmStarted reports whether the solve was seeded from a nonzero
+	// iterate. Rolling-horizon callers use it to attribute iteration
+	// counts to warm vs cold starts without attaching a probe.
+	WarmStarted bool
 	// ResidualTrace holds the residual after each iteration when
 	// Options.TrackResiduals is set. It is a fresh copy per solve — safe
 	// to retain across warm-started SolveState/SolveFrom calls on the
@@ -158,6 +190,29 @@ func NewState(m, n int) *State {
 	s.Nu, slab = slab[:n:n], slab[n:]
 	s.Phi = slab[:n:n]
 	return s
+}
+
+// Zero resets the iterate to the cold-start state in place, reusing the
+// backing slab. Rolling-horizon callers use it to run cold-baseline
+// solves on the same State they otherwise warm-start.
+func (s *State) Zero() {
+	for i := range s.Lambda {
+		row := s.Lambda[i]
+		for j := range row {
+			row[j] = 0
+		}
+		row = s.A[i]
+		for j := range row {
+			row[j] = 0
+		}
+		row = s.Varphi[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	for j := range s.Mu {
+		s.Mu[j], s.Nu[j], s.Phi[j] = 0, 0, 0
+	}
 }
 
 // Engine carries the per-agent sub-problem solvers of §III-C. Its step
@@ -201,8 +256,14 @@ type Engine struct {
 	// where the augmented-Lagrangian curvature matches the objective's
 	// gradients regardless of the instance's units.
 	rho float64
-	// dualScale is the marginal-cost scale used to normalize dual-change
-	// residuals in the convergence test.
+	// dualScale normalizes dual-change residuals in the convergence test:
+	// the larger of the marginal-cost scale and ρ·loadScale. A dual step
+	// is ρ times a constraint violation, so measuring dual changes against
+	// ρ·loadScale asks the same question as the coupling term — "is the
+	// violation driving the duals below tolerance×loadScale?" — which
+	// keeps the two criteria commensurate when the auto-scaled ρ is large
+	// (small per-front-end arrivals). At the paper's scale ρ·loadScale is
+	// far below the cost scale and the historical behavior is unchanged.
 	dualScale float64
 
 	// Reusable per-iteration buffers (see workspace.go). Iterate and
@@ -348,7 +409,13 @@ func (e *Engine) configure(inst *Instance) error {
 		scale = 1e-15
 	}
 	e.rho = opts.Rho * scale
-	e.dualScale = math.Max(costScale, 1e-12)
+	var peakArrival float64
+	for _, a := range inst.Arrivals {
+		if a > peakArrival {
+			peakArrival = a
+		}
+	}
+	e.dualScale = math.Max(math.Max(costScale, e.rho*peakArrival), 1e-12)
 	return nil
 }
 
@@ -1239,7 +1306,8 @@ func (e *Engine) SolveStateContext(ctx context.Context, s *State) (*Allocation, 
 	opts := e.opts
 	prev := e.scratch.prev
 	probe := opts.Probe
-	warm := probe != nil && !stateIsZero(s)
+	warm := !stateIsZero(s)
+	stats.WarmStarted = warm
 	if opts.TrackResiduals {
 		// The trace accumulates in engine-owned scratch (its capacity
 		// survives warm-started re-solves) and is copied out below, so the
@@ -1282,8 +1350,9 @@ func (e *Engine) SolveStateContext(ctx context.Context, s *State) (*Allocation, 
 }
 
 // stateIsZero reports whether s is the all-zero iterate — the cold-start
-// state. SolveState uses it to classify warm vs. cold starts for the
-// telemetry probe; it is only evaluated when a probe is attached.
+// state. SolveState uses it to classify warm vs. cold starts for
+// Stats.WarmStarted and the telemetry probe; the scan costs one pass over
+// the state, far below a single ADM-G iteration.
 func stateIsZero(s *State) bool {
 	for i := range s.Lambda {
 		for j := range s.Lambda[i] {

@@ -186,9 +186,11 @@ func TestTrackResiduals(t *testing.T) {
 	if len(stats.ResidualTrace) != stats.Iterations {
 		t.Fatalf("trace length %d != iterations %d", len(stats.ResidualTrace), stats.Iterations)
 	}
-	// The trace should end at/below tolerance.
-	if last := stats.ResidualTrace[len(stats.ResidualTrace)-1]; last > 1e-4 {
-		t.Errorf("final residual %g", last)
+	// The trace should end at/below the (default) tolerance. Exactly at
+	// the first crossing is fine: the stopping rule makes no overshoot
+	// promise beyond the configured tolerance.
+	if last := stats.ResidualTrace[len(stats.ResidualTrace)-1]; last > core.DefaultTolerance {
+		t.Errorf("final residual %g above tolerance %g", last, core.DefaultTolerance)
 	}
 }
 

@@ -92,6 +92,11 @@ type HubOptions struct {
 	Parent string
 	// Region tags the sub-hub in its parent handshake (informational).
 	Region int
+	// Decider, when non-nil, turns the hub into a serving control plane:
+	// lookup records arriving on node links are answered inline with
+	// decision records, and cpstats requests with the decider's statistics
+	// vector. See the serving-plane record docs in serve.go.
+	Decider Decider
 }
 
 // parentLink is a sub-hub's connection to its parent hub.
@@ -381,6 +386,20 @@ func (h *TCPHub) serveRegistered(conn net.Conn, br *bufio.Reader, scratch *[]byt
 			}
 			h.counters.pingsSent.Inc()
 			continue
+		}
+		if d := h.opts.Decider; d != nil {
+			if peekLookup(body) {
+				if err := h.answerLookup(hc, body, d); err != nil {
+					h.dropConn(hc)
+					hc.cw.fail(err)
+					return
+				}
+				continue
+			}
+			if isStats, isReq := peekCPStats(body); isStats && isReq {
+				h.answerStats(hc, d)
+				continue
+			}
 		}
 		if peekBatch(body) {
 			rest, err := parseBatch(body)

@@ -558,6 +558,8 @@ type TransportStats struct {
 	// both advancing; a stalled one trips the read-deadline liveness check.
 	HeartbeatsSent     uint64
 	HeartbeatsReceived uint64
+	// DecisionsAnswered counts routing lookups answered (serving hubs).
+	DecisionsAnswered uint64
 }
 
 // AvgBatch is the mean number of records coalesced per flush.
@@ -583,6 +585,7 @@ type transportCounters struct {
 	maxBatch  telemetry.Gauge
 	pingsSent telemetry.Counter
 	pingsRecv telemetry.Counter
+	decisions telemetry.Counter
 }
 
 // register attaches the counters to reg under the ufc_transport_* names.
@@ -597,6 +600,7 @@ func (c *transportCounters) register(reg *telemetry.Registry, labels ...telemetr
 	reg.RegisterGauge("ufc_transport_max_batch", "largest record batch drained in one flush", &c.maxBatch, labels...)
 	reg.RegisterCounter("ufc_transport_heartbeats_sent_total", "heartbeat frames sent", &c.pingsSent, labels...)
 	reg.RegisterCounter("ufc_transport_heartbeats_received_total", "heartbeat frames received", &c.pingsRecv, labels...)
+	reg.RegisterCounter("ufc_transport_decisions_total", "routing decisions answered", &c.decisions, labels...)
 }
 
 //ufc:hotpath
@@ -627,5 +631,6 @@ func (c *transportCounters) snapshot() TransportStats {
 		MaxBatch:           uint64(c.maxBatch.Load()),
 		HeartbeatsSent:     c.pingsSent.Load(),
 		HeartbeatsReceived: c.pingsRecv.Load(),
+		DecisionsAnswered:  c.decisions.Load(),
 	}
 }

@@ -191,3 +191,25 @@ func (st *SyntheticTopology) Instance(seed int64) *core.Instance {
 		WeightW:          10,
 	}
 }
+
+// SlotInstance returns hour-slot t of a rolling trace on the topology:
+// the seed's base draw (Instance(seed)) modulated by a diurnal demand
+// cycle, a slowly rotating price cycle, and a small per-slot jitter.
+// Consecutive slots differ by a few percent — the regime where a rolling
+// horizon warm-started from the previous iterate beats solving cold —
+// while (seed, t) remains fully deterministic, so replaying a slot yields
+// a bit-identical instance (which is what makes solve memoization sound).
+func (st *SyntheticTopology) SlotInstance(seed, t int64) *core.Instance {
+	inst := st.Instance(seed) // fresh slices each call; safe to scale in place
+	jrng := rand.New(rand.NewSource(seed ^ int64(uint64(t+1)*0x9e3779b97f4a7c15)))
+	day := 2 * math.Pi * float64(t) / 24
+	demand := 1 + 0.20*math.Sin(day)
+	for i := range inst.Arrivals {
+		inst.Arrivals[i] *= demand * (1 + 0.03*(2*jrng.Float64()-1))
+	}
+	price := 1 + 0.15*math.Sin(day+2.1)
+	for j := range inst.PriceUSD {
+		inst.PriceUSD[j] *= price * (1 + 0.02*(2*jrng.Float64()-1))
+	}
+	return inst
+}

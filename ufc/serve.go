@@ -1,0 +1,39 @@
+package ufc
+
+import (
+	"repro/internal/controlplane"
+)
+
+// Online serving layer, re-exported from internal/controlplane: a
+// background pipeline re-solves successive time slots on a rolling
+// horizon (warm-started from the previous slot's converged iterate) and
+// publishes each result as an immutable routing snapshot. Request-path
+// reads are a single atomic pointer load — no locks, no allocation —
+// so decision latency is independent of solve time.
+type (
+	// ControlPlane is the rolling-horizon solve pipeline. Construct with
+	// NewControlPlane, start with Run (or drive slots manually with
+	// RunSlot), answer requests with Decide, and stop with Stop.
+	ControlPlane = controlplane.Pipeline
+	// ServeConfig configures a ControlPlane: the per-slot instance
+	// source, solver options, warm-start policy, memoization cache size
+	// and quantum, slot pacing, and optional telemetry registry.
+	ServeConfig = controlplane.Config
+	// ServeReport aggregates a ControlPlane's solve and cache counters.
+	ServeReport = controlplane.Report
+	// RouteSnapshot is one published slot's immutable routing table.
+	RouteSnapshot = controlplane.Snapshot
+	// RouteSolveInfo describes how a snapshot's slot was solved (warm or
+	// cold, iterations, convergence, cache provenance).
+	RouteSolveInfo = controlplane.SolveInfo
+	// ServeStats is the decoded statistics vector a serving hub exposes
+	// to lookup clients.
+	ServeStats = controlplane.Stats
+)
+
+// NewControlPlane builds an idle rolling-horizon control plane; the
+// caller starts it with Run. The first slot solves synchronously inside
+// Run, so a snapshot is already published when Run returns.
+func NewControlPlane(cfg ServeConfig) (*ControlPlane, error) {
+	return controlplane.New(cfg)
+}
