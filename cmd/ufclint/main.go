@@ -1,7 +1,8 @@
 // Command ufclint runs the repository's custom static analyzers (see
-// internal/analysis): detrand, hotalloc, wiresafe and errdiscard enforce
-// the solver's determinism, zero-allocation and wire-safety invariants at
-// compile time.
+// internal/analysis): detrand, hotalloc, wiresafe, errdiscard, ctxflow,
+// atomicpub and leakcheck enforce the solver's determinism,
+// zero-allocation, wire-safety, error-handling and concurrency invariants
+// at compile time.
 //
 // Two modes:
 //
@@ -10,13 +11,21 @@
 //
 // Standalone mode shells out to `go list -export -deps -json` and
 // type-checks each target package against its dependencies' export data —
-// no third-party loader required. Vet-tool mode implements the cmd/go unit
-// checker contract: it is invoked once per package with a JSON config file
-// argument, and with -V=full for the toolchain's cache key.
+// no third-party loader required. Dependency packages inside the module
+// are analyzed first (diagnostics suppressed) so their exported facts are
+// visible when the target packages are checked.
+//
+// Vet-tool mode implements the cmd/go unit checker contract: it is invoked
+// once per package with a JSON config file argument, and with -V=full for
+// the toolchain's cache key. Facts are serialized to the config's
+// VetxOutput and replayed from its PackageVetx map, so cross-package
+// checks work identically under `go vet` — cmd/go schedules dependencies
+// first and caches their fact files.
 package main
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +48,27 @@ func main() {
 	os.Exit(run(os.Args))
 }
 
+// version is ufclint's nominal version — bumped to 2.x when facts replaced
+// the stub vetx files.
+const version = "2.0.0"
+
+// versionLine is the -V=full reply. cmd/go keys its vet action cache (both
+// diagnostics and vetx fact files) on it, so it must change whenever
+// analyzer or fact semantics do; hashing the tool's own executable makes
+// every rebuild a fresh key, the same scheme the x/tools unitchecker uses.
+func versionLine(progname string) string {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			//ufc:discard a short hash of a partially read binary still changes on rebuild
+			_, _ = io.Copy(h, f)
+			//ufc:discard the file was only read
+			_ = f.Close()
+		}
+	}
+	return fmt.Sprintf("%s version %s buildID=%02x", progname, version, h.Sum(nil))
+}
+
 func run(argv []string) int {
 	progname := filepath.Base(argv[0])
 	args := argv[1:]
@@ -49,7 +79,7 @@ func run(argv []string) int {
 	for _, a := range args {
 		switch a {
 		case "-V=full", "-V":
-			fmt.Printf("%s version 1.0.0\n", strings.TrimSuffix(progname, ".exe"))
+			fmt.Println(versionLine(strings.TrimSuffix(progname, ".exe")))
 			return 0
 		case "-flags":
 			fmt.Println("[]")
@@ -60,6 +90,8 @@ func run(argv []string) int {
 	fs := flag.NewFlagSet(progname, flag.ContinueOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	dumpFacts := fs.Bool("facts", false, "after analysis, dump the accumulated fact store to stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -89,7 +121,79 @@ func run(argv []string) int {
 	if len(rest) == 0 {
 		rest = []string{"./..."}
 	}
-	return standalone(rest, analyzers)
+	return standalone(rest, analyzers, *jsonOut, *dumpFacts)
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostic output.
+
+// jsonDiag is the -json wire form of one finding. File is relative to the
+// working directory when possible, so golden output is machine-independent.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// sortDiags orders findings by resolved position (file, line, column),
+// then analyzer — token.Pos order would depend on file registration order,
+// which varies with the package iteration.
+func sortDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}
+
+// relPath makes path relative to the working directory if it is beneath it.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	if rel, err := filepath.Rel(wd, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return path
+}
+
+// emitDiags prints findings — human-readable lines on stderr, or (jsonOut)
+// one JSON array on stdout.
+func emitDiags(fset *token.FileSet, diags []analysis.Diagnostic, jsonOut bool) {
+	sortDiags(fset, diags)
+	if !jsonOut {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		return
+	}
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		out = append(out, jsonDiag{
+			File:     relPath(pos.Filename),
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	//ufc:discard stdout encode failure is unreportable anyway
+	_ = enc.Encode(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -107,7 +211,7 @@ type listPkg struct {
 	Error      *struct{ Err string }
 }
 
-func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+func standalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut, dumpFacts bool) int {
 	cmdArgs := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
 	cmd := exec.Command("go", cmdArgs...)
 	cmd.Stderr = os.Stderr
@@ -136,13 +240,22 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
 		}
 	}
 
+	// One store for the whole run: `go list -deps` emits dependencies
+	// before dependents, so each package's exporters run before any
+	// importer consults them. Dependency-only packages are analyzed for
+	// their facts; only the named target packages report diagnostics.
+	facts := analysis.NewFactStore(analyzers)
 	fset := token.NewFileSet()
 	exitCode := 0
+	var all []analysis.Diagnostic
 	for _, p := range pkgs {
-		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+		if p.Standard || len(p.GoFiles) == 0 {
 			continue
 		}
 		if p.Error != nil {
+			if p.DepOnly {
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "ufclint: %s: %s\n", p.ImportPath, p.Error.Err)
 			exitCode = 2
 			continue
@@ -151,25 +264,37 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
 		for i, f := range p.GoFiles {
 			files[i] = filepath.Join(p.Dir, f)
 		}
-		diags, err := checkPackage(fset, p.ImportPath, files, p.ImportMap, exports, analyzers)
+		diags, err := checkPackage(fset, p.ImportPath, files, p.ImportMap, exports, analyzers, facts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ufclint: %s: %v\n", p.ImportPath, err)
 			exitCode = 2
 			continue
 		}
-		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		if p.DepOnly {
+			continue // facts are in the store; findings belong to its own lint run
 		}
-		if len(diags) > 0 {
-			exitCode = 1
+		all = append(all, diags...)
+	}
+	emitDiags(fset, all, jsonOut)
+	if len(all) > 0 && exitCode == 0 {
+		exitCode = 1
+	}
+	if dumpFacts {
+		data, err := facts.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ufclint: encode facts: %v\n", err)
+			return 2
 		}
+		_, _ = os.Stdout.Write(data) //ufc:discard a stdout write failure has nowhere to be reported
+		fmt.Println()
 	}
 	return exitCode
 }
 
 // checkPackage parses and type-checks one package against precompiled
-// export data and runs the analyzers over it.
-func checkPackage(fset *token.FileSet, path string, files []string, importMap, exports map[string]string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+// export data and runs the analyzers over it, reading and growing the
+// shared fact store.
+func checkPackage(fset *token.FileSet, path string, files []string, importMap, exports map[string]string, analyzers []*analysis.Analyzer, facts *analysis.FactStore) ([]analysis.Diagnostic, error) {
 	var syntax []*ast.File
 	for _, f := range files {
 		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
@@ -194,13 +319,7 @@ func checkPackage(fset *token.FileSet, path string, files []string, importMap, e
 	if err != nil {
 		return nil, err
 	}
-	diags, err := analysis.Run(fset, syntax, pkg, info, analyzers)
-	sortDiags(fset, diags)
-	return diags, err
-}
-
-func sortDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
-	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return analysis.Run(fset, syntax, pkg, info, analyzers, facts)
 }
 
 // ---------------------------------------------------------------------------
@@ -217,6 +336,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
@@ -234,15 +354,35 @@ func unitCheck(cfgPath string, analyzers []*analysis.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "ufclint: parse %s: %v\n", cfgPath, err)
 		return 2
 	}
-	// The analyzers export no facts, but cmd/go expects the facts file to
-	// exist as a cacheable action output.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("ufclint: no facts\n"), 0o666); err != nil {
+
+	// Replay the dependencies' facts. cmd/go analyzes dependencies first
+	// and hands us their vetx files; stdlib packages carry stub content
+	// from other vet tools, which Decode ignores by design.
+	facts := analysis.NewFactStore(analyzers)
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // missing dep facts degrade to per-package analysis
+		}
+		if err := facts.Decode(data); err != nil {
 			fmt.Fprintf(os.Stderr, "ufclint: %v\n", err)
 			return 2
 		}
 	}
-	if cfg.VetxOnly {
+
+	writeVetx := func() int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		data, err := facts.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ufclint: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "ufclint: %v\n", err)
+			return 2
+		}
 		return 0
 	}
 
@@ -252,7 +392,7 @@ func unitCheck(cfgPath string, analyzers []*analysis.Analyzer) int {
 		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return writeVetx()
 			}
 			fmt.Fprintf(os.Stderr, "ufclint: %v\n", err)
 			return 2
@@ -278,15 +418,21 @@ func unitCheck(cfgPath string, analyzers []*analysis.Analyzer) int {
 	pkg, err := conf.Check(cfg.ImportPath, fset, syntax, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return writeVetx()
 		}
 		fmt.Fprintf(os.Stderr, "ufclint: typecheck %s: %v\n", cfg.ImportPath, err)
 		return 2
 	}
-	diags, err := analysis.Run(fset, syntax, pkg, info, analyzers)
+	diags, err := analysis.Run(fset, syntax, pkg, info, analyzers, facts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ufclint: %v\n", err)
 		return 2
+	}
+	if code := writeVetx(); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	sortDiags(fset, diags)
 	for _, d := range diags {

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"testing"
 )
 
@@ -15,9 +17,9 @@ func TestVersionHandshake(t *testing.T) {
 }
 
 // TestStandaloneCleanOnDistsim runs the full standalone pipeline (go list
-// -export, parse, type-check, all four analyzers) over the wire layer and
-// requires a clean report: every invariant violation in distsim must be
-// fixed or carry a justification directive.
+// -export, parse, type-check, all seven analyzers with cross-package
+// facts) over the wire layer and requires a clean report: every invariant
+// violation in distsim must be fixed or carry a justification directive.
 func TestStandaloneCleanOnDistsim(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shells out to go list -export")
@@ -82,5 +84,148 @@ func hot(n int) string { return fmt.Sprintf("%d", n) }
 	}
 	if !bytes.Contains(buf.Bytes(), []byte("fmt.Sprintf allocates")) {
 		t.Fatalf("expected a hotalloc diagnostic, got %q", buf.String())
+	}
+}
+
+// writeModule lays out a throwaway module in dir and chdirs into it,
+// restoring the working directory when the test ends.
+func writeModule(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// capture runs fn with the given standard stream redirected into the
+// returned buffer.
+func capture(t *testing.T, stream **os.File, fn func()) string {
+	t.Helper()
+	old := *stream
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	*stream = w
+	fn()
+	*stream = old
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// crossPackageModule is a two-package module whose violation is only
+// visible through facts: the hotpath caller and the allocating callee live
+// in different packages.
+var crossPackageModule = map[string]string{
+	"go.mod": "module scratch\n\ngo 1.21\n",
+	"cold/cold.go": `package cold
+
+import "fmt"
+
+// Format allocates.
+func Format(n int) string { return fmt.Sprintf("%d", n) }
+`,
+	"hot.go": `package scratch
+
+import "scratch/cold"
+
+//ufc:hotpath
+func hot(n int) int { return len(cold.Format(n)) }
+`,
+}
+
+// TestStandaloneCrossPackageFacts proves facts flow between packages in
+// standalone mode: the dependency is analyzed first (diagnostics
+// suppressed), and its allocatesFact flags the hotpath call site in the
+// root package.
+func TestStandaloneCrossPackageFacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list -export")
+	}
+	writeModule(t, t.TempDir(), crossPackageModule)
+	var code int
+	out := capture(t, &os.Stderr, func() { code = run([]string{"ufclint", "."}) })
+	if code != 1 {
+		t.Fatalf("expected exit 1, got %d (output %q)", code, out)
+	}
+	if !bytes.Contains([]byte(out), []byte("call to Format, which allocates")) {
+		t.Fatalf("expected a cross-package hotalloc diagnostic, got %q", out)
+	}
+	if bytes.Contains([]byte(out), []byte("cold/cold.go")) {
+		t.Fatalf("dependency-only package leaked its own diagnostics: %q", out)
+	}
+}
+
+// TestVetToolCrossPackageFacts runs the real cmd/go unit-checker protocol:
+// `go vet -vettool=ufclint` analyzes scratch/cold first, serializes its
+// facts to the vetx file, and replays them (via PackageVetx) when checking
+// the root package.
+func TestVetToolCrossPackageFacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and shells out to go vet")
+	}
+	tool := filepath.Join(t.TempDir(), "ufclint")
+	build := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build ufclint: %v\n%s", err, out)
+	}
+	writeModule(t, t.TempDir(), crossPackageModule)
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed; want a cross-package hotalloc diagnostic\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("call to Format, which allocates")) {
+		t.Fatalf("expected a cross-package hotalloc diagnostic, got:\n%s", out)
+	}
+}
+
+// TestJSONOutputGolden pins the -json wire format: sorted diagnostics,
+// working-directory-relative paths, one stable JSON array on stdout.
+func TestJSONOutputGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list -export")
+	}
+	writeModule(t, t.TempDir(), crossPackageModule)
+	var code int
+	out := capture(t, &os.Stdout, func() { code = run([]string{"ufclint", "-json", "."}) })
+	if code != 1 {
+		t.Fatalf("expected exit 1, got %d (stdout %q)", code, out)
+	}
+	const golden = `[
+  {
+    "file": "hot.go",
+    "line": 6,
+    "col": 34,
+    "analyzer": "hotalloc",
+    "message": "hotpath: call to Format, which allocates (fmt.Sprintf allocates a string on every call); annotate and clean the callee with //ufc:hotpath, or justify the call with //ufc:alloc"
+  }
+]
+`
+	if out != golden {
+		t.Fatalf("-json output mismatch\ngot:\n%s\nwant:\n%s", out, golden)
 	}
 }

@@ -10,6 +10,11 @@
 // analyzers either standalone over `go list` output or as a `go vet -vettool`
 // unit checker.
 //
+// Analyzers may export serializable Facts about package-level objects (see
+// facts.go); both drivers replay dependencies' facts before analyzing a
+// package, so checks follow calls across package boundaries instead of
+// stopping at an annotation boundary.
+//
 // Source annotations understood by the analyzers:
 //
 //	//ufc:hotpath      (function doc) — hotalloc checks this function for
@@ -20,6 +25,16 @@
 //	                   discard for errdiscard.
 //	//ufc:unvalidated <why> (same or preceding line) — suppresses a wiresafe
 //	                   finding with a justification.
+//	//ufc:alloc <why>  (same or preceding line) — suppresses a hotalloc
+//	                   allocating-callee finding with a justification.
+//	//ufc:ctx <why>    (same or preceding line) — suppresses a ctxflow
+//	                   finding (a deliberate context.Background or an
+//	                   uncancellable blocking call) with a justification.
+//	//ufc:pub <why>    (same or preceding line) — suppresses an atomicpub
+//	                   finding with a justification.
+//	//ufc:leak <why>   (same or preceding line) — suppresses a leakcheck
+//	                   finding for a goroutine whose shutdown edge the
+//	                   analyzer cannot see (e.g. a connection close).
 package analysis
 
 import (
@@ -36,6 +51,10 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of what it enforces.
 	Doc string
+	// FactTypes lists the Fact implementations (pointers to zero structs)
+	// this analyzer exports or imports. Only registered types survive
+	// serialization across driver invocations.
+	FactTypes []Fact
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
 }
@@ -54,16 +73,35 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts carries the session's cross-package facts: exports from
+	// already-analyzed dependencies are visible, and this pass's exports
+	// become visible to dependents. Nil disables facts (fixture tests of
+	// purely local checks).
+	Facts *FactStore
 
 	report func(Diagnostic)
 
 	// directives caches per-file line → "//ufc:<name> ..." comments.
 	directives map[*ast.File]map[int]string
+	// callgraph caches the package call graph across an analyzer's checks.
+	callgraph *Callgraph
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// capture runs fn with reporting redirected into the returned slice —
+// how fact computations reuse the diagnostic checks without emitting
+// their findings.
+func (p *Pass) capture(fn func()) []Diagnostic {
+	old := p.report
+	var got []Diagnostic
+	p.report = func(d Diagnostic) { got = append(got, d) }
+	fn()
+	p.report = old
+	return got
 }
 
 // IsTestFile reports whether the file containing pos is a _test.go file.
@@ -250,8 +288,10 @@ func NewInfo() *types.Info {
 }
 
 // Run applies the analyzers to one type-checked package and returns the
-// findings in source order.
-func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+// findings in source order. facts may be nil (no cross-package
+// propagation); when non-nil it must have been built over a superset of
+// the analyzers so exported facts can be re-serialized.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -260,6 +300,7 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Facts:     facts,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {

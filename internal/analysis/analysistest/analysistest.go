@@ -10,7 +10,16 @@
 // (backquoted or double-quoted). The test fails on any diagnostic without a
 // matching want, and on any want without a matching diagnostic. Fixtures
 // may import the standard library (type-checked from source via
-// go/importer); they cannot import module packages.
+// go/importer).
+//
+// Subdirectories of the fixture directory are dependency packages: each is
+// type-checked and analyzed first (in lexical order, so later deps may
+// import earlier ones), its exported facts land in a FactStore shared with
+// the root package, and the root fixture imports it by its bare directory
+// name. This is how cross-package fact propagation — the allocating callee
+// in another package, the blocking helper behind an import — is exercised
+// without a real build. Want comments inside dependency fixtures are
+// honored too.
 package analysistest
 
 import (
@@ -48,6 +57,20 @@ func sharedFset() (*token.FileSet, types.Importer) {
 	return fset, imp
 }
 
+// mapImporter resolves fixture dependency packages by bare import path,
+// falling back to the stdlib source importer for everything else.
+type mapImporter struct {
+	deps map[string]*types.Package
+	base types.Importer
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.deps[path]; ok {
+		return pkg, nil
+	}
+	return m.base.Import(path)
+}
+
 var wantRe = regexp.MustCompile("// want (`[^`]*`|\"[^\"]*\")")
 
 type want struct {
@@ -55,50 +78,49 @@ type want struct {
 	matched bool
 }
 
-// Run applies the analyzer to the fixture package in dir and verifies its
-// diagnostics against the fixture's want comments.
+// fixturePkg is one parsed-and-type-checked fixture package.
+type fixturePkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// Run applies the analyzer to the fixture package in dir — dependency
+// subpackages first, facts flowing between them — and verifies all
+// diagnostics against the fixtures' want comments.
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
-	fset, imp := sharedFset()
+	fset, baseImp := sharedFset()
+	facts := analysis.NewFactStore([]*analysis.Analyzer{a})
+	imp := &mapImporter{deps: make(map[string]*types.Package), base: baseImp}
 
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatalf("read fixture dir: %v", err)
 	}
-	var files []*ast.File
-	wants := make(map[string]map[int][]*want) // file → line → expectations
+	var depNames []string
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
+		if e.IsDir() {
+			depNames = append(depNames, e.Name())
 		}
-		path := filepath.Join(dir, e.Name())
-		src, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatalf("read fixture: %v", err)
-		}
-		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
-		if err != nil {
-			t.Fatalf("parse fixture: %v", err)
-		}
-		files = append(files, f)
-		wants[path] = parseWants(t, path, string(src))
 	}
-	if len(files) == 0 {
-		t.Fatalf("no fixture files in %s", dir)
-	}
+	sort.Strings(depNames)
 
-	pkgName := files[0].Name.Name
-	conf := types.Config{Importer: imp}
-	info := analysis.NewInfo()
-	pkg, err := conf.Check(pkgName, fset, files, info)
-	if err != nil {
-		t.Fatalf("type-check fixture %s: %v", dir, err)
+	wants := make(map[string]map[int][]*want) // file → line → expectations
+	var diags []analysis.Diagnostic
+	analyze := func(subdir, importPath string) {
+		fp := loadFixture(t, fset, imp, filepath.Join(dir, subdir), importPath, wants)
+		got, err := analysis.Run(fset, fp.files, fp.pkg, fp.info, []*analysis.Analyzer{a}, facts)
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, fp.pkg.Path(), err)
+		}
+		diags = append(diags, got...)
+		imp.deps[importPath] = fp.pkg
 	}
-
-	diags, err := analysis.Run(fset, files, pkg, info, []*analysis.Analyzer{a})
-	if err != nil {
-		t.Fatalf("run %s: %v", a.Name, err)
+	for _, name := range depNames {
+		analyze(name, name)
 	}
+	analyze(".", filepath.Base(dir))
 
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
@@ -129,6 +151,44 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	for _, m := range missing {
 		t.Error(m)
 	}
+}
+
+// loadFixture parses and type-checks the single package in dir under the
+// given import path, recording its want comments.
+func loadFixture(t *testing.T, fset *token.FileSet, imp types.Importer, dir, importPath string, wants map[string]map[int][]*want) *fixturePkg {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture: %v", err)
+		}
+		files = append(files, f)
+		wants[path] = parseWants(t, path, string(src))
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	conf := types.Config{Importer: imp}
+	info := analysis.NewInfo()
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-check fixture %s: %v", dir, err)
+	}
+	return &fixturePkg{files: files, pkg: pkg, info: info}
 }
 
 func parseWants(t *testing.T, path, src string) map[int][]*want {

@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Atomicpub guards the control plane's lock-free publication pattern: a
+// value made visible to concurrent readers through a sync/atomic pointer
+// swap must be immutable from that instant, and a memory location accessed
+// atomically anywhere must be accessed atomically everywhere. It flags,
+// outside tests:
+//
+//   - writes through a pointer after it was published with
+//     atomic.Pointer.Store/Swap — directly, or by passing it to a function
+//     carrying a publishesFact (exported when the callee's package was
+//     analyzed, so `router.Publish(s)` publishes s across package
+//     boundaries). Readers hold the snapshot with no locks; a post-publish
+//     write is a data race the race detector only sees on the timings it
+//     happens to run;
+//   - mixed access to a struct field: if &x.f (or &x.f[i]) feeds a
+//     sync/atomic Load/Store/Add/Swap/CompareAndSwap anywhere in the
+//     package, every plain read or write of that field (or its elements)
+//     elsewhere is flagged.
+//
+// A deliberate exception carries //ufc:pub <why>.
+var Atomicpub = &Analyzer{
+	Name:      "atomicpub",
+	Doc:       "flag post-publish mutation of atomically-published values and mixed atomic/plain access",
+	FactTypes: []Fact{(*publishesFact)(nil)},
+	Run:       runAtomicpub,
+}
+
+// publishesFact marks a function that stores one or more of its pointer
+// parameters into an atomic.Pointer (directly or by forwarding to another
+// publishing function): after the call, the caller no longer owns the
+// pointee.
+type publishesFact struct {
+	Params []int `json:"params"` // indices of published parameters
+}
+
+func (*publishesFact) AFact() {}
+
+func runAtomicpub(pass *Pass) error {
+	// Iterate to a fixpoint on publishesFacts so wrappers of wrappers
+	// (publish → Router.Publish → atomic store) are all exported before
+	// call sites are judged.
+	for changed := true; changed; {
+		changed = false
+		for _, file := range pass.Files {
+			if pass.IsTestFile(file.Pos()) {
+				continue
+			}
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if pass.exportPublishes(fn) {
+					changed = true
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			pass.checkPostPublishWrites(fn)
+		}
+	}
+	pass.checkMixedAtomicAccess()
+	return nil
+}
+
+// isAtomicPointerStore reports whether call is (atomic.Pointer[T]).Store
+// or .Swap, returning the stored expression.
+func (p *Pass) isAtomicPointerStore(call *ast.CallExpr) (stored ast.Expr, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel || (sel.Sel.Name != "Store" && sel.Sel.Name != "Swap") || len(call.Args) != 1 {
+		return nil, false
+	}
+	f, _ := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return nil, false
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil || !namedTypeIs(sig.Recv().Type(), "sync/atomic", "Pointer") {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// publishedObjects walks fn's body and returns, per published local
+// object, the position of its earliest publication — an atomic pointer
+// store of the object, or a call passing it at a publishesFact parameter.
+func (p *Pass) publishedObjects(fn *ast.FuncDecl) map[types.Object]token.Pos {
+	pubs := make(map[types.Object]token.Pos)
+	note := func(e ast.Expr, pos token.Pos) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := p.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if prev, seen := pubs[obj]; !seen || pos < prev {
+			pubs[obj] = pos
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if stored, ok := p.isAtomicPointerStore(call); ok {
+			note(stored, call.Pos())
+			return true
+		}
+		callee := p.funcOf(call)
+		if callee == nil {
+			return true
+		}
+		var fact publishesFact
+		if !p.ImportObjectFact(callee, &fact) {
+			return true
+		}
+		// Method calls: Params indexes the declared parameter list.
+		for _, idx := range fact.Params {
+			if idx >= 0 && idx < len(call.Args) {
+				note(call.Args[idx], call.Pos())
+			}
+		}
+		return true
+	})
+	return pubs
+}
+
+// exportPublishes exports a publishesFact if fn publishes any of its own
+// parameters, reporting whether the fact was newly exported or grew.
+func (p *Pass) exportPublishes(fn *ast.FuncDecl) bool {
+	obj, ok := p.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil || sig.Params().Len() == 0 {
+		return false
+	}
+	pubs := p.publishedObjects(fn)
+	var params []int
+	for i := 0; i < sig.Params().Len(); i++ {
+		if _, published := pubs[sig.Params().At(i)]; published {
+			params = append(params, i)
+		}
+	}
+	if len(params) == 0 {
+		return false
+	}
+	var existing publishesFact
+	if p.ImportObjectFact(obj, &existing) && len(existing.Params) == len(params) {
+		return false
+	}
+	p.ExportObjectFact(obj, &publishesFact{Params: params})
+	return true
+}
+
+// checkPostPublishWrites flags writes through a published pointer at any
+// position after its publication in the same function.
+func (p *Pass) checkPostPublishWrites(fn *ast.FuncDecl) {
+	pubs := p.publishedObjects(fn)
+	if len(pubs) == 0 {
+		return
+	}
+	check := func(target ast.Expr, stmt ast.Node) {
+		root, indirect := rootIdent(target)
+		if root == nil || !indirect {
+			return
+		}
+		obj := p.TypesInfo.ObjectOf(root)
+		pubPos, published := pubs[obj]
+		if !published || stmt.Pos() <= pubPos {
+			return
+		}
+		if p.Suppressed(stmt, "pub") {
+			return
+		}
+		p.Reportf(stmt.Pos(), "write to %s after it was published via an atomic pointer at line %d; published values must be immutable — build a fresh value and re-publish, or justify with //ufc:pub",
+			root.Name, p.Fset.Position(pubPos).Line)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				check(lhs, n)
+			}
+		case *ast.IncDecStmt:
+			check(n.X, n)
+		}
+		return true
+	})
+}
+
+// rootIdent peels selectors, indexes, stars and parens off an assignment
+// target, returning the root identifier and whether at least one level of
+// indirection was peeled (a bare `x = ...` rebinding is not a write
+// through x).
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	indirect := false
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e, indirect = v.X, true
+		case *ast.IndexExpr:
+			e, indirect = v.X, true
+		case *ast.StarExpr:
+			e, indirect = v.X, true
+		case *ast.Ident:
+			return v, indirect
+		default:
+			return nil, indirect
+		}
+	}
+}
+
+// atomicFuncs are the sync/atomic package-level operations whose pointer
+// argument defines an atomically-accessed location.
+func isAtomicPkgFunc(f *types.Func) bool {
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil {
+		return false
+	}
+	for _, prefix := range [...]string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(f.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMixedAtomicAccess finds struct fields addressed by &x.f (or
+// &x.f[i]) inside sync/atomic calls and flags every plain access to the
+// same field (or its elements) in the package.
+func (p *Pass) checkMixedAtomicAccess() {
+	fieldAtomic := make(map[types.Object]bool) // &x.f    — whole field
+	elemAtomic := make(map[types.Object]bool)  // &x.f[i] — elements
+	forEachAtomicArg := func(file *ast.File, visit func(arg ast.Expr)) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicPkgFunc(p.funcOf(call)) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if ue, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+					visit(ue.X)
+				}
+			}
+			return true
+		})
+	}
+	for _, file := range p.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		forEachAtomicArg(file, func(arg ast.Expr) {
+			switch v := ast.Unparen(arg).(type) {
+			case *ast.SelectorExpr:
+				if f := p.fieldOf(v); f != nil {
+					fieldAtomic[f] = true
+				}
+			case *ast.IndexExpr:
+				if sel, ok := ast.Unparen(v.X).(*ast.SelectorExpr); ok {
+					if f := p.fieldOf(sel); f != nil {
+						elemAtomic[f] = true
+					}
+				}
+			}
+		})
+	}
+	if len(fieldAtomic) == 0 && len(elemAtomic) == 0 {
+		return
+	}
+	for _, file := range p.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		// Positions covered by an atomic call's &-argument are the atomic
+		// accesses themselves; everything else is plain.
+		atomicSpans := make(map[*ast.SelectorExpr]bool)
+		forEachAtomicArg(file, func(arg ast.Expr) {
+			ast.Inspect(arg, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					atomicSpans[sel] = true
+				}
+				return true
+			})
+		})
+		WalkStack(file, func(stack []ast.Node, n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSpans[sel] {
+				return true
+			}
+			f := p.fieldOf(sel)
+			if f == nil {
+				return true
+			}
+			if fieldAtomic[f] {
+				if !p.Suppressed(sel, "pub") {
+					p.Reportf(sel.Pos(), "plain access to %s, which is also accessed through sync/atomic; every read and write of an atomic location must be atomic, or justify with //ufc:pub", f.Name())
+				}
+				return true
+			}
+			if elemAtomic[f] {
+				// Elements are atomic; using the slice header (len, range,
+				// re-slicing) is fine — only direct element indexing races.
+				if len(stack) > 0 {
+					if ix, ok := stack[len(stack)-1].(*ast.IndexExpr); ok && ast.Unparen(ix.X) == sel {
+						if !p.Suppressed(sel, "pub") {
+							p.Reportf(sel.Pos(), "plain element access to %s, whose elements are accessed through sync/atomic; use atomic loads/stores for every element access, or justify with //ufc:pub", f.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fieldOf resolves a selector to the struct field it denotes, or nil.
+func (p *Pass) fieldOf(sel *ast.SelectorExpr) types.Object {
+	s, ok := p.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}

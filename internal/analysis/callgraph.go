@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callgraph is a lightweight static call graph of the package under
+// analysis: every declared function maps to its syntax and to the
+// functions it calls directly (identifier and selector calls only —
+// dynamic calls through function values or interfaces resolve to the
+// interface method, not an implementation). Analyzers combine it with
+// imported facts to follow calls across package boundaries: walk local
+// edges here, and when an edge leaves the package, consult the fact the
+// callee's own analysis exported.
+type Callgraph struct {
+	decls   map[*types.Func]*ast.FuncDecl
+	callees map[*types.Func][]*types.Func
+}
+
+// Callgraph builds (once per pass, cached) the package's call graph.
+func (p *Pass) Callgraph() *Callgraph {
+	if p.callgraph != nil {
+		return p.callgraph
+	}
+	cg := &Callgraph{
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+		callees: make(map[*types.Func][]*types.Func),
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := p.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			cg.decls[obj] = fn
+			seen := make(map[*types.Func]bool)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := p.funcOf(call); callee != nil && !seen[callee] {
+					seen[callee] = true
+					cg.callees[obj] = append(cg.callees[obj], callee)
+				}
+				return true
+			})
+		}
+	}
+	p.callgraph = cg
+	return cg
+}
+
+// Decl returns the declaration of fn if it is declared (with a body) in
+// the analyzed package, else nil.
+func (cg *Callgraph) Decl(fn *types.Func) *ast.FuncDecl { return cg.decls[fn] }
+
+// Callees returns the functions fn calls directly (deduplicated, in first
+// call-site order).
+func (cg *Callgraph) Callees(fn *types.Func) []*types.Func { return cg.callees[fn] }
+
+// Fixpoint repeatedly applies mark to every function declared in the
+// package until no call converges new members into the set: a function
+// joins when seed reports true for it, or when any direct callee is
+// already a member. It is the shared engine behind the transitive
+// "blocks" / "has shutdown edge" fact computations. The final membership
+// set is returned.
+func (cg *Callgraph) Fixpoint(seed func(fn *types.Func, decl *ast.FuncDecl) bool, inSet func(callee *types.Func) bool) map[*types.Func]bool {
+	members := make(map[*types.Func]bool)
+	for fn, decl := range cg.decls {
+		if seed(fn, decl) {
+			members[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range cg.decls {
+			if members[fn] {
+				continue
+			}
+			for _, callee := range cg.callees[fn] {
+				if members[callee] || inSet(callee) {
+					members[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return members
+}

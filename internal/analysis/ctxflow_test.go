@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata/ctxflow", analysis.Ctxflow)
+}

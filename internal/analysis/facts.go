@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// A Fact is a serializable datum an analyzer computes about a package-level
+// object (or a whole package) and exports for later passes over packages
+// that import it. Facts are how the analyzers see across package
+// boundaries: hotalloc exports "this function allocates", ctxflow exports
+// "this function blocks", leakcheck exports "this function has a shutdown
+// edge", and atomicpub exports "this function publishes parameter k via an
+// atomic pointer" — so a caller-side check does not stop at the annotation
+// boundary of its own package.
+//
+// A Fact implementation must be a pointer to a JSON-serializable struct
+// (exported fields); the struct type name identifies it in the serialized
+// stream. Register fact types on Analyzer.FactTypes.
+type Fact interface {
+	// AFact is a marker method.
+	AFact()
+}
+
+// factKey addresses one fact: the exporting analyzer plus the target's
+// stable cross-package key (ObjectKey for objects, the import path for
+// package facts).
+type factKey struct {
+	analyzer string
+	target   string
+}
+
+// FactStore accumulates facts across an analysis session. The standalone
+// driver shares one store across all packages (analyzed in dependency
+// order, so exporters always run before importers); the vet-tool driver
+// seeds a fresh store from the dependencies' serialized fact files
+// (vetConfig.PackageVetx) and serializes the merged store to VetxOutput
+// for dependents.
+type FactStore struct {
+	types map[factKey]reflect.Type // analyzer+type name → fact struct type
+	obj   map[factKey]Fact
+	pkg   map[factKey]Fact
+}
+
+// NewFactStore returns an empty store that can decode the fact types
+// declared by the given analyzers.
+func NewFactStore(analyzers []*Analyzer) *FactStore {
+	s := &FactStore{
+		types: make(map[factKey]reflect.Type),
+		obj:   make(map[factKey]Fact),
+		pkg:   make(map[factKey]Fact),
+	}
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			t := reflect.TypeOf(f)
+			if t == nil || t.Kind() != reflect.Pointer || t.Elem().Kind() != reflect.Struct {
+				panic(fmt.Sprintf("analysis: %s: fact type %T must be a pointer to a struct", a.Name, f))
+			}
+			s.types[factKey{a.Name, t.Elem().Name()}] = t
+		}
+	}
+	return s
+}
+
+// ObjectKey returns the stable cross-package key of a package-level object:
+// a *types.Func keys by its full name (which embeds the package path and
+// any receiver, e.g. "(*repro/internal/controlplane.Router).Publish");
+// anything else keys by path-qualified name.
+func ObjectKey(obj types.Object) string {
+	if f, ok := obj.(*types.Func); ok {
+		return f.FullName()
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// copyFact copies src's pointee into dst (same concrete type required).
+func copyFact(dst, src Fact) bool {
+	dv, sv := reflect.ValueOf(dst), reflect.ValueOf(src)
+	if dv.Type() != sv.Type() {
+		return false
+	}
+	dv.Elem().Set(sv.Elem())
+	return true
+}
+
+// ExportObjectFact associates fact with obj for this and later passes.
+// obj must belong to the package under analysis.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.Facts == nil || obj == nil {
+		return
+	}
+	p.Facts.obj[factKey{p.Analyzer.Name, ObjectKey(obj)}] = fact
+}
+
+// ImportObjectFact copies the fact of the given type previously exported
+// for obj (by this analyzer, in this or an already-analyzed package) into
+// fact, reporting whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.Facts == nil || obj == nil {
+		return false
+	}
+	stored, ok := p.Facts.obj[factKey{p.Analyzer.Name, ObjectKey(obj)}]
+	return ok && copyFact(fact, stored)
+}
+
+// ExportPackageFact associates fact with the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.Facts == nil {
+		return
+	}
+	p.Facts.pkg[factKey{p.Analyzer.Name, p.Pkg.Path()}] = fact
+}
+
+// ImportPackageFact copies the fact previously exported for pkg into fact,
+// reporting whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if p.Facts == nil || pkg == nil {
+		return false
+	}
+	stored, ok := p.Facts.pkg[factKey{p.Analyzer.Name, pkg.Path()}]
+	return ok && copyFact(fact, stored)
+}
+
+// ---------------------------------------------------------------------------
+// Serialization. The wire form is a single JSON document so fact files are
+// inspectable (`ufclint -facts -`) and deterministic (records are sorted),
+// which keeps them stable as cmd/go action-cache outputs.
+
+type factRecord struct {
+	Analyzer string          `json:"analyzer"`
+	Kind     string          `json:"kind"` // "object" or "package"
+	Target   string          `json:"target"`
+	Type     string          `json:"type"`
+	Data     json.RawMessage `json:"data"`
+}
+
+type factsFile struct {
+	Version int          `json:"version"`
+	Facts   []factRecord `json:"facts"`
+}
+
+const factsVersion = 1
+
+// Encode serializes every fact in the store, sorted for determinism.
+func (s *FactStore) Encode() ([]byte, error) {
+	file := factsFile{Version: factsVersion}
+	add := func(kind string, m map[factKey]Fact) error {
+		for k, f := range m {
+			data, err := json.Marshal(f)
+			if err != nil {
+				return fmt.Errorf("analysis: encode %s fact %s/%s: %w", kind, k.analyzer, k.target, err)
+			}
+			file.Facts = append(file.Facts, factRecord{
+				Analyzer: k.analyzer,
+				Kind:     kind,
+				Target:   k.target,
+				Type:     reflect.TypeOf(f).Elem().Name(),
+				Data:     data,
+			})
+		}
+		return nil
+	}
+	if err := add("object", s.obj); err != nil {
+		return nil, err
+	}
+	if err := add("package", s.pkg); err != nil {
+		return nil, err
+	}
+	sort.Slice(file.Facts, func(i, j int) bool {
+		a, b := file.Facts[i], file.Facts[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		return a.Type < b.Type
+	})
+	return json.MarshalIndent(&file, "", "  ")
+}
+
+// Decode merges a serialized fact file into the store. Records whose
+// analyzer or fact type is unknown are skipped (a newer tool reading an
+// older cache, or vice versa); input that is not a fact file at all is
+// ignored entirely so stale stub vetx files cannot fail the run.
+func (s *FactStore) Decode(data []byte) error {
+	var file factsFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil //nolint:nilerr // tolerate foreign/stale vetx content by design
+	}
+	if file.Version != factsVersion {
+		return nil
+	}
+	for _, rec := range file.Facts {
+		t, ok := s.types[factKey{rec.Analyzer, rec.Type}]
+		if !ok {
+			continue
+		}
+		fv := reflect.New(t.Elem())
+		if err := json.Unmarshal(rec.Data, fv.Interface()); err != nil {
+			return fmt.Errorf("analysis: decode %s fact for %s: %w", rec.Type, rec.Target, err)
+		}
+		fact, ok := fv.Interface().(Fact)
+		if !ok {
+			continue
+		}
+		key := factKey{rec.Analyzer, rec.Target}
+		switch rec.Kind {
+		case "object":
+			s.obj[key] = fact
+		case "package":
+			s.pkg[key] = fact
+		}
+	}
+	return nil
+}
+
+// Len reports the number of facts in the store (tests and -facts tooling).
+func (s *FactStore) Len() int { return len(s.obj) + len(s.pkg) }

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFactStoreRoundTrip checks that facts survive Encode → Decode, that
+// encoding is deterministic, and that foreign vetx content is tolerated.
+func TestFactStoreRoundTrip(t *testing.T) {
+	s := NewFactStore(All())
+	s.obj[factKey{"hotalloc", "m/dep.Format"}] = &allocatesFact{What: "fmt.Sprintf allocates"}
+	s.obj[factKey{"ctxflow", "m/dep.SlowPoll"}] = &blocksFact{What: "time.Sleep"}
+	s.obj[factKey{"leakcheck", "m/dep.Pump"}] = &shutdownFact{Edge: "channel op"}
+	s.obj[factKey{"atomicpub", "m/dep.Publish"}] = &publishesFact{Params: []int{1}}
+	s.pkg[factKey{"detrand", "m/dep"}] = &allocatesFact{What: "package fact reuse"}
+
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	data2, err := s.Encode()
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("Encode is not deterministic")
+	}
+
+	d := NewFactStore(All())
+	if err := d.Decode(data); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	got, ok := d.obj[factKey{"hotalloc", "m/dep.Format"}].(*allocatesFact)
+	if !ok || got.What != "fmt.Sprintf allocates" {
+		t.Fatalf("allocatesFact did not round-trip: %#v", d.obj[factKey{"hotalloc", "m/dep.Format"}])
+	}
+	pub, ok := d.obj[factKey{"atomicpub", "m/dep.Publish"}].(*publishesFact)
+	if !ok || len(pub.Params) != 1 || pub.Params[0] != 1 {
+		t.Fatalf("publishesFact did not round-trip: %#v", pub)
+	}
+	// detrand declares no fact types, so its record must be dropped — the
+	// unknown-type tolerance that keeps caches from different tool versions
+	// from failing the run. Everything else survives.
+	if _, ok := d.pkg[factKey{"detrand", "m/dep"}]; ok {
+		t.Fatal("record with unregistered analyzer/type survived decode")
+	}
+	if want := s.Len() - 1; d.Len() != want {
+		t.Fatalf("decoded store has %d facts, want %d", d.Len(), want)
+	}
+}
+
+// TestFactStoreTolerance checks that stale or foreign vetx content — other
+// vet tools write arbitrary bytes — decodes to an empty store, not an
+// error.
+func TestFactStoreTolerance(t *testing.T) {
+	for _, input := range []string{
+		"ufclint: no facts\n", // the 1.x stub
+		"",                    // empty file
+		"{\"version\":999}",   // future version
+		"not json at all",
+	} {
+		s := NewFactStore(All())
+		if err := s.Decode([]byte(input)); err != nil {
+			t.Errorf("Decode(%q) = %v, want nil", input, err)
+		}
+		if s.Len() != 0 {
+			t.Errorf("Decode(%q) populated the store: %d facts", input, s.Len())
+		}
+	}
+}

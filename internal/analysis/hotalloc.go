@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // Hotalloc checks functions annotated //ufc:hotpath — the ADM-G Iterate and
@@ -14,7 +15,8 @@ import (
 //     concatenation;
 //   - append whose result lands anywhere but the appended slice itself
 //     (x = append(x, ...) reuses caller-owned capacity; anything else grows
-//     a fresh backing array);
+//     a fresh backing array). `return append(x, ...)` is also clean: it is
+//     the append-style API contract, handing the buffer back to the caller;
 //   - closures that capture variables and escape (passed to a call, a
 //     goroutine, a defer, a field, a channel or a return) — a captured,
 //     escaping closure heap-allocates its context;
@@ -25,13 +27,56 @@ import (
 // Allocation-on-error is acceptable: fmt.Errorf and the errors package are
 // never flagged, since hot paths only pay for them when the iteration
 // already failed.
+//
+// Hotalloc also exports an allocatesFact for every unannotated function
+// that contains one of the constructs above, and flags hotpath calls to
+// any callee — same package or imported — carrying the fact: a hot loop
+// cannot stay at 0 allocs/op by delegating the allocation to a cold
+// helper. Such a call is fixed by annotating and cleaning the callee, or
+// justified at the call site with //ufc:alloc <why> (e.g. a genuinely
+// cold error/teardown branch).
 var Hotalloc = &Analyzer{
-	Name: "hotalloc",
-	Doc:  "flag allocation-causing constructs inside //ufc:hotpath functions",
-	Run:  runHotalloc,
+	Name:      "hotalloc",
+	Doc:       "flag allocation-causing constructs inside //ufc:hotpath functions",
+	FactTypes: []Fact{(*allocatesFact)(nil)},
+	Run:       runHotalloc,
 }
 
+// allocatesFact marks a function whose body directly contains an
+// allocation-per-call construct. It is exported for unannotated functions
+// only: hotpath functions are checked (and kept clean) at their own
+// definition site.
+type allocatesFact struct {
+	What string `json:"what"` // first construct found, for the diagnostic
+}
+
+func (*allocatesFact) AFact() {}
+
 func runHotalloc(pass *Pass) error {
+	// Fact pass first, so same-package calls resolve like imported ones.
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || FuncHasDirective(fn, "hotpath") {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			found := pass.capture(func() { pass.checkHotFunc(fn, false) })
+			if len(found) > 0 {
+				what := strings.TrimPrefix(found[0].Message, "hotpath: ")
+				if cut := strings.IndexByte(what, ';'); cut > 0 {
+					what = what[:cut]
+				}
+				pass.ExportObjectFact(obj, &allocatesFact{What: what})
+			}
+		}
+	}
 	for _, file := range pass.Files {
 		if pass.IsTestFile(file.Pos()) {
 			continue
@@ -41,19 +86,22 @@ func runHotalloc(pass *Pass) error {
 			if !ok || fn.Body == nil || !FuncHasDirective(fn, "hotpath") {
 				continue
 			}
-			pass.checkHotFunc(fn)
+			pass.checkHotFunc(fn, true)
 		}
 	}
 	return nil
 }
 
-func (p *Pass) checkHotFunc(fn *ast.FuncDecl) {
+func (p *Pass) checkHotFunc(fn *ast.FuncDecl, followCalls bool) {
 	WalkStack(fn.Body, func(stack []ast.Node, n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			p.checkSprintf(n)
 			p.checkAppend(n, stack)
 			p.checkBoxing(n)
+			if followCalls {
+				p.checkAllocCallee(n)
+			}
 		case *ast.BinaryExpr:
 			p.checkStringConcat(n)
 		case *ast.FuncLit:
@@ -64,6 +112,25 @@ func (p *Pass) checkHotFunc(fn *ast.FuncDecl) {
 		}
 		return true
 	})
+}
+
+// checkAllocCallee flags calls from a hotpath function to a callee that
+// the fact stream says allocates — the cross-package form of the same
+// invariant, resolved through allocatesFacts exported when the callee's
+// package was analyzed.
+func (p *Pass) checkAllocCallee(call *ast.CallExpr) {
+	f := p.funcOf(call)
+	if f == nil {
+		return
+	}
+	var fact allocatesFact
+	if !p.ImportObjectFact(f, &fact) {
+		return
+	}
+	if p.Suppressed(call, "alloc") {
+		return
+	}
+	p.Reportf(call.Pos(), "hotpath: call to %s, which allocates (%s); annotate and clean the callee with //ufc:hotpath, or justify the call with //ufc:alloc", f.Name(), fact.What)
 }
 
 func (p *Pass) checkSprintf(call *ast.CallExpr) {
@@ -94,16 +161,27 @@ func (p *Pass) checkStringConcat(be *ast.BinaryExpr) {
 // `x = append(x, ...)`: appending into a different destination always
 // allocates a new backing array once the source capacity is exceeded, and
 // the hot paths own pre-sized scratch exactly to avoid that.
+//
+// `return append(x, ...)` is the other clean form — the append-style API
+// contract (binary.AppendUvarint, strconv.AppendInt, the wire codec's
+// appendFrame helpers): the result hands the buffer back to the caller,
+// who feeds it into their own slice. Without this carve-out every
+// append-API helper would export an allocates fact and poison its
+// (allocation-free) hotpath call sites across packages.
 func (p *Pass) checkAppend(call *ast.CallExpr, stack []ast.Node) {
 	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
 	if !ok || fn.Name != "append" || p.TypesInfo.Uses[fn] != types.Universe.Lookup("append") {
 		return
 	}
 	if len(stack) > 0 {
-		if as, ok := stack[len(stack)-1].(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
-			if ast.Unparen(as.Rhs[0]) == call && len(call.Args) > 0 && p.exprEqual(as.Lhs[0], call.Args[0]) {
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.AssignStmt:
+			if len(parent.Lhs) == 1 && len(parent.Rhs) == 1 &&
+				ast.Unparen(parent.Rhs[0]) == call && len(call.Args) > 0 && p.exprEqual(parent.Lhs[0], call.Args[0]) {
 				return
 			}
+		case *ast.ReturnStmt:
+			return
 		}
 	}
 	p.Reportf(call.Pos(), "hotpath: append result does not feed back into the appended slice; use the self-append idiom on a reused scratch buffer (x = append(x, ...))")

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Leakcheck requires every goroutine started in non-test code to have a
+// visible shutdown edge: something that lets the goroutine observe "stop"
+// or lets the rest of the program observe "done". The simulator spins up a
+// goroutine per agent per round and the control plane runs resident loops;
+// a goroutine with no edge either leaks (blocked forever on a dead
+// channel) or races teardown. A shutdown edge is any of:
+//
+//   - a channel operation (send, receive, range, close, or a select) —
+//     the goroutine is coupled to a peer that can release it;
+//   - a reference to a context.Context — cancellation is observable;
+//   - a call to (*sync.WaitGroup).Done — completion is observable;
+//   - a call to a function that itself has a shutdown edge (computed
+//     transitively within the package, and across packages via the
+//     shutdownFact exported when the callee's package was analyzed).
+//
+// Goroutines whose edge the analyzer cannot see (e.g. a read loop released
+// by closing the connection from another goroutine) carry //ufc:leak <why>
+// on the go statement.
+var Leakcheck = &Analyzer{
+	Name:      "leakcheck",
+	Doc:       "flag go statements with no visible shutdown edge (channel, context, WaitGroup.Done)",
+	FactTypes: []Fact{(*shutdownFact)(nil)},
+	Run:       runLeakcheck,
+}
+
+// shutdownFact marks a function whose body contains a shutdown edge, so a
+// goroutine body that delegates its loop to a helper — possibly in another
+// package — still checks out.
+type shutdownFact struct {
+	Edge string `json:"edge"` // which edge: "channel op", "context", "WaitGroup.Done", or "calls <fn>"
+}
+
+func (*shutdownFact) AFact() {}
+
+func runLeakcheck(pass *Pass) error {
+	edges := pass.exportShutdownFacts()
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if pass.goHasShutdownEdge(gs, edges) || pass.Suppressed(gs, "leak") {
+				return true
+			}
+			pass.Reportf(gs.Pos(), "goroutine has no visible shutdown edge (channel op, context, or WaitGroup.Done); it can leak or race teardown — add one, or justify with //ufc:leak if the edge is external (e.g. connection close)")
+			return true
+		})
+	}
+	return nil
+}
+
+// exportShutdownFacts computes the transitive has-a-shutdown-edge set over
+// the package's functions, exports a shutdownFact for each member, and
+// returns the local edge descriptions.
+func (p *Pass) exportShutdownFacts() map[*types.Func]*shutdownFact {
+	cg := p.Callgraph()
+	what := make(map[*types.Func]*shutdownFact)
+	seed := func(fn *types.Func, decl *ast.FuncDecl) bool {
+		if p.IsTestFile(decl.Pos()) {
+			return false
+		}
+		if edge := p.directShutdownEdge(decl.Body, decl.Type); edge != "" {
+			what[fn] = &shutdownFact{Edge: edge}
+			return true
+		}
+		return false
+	}
+	inSet := func(callee *types.Func) bool {
+		var f shutdownFact
+		return p.ImportObjectFact(callee, &f)
+	}
+	members := cg.Fixpoint(seed, inSet)
+	for fn := range members {
+		f := what[fn]
+		if f == nil {
+			for _, callee := range cg.Callees(fn) {
+				var imported shutdownFact
+				if members[callee] || p.ImportObjectFact(callee, &imported) {
+					f = &shutdownFact{Edge: "calls " + callee.Name()}
+					break
+				}
+			}
+			if f == nil {
+				f = &shutdownFact{Edge: "transitive"}
+			}
+			what[fn] = f
+		}
+		p.ExportObjectFact(fn, f)
+	}
+	return what
+}
+
+// directShutdownEdge scans a function body (and its parameter list, for
+// context parameters) for a locally-visible shutdown edge, returning a
+// short description or "".
+func (p *Pass) directShutdownEdge(body *ast.BlockStmt, ftype *ast.FuncType) string {
+	if ftype != nil && ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			if t := p.TypesInfo.TypeOf(field.Type); t != nil && isContextType(t) {
+				return "context parameter"
+			}
+		}
+	}
+	if body == nil {
+		return ""
+	}
+	edge := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if edge != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			edge = "channel op"
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				edge = "channel op"
+			}
+		case *ast.RangeStmt:
+			if t := p.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					edge = "channel op"
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" &&
+				p.TypesInfo.Uses[id] == types.Universe.Lookup("close") {
+				edge = "channel op"
+				return false
+			}
+			if f := p.funcOf(n); f != nil {
+				sig, _ := f.Type().(*types.Signature)
+				if f.Name() == "Done" && sig != nil && sig.Recv() != nil && namedTypeIs(sig.Recv().Type(), "sync", "WaitGroup") {
+					edge = "WaitGroup.Done"
+					return false
+				}
+			}
+		case *ast.Ident:
+			if t := p.TypesInfo.TypeOf(n); t != nil && isContextType(t) {
+				edge = "context"
+			}
+		}
+		return edge == ""
+	})
+	return edge
+}
+
+// goHasShutdownEdge reports whether the go statement's spawned function has
+// a visible shutdown edge: inline literal bodies are scanned directly
+// (including context-typed values captured or passed), named callees
+// resolve through the local edge set or an imported shutdownFact.
+func (p *Pass) goHasShutdownEdge(gs *ast.GoStmt, edges map[*types.Func]*shutdownFact) bool {
+	// Arguments passed to the goroutine count: `go run(ctx)` hands the
+	// callee a cancellation signal even if we cannot see run's body.
+	for _, arg := range gs.Call.Args {
+		if t := p.TypesInfo.TypeOf(arg); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return p.directShutdownEdge(fun.Body, fun.Type) != "" || p.litCallsEdgeFunc(fun, edges)
+	default:
+		callee := p.funcOf(gs.Call)
+		if callee == nil {
+			return false // dynamic call: cannot prove an edge
+		}
+		if _, ok := edges[callee]; ok {
+			return true
+		}
+		var f shutdownFact
+		return p.ImportObjectFact(callee, &f)
+	}
+}
+
+// litCallsEdgeFunc reports whether the goroutine literal calls any function
+// known (locally or by fact) to contain a shutdown edge.
+func (p *Pass) litCallsEdgeFunc(lit *ast.FuncLit, edges map[*types.Func]*shutdownFact) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := p.funcOf(call)
+		if callee == nil {
+			return true
+		}
+		if _, ok := edges[callee]; ok {
+			found = true
+			return false
+		}
+		var f shutdownFact
+		if p.ImportObjectFact(callee, &f) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

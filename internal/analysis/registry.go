@@ -2,7 +2,7 @@ package analysis
 
 // All returns every ufclint analyzer in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Detrand, Hotalloc, Wiresafe, Errdiscard}
+	return []*Analyzer{Detrand, Hotalloc, Wiresafe, Errdiscard, Ctxflow, Atomicpub, Leakcheck}
 }
 
 // ByName returns the named analyzer, or nil.

@@ -1,0 +1,106 @@
+// Fixture for the atomicpub analyzer: post-publish mutation through
+// atomic.Pointer stores (direct, via a local wrapper, and via an imported
+// publisher) and mixed atomic/plain access to the same field.
+package atomicpub
+
+import (
+	"sync/atomic"
+
+	"pubdep"
+)
+
+type snapshot struct {
+	version int64
+}
+
+type router struct {
+	cur atomic.Pointer[snapshot]
+}
+
+// publishThenMutate stamps the value too late.
+func (r *router) publishThenMutate(s *snapshot) {
+	s.version = 7 // pre-publish writes are the normal build-up
+	r.cur.Store(s)
+	s.version = 8 // want `write to s after it was published via an atomic pointer`
+}
+
+// publishClean finishes the value before publishing.
+func (r *router) publishClean(s *snapshot) {
+	s.version = 7
+	r.cur.Store(s)
+}
+
+// publishJustified documents a tolerated late write.
+func (r *router) publishJustified(s *snapshot) {
+	r.cur.Store(s)
+	//ufc:pub fixture: readers tolerate this field arriving late
+	s.version = 9
+}
+
+// publish is the wrapper whose publishesFact propagates to callers.
+func (r *router) publish(s *snapshot) {
+	r.cur.Store(s)
+}
+
+// viaWrapper mutates after publishing through the wrapper.
+func (r *router) viaWrapper(s *snapshot) {
+	r.publish(s)
+	s.version = 1 // want `write to s after it was published via an atomic pointer`
+}
+
+// viaDep mutates after publishing through an imported function — only the
+// dependency's exported fact reveals the hand-off.
+func viaDep(b *pubdep.Box, s *pubdep.State) {
+	pubdep.Publish(b, s)
+	s.N++ // want `write to s after it was published via an atomic pointer`
+}
+
+type counters struct {
+	hits  int64
+	total int64
+}
+
+// bump accesses hits atomically, making it an atomic location.
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// read races bump.
+func (c *counters) read() int64 {
+	return c.hits // want `plain access to hits`
+}
+
+// readAtomic is the correct counterpart.
+func (c *counters) readAtomic() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// readTotal is fine: total is never accessed atomically.
+func (c *counters) readTotal() int64 {
+	return c.total
+}
+
+// readJustified documents a tolerated plain read.
+func (c *counters) readJustified() int64 {
+	//ufc:pub fixture: approximate read on a stats path
+	return c.hits
+}
+
+type ring struct {
+	slots []int64
+}
+
+// set makes slots an element-atomic location.
+func (r *ring) set(i int, v int64) {
+	atomic.StoreInt64(&r.slots[i], v)
+}
+
+// length uses only the slice header — never flagged.
+func (r *ring) length() int {
+	return len(r.slots)
+}
+
+// raw races set on the element.
+func (r *ring) raw(i int) int64 {
+	return r.slots[i] // want `plain element access to slots`
+}

@@ -1,0 +1,18 @@
+// Dependency fixture for atomicpub: Publish stores its parameter into an
+// atomic pointer, and the exported publishesFact lets importers catch
+// post-publish writes on their side of the boundary.
+package pubdep
+
+import "sync/atomic"
+
+// State is a published value.
+type State struct{ N int64 }
+
+// Box holds the live State.
+type Box struct{ cur atomic.Pointer[State] }
+
+// Publish makes s visible to concurrent readers; the caller must not
+// touch it afterwards.
+func Publish(b *Box, s *State) {
+	b.cur.Store(s)
+}

@@ -1,0 +1,10 @@
+// Dependency fixture for ctxflow: not a watched package (no diagnostics
+// here), but its blocking facts are exported for the importer's checks.
+package dephelpers
+
+import "time"
+
+// SlowPoll blocks without consulting any context.
+func SlowPoll() {
+	time.Sleep(10 * time.Millisecond)
+}

@@ -1,0 +1,92 @@
+// Fixture for the ctxflow analyzer. The package is named distsim so the
+// watched-package gate applies; dephelpers below is a dependency package
+// whose blocking facts cross the import boundary.
+package distsim
+
+import (
+	"context"
+	"time"
+
+	"dephelpers"
+)
+
+// entry mints a root context mid-stack.
+func entry() {
+	ctx := context.Background() // want `context.Background\(\) detaches this call tree`
+	_ = ctx
+}
+
+// justified documents its deliberate root.
+func justified() {
+	ctx := context.Background() //ufc:ctx fixture: this is a documented root
+	_ = ctx
+}
+
+// pause blocks with no context; it seeds the blocking fact set.
+func pause() {
+	time.Sleep(time.Millisecond)
+}
+
+// relay blocks transitively through pause.
+func relay() {
+	pause()
+}
+
+func run(ctx context.Context) error {
+	<-ctx.Done()
+	return nil
+}
+
+// serve holds a context yet waits uncancellably.
+func serve(ctx context.Context) error {
+	if err := run(ctx); err != nil {
+		return err
+	}
+	pause() // want `pause blocks \(time\.Sleep\) without accepting this function's ctx`
+	return nil
+}
+
+// serveRelay hits the same wall through a transitive blocker.
+func serveRelay(ctx context.Context) {
+	<-ctx.Done()
+	relay() // want `relay blocks \(calls pause → time\.Sleep\)`
+}
+
+// serveDep blocks through an imported helper: only the dependency's
+// exported fact reveals it.
+func serveDep(ctx context.Context) {
+	<-ctx.Done()
+	dephelpers.SlowPoll() // want `SlowPoll blocks \(time\.Sleep\)`
+}
+
+// serveSuppressed documents why its teardown wait ignores cancellation.
+func serveSuppressed(ctx context.Context) {
+	<-ctx.Done()
+	pause() //ufc:ctx fixture: bounded teardown wait
+}
+
+// wrapper accepts a context, drops it, and calls context-aware code.
+func wrapper(ctx context.Context) error { // want `wrapper accepts a context\.Context it never uses`
+	return run(context.TODO()) // want `context\.TODO\(\) detaches this call tree`
+}
+
+// good threads its context through.
+func good(ctx context.Context) error {
+	return run(ctx)
+}
+
+// sleepCtx bounds its wait with the caller's context — a blocking callee
+// that accepts a context is never flagged at call sites.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// serveGood delegates its waits to a context-aware helper.
+func serveGood(ctx context.Context) {
+	sleepCtx(ctx, time.Millisecond)
+}

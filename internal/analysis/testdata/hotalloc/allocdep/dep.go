@@ -1,0 +1,22 @@
+// Dependency fixture for hotalloc: Format allocates, and the exported
+// allocatesFact lets a hotpath caller in the importing package see it.
+package allocdep
+
+import "fmt"
+
+// Format renders a label; it allocates a string on every call.
+func Format(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// Half is allocation-free.
+func Half(n int) int {
+	return n / 2
+}
+
+// AppendByte is an append-style API (the binary.AppendUvarint shape): it
+// returns the grown buffer for the caller to feed back, so it must not
+// export an allocates fact.
+func AppendByte(b []byte, v byte) []byte {
+	return append(b, v)
+}

@@ -2,7 +2,11 @@
 // checked; the same constructs on cold paths pass.
 package hotalloc
 
-import "fmt"
+import (
+	"fmt"
+
+	"allocdep"
+)
 
 func consume(v interface{}) { _ = v }
 
@@ -36,6 +40,27 @@ func hotAppendFresh(scratch, more []float64) []float64 {
 func hotSelfAppend(scratch []float64, v float64) []float64 {
 	scratch = append(scratch, v) // self-append reuses caller-owned capacity
 	return scratch
+}
+
+//ufc:hotpath
+func hotReturnAppend(b []byte, v byte) []byte {
+	return append(b, v) // append-style API: the caller feeds the result back
+}
+
+//ufc:hotpath
+func hotCallsAppendAPI(b []byte, n int) []byte {
+	b = appendDigits(b, n) // clean callee: return-append exports no fact
+	return b
+}
+
+// appendDigits is an unannotated append-style helper, the shape of
+// binary.AppendUvarint; it must not export an allocates fact.
+func appendDigits(b []byte, n int) []byte {
+	for n > 9 {
+		b = append(b, byte('0'+n%10))
+		n /= 10
+	}
+	return append(b, byte('0'+n))
 }
 
 //ufc:hotpath
@@ -91,4 +116,35 @@ func hotMapLit() int {
 func hotSliceLit() int {
 	xs := []int{1, 2, 3} // want `slice literal allocates a fresh backing array`
 	return xs[0]
+}
+
+//ufc:hotpath
+func hotCallsCold(n int) int {
+	s := coldSprintf(n) // want `call to coldSprintf, which allocates \(fmt\.Sprintf allocates a string on every call\)`
+	return len(s)
+}
+
+//ufc:hotpath
+func hotCallsDep() int {
+	s := allocdep.Format(3) // want `call to Format, which allocates`
+	return len(s)
+}
+
+//ufc:hotpath
+func hotCallsDepJustified(n int) int {
+	if n < 0 {
+		return len(allocdep.Format(n)) //ufc:alloc fixture: cold error branch
+	}
+	return n
+}
+
+//ufc:hotpath
+func hotCallsDepClean(n int) int {
+	return allocdep.Half(n) // allocation-free callee: no fact, no finding
+}
+
+//ufc:hotpath
+func hotCallsDepAppendAPI(b []byte) []byte {
+	b = allocdep.AppendByte(b, 7) // cross-package append-style API: no fact
+	return b
 }

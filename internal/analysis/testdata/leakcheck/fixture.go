@@ -1,0 +1,83 @@
+// Fixture for the leakcheck analyzer: every go statement needs a visible
+// shutdown edge — a channel operation, a context, WaitGroup.Done, or a
+// callee (possibly imported) that has one.
+package leakcheck
+
+import (
+	"context"
+	"sync"
+
+	"leakdep"
+)
+
+// busyLoop has no shutdown edge at all.
+func busyLoop() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+func fireNamed() {
+	go busyLoop() // want `goroutine has no visible shutdown edge`
+}
+
+func fireLit() {
+	go func() { // want `goroutine has no visible shutdown edge`
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+func fireJustified() {
+	//ufc:leak fixture: released externally (connection close)
+	go busyLoop()
+}
+
+func fireChan(done chan struct{}) {
+	go func() {
+		<-done // the channel receive is the shutdown edge
+	}()
+}
+
+func fireCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func fireWG(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func opaque(ctx context.Context) {}
+
+// fireArgCtx hands the goroutine a context even though its body is opaque.
+func fireArgCtx(ctx context.Context) {
+	go opaque(ctx)
+}
+
+func helperLoop(done chan struct{}) {
+	<-done
+}
+
+// fireHelper spawns a named local function whose edge is in its body.
+func fireHelper(done chan struct{}) {
+	go helperLoop(done)
+}
+
+// fireDep spawns an imported function; only leakdep's exported
+// shutdownFact proves the edge.
+func fireDep(q chan int) {
+	go leakdep.Pump(q)
+}
+
+// fireViaLitHelper delegates the loop to an edge-carrying helper from
+// inside a literal.
+func fireViaLitHelper(done chan struct{}) {
+	go func() {
+		helperLoop(done)
+	}()
+}

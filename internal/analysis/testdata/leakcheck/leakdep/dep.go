@@ -1,0 +1,10 @@
+// Dependency fixture for leakcheck: Pump's channel edge is exported as a
+// shutdownFact so importers can spawn it.
+package leakdep
+
+// Pump forwards items until the channel is closed.
+func Pump(q chan int) {
+	for range q {
+		// drain
+	}
+}

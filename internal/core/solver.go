@@ -1052,6 +1052,7 @@ func (e *Engine) datacenterItem(ws *StepWorkspace, j int) error {
 	s, sc := e.iterState, &e.scratch
 	m, rho := e.m, e.rho
 	mu := e.MuStep(j, sc.sumA[j], s.Nu[j], s.Phi[j])
+	//ufc:alloc only the general-convex V_j fallback allocates (bisection closure); the linear-tax path taken in benchmarks is allocation-free
 	nu := e.NuStep(j, sc.sumA[j], mu, s.Phi[j])
 	sc.muTilde[j], sc.nuTilde[j] = mu, nu
 	phi := s.Phi[j]

@@ -223,6 +223,7 @@ func (cw *connWriter) writeBatch(buf, wrapBuf *[]byte, batch *[]*frameBuf, fb *f
 			// A partially written batch record breaks the stream mid-frame;
 			// nothing after the cut is recoverable, so records are handed
 			// back only when none of the batch reached the socket.
+			//ufc:alloc cold branch: the connection is already broken, one allocation on teardown is irrelevant
 			cw.fail(err)
 			if n > 0 {
 				for _, fb := range recs {

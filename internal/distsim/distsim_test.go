@@ -252,6 +252,20 @@ func TestTransportErrors(t *testing.T) {
 	}
 }
 
+// TestRunRejectsNilContext pins the removal of the old silent
+// nil → context.Background() promotion: a nil context detached the whole
+// protocol from caller cancellation, so it is now a caller bug.
+func TestRunRejectsNilContext(t *testing.T) {
+	inst := testInstance(t, 6)
+	m, n := inst.Cloud.M(), inst.Cloud.N()
+	tr := distsim.NewChanTransport(distsim.AllAgentIDs(m, n), distsim.ChanOptions{})
+	defer func() { _ = tr.Close() }()
+	//nolint:staticcheck // passing a nil context is the point of the test
+	if _, err := distsim.Run(nil, inst, distsim.RunOptions{}, tr); !errors.Is(err, core.ErrBadOptions) {
+		t.Fatalf("Run(nil ctx) = %v, want ErrBadOptions", err)
+	}
+}
+
 func TestRunTimesOutCleanly(t *testing.T) {
 	inst := testInstance(t, 6)
 	m, n := inst.Cloud.M(), inst.Cloud.N()

@@ -87,7 +87,10 @@ func RunAgents(ctx context.Context, inst *core.Instance, opts RunOptions, transp
 		opts.Timeout = 30 * time.Second
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		// A nil context used to be silently promoted to context.Background(),
+		// which detached the whole protocol from caller cancellation; every
+		// entry point is context-first now, so a nil here is a caller bug.
+		return nil, fmt.Errorf("distsim: nil context: %w", core.ErrBadOptions)
 	}
 	var pol Resilience
 	resilient := opts.Resilience != nil
@@ -272,8 +275,7 @@ type coordResult struct {
 // mailbox wraps an inbox with a pending buffer so agents can receive
 // messages of a specific kind and iteration even when the transport
 // reorders deliveries across rounds. Waits also unblock when the run's
-// context is cancelled (a Background context never fires: its Done
-// channel is nil, and a nil channel never selects).
+// context is cancelled.
 type mailbox struct {
 	inbox   <-chan Message
 	pending []Message

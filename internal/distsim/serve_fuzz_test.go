@@ -1,0 +1,79 @@
+package distsim
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzServeWire drives the control-plane serving codec (lookup, decision
+// and cpstats records, see serve.go) with arbitrary bytes, mirroring
+// FuzzWireDecode for the solver wire: the peek and parse functions must
+// never panic, and any body that parses must survive a canonical
+// re-encode → re-parse round trip.
+func FuzzServeWire(f *testing.F) {
+	// Seed corpus: valid bodies of every record kind plus truncations.
+	var seeds [][]byte
+	addRecord := func(rec []byte) {
+		_, body := splitRecord(rec)
+		seeds = append(seeds, append([]byte(nil), body...))
+		for _, cut := range []int{len(body) / 2, len(body) - 1} {
+			if cut > 0 && cut < len(body) {
+				seeds = append(seeds, append([]byte(nil), body[:cut]...))
+			}
+		}
+	}
+	addRecord(appendLookup(nil, 0, 1, 2))
+	addRecord(appendLookup(nil, 4095, math.MaxUint64, math.MaxUint64))
+	addRecord(appendDecision(nil, Decision{ReqID: 7, DC: 3, Slot: 9, AgeNanos: 1 << 40, OK: true}))
+	addRecord(appendDecision(nil, Decision{ReqID: 8, OK: false}))
+	addRecord(appendCPStatsRequest(nil))
+	addRecord(appendCPStatsResponse(nil, nil))
+	addRecord(appendCPStatsResponse(nil, []float64{0, 1.5, math.Inf(1), -math.Pi}))
+	seeds = append(seeds, []byte{}, []byte{0xff}, []byte{frameKindLookup}, []byte{frameKindDecision, 9})
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		peekLookup(b)
+		peekDecision(b)
+		peekCPStats(b)
+
+		if fe, reqID, u, err := parseLookup(b); err == nil {
+			_, body := splitRecord(appendLookup(nil, fe, reqID, u))
+			fe2, reqID2, u2, err := parseLookup(body)
+			if err != nil {
+				t.Fatalf("re-encoded lookup failed to parse: %v", err)
+			}
+			if fe2 != fe || reqID2 != reqID || u2 != u {
+				t.Fatalf("lookup round-trip mismatch: (%d,%d,%d) vs (%d,%d,%d)", fe2, reqID2, u2, fe, reqID, u)
+			}
+		}
+
+		if d, err := parseDecision(b); err == nil {
+			_, body := splitRecord(appendDecision(nil, d))
+			d2, err := parseDecision(body)
+			if err != nil {
+				t.Fatalf("re-encoded decision failed to parse: %v", err)
+			}
+			if d2 != d {
+				t.Fatalf("decision round-trip mismatch: %+v vs %+v", d2, d)
+			}
+		}
+
+		if vals, err := parseCPStatsResponse(b); err == nil {
+			_, body := splitRecord(appendCPStatsResponse(nil, vals))
+			vals2, err := parseCPStatsResponse(body)
+			if err != nil {
+				t.Fatalf("re-encoded cpstats failed to parse: %v", err)
+			}
+			if len(vals2) != len(vals) {
+				t.Fatalf("cpstats round-trip length mismatch: %d vs %d", len(vals2), len(vals))
+			}
+			for i := range vals {
+				if math.Float64bits(vals2[i]) != math.Float64bits(vals[i]) {
+					t.Fatalf("cpstats round-trip value %d mismatch: %x vs %x", i, math.Float64bits(vals2[i]), math.Float64bits(vals[i]))
+				}
+			}
+		}
+	})
+}

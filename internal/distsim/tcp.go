@@ -557,11 +557,13 @@ func (h *TCPHub) route(fb *frameBuf, fromParent bool) {
 			sh.stats.msgs.Inc()
 			sh.stats.bytes.Add(uint64(len(fb.b)))
 			if err := p.cw.enqueue(fb); err != nil {
+				//ufc:alloc park path: an unroutable record is copied to the heap by design (broken parent link)
 				h.addPending(named, toIdx, to, fb.b)
 				putFrame(fb)
 			}
 			return
 		}
+		//ufc:alloc park path: no route for the record yet, the pending queue owns a heap copy by design
 		h.addPending(named, toIdx, to, fb.b)
 		putFrame(fb)
 		return

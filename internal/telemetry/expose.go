@@ -101,6 +101,7 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 		return nil, fmt.Errorf("telemetry: metrics listen: %w", err)
 	}
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}}
+	//ufc:leak released by Server.Close → http.Server.Close, which makes Serve return
 	go func() {
 		// Serve returns http.ErrServerClosed (or the listener error) on
 		// Close; either way the server is done and the error is expected.

@@ -41,7 +41,7 @@ func RunWeekComparison(ctx context.Context, cfg ScenarioConfig, opts Options) (*
 //
 // Deprecated: use RunWeekComparison with an explicit context.
 func RunWeekComparisonBackground(cfg ScenarioConfig, opts Options) (*WeekComparison, error) {
-	return RunWeekComparison(context.Background(), cfg, opts)
+	return RunWeekComparison(context.Background(), cfg, opts) //ufc:ctx deprecated shim: the caller chose the pre-context API and owns the root
 }
 
 // SweepFuelCellPrice reproduces Fig. 9: average UFC improvement and
@@ -56,7 +56,7 @@ func SweepFuelCellPrice(ctx context.Context, cfg ScenarioConfig, opts Options, p
 //
 // Deprecated: use SweepFuelCellPrice with an explicit context.
 func SweepFuelCellPriceBackground(cfg ScenarioConfig, opts Options, prices []float64) (*SweepResult, error) {
-	return SweepFuelCellPrice(context.Background(), cfg, opts, prices)
+	return SweepFuelCellPrice(context.Background(), cfg, opts, prices) //ufc:ctx deprecated shim: the caller chose the pre-context API and owns the root
 }
 
 // SweepCarbonTax reproduces Fig. 10: the same metrics as the carbon tax
@@ -69,5 +69,5 @@ func SweepCarbonTax(ctx context.Context, cfg ScenarioConfig, opts Options, taxes
 //
 // Deprecated: use SweepCarbonTax with an explicit context.
 func SweepCarbonTaxBackground(cfg ScenarioConfig, opts Options, taxes []float64) (*SweepResult, error) {
-	return SweepCarbonTax(context.Background(), cfg, opts, taxes)
+	return SweepCarbonTax(context.Background(), cfg, opts, taxes) //ufc:ctx deprecated shim: the caller chose the pre-context API and owns the root
 }

@@ -140,7 +140,7 @@ func Solve(ctx context.Context, inst *Instance, opts Options) (*Allocation, Brea
 //
 // Deprecated: use Solve with an explicit context.
 func SolveBackground(inst *Instance, opts Options) (*Allocation, Breakdown, *Stats, error) {
-	return Solve(context.Background(), inst, opts)
+	return Solve(context.Background(), inst, opts) //ufc:ctx deprecated shim: the caller chose the pre-context API and owns the root
 }
 
 // Evaluate computes the UFC breakdown of an arbitrary allocation.
@@ -236,6 +236,7 @@ func SolveDistributed(ctx context.Context, inst *Instance, opts Options, dist Di
 // Deprecated: use SolveDistributed with a context and DistOptions
 // (maxDelay is DistOptions.MaxDelay).
 func SolveDistributedBackground(inst *Instance, opts Options, maxDelay time.Duration) (*Allocation, Breakdown, *Stats, error) {
+	//ufc:ctx deprecated shim: the caller chose the pre-context API and owns the root
 	return SolveDistributed(context.Background(), inst, opts, DistOptions{MaxDelay: maxDelay})
 }
 
@@ -259,18 +260,21 @@ func RunDistributed(ctx context.Context, inst *Instance, opts Options, dist Dist
 		hubAddr := dist.HubAddr
 		if hubAddr == "" {
 			var err error
+			//ufc:ctx loopback listen+accept setup; binding is immediate and the hub is torn down by the defer below
 			hub, err = distsim.NewTCPHubOpts("127.0.0.1:0", distsim.HubOptions{})
 			if err != nil {
 				return nil, err
 			}
 			hubAddr = hub.Addr()
 		}
+		//ufc:ctx dial is bounded by the OS connect timeout; ctx-aware dialing would ripple through the whole distsim transport API
 		node, err := distsim.NewTCPNodeOpts(hubAddr, ids, distsim.NodeOptions{
 			HeartbeatInterval: dist.HeartbeatInterval,
 			HeartbeatMiss:     dist.HeartbeatMiss,
 		})
 		if err != nil {
 			if hub != nil {
+				//ufc:ctx teardown must drain the hub's writer goroutines even when cancelled
 				_ = hub.Close() //ufc:discard dial failure is the error being reported
 			}
 			return nil, err
@@ -284,6 +288,7 @@ func RunDistributed(ctx context.Context, inst *Instance, opts Options, dist Dist
 		if err != nil {
 			_ = tr.Close() //ufc:discard plan validation failure is the error being reported
 			if hub != nil {
+				//ufc:ctx teardown must drain the hub's writer goroutines even when cancelled
 				_ = hub.Close() //ufc:discard plan validation failure is the error being reported
 			}
 			return nil, err
@@ -293,6 +298,7 @@ func RunDistributed(ctx context.Context, inst *Instance, opts Options, dist Dist
 	defer func() {
 		_ = tr.Close() //ufc:discard in-process transport; Run already surfaced any failure
 		if hub != nil {
+			//ufc:ctx teardown must drain the hub's writer goroutines even when cancelled
 			_ = hub.Close() //ufc:discard private loopback hub; the run's outcome was already decided
 		}
 	}()
