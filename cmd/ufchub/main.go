@@ -43,6 +43,7 @@ import (
 	"repro/internal/distsim"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracing"
 )
 
 func main() {
@@ -74,8 +75,17 @@ func run(args []string) error {
 	}
 
 	var reg *telemetry.Registry
+	var traceReg *tracing.Registry
+	var hubTracer, cpTracer *tracing.Recorder
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
+		telemetry.RegisterBuildInfo(reg, "ufchub")
+		// One deterministic ID stream per process; recorders share it so a
+		// hub-side span never collides with a pipeline-side one.
+		traceReg = tracing.NewRegistry()
+		ids := tracing.NewIDSource(*seed)
+		hubTracer = traceReg.Recorder(tracing.Config{Component: "hub", IDs: ids, SampleEvery: 1})
+		cpTracer = traceReg.Recorder(tracing.Config{Component: "controlplane", IDs: ids, SampleEvery: 1})
 	}
 
 	opts := distsim.HubOptions{
@@ -83,12 +93,13 @@ func run(args []string) error {
 		RouteShards: *routeShards,
 		Parent:      *parent,
 		Region:      *region,
+		Tracer:      hubTracer,
 	}
 
 	var pipe *controlplane.Pipeline
 	if *serve {
 		var err error
-		if pipe, err = newServePipeline(*topoSpec, *seed, *slotCycle, *cacheSize, *maxIters, *solverWorkers, *slotInterval, !*cold, reg); err != nil {
+		if pipe, err = newServePipeline(*topoSpec, *seed, *slotCycle, *cacheSize, *maxIters, *solverWorkers, *slotInterval, !*cold, reg, cpTracer); err != nil {
 			return err
 		}
 		opts.Decider = pipe
@@ -127,12 +138,19 @@ func run(args []string) error {
 
 	if reg != nil {
 		hub.RegisterMetrics(reg, telemetry.L("component", "hub"))
-		msrv, err := telemetry.StartServer(*metricsAddr, reg)
+		srvOpts := telemetry.ServerOptions{Trace: traceReg.Handler()}
+		if pipe != nil {
+			// A serving hub is ready once a snapshot has been published;
+			// plain forwarding hubs are ready as soon as they listen.
+			router := pipe.Router()
+			srvOpts.Ready = func() bool { return router.Current() != nil }
+		}
+		msrv, err := telemetry.StartServerOpts(*metricsAddr, reg, srvOpts)
 		if err != nil {
 			return err
 		}
 		defer func() { _ = msrv.Close() }() //ufc:discard process is exiting; nothing to salvage from the listener
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", msrv.Addr())
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof at /debug/pprof/, traces at /debug/ufc/trace)\n", msrv.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -151,7 +169,7 @@ func run(args []string) error {
 
 // newServePipeline validates the -serve flag set and builds the rolling
 // horizon pipeline (idle; the caller starts it).
-func newServePipeline(topoSpec string, seed int64, slotCycle, cacheSize, maxIters, workers int, interval time.Duration, warm bool, reg *telemetry.Registry) (*controlplane.Pipeline, error) {
+func newServePipeline(topoSpec string, seed int64, slotCycle, cacheSize, maxIters, workers int, interval time.Duration, warm bool, reg *telemetry.Registry, tracer *tracing.Recorder) (*controlplane.Pipeline, error) {
 	if topoSpec == "" {
 		return nil, fmt.Errorf("-serve requires -topology \"N,M,R\"")
 	}
@@ -196,5 +214,6 @@ func newServePipeline(topoSpec string, seed int64, slotCycle, cacheSize, maxIter
 		Quantum:      1e-3,
 		SlotInterval: interval,
 		Metrics:      reg,
+		Tracer:       tracer,
 	})
 }

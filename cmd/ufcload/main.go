@@ -40,6 +40,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/distsim"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracing"
 )
 
 const schemaID = "ufc-bench-controlplane/v1"
@@ -66,6 +68,8 @@ func run(args []string) error {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "with -bench: solver workers")
 	out := fs.String("out", "BENCH_controlplane.json", "with -bench: output file (\"-\" for stdout)")
 	validate := fs.String("validate", "", "validate an existing result file instead of measuring")
+	traceSample := fs.Int("trace-sample", 0, "trace every Nth lookup end-to-end and report exemplar trace ids at p99/p999 (0 disables)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics, health probes and /debug/ufc/trace on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,7 +86,34 @@ func run(args []string) error {
 		return errors.New("-addr is required (or use -bench)")
 	}
 
-	res, stats, err := runLoad(*addr, *conns, *rps, *duration, *seed)
+	// Optional observability sidecar: a tracing ring when sampling is on,
+	// and a metrics/health server when an address is given. Neither alters
+	// the load schedule or the text report's existing lines.
+	var lc loadConfig
+	var traceReg *tracing.Registry
+	if *traceSample > 0 {
+		traceReg = tracing.NewRegistry()
+		lc.tracer = traceReg.Recorder(tracing.Config{Component: "loadgen", IDs: tracing.NewIDSource(*seed), SampleEvery: uint64(*traceSample)})
+	}
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterBuildInfo(reg, "ufcload")
+		lc.hist = reg.Histogram("ufc_load_decide_latency_seconds",
+			"Client-observed decision latency of answered lookups.",
+			telemetry.ExponentialBuckets(1e-6, 2, 20), telemetry.L("component", "loadgen"))
+		srvOpts := telemetry.ServerOptions{}
+		if traceReg != nil {
+			srvOpts.Trace = traceReg.Handler()
+		}
+		msrv, err := telemetry.StartServerOpts(*metricsAddr, reg, srvOpts)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = msrv.Close() }() //ufc:discard process is exiting; nothing to salvage from the listener
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", msrv.Addr())
+	}
+
+	res, stats, err := runLoad(*addr, *conns, *rps, *duration, *seed, lc)
 	if err != nil {
 		return err
 	}
@@ -90,6 +121,10 @@ func run(args []string) error {
 		stats.M, stats.N, stats.Slot, res.Sent, res.Answered, res.Unavailable, res.Sent-res.Answered)
 	fmt.Printf("latency p50 %v  p99 %v  p999 %v\n",
 		time.Duration(res.P50Ns), time.Duration(res.P99Ns), time.Duration(res.P999Ns))
+	if lc.tracer != nil {
+		fmt.Printf("exemplar traces p99 %s  p999 %s (fetch via /debug/ufc/trace?trace=ID on the hub)\n",
+			res.P99Trace, res.P999Trace)
+	}
 	fmt.Printf("achieved %.0f rps (offered %d), max snapshot age %v\n",
 		res.AchievedRPS, *rps, time.Duration(res.MaxAgeNanos))
 	fmt.Printf("server: %d solves (%d warm avg %.0f iters, %d cold avg %.0f iters), cache %d hits / %d misses\n",
@@ -117,15 +152,32 @@ type loadResult struct {
 	P99Ns       int64
 	P999Ns      int64
 	MaxAgeNanos int64
+	// Exemplar trace ids nearest the p99/p999 observations (zero when
+	// tracing is off or no traced request landed in the tail).
+	P99Trace  tracing.TraceID
+	P999Trace tracing.TraceID
+}
+
+// loadConfig is the optional observability attached to a load run: a
+// recorder that samples end-to-end request traces and a histogram fed the
+// same latencies as the exact percentile arrays. Both are nil-safe off
+// switches — a zero loadConfig reproduces the bare run byte for byte.
+type loadConfig struct {
+	tracer *tracing.Recorder
+	hist   *telemetry.Histogram
 }
 
 // connState is one connection's request ledger. Send and receive sides
 // run on different goroutines, so both timestamp arrays are accessed
 // atomically; the request sequence number doubles as the array index.
+// traceHi/traceLo hold the sampled request's trace and root-span ids
+// (zero = untraced), atomically for the same reason.
 type connState struct {
 	client    *distsim.LookupClient
 	sendNanos []int64
 	latNanos  []int64
+	traceHi   []uint64
+	traceLo   []uint64
 	answered  atomic.Uint64
 	unavail   atomic.Uint64
 	maxAge    atomic.Int64
@@ -134,7 +186,7 @@ type connState struct {
 // runLoad drives addr with conns×(rps/conns) open-loop lookups for the
 // given duration and collects exact latency percentiles. The final stats
 // record comes from the server itself (cpstats record).
-func runLoad(addr string, conns, rps int, duration time.Duration, seed int64) (*loadResult, controlplane.Stats, error) {
+func runLoad(addr string, conns, rps int, duration time.Duration, seed int64, lc loadConfig) (*loadResult, controlplane.Stats, error) {
 	var zero controlplane.Stats
 	total := int(float64(rps) * duration.Seconds())
 	if total < 1 {
@@ -147,6 +199,10 @@ func runLoad(addr string, conns, rps int, duration time.Duration, seed int64) (*
 			per++
 		}
 		cs := &connState{sendNanos: make([]int64, per), latNanos: make([]int64, per)}
+		if lc.tracer != nil {
+			cs.traceHi = make([]uint64, per)
+			cs.traceLo = make([]uint64, per)
+		}
 		client, err := distsim.DialLookup(addr, fmt.Sprintf("lg-%d", c), func(d distsim.Decision) {
 			seq := d.ReqID
 			if seq >= uint64(len(cs.sendNanos)) {
@@ -160,7 +216,21 @@ func runLoad(addr string, conns, rps int, duration time.Duration, seed int64) (*
 			if sent == 0 {
 				return
 			}
-			atomic.StoreInt64(&cs.latNanos[seq], time.Now().UnixNano()-sent)
+			now := time.Now().UnixNano()
+			atomic.StoreInt64(&cs.latNanos[seq], now-sent)
+			if lc.hist != nil {
+				lc.hist.Observe(float64(now-sent) / 1e9)
+			}
+			if lc.tracer != nil {
+				tc := tracing.Context{
+					Trace: tracing.TraceID(atomic.LoadUint64(&cs.traceHi[seq])),
+					Span:  tracing.SpanID(atomic.LoadUint64(&cs.traceLo[seq])),
+				}
+				if tc.Valid() {
+					lc.tracer.RecordSpan(tc, "load.decide", sent, now,
+						tracing.I64("req", int64(seq)), tracing.I64("dc", int64(d.DC)))
+				}
+			}
 			for {
 				cur := cs.maxAge.Load()
 				if d.AgeNanos <= cur || cs.maxAge.CompareAndSwap(cur, d.AgeNanos) {
@@ -207,8 +277,21 @@ func runLoad(addr string, conns, rps int, duration time.Duration, seed int64) (*
 				}
 				fe := uint32(rng.Intn(pre.M))
 				u := rng.Uint64()
+				var tc tracing.Context
+				if lc.tracer != nil {
+					// The recorder's head sampler decides which requests get
+					// a trace; unsampled ones yield a zero context and a
+					// byte-identical untraced lookup on the wire.
+					sp := lc.tracer.Root("load.request")
+					sp.Attr("conn", int64(c))
+					sp.Attr("req", int64(k))
+					tc = sp.Context()
+					atomic.StoreUint64(&cs.traceHi[k], uint64(tc.Trace))
+					atomic.StoreUint64(&cs.traceLo[k], uint64(tc.Span))
+					sp.End()
+				}
 				atomic.StoreInt64(&cs.sendNanos[k], time.Now().UnixNano())
-				if err := cs.client.Lookup(fe, uint64(k), u); err != nil {
+				if err := cs.client.LookupTraced(fe, uint64(k), u, tc); err != nil {
 					return
 				}
 				sent.Add(1)
@@ -240,6 +323,7 @@ func runLoad(addr string, conns, rps int, duration time.Duration, seed int64) (*
 
 	res := &loadResult{Sent: sent.Load()}
 	var lats []int64
+	var traces []tracing.TraceID
 	for _, cs := range states {
 		res.Answered += cs.answered.Load()
 		res.Unavailable += cs.unavail.Load()
@@ -249,15 +333,37 @@ func runLoad(addr string, conns, rps int, duration time.Duration, seed int64) (*
 		for i := range cs.latNanos {
 			if l := atomic.LoadInt64(&cs.latNanos[i]); l > 0 {
 				lats = append(lats, l)
+				if cs.traceHi != nil {
+					traces = append(traces, tracing.TraceID(atomic.LoadUint64(&cs.traceHi[i])))
+				}
 			}
 		}
 	}
 	res.AchievedRPS = float64(res.Answered) / elapsed.Seconds()
 	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		res.P50Ns = percentile(lats, 0.50)
-		res.P99Ns = percentile(lats, 0.99)
-		res.P999Ns = percentile(lats, 0.999)
+		if traces != nil {
+			// Keep the trace ids aligned with their latencies through the
+			// sort so the tail exemplars can be looked up afterwards.
+			idx := make([]int, len(lats))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(i, j int) bool { return lats[idx[i]] < lats[idx[j]] })
+			sortedLats := make([]int64, len(lats))
+			sortedTraces := make([]tracing.TraceID, len(lats))
+			for i, k := range idx {
+				sortedLats[i] = lats[k]
+				sortedTraces[i] = traces[k]
+			}
+			lats, traces = sortedLats, sortedTraces
+			res.P99Trace = exemplarAt(traces, percentileIdx(len(lats), 0.99))
+			res.P999Trace = exemplarAt(traces, percentileIdx(len(lats), 0.999))
+		} else {
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		}
+		res.P50Ns = lats[percentileIdx(len(lats), 0.50)]
+		res.P99Ns = lats[percentileIdx(len(lats), 0.99)]
+		res.P999Ns = lats[percentileIdx(len(lats), 0.999)]
 	}
 	return res, post, nil
 }
@@ -270,19 +376,34 @@ func queryStats(c *distsim.LookupClient) (controlplane.Stats, error) {
 	return controlplane.ParseStatsPayload(vals)
 }
 
-// percentile returns the p-quantile of sorted latencies (nearest-rank).
-func percentile(sorted []int64, p float64) int64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	k := int(p*float64(len(sorted))+0.5) - 1
+// percentileIdx returns the nearest-rank index of the p-quantile in a
+// sorted array of n observations.
+func percentileIdx(n int, p float64) int {
+	k := int(p*float64(n)+0.5) - 1
 	if k < 0 {
 		k = 0
 	}
-	if k >= len(sorted) {
-		k = len(sorted) - 1
+	if k >= n {
+		k = n - 1
 	}
-	return sorted[k]
+	return k
+}
+
+// exemplarAt returns the trace id at or nearest below the given index —
+// under sampling most observations carry no trace, so walk down (toward
+// faster requests, which are plentiful) and then up for a non-zero id.
+func exemplarAt(traces []tracing.TraceID, idx int) tracing.TraceID {
+	for i := idx; i >= 0; i-- {
+		if traces[i] != 0 {
+			return traces[i]
+		}
+	}
+	for i := idx + 1; i < len(traces); i++ {
+		if traces[i] != 0 {
+			return traces[i]
+		}
+	}
+	return 0
 }
 
 // BenchFile is the JSON document -bench emits and -validate checks.
@@ -422,7 +543,7 @@ func benchPoint(spec experiments.Topology, slots, workers, conns, rps int, durat
 		return nil, err
 	}
 	defer func() { _ = hub.Close() }() //ufc:discard measurement teardown
-	res, _, err := runLoad(hub.Addr(), conns, rps, duration, seed)
+	res, _, err := runLoad(hub.Addr(), conns, rps, duration, seed, loadConfig{})
 	if err != nil {
 		return nil, err
 	}

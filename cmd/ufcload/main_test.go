@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/telemetry/tracing"
+)
+
+// TestPercentileIdx pins the nearest-rank indexing the latency report and
+// the exemplar selection share.
+func TestPercentileIdx(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		want int
+	}{
+		{1, 0.50, 0},
+		{1, 0.999, 0},
+		{100, 0.50, 49},
+		{100, 0.99, 98},
+		{100, 0.999, 99},
+		{1000, 0.999, 998},
+		{4, 0.01, 0},
+	}
+	for _, tc := range cases {
+		if got := percentileIdx(tc.n, tc.p); got != tc.want {
+			t.Errorf("percentileIdx(%d, %g) = %d, want %d", tc.n, tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestExemplarAt: under sampling most observations carry no trace id; the
+// exemplar walk must find the nearest traced neighbour and prefer the
+// faster (more plentiful) side first.
+func TestExemplarAt(t *testing.T) {
+	traces := []tracing.TraceID{0, 7, 0, 0, 9, 0}
+	if got := exemplarAt(traces, 4); got != 9 {
+		t.Errorf("exact hit: got %v, want 9", got)
+	}
+	if got := exemplarAt(traces, 3); got != 7 {
+		t.Errorf("walk down: got %v, want 7", got)
+	}
+	if got := exemplarAt(traces, 0); got != 7 {
+		t.Errorf("walk up from head: got %v, want 7", got)
+	}
+	if got := exemplarAt([]tracing.TraceID{0, 0}, 1); got != 0 {
+		t.Errorf("no traced observation: got %v, want 0", got)
+	}
+}

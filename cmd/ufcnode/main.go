@@ -25,6 +25,7 @@ import (
 	"repro/internal/distsim"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracing"
 )
 
 // metricsStarted, when non-nil, is invoked with the metrics server's
@@ -84,10 +85,24 @@ func run(args []string) error {
 	if *agents == "all" {
 		ids = distsim.AllAgentIDs(m, n)
 	}
+
+	// Tracing is wired whenever there is somewhere to see it: a metrics
+	// server to serve /debug/ufc/trace from, or a hardened run whose
+	// flight recorder dumps to stderr on degrade deadlines and crashes.
+	var traceReg *tracing.Registry
+	var nodeTracer *tracing.Recorder
+	var flight *tracing.Flight
+	if *metricsAddr != "" || *resilient || *faultPlanPath != "" {
+		traceReg = tracing.NewRegistry()
+		nodeTracer = traceReg.Recorder(tracing.Config{Component: "node", IDs: tracing.NewIDSource(1), SampleEvery: 1})
+		flight = tracing.NewFlight(traceReg, os.Stderr, 0, 0)
+	}
+
 	node, err := distsim.NewTCPNodeOpts(*hub, ids, distsim.NodeOptions{
 		Buffer:            256,
 		HeartbeatInterval: *heartbeatInterval,
 		HeartbeatMiss:     *heartbeatMiss,
+		Tracer:            nodeTracer,
 	})
 	if err != nil {
 		return err
@@ -111,6 +126,7 @@ func run(args []string) error {
 		}
 		tr = faults
 		*resilient = true
+		faults.AttachFlight(nodeTracer, flight)
 	}
 	var resil *distsim.Resilience
 	if *resilient {
@@ -120,12 +136,15 @@ func run(args []string) error {
 			MessageDeadline: *messageDeadline,
 			StalenessCap:    *stalenessCap,
 			DeadAfter:       *deadAfter,
+			Tracer:          nodeTracer,
+			Flight:          flight,
 		}
 	}
 
 	probe := telemetry.NewSolverProbe()
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
+		telemetry.RegisterBuildInfo(reg, "ufcnode")
 		probe.Register(reg)
 		node.RegisterMetrics(reg, telemetry.L("component", "node"))
 		if faults != nil {
@@ -133,11 +152,11 @@ func run(args []string) error {
 		}
 		// The server is deliberately left open until process exit so the
 		// final counters of a finished solve remain scrapeable.
-		msrv, err := telemetry.StartServer(*metricsAddr, reg)
+		msrv, err := telemetry.StartServerOpts(*metricsAddr, reg, telemetry.ServerOptions{Trace: traceReg.Handler()})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", msrv.Addr())
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof at /debug/pprof/, traces at /debug/ufc/trace)\n", msrv.Addr())
 		if metricsStarted != nil {
 			metricsStarted(msrv.Addr())
 		}

@@ -145,8 +145,9 @@ func run(args []string) error {
 
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
+		telemetry.RegisterBuildInfo(reg, "ufcsim")
 		probe.Register(reg)
-		msrv, err := telemetry.StartServer(*metricsAddr, reg)
+		msrv, err := telemetry.StartServerOpts(*metricsAddr, reg, telemetry.ServerOptions{})
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracing"
 )
 
 func testTrace(t *testing.T, n, m, r int, cycle int64) (func(int64) *core.Instance, core.Options) {
@@ -386,5 +387,71 @@ func TestStatsPayloadRoundTrip(t *testing.T) {
 	bad[0] = 42
 	if _, err := ParseStatsPayload(bad); err == nil {
 		t.Fatal("wrong version accepted")
+	}
+}
+
+// TestTracedSolveBitIdentical: attaching a tracer to the pipeline must not
+// change a single bit of the published routing tables or the iteration
+// counts — spans observe the solve, they never participate in it. The
+// traced decide path must likewise agree with the plain one exactly.
+func TestTracedSolveBitIdentical(t *testing.T) {
+	trace, opts := testTrace(t, 3, 6, 3, 2)
+	run := func(tr *tracing.Recorder) []*Snapshot {
+		p, err := New(Config{Instance: trace, Solver: opts, WarmStart: true, CacheSize: 4, Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = p.Stop() }() //ufc:discard test cleanup
+		var snaps []*Snapshot
+		for s := 0; s < 4; s++ {
+			if err := p.RunSlot(); err != nil {
+				t.Fatalf("slot %d: %v", s, err)
+			}
+			snaps = append(snaps, p.Router().Current())
+		}
+		return snaps
+	}
+
+	traceReg := tracing.NewRegistry()
+	rec := traceReg.Recorder(tracing.Config{Component: "cp", IDs: tracing.NewIDSource(3), SampleEvery: 1})
+	plain := run(nil)
+	traced := run(rec)
+	if rec.Recorded() == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+	for s := range plain {
+		a, b := plain[s], traced[s]
+		if a.Slot != b.Slot || a.M != b.M || a.N != b.N || a.Info.Iterations != b.Info.Iterations {
+			t.Fatalf("slot %d: header diverged: %+v vs %+v", s, a.Info, b.Info)
+		}
+		for k := range a.cum {
+			if math.Float64bits(a.cum[k]) != math.Float64bits(b.cum[k]) {
+				t.Fatalf("slot %d: cum[%d] = %x (plain) vs %x (traced)",
+					s, k, math.Float64bits(a.cum[k]), math.Float64bits(b.cum[k]))
+			}
+		}
+	}
+
+	// DecideTraced is Decide plus a span; the decision tuple must match.
+	p, err := New(Config{Instance: trace, Solver: opts, WarmStart: true, Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Stop() }() //ufc:discard test cleanup
+	if err := p.RunSlot(); err != nil {
+		t.Fatal(err)
+	}
+	for fe := uint32(0); fe < 6; fe++ {
+		for _, u := range []uint64{0, 1 << 32, 1<<63 + 12345, ^uint64(0)} {
+			dc1, slot1, _, ok1 := p.Decide(fe, u)
+			probe := rec.Root("probe")
+			tc := probe.Context()
+			probe.End()
+			dc2, slot2, _, ok2 := p.DecideTraced(fe, u, tc)
+			if dc1 != dc2 || slot1 != slot2 || ok1 != ok2 {
+				t.Fatalf("fe=%d u=%d: Decide (%d,%d,%v) vs DecideTraced (%d,%d,%v)",
+					fe, u, dc1, slot1, ok1, dc2, slot2, ok2)
+			}
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracing"
 )
 
 // Config parameterizes a rolling-horizon solve pipeline.
@@ -34,6 +35,10 @@ type Config struct {
 	// Metrics, when non-nil, is the registry the pipeline registers its
 	// instruments on at construction.
 	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records a span per slot solve (warm/cold,
+	// iterations, cache outcome as attributes) and a child span per traced
+	// routing decision. Nil disables tracing at zero cost.
+	Tracer *tracing.Recorder
 }
 
 // Report is a point-in-time summary of the pipeline's work, consumed by
@@ -181,6 +186,12 @@ func (p *Pipeline) RunSlot() error {
 	slot := p.slot
 	inst := p.cfg.Instance(slot)
 
+	// One root span per slot, cached or solved. Spans are observability
+	// only: the solve below never reads them, so instrumented slots stay
+	// bit-identical to uninstrumented ones.
+	sp := p.cfg.Tracer.Root("cp.slot_solve")
+	sp.Attr("cpslot", slot)
+
 	var key string
 	if p.cache != nil {
 		p.digest, key = digestInstance(p.digest, inst, p.cfg.Quantum)
@@ -189,6 +200,9 @@ func (p *Pipeline) RunSlot() error {
 			info.Cached = true
 			p.cacheHits.Inc()
 			p.publish(hit.clone(slot, info))
+			sp.Attr("cached", 1)
+			sp.Attr("iterations", int64(info.Iterations))
+			sp.End()
 			return nil
 		}
 		p.cacheMisses.Inc()
@@ -232,6 +246,19 @@ func (p *Pipeline) RunSlot() error {
 	})
 	p.cache.put(key, snap)
 	p.publish(snap)
+	sp.Attr("cached", 0)
+	sp.Attr("iterations", int64(stats.Iterations))
+	if warm && stats.WarmStarted {
+		sp.Attr("warm", 1)
+	} else {
+		sp.Attr("warm", 0)
+	}
+	if stats.Converged {
+		sp.Attr("converged", 1)
+	} else {
+		sp.Attr("converged", 0)
+	}
+	sp.End()
 	return nil
 }
 

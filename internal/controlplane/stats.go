@@ -3,6 +3,8 @@ package controlplane
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/telemetry/tracing"
 )
 
 // The control-plane statistics vector exchanged over the wire (distsim's
@@ -43,6 +45,25 @@ type Stats struct {
 //ufc:hotpath
 func (p *Pipeline) Decide(fe uint32, u uint64) (dc uint32, slot uint64, ageNanos int64, ok bool) {
 	return p.router.Decide(fe, u)
+}
+
+// DecideTraced serves a traced routing decision: the snapshot read gets
+// its own span parented under the hub's lookup span, completing the
+// loadgen → hub → control-plane chain. Implements distsim.TraceDecider.
+//
+//ufc:hotpath
+func (p *Pipeline) DecideTraced(fe uint32, u uint64, tc tracing.Context) (dc uint32, slot uint64, ageNanos int64, ok bool) {
+	sp := p.cfg.Tracer.Start(tc, "cp.decide")
+	dc, slot, ageNanos, ok = p.router.Decide(fe, u)
+	sp.Attr("fe", int64(fe))
+	sp.Attr("dc", int64(dc))
+	if ok {
+		sp.Attr("hit", 1)
+	} else {
+		sp.Attr("hit", 0)
+	}
+	sp.End()
+	return dc, slot, ageNanos, ok
 }
 
 // StatsPayload appends the version-1 statistics vector to dst. All values

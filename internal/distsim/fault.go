@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracing"
 )
 
 // A FaultPlan describes a deterministic, seeded schedule of network and
@@ -228,6 +229,8 @@ type FaultTransport struct {
 	parts    []partitionSet
 	gates    map[string]*crashGate
 	counters faultCounters
+	tracer   *tracing.Recorder
+	flight   *tracing.Flight
 
 	mu       sync.Mutex
 	attempts map[attemptKey]int
@@ -273,6 +276,15 @@ func NewFaultTransport(inner Transport, plan *FaultPlan) (*FaultTransport, error
 		}
 	}
 	return f, nil
+}
+
+// AttachFlight arms the fault plane's observability hooks: each crash
+// gate's activation records a breadcrumb event and triggers one bounded
+// flight-recorder dump, capturing the spans leading up to the fault.
+// Call before the run starts; both arguments may be nil.
+func (f *FaultTransport) AttachFlight(tr *tracing.Recorder, fl *tracing.Flight) {
+	f.tracer = tr
+	f.flight = fl
 }
 
 // Stats returns a snapshot of the injection counters.
@@ -388,7 +400,19 @@ func (f *FaultTransport) crashCheck(id string, iter int) *crashGate {
 	if !ok || iter < g.atIter {
 		return nil
 	}
-	g.once.Do(func() { close(g.ch) })
+	g.once.Do(func() {
+		close(g.ch)
+		// Crash activation is a fault-plan trigger: leave a breadcrumb and
+		// capture the flight ring before degraded operation overwrites it.
+		if idx, ok := agentIndex(id); ok {
+			f.tracer.Event(tracing.Context{}, "fault.crash",
+				tracing.I64("agent", int64(idx)), tracing.I64("iter", int64(iter)))
+		} else {
+			f.tracer.Event(tracing.Context{}, "fault.crash",
+				tracing.I64("iter", int64(iter)), tracing.Attr{})
+		}
+		f.flight.Dump("fault-crash")
+	})
 	return g
 }
 

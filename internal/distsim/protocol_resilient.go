@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/telemetry/tracing"
 )
 
 // chaosTrace enables stderr tracing of every degrade decision (stale
@@ -178,10 +179,15 @@ func (p *phase) recv(kind Kind, iter int) (Message, bool, error) {
 					}
 				}
 				p.attempt++
+				p.pol.Tracer.Event(tracing.Context{}, "proto.retry",
+					tracing.I64("iter", int64(p.iter)), tracing.I64("attempt", int64(p.attempt)))
 				p.retry.Reset(p.pol.backoff(p.self, p.iter, p.attempt))
 			}
 		case <-p.degrade.C():
 			p.expired = true
+			p.pol.Tracer.Event(tracing.Context{}, "proto.degrade",
+				tracing.I64("iter", int64(p.iter)), tracing.I64("kind", int64(kind)))
+			p.pol.Flight.Dump("degrade-deadline")
 			return Message{}, false, nil
 		case <-p.mb.ctx.Done():
 			return Message{}, false, p.mb.ctx.Err()
@@ -313,6 +319,13 @@ func runFrontEndRes(ctx context.Context, e *core.Engine, t Transport, tab *idTab
 
 	for iter := 1; ; iter++ {
 		ret.NewRound(iter)
+		// One head-sampled root span per front-end iteration; its context
+		// rides the routing records (and the residual report) through the
+		// hub tree, so a single trace links this agent's round to every
+		// forwarding hop and to the coordinator's gather.
+		sp := pol.Tracer.Root("fe.iter")
+		sp.Attr("fe", int64(i))
+		sp.Attr("iter", int64(iter))
 		if err := e.LambdaStepInto(ws, i, aRow, varphiRow, lambdaTilde); err != nil {
 			return fmt.Errorf("front-end %d iter %d: %w", i, iter, err)
 		}
@@ -326,6 +339,7 @@ func runFrontEndRes(ctx context.Context, e *core.Engine, t Transport, tab *idTab
 			if err := ret.Send(tab.dc[j], Message{
 				Kind: KindRouting, Iter: iter, From: self,
 				Payload: []float64{lambdaTilde[j], varphiRow[j]},
+				Trace:   sp.Context(),
 			}); err != nil {
 				return fmt.Errorf("front-end %d iter %d send: %w", i, iter, err)
 			}
@@ -407,9 +421,11 @@ func runFrontEndRes(ctx context.Context, e *core.Engine, t Transport, tab *idTab
 
 		if err := ret.Send(tab.coord, Message{
 			Kind: KindReport, Iter: iter, From: self, Payload: []float64{residual},
+			Trace: sp.Context(),
 		}); err != nil {
 			return fmt.Errorf("front-end %d iter %d report: %w", i, iter, err)
 		}
+		sp.End()
 		ctl, err := controlPhase(mb, &pol, ret, tab, self, iter)
 		if err != nil {
 			return err
@@ -456,6 +472,9 @@ func runDatacenterRes(ctx context.Context, e *core.Engine, t Transport, tab *idT
 	got := make([]bool, m)
 	stale := make([]int, m)
 	deadFE := make([]bool, m)
+	// The trace context of each front-end's current routing row, echoed on
+	// the ã reply so the front-end's trace covers the round trip.
+	feTrace := make([]tracing.Context, m)
 	ws := e.NewStepWorkspace()
 	var mu, nu, phi float64
 
@@ -499,6 +518,7 @@ func runDatacenterRes(ctx context.Context, e *core.Engine, t Transport, tab *idT
 			}
 			lambdaTildeCol[i] = msg.Payload[0]
 			varphiCol[i] = msg.Payload[1]
+			feTrace[i] = msg.Trace
 			got[i] = true
 			recvd++
 		}
@@ -519,6 +539,7 @@ func runDatacenterRes(ctx context.Context, e *core.Engine, t Transport, tab *idT
 				return fmt.Errorf("datacenter %d iter %d: front-end %d stale %d rounds: %w",
 					j, iter, i, stale[i], ErrStale)
 			}
+			feTrace[i] = tracing.Context{} // stale row: don't echo an old trace
 			mb.skipTo(tab.fe[i], KindRouting, iter)
 		}
 
@@ -544,6 +565,7 @@ func runDatacenterRes(ctx context.Context, e *core.Engine, t Transport, tab *idT
 			if err := ret.Send(tab.fe[i], Message{
 				Kind: KindAux, Iter: iter, From: self,
 				Payload: []float64{aTilde[i]},
+				Trace:   feTrace[i],
 			}); err != nil {
 				return fmt.Errorf("datacenter %d iter %d send: %w", j, iter, err)
 			}
@@ -622,6 +644,9 @@ func runCoordinatorRes(ctx context.Context, e *core.Engine, t Transport, tab *id
 	dead := make([]bool, m+n)
 	got := make([]bool, m+n)
 	reported := make([]float64, m+n)
+	// Each agent's current report trace, echoed on its control reply so a
+	// front-end's iteration trace covers the full round trip ("and back").
+	reportTrace := make([]tracing.Context, m+n)
 
 	liveCount := func() int {
 		c := 0
@@ -670,6 +695,7 @@ func runCoordinatorRes(ctx context.Context, e *core.Engine, t Transport, tab *id
 			}
 			if err := ret.Send(id, Message{
 				Kind: KindControl, Iter: iter, From: self, Stop: stop, Payload: mask,
+				Trace: reportTrace[k],
 			}); err != nil {
 				return err
 			}
@@ -716,6 +742,10 @@ func runCoordinatorRes(ctx context.Context, e *core.Engine, t Transport, tab *id
 				continue
 			}
 			reported[k] = msg.Payload[0]
+			reportTrace[k] = msg.Trace
+			if msg.Trace.Valid() {
+				pol.Tracer.Event(msg.Trace, "coord.report", tracing.I64("iter", int64(iter)), tracing.Attr{})
+			}
 			got[k] = true
 			recvd++
 		}
@@ -740,10 +770,14 @@ func runCoordinatorRes(ctx context.Context, e *core.Engine, t Transport, tab *id
 			if chaosTrace {
 				fmt.Fprintf(os.Stderr, "trace: coord missed %s @%d (count %d)\n", agents[k], iter, missed[k])
 			}
+			reportTrace[k] = tracing.Context{} // missed round: no trace to echo
 			mb.skipTo(agents[k], KindReport, iter)
 			if missed[k] >= pol.DeadAfter {
 				dead[k] = true
 				degr.DeadAgents = append(degr.DeadAgents, agents[k])
+				pol.Tracer.Event(tracing.Context{}, "coord.dead",
+					tracing.I64("iter", int64(iter)), tracing.I64("agent", int64(k)))
+				pol.Flight.Dump("agent-dead")
 				if chaosTrace {
 					fmt.Fprintf(os.Stderr, "trace: coord declared %s dead @%d\n", agents[k], iter)
 				}
@@ -752,6 +786,8 @@ func runCoordinatorRes(ctx context.Context, e *core.Engine, t Transport, tab *id
 		if missedThisRound > 0 {
 			degraded = true
 			degr.StaleRounds++
+			pol.Tracer.Event(tracing.Context{}, "coord.round",
+				tracing.I64("iter", int64(iter)), tracing.I64("missed", int64(missedThisRound)))
 		}
 
 		stats.Iterations = iter

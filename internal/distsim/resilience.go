@@ -3,6 +3,8 @@ package distsim
 import (
 	"errors"
 	"time"
+
+	"repro/internal/telemetry/tracing"
 )
 
 // Resilience errors.
@@ -47,6 +49,17 @@ type Resilience struct {
 	DeadAfter int
 	// Seed drives the deterministic retransmission jitter.
 	Seed int64
+
+	// Tracer, when non-nil, records protocol breadcrumbs in the flight
+	// ring: per-iteration front-end root spans (whose context rides the
+	// routing and report records through the hub tree), retry events and
+	// degrade events. Observability only — spans never alter the message
+	// schedule or the floats.
+	Tracer *tracing.Recorder
+	// Flight, when non-nil, dumps the flight ring when a degrade deadline
+	// expires — the moments worth a postmortem. Dumps are bounded (see
+	// tracing.Flight).
+	Flight *tracing.Flight
 
 	// tf overrides the timer source; tests inject a fake clock.
 	tf timerFactory

@@ -8,17 +8,23 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry/tracing"
 )
 
 // Serving-plane wire records. A control-plane hub (HubOptions.Decider set)
 // answers two extra record kinds on its node links:
 //
 //	lookup   (0x0a): a front-end decision request
-//	           byte    frameKindLookup
+//	           byte    frameKindLookup (| 0x40 when trace-context tagged)
 //	           uvarint front-end index
 //	           8 bytes request id, little-endian (echoed verbatim)
 //	           8 bytes entropy, little-endian (inverted through the
 //	                   snapshot's routing distribution)
+//	           16 optional trace-context bytes (trace id + span id,
+//	                   little-endian), present iff the head carries the
+//	                   traced flag; untraced lookups are byte-identical
+//	                   to the pre-tracing format
 //	decision (0x0b): the answer
 //	           byte    frameKindDecision
 //	           byte    status (0 = ok, 1 = no snapshot / unknown fe)
@@ -60,55 +66,81 @@ type Decider interface {
 	StatsPayload(dst []float64) []float64
 }
 
-// appendLookup appends the length-prefixed lookup record.
+// A TraceDecider additionally answers traced lookups: tc is the hub-side
+// span context so the decider's own span (e.g. the pipeline's snapshot
+// read) parents under the hub's. Deciders that don't implement it still
+// serve traced lookups — the hub just falls back to Decide.
+type TraceDecider interface {
+	Decider
+	DecideTraced(fe uint32, u uint64, tc tracing.Context) (dc uint32, slot uint64, ageNanos int64, ok bool)
+}
+
+// appendLookup appends the length-prefixed lookup record. A valid tc
+// sets the traced flag on the head byte and rides as a 16-byte suffix.
 //
 //ufc:hotpath
-func appendLookup(dst []byte, fe uint32, reqID, u uint64) []byte {
+func appendLookup(dst []byte, fe uint32, reqID, u uint64, tc tracing.Context) []byte {
+	head := frameKindLookup
 	body := 1 + uvarintLen(uint64(fe)) + 8 + 8
+	if tc.Valid() {
+		head |= frameFlagTraced
+		body += traceSuffixLen
+	}
 	dst = binary.AppendUvarint(dst, uint64(body))
-	dst = append(dst, frameKindLookup)
+	dst = append(dst, head)
 	dst = binary.AppendUvarint(dst, uint64(fe))
 	dst = binary.LittleEndian.AppendUint64(dst, reqID)
 	dst = binary.LittleEndian.AppendUint64(dst, u)
+	if tc.Valid() {
+		dst = appendTraceSuffix(dst, tc)
+	}
 	return dst
 }
 
-// peekLookup reports whether a record body is a lookup request.
+// peekLookup reports whether a record body is a lookup request (traced
+// or not).
 //
 //ufc:hotpath
 func peekLookup(b []byte) bool {
-	return len(b) > 0 && b[0] == frameKindLookup
+	return len(b) > 0 && b[0]&^frameFlagTraced == frameKindLookup
 }
 
-// parseLookup parses a lookup body.
-func parseLookup(b []byte) (fe uint32, reqID, u uint64, err error) {
+// parseLookup parses a lookup body; tc is zero for untraced lookups.
+func parseLookup(b []byte) (fe uint32, reqID, u uint64, tc tracing.Context, err error) {
 	c := byteCursor{b: b}
 	head, err := c.u8()
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, tc, err
 	}
-	if head != frameKindLookup {
-		return 0, 0, 0, fmt.Errorf("%w: expected lookup, got head byte %#02x", ErrFrameInvalid, head)
+	if head&^frameFlagTraced != frameKindLookup {
+		return 0, 0, 0, tc, fmt.Errorf("%w: expected lookup, got head byte %#02x", ErrFrameInvalid, head)
 	}
 	feU, err := c.uvarint()
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, tc, err
 	}
 	if feU >= maxWireAgents {
-		return 0, 0, 0, fmt.Errorf("%w: lookup front-end %d out of range", ErrFrameInvalid, feU)
+		return 0, 0, 0, tc, fmt.Errorf("%w: lookup front-end %d out of range", ErrFrameInvalid, feU)
 	}
 	idRaw, err := c.bytes(8)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, tc, err
 	}
 	uRaw, err := c.bytes(8)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, tc, err
+	}
+	if head&frameFlagTraced != 0 {
+		tcRaw, err := c.bytes(traceSuffixLen)
+		if err != nil {
+			return 0, 0, 0, tc, err
+		}
+		tc = parseTraceSuffix(tcRaw)
 	}
 	if c.off != len(b) {
-		return 0, 0, 0, fmt.Errorf("%w: %d trailing lookup bytes", ErrFrameInvalid, len(b)-c.off)
+		return 0, 0, 0, tc, fmt.Errorf("%w: %d trailing lookup bytes", ErrFrameInvalid, len(b)-c.off)
 	}
-	return uint32(feU), binary.LittleEndian.Uint64(idRaw), binary.LittleEndian.Uint64(uRaw), nil
+	return uint32(feU), binary.LittleEndian.Uint64(idRaw), binary.LittleEndian.Uint64(uRaw), tc, nil
 }
 
 // appendDecision appends the length-prefixed decision record.
@@ -254,13 +286,26 @@ func parseCPStatsResponse(b []byte) ([]float64, error) {
 //
 //ufc:hotpath
 func (h *TCPHub) answerLookup(hc *hubConn, body []byte, d Decider) error {
-	fe, reqID, u, err := parseLookup(body)
+	fe, reqID, u, tc, err := parseLookup(body)
 	if err != nil {
 		return err
 	}
 	var dec Decision
 	dec.ReqID = reqID
-	dec.DC, dec.Slot, dec.AgeNanos, dec.OK = d.Decide(fe, u)
+	sp := h.tracer.Start(tc, "hub.lookup")
+	if sp.Live() {
+		if td, ok := d.(TraceDecider); ok {
+			dec.DC, dec.Slot, dec.AgeNanos, dec.OK = td.DecideTraced(fe, u, sp.Context())
+		} else {
+			dec.DC, dec.Slot, dec.AgeNanos, dec.OK = d.Decide(fe, u)
+		}
+		sp.Attr("fe", int64(fe))
+		sp.Attr("dc", int64(dec.DC))
+		sp.Attr("slot", int64(dec.Slot))
+		sp.End()
+	} else {
+		dec.DC, dec.Slot, dec.AgeNanos, dec.OK = d.Decide(fe, u)
+	}
 	fb := getFrame()
 	fb.b = appendDecision(fb.b, dec)
 	if err := hc.cw.enqueue(fb); err != nil {
@@ -332,8 +377,17 @@ func DialLookup(hubAddr, name string, onDecision func(Decision)) (*LookupClient,
 //
 //ufc:hotpath
 func (c *LookupClient) Lookup(fe uint32, reqID, u uint64) error {
+	return c.LookupTraced(fe, reqID, u, tracing.Context{})
+}
+
+// LookupTraced is Lookup with a trace context riding on the request, so
+// the hub's and pipeline's spans join the caller's trace. A zero context
+// sends a plain (byte-identical to untraced) lookup.
+//
+//ufc:hotpath
+func (c *LookupClient) LookupTraced(fe uint32, reqID, u uint64, tc tracing.Context) error {
 	fb := getFrame()
-	fb.b = appendLookup(fb.b, fe, reqID, u)
+	fb.b = appendLookup(fb.b, fe, reqID, u, tc)
 	if err := c.cw.enqueue(fb); err != nil {
 		putFrame(fb)
 		return err

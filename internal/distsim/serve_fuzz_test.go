@@ -3,6 +3,8 @@ package distsim
 import (
 	"math"
 	"testing"
+
+	"repro/internal/telemetry/tracing"
 )
 
 // FuzzServeWire drives the control-plane serving codec (lookup, decision
@@ -22,8 +24,10 @@ func FuzzServeWire(f *testing.F) {
 			}
 		}
 	}
-	addRecord(appendLookup(nil, 0, 1, 2))
-	addRecord(appendLookup(nil, 4095, math.MaxUint64, math.MaxUint64))
+	addRecord(appendLookup(nil, 0, 1, 2, tracing.Context{}))
+	addRecord(appendLookup(nil, 4095, math.MaxUint64, math.MaxUint64, tracing.Context{}))
+	addRecord(appendLookup(nil, 7, 8, 9, tracing.Context{Trace: 0xfeed, Span: 0xbeef}))
+	addRecord(appendLookup(nil, 4095, math.MaxUint64, 1, tracing.Context{Trace: math.MaxUint64, Span: math.MaxUint64}))
 	addRecord(appendDecision(nil, Decision{ReqID: 7, DC: 3, Slot: 9, AgeNanos: 1 << 40, OK: true}))
 	addRecord(appendDecision(nil, Decision{ReqID: 8, OK: false}))
 	addRecord(appendCPStatsRequest(nil))
@@ -38,14 +42,20 @@ func FuzzServeWire(f *testing.F) {
 		peekDecision(b)
 		peekCPStats(b)
 
-		if fe, reqID, u, err := parseLookup(b); err == nil {
-			_, body := splitRecord(appendLookup(nil, fe, reqID, u))
-			fe2, reqID2, u2, err := parseLookup(body)
+		if fe, reqID, u, tc, err := parseLookup(b); err == nil {
+			_, body := splitRecord(appendLookup(nil, fe, reqID, u, tc))
+			fe2, reqID2, u2, tc2, err := parseLookup(body)
 			if err != nil {
 				t.Fatalf("re-encoded lookup failed to parse: %v", err)
 			}
 			if fe2 != fe || reqID2 != reqID || u2 != u {
 				t.Fatalf("lookup round-trip mismatch: (%d,%d,%d) vs (%d,%d,%d)", fe2, reqID2, u2, fe, reqID, u)
+			}
+			// A trace context with a zero trace id cannot round-trip (the
+			// zero context encodes as "no suffix"), which is fine: zero
+			// means untraced everywhere.
+			if tc.Valid() && tc2 != tc {
+				t.Fatalf("lookup trace round-trip mismatch: %+v vs %+v", tc2, tc)
 			}
 		}
 

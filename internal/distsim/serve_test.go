@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry/tracing"
 )
 
 // readOneRecord pushes an encoded record through the stream reader and
@@ -31,27 +33,35 @@ func TestLookupRoundTrip(t *testing.T) {
 	cases := []struct {
 		fe       uint32
 		reqID, u uint64
+		trace    tracing.Context
 	}{
-		{0, 0, 0},
-		{1, 1, 1},
-		{7, 1 << 40, 0x9e3779b97f4a7c15},
-		{maxWireAgents - 1, ^uint64(0), ^uint64(0)},
+		{0, 0, 0, tracing.Context{}},
+		{1, 1, 1, tracing.Context{}},
+		{7, 1 << 40, 0x9e3779b97f4a7c15, tracing.Context{}},
+		{maxWireAgents - 1, ^uint64(0), ^uint64(0), tracing.Context{}},
+		{3, 42, 99, tracing.Context{Trace: 0xfeedface, Span: 0xdeadbeef}},
+		{maxWireAgents - 1, ^uint64(0), 1, tracing.Context{Trace: 0xffffffffffffffff, Span: 1}},
 	}
 	for _, tc := range cases {
-		body := readOneRecord(t, appendLookup(nil, tc.fe, tc.reqID, tc.u))
+		body := readOneRecord(t, appendLookup(nil, tc.fe, tc.reqID, tc.u, tc.trace))
 		if !peekLookup(body) {
 			t.Fatalf("peekLookup(fe=%d) = false", tc.fe)
 		}
 		if peekDecision(body) {
 			t.Fatalf("lookup body mistaken for decision")
 		}
-		fe, reqID, u, err := parseLookup(body)
+		fe, reqID, u, trace, err := parseLookup(body)
 		if err != nil {
 			t.Fatalf("parseLookup(fe=%d): %v", tc.fe, err)
 		}
-		if fe != tc.fe || reqID != tc.reqID || u != tc.u {
-			t.Errorf("lookup round-trip: got (%d, %d, %d), want (%d, %d, %d)",
-				fe, reqID, u, tc.fe, tc.reqID, tc.u)
+		if fe != tc.fe || reqID != tc.reqID || u != tc.u || trace != tc.trace {
+			t.Errorf("lookup round-trip: got (%d, %d, %d, %+v), want (%d, %d, %d, %+v)",
+				fe, reqID, u, trace, tc.fe, tc.reqID, tc.u, tc.trace)
+		}
+		// An untraced lookup must stay byte-identical to the pre-tracing
+		// format: no flag, no suffix.
+		if !tc.trace.Valid() && body[0] != frameKindLookup {
+			t.Errorf("untraced lookup head byte %#02x", body[0])
 		}
 	}
 }
@@ -110,7 +120,8 @@ func TestCPStatsRoundTrip(t *testing.T) {
 }
 
 func TestServeParseRejectsMalformed(t *testing.T) {
-	lookup := appendLookup(nil, 3, 99, 7)[1:] // strip length prefix
+	lookup := appendLookup(nil, 3, 99, 7, tracing.Context{})[1:] // strip length prefix
+	traced := appendLookup(nil, 3, 99, 7, tracing.Context{Trace: 5, Span: 6})[1:]
 	decision := appendDecision(nil, Decision{OK: true, DC: 2, Slot: 5, AgeNanos: 11})[1:]
 	stats := appendCPStatsResponse(nil, []float64{1, 2})[1:]
 
@@ -122,7 +133,10 @@ func TestServeParseRejectsMalformed(t *testing.T) {
 		{"empty lookup", nil, frameKindLookup},
 		{"lookup trailing byte", append(append([]byte(nil), lookup...), 0), frameKindLookup},
 		{"lookup truncated id", lookup[:len(lookup)-9], frameKindLookup},
-		{"lookup fe out of range", appendLookup(nil, maxWireAgents, 0, 0)[1:], frameKindLookup},
+		{"lookup fe out of range", appendLookup(nil, maxWireAgents, 0, 0, tracing.Context{})[1:], frameKindLookup},
+		{"traced lookup truncated suffix", traced[:len(traced)-1], frameKindLookup},
+		{"traced lookup missing suffix", traced[:len(traced)-traceSuffixLen], frameKindLookup},
+		{"traced lookup trailing byte", append(append([]byte(nil), traced...), 0), frameKindLookup},
 		{"decision trailing byte", append(append([]byte(nil), decision...), 0), frameKindDecision},
 		{"decision truncated age", decision[:len(decision)-1], frameKindDecision},
 		{"decision bad status", append([]byte{frameKindDecision, 7}, decision[2:]...), frameKindDecision},
@@ -134,7 +148,7 @@ func TestServeParseRejectsMalformed(t *testing.T) {
 		var err error
 		switch tc.kind {
 		case frameKindLookup:
-			_, _, _, err = parseLookup(tc.body)
+			_, _, _, _, err = parseLookup(tc.body)
 		case frameKindDecision:
 			_, err = parseDecision(tc.body)
 		case frameKindCPStats:
@@ -146,7 +160,7 @@ func TestServeParseRejectsMalformed(t *testing.T) {
 	}
 
 	// Cross-kind confusion must be an explicit error, not a misparse.
-	if _, _, _, err := parseLookup(decision); !errors.Is(err, ErrFrameInvalid) {
+	if _, _, _, _, err := parseLookup(decision); !errors.Is(err, ErrFrameInvalid) {
 		t.Errorf("parseLookup(decision body): %v", err)
 	}
 	if _, err := parseDecision(lookup); !errors.Is(err, ErrFrameInvalid) {

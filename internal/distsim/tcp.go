@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracing"
 )
 
 // defaultRouteShards is the default routing-table shard count
@@ -67,6 +68,7 @@ type TCPHub struct {
 	shardMask  uint32
 	shardShift uint
 	parent     *parentLink // nil on a root hub
+	tracer     *tracing.Recorder
 
 	mu     sync.Mutex
 	conns  map[net.Conn]*hubConn // value nil until the hello arrives
@@ -97,6 +99,10 @@ type HubOptions struct {
 	// decision records, and cpstats requests with the decider's statistics
 	// vector. See the serving-plane record docs in serve.go.
 	Decider Decider
+	// Tracer, when non-nil, records spans for traced lookups and
+	// forwarding events for traced records into this flight recorder.
+	// Untraced traffic costs one branch; nil disables tracing entirely.
+	Tracer *tracing.Recorder
 }
 
 // parentLink is a sub-hub's connection to its parent hub.
@@ -131,7 +137,7 @@ func NewTCPHubOpts(addr string, opts HubOptions) (*TCPHub, error) {
 	if err != nil {
 		return nil, fmt.Errorf("distsim: hub listen: %w", err)
 	}
-	h := &TCPHub{ln: ln, opts: opts, conns: make(map[net.Conn]*hubConn)}
+	h := &TCPHub{ln: ln, opts: opts, conns: make(map[net.Conn]*hubConn), tracer: opts.Tracer}
 	h.initShards(opts.RouteShards)
 	if opts.Parent != "" {
 		if err := h.dialParent(opts.Parent, opts.Region); err != nil {
@@ -552,16 +558,27 @@ func (h *TCPHub) route(fb *frameBuf, fromParent bool) {
 		}
 		sh.mu.RUnlock()
 	}
+	var trace tracing.Context
+	var traced bool
+	if h.tracer != nil {
+		trace, traced = peekTraceSuffix(body)
+	}
 	if target == nil {
 		if p := h.parent; p != nil && !fromParent {
 			sh.stats.msgs.Inc()
 			sh.stats.bytes.Add(uint64(len(fb.b)))
+			if traced {
+				h.tracer.Event(trace, "hub.up", tracing.I64("to", int64(toIdx)), tracing.Attr{})
+			}
 			if err := p.cw.enqueue(fb); err != nil {
 				//ufc:alloc park path: an unroutable record is copied to the heap by design (broken parent link)
 				h.addPending(named, toIdx, to, fb.b)
 				putFrame(fb)
 			}
 			return
+		}
+		if traced {
+			h.tracer.Event(trace, "hub.park", tracing.I64("to", int64(toIdx)), tracing.Attr{})
 		}
 		//ufc:alloc park path: no route for the record yet, the pending queue owns a heap copy by design
 		h.addPending(named, toIdx, to, fb.b)
@@ -570,6 +587,9 @@ func (h *TCPHub) route(fb *frameBuf, fromParent bool) {
 	}
 	sh.stats.msgs.Inc()
 	sh.stats.bytes.Add(uint64(len(fb.b)))
+	if traced {
+		h.tracer.Event(trace, "hub.forward", tracing.I64("to", int64(toIdx)), tracing.Attr{})
+	}
 	if err := target.cw.enqueue(fb); err != nil {
 		h.dropConn(target)
 		h.requeueRecord(fb)
@@ -583,6 +603,11 @@ func (h *TCPHub) requeueRecord(fb *frameBuf) {
 	hello, named, toIdx, to, err := peekRoute(body)
 	if err == nil && !hello {
 		h.shardFor(named, toIdx, to).stats.requeues.Inc()
+		if h.tracer != nil {
+			if trace, traced := peekTraceSuffix(body); traced {
+				h.tracer.Event(trace, "hub.requeue", tracing.I64("to", int64(toIdx)), tracing.Attr{})
+			}
+		}
 		h.addPending(named, toIdx, to, fb.b)
 	}
 	putFrame(fb)
@@ -667,6 +692,9 @@ type NodeOptions struct {
 	// HeartbeatMiss is the number of missed heartbeat windows tolerated
 	// before the link is declared dead (default 3).
 	HeartbeatMiss int
+	// Tracer, when non-nil, records send/recv events for traced messages
+	// into this flight recorder. Untraced messages cost one branch.
+	Tracer *tracing.Recorder
 }
 
 // NewTCPNode connects to the hub and registers the local agent ids.
@@ -785,6 +813,9 @@ func (n *TCPNode) readLoop() {
 			n.halt(err)
 			return
 		}
+		if n.opts.Tracer != nil && fr.msg.Trace.Valid() {
+			n.opts.Tracer.Event(fr.msg.Trace, "node.recv", tracing.I64("kind", int64(fr.msg.Kind)), tracing.I64("iter", int64(fr.msg.Iter)))
+		}
 		var box chan Message
 		if fr.named {
 			box = n.boxName[fr.to]
@@ -828,6 +859,9 @@ func (n *TCPNode) closeBoxes() {
 //
 //ufc:hotpath
 func (n *TCPNode) Send(to string, m Message) error {
+	if n.opts.Tracer != nil && m.Trace.Valid() {
+		n.opts.Tracer.Event(m.Trace, "node.send", tracing.I64("kind", int64(m.Kind)), tracing.I64("iter", int64(m.Iter)))
+	}
 	fb := getFrame()
 	fb.b = appendFrame(fb.b, to, &m)
 	if err := n.cw.enqueue(fb); err != nil {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracing"
 )
 
 // Kind discriminates protocol messages.
@@ -53,6 +54,10 @@ type Message struct {
 	From    string
 	Payload []float64
 	Stop    bool
+	// Trace is the optional trace context riding with the message; the
+	// zero value (untraced) costs nothing on the wire. Observability
+	// metadata only — it never feeds the computation.
+	Trace tracing.Context
 }
 
 // Transport delivers messages between named agents. Implementations must

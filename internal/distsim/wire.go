@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracing"
 )
 
 // Wire format of the TCP transport (node ⇄ hub, both directions).
@@ -22,12 +23,21 @@ import (
 // A message body is
 //
 //	byte     kind|flags (low nibble: kind 1..6; 0x10 = Stop, 0x20 = named
-//	         addressing; high bits reserved, must be zero)
+//	         addressing, 0x40 = trace context suffix; the top bit is
+//	         reserved, must be zero)
 //	address  to
 //	address  from
 //	uvarint  iter
 //	float64  payload values, little-endian, until the end of the body
-//	         (the record length determines the count — no count field)
+//	         minus the optional trace suffix (the record length determines
+//	         the count — no count field)
+//	trace    16 optional bytes, present iff the traced flag is set: the
+//	         trace id then the sender's span id, both little-endian uint64
+//
+// The trace suffix is version-tolerant by construction: untraced frames
+// are byte-identical to the pre-tracing format, so decoders accept
+// streams from peers that never set the flag, and the flag-gated suffix
+// is stripped before the length-inferred payload parse.
 //
 // where an address is a uvarint agent index (named flag clear) or a
 // uvarint-length-prefixed UTF-8 id string (named flag set; used only for
@@ -76,9 +86,14 @@ const (
 	// O(M); node links never carry it. Batches do not nest.
 	frameKindBatch byte = 0x0d
 
-	frameKindMask       = 0x0f
-	frameFlagStop  byte = 1 << 4
-	frameFlagNamed byte = 1 << 5
+	frameKindMask        = 0x0f
+	frameFlagStop   byte = 1 << 4
+	frameFlagNamed  byte = 1 << 5
+	frameFlagTraced byte = 1 << 6
+
+	// traceSuffixLen is the byte length of the optional trace-context
+	// suffix gated by frameFlagTraced: trace id + span id, little-endian.
+	traceSuffixLen = 16
 
 	// maxFrameBytes bounds a single record; protocol frames are tiny, so
 	// anything larger is a corrupt or hostile stream.
@@ -169,6 +184,10 @@ func appendFrame(dst []byte, to string, m *Message) []byte {
 	if m.Stop {
 		head |= frameFlagStop
 	}
+	traced := m.Trace.Valid()
+	if traced {
+		head |= frameFlagTraced
+	}
 	n := len(m.Payload)
 	var body int
 	if toOK && fromOK {
@@ -179,6 +198,9 @@ func appendFrame(dst []byte, to string, m *Message) []byte {
 			uvarintLen(uint64(len(m.From))) + len(m.From)
 	}
 	body += uvarintLen(uint64(uint(m.Iter))) + 8*n
+	if traced {
+		body += traceSuffixLen
+	}
 
 	dst = binary.AppendUvarint(dst, uint64(body))
 	dst = append(dst, head)
@@ -195,7 +217,49 @@ func appendFrame(dst []byte, to string, m *Message) []byte {
 	for _, v := range m.Payload {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 	}
+	if traced {
+		dst = appendTraceSuffix(dst, m.Trace)
+	}
 	return dst
+}
+
+// appendTraceSuffix appends the 16-byte trace-context suffix.
+//
+//ufc:hotpath
+func appendTraceSuffix(dst []byte, tc tracing.Context) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(tc.Trace))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(tc.Span))
+	return dst
+}
+
+// parseTraceSuffix reads the 16-byte trace-context suffix. Callers have
+// already carved out exactly the suffix bytes; a short slice yields the
+// zero (untraced) context rather than a bounds panic.
+func parseTraceSuffix(b []byte) tracing.Context {
+	if len(b) < traceSuffixLen {
+		return tracing.Context{}
+	}
+	return tracing.Context{
+		Trace: tracing.TraceID(binary.LittleEndian.Uint64(b)),
+		Span:  tracing.SpanID(binary.LittleEndian.Uint64(b[8:])),
+	}
+}
+
+// peekTraceSuffix extracts the trace context of a message body without
+// decoding it — the hub tags forwarding events on traced records it
+// otherwise relays verbatim. Returns false for untraced or non-message
+// records and for traced records too short to carry the suffix (full
+// decoding rejects those).
+//
+//ufc:hotpath
+func peekTraceSuffix(b []byte) (tracing.Context, bool) {
+	if len(b) < 1+traceSuffixLen || b[0]&frameFlagTraced == 0 {
+		return tracing.Context{}, false
+	}
+	if k := Kind(b[0] & frameKindMask); k < KindRouting || k > KindFinalAck {
+		return tracing.Context{}, false
+	}
+	return parseTraceSuffix(b[len(b)-traceSuffixLen:]), true
 }
 
 // appendHello appends the length-prefixed hello record registering ids.
@@ -382,12 +446,13 @@ func decodeMessageFrame(b []byte, cache *idCache) (wireMsg, error) {
 		return fr, err
 	}
 	kind := Kind(head & frameKindMask)
-	if kind < KindRouting || kind > KindFinalAck || head&^(frameKindMask|frameFlagStop|frameFlagNamed) != 0 {
+	if kind < KindRouting || kind > KindFinalAck || head&^(frameKindMask|frameFlagStop|frameFlagNamed|frameFlagTraced) != 0 {
 		return fr, fmt.Errorf("%w: message head byte %#02x", ErrFrameInvalid, head)
 	}
 	fr.msg.Kind = kind
 	fr.msg.Stop = head&frameFlagStop != 0
 	fr.named = head&frameFlagNamed != 0
+	traced := head&frameFlagTraced != 0
 	if fr.named {
 		to, err := c.readString()
 		if err != nil {
@@ -418,9 +483,16 @@ func decodeMessageFrame(b []byte, cache *idCache) (wireMsg, error) {
 		return fr, err
 	}
 	fr.msg.Iter = int(iter)
-	// The payload runs to the end of the body; the record length is the
-	// count, so the trailing bytes must be a whole number of float64s.
+	// The payload runs to the end of the body minus the flag-gated trace
+	// suffix; the record length is the count, so what remains must be a
+	// whole number of float64s.
 	trailing := len(b) - c.off
+	if traced {
+		if trailing < traceSuffixLen {
+			return fr, fmt.Errorf("%w: traced frame with %d trailing bytes", ErrFrameTruncated, trailing)
+		}
+		trailing -= traceSuffixLen
+	}
 	if trailing%8 != 0 {
 		return fr, fmt.Errorf("%w: %d trailing payload bytes", ErrFrameInvalid, trailing)
 	}
@@ -430,6 +502,13 @@ func decodeMessageFrame(b []byte, cache *idCache) (wireMsg, error) {
 			raw, _ := c.bytes(8)
 			fr.msg.Payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw))
 		}
+	}
+	if traced {
+		raw, err := c.bytes(traceSuffixLen)
+		if err != nil {
+			return fr, err
+		}
+		fr.msg.Trace = parseTraceSuffix(raw)
 	}
 	return fr, nil
 }
@@ -492,7 +571,7 @@ func peekRoute(b []byte) (hello, named bool, toIdx uint32, to []byte, err error)
 		return true, false, 0, nil, nil
 	}
 	kind := Kind(head & frameKindMask)
-	if kind < KindRouting || kind > KindFinalAck || head&^(frameKindMask|frameFlagStop|frameFlagNamed) != 0 {
+	if kind < KindRouting || kind > KindFinalAck || head&^(frameKindMask|frameFlagStop|frameFlagNamed|frameFlagTraced) != 0 {
 		return false, false, 0, nil, fmt.Errorf("%w: message head byte %#02x", ErrFrameInvalid, head)
 	}
 	if head&frameFlagNamed != 0 {

@@ -7,6 +7,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"repro/internal/telemetry/tracing"
 )
 
 // wireTestMessages enumerates every message kind crossed with empty,
@@ -172,7 +174,8 @@ func TestWireRejectsBadFrames(t *testing.T) {
 		{},                                // empty
 		{0, 0},                            // hello passed to message decoder
 		{0x0f, 0, 0, 0},                   // kind nibble outside 1..5
-		{byte(KindAux) | 0x40, 0, 0, 0},   // reserved head bit set
+		{byte(KindAux) | 0x80, 0, 0, 0},   // reserved head bit set
+		{byte(KindAux) | 0x40, 0, 0, 0},   // traced flag without the 16-byte suffix
 		{byte(KindAux), 0, 0, 0, 1, 2, 3}, // trailing bytes not a whole float64
 	}
 	for _, b := range bad {
@@ -187,6 +190,88 @@ func TestWireRejectsBadFrames(t *testing.T) {
 	var scratch []byte
 	if _, _, err := readRecord(br, &scratch); !errors.Is(err, ErrFrameInvalid) {
 		t.Errorf("oversized record: %v", err)
+	}
+}
+
+// TestWireTracedFrames pins the flag-gated trace suffix: traced messages
+// round-trip their context bit-exactly, untraced messages stay
+// byte-identical to the pre-tracing format, and a suffix the head byte
+// promises but the body does not deliver is a clean truncation error.
+func TestWireTracedFrames(t *testing.T) {
+	var cache idCache
+	contexts := []tracing.Context{
+		{Trace: 1, Span: 1},
+		{Trace: 0xfeedfacecafebeef, Span: 0x9e3779b97f4a7c15},
+		{Trace: math.MaxUint64, Span: math.MaxUint64},
+		{Trace: 7, Span: 0}, // span 0 is legal inside a valid trace
+	}
+	msgs := []struct {
+		to string
+		m  Message
+	}{
+		{"dc-0", Message{Kind: KindRouting, Iter: 3, From: "fe-1", Payload: []float64{1.5, -2.25}}},
+		{"coord", Message{Kind: KindReport, Iter: 1 << 19, From: "dc-7"}},
+		{"observer", Message{Kind: KindControl, From: "coord", Stop: true, Payload: []float64{0}}},
+	}
+	for _, tc := range contexts {
+		for _, base := range msgs {
+			m := base.m
+			m.Trace = tc
+			rec := appendFrame(nil, base.to, &m)
+			_, body := splitRecord(rec)
+			if body[0]&frameFlagTraced == 0 {
+				t.Fatalf("traced frame head %#02x missing traced flag", body[0])
+			}
+
+			// The untraced encoding of the same message must be exactly the
+			// traced record minus the flag bit and the 16-byte suffix.
+			plain := base.m
+			plainRec := appendFrame(nil, base.to, &plain)
+			_, plainBody := splitRecord(plainRec)
+			if len(body) != len(plainBody)+traceSuffixLen {
+				t.Fatalf("traced body %d bytes, untraced %d: suffix must be exactly %d bytes",
+					len(body), len(plainBody), traceSuffixLen)
+			}
+			if !bytes.Equal(body[1:len(body)-traceSuffixLen], plainBody[1:]) {
+				t.Fatal("traced frame alters bytes outside the head flag and suffix")
+			}
+
+			fr, err := decodeMessageFrame(body, &cache)
+			if err != nil {
+				t.Fatalf("decode traced frame: %v", err)
+			}
+			if fr.msg.Trace != tc {
+				t.Fatalf("trace round-trip: got %+v want %+v", fr.msg.Trace, tc)
+			}
+			if !sameFloats(fr.msg.Payload, m.Payload) || fr.msg.Kind != m.Kind || fr.msg.Stop != m.Stop {
+				t.Fatalf("traced frame corrupted message: %+v", fr.msg)
+			}
+
+			// peekTraceSuffix must agree with the full decode.
+			if got, ok := peekTraceSuffix(body); !ok || got != tc {
+				t.Fatalf("peekTraceSuffix = (%+v, %v), want (%+v, true)", got, ok, tc)
+			}
+			if _, ok := peekTraceSuffix(plainBody); ok {
+				t.Fatal("peekTraceSuffix claimed a context on an untraced frame")
+			}
+
+			// Cutting into the suffix must fail: the flag promises 16 bytes.
+			headerEnd := len(body) - traceSuffixLen - 8*len(m.Payload)
+			for cut := headerEnd; cut < headerEnd+traceSuffixLen; cut += 3 {
+				if _, err := decodeMessageFrame(body[:cut], &cache); err == nil {
+					t.Fatalf("traced frame cut to %d of %d bytes decoded without error", cut, len(body))
+				}
+			}
+		}
+	}
+
+	// The zero context encodes as an untraced frame — the suffix never
+	// rides for free on untraced traffic.
+	m := Message{Kind: KindAux, From: "dc-0", Payload: []float64{3}}
+	withZero := appendFrame(nil, "fe-0", &m)
+	m.Trace = tracing.Context{}
+	if !bytes.Equal(withZero, appendFrame(nil, "fe-0", &m)) {
+		t.Fatal("zero trace context changed the encoding")
 	}
 }
 
@@ -267,6 +352,14 @@ func FuzzWireDecode(f *testing.F) {
 			seeds = append(seeds, append([]byte(nil), body[:len(body)-1]...))
 		}
 	}
+	// Traced frames: full, suffix-truncated, and flag-only corruptions.
+	traced := Message{Kind: KindRouting, Iter: 9, From: "fe-2", Payload: []float64{1, 2},
+		Trace: tracing.Context{Trace: 0xfeed, Span: 0xbeef}}
+	_, tracedBody := splitRecord(appendFrame(nil, "dc-3", &traced))
+	seeds = append(seeds,
+		append([]byte(nil), tracedBody...),
+		append([]byte(nil), tracedBody[:len(tracedBody)-1]...),
+		append([]byte(nil), tracedBody[:len(tracedBody)-traceSuffixLen]...))
 	for _, s := range seeds {
 		f.Add(s)
 	}
@@ -293,6 +386,11 @@ func FuzzWireDecode(f *testing.F) {
 			fr2.msg.Stop != fr.msg.Stop || fr2.msg.From != fr.msg.From ||
 			!sameFloats(fr2.msg.Payload, fr.msg.Payload) {
 			t.Fatalf("round-trip mismatch: %+v vs %+v", fr2.msg, fr.msg)
+		}
+		// Valid trace contexts round-trip; a zero trace id re-encodes as
+		// untraced, which decodes back to the zero context either way.
+		if fr.msg.Trace.Valid() && fr2.msg.Trace != fr.msg.Trace {
+			t.Fatalf("trace round-trip mismatch: %+v vs %+v", fr2.msg.Trace, fr.msg.Trace)
 		}
 	})
 }

@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo registers the conventional `ufc_build_info` gauge: a
+// constant-1 series whose labels identify the exporting binary, read from
+// the build info the Go linker embeds. component names the binary
+// ("ufcsim", "ufchub", ...), since all four servers share metric names.
+func RegisterBuildInfo(reg *Registry, component string) {
+	version := "(devel)"
+	goVersion := runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+	}
+	registerBuildInfo(reg, component, version, goVersion)
+}
+
+// registerBuildInfo is the deterministic core of RegisterBuildInfo,
+// split out so the exposition golden test can pin exact bytes.
+func registerBuildInfo(reg *Registry, component, version, goVersion string) {
+	reg.Gauge("ufc_build_info",
+		"build metadata of the exporting binary; the value is always 1",
+		L("component", component), L("version", version), L("goversion", goVersion),
+	).Set(1)
+}

@@ -81,14 +81,35 @@ func (r *Registry) Handler() http.Handler {
 // A Server exposes a registry at /metrics plus the standard net/http/pprof
 // endpoints under /debug/pprof/ on its own listener, so profiling a live
 // ufcnode/ufchub/ufcsim never shares a mux with application traffic.
+// Every server also answers /healthz (liveness: 200 once the listener is
+// up) and /readyz (readiness: gated by ServerOptions.Ready).
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
+// ServerOptions extends the metrics server with operational endpoints.
+// The zero value reproduces StartServer's behavior plus always-ready
+// health endpoints.
+type ServerOptions struct {
+	// Trace, when non-nil, is mounted at /debug/ufc/trace — by convention
+	// the tracing registry's span-dump handler.
+	Trace http.Handler
+	// Ready gates /readyz: nil means ready as soon as the server is up;
+	// otherwise /readyz returns 200 iff Ready() is true, 503 otherwise.
+	// Serving hubs pass "has a snapshot been published yet".
+	Ready func() bool
+}
+
 // StartServer listens on addr (e.g. "127.0.0.1:0") and serves metrics and
 // pprof in a background goroutine until Close.
 func StartServer(addr string, reg *Registry) (*Server, error) {
+	return StartServerOpts(addr, reg, ServerOptions{})
+}
+
+// StartServerOpts is StartServer with operational endpoints; see
+// ServerOptions.
+func StartServerOpts(addr string, reg *Registry, opts ServerOptions) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -96,6 +117,23 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	ready := opts.Ready
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil && !ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not ready")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	if opts.Trace != nil {
+		mux.Handle("/debug/ufc/trace", opts.Trace)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: metrics listen: %w", err)

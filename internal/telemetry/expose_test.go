@@ -5,7 +5,11 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+
+	"repro/internal/telemetry/tracing"
 )
 
 // TestWritePrometheusGolden pins the exact exposition bytes: families
@@ -24,6 +28,7 @@ func TestWritePrometheusGolden(t *testing.T) {
 	for _, v := range []float64{0.5, 3, 9} {
 		h.Observe(v)
 	}
+	registerBuildInfo(reg, "ufctest", "v1.2.3", "go1.99.0")
 
 	var sb strings.Builder
 	if err := reg.WritePrometheus(&sb); err != nil {
@@ -45,6 +50,9 @@ func TestWritePrometheusGolden(t *testing.T) {
 		`# TYPE test_ops_total counter`,
 		`test_ops_total{shard="0"} 42`,
 		`test_ops_total{shard="1"} 7`,
+		`# HELP ufc_build_info build metadata of the exporting binary; the value is always 1`,
+		`# TYPE ufc_build_info gauge`,
+		`ufc_build_info{component="ufctest",version="v1.2.3",goversion="go1.99.0"} 1`,
 	}, "\n") + "\n"
 	if got := sb.String(); got != want {
 		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
@@ -75,6 +83,84 @@ func TestServerServesMetricsAndPprof(t *testing.T) {
 	}
 }
 
+// TestServerHealthEndpoints covers /healthz (always live) and /readyz
+// (gated by ServerOptions.Ready), plus mounting a trace handler.
+func TestServerHealthEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	var ready atomic.Bool
+	srv, err := StartServerOpts("127.0.0.1:0", reg, ServerOptions{
+		Ready: ready.Load,
+		Trace: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprint(w, "trace-dump")
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	if body := httpGet(t, fmt.Sprintf("http://%s/healthz", srv.Addr())); body != "ok\n" {
+		t.Errorf("/healthz = %q", body)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/readyz", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before ready: %s", resp.Status)
+	}
+	ready.Store(true)
+	if body := httpGet(t, fmt.Sprintf("http://%s/readyz", srv.Addr())); body != "ready\n" {
+		t.Errorf("/readyz after ready = %q", body)
+	}
+	if body := httpGet(t, fmt.Sprintf("http://%s/debug/ufc/trace", srv.Addr())); body != "trace-dump" {
+		t.Errorf("/debug/ufc/trace = %q", body)
+	}
+
+	// Default options: readyz is immediately 200, no trace route.
+	srv2, err := StartServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv2.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	if body := httpGet(t, fmt.Sprintf("http://%s/readyz", srv2.Addr())); body != "ready\n" {
+		t.Errorf("default /readyz = %q", body)
+	}
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/ufc/trace", srv2.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unmounted trace route: %s", resp.Status)
+	}
+}
+
+// TestBuildInfoGauge checks the public registration path reads the
+// embedded build info without panicking and exports a constant-1 gauge.
+func TestBuildInfoGauge(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg, "ufctest")
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `ufc_build_info{component="ufctest",`) ||
+		!strings.Contains(out, `goversion="go`) {
+		t.Errorf("build info exposition:\n%s", out)
+	}
+}
+
 func httpGet(t *testing.T, url string) string {
 	t.Helper()
 	resp, err := http.Get(url)
@@ -90,4 +176,70 @@ func httpGet(t *testing.T, url string) string {
 		t.Fatal(err)
 	}
 	return string(b)
+}
+
+// TestScrapeStorm hammers the exposition server from both sides under the
+// race detector: writer goroutines storm counters, a histogram and the
+// tracing ring while reader goroutines scrape /metrics, the health probes
+// and /debug/ufc/trace over real HTTP. Any unsynchronized access in the
+// instruments, the exposition path or the span ring surfaces here.
+func TestScrapeStorm(t *testing.T) {
+	reg := NewRegistry()
+	ops := reg.Counter("storm_ops_total", "storm")
+	lvl := reg.Gauge("storm_level", "storm")
+	hist := reg.Histogram("storm_latency_seconds", "storm", ExponentialBuckets(1e-6, 10, 6))
+	traceReg := tracing.NewRegistry()
+	rec := traceReg.Recorder(tracing.Config{Component: "storm", IDs: tracing.NewIDSource(1), SampleEvery: 1, RingSize: 64})
+	srv, err := StartServerOpts("127.0.0.1:0", reg, ServerOptions{Trace: traceReg.Handler()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	const writers, scrapers, rounds = 4, 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				ops.Add(1)
+				lvl.Set(float64(i))
+				hist.Observe(float64(i) * 1e-6)
+				sp := rec.Root("storm.op")
+				sp.Attr("writer", int64(w))
+				sp.End()
+				rec.Event(sp.Context(), "storm.event", tracing.I64("i", int64(i)), tracing.Attr{})
+			}
+		}(w)
+	}
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds/10; i++ {
+				for _, path := range []string{"/metrics", "/healthz", "/readyz", "/debug/ufc/trace"} {
+					resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+					if err != nil {
+						t.Errorf("GET %s: %v", path, err)
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body) //ufc:discard storm reader only exercises the handler
+					_ = resp.Body.Close()                 //ufc:discard same
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := ops.Load(); got != writers*rounds {
+		t.Errorf("storm_ops_total = %v, want %d", got, writers*rounds)
+	}
+	if rec.Recorded() == 0 {
+		t.Error("no spans recorded during the storm")
+	}
 }

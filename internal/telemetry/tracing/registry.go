@@ -1,0 +1,274 @@
+package tracing
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// A Registry aggregates one process's recorders so the trace endpoint and
+// flight dumps see every component at once. Registration happens at
+// startup; snapshotting is cold-path.
+type Registry struct {
+	mu   sync.Mutex
+	recs []*Recorder
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Add registers a recorder. Nil registries and nil recorders are ignored
+// so "tracing off" wiring stays branch-free at call sites.
+func (g *Registry) Add(r *Recorder) {
+	if g == nil || r == nil {
+		return
+	}
+	g.mu.Lock()
+	g.recs = append(g.recs, r)
+	g.mu.Unlock()
+}
+
+// Recorder builds a recorder from cfg and registers it in one step.
+func (g *Registry) Recorder(cfg Config) *Recorder {
+	r := NewRecorder(cfg)
+	g.Add(r)
+	return r
+}
+
+// recorders returns a stable copy of the registered set.
+func (g *Registry) recorders() []*Recorder {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	out := make([]*Recorder, len(g.recs))
+	copy(out, g.recs)
+	g.mu.Unlock()
+	return out
+}
+
+// Spans snapshots every recorder, oldest-first per component, optionally
+// filtered to one trace (0 = all).
+func (g *Registry) Spans(filter TraceID) []SpanRecord {
+	var out []SpanRecord
+	for _, r := range g.recorders() {
+		out = r.Snapshot(out, filter)
+	}
+	return out
+}
+
+// traceDump is the JSON document served by /debug/ufc/trace.
+type traceDump struct {
+	// Rings describes each component's flight-recorder ring.
+	Rings []ringInfo `json:"rings"`
+	// Spans are the captured span records, sorted by start time.
+	Spans []SpanRecord `json:"spans"`
+}
+
+type ringInfo struct {
+	Component string `json:"component"`
+	Size      int    `json:"size"`
+	Recorded  uint64 `json:"recorded"`
+}
+
+// Handler serves the trace dump as JSON. Query parameters:
+//
+//	?trace=<hex id>  only spans of that trace
+//	?component=<c>   only rings/spans of that component
+//
+// Mounted at /debug/ufc/trace by telemetry.StartServerOpts.
+func (g *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var filter TraceID
+		if q := req.URL.Query().Get("trace"); q != "" {
+			id, err := ParseID(q)
+			if err != nil {
+				http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			filter = TraceID(id)
+		}
+		comp := req.URL.Query().Get("component")
+		dump := traceDump{Rings: []ringInfo{}, Spans: []SpanRecord{}}
+		for _, r := range g.recorders() {
+			if comp != "" && r.Component() != comp {
+				continue
+			}
+			dump.Rings = append(dump.Rings, ringInfo{
+				Component: r.Component(),
+				Size:      r.Len(),
+				Recorded:  r.Recorded(),
+			})
+			dump.Spans = r.Snapshot(dump.Spans, filter)
+		}
+		sort.SliceStable(dump.Spans, func(i, j int) bool {
+			return dump.Spans[i].StartUnixNanos < dump.Spans[j].StartUnixNanos
+		})
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(dump); err != nil {
+			// Headers are out; nothing left to do but drop the conn.
+			return
+		}
+	})
+}
+
+// A Flight binds a registry to an output stream for automatic bounded
+// flight-recorder dumps: fault-plan triggers and degrade deadlines call
+// Dump, which emits a header line plus at most maxSpans span records as
+// NDJSON. At most maxDumps dumps are emitted per Flight so a flapping
+// fault cannot flood the stream. All methods are nil-safe.
+type Flight struct {
+	mu       sync.Mutex
+	reg      *Registry
+	w        io.Writer
+	maxSpans int
+	maxDumps int
+	dumps    int
+}
+
+// NewFlight wires dumps from reg to w. maxSpans/maxDumps <= 0 get
+// defaults (256 spans, 8 dumps).
+func NewFlight(reg *Registry, w io.Writer, maxSpans, maxDumps int) *Flight {
+	if maxSpans <= 0 {
+		maxSpans = 256
+	}
+	if maxDumps <= 0 {
+		maxDumps = 8
+	}
+	return &Flight{reg: reg, w: w, maxSpans: maxSpans, maxDumps: maxDumps}
+}
+
+// flightHeader is the first NDJSON line of every dump.
+type flightHeader struct {
+	FlightDump string `json:"flightDump"`
+	UnixNanos  int64  `json:"unixNanos"`
+	Spans      int    `json:"spans"`
+	Truncated  bool   `json:"truncated,omitempty"`
+}
+
+// Dump snapshots the registry and writes one bounded NDJSON dump tagged
+// with reason. Cold path: called when something already went wrong. The
+// records are marshaled by hand (not encoding/json) so the dump path
+// stays free of reflection and of any machinery that could park the
+// calling protocol goroutine beyond the single buffered Write.
+func (f *Flight) Dump(reason string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dumps >= f.maxDumps {
+		return
+	}
+	f.dumps++
+	spans := f.reg.Spans(0)
+	// Keep the most recent maxSpans: the tail of the snapshot is the
+	// newest activity, which is what a post-mortem wants.
+	truncated := false
+	if len(spans) > f.maxSpans {
+		spans = spans[len(spans)-f.maxSpans:]
+		truncated = true
+	}
+	buf := append([]byte(`{"flightDump":`), 0)
+	buf = appendJSONString(buf[:len(buf)-1], reason)
+	buf = append(buf, `,"unixNanos":`...)
+	buf = strconv.AppendInt(buf, time.Now().UnixNano(), 10)
+	buf = append(buf, `,"spans":`...)
+	buf = strconv.AppendInt(buf, int64(len(spans)), 10)
+	if truncated {
+		buf = append(buf, `,"truncated":true`...)
+	}
+	buf = append(buf, '}', '\n')
+	for i := range spans {
+		buf = spans[i].appendJSON(buf)
+		buf = append(buf, '\n')
+	}
+	if _, err := f.w.Write(buf); err != nil {
+		return
+	}
+	if fl, ok := f.w.(interface{ Flush() error }); ok {
+		// Best-effort: a flight dump should hit the sink even if the
+		// process dies right after.
+		_ = fl.Flush() //ufc:discard flush failure cannot be reported from a crash path
+	}
+}
+
+// appendJSONString appends s as a JSON string. Component tags and span
+// names are plain identifiers, but the escaper still handles quotes,
+// backslashes and control bytes so arbitrary input yields valid JSON.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			dst = append(dst, '\\', c)
+		case c < 0x20:
+			const hexDigits = "0123456789abcdef"
+			dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, '"')
+}
+
+// appendJSON appends the record as one compact JSON object, matching the
+// encoding/json field layout of SpanRecord (attrs sorted by key so dumps
+// are deterministic).
+func (s *SpanRecord) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"component":`...)
+	dst = appendJSONString(dst, s.Component)
+	if s.Trace != "" {
+		dst = append(dst, `,"trace":`...)
+		dst = appendJSONString(dst, s.Trace)
+	}
+	if s.Span != "" {
+		dst = append(dst, `,"span":`...)
+		dst = appendJSONString(dst, s.Span)
+	}
+	if s.Parent != "" {
+		dst = append(dst, `,"parent":`...)
+		dst = appendJSONString(dst, s.Parent)
+	}
+	dst = append(dst, `,"name":`...)
+	dst = appendJSONString(dst, s.Name)
+	dst = append(dst, `,"startUnixNanos":`...)
+	dst = strconv.AppendInt(dst, s.StartUnixNanos, 10)
+	dst = append(dst, `,"durationNanos":`...)
+	dst = strconv.AppendInt(dst, s.DurationNanos, 10)
+	if len(s.Attrs) > 0 {
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		dst = append(dst, `,"attrs":{`...)
+		for i, k := range keys {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, k)
+			dst = append(dst, ':')
+			dst = strconv.AppendInt(dst, s.Attrs[k], 10)
+		}
+		dst = append(dst, '}')
+	}
+	return append(dst, '}')
+}
+
+// Dumps returns how many dumps have been written.
+func (f *Flight) Dumps() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumps
+}

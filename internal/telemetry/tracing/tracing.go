@@ -1,0 +1,475 @@
+// Package tracing is the repo's zero-allocation distributed tracing core
+// and flight recorder. Each component (load generator, hub, node,
+// protocol agents, control-plane pipeline) owns a Recorder: a
+// preallocated ring of fixed-size span slots written lock-free on the hot
+// path and snapshotted cold for the /debug/ufc/trace endpoint and for
+// bounded NDJSON flight dumps on fault triggers.
+//
+// Design rules (enforced by AllocsPerRun gates and the ufclint hotalloc
+// analyzer, exactly like the telemetry registry):
+//
+//   - Recording a span or event is a bounded number of atomic operations
+//     plus a fixed-size slot write under an uncontended per-slot latch —
+//     no allocation, no map lookups, no shared lock. Span values live on
+//     the caller's stack.
+//   - Trace and span IDs are deterministic: a splitmix64 stream over a
+//     seeded counter, so two runs with the same seed emit the same IDs
+//     and a replayed chaos run can be diffed trace-by-trace.
+//   - Head sampling is deterministic too: the Nth root span of a recorder
+//     is sampled purely by its counter value, never by RNG or clock.
+//   - All clock reads are confined to this package (like the solver
+//     probe's StartSpan), so determinism-critical packages (distsim,
+//     core, ...) never read the wall clock themselves; timestamps are
+//     observability-only and never feed computation.
+//
+// The package is standard library only (plus the parent telemetry package
+// for NDJSON emission) and must not import any solver package.
+package tracing
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one causal trace across components and processes.
+// The zero value means "not traced" everywhere.
+type TraceID uint64
+
+// SpanID identifies one span within a trace. Zero means "no parent".
+type SpanID uint64
+
+// String renders the ID as fixed-width hex (the exemplar format ufcload
+// prints and the ?trace= query parameter accepts).
+func (t TraceID) String() string { return hex16(uint64(t)) }
+
+// String renders the ID as fixed-width hex.
+func (s SpanID) String() string { return hex16(uint64(s)) }
+
+func hex16(v uint64) string {
+	var b [16]byte
+	const digits = "0123456789abcdef"
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseID parses a 1..16-digit hex trace/span ID.
+func ParseID(s string) (uint64, error) {
+	return strconv.ParseUint(s, 16, 64)
+}
+
+// Context is the trace context that crosses component and process
+// boundaries: the trace plus the sender's span (the receiver's parent).
+// On the wire it is the 16-byte little-endian suffix carried behind the
+// traced frame flag (see internal/distsim's wire format docs). The zero
+// Context means "not traced" and is never placed on the wire.
+type Context struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context carries a live trace.
+func (c Context) Valid() bool { return c.Trace != 0 }
+
+// IDSource is a deterministic ID generator: a splitmix64 stream seeded
+// once and advanced by an atomic counter. Safe for concurrent use.
+type IDSource struct {
+	seed uint64
+	ctr  atomic.Uint64
+}
+
+// NewIDSource returns a source whose ID stream is a pure function of
+// seed and draw index.
+func NewIDSource(seed int64) *IDSource {
+	return &IDSource{seed: splitmix64(uint64(seed) ^ 0x9e3779b97f4a7c15)}
+}
+
+// next returns the n-th element of the seeded splitmix64 stream.
+//
+//ufc:hotpath
+func (s *IDSource) next() uint64 {
+	n := s.ctr.Add(1)
+	v := splitmix64(s.seed + n*0x9e3779b97f4a7c15)
+	if v == 0 {
+		v = 1 // zero is the "untraced" sentinel; never emit it
+	}
+	return v
+}
+
+// splitmix64 is the finalizer of the splitmix64 PRNG: a bijective mixer,
+// so distinct counter values never collide.
+func splitmix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// An Attr is one integer-valued span attribute. Keys should be constant
+// strings so attaching one allocates nothing.
+type Attr struct {
+	Key string
+	Val int64
+}
+
+// I64 is shorthand for Attr{Key: k, Val: v}.
+func I64(k string, v int64) Attr { return Attr{Key: k, Val: v} }
+
+// maxAttrs is the fixed per-slot attribute capacity; extra attributes are
+// dropped (the flight recorder trades completeness for zero allocation).
+const maxAttrs = 6
+
+// slot is one fixed-size span record in the ring. Slot claim is
+// lock-free (one atomic cursor add); the write itself happens under a
+// per-slot mutex so a concurrent cold snapshot copies stable data —
+// uncontended in steady state (readers only appear when a human scrapes
+// /debug/ufc/trace or a flight dump fires), and race-detector-clean,
+// unlike a seqlock.
+type slot struct {
+	mu      sync.Mutex
+	written bool
+	trace   TraceID
+	span    SpanID
+	parent  SpanID
+	name    string
+	start   int64 // unix nanos
+	end     int64 // unix nanos; == start for point events
+	nattrs  int32
+	attrs   [maxAttrs]Attr
+}
+
+// Config parameterizes a Recorder.
+type Config struct {
+	// Component tags every span this recorder emits (e.g. "hub",
+	// "loadgen", "controlplane").
+	Component string
+	// RingSize is the span slot count, rounded up to a power of two
+	// (default 1024). The ring keeps the most recent RingSize spans.
+	RingSize int
+	// IDs is the deterministic ID stream; recorders that participate in
+	// one process share a source so IDs never collide. Nil gets a fresh
+	// seed-1 source.
+	IDs *IDSource
+	// SampleEvery head-samples root spans: the k-th root is sampled iff
+	// k ≡ 1 (mod SampleEvery). 1 samples every root, 0 disables root
+	// sampling entirely (the recorder still records spans and events for
+	// contexts propagated from elsewhere).
+	SampleEvery uint64
+}
+
+// A Recorder is one component's flight recorder: a preallocated ring of
+// span slots. All recording methods are nil-safe (a nil recorder is
+// "tracing off"), allocation-free and safe for concurrent use.
+type Recorder struct {
+	component   string
+	ring        []slot
+	mask        uint64
+	cursor      atomic.Uint64
+	ids         *IDSource
+	sampleEvery uint64
+	roots       atomic.Uint64
+}
+
+// NewRecorder builds a recorder; see Config for the knobs.
+func NewRecorder(cfg Config) *Recorder {
+	size := cfg.RingSize
+	if size <= 0 {
+		size = 1024
+	}
+	// Round up to a power of two so slot claim is a mask, not a modulo.
+	pow := 1
+	for pow < size {
+		pow <<= 1
+	}
+	ids := cfg.IDs
+	if ids == nil {
+		ids = NewIDSource(1)
+	}
+	return &Recorder{
+		component:   cfg.Component,
+		ring:        make([]slot, pow),
+		mask:        uint64(pow - 1),
+		ids:         ids,
+		sampleEvery: cfg.SampleEvery,
+	}
+}
+
+// Component returns the recorder's component tag ("" for nil).
+func (r *Recorder) Component() string {
+	if r == nil {
+		return ""
+	}
+	return r.component
+}
+
+// Len returns the ring capacity in span slots (0 for nil).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ring)
+}
+
+// Recorded returns the total spans recorded since construction, including
+// those the ring has since overwritten.
+func (r *Recorder) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.cursor.Load()
+}
+
+// A Span is an in-flight span handle. It is a plain value on the caller's
+// stack; nothing is written to the ring until End. The zero Span (and any
+// span from a nil or unsampled recorder) is inert: attributes and End are
+// no-ops.
+type Span struct {
+	rec    *Recorder
+	trace  TraceID
+	span   SpanID
+	parent SpanID
+	name   string
+	start  int64
+	nattrs int32
+	attrs  [maxAttrs]Attr
+}
+
+// Root starts a new root span, applying deterministic head sampling: the
+// k-th root of the recorder is live iff k ≡ 1 (mod SampleEvery). The
+// clock is read here, never at call sites. Nil-safe.
+func (r *Recorder) Root(name string) Span {
+	if r == nil || r.sampleEvery == 0 {
+		return Span{}
+	}
+	if k := r.roots.Add(1); (k-1)%r.sampleEvery != 0 {
+		return Span{}
+	}
+	return Span{
+		rec:   r,
+		trace: TraceID(r.ids.next()),
+		span:  SpanID(r.ids.next()),
+		name:  name,
+		start: time.Now().UnixNano(),
+	}
+}
+
+// Start begins a child span under the given propagated context. An
+// invalid (zero) context yields an inert span, so untraced traffic costs
+// two branches. Nil-safe.
+//
+//ufc:hotpath
+func (r *Recorder) Start(tc Context, name string) Span {
+	if r == nil || !tc.Valid() {
+		return Span{}
+	}
+	return Span{
+		rec:    r,
+		trace:  tc.Trace,
+		span:   SpanID(r.ids.next()),
+		parent: tc.Span,
+		name:   name,
+		start:  time.Now().UnixNano(),
+	}
+}
+
+// Context returns the span's propagation context (zero for inert spans).
+func (sp *Span) Context() Context { return Context{Trace: sp.trace, Span: sp.span} }
+
+// Live reports whether the span will be recorded on End.
+func (sp *Span) Live() bool { return sp.rec != nil }
+
+// Attr attaches an integer attribute. Attributes beyond the fixed slot
+// capacity are dropped. No-op on inert spans.
+//
+//ufc:hotpath
+func (sp *Span) Attr(key string, v int64) {
+	if sp.rec == nil || int(sp.nattrs) >= maxAttrs {
+		return
+	}
+	sp.attrs[sp.nattrs] = Attr{Key: key, Val: v}
+	sp.nattrs++
+}
+
+// End stamps the span's end time and commits it to the ring. No-op on
+// inert spans.
+//
+//ufc:hotpath
+func (sp *Span) End() {
+	if sp.rec == nil {
+		return
+	}
+	sp.rec.commit(sp, time.Now().UnixNano())
+	sp.rec = nil
+}
+
+// commit claims the next ring slot and writes the span under its latch.
+//
+//ufc:hotpath
+func (r *Recorder) commit(sp *Span, end int64) {
+	s := &r.ring[(r.cursor.Add(1)-1)&r.mask]
+	s.mu.Lock()
+	s.written = true
+	s.trace = sp.trace
+	s.span = sp.span
+	s.parent = sp.parent
+	s.name = sp.name
+	s.start = sp.start
+	s.end = end
+	s.nattrs = sp.nattrs
+	s.attrs = sp.attrs
+	s.mu.Unlock()
+}
+
+// Event records a point-in-time span (start == end) under tc with up to
+// two attributes; zero-valued attrs are dropped. With an invalid tc the
+// event is still recorded trace-less — flight-recorder-only breadcrumbs
+// like degrade decisions use this. Nil-safe.
+//
+//ufc:hotpath
+func (r *Recorder) Event(tc Context, name string, a, b Attr) {
+	if r == nil {
+		return
+	}
+	sp := Span{
+		rec:    r,
+		trace:  tc.Trace,
+		parent: tc.Span,
+		name:   name,
+		start:  time.Now().UnixNano(),
+	}
+	if tc.Valid() {
+		sp.span = SpanID(r.ids.next())
+	}
+	if a.Key != "" {
+		sp.attrs[sp.nattrs] = a
+		sp.nattrs++
+	}
+	if b.Key != "" {
+		sp.attrs[sp.nattrs] = b
+		sp.nattrs++
+	}
+	r.commit(&sp, sp.start)
+}
+
+// RecordSpan commits a completed span with caller-supplied timestamps
+// (unix nanos). The load generator uses it to close request spans from
+// timestamps it already tracks atomically, without holding Span values
+// across goroutines. Returns the recorded span's ID. Nil-safe.
+func (r *Recorder) RecordSpan(tc Context, name string, start, end int64, a, b Attr) SpanID {
+	if r == nil || !tc.Valid() {
+		return 0
+	}
+	sp := Span{
+		rec:    r,
+		trace:  tc.Trace,
+		span:   SpanID(r.ids.next()),
+		parent: tc.Span,
+		name:   name,
+		start:  start,
+	}
+	if a.Key != "" {
+		sp.attrs[sp.nattrs] = a
+		sp.nattrs++
+	}
+	if b.Key != "" {
+		sp.attrs[sp.nattrs] = b
+		sp.nattrs++
+	}
+	r.commit(&sp, end)
+	return sp.span
+}
+
+// SpanRecord is one stable snapshot of a recorded span — the JSON shape
+// served by /debug/ufc/trace and emitted in flight dumps.
+type SpanRecord struct {
+	Component      string           `json:"component"`
+	Trace          string           `json:"trace,omitempty"`
+	Span           string           `json:"span,omitempty"`
+	Parent         string           `json:"parent,omitempty"`
+	Name           string           `json:"name"`
+	StartUnixNanos int64            `json:"startUnixNanos"`
+	DurationNanos  int64            `json:"durationNanos"`
+	Attrs          map[string]int64 `json:"attrs,omitempty"`
+}
+
+// Snapshot appends a stable copy of every live ring slot to dst (oldest
+// first, bounded by the ring size) and returns it. filter, when nonzero,
+// keeps only that trace's spans. It is a cold path: scraping allocates
+// freely and briefly latches each slot in turn.
+func (r *Recorder) Snapshot(dst []SpanRecord, filter TraceID) []SpanRecord {
+	if r == nil {
+		return dst
+	}
+	cur := r.cursor.Load()
+	n := uint64(len(r.ring))
+	lo := uint64(0)
+	if cur > n {
+		lo = cur - n
+	}
+	for k := lo; k < cur; k++ {
+		s := &r.ring[k&r.mask]
+		rec, ok := s.read()
+		if !ok || (filter != 0 && rec.trace != filter) {
+			continue
+		}
+		out := SpanRecord{
+			Component:      r.component,
+			Name:           rec.name,
+			StartUnixNanos: rec.start,
+			DurationNanos:  rec.end - rec.start,
+		}
+		if rec.trace != 0 {
+			out.Trace = rec.trace.String()
+			out.Span = rec.span.String()
+		}
+		if rec.parent != 0 {
+			out.Parent = rec.parent.String()
+		}
+		if rec.nattrs > 0 {
+			out.Attrs = make(map[string]int64, rec.nattrs)
+			for i := int32(0); i < rec.nattrs; i++ {
+				out.Attrs[rec.attrs[i].Key] = rec.attrs[i].Val
+			}
+		}
+		dst = append(dst, out)
+	}
+	return dst
+}
+
+// stableSlot is a plain copy of a slot's data fields.
+type stableSlot struct {
+	trace  TraceID
+	span   SpanID
+	parent SpanID
+	name   string
+	start  int64
+	end    int64
+	nattrs int32
+	attrs  [maxAttrs]Attr
+}
+
+// read copies the slot out under its latch; ok is false when the slot
+// was never written.
+func (s *slot) read() (stableSlot, bool) {
+	var out stableSlot
+	s.mu.Lock()
+	ok := s.written
+	if ok {
+		out.trace = s.trace
+		out.span = s.span
+		out.parent = s.parent
+		out.name = s.name
+		out.start = s.start
+		out.end = s.end
+		out.nattrs = s.nattrs
+		out.attrs = s.attrs
+	}
+	s.mu.Unlock()
+	return out, ok
+}

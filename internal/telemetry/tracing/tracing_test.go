@@ -1,0 +1,394 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestIDDeterminism(t *testing.T) {
+	a := NewIDSource(42)
+	b := NewIDSource(42)
+	for i := 0; i < 1000; i++ {
+		va, vb := a.next(), b.next()
+		if va != vb {
+			t.Fatalf("draw %d: %x != %x", i, va, vb)
+		}
+		if va == 0 {
+			t.Fatalf("draw %d: zero ID emitted", i)
+		}
+	}
+	c := NewIDSource(43)
+	if a2, c2 := NewIDSource(42).next(), c.next(); a2 == c2 {
+		t.Fatalf("different seeds produced identical first draw %x", a2)
+	}
+}
+
+func TestIDStringRoundTrip(t *testing.T) {
+	id := TraceID(0x0123456789abcdef)
+	s := id.String()
+	if s != "0123456789abcdef" {
+		t.Fatalf("String() = %q", s)
+	}
+	back, err := ParseID(s)
+	if err != nil || TraceID(back) != id {
+		t.Fatalf("ParseID(%q) = %x, %v", s, back, err)
+	}
+	if TraceID(5).String() != "0000000000000005" {
+		t.Fatalf("short id not zero-padded: %q", TraceID(5).String())
+	}
+}
+
+func TestHeadSamplingDeterministic(t *testing.T) {
+	mk := func() []bool {
+		r := NewRecorder(Config{Component: "c", SampleEvery: 3, IDs: NewIDSource(7)})
+		out := make([]bool, 12)
+		for i := range out {
+			sp := r.Root("root")
+			out[i] = sp.Live()
+			sp.End()
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sampling not deterministic at root %d", i)
+		}
+		want := i%3 == 0
+		if a[i] != want {
+			t.Fatalf("root %d: sampled=%v, want %v", i, a[i], want)
+		}
+	}
+	// SampleEvery 0 disables root sampling.
+	r := NewRecorder(Config{Component: "c", SampleEvery: 0})
+	if sp := r.Root("x"); sp.Live() {
+		t.Fatal("SampleEvery=0 recorder sampled a root")
+	}
+}
+
+func TestSpanRecordAndSnapshot(t *testing.T) {
+	r := NewRecorder(Config{Component: "hub", RingSize: 8, SampleEvery: 1, IDs: NewIDSource(1)})
+	root := r.Root("req")
+	root.Attr("slot", 7)
+	child := r.Start(root.Context(), "decide")
+	child.Attr("dc", 3)
+	child.Attr("warm", 1)
+	child.End()
+	root.End()
+
+	recs := r.Snapshot(nil, 0)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	// child committed first (End order), root second.
+	if recs[0].Name != "decide" || recs[1].Name != "req" {
+		t.Fatalf("names = %q, %q", recs[0].Name, recs[1].Name)
+	}
+	if recs[0].Trace != recs[1].Trace {
+		t.Fatalf("trace mismatch: %q vs %q", recs[0].Trace, recs[1].Trace)
+	}
+	if recs[0].Parent != recs[1].Span {
+		t.Fatalf("child parent %q != root span %q", recs[0].Parent, recs[1].Span)
+	}
+	if recs[0].Attrs["dc"] != 3 || recs[0].Attrs["warm"] != 1 {
+		t.Fatalf("child attrs = %v", recs[0].Attrs)
+	}
+	if recs[0].Component != "hub" {
+		t.Fatalf("component = %q", recs[0].Component)
+	}
+
+	// Filtered snapshot with a bogus trace is empty.
+	if got := r.Snapshot(nil, TraceID(0xdead)); len(got) != 0 {
+		t.Fatalf("bogus filter returned %d records", len(got))
+	}
+}
+
+func TestInertSpans(t *testing.T) {
+	var nilRec *Recorder
+	sp := nilRec.Root("x")
+	sp.Attr("k", 1)
+	sp.End()
+	nilRec.Event(Context{}, "e", Attr{}, Attr{})
+	if nilRec.Snapshot(nil, 0) != nil {
+		t.Fatal("nil recorder snapshot not nil")
+	}
+	r := NewRecorder(Config{Component: "c", SampleEvery: 1})
+	// Start with an invalid context is inert.
+	sp2 := r.Start(Context{}, "x")
+	if sp2.Live() {
+		t.Fatal("span from zero context is live")
+	}
+	sp2.End()
+	if got := len(r.Snapshot(nil, 0)); got != 0 {
+		t.Fatalf("inert spans recorded %d records", got)
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	r := NewRecorder(Config{Component: "c", RingSize: 4, SampleEvery: 1, IDs: NewIDSource(1)})
+	for i := 0; i < 10; i++ {
+		sp := r.Root("s")
+		sp.Attr("i", int64(i))
+		sp.End()
+	}
+	recs := r.Snapshot(nil, 0)
+	if len(recs) != 4 {
+		t.Fatalf("ring kept %d records, want 4", len(recs))
+	}
+	for k, rec := range recs {
+		if want := int64(6 + k); rec.Attrs["i"] != want {
+			t.Fatalf("slot %d holds i=%d, want %d (oldest-first most recent)", k, rec.Attrs["i"], want)
+		}
+	}
+	if r.Recorded() != 10 {
+		t.Fatalf("Recorded() = %d, want 10", r.Recorded())
+	}
+}
+
+func TestEventRecording(t *testing.T) {
+	r := NewRecorder(Config{Component: "c", RingSize: 8, SampleEvery: 1, IDs: NewIDSource(1)})
+	tc := Context{Trace: 0xaa, Span: 0xbb}
+	r.Event(tc, "hop", I64("shard", 2), Attr{})
+	// Trace-less breadcrumb (degrade decisions etc).
+	r.Event(Context{}, "degrade", I64("iter", 9), I64("agent", 1))
+	recs := r.Snapshot(nil, 0)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Trace != TraceID(0xaa).String() || recs[0].Parent != SpanID(0xbb).String() {
+		t.Fatalf("event context wrong: %+v", recs[0])
+	}
+	if recs[0].DurationNanos != 0 {
+		t.Fatalf("event has nonzero duration %d", recs[0].DurationNanos)
+	}
+	if recs[1].Trace != "" || recs[1].Attrs["iter"] != 9 {
+		t.Fatalf("trace-less event wrong: %+v", recs[1])
+	}
+	// Filter must still find the traced event.
+	if got := r.Snapshot(nil, 0xaa); len(got) != 1 || got[0].Name != "hop" {
+		t.Fatalf("filter by trace: %+v", got)
+	}
+}
+
+func TestRecordSpanExplicitTimes(t *testing.T) {
+	r := NewRecorder(Config{Component: "loadgen", RingSize: 8, SampleEvery: 1, IDs: NewIDSource(1)})
+	tc := Context{Trace: 0x1, Span: 0}
+	id := r.RecordSpan(tc, "request", 100, 350, I64("req", 12), Attr{})
+	if id == 0 {
+		t.Fatal("RecordSpan returned zero span id")
+	}
+	recs := r.Snapshot(nil, 0)
+	if len(recs) != 1 || recs[0].StartUnixNanos != 100 || recs[0].DurationNanos != 250 {
+		t.Fatalf("records = %+v", recs)
+	}
+	if r.RecordSpan(Context{}, "x", 0, 1, Attr{}, Attr{}) != 0 {
+		t.Fatal("RecordSpan with invalid context recorded")
+	}
+}
+
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	r := NewRecorder(Config{Component: "c", RingSize: 64, SampleEvery: 1, IDs: NewIDSource(1)})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sp := r.Root("work")
+				sp.Attr("k", 1)
+				sp.End()
+				r.Event(sp.Context(), "ev", I64("a", 2), Attr{})
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		for _, rec := range r.Snapshot(nil, 0) {
+			if rec.Name != "work" && rec.Name != "ev" {
+				t.Errorf("torn read: name %q", rec.Name)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSingleSlotContention forces every commit onto one slot while a
+// snapshot loop copies it, so -race proves the per-slot latch ordering.
+func TestSingleSlotContention(t *testing.T) {
+	r := NewRecorder(Config{Component: "c", RingSize: 1, SampleEvery: 1, IDs: NewIDSource(1)})
+	tc := Context{Trace: 1, Span: 2}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sp := r.Start(tc, "hot")
+			sp.Attr("a", 1)
+			sp.End()
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		r.Snapshot(nil, 0)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRegistryAndHandler(t *testing.T) {
+	reg := NewRegistry()
+	ids := NewIDSource(9)
+	hub := reg.Recorder(Config{Component: "hub", RingSize: 16, SampleEvery: 1, IDs: ids})
+	cp := reg.Recorder(Config{Component: "controlplane", RingSize: 16, SampleEvery: 1, IDs: ids})
+
+	root := hub.Root("lookup")
+	child := cp.Start(root.Context(), "decide")
+	child.End()
+	root.End()
+	other := hub.Root("noise")
+	other.End()
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	var dump struct {
+		Rings []ringInfo   `json:"rings"`
+		Spans []SpanRecord `json:"spans"`
+	}
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(res.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(dump.Rings) != 2 || len(dump.Spans) != 3 {
+		t.Fatalf("rings=%d spans=%d", len(dump.Rings), len(dump.Spans))
+	}
+
+	// Filter by the root's trace: exactly the lookup+decide pair.
+	res, err = srv.Client().Get(srv.URL + "?trace=" + root.Context().Trace.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump.Spans = nil
+	if err := json.NewDecoder(res.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(dump.Spans) != 2 {
+		t.Fatalf("filtered spans = %d, want 2", len(dump.Spans))
+	}
+	comps := map[string]bool{}
+	for _, s := range dump.Spans {
+		comps[s.Component] = true
+	}
+	if !comps["hub"] || !comps["controlplane"] {
+		t.Fatalf("filtered components = %v", comps)
+	}
+
+	// Bad trace id is a 400.
+	res, err = srv.Client().Get(srv.URL + "?trace=zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 400 {
+		t.Fatalf("bad trace id status = %d", res.StatusCode)
+	}
+}
+
+func TestFlightDump(t *testing.T) {
+	reg := NewRegistry()
+	rec := reg.Recorder(Config{Component: "proto", RingSize: 32, SampleEvery: 1, IDs: NewIDSource(1)})
+	for i := 0; i < 10; i++ {
+		sp := rec.Root("iter")
+		sp.Attr("i", int64(i))
+		sp.End()
+	}
+	var buf bytes.Buffer
+	fl := NewFlight(reg, &buf, 4, 2)
+	fl.Dump("degrade-deadline")
+	fl.Dump("fault-crash")
+	fl.Dump("over-budget") // third dump suppressed by maxDumps=2
+	if fl.Dumps() != 2 {
+		t.Fatalf("Dumps() = %d, want 2", fl.Dumps())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// 2 dumps x (1 header + 4 spans).
+	if len(lines) != 10 {
+		t.Fatalf("got %d NDJSON lines, want 10:\n%s", len(lines), buf.String())
+	}
+	var hdr flightHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatal(err)
+	}
+	if hdr.FlightDump != "degrade-deadline" || hdr.Spans != 4 || !hdr.Truncated {
+		t.Fatalf("header = %+v", hdr)
+	}
+	var sr SpanRecord
+	if err := json.Unmarshal([]byte(lines[1]), &sr); err != nil {
+		t.Fatal(err)
+	}
+	// Truncation keeps the newest spans: i=6..9.
+	if sr.Attrs["i"] != 6 {
+		t.Fatalf("first dumped span i=%d, want 6", sr.Attrs["i"])
+	}
+	// Nil flight is a no-op.
+	var nilFl *Flight
+	nilFl.Dump("x")
+}
+
+func TestSpanHotPathAllocs(t *testing.T) {
+	r := NewRecorder(Config{Component: "c", RingSize: 1024, SampleEvery: 1, IDs: NewIDSource(1)})
+	tc := Context{Trace: 1, Span: 2}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := r.Start(tc, "hot")
+		sp.Attr("a", 1)
+		sp.Attr("b", 2)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("span hot path allocates %.1f allocs/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		r.Event(tc, "ev", I64("k", 1), Attr{})
+	})
+	if allocs != 0 {
+		t.Fatalf("event hot path allocates %.1f allocs/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		sp := r.Root("root")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("root span hot path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkSpanHotPath(b *testing.B) {
+	r := NewRecorder(Config{Component: "c", RingSize: 4096, SampleEvery: 1, IDs: NewIDSource(1)})
+	tc := Context{Trace: 1, Span: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.Start(tc, "hot")
+		sp.Attr("a", int64(i))
+		sp.End()
+	}
+}
