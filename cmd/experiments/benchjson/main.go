@@ -251,15 +251,18 @@ func measureHubTree() (*HubTreeResult, error) {
 	runOpts := distsim.RunOptions{Solver: opts, Timeout: time.Minute}
 
 	// Flat deployment.
-	flatHub, err := distsim.NewTCPHub("127.0.0.1:0")
+	flatHub, err := distsim.Listen(context.Background(), distsim.ListenConfig{Addr: "127.0.0.1:0"})
 	if err != nil {
 		return nil, err
 	}
 	defer func() { _ = flatHub.Close() }() //ufc:discard measurement teardown
-	flatNode, err := distsim.NewTCPNode(flatHub.Addr(), distsim.AllAgentIDs(m, n), 4096)
+	flatEP, err := distsim.Dial(context.Background(), distsim.DialConfig{
+		Addr: flatHub.Addr(), AgentIDs: distsim.AllAgentIDs(m, n), Buffer: 4096,
+	})
 	if err != nil {
 		return nil, err
 	}
+	flatNode := flatEP.(*distsim.TCPNode)
 	defer func() { _ = flatNode.Close() }() //ufc:discard measurement teardown
 	flatRes, err := distsim.Run(context.Background(), inst, runOpts, flatNode)
 	if err != nil {
@@ -269,7 +272,7 @@ func measureHubTree() (*HubTreeResult, error) {
 
 	// Tree deployment: coordinator on the root, each region's agents on
 	// that region's sub-hub.
-	root, err := distsim.NewTCPHub("127.0.0.1:0")
+	root, err := distsim.Listen(context.Background(), distsim.ListenConfig{Addr: "127.0.0.1:0"})
 	if err != nil {
 		return nil, err
 	}
@@ -286,15 +289,18 @@ func measureHubTree() (*HubTreeResult, error) {
 	var wg sync.WaitGroup
 	errCh := make(chan error, regions)
 	for r := 0; r < regions; r++ {
-		sub, err := distsim.NewTCPHubOpts("127.0.0.1:0", distsim.HubOptions{Parent: root.Addr(), Region: r})
+		sub, err := distsim.Listen(context.Background(), distsim.ListenConfig{Addr: "127.0.0.1:0", Parent: root.Addr(), Region: r})
 		if err != nil {
 			return nil, err
 		}
 		defer func() { _ = sub.Close() }() //ufc:discard measurement teardown
-		node, err := distsim.NewTCPNode(sub.Addr(), regionIDs[r], 1024)
+		regionEP, err := distsim.Dial(context.Background(), distsim.DialConfig{
+			Addr: sub.Addr(), AgentIDs: regionIDs[r], Buffer: 1024,
+		})
 		if err != nil {
 			return nil, err
 		}
+		node := regionEP.(*distsim.TCPNode)
 		defer func() { _ = node.Close() }() //ufc:discard measurement teardown
 		wg.Add(1)
 		go func(r int, node *distsim.TCPNode) {
@@ -304,10 +310,13 @@ func measureHubTree() (*HubTreeResult, error) {
 			}
 		}(r, node)
 	}
-	coNode, err := distsim.NewTCPNode(root.Addr(), []string{"coord"}, 4096)
+	coEP, err := distsim.Dial(context.Background(), distsim.DialConfig{
+		Addr: root.Addr(), AgentIDs: []string{"coord"}, Buffer: 4096,
+	})
 	if err != nil {
 		return nil, err
 	}
+	coNode := coEP.(*distsim.TCPNode)
 	defer func() { _ = coNode.Close() }() //ufc:discard measurement teardown
 	treeRes, err := distsim.RunAgents(context.Background(), inst, runOpts, coNode, []string{"coord"})
 	if err != nil {

@@ -30,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distsim"
 	"repro/internal/experiments"
+	"repro/internal/netcfg"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/tracing"
 )
@@ -70,7 +72,12 @@ func run(args []string) error {
 	maxIters := fs.Int("maxiters", 0, "with -serve: per-slot solver iteration budget (0 = solver default)")
 	solverWorkers := fs.Int("solver-workers", runtime.GOMAXPROCS(0), "with -serve: solver worker goroutines")
 	cold := fs.Bool("cold", false, "with -serve: disable warm starts (every slot solves from zero; the baseline ufcload's bench compares against)")
+	var sec netcfg.Flags
+	sec.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := sec.Validate(); err != nil {
 		return err
 	}
 
@@ -88,12 +95,28 @@ func run(args []string) error {
 		cpTracer = traceReg.Recorder(tracing.Config{Component: "controlplane", IDs: ids, SampleEvery: 1})
 	}
 
-	opts := distsim.HubOptions{
+	security, err := sec.ServerSecurity()
+	if err != nil {
+		return err
+	}
+	cfg := distsim.ListenConfig{
+		Addr:        *listen,
 		IdleTimeout: *idleTimeout,
 		RouteShards: *routeShards,
 		Parent:      *parent,
 		Region:      *region,
 		Tracer:      hubTracer,
+		Security:    security,
+	}
+	if *parent != "" {
+		// The uplink is a dial: reuse the same flag block as a client
+		// (-tls-ca verifies the parent, -tls-cert/-tls-key is presented
+		// when the parent demands mutual TLS).
+		psec, err := sec.ClientSecurity()
+		if err != nil {
+			return err
+		}
+		cfg.ParentSecurity = &psec
 	}
 
 	var pipe *controlplane.Pipeline
@@ -102,7 +125,7 @@ func run(args []string) error {
 		if pipe, err = newServePipeline(*topoSpec, *seed, *slotCycle, *cacheSize, *maxIters, *solverWorkers, *slotInterval, !*cold, reg, cpTracer); err != nil {
 			return err
 		}
-		opts.Decider = pipe
+		cfg.Decider = pipe
 	} else {
 		for _, f := range []struct {
 			set  bool
@@ -118,7 +141,7 @@ func run(args []string) error {
 		}
 	}
 
-	hub, err := distsim.NewTCPHubOpts(*listen, opts)
+	hub, err := distsim.Listen(context.Background(), cfg)
 	if err != nil {
 		return err
 	}

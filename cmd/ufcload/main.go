@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distsim"
 	"repro/internal/experiments"
+	"repro/internal/netcfg"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/tracing"
 )
@@ -70,7 +72,12 @@ func run(args []string) error {
 	validate := fs.String("validate", "", "validate an existing result file instead of measuring")
 	traceSample := fs.Int("trace-sample", 0, "trace every Nth lookup end-to-end and report exemplar trace ids at p99/p999 (0 disables)")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics, health probes and /debug/ufc/trace on this address")
+	var sec netcfg.Flags
+	sec.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := sec.Validate(); err != nil {
 		return err
 	}
 	if *validate != "" {
@@ -90,6 +97,11 @@ func run(args []string) error {
 	// and a metrics/health server when an address is given. Neither alters
 	// the load schedule or the text report's existing lines.
 	var lc loadConfig
+	security, err := sec.ClientSecurity()
+	if err != nil {
+		return err
+	}
+	lc.security = security
 	var traceReg *tracing.Registry
 	if *traceSample > 0 {
 		traceReg = tracing.NewRegistry()
@@ -158,13 +170,15 @@ type loadResult struct {
 	P999Trace tracing.TraceID
 }
 
-// loadConfig is the optional observability attached to a load run: a
-// recorder that samples end-to-end request traces and a histogram fed the
-// same latencies as the exact percentile arrays. Both are nil-safe off
+// loadConfig is the optional observability and transport security
+// attached to a load run: a recorder that samples end-to-end request
+// traces, a histogram fed the same latencies as the exact percentile
+// arrays, and the dial-side security block. All are nil-safe/zero off
 // switches — a zero loadConfig reproduces the bare run byte for byte.
 type loadConfig struct {
-	tracer *tracing.Recorder
-	hist   *telemetry.Histogram
+	tracer   *tracing.Recorder
+	hist     *telemetry.Histogram
+	security distsim.SecurityConfig
 }
 
 // connState is one connection's request ledger. Send and receive sides
@@ -203,46 +217,51 @@ func runLoad(addr string, conns, rps int, duration time.Duration, seed int64, lc
 			cs.traceHi = make([]uint64, per)
 			cs.traceLo = make([]uint64, per)
 		}
-		client, err := distsim.DialLookup(addr, fmt.Sprintf("lg-%d", c), func(d distsim.Decision) {
-			seq := d.ReqID
-			if seq >= uint64(len(cs.sendNanos)) {
-				return
-			}
-			if !d.OK {
-				cs.unavail.Add(1)
-				return
-			}
-			sent := atomic.LoadInt64(&cs.sendNanos[seq])
-			if sent == 0 {
-				return
-			}
-			now := time.Now().UnixNano()
-			atomic.StoreInt64(&cs.latNanos[seq], now-sent)
-			if lc.hist != nil {
-				lc.hist.Observe(float64(now-sent) / 1e9)
-			}
-			if lc.tracer != nil {
-				tc := tracing.Context{
-					Trace: tracing.TraceID(atomic.LoadUint64(&cs.traceHi[seq])),
-					Span:  tracing.SpanID(atomic.LoadUint64(&cs.traceLo[seq])),
+		ep, err := distsim.Dial(context.Background(), distsim.DialConfig{
+			Addr:       addr,
+			LookupName: fmt.Sprintf("lg-%d", c),
+			Security:   lc.security,
+			OnDecision: func(d distsim.Decision) {
+				seq := d.ReqID
+				if seq >= uint64(len(cs.sendNanos)) {
+					return
 				}
-				if tc.Valid() {
-					lc.tracer.RecordSpan(tc, "load.decide", sent, now,
-						tracing.I64("req", int64(seq)), tracing.I64("dc", int64(d.DC)))
+				if !d.OK {
+					cs.unavail.Add(1)
+					return
 				}
-			}
-			for {
-				cur := cs.maxAge.Load()
-				if d.AgeNanos <= cur || cs.maxAge.CompareAndSwap(cur, d.AgeNanos) {
-					break
+				sent := atomic.LoadInt64(&cs.sendNanos[seq])
+				if sent == 0 {
+					return
 				}
-			}
-			cs.answered.Add(1)
+				now := time.Now().UnixNano()
+				atomic.StoreInt64(&cs.latNanos[seq], now-sent)
+				if lc.hist != nil {
+					lc.hist.Observe(float64(now-sent) / 1e9)
+				}
+				if lc.tracer != nil {
+					tc := tracing.Context{
+						Trace: tracing.TraceID(atomic.LoadUint64(&cs.traceHi[seq])),
+						Span:  tracing.SpanID(atomic.LoadUint64(&cs.traceLo[seq])),
+					}
+					if tc.Valid() {
+						lc.tracer.RecordSpan(tc, "load.decide", sent, now,
+							tracing.I64("req", int64(seq)), tracing.I64("dc", int64(d.DC)))
+					}
+				}
+				for {
+					cur := cs.maxAge.Load()
+					if d.AgeNanos <= cur || cs.maxAge.CompareAndSwap(cur, d.AgeNanos) {
+						break
+					}
+				}
+				cs.answered.Add(1)
+			},
 		})
 		if err != nil {
 			return nil, zero, err
 		}
-		cs.client = client
+		cs.client = ep.(*distsim.LookupClient)
 		states[c] = cs
 	}
 	defer func() {
@@ -538,7 +557,7 @@ func benchPoint(spec experiments.Topology, slots, workers, conns, rps int, durat
 	})
 
 	// Load phase: serve the warm pipeline through a real hub on loopback.
-	hub, err := distsim.NewTCPHubOpts("127.0.0.1:0", distsim.HubOptions{Decider: warm})
+	hub, err := distsim.Listen(context.Background(), distsim.ListenConfig{Addr: "127.0.0.1:0", Decider: warm})
 	if err != nil {
 		return nil, err
 	}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distsim"
 	"repro/internal/experiments"
+	"repro/internal/netcfg"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/tracing"
 )
@@ -60,7 +61,12 @@ func run(args []string) error {
 	deadAfter := fs.Int("dead-after", 0, "missed reports before the coordinator declares an agent dead (0 uses the default)")
 	heartbeatInterval := fs.Duration("heartbeat-interval", 0, "hub liveness ping interval (0 disables heartbeats)")
 	heartbeatMiss := fs.Int("heartbeat-miss", 0, "missed heartbeat windows before the hub link is declared dead (0 uses the default)")
+	var sec netcfg.Flags
+	sec.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := sec.Validate(); err != nil {
 		return err
 	}
 
@@ -98,15 +104,23 @@ func run(args []string) error {
 		flight = tracing.NewFlight(traceReg, os.Stderr, 0, 0)
 	}
 
-	node, err := distsim.NewTCPNodeOpts(*hub, ids, distsim.NodeOptions{
+	security, err := sec.ClientSecurity()
+	if err != nil {
+		return err
+	}
+	ep, err := distsim.Dial(context.Background(), distsim.DialConfig{
+		Addr:              *hub,
+		AgentIDs:          ids,
 		Buffer:            256,
 		HeartbeatInterval: *heartbeatInterval,
 		HeartbeatMiss:     *heartbeatMiss,
 		Tracer:            nodeTracer,
+		Security:          security,
 	})
 	if err != nil {
 		return err
 	}
+	node := ep.(*distsim.TCPNode)
 	defer func() { _ = node.Close() }() //ufc:discard best-effort cleanup; RunAgents already reported the run's outcome
 
 	var tr distsim.Transport = node

@@ -7,10 +7,12 @@
 //
 //	ufcsim [-strategy hybrid|grid|fuelcell] [-hours n] [-scale f] [-seed n]
 //	       [-topology N,M,R] [-sparse]
-//	       [-warm] [-distributed] [-trace-residuals]
+//	       [-warm] [-distributed] [-transport chan|tcp] [-hub host:port]
+//	       [-trace-residuals]
 //	       [-metrics-addr host:port] [-ndjson file]
 //	       [-fault-plan plan.json] [-retry-interval d] [-message-deadline d]
 //	       [-staleness-cap n] [-dead-after n]
+//	       [-tls-cert f] [-tls-key f] [-tls-ca f] [-auth-token s] [-wire-version v]
 //
 // With -topology N,M,R the paper's fixed 4×10 fleet is replaced by a
 // synthetic one: N datacenters and M front-ends clustered into R
@@ -38,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distsim"
 	"repro/internal/experiments"
+	"repro/internal/netcfg"
 	"repro/internal/telemetry"
 )
 
@@ -58,6 +61,8 @@ func run(args []string) error {
 	sparse := fs.Bool("sparse", false, "with -topology: restrict routing to intra-region pairs (sets the solver's SparsityCutoff to the region cutoff)")
 	maxIters := fs.Int("maxiters", 3000, "ADM-G iteration budget per slot")
 	distributed := fs.Bool("distributed", false, "run each slot over the message-passing runtime")
+	transport := fs.String("transport", "chan", "with -distributed: chan (in-memory) or tcp (real wire)")
+	hubAddr := fs.String("hub", "", "with -transport tcp: hub address (empty spins up a private loopback hub)")
 	warm := fs.Bool("warm", false, "warm-start each slot from the previous slot's iterate")
 	traceResiduals := fs.Bool("trace-residuals", false, "record per-iteration residuals (printed summary + ndjson residualTrace)")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and net/http/pprof on this address")
@@ -68,11 +73,42 @@ func run(args []string) error {
 	messageDeadline := fs.Duration("message-deadline", 0, "per-message degradation deadline under -fault-plan (0 uses the default; it dominates wall-clock once agents die)")
 	stalenessCap := fs.Int("staleness-cap", 0, "consecutive stale rounds tolerated per peer before aborting (0 uses the default)")
 	deadAfter := fs.Int("dead-after", 0, "missed reports before the coordinator declares an agent dead (0 uses the default)")
+	var sec netcfg.Flags
+	sec.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := sec.Validate(); err != nil {
 		return err
 	}
 	if *warm && *distributed {
 		return fmt.Errorf("-warm requires the in-process engine; it cannot be combined with -distributed")
+	}
+	switch *transport {
+	case "chan", "tcp":
+	default:
+		return fmt.Errorf("-transport %q: must be chan or tcp", *transport)
+	}
+	if *transport == "chan" && *hubAddr != "" {
+		return fmt.Errorf("-hub requires -transport tcp")
+	}
+	security, err := sec.ClientSecurity()
+	if err != nil {
+		return err
+	}
+	hubTarget := *hubAddr
+	if *distributed && *transport == "tcp" && hubTarget == "" {
+		if security.TLS != nil {
+			return fmt.Errorf("-tls-* with a private loopback hub is unsupported; start a ufchub and pass -hub")
+		}
+		// The loopback hub shares the token/version flags, so the wire the
+		// slots cross is the same one a real deployment would negotiate.
+		hub, err := distsim.Listen(context.Background(), distsim.ListenConfig{Addr: "127.0.0.1:0", Security: security})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = hub.Close() }() //ufc:discard private loopback hub; the run's outcome was already decided
+		hubTarget = hub.Addr()
 	}
 	var faultPlan *distsim.FaultPlan
 	if *faultPlanPath != "" {
@@ -202,7 +238,18 @@ func run(args []string) error {
 		switch {
 		case *distributed:
 			m, n := inst.Cloud.M(), inst.Cloud.N()
-			var tr distsim.Transport = distsim.NewChanTransport(distsim.AllAgentIDs(m, n), distsim.ChanOptions{Seed: int64(t)})
+			ids := distsim.AllAgentIDs(m, n)
+			var tr distsim.Transport
+			if *transport == "tcp" {
+				var ep distsim.Endpoint
+				ep, err = distsim.Dial(context.Background(), distsim.DialConfig{Addr: hubTarget, AgentIDs: ids, Security: security})
+				if err != nil {
+					return fmt.Errorf("hour %d: %w", t, err)
+				}
+				tr = ep.(*distsim.TCPNode)
+			} else {
+				tr = distsim.NewChanTransport(ids, distsim.ChanOptions{Seed: int64(t)})
+			}
 			ro := distsim.RunOptions{Solver: opts}
 			if faultPlan != nil {
 				tr, err = distsim.NewFaultTransport(tr, faultPlan)

@@ -59,18 +59,29 @@ func main() {
 	fmt.Printf("message passing:     UFC %.6f in %3d iterations (%v)\n",
 		bdMsg.UFC, statsMsg.Iterations, time.Since(start).Round(time.Millisecond))
 
-	// 3. Over a real TCP hub on localhost (binary wire frames).
+	// 3. Over a real TCP hub on localhost (binary wire frames), secured
+	// with a shared token carried in the v2 handshake.
 	start = time.Now()
-	hub, err := distsim.NewTCPHub("127.0.0.1:0")
+	const token = "example-token"
+	hub, err := distsim.Listen(ctx, distsim.ListenConfig{
+		Addr:     "127.0.0.1:0",
+		Security: distsim.SecurityConfig{AuthToken: token},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer func() { _ = hub.Close() }() //ufc:discard example teardown; errors have nowhere useful to go
 	m, n := inst.Cloud.M(), inst.Cloud.N()
-	node, err := distsim.NewTCPNode(hub.Addr(), distsim.AllAgentIDs(m, n), 256)
+	ep, err := distsim.Dial(ctx, distsim.DialConfig{
+		Addr:     hub.Addr(),
+		AgentIDs: distsim.AllAgentIDs(m, n),
+		Buffer:   256,
+		Security: distsim.SecurityConfig{AuthToken: token},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	node := ep.(*distsim.TCPNode)
 	defer func() { _ = node.Close() }() //ufc:discard example teardown; errors have nowhere useful to go
 	res, err := distsim.Run(ctx, inst, distsim.RunOptions{
 		Solver:  core.Options{MaxIterations: 3000},
@@ -79,8 +90,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("TCP hub (localhost): UFC %.6f in %3d iterations (%v)\n",
-		res.Breakdown.UFC, res.Stats.Iterations, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("TCP hub (wire v%d):   UFC %.6f in %3d iterations (%v)\n",
+		node.WireVersion(), res.Breakdown.UFC, res.Stats.Iterations, time.Since(start).Round(time.Millisecond))
 
 	if bdSeq.UFC == bdMsg.UFC && bdSeq.UFC == res.Breakdown.UFC {
 		fmt.Println("\nall three execution paths produced the identical solution ✓")

@@ -44,3 +44,30 @@ func decodeGuarded(b []byte) (byte, bool) {
 func peekReserved(b []byte) byte {
 	return b[4] //ufc:unvalidated caller guarantees an 8-byte header
 }
+
+// Handshake constants are wire constants too: the magic is symmetric
+// below, but nothing ever encodes hsStatusAuth.
+const (
+	hsMagic0     byte = 0x00
+	hsStatusOK   byte = 0x00
+	hsStatusAuth byte = 0x02 // want `used on the decode side but never on the encode side`
+)
+
+// appendHandshakeAck emits the magic and the ok status.
+func appendHandshakeAck(dst []byte) []byte {
+	return append(dst, hsMagic0, hsStatusOK)
+}
+
+// parseHandshakeAck interprets all three handshake constants.
+func parseHandshakeAck(b []byte) (bool, bool) {
+	if len(b) < 2 || b[0] != hsMagic0 {
+		return false, false
+	}
+	switch b[1] {
+	case hsStatusOK:
+		return true, true
+	case hsStatusAuth:
+		return false, true
+	}
+	return false, false
+}

@@ -15,10 +15,11 @@ import (
 //     raw payload access needs a len() guard (or must go through the
 //     bounds-checked byteCursor);
 //
-//   - wire constants (frameKind*/frameFlag*) referenced asymmetrically:
-//     a kind or flag that the encode side (append*/encode*/write*) emits
-//     but the decode side (decode*/parse*/peek*/read*) never interprets —
-//     or vice versa — is a silent protocol skew between peers.
+//   - wire constants (frameKind*/frameFlag*, and the handshake's
+//     hsMagic*/hsStatus*) referenced asymmetrically: a kind, flag, magic
+//     or status that the encode side (append*/encode*/write*) emits but
+//     the decode side (decode*/parse*/peek*/read*) never interprets — or
+//     vice versa — is a silent protocol skew between peers.
 var Wiresafe = &Analyzer{
 	Name: "wiresafe",
 	Doc:  "flag unvalidated payload reads and encode/decode-asymmetric wire constants in the distsim wire layer",
@@ -26,7 +27,7 @@ var Wiresafe = &Analyzer{
 }
 
 var (
-	wireConstRe  = regexp.MustCompile(`^frame(Kind|Flag)`)
+	wireConstRe  = regexp.MustCompile(`^(frame(Kind|Flag)|hs(Magic|Status))`)
 	encodeSideRe = regexp.MustCompile(`^(append|encode|write|marshal|Append|Encode|Write|Marshal)`)
 	decodeSideRe = regexp.MustCompile(`^(decode|parse|peek|read|split|unmarshal|Decode|Parse|Peek|Read|Split|Unmarshal)`)
 )

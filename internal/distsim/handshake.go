@@ -1,0 +1,370 @@
+package distsim
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"crypto/subtle"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Wire-version negotiation. The TCP transport speaks two framing
+// versions:
+//
+//	v1 — the PR 2 plaintext framing, bit-preserved: the first byte on the
+//	     wire is the uvarint length prefix of the hello record. No
+//	     handshake bytes are exchanged; the golden captures under
+//	     testdata/golden pin this format.
+//	v2 — a version-negotiated handshake precedes the first record. The
+//	     dialer opens with a client hello, the listener answers with an
+//	     ack, and the negotiated feature set (today: token
+//	     authentication) applies from the first record on. The framing
+//	     after the handshake is identical to v1.
+//
+// The handshake is discriminated in-band without ambiguity: a v1 stream
+// can never begin with 0x00 (readRecord rejects zero-length records), so
+// that byte doubles as the handshake magic. The exchange is
+//
+//	client → server   hsMagic0 hsMagic1 minVersion maxVersion
+//	                  tokenLen (1 byte) + token bytes
+//	server → client   hsMagic0 hsMagic1 status version
+//
+// Negotiation picks min(clientMax, serverMax) and refuses when that
+// falls below max(clientMin, serverMin); a refusal ack carries the
+// reason in its status byte and version 0. Downgrade is explicit: a
+// dialer offering [1,2] against a listener pinned to v1 negotiates
+// version 1 and proceeds with bit-preserved v1 framing after the ack.
+// Token authentication requires v2 (v1 has nowhere to carry the token),
+// so configuring a token forces the minimum version to 2 on both sides.
+//
+// Mutual TLS sits below the framing entirely — tls.Client / tls.Listener
+// wrap the connection before any handshake or record byte — so every
+// version is available over TLS, and a v1-over-TLS stream is
+// byte-identical to a plaintext v1 stream inside the tunnel.
+const (
+	// WireVersionAuto lets the endpoint pick: dialers offer [1,2] when
+	// TLS or a token is configured and stay on bit-preserved v1
+	// otherwise; listeners accept both framings.
+	WireVersionAuto = 0
+	// WireVersion1 is the PR 2 plaintext framing, bit-preserved.
+	WireVersion1 = 1
+	// WireVersion2 adds the negotiated handshake and token auth.
+	WireVersion2 = 2
+)
+
+// Handshake wire constants. hsMagic0 is chosen to be invalid as the
+// first byte of a v1 stream (a zero record-length prefix).
+const (
+	hsMagic0 byte = 0x00
+	hsMagic1 byte = 0xFC
+
+	hsStatusOK      byte = 0x00
+	hsStatusVersion byte = 0x01
+	hsStatusAuth    byte = 0x02
+
+	// hsClientLen is the fixed head of the client hello: both magic
+	// bytes, the offered version range, and the token length.
+	hsClientLen = 5
+	// hsServerLen is the whole server ack: both magic bytes, status,
+	// negotiated version.
+	hsServerLen = 4
+
+	// maxTokenBytes bounds the auth token carried in the client hello
+	// (its length field is one byte).
+	maxTokenBytes = 255
+
+	defaultHandshakeTimeout = 10 * time.Second
+)
+
+// Handshake errors. Every failure mode surfaces as a distinct sentinel
+// so callers and tests can match the cause with errors.Is.
+var (
+	// ErrHandshake is a malformed or interrupted wire handshake.
+	ErrHandshake = errors.New("distsim: wire handshake failed")
+	// ErrVersionMismatch means the peers share no acceptable wire version.
+	ErrVersionMismatch = errors.New("distsim: no mutually acceptable wire version")
+	// ErrAuthFailed means the peer rejected (or failed) token authentication.
+	ErrAuthFailed = errors.New("distsim: wire handshake authentication failed")
+	// ErrHandshakeTimeout means the peer went silent mid-handshake.
+	ErrHandshakeTimeout = errors.New("distsim: wire handshake timed out")
+)
+
+// SecurityConfig is the transport-security block shared by every dial
+// and listen path: node→hub, hub→parent and lookup clients. The zero
+// value is today's plaintext v1 transport, bit-preserved.
+type SecurityConfig struct {
+	// TLS, when non-nil, wraps the connection in TLS before any wire
+	// byte. Listeners pass a server config (set ClientAuth:
+	// tls.RequireAndVerifyClientCert and ClientCAs for mutual TLS);
+	// dialers pass a client config (ServerName defaults to the dialed
+	// host when empty).
+	TLS *tls.Config
+	// AuthToken, when non-empty, is the shared secret carried in the v2
+	// client hello and verified constant-time by the listener. Requires
+	// wire version 2 on both sides (and forces the minimum to 2, so an
+	// authenticated dial can never silently downgrade to v1).
+	AuthToken string
+	// WireVersion pins the protocol version: WireVersionAuto (default)
+	// negotiates, WireVersion1 forces the bit-preserved legacy framing
+	// with no handshake bytes, WireVersion2 requires the handshake.
+	WireVersion int
+	// MinWireVersion, when non-zero, is the lowest version this endpoint
+	// accepts. The default floor is 1 — except with an AuthToken or an
+	// explicit WireVersion 2, where it is 2.
+	MinWireVersion int
+	// HandshakeTimeout bounds the whole connection setup — TLS handshake
+	// included — on each side (default 10s).
+	HandshakeTimeout time.Duration
+}
+
+// validate checks the version/auth relations shared by dial and listen.
+func (s *SecurityConfig) validate() error {
+	if s.WireVersion < WireVersionAuto || s.WireVersion > WireVersion2 {
+		return fmt.Errorf("distsim: wire version %d: must be 0 (auto), 1 or 2", s.WireVersion)
+	}
+	if s.MinWireVersion < 0 || s.MinWireVersion > WireVersion2 {
+		return fmt.Errorf("distsim: min wire version %d: must be 0 (auto), 1 or 2", s.MinWireVersion)
+	}
+	if len(s.AuthToken) > maxTokenBytes {
+		return fmt.Errorf("distsim: auth token is %d bytes, limit %d", len(s.AuthToken), maxTokenBytes)
+	}
+	if s.AuthToken != "" {
+		if s.WireVersion == WireVersion1 {
+			return errors.New("distsim: auth token requires wire version 2; v1 framing cannot carry it")
+		}
+		if s.MinWireVersion == WireVersion1 {
+			return errors.New("distsim: auth token forbids MinWireVersion 1; a v1 downgrade would drop authentication")
+		}
+	}
+	if min, max := s.versionRange(); min > max {
+		return fmt.Errorf("distsim: min wire version %d exceeds maximum %d", min, max)
+	}
+	if s.HandshakeTimeout < 0 {
+		return fmt.Errorf("distsim: handshake timeout %v: must be >= 0", s.HandshakeTimeout)
+	}
+	return nil
+}
+
+// versionRange resolves the configured version bounds. Dialers treat a
+// plaintext, unauthenticated auto config as max v1 (no handshake bytes,
+// see dialVersions); listeners always advertise up to the resolved max.
+func (s *SecurityConfig) versionRange() (minV, maxV byte) {
+	maxV = WireVersion2
+	if s.WireVersion == WireVersion1 {
+		maxV = WireVersion1
+	}
+	switch {
+	case s.MinWireVersion != 0:
+		minV = byte(s.MinWireVersion)
+	case s.AuthToken != "" || s.WireVersion == WireVersion2:
+		minV = WireVersion2
+	default:
+		minV = WireVersion1
+	}
+	return minV, maxV
+}
+
+// dialVersions is versionRange with the dial-side auto rule: a zero
+// config stays on bit-preserved v1 — it sends no handshake bytes at all
+// — while TLS, a token, or an explicit WireVersion 2 offers [min, 2].
+func (s *SecurityConfig) dialVersions() (minV, maxV byte) {
+	minV, maxV = s.versionRange()
+	if s.WireVersion == WireVersionAuto && s.TLS == nil && s.AuthToken == "" {
+		maxV = WireVersion1
+	}
+	return minV, maxV
+}
+
+func (s *SecurityConfig) handshakeTimeout() time.Duration {
+	if s.HandshakeTimeout > 0 {
+		return s.HandshakeTimeout
+	}
+	return defaultHandshakeTimeout
+}
+
+// negotiateVersion picks the highest version inside both ranges.
+func negotiateVersion(cMin, cMax, sMin, sMax byte) (byte, bool) {
+	v := min(cMax, sMax)
+	if v < max(cMin, sMin) {
+		return 0, false
+	}
+	return v, true
+}
+
+// tokenEqual compares an auth token in constant time. Both sides are
+// hashed first so neither the comparison nor its duration leaks token
+// bytes or length.
+func tokenEqual(want string, got []byte) bool {
+	w := sha256.Sum256([]byte(want))
+	g := sha256.Sum256(got)
+	return subtle.ConstantTimeCompare(w[:], g[:]) == 1
+}
+
+// appendClientHandshake encodes the dialer's hello: magic, offered
+// version range, and the length-prefixed auth token.
+func appendClientHandshake(dst []byte, minV, maxV byte, token string) []byte {
+	dst = append(dst, hsMagic0, hsMagic1, minV, maxV, byte(len(token)))
+	return append(dst, token...)
+}
+
+// readClientHandshake consumes a client hello from br (the caller has
+// peeked the magic). Every length is explicit and bounded: the head is
+// hsClientLen bytes and the token at most maxTokenBytes, so a hostile
+// peer cannot grow the read past 260 bytes.
+func readClientHandshake(br *bufio.Reader) (minV, maxV byte, token []byte, err error) {
+	var head [hsClientLen]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: truncated client hello: %v", ErrHandshake, err)
+	}
+	if head[0] != hsMagic0 || head[1] != hsMagic1 {
+		return 0, 0, nil, fmt.Errorf("%w: bad client hello magic %#02x%02x", ErrHandshake, head[0], head[1])
+	}
+	minV, maxV = head[2], head[3]
+	if minV == 0 || minV > maxV {
+		return 0, 0, nil, fmt.Errorf("%w: client offered version range [%d, %d]", ErrHandshake, minV, maxV)
+	}
+	if n := int(head[4]); n > 0 {
+		token = make([]byte, n)
+		if _, err := io.ReadFull(br, token); err != nil {
+			return 0, 0, nil, fmt.Errorf("%w: truncated auth token: %v", ErrHandshake, err)
+		}
+	}
+	return minV, maxV, token, nil
+}
+
+// appendServerHandshake encodes the listener's ack. Only an hsStatusOK
+// ack carries a version; refusals are pinned to version 0.
+func appendServerHandshake(dst []byte, status, version byte) []byte {
+	if status != hsStatusOK {
+		version = 0
+	}
+	return append(dst, hsMagic0, hsMagic1, status, version)
+}
+
+// appendHandshakeRefusal encodes the refusal ack for cause.
+func appendHandshakeRefusal(dst []byte, cause error) []byte {
+	status := hsStatusVersion
+	if errors.Is(cause, ErrAuthFailed) {
+		status = hsStatusAuth
+	}
+	return appendServerHandshake(dst, status, 0)
+}
+
+// parseServerHandshake decodes the listener's ack against the version
+// range the client offered, mapping refusal statuses to their sentinel
+// errors.
+func parseServerHandshake(b []byte, cMin, cMax byte) (int, error) {
+	if len(b) < hsServerLen {
+		return 0, fmt.Errorf("%w: truncated server ack", ErrHandshake)
+	}
+	if b[0] != hsMagic0 || b[1] != hsMagic1 {
+		return 0, fmt.Errorf("%w: bad server ack magic %#02x%02x", ErrHandshake, b[0], b[1])
+	}
+	switch status, v := b[2], b[3]; status {
+	case hsStatusOK:
+		if v < cMin || v > cMax {
+			return 0, fmt.Errorf("%w: server accepted version %d outside the offered range [%d, %d]", ErrHandshake, v, cMin, cMax)
+		}
+		return int(v), nil
+	case hsStatusVersion:
+		return 0, fmt.Errorf("%w: server refused the offered range [%d, %d]", ErrVersionMismatch, cMin, cMax)
+	case hsStatusAuth:
+		return 0, fmt.Errorf("%w: server rejected the auth token", ErrAuthFailed)
+	default:
+		return 0, fmt.Errorf("%w: server ack status %d", ErrHandshake, status)
+	}
+}
+
+// hsIOError classifies a handshake-phase I/O failure: deadline
+// expiries become ErrHandshakeTimeout, everything else ErrHandshake.
+// A peer that slams the connection shut mid-handshake is most often a
+// refusal this side could not be told about (a pre-versioning listener,
+// or a TLS-side rejection).
+func hsIOError(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrHandshakeTimeout, err)
+	}
+	return fmt.Errorf("%w: %v", ErrHandshake, err)
+}
+
+// clientHandshake runs the dial side of the negotiation on a fresh
+// connection. With a resolved maximum of v1 it writes nothing — the
+// legacy stream stays bit-preserved — and returns immediately.
+func clientHandshake(conn net.Conn, sec *SecurityConfig) (int, error) {
+	minV, maxV := sec.dialVersions()
+	if maxV <= WireVersion1 {
+		return WireVersion1, nil
+	}
+	_ = conn.SetDeadline(time.Now().Add(sec.handshakeTimeout())) //ufc:discard a failed deadline set surfaces as the handshake read/write error
+	hello := appendClientHandshake(make([]byte, 0, hsClientLen+len(sec.AuthToken)), minV, maxV, sec.AuthToken)
+	if _, err := conn.Write(hello); err != nil {
+		return 0, hsIOError(err)
+	}
+	var ack [hsServerLen]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		return 0, hsIOError(err)
+	}
+	v, err := parseServerHandshake(ack[:], minV, maxV)
+	if err != nil {
+		return 0, err
+	}
+	_ = conn.SetDeadline(time.Time{}) //ufc:discard a failed deadline clear surfaces on the next read/write
+	return v, nil
+}
+
+// serverHandshake runs the accept side on a fresh connection: it peeks
+// one byte to discriminate a legacy v1 stream from a versioned client
+// hello, negotiates, verifies the token, and answers the ack. On
+// refusal the ack carrying the reason is written before the error
+// returns (and the connection is then torn down by the caller). The
+// whole exchange — the TLS handshake triggered by the first read
+// included — is bounded by the handshake timeout.
+func serverHandshake(conn net.Conn, br *bufio.Reader, sec *SecurityConfig, refusals *telemetry.Counter) (int, error) {
+	timeout := sec.handshakeTimeout()
+	minV, maxV := sec.versionRange()
+	_ = conn.SetReadDeadline(time.Now().Add(timeout)) //ufc:discard a failed deadline set surfaces as the handshake read error
+	head, err := br.Peek(1)
+	if err != nil {
+		return 0, hsIOError(err)
+	}
+	if head[0] != hsMagic0 {
+		// Legacy v1 stream: the byte is the hello record's length prefix.
+		// Nothing was consumed and no ack is owed — v1 peers expect a
+		// bit-preserved record stream.
+		if minV > WireVersion1 {
+			refusals.Inc()
+			return 0, fmt.Errorf("%w: peer opened a legacy v1 stream but this listener requires v%d+", ErrVersionMismatch, minV)
+		}
+		_ = conn.SetReadDeadline(time.Time{}) //ufc:discard a failed deadline clear surfaces on the next read
+		return WireVersion1, nil
+	}
+	cMin, cMax, token, err := readClientHandshake(br)
+	if err != nil {
+		refusals.Inc()
+		return 0, err
+	}
+	v, ok := negotiateVersion(cMin, cMax, minV, maxV)
+	if !ok {
+		err = fmt.Errorf("%w: peer offered [%d, %d], this listener accepts [%d, %d]", ErrVersionMismatch, cMin, cMax, minV, maxV)
+	} else if v >= WireVersion2 && sec.AuthToken != "" && !tokenEqual(sec.AuthToken, token) {
+		err = fmt.Errorf("%w: peer presented a bad token", ErrAuthFailed)
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(timeout)) //ufc:discard a failed deadline set surfaces as the ack write error
+	if err != nil {
+		refusals.Inc()
+		_, _ = conn.Write(appendHandshakeRefusal(nil, err)) //ufc:discard the refusal cause is the error being returned
+		return 0, err
+	}
+	if _, werr := conn.Write(appendServerHandshake(nil, hsStatusOK, v)); werr != nil {
+		return 0, hsIOError(werr)
+	}
+	_ = conn.SetDeadline(time.Time{}) //ufc:discard a failed deadline clear surfaces on the next read/write
+	return int(v), nil
+}

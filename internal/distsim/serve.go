@@ -2,6 +2,7 @@ package distsim
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -348,17 +349,35 @@ type LookupClient struct {
 
 	haltOnce sync.Once
 	done     chan struct{}
+
+	wireVersion int
 }
 
 // DialLookup connects to a hub and registers under name (any non-standard
 // id; each client needs a distinct one). The returned client is ready
 // once its OnDecision callback is set.
+//
+// Deprecated: use Dial with DialConfig.LookupName, which adds transport
+// security and context control. This wrapper delegates to
+// Dial(context.Background(), ...).
 func DialLookup(hubAddr, name string, onDecision func(Decision)) (*LookupClient, error) {
-	conn, err := net.Dial("tcp", hubAddr)
+	//ufc:ctx deprecated shim: the caller chose the pre-context API and owns the root
+	ep, err := Dial(context.Background(), DialConfig{
+		Addr:       hubAddr,
+		LookupName: name,
+		OnDecision: onDecision,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("distsim: lookup dial: %w", err)
+		return nil, err
 	}
-	c := &LookupClient{conn: conn, OnDecision: onDecision, done: make(chan struct{})}
+	return ep.(*LookupClient), nil
+}
+
+// newLookupClient builds a lookup client on an established (already
+// secured and version-negotiated) connection: the coalescing writer, the
+// registering hello, and the read loop.
+func newLookupClient(conn net.Conn, wireVersion int, name string, onDecision func(Decision)) (*LookupClient, error) {
+	c := &LookupClient{conn: conn, OnDecision: onDecision, done: make(chan struct{}), wireVersion: wireVersion}
 	c.cw = newConnWriter(conn, 1024, &c.counters, nil)
 	fb := getFrame()
 	fb.b = appendHello(fb.b, []string{name})
@@ -424,6 +443,11 @@ func (c *LookupClient) QueryStats(timeout time.Duration) ([]float64, error) {
 
 // Stats returns a snapshot of the client's transport counters.
 func (c *LookupClient) Stats() TransportStats { return c.counters.snapshot() }
+
+// WireVersion reports the protocol version negotiated at dial time.
+func (c *LookupClient) WireVersion() int { return c.wireVersion }
+
+func (c *LookupClient) sealedEndpoint() {}
 
 func (c *LookupClient) readLoop() {
 	br := bufio.NewReaderSize(c.conn, 64<<10)

@@ -2,6 +2,7 @@ package distsim
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -62,7 +63,7 @@ type shardStats struct {
 // of one per message.
 type TCPHub struct {
 	ln         net.Listener
-	opts       HubOptions
+	cfg        ListenConfig
 	counters   transportCounters
 	shards     []routeShard
 	shardMask  uint32
@@ -121,33 +122,28 @@ type hubConn struct {
 }
 
 // NewTCPHub listens on addr (e.g. "127.0.0.1:0") and serves until Close.
+//
+// Deprecated: use Listen, which adds transport security and context
+// control. This wrapper delegates to Listen(context.Background(), ...).
 func NewTCPHub(addr string) (*TCPHub, error) {
-	return NewTCPHubOpts(addr, HubOptions{})
+	return Listen(context.Background(), ListenConfig{Addr: addr}) //ufc:ctx deprecated shim: the caller chose the pre-context API and owns the root
 }
 
 // NewTCPHubOpts is NewTCPHub with explicit options.
+//
+// Deprecated: use Listen, which adds transport security and context
+// control. This wrapper delegates to Listen(context.Background(), ...).
 func NewTCPHubOpts(addr string, opts HubOptions) (*TCPHub, error) {
-	if opts.RouteShards == 0 {
-		opts.RouteShards = defaultRouteShards
-	}
-	if opts.RouteShards < 1 || opts.RouteShards&(opts.RouteShards-1) != 0 {
-		return nil, fmt.Errorf("distsim: hub route shards must be a power of two, got %d", opts.RouteShards)
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("distsim: hub listen: %w", err)
-	}
-	h := &TCPHub{ln: ln, opts: opts, conns: make(map[net.Conn]*hubConn), tracer: opts.Tracer}
-	h.initShards(opts.RouteShards)
-	if opts.Parent != "" {
-		if err := h.dialParent(opts.Parent, opts.Region); err != nil {
-			_ = ln.Close() //ufc:discard the parent dial error below is the failure being reported
-			return nil, err
-		}
-	}
-	h.wg.Add(1)
-	go h.acceptLoop()
-	return h, nil
+	//ufc:ctx deprecated shim: the caller chose the pre-context API and owns the root
+	return Listen(context.Background(), ListenConfig{
+		Addr:        addr,
+		IdleTimeout: opts.IdleTimeout,
+		RouteShards: opts.RouteShards,
+		Parent:      opts.Parent,
+		Region:      opts.Region,
+		Decider:     opts.Decider,
+		Tracer:      opts.Tracer,
+	})
 }
 
 // initShards sizes the routing table; count must be a power of two.
@@ -157,11 +153,12 @@ func (h *TCPHub) initShards(count int) {
 	h.shardShift = uint(bits.TrailingZeros32(uint32(count)))
 }
 
-// dialParent connects a sub-hub to its parent and starts the downward
-// read loop. The first record up the link is the hub handshake; the
-// writer wraps subsequent batches in batch records.
-func (h *TCPHub) dialParent(addr string, region int) error {
-	conn, err := net.Dial("tcp", addr)
+// dialParent connects a sub-hub to its parent — through TLS and the
+// wire handshake as sec configures — and starts the downward read loop.
+// The first record up the link is the hub handshake; the writer wraps
+// subsequent batches in batch records.
+func (h *TCPHub) dialParent(ctx context.Context, addr string, region int, sec *SecurityConfig) error {
+	conn, _, err := dialSecure(ctx, addr, sec)
 	if err != nil {
 		return fmt.Errorf("distsim: sub-hub dial parent: %w", err)
 	}
@@ -171,6 +168,7 @@ func (h *TCPHub) dialParent(addr string, region int) error {
 	fb.b = appendHubHello(fb.b, region)
 	if err := pl.cw.enqueue(fb); err != nil {
 		putFrame(fb)
+		//ufc:ctx teardown of a writer that never started; the wait cannot block on in-flight work
 		pl.cw.close(err)
 		return fmt.Errorf("distsim: sub-hub handshake: %w", err)
 	}
@@ -315,22 +313,29 @@ func (h *TCPHub) serveConn(conn net.Conn) {
 	h.mu.Unlock()
 
 	br := bufio.NewReaderSize(conn, 64<<10)
-	var scratch []byte
-	// Handshake: the first record must register the peer — a hello with
-	// routes from a node, or a hub hello from a child sub-hub (which
-	// registers incrementally as its own nodes arrive).
-	body, wire, err := readRecord(br, &scratch)
-	if err == nil {
-		if peekHubHello(body) {
-			if _, herr := parseHubHello(body); herr == nil {
-				h.counters.noteRecv(wire)
-				h.serveRegistered(conn, br, &scratch, nil, true)
-			}
-		} else {
-			var ids []string
-			if ids, err = parseHello(body); err == nil {
-				h.counters.noteRecv(wire)
-				h.serveRegistered(conn, br, &scratch, ids, false)
+	// Wire handshake first: version negotiation and token auth (see
+	// handshake.go). A legacy v1 stream passes through untouched when the
+	// listener accepts v1; refused peers get an ack carrying the reason
+	// and are torn down here. With a TLS listener the first read below
+	// also drives the TLS handshake, under the same deadline.
+	if _, err := serverHandshake(conn, br, &h.cfg.Security, &h.counters.hsRefused); err == nil {
+		var scratch []byte
+		// Registration: the first record must register the peer — a hello
+		// with routes from a node, or a hub hello from a child sub-hub
+		// (which registers incrementally as its own nodes arrive).
+		body, wire, err := readRecord(br, &scratch)
+		if err == nil {
+			if peekHubHello(body) {
+				if _, herr := parseHubHello(body); herr == nil {
+					h.counters.noteRecv(wire)
+					h.serveRegistered(conn, br, &scratch, nil, true)
+				}
+			} else {
+				var ids []string
+				if ids, err = parseHello(body); err == nil {
+					h.counters.noteRecv(wire)
+					h.serveRegistered(conn, br, &scratch, ids, false)
+				}
 			}
 		}
 	}
@@ -365,11 +370,11 @@ func (h *TCPHub) serveRegistered(conn net.Conn, br *bufio.Reader, scratch *[]byt
 	}
 
 	for {
-		if h.opts.IdleTimeout > 0 {
+		if h.cfg.IdleTimeout > 0 {
 			// Liveness: a node that stops producing records — including
 			// heartbeat pings — past the idle window is dead; the failed
 			// read below drops its routes.
-			_ = conn.SetReadDeadline(time.Now().Add(h.opts.IdleTimeout)) //ufc:discard a failed deadline set surfaces as the next read's error
+			_ = conn.SetReadDeadline(time.Now().Add(h.cfg.IdleTimeout)) //ufc:discard a failed deadline set surfaces as the next read's error
 		}
 		body, wire, err := readRecord(br, scratch)
 		if err != nil {
@@ -393,7 +398,7 @@ func (h *TCPHub) serveRegistered(conn net.Conn, br *bufio.Reader, scratch *[]byt
 			h.counters.pingsSent.Inc()
 			continue
 		}
-		if d := h.opts.Decider; d != nil {
+		if d := h.cfg.Decider; d != nil {
 			if peekLookup(body) {
 				if err := h.answerLookup(hc, body, d); err != nil {
 					h.dropConn(hc)
@@ -660,11 +665,12 @@ func splitRecord(rec []byte) (prefix, body []byte) {
 // every message through the TCP stack and the codec. Sends are buffered
 // and coalesced (see connWriter) and allocate nothing in steady state.
 type TCPNode struct {
-	conn     net.Conn
-	cw       *connWriter
-	opts     NodeOptions
-	counters transportCounters
-	cache    idCache
+	conn        net.Conn
+	cw          *connWriter
+	opts        NodeOptions
+	counters    transportCounters
+	cache       idCache
+	wireVersion int
 
 	// Inbox tables are built at construction and never mutated, so the
 	// read loop and Inbox need no lock to consult them.
@@ -698,27 +704,56 @@ type NodeOptions struct {
 }
 
 // NewTCPNode connects to the hub and registers the local agent ids.
+//
+// Deprecated: use Dial, which adds transport security and context
+// control. This wrapper delegates to Dial(context.Background(), ...).
 func NewTCPNode(hubAddr string, localIDs []string, buffer int) (*TCPNode, error) {
 	return NewTCPNodeOpts(hubAddr, localIDs, NodeOptions{Buffer: buffer})
 }
 
 // NewTCPNodeOpts is NewTCPNode with heartbeat/liveness options.
+//
+// Deprecated: use Dial, which adds transport security and context
+// control. This wrapper delegates to Dial(context.Background(), ...).
 func NewTCPNodeOpts(hubAddr string, localIDs []string, opts NodeOptions) (*TCPNode, error) {
+	//ufc:ctx deprecated shim: the caller chose the pre-context API and owns the root
+	ep, err := Dial(context.Background(), DialConfig{
+		Addr:              hubAddr,
+		AgentIDs:          localIDs,
+		Buffer:            opts.Buffer,
+		HeartbeatInterval: opts.HeartbeatInterval,
+		HeartbeatMiss:     opts.HeartbeatMiss,
+		Tracer:            opts.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ep.(*TCPNode), nil
+}
+
+// newTCPNode builds a node on an established (already secured and
+// version-negotiated) connection: inbox tables, coalescing writer, the
+// registering hello, and the read/heartbeat loops.
+func newTCPNode(conn net.Conn, wireVersion int, cfg *DialConfig) (*TCPNode, error) {
+	opts := NodeOptions{
+		Buffer:            cfg.Buffer,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		HeartbeatMiss:     cfg.HeartbeatMiss,
+		Tracer:            cfg.Tracer,
+	}
 	if opts.Buffer <= 0 {
 		opts.Buffer = 64
 	}
 	if opts.HeartbeatMiss <= 0 {
 		opts.HeartbeatMiss = 3
 	}
-	conn, err := net.Dial("tcp", hubAddr)
-	if err != nil {
-		return nil, fmt.Errorf("distsim: node dial: %w", err)
-	}
+	localIDs := cfg.AgentIDs
 	n := &TCPNode{
-		conn:    conn,
-		opts:    opts,
-		boxName: make(map[string]chan Message),
-		done:    make(chan struct{}),
+		conn:        conn,
+		opts:        opts,
+		wireVersion: wireVersion,
+		boxName:     make(map[string]chan Message),
+		done:        make(chan struct{}),
 	}
 	for _, id := range localIDs {
 		box := make(chan Message, opts.Buffer)
@@ -769,6 +804,11 @@ func (n *TCPNode) heartbeatLoop() {
 
 // Stats returns a snapshot of the node's transport counters.
 func (n *TCPNode) Stats() TransportStats { return n.counters.snapshot() }
+
+// WireVersion reports the protocol version negotiated at dial time.
+func (n *TCPNode) WireVersion() int { return n.wireVersion }
+
+func (n *TCPNode) sealedEndpoint() {}
 
 // RegisterMetrics attaches the node's transport counters to reg under the
 // ufc_transport_* names. When hub and node share one registry, pass

@@ -1,0 +1,99 @@
+package distsim
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"math/big"
+	"net"
+	"testing"
+	"time"
+)
+
+// testPKI is an ephemeral certificate hierarchy for TLS tests: one CA,
+// one server certificate for 127.0.0.1/localhost, one client
+// certificate. Everything is generated in-memory per test — nothing is
+// checked in, and nothing outlives the process.
+type testPKI struct {
+	pool       *x509.CertPool
+	serverCert tls.Certificate
+	clientCert tls.Certificate
+}
+
+func newTestPKI(t *testing.T) *testPKI {
+	t.Helper()
+	caKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caTmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "ufc-test-ca"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign,
+		BasicConstraintsValid: true,
+	}
+	caDER, err := x509.CreateCertificate(rand.Reader, caTmpl, caTmpl, &caKey.PublicKey, caKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caCert, err := x509.ParseCertificate(caDER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(caCert)
+
+	leaf := func(serial int64, cn string, usage x509.ExtKeyUsage, ips []net.IP) tls.Certificate {
+		key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tmpl := &x509.Certificate{
+			SerialNumber: big.NewInt(serial),
+			Subject:      pkix.Name{CommonName: cn},
+			NotBefore:    time.Now().Add(-time.Hour),
+			NotAfter:     time.Now().Add(time.Hour),
+			KeyUsage:     x509.KeyUsageDigitalSignature,
+			ExtKeyUsage:  []x509.ExtKeyUsage{usage},
+			IPAddresses:  ips,
+			DNSNames:     []string{"localhost"},
+		}
+		der, err := x509.CreateCertificate(rand.Reader, tmpl, caCert, &key.PublicKey, caKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}
+	}
+	return &testPKI{
+		pool:       pool,
+		serverCert: leaf(2, "ufc-test-server", x509.ExtKeyUsageServerAuth, []net.IP{net.ParseIP("127.0.0.1"), net.ParseIP("::1")}),
+		clientCert: leaf(3, "ufc-test-client", x509.ExtKeyUsageClientAuth, nil),
+	}
+}
+
+// serverConfig is a mutual-TLS listener config: it presents the server
+// certificate and requires a client certificate signed by the test CA.
+func (p *testPKI) serverConfig() *tls.Config {
+	return &tls.Config{
+		Certificates: []tls.Certificate{p.serverCert},
+		ClientAuth:   tls.RequireAndVerifyClientCert,
+		ClientCAs:    p.pool,
+		MinVersion:   tls.VersionTLS13,
+	}
+}
+
+// clientConfig presents the client certificate and verifies the server
+// against the test CA.
+func (p *testPKI) clientConfig() *tls.Config {
+	return &tls.Config{
+		Certificates: []tls.Certificate{p.clientCert},
+		RootCAs:      p.pool,
+		MinVersion:   tls.VersionTLS13,
+	}
+}

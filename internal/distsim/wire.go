@@ -528,7 +528,16 @@ func (c *byteCursor) readString() (string, error) {
 	return string(raw), nil
 }
 
-// parseHello parses a hello body into the registered id list.
+// maxHelloIDBytes bounds one agent id in a hello record. Legitimate ids
+// are tiny ("fe-1912", "lg-37"); the bound exists so a hostile hello
+// cannot register megabyte-long ids that the hub would then hold in its
+// routing table for the life of the connection.
+const maxHelloIDBytes = 1024
+
+// parseHello parses a hello body into the registered id list. Every
+// length is explicitly bounded: the agent count against maxWireAgents
+// and the record size, each id against maxHelloIDBytes, and empty ids
+// are rejected (an empty route could never be addressed).
 func parseHello(b []byte) ([]string, error) {
 	c := byteCursor{b: b}
 	head, err := c.u8()
@@ -550,6 +559,12 @@ func parseHello(b []byte) ([]string, error) {
 		id, err := c.readString()
 		if err != nil {
 			return nil, err
+		}
+		if id == "" {
+			return nil, fmt.Errorf("%w: hello id %d is empty", ErrFrameInvalid, k)
+		}
+		if len(id) > maxHelloIDBytes {
+			return nil, fmt.Errorf("%w: hello id %d is %d bytes, limit %d", ErrFrameInvalid, k, len(id), maxHelloIDBytes)
 		}
 		ids = append(ids, id)
 	}
@@ -639,6 +654,10 @@ type TransportStats struct {
 	HeartbeatsReceived uint64
 	// DecisionsAnswered counts routing lookups answered (serving hubs).
 	DecisionsAnswered uint64
+	// HandshakeRefusals counts accepted connections a listener refused
+	// during the wire handshake (version mismatch, bad token, malformed
+	// hello). Only listeners advance it.
+	HandshakeRefusals uint64
 }
 
 // AvgBatch is the mean number of records coalesced per flush.
@@ -665,6 +684,7 @@ type transportCounters struct {
 	pingsSent telemetry.Counter
 	pingsRecv telemetry.Counter
 	decisions telemetry.Counter
+	hsRefused telemetry.Counter
 }
 
 // register attaches the counters to reg under the ufc_transport_* names.
@@ -680,6 +700,7 @@ func (c *transportCounters) register(reg *telemetry.Registry, labels ...telemetr
 	reg.RegisterCounter("ufc_transport_heartbeats_sent_total", "heartbeat frames sent", &c.pingsSent, labels...)
 	reg.RegisterCounter("ufc_transport_heartbeats_received_total", "heartbeat frames received", &c.pingsRecv, labels...)
 	reg.RegisterCounter("ufc_transport_decisions_total", "routing decisions answered", &c.decisions, labels...)
+	reg.RegisterCounter("ufc_transport_handshake_refusals_total", "connections refused during the wire handshake", &c.hsRefused, labels...)
 }
 
 //ufc:hotpath
@@ -711,5 +732,6 @@ func (c *transportCounters) snapshot() TransportStats {
 		HeartbeatsSent:     c.pingsSent.Load(),
 		HeartbeatsReceived: c.pingsRecv.Load(),
 		DecisionsAnswered:  c.decisions.Load(),
+		HandshakeRefusals:  c.hsRefused.Load(),
 	}
 }

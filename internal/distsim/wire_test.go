@@ -3,9 +3,11 @@ package distsim
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/telemetry/tracing"
@@ -280,7 +282,7 @@ func TestHelloRoundTrip(t *testing.T) {
 		{},
 		{"coord"},
 		{"fe-0", "fe-1", "dc-0", "dc-1", "coord"},
-		{"weird agent", "", "fe-3"},
+		{"weird agent", "fe-3"},
 	} {
 		rec := appendHello(nil, ids)
 		_, body := splitRecord(rec)
@@ -304,6 +306,82 @@ func TestHelloRoundTrip(t *testing.T) {
 			if _, err := parseHello(body[:cut]); err == nil {
 				t.Fatalf("truncated hello (%d bytes) parsed without error", cut)
 			}
+		}
+	}
+}
+
+// TestParseHelloBounds pins the hardened hello parser: every length is
+// explicitly bounded, so a hostile hello cannot register empty,
+// oversized or absurdly many ids.
+func TestParseHelloBounds(t *testing.T) {
+	helloBody := func(ids []string) []byte {
+		_, body := splitRecord(appendHello(nil, ids))
+		return body
+	}
+	cases := []struct {
+		name string
+		body []byte
+		want string
+	}{
+		{"empty id", helloBody([]string{"fe-0", ""}), "is empty"},
+		{"oversized id", helloBody([]string{strings.Repeat("x", maxHelloIDBytes+1)}), "limit"},
+		{"count beyond record", append([]byte{frameKindHello}, binary.AppendUvarint(nil, 1<<30)...), "registers"},
+		{"count beyond agent cap", append([]byte{frameKindHello}, binary.AppendUvarint(nil, maxWireAgents+1)...), "registers"},
+		{"wrong head byte", []byte{frameKindPing, 0}, "expected hello"},
+		{"trailing bytes", append(helloBody([]string{"fe-0"}), 0xFF), "trailing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseHello(tc.body)
+			if !errors.Is(err, ErrFrameInvalid) && !errors.Is(err, ErrFrameTruncated) {
+				t.Fatalf("parseHello = %v, want a frame error", err)
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("parseHello = %v, want message containing %q", err, tc.want)
+			}
+		})
+	}
+	// At the limit the id round-trips: the bound rejects only beyond it.
+	edge := strings.Repeat("y", maxHelloIDBytes)
+	ids, err := parseHello(helloBody([]string{edge}))
+	if err != nil || len(ids) != 1 || ids[0] != edge {
+		t.Fatalf("limit-length id: ids=%d err=%v", len(ids), err)
+	}
+}
+
+// TestParseHubHelloBounds pins the hub-tree handshake parser the same
+// way: bounded region, exact length, correct head byte.
+func TestParseHubHelloBounds(t *testing.T) {
+	hubHelloBody := func(region int) []byte {
+		_, body := splitRecord(appendHubHello(nil, region))
+		return body
+	}
+	if region, err := parseHubHello(hubHelloBody(7)); err != nil || region != 7 {
+		t.Fatalf("round trip: region=%d err=%v", region, err)
+	}
+	cases := []struct {
+		name string
+		body []byte
+		want string
+	}{
+		{"region out of range", append([]byte{frameKindHubHello}, binary.AppendUvarint(nil, maxWireAgents+1)...), "out of range"},
+		{"wrong head byte", []byte{frameKindPing, 0}, "expected hub hello"},
+		{"trailing bytes", append(hubHelloBody(1), 0xFF), "trailing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseHubHello(tc.body)
+			if !errors.Is(err, ErrFrameInvalid) {
+				t.Fatalf("parseHubHello = %v, want ErrFrameInvalid", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("parseHubHello = %v, want message containing %q", err, tc.want)
+			}
+		})
+	}
+	for cut := 0; cut < len(hubHelloBody(300)); cut++ {
+		if _, err := parseHubHello(hubHelloBody(300)[:cut]); err == nil {
+			t.Fatalf("truncated hub hello (%d bytes) parsed without error", cut)
 		}
 	}
 }

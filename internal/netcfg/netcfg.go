@@ -1,0 +1,151 @@
+// Package netcfg is the shared transport-security flag surface of the
+// ufc binaries. Every binary that touches the wire — ufcnode, ufchub,
+// ufcload, ufcsim — registers the same five flags (-tls-cert, -tls-key,
+// -tls-ca, -auth-token, -wire-version) through this package and resolves
+// them into a distsim.SecurityConfig the same way, so the cmd/ flag
+// surfaces cannot drift apart.
+//
+// The flags compose into the two sides of the transport:
+//
+//	ServerSecurity — for listeners (ufchub): -tls-cert/-tls-key is the
+//	    serving certificate; -tls-ca additionally demands and verifies a
+//	    client certificate (mutual TLS).
+//	ClientSecurity — for dialers (ufcnode, ufcload, sub-hub parent
+//	    links): -tls-ca is the root pool the server is verified against;
+//	    -tls-cert/-tls-key is the client certificate presented when the
+//	    server demands one.
+//
+// -auth-token rides in the v2 handshake on both sides, and -wire-version
+// pins the protocol version (0 = negotiate).
+package netcfg
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/distsim"
+)
+
+// Flags is the parsed transport-security flag block.
+type Flags struct {
+	// TLSCert and TLSKey are the PEM certificate/key pair presented to
+	// peers. Both or neither.
+	TLSCert string
+	TLSKey  string
+	// TLSCA is a PEM CA bundle: dialers verify the server against it,
+	// listeners demand and verify client certificates against it
+	// (mutual TLS).
+	TLSCA string
+	// AuthToken is the shared secret carried in the v2 handshake.
+	AuthToken string
+	// WireVersion pins the wire protocol (0 = negotiate, 1, 2).
+	WireVersion int
+}
+
+// Register installs the five transport-security flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.TLSCert, "tls-cert", "", "PEM certificate presented to peers (requires -tls-key)")
+	fs.StringVar(&f.TLSKey, "tls-key", "", "PEM private key for -tls-cert")
+	fs.StringVar(&f.TLSCA, "tls-ca", "", "PEM CA bundle: dialers verify the server against it; listeners require client certs signed by it (mutual TLS)")
+	fs.StringVar(&f.AuthToken, "auth-token", "", "shared secret carried in the wire handshake (requires wire version 2)")
+	fs.IntVar(&f.WireVersion, "wire-version", 0, "wire protocol version: 0 negotiate, 1 legacy plaintext framing, 2 versioned handshake")
+}
+
+// Validate checks the flag relations without touching the filesystem,
+// so it is table-testable and runs before any file I/O error can mask a
+// usage error.
+func (f *Flags) Validate() error {
+	if (f.TLSCert == "") != (f.TLSKey == "") {
+		return errors.New("netcfg: -tls-cert and -tls-key must be set together")
+	}
+	if f.WireVersion < 0 || f.WireVersion > 2 {
+		return fmt.Errorf("netcfg: -wire-version %d: must be 0 (negotiate), 1 or 2", f.WireVersion)
+	}
+	if f.AuthToken != "" && f.WireVersion == 1 {
+		return errors.New("netcfg: -auth-token requires wire version 2; v1 framing cannot carry it")
+	}
+	return nil
+}
+
+// tlsRequested reports whether any TLS flag is set.
+func (f *Flags) tlsRequested() bool {
+	return f.TLSCert != "" || f.TLSKey != "" || f.TLSCA != ""
+}
+
+// loadCAPool reads the -tls-ca bundle.
+func (f *Flags) loadCAPool() (*x509.CertPool, error) {
+	pem, err := os.ReadFile(f.TLSCA)
+	if err != nil {
+		return nil, fmt.Errorf("netcfg: -tls-ca: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("netcfg: -tls-ca %s: no PEM certificates found", f.TLSCA)
+	}
+	return pool, nil
+}
+
+// ServerSecurity resolves the flags into a listener's SecurityConfig:
+// the serving certificate, mutual-TLS client verification when a CA is
+// given, and the token/version fields.
+func (f *Flags) ServerSecurity() (distsim.SecurityConfig, error) {
+	sec := distsim.SecurityConfig{AuthToken: f.AuthToken, WireVersion: f.WireVersion}
+	if err := f.Validate(); err != nil {
+		return sec, err
+	}
+	if !f.tlsRequested() {
+		return sec, nil
+	}
+	if f.TLSCert == "" {
+		return sec, errors.New("netcfg: a TLS listener needs -tls-cert and -tls-key")
+	}
+	cert, err := tls.LoadX509KeyPair(f.TLSCert, f.TLSKey)
+	if err != nil {
+		return sec, fmt.Errorf("netcfg: -tls-cert/-tls-key: %w", err)
+	}
+	cfg := &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12}
+	if f.TLSCA != "" {
+		pool, err := f.loadCAPool()
+		if err != nil {
+			return sec, err
+		}
+		cfg.ClientCAs = pool
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+	}
+	sec.TLS = cfg
+	return sec, nil
+}
+
+// ClientSecurity resolves the flags into a dialer's SecurityConfig: the
+// CA pool the server is verified against, the optional client
+// certificate, and the token/version fields.
+func (f *Flags) ClientSecurity() (distsim.SecurityConfig, error) {
+	sec := distsim.SecurityConfig{AuthToken: f.AuthToken, WireVersion: f.WireVersion}
+	if err := f.Validate(); err != nil {
+		return sec, err
+	}
+	if !f.tlsRequested() {
+		return sec, nil
+	}
+	cfg := &tls.Config{MinVersion: tls.VersionTLS12}
+	if f.TLSCA != "" {
+		pool, err := f.loadCAPool()
+		if err != nil {
+			return sec, err
+		}
+		cfg.RootCAs = pool
+	}
+	if f.TLSCert != "" {
+		cert, err := tls.LoadX509KeyPair(f.TLSCert, f.TLSKey)
+		if err != nil {
+			return sec, fmt.Errorf("netcfg: -tls-cert/-tls-key: %w", err)
+		}
+		cfg.Certificates = []tls.Certificate{cert}
+	}
+	sec.TLS = cfg
+	return sec, nil
+}

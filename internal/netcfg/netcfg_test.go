@@ -1,0 +1,196 @@
+package netcfg
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"flag"
+	"math/big"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		flags   Flags
+		wantErr string
+	}{
+		{name: "zero value"},
+		{name: "token negotiated", flags: Flags{AuthToken: "s3cret"}},
+		{name: "token explicit v2", flags: Flags{AuthToken: "s3cret", WireVersion: 2}},
+		{name: "pinned v1", flags: Flags{WireVersion: 1}},
+		{name: "cert and key", flags: Flags{TLSCert: "c.pem", TLSKey: "k.pem"}},
+		{name: "ca alone", flags: Flags{TLSCA: "ca.pem"}},
+		{name: "cert without key", flags: Flags{TLSCert: "c.pem"}, wantErr: "-tls-cert and -tls-key must be set together"},
+		{name: "key without cert", flags: Flags{TLSKey: "k.pem"}, wantErr: "-tls-cert and -tls-key must be set together"},
+		{name: "token over v1", flags: Flags{AuthToken: "s3cret", WireVersion: 1}, wantErr: "-auth-token requires wire version 2"},
+		{name: "unknown version", flags: Flags{WireVersion: 3}, wantErr: "-wire-version 3"},
+		{name: "negative version", flags: Flags{WireVersion: -1}, wantErr: "-wire-version -1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.flags.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRegisterParsesIdentically drives the flag set the way the binaries
+// do and checks the five flags land in the struct.
+func TestRegisterParsesIdentically(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.Register(fs)
+	err := fs.Parse([]string{
+		"-tls-cert", "cert.pem", "-tls-key", "key.pem", "-tls-ca", "ca.pem",
+		"-auth-token", "s3cret", "-wire-version", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Flags{TLSCert: "cert.pem", TLSKey: "key.pem", TLSCA: "ca.pem", AuthToken: "s3cret", WireVersion: 2}
+	if f != want {
+		t.Fatalf("parsed %+v, want %+v", f, want)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeTestPEMs generates a self-signed certificate pair on disk and
+// returns the cert, key and CA paths (the cert is its own CA).
+func writeTestPEMs(t *testing.T) (certPath, keyPath, caPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "ufc-netcfg-test"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		BasicConstraintsValid: true,
+		DNSNames:              []string{"localhost"},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certPath = filepath.Join(dir, "cert.pem")
+	keyPath = filepath.Join(dir, "key.pem")
+	certPEM := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	if err := os.WriteFile(certPath, certPEM, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyPath, pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return certPath, keyPath, certPath
+}
+
+func TestServerSecurity(t *testing.T) {
+	certPath, keyPath, caPath := writeTestPEMs(t)
+
+	t.Run("plaintext", func(t *testing.T) {
+		sec, err := (&Flags{AuthToken: "s3cret"}).ServerSecurity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sec.TLS != nil || sec.AuthToken != "s3cret" {
+			t.Fatalf("ServerSecurity() = %+v, want token only", sec)
+		}
+	})
+	t.Run("tls", func(t *testing.T) {
+		sec, err := (&Flags{TLSCert: certPath, TLSKey: keyPath}).ServerSecurity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sec.TLS == nil || len(sec.TLS.Certificates) != 1 || sec.TLS.ClientAuth != tls.NoClientCert {
+			t.Fatalf("ServerSecurity() TLS = %+v, want serving cert without client auth", sec.TLS)
+		}
+	})
+	t.Run("mutual tls", func(t *testing.T) {
+		sec, err := (&Flags{TLSCert: certPath, TLSKey: keyPath, TLSCA: caPath}).ServerSecurity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sec.TLS == nil || sec.TLS.ClientAuth != tls.RequireAndVerifyClientCert || sec.TLS.ClientCAs == nil {
+			t.Fatalf("ServerSecurity() TLS = %+v, want mutual TLS", sec.TLS)
+		}
+	})
+	t.Run("ca without serving cert", func(t *testing.T) {
+		if _, err := (&Flags{TLSCA: caPath}).ServerSecurity(); err == nil {
+			t.Fatal("ServerSecurity() accepted a TLS listener without a certificate")
+		}
+	})
+	t.Run("missing files", func(t *testing.T) {
+		if _, err := (&Flags{TLSCert: "nope.pem", TLSKey: "nope.pem"}).ServerSecurity(); err == nil {
+			t.Fatal("ServerSecurity() accepted missing certificate files")
+		}
+	})
+}
+
+func TestClientSecurity(t *testing.T) {
+	certPath, keyPath, caPath := writeTestPEMs(t)
+
+	t.Run("plaintext", func(t *testing.T) {
+		sec, err := (&Flags{}).ClientSecurity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sec.TLS != nil {
+			t.Fatalf("ClientSecurity() = %+v, want zero value", sec)
+		}
+	})
+	t.Run("ca only", func(t *testing.T) {
+		sec, err := (&Flags{TLSCA: caPath}).ClientSecurity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sec.TLS == nil || sec.TLS.RootCAs == nil || len(sec.TLS.Certificates) != 0 {
+			t.Fatalf("ClientSecurity() TLS = %+v, want root pool only", sec.TLS)
+		}
+	})
+	t.Run("mutual tls", func(t *testing.T) {
+		sec, err := (&Flags{TLSCert: certPath, TLSKey: keyPath, TLSCA: caPath, AuthToken: "s3cret"}).ClientSecurity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sec.TLS == nil || sec.TLS.RootCAs == nil || len(sec.TLS.Certificates) != 1 || sec.AuthToken != "s3cret" {
+			t.Fatalf("ClientSecurity() = %+v, want client cert + root pool + token", sec)
+		}
+	})
+	t.Run("garbage ca", func(t *testing.T) {
+		bad := filepath.Join(t.TempDir(), "ca.pem")
+		if err := os.WriteFile(bad, []byte("not pem"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := (&Flags{TLSCA: bad}).ClientSecurity(); err == nil {
+			t.Fatal("ClientSecurity() accepted a CA bundle with no certificates")
+		}
+	})
+}

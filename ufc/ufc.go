@@ -37,6 +37,7 @@ package ufc
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"repro/internal/carbon"
@@ -183,6 +184,34 @@ const (
 	TransportTCP = "tcp"
 )
 
+// WireSecurity configures transport security for TransportTCP runs and
+// hub listeners: optional TLS (mutual when certificate verification is
+// configured on both sides), a shared auth token carried in the v2
+// handshake, and wire-version pinning. The zero value is the legacy
+// plaintext v1 wire.
+type WireSecurity = distsim.SecurityConfig
+
+// Wire protocol versions for WireSecurity.WireVersion.
+const (
+	// WireVersionAuto negotiates: v1 for a plain dial, v2 when TLS or a
+	// token demands it.
+	WireVersionAuto = distsim.WireVersionAuto
+	// WireVersion1 pins the legacy plaintext framing (no handshake bytes).
+	WireVersion1 = distsim.WireVersion1
+	// WireVersion2 pins the versioned handshake.
+	WireVersion2 = distsim.WireVersion2
+)
+
+// HubConfig configures a standalone hub started with ListenHub.
+type HubConfig = distsim.ListenConfig
+
+// ListenHub starts a TCP hub (optionally secured, optionally a serving
+// control plane via cfg.Decider) that distributed runs and lookup
+// clients connect to. Close the returned hub to stop it.
+func ListenHub(ctx context.Context, cfg HubConfig) (*distsim.TCPHub, error) {
+	return distsim.Listen(ctx, cfg)
+}
+
 // DistOptions configures a distributed run beyond the solver options. The
 // zero value reproduces the historical behaviour: in-memory transport, no
 // injected delay, fail-fast protocol, no faults.
@@ -215,6 +244,12 @@ type DistOptions struct {
 	// chaos injector. Pair with Resilience — the fail-fast protocol
 	// aborts on the first lost message.
 	FaultPlan *FaultPlan
+	// Security configures the TCP dial's transport security (TLS, auth
+	// token, wire version); nil keeps the legacy plaintext v1 wire
+	// (TransportTCP only). With an empty HubAddr the private loopback hub
+	// shares the token and version, but TLS is refused — a client TLS
+	// config cannot also serve; run a hub via ListenHub and set HubAddr.
+	Security *WireSecurity
 }
 
 // SolveDistributed runs the same algorithm as Solve but as a real
@@ -257,20 +292,28 @@ func RunDistributed(ctx context.Context, inst *Instance, opts Options, dist Dist
 		}
 		tr = distsim.NewChanTransport(ids, distsim.ChanOptions{Seed: seed, MaxDelay: dist.MaxDelay})
 	case TransportTCP:
+		sec := dist.Security
+		if sec == nil {
+			sec = &WireSecurity{}
+		}
 		hubAddr := dist.HubAddr
 		if hubAddr == "" {
+			if sec.TLS != nil {
+				return nil, errors.New("ufc: DistOptions.Security.TLS requires HubAddr; a private loopback hub cannot serve the dialer's client TLS config")
+			}
 			var err error
-			//ufc:ctx loopback listen+accept setup; binding is immediate and the hub is torn down by the defer below
-			hub, err = distsim.NewTCPHubOpts("127.0.0.1:0", distsim.HubOptions{})
+			hub, err = distsim.Listen(ctx, distsim.ListenConfig{Addr: "127.0.0.1:0", Security: *sec})
 			if err != nil {
 				return nil, err
 			}
 			hubAddr = hub.Addr()
 		}
-		//ufc:ctx dial is bounded by the OS connect timeout; ctx-aware dialing would ripple through the whole distsim transport API
-		node, err := distsim.NewTCPNodeOpts(hubAddr, ids, distsim.NodeOptions{
+		ep, err := distsim.Dial(ctx, distsim.DialConfig{
+			Addr:              hubAddr,
+			AgentIDs:          ids,
 			HeartbeatInterval: dist.HeartbeatInterval,
 			HeartbeatMiss:     dist.HeartbeatMiss,
+			Security:          *sec,
 		})
 		if err != nil {
 			if hub != nil {
@@ -279,7 +322,7 @@ func RunDistributed(ctx context.Context, inst *Instance, opts Options, dist Dist
 			}
 			return nil, err
 		}
-		tr = node
+		tr = ep.(*distsim.TCPNode)
 	default:
 		return nil, &UnknownTransportError{Transport: dist.Transport}
 	}
